@@ -1,0 +1,43 @@
+// Shared fixtures for the per-figure benchmark harnesses.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "core/plan.h"
+#include "core/planner.h"
+#include "core/profile.h"
+#include "models/cost_model.h"
+#include "models/zoo.h"
+#include "net/network_model.h"
+#include "util/table.h"
+
+namespace deeppool::bench {
+
+inline void print_header(const std::string& title, const std::string& paper_ref) {
+  std::cout << "\n=== " << title << " ===\n";
+  std::cout << "(reproduces " << paper_ref << ")\n\n";
+}
+
+/// Cost model + profiles for one workload on the Table-2 testbed.
+struct Workload {
+  Workload(const std::string& model_name, int gpus, std::int64_t batch)
+      : model(models::zoo::by_name(model_name)),
+        cost(models::DeviceSpec::a100()),
+        network(net::NetworkSpec::nvswitch()),
+        profiles(model, cost, network, core::ProfileOptions{gpus, batch, true}) {}
+
+  core::TrainingPlan dp(int gpus) const {
+    return core::data_parallel_plan(profiles, gpus);
+  }
+  core::TrainingPlan bp(double amp_limit) const {
+    return core::Planner(profiles).plan({amp_limit});
+  }
+
+  models::ModelGraph model;
+  models::CostModel cost;
+  net::NetworkModel network;
+  core::ProfileSet profiles;
+};
+
+}  // namespace deeppool::bench

@@ -1,0 +1,32 @@
+// Figure 2: per-GPU batch size chosen by batch-optimal scaling for VGG-11 at
+// each cluster scale (4.8 Tbps bi-directional NVSwitch-class networking).
+#include <iostream>
+
+#include "bench_common.h"
+#include "stats/scaling.h"
+
+int main() {
+  using namespace deeppool;
+  bench::print_header("Batch-optimal per-GPU batch size, VGG-11",
+                      "paper Figure 2");
+
+  const models::ModelGraph model = models::zoo::vgg11();
+  const models::CostModel cost{models::DeviceSpec::a100()};
+  const net::NetworkModel network{net::NetworkSpec::from_name("4.8t")};
+  const auto eff = stats::SampleEfficiencyModel::vgg11_error035();
+  const stats::ScalingEvaluator eval(model, cost, network, eff, 256);
+
+  TablePrinter table({"gpus", "global_batch", "per_gpu_batch", "speedup"});
+  for (int g = 1; g <= 256; g *= 2) {
+    const stats::ScalingPoint p = eval.batch_optimal(g);
+    table.add_row({TablePrinter::num(static_cast<long long>(g)),
+                   TablePrinter::num(p.global_batch),
+                   TablePrinter::num(p.per_gpu_batch()),
+                   TablePrinter::num(p.speedup, 2)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nExpected shape: large per-GPU batches at small scale, "
+               "shrinking per-GPU batch as the job scales out.\n";
+  return 0;
+}

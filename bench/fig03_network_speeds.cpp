@@ -1,0 +1,33 @@
+// Figure 3: estimated speedups at 256 GPUs for training VGG-11 to
+// error = 0.35 at four network speeds (10G / 100G / 1T / 4.8T bits/s).
+#include <iostream>
+
+#include "bench_common.h"
+#include "stats/scaling.h"
+
+int main() {
+  using namespace deeppool;
+  bench::print_header("Speedup at 256 GPUs vs network speed, VGG-11",
+                      "paper Figure 3");
+
+  const models::ModelGraph model = models::zoo::vgg11();
+  const models::CostModel cost{models::DeviceSpec::a100()};
+  const auto eff = stats::SampleEfficiencyModel::vgg11_error035();
+
+  TablePrinter table(
+      {"network", "weak_speedup", "strong_speedup", "batch_optimal_speedup"});
+  for (const std::string& name : {"10g", "100g", "1t", "4.8t"}) {
+    const net::NetworkModel network{net::NetworkSpec::from_name(name)};
+    const stats::ScalingEvaluator eval(model, cost, network, eff, 256);
+    table.add_row({network.spec().name,
+                   TablePrinter::num(eval.weak(256).speedup, 2),
+                   TablePrinter::num(eval.strong(256).speedup, 2),
+                   TablePrinter::num(eval.batch_optimal(256).speedup, 2)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nExpected shape: weak scaling is nearly flat across network "
+               "speeds; the strong-scaling strategies improve dramatically "
+               "with bandwidth and overtake weak scaling on fast fabrics.\n";
+  return 0;
+}

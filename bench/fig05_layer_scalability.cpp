@@ -1,0 +1,37 @@
+// Figure 5: heterogeneous scalability of VGG-16 layers. Speedup of each
+// layer when strong-scaled from 128 samples per iteration to 2 samples per
+// iteration using 64 GPUs.
+#include <iostream>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace deeppool;
+  bench::print_header("Per-layer strong-scaling speedup, VGG-16 (128 -> 2)",
+                      "paper Figure 5");
+
+  const models::ModelGraph model = models::zoo::vgg16();
+  const models::CostModel cost{models::DeviceSpec::a100()};
+
+  TablePrinter table({"layer", "name", "kind", "t(b=128)us", "t(b=2)us",
+                      "speedup"});
+  int layer_idx = 0;
+  for (const models::Layer& l : model.layers()) {
+    if (l.kind == models::LayerKind::kInput) continue;
+    ++layer_idx;
+    const double t128 = cost.layer_time(l, 128).total();
+    const double t2 = cost.layer_time(l, 2).total();
+    table.add_row({TablePrinter::num(static_cast<long long>(layer_idx)),
+                   l.name, models::layer_kind_name(l.kind),
+                   TablePrinter::num(t128 * 1e6, 1),
+                   TablePrinter::num(t2 * 1e6, 1),
+                   TablePrinter::num(t128 / t2, 1)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nExpected shape: early/wide conv layers approach linear "
+               "(tens of x) speedup; pools and especially the fc layers "
+               "barely accelerate (fixed weight-fetch and launch floors) — "
+               "the unevenness burst parallelism exploits.\n";
+  return 0;
+}

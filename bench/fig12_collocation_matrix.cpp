@@ -1,0 +1,92 @@
+// Figure 12: pairwise collocation of synthetic CUDA kernels with varied
+// compute intensity and execution latency under stream priorities. Each cell
+// reports the high-priority kernel's throughput as a percentage of its
+// isolated throughput when a low-priority kernel class runs beside it.
+#include <functional>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "gpu/device.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace deeppool;
+
+struct KernelClass {
+  std::string name;
+  double duration_s;  // isolated execution latency
+  int sm_demand;      // compute intensity (fraction of the device's SMs)
+};
+
+/// Runs `hp` back-to-back on a high-priority stream for `horizon` seconds,
+/// optionally with `lp` saturating a low-priority stream. Returns completed
+/// high-priority kernels.
+int run_pair(const KernelClass& hp, const KernelClass* lp, double horizon) {
+  sim::Simulator sim;
+  gpu::Device dev(sim, gpu::DeviceConfig{}, 0);
+  const gpu::StreamId hi = dev.create_stream(10);
+  const gpu::StreamId lo = dev.create_stream(0);
+
+  int hp_done = 0;
+  std::function<void()> feed_hp = [&] {
+    gpu::OpDesc op;
+    op.type = gpu::OpType::kKernel;
+    op.blocks = hp.sm_demand;
+    op.block_s = hp.duration_s;
+    dev.launch(hi, op, [&] {
+      ++hp_done;
+      feed_hp();
+    });
+  };
+  std::function<void()> feed_lp = [&] {
+    gpu::OpDesc op;
+    op.type = gpu::OpType::kKernel;
+    op.blocks = lp->sm_demand;
+    op.block_s = lp->duration_s;
+    dev.launch(lo, op, feed_lp);
+  };
+
+  feed_hp();
+  if (lp != nullptr) feed_lp();
+  sim.run(horizon);
+  return hp_done;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Pairwise synthetic-kernel collocation (HP throughput % of isolation)",
+      "paper Figure 12");
+
+  const std::vector<KernelClass> classes = {
+      {"short/low", 20e-6, 16},  {"short/high", 20e-6, 96},
+      {"mid/low", 200e-6, 16},   {"mid/high", 200e-6, 96},
+      {"long/low", 2e-3, 16},    {"long/high", 2e-3, 96},
+  };
+  const double horizon = 0.5;
+
+  std::vector<std::string> header = {"HP \\ LP"};
+  for (const KernelClass& lp : classes) header.push_back(lp.name);
+  TablePrinter table(std::move(header));
+
+  for (const KernelClass& hp : classes) {
+    const int isolated = run_pair(hp, nullptr, horizon);
+    std::vector<std::string> row = {hp.name};
+    for (const KernelClass& lp : classes) {
+      const int together = run_pair(hp, &lp, horizon);
+      row.push_back(TablePrinter::num(
+          100.0 * static_cast<double>(together) / isolated, 0) += "%");
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+
+  std::cout << "\nExpected shape: stream priorities protect most pairings; "
+               "the pathological corner is short high-priority kernels under "
+               "long low-priority kernels (non-preemptive SM scheduler) — "
+               "which is why DeepPool shrinks best-effort batch sizes.\n";
+  return 0;
+}

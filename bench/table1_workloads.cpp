@@ -1,0 +1,47 @@
+// Table 1 (workload characteristics) and Table 2 (hardware configuration).
+#include <iostream>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace deeppool;
+  bench::print_header("Workload characteristics", "paper Table 1");
+
+  TablePrinter table({"model", "params(M)", "graph_ops", "weighted_ops",
+                      "input", "structure"});
+  struct Row {
+    const char* name;
+    const char* structure;
+  };
+  for (const Row& r : {Row{"vgg16", "Conv, Dense"},
+                       Row{"wide_resnet101_2", "Intense Conv"},
+                       Row{"inception_v3", "Light Conv"}}) {
+    const models::ModelGraph g = models::zoo::by_name(r.name);
+    int weighted = 0;
+    for (const models::Layer& l : g.layers()) weighted += l.has_params();
+    table.add_row(
+        {g.name(),
+         TablePrinter::num(static_cast<double>(g.total_params()) / 1e6, 0),
+         TablePrinter::num(static_cast<long long>(g.op_count())),
+         TablePrinter::num(static_cast<long long>(weighted)),
+         g.layer(g.source()).out.to_string(), r.structure});
+  }
+  table.print(std::cout);
+
+  bench::print_header("Hardware configuration (simulated)", "paper Table 2");
+  const models::DeviceSpec dev = models::DeviceSpec::a100();
+  const net::NetworkSpec net_spec = net::NetworkSpec::nvswitch();
+  TablePrinter hw({"component", "value"});
+  hw.add_row({"GPU", "8 x simulated " + dev.name});
+  hw.add_row({"SMs per GPU", TablePrinter::num(static_cast<long long>(dev.sm_count))});
+  hw.add_row({"Achievable AMP FLOPs",
+              TablePrinter::num(dev.peak_flops / 1e12, 0) + " TFLOP/s"});
+  hw.add_row({"HBM bandwidth",
+              TablePrinter::num(dev.mem_bandwidth / 1e12, 2) + " TB/s"});
+  hw.add_row({"Interconnect",
+              net_spec.name + " (" +
+                  TablePrinter::num(net_spec.per_gpu_bandwidth / 1e9, 0) +
+                  " GB/s per GPU)"});
+  hw.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Scaling explorer: when does strong scaling beat weak scaling?
+//
+//   ./scaling_explorer [model] [network] [max_gpus] [reference_batch]
+//
+// network: 10g | 100g | 1t | 4.8t | nvswitch
+//
+// Reproduces the paper's §2 analysis for any zoo model: time-to-accuracy
+// speedups under weak / strong / batch-optimal scaling, using the VGG-11
+// sample-efficiency calibration. Useful for exploring how the crossover
+// moves with interconnect bandwidth.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "models/zoo.h"
+#include "net/network_model.h"
+#include "stats/scaling.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace deeppool;
+  const std::string model_name = argc > 1 ? argv[1] : "vgg11";
+  const std::string net_name = argc > 2 ? argv[2] : "1t";
+  const int max_gpus = argc > 3 ? std::atoi(argv[3]) : 256;
+  const std::int64_t ref_batch = argc > 4 ? std::atoll(argv[4]) : 256;
+
+  try {
+    const models::ModelGraph model = models::zoo::by_name(model_name);
+    const models::CostModel cost{models::DeviceSpec::a100()};
+    const net::NetworkModel network{net::NetworkSpec::from_name(net_name)};
+    const auto eff = stats::SampleEfficiencyModel::vgg11_error035();
+    const stats::ScalingEvaluator eval(model, cost, network, eff, ref_batch);
+
+    std::cout << "Scaling strategies for " << model.name() << " on "
+              << network.spec().name << " (reference batch " << ref_batch
+              << ")\n\n";
+    TablePrinter table({"gpus", "weak", "strong", "batch-optimal",
+                        "best_global_batch", "best_per_gpu_batch"});
+    int crossover = -1;
+    for (int g = 1; g <= max_gpus; g *= 2) {
+      const auto weak = eval.weak(g);
+      const auto strong = eval.strong(g);
+      const auto best = eval.batch_optimal(g);
+      if (crossover < 0 && strong.speedup > weak.speedup) crossover = g;
+      table.add_row({TablePrinter::num(g), TablePrinter::num(weak.speedup, 2),
+                     TablePrinter::num(strong.speedup, 2),
+                     TablePrinter::num(best.speedup, 2),
+                     TablePrinter::num(best.global_batch),
+                     TablePrinter::num(best.per_gpu_batch())});
+    }
+    table.print(std::cout);
+    if (crossover > 0) {
+      std::cout << "\nStrong scaling overtakes weak scaling at " << crossover
+                << " GPUs on this network.\n";
+    } else {
+      std::cout << "\nWeak scaling wins at every scale on this network — "
+                   "strong scaling needs more bandwidth.\n";
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

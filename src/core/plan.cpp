@@ -1,0 +1,129 @@
+#include "core/plan.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/profile.h"
+#include "util/table.h"
+
+namespace deeppool::core {
+
+double TrainingPlan::gpu_sec() const noexcept {
+  double total = 0.0;
+  for (const LayerAssignment& a : assignments) {
+    total += a.active_s() * static_cast<double>(a.gpus);
+  }
+  return total;
+}
+
+double TrainingPlan::amplification() const noexcept {
+  if (single_gpu_iteration_s <= 0.0) return 1.0;
+  return gpu_sec() / single_gpu_iteration_s;
+}
+
+int TrainingPlan::peak_gpus() const noexcept {
+  int peak = 1;
+  for (const LayerAssignment& a : assignments) peak = std::max(peak, a.gpus);
+  return peak;
+}
+
+double TrainingPlan::est_speedup() const noexcept {
+  if (est_iteration_s <= 0.0) return 1.0;
+  return single_gpu_iteration_s / est_iteration_s;
+}
+
+const LayerAssignment& TrainingPlan::assignment(models::LayerId id) const {
+  for (const LayerAssignment& a : assignments) {
+    if (a.layer == id) return a;
+  }
+  throw std::out_of_range("plan has no assignment for layer " +
+                          std::to_string(id));
+}
+
+Json TrainingPlan::to_json() const {
+  Json j;
+  j["model"] = Json(model_name);
+  j["global_batch"] = Json(global_batch);
+  j["max_gpus"] = Json(max_gpus);
+  j["amp_limit"] = Json(amp_limit);
+  j["est_iteration_s"] = Json(est_iteration_s);
+  j["single_gpu_iteration_s"] = Json(single_gpu_iteration_s);
+  Json::Array layers;
+  for (const LayerAssignment& a : assignments) {
+    Json l;
+    l["layer"] = Json(a.layer);
+    l["name"] = Json(a.name);
+    l["gpus"] = Json(a.gpus);
+    l["comp_s"] = Json(a.comp_s);
+    l["sync_s"] = Json(a.sync_s);
+    l["comm_in_s"] = Json(a.comm_in_s);
+    l["concurrent"] = Json(a.concurrent);
+    layers.push_back(std::move(l));
+  }
+  j["layers"] = Json(std::move(layers));
+  return j;
+}
+
+TrainingPlan TrainingPlan::from_json(const Json& j) {
+  TrainingPlan plan;
+  plan.model_name = j.at("model").as_string();
+  plan.global_batch = j.at("global_batch").as_int();
+  plan.max_gpus = static_cast<int>(j.at("max_gpus").as_int());
+  plan.amp_limit = j.at("amp_limit").as_number();
+  plan.est_iteration_s = j.at("est_iteration_s").as_number();
+  plan.single_gpu_iteration_s = j.at("single_gpu_iteration_s").as_number();
+  for (const Json& l : j.at("layers").as_array()) {
+    LayerAssignment a;
+    a.layer = static_cast<models::LayerId>(l.at("layer").as_int());
+    a.name = l.at("name").as_string();
+    a.gpus = static_cast<int>(l.at("gpus").as_int());
+    a.comp_s = l.at("comp_s").as_number();
+    a.sync_s = l.at("sync_s").as_number();
+    a.comm_in_s = l.at("comm_in_s").as_number();
+    a.concurrent = l.at("concurrent").as_bool();
+    plan.assignments.push_back(std::move(a));
+  }
+  return plan;
+}
+
+std::string TrainingPlan::to_table() const {
+  TablePrinter table({"layer", "name", "gpus", "comp(us)", "sync(us)",
+                      "comm(us)", "conc"});
+  for (const LayerAssignment& a : assignments) {
+    table.add_row({TablePrinter::num(static_cast<long long>(a.layer)), a.name,
+                   TablePrinter::num(static_cast<long long>(a.gpus)),
+                   TablePrinter::num(a.comp_s * 1e6, 1),
+                   TablePrinter::num(a.sync_s * 1e6, 1),
+                   TablePrinter::num(a.comm_in_s * 1e6, 1),
+                   a.concurrent ? "yes" : ""});
+  }
+  return table.to_string();
+}
+
+TrainingPlan data_parallel_plan(const ProfileSet& profiles, int gpus) {
+  const models::ModelGraph& model = profiles.model();
+  TrainingPlan plan;
+  plan.model_name = model.name();
+  plan.global_batch = profiles.options().global_batch;
+  plan.max_gpus = profiles.options().max_gpus;
+  plan.amp_limit = 0.0;
+  double iter = 0.0;
+  double single = 0.0;
+  for (const models::Layer& layer : model.layers()) {
+    LayerAssignment a;
+    a.layer = layer.id;
+    a.name = layer.name;
+    a.gpus = gpus;
+    a.comp_s = profiles.comp(layer.id, gpus);
+    a.sync_s = profiles.sync(layer.id, gpus);
+    a.comm_in_s = 0.0;  // the scale never changes in pure data parallelism
+    iter += a.active_s();
+    single += profiles.comp(layer.id, 1);
+    plan.assignments.push_back(std::move(a));
+  }
+  plan.est_iteration_s = iter;
+  plan.single_gpu_iteration_s = single;
+  return plan;
+}
+
+}  // namespace deeppool::core

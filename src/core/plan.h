@@ -1,0 +1,65 @@
+// Burst-parallel training plan.
+//
+// The planner's output: one GPU count per layer plus the estimated timing
+// breakdown. Plans serialize to JSON — the paper's cluster coordinator
+// receives "the training plan in JSON" (Fig. 6) — and round-trip losslessly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "models/graph.h"
+#include "util/json.h"
+
+namespace deeppool::core {
+
+/// Scaling decision and estimated per-iteration timing for one layer.
+struct LayerAssignment {
+  models::LayerId layer = -1;
+  std::string name;
+  int gpus = 1;
+  double comp_s = 0.0;     ///< forward+backward compute at the chosen scale
+  double sync_s = 0.0;     ///< gradient all-reduce
+  double comm_in_s = 0.0;  ///< resharding on the inbound edge
+  /// True if the planner scheduled this layer concurrently with the critical
+  /// branch of its block (it contributes GPU-sec but not iteration time).
+  bool concurrent = false;
+
+  double active_s() const noexcept { return comp_s + sync_s + comm_in_s; }
+};
+
+struct TrainingPlan {
+  std::string model_name;
+  std::int64_t global_batch = 0;
+  int max_gpus = 1;
+  double amp_limit = 0.0;  ///< 0 means "unlimited" (pure shortest-time)
+  std::vector<LayerAssignment> assignments;  // layer-id order
+
+  double est_iteration_s = 0.0;       ///< planner's critical-path estimate
+  double single_gpu_iteration_s = 0.0;
+
+  /// Aggregate active GPU time per iteration (the "GPU-sec" of §4).
+  double gpu_sec() const noexcept;
+  /// GPU-sec amplification relative to single-GPU execution.
+  double amplification() const noexcept;
+  /// Largest GPU count any layer uses.
+  int peak_gpus() const noexcept;
+  /// Estimated speedup over one GPU at the same global batch.
+  double est_speedup() const noexcept;
+
+  const LayerAssignment& assignment(models::LayerId id) const;
+
+  Json to_json() const;
+  static TrainingPlan from_json(const Json& j);
+
+  /// Human-readable per-layer table.
+  std::string to_table() const;
+};
+
+/// The paper's "DP" baseline: every layer data-parallel across `gpus`.
+/// Estimates use the same profile math as the planner.
+class ProfileSet;
+TrainingPlan data_parallel_plan(const ProfileSet& profiles, int gpus);
+
+}  // namespace deeppool::core

@@ -1,0 +1,131 @@
+#include "core/plan_validator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+namespace deeppool::core {
+
+bool ValidationReport::ok() const noexcept { return error_count() == 0; }
+
+std::size_t ValidationReport::error_count() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(issues.begin(), issues.end(), [](const PlanIssue& i) {
+        return i.severity == PlanIssue::Severity::kError;
+      }));
+}
+
+std::size_t ValidationReport::warning_count() const noexcept {
+  return issues.size() - error_count();
+}
+
+std::string ValidationReport::to_string() const {
+  std::ostringstream os;
+  os << (ok() ? "OK" : "REJECTED") << " (" << error_count() << " errors, "
+     << warning_count() << " warnings)\n";
+  for (const PlanIssue& i : issues) {
+    os << (i.severity == PlanIssue::Severity::kError ? "  error" : "  warn ");
+    if (i.layer >= 0) os << " [layer " << i.layer << "]";
+    os << ": " << i.message << '\n';
+  }
+  return os.str();
+}
+
+PlanValidator::PlanValidator(const ProfileSet& profiles)
+    : profiles_(profiles) {}
+
+ValidationReport PlanValidator::validate(const TrainingPlan& plan) const {
+  ValidationReport report;
+  auto error = [&](models::LayerId layer, std::string msg) {
+    report.issues.push_back(
+        PlanIssue{PlanIssue::Severity::kError, layer, std::move(msg)});
+  };
+  auto warn = [&](models::LayerId layer, std::string msg) {
+    report.issues.push_back(
+        PlanIssue{PlanIssue::Severity::kWarning, layer, std::move(msg)});
+  };
+
+  const models::ModelGraph& model = profiles_.model();
+  if (plan.model_name != model.name()) {
+    error(-1, "plan is for model '" + plan.model_name +
+                  "' but profiles describe '" + model.name() + "'");
+  }
+  if (plan.global_batch != profiles_.options().global_batch) {
+    error(-1, "plan global batch " + std::to_string(plan.global_batch) +
+                  " does not match profiled batch " +
+                  std::to_string(profiles_.options().global_batch));
+  }
+  if (plan.assignments.size() != model.size()) {
+    error(-1, "plan has " + std::to_string(plan.assignments.size()) +
+                  " assignments for " + std::to_string(model.size()) +
+                  " layers");
+  }
+
+  std::set<models::LayerId> seen;
+  for (const LayerAssignment& a : plan.assignments) {
+    if (a.layer < 0 || static_cast<std::size_t>(a.layer) >= model.size()) {
+      error(a.layer, "unknown layer id");
+      continue;
+    }
+    if (!seen.insert(a.layer).second) {
+      error(a.layer, "duplicate assignment");
+      continue;
+    }
+    if (a.gpus > profiles_.options().max_gpus) {
+      error(a.layer, "uses " + std::to_string(a.gpus) +
+                         " GPUs but the cluster has " +
+                         std::to_string(profiles_.options().max_gpus));
+      continue;
+    }
+    bool candidate = true;
+    try {
+      profiles_.candidate_index(a.gpus);
+    } catch (const std::invalid_argument&) {
+      candidate = false;
+    }
+    if (!candidate) {
+      error(a.layer, std::to_string(a.gpus) +
+                         " GPUs is not a search candidate (power-of-two "
+                         "counts up to the batch size)");
+      continue;
+    }
+    if (a.comp_s < 0 || a.sync_s < 0 || a.comm_in_s < 0) {
+      error(a.layer, "negative timing estimate");
+      continue;
+    }
+
+    // Amplification audit against the declared budget.
+    if (plan.amp_limit > 0 && a.gpus > 1) {
+      const double amp =
+          profiles_.amplification(a.layer, a.gpus, a.active_s());
+      // Algorithm 1's bestAmp relaxation legitimately exceeds the limit by a
+      // little when no configuration fits; flag anything beyond 1.25x.
+      if (amp > plan.amp_limit * 1.25) {
+        warn(a.layer, "GPU-sec amplification " + std::to_string(amp) +
+                          " exceeds the declared limit " +
+                          std::to_string(plan.amp_limit));
+      }
+    }
+
+    // Staleness check: the stored compute estimate should match the current
+    // profiles (it was produced from them; drift means the cost model or
+    // hardware description changed since planning).
+    const double fresh = profiles_.comp(a.layer, a.gpus);
+    if (a.comp_s > 0 && fresh > 0) {
+      const double ratio = a.comp_s / fresh;
+      if (ratio < 0.75 || ratio > 1.25) {
+        warn(a.layer,
+             "stored compute estimate differs from current profiles by " +
+                 std::to_string((ratio - 1.0) * 100.0) + "%");
+      }
+    }
+  }
+
+  if (report.ok() && plan.est_iteration_s <= 0) {
+    error(-1, "non-positive iteration estimate");
+  }
+  return report;
+}
+
+}  // namespace deeppool::core

@@ -1,0 +1,53 @@
+// Training-plan validation.
+//
+// The cluster coordinator (paper Fig. 6) receives plans as JSON from the
+// planner — or from users — and must reject malformed or unsafe ones before
+// placing them on GPUs. The validator checks structural integrity against
+// the model, search-space legality against the profiles, and audits the
+// GPU-sec amplification of every layer so operators can see where a plan
+// spends its efficiency budget.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/plan.h"
+#include "core/profile.h"
+
+namespace deeppool::core {
+
+struct PlanIssue {
+  enum class Severity { kError, kWarning };
+  Severity severity = Severity::kError;
+  models::LayerId layer = -1;  ///< -1 for plan-level issues
+  std::string message;
+};
+
+struct ValidationReport {
+  std::vector<PlanIssue> issues;
+
+  bool ok() const noexcept;  ///< no errors (warnings allowed)
+  std::size_t error_count() const noexcept;
+  std::size_t warning_count() const noexcept;
+  std::string to_string() const;
+};
+
+class PlanValidator {
+ public:
+  explicit PlanValidator(const ProfileSet& profiles);
+
+  /// Checks `plan` against the profiled model:
+  ///  errors  — wrong model name, missing/duplicate/unknown layers, GPU
+  ///            counts that are not search candidates or exceed the cluster,
+  ///            non-positive timing entries;
+  ///  warnings — per-layer amplification above the plan's declared limit
+  ///            (beyond the DP's relaxation tolerance), stale timing
+  ///            estimates that disagree with the current profiles by more
+  ///            than 25%.
+  ValidationReport validate(const TrainingPlan& plan) const;
+
+ private:
+  const ProfileSet& profiles_;
+};
+
+}  // namespace deeppool::core

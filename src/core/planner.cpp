@@ -1,0 +1,318 @@
+#include "core/planner.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace deeppool::core {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+using models::LayerId;
+using models::SpBlock;
+using models::SpChain;
+
+/// Solution for a (sub)problem: makespan plus every layer decision made
+/// inside it. Assignment vectors are copied during the DP; at the scales the
+/// paper evaluates (<= ~120 layers, <= 11 power-of-two candidates) this is
+/// well inside the millisecond budget of Table 3.
+struct Partial {
+  double time = kInf;
+  std::vector<LayerAssignment> assigns;
+
+  bool feasible() const noexcept { return time < kInf; }
+};
+
+/// Chain DP result: one Partial per candidate GPU count of the chain's last
+/// layer, plus T[last][g] for the caller's amplification checks.
+struct ChainSolution {
+  std::vector<Partial> by_last_gpus;
+  std::vector<double> last_T;
+};
+
+class Search {
+ public:
+  Search(const ProfileSet& profiles, double amp_limit)
+      : p_(profiles),
+        cands_(profiles.gpu_candidates()),
+        amp_limit_(amp_limit > 0 ? amp_limit : kInf) {}
+
+  TrainingPlan run() {
+    const SpChain top = models::decompose(p_.model());
+    const ChainSolution sol = solve_chain(top, /*src=*/-1, /*src_g=*/0);
+
+    // Final selection: shortest completion whose last layer obeys the
+    // amplification limit; if none does, fall back to the configuration with
+    // the smallest amplification (the paper's bestAmp relaxation).
+    const LayerId last = top.layers.back();
+    int best = -1;
+    int fallback = -1;
+    double fallback_amp = kInf;
+    for (std::size_t ci = 0; ci < cands_.size(); ++ci) {
+      if (!sol.by_last_gpus[ci].feasible()) continue;
+      const double amp = p_.amplification(last, cands_[ci], sol.last_T[ci]);
+      if (amp <= amp_limit_) {
+        if (best < 0 ||
+            sol.by_last_gpus[ci].time <
+                sol.by_last_gpus[static_cast<std::size_t>(best)].time) {
+          best = static_cast<int>(ci);
+        }
+      }
+      if (amp < fallback_amp) {
+        fallback_amp = amp;
+        fallback = static_cast<int>(ci);
+      }
+    }
+    if (best < 0) best = fallback;
+    if (best < 0) throw std::logic_error("planner found no feasible plan");
+
+    const Partial& chosen = sol.by_last_gpus[static_cast<std::size_t>(best)];
+    TrainingPlan plan;
+    plan.model_name = p_.model().name();
+    plan.global_batch = p_.options().global_batch;
+    plan.max_gpus = p_.options().max_gpus;
+    plan.amp_limit = amp_limit_ == kInf ? 0.0 : amp_limit_;
+    plan.assignments = chosen.assigns;
+    std::sort(plan.assignments.begin(), plan.assignments.end(),
+              [](const LayerAssignment& a, const LayerAssignment& b) {
+                return a.layer < b.layer;
+              });
+    if (plan.assignments.size() != p_.model().size()) {
+      throw std::logic_error("planner produced " +
+                             std::to_string(plan.assignments.size()) +
+                             " assignments for " +
+                             std::to_string(p_.model().size()) + " layers");
+    }
+    plan.est_iteration_s = chosen.time;
+    double single = 0.0;
+    for (const models::Layer& l : p_.model().layers()) {
+      single += p_.comp(l.id, 1);
+    }
+    plan.single_gpu_iteration_s = single;
+    return plan;
+  }
+
+ private:
+  /// Algorithm 1 over one chain. `src` (with GPU count `src_g`) is the
+  /// virtual predecessor for branch chains — the block's branching layer —
+  /// charged as inbound comm on the chain's first layer; src = -1 for the
+  /// top-level chain.
+  ChainSolution solve_chain(const SpChain& chain, LayerId src, int src_g) {
+    if (chain.layers.empty()) {
+      throw std::logic_error("solve_chain on empty chain");
+    }
+    const std::size_t L = chain.layers.size();
+    const std::size_t C = cands_.size();
+
+    std::vector<std::vector<Partial>> S(L, std::vector<Partial>(C));
+    std::vector<std::vector<double>> T(L, std::vector<double>(C, kInf));
+
+    for (std::size_t k = 0; k < L; ++k) {
+      const LayerId layer = chain.layers[k];
+      for (std::size_t ci = 0; ci < C; ++ci) {
+        const int g = cands_[ci];
+        const double node_cost = p_.comp(layer, g) + p_.sync(layer, g);
+        LayerAssignment self;
+        self.layer = layer;
+        self.name = p_.model().layer(layer).name;
+        self.gpus = g;
+        self.comp_s = p_.comp(layer, g);
+        self.sync_s = p_.sync(layer, g);
+
+        if (k == 0) {
+          const double edge = src < 0 ? 0.0 : p_.comm(src, src_g, g);
+          self.comm_in_s = edge;
+          S[k][ci].time = edge + node_cost;
+          S[k][ci].assigns = {self};
+          T[k][ci] = edge + node_cost;
+          continue;
+        }
+
+        const LayerId prev = chain.layers[k - 1];
+        const SpBlock* block = chain.edges[k - 1].get();
+
+        // Algorithm 1 inner loop: scan previous-layer configurations h,
+        // accepting those whose amplification is within the allowance (or
+        // improves the best seen so far — the paper's relaxation that
+        // guarantees progress when nothing fits the limit).
+        double best_amp = kInf;
+        double best_S = kInf;
+        int best_h = -1;
+        double best_edge = kInf;
+        const Partial* best_block_partial = nullptr;
+        for (std::size_t hi = 0; hi < C; ++hi) {
+          if (!S[k - 1][hi].feasible()) continue;
+          const int h = cands_[hi];
+          const double amp_prev = p_.amplification(prev, h, T[k - 1][hi]);
+          if (amp_prev > std::max(best_amp, amp_limit_)) continue;
+          double edge_cost;
+          const Partial* block_partial = nullptr;
+          if (block != nullptr) {
+            const Partial& bp = block_cost(*block, prev, hi, ci);
+            if (!bp.feasible()) continue;
+            edge_cost = bp.time;
+            block_partial = &bp;
+          } else {
+            edge_cost = p_.comm(prev, h, g);
+          }
+          if (S[k - 1][hi].time + edge_cost <= best_S) {
+            best_S = S[k - 1][hi].time + edge_cost;
+            best_h = static_cast<int>(hi);
+            best_edge = edge_cost;
+            best_block_partial = block_partial;
+          }
+          best_amp = std::min(best_amp, amp_prev);
+        }
+        if (best_h < 0) continue;  // infeasible cell
+
+        self.comm_in_s = block != nullptr ? 0.0 : best_edge;
+        S[k][ci].time = best_S + node_cost;
+        S[k][ci].assigns = S[k - 1][static_cast<std::size_t>(best_h)].assigns;
+        if (best_block_partial != nullptr) {
+          S[k][ci].assigns.insert(S[k][ci].assigns.end(),
+                                  best_block_partial->assigns.begin(),
+                                  best_block_partial->assigns.end());
+        }
+        S[k][ci].assigns.push_back(self);
+        // T counts the layer's own time plus its inbound plain edge. Block
+        // interiors are amplification-checked within their own chains, so a
+        // block edge contributes no T to the join layer.
+        T[k][ci] = (block != nullptr ? 0.0 : best_edge) + node_cost;
+      }
+    }
+
+    ChainSolution sol;
+    sol.by_last_gpus = std::move(S.back());
+    sol.last_T = std::move(T.back());
+    return sol;
+  }
+
+  /// Reduced cost of a branch/join block between `u` (branching layer,
+  /// candidate index ui) and the joining layer at candidate index vi.
+  /// Memoized per block instance: the table depends only on the block's own
+  /// endpoint configurations, never on the surrounding chain's DP state.
+  const Partial& block_cost(const SpBlock& block, LayerId u, std::size_t ui,
+                            std::size_t vi) {
+    const std::size_t C = cands_.size();
+    auto [it, inserted] = block_memo_.try_emplace(&block);
+    if (inserted) it->second.assign(C * C, MemoCell{});
+    MemoCell& cell = it->second[ui * C + vi];
+    if (!cell.done) {
+      cell.partial = compute_block(block, u, cands_[ui], cands_[vi]);
+      cell.done = true;
+    }
+    return cell.partial;
+  }
+
+  /// Fig. 7 step 1+2: fix the branching layer's GPU count, run the linear
+  /// search on every branch, then let the joining layer pick the critical
+  /// branch and decide which non-critical branches run concurrently.
+  Partial compute_block(const SpBlock& block, LayerId u, int g_u, int g_v) {
+    struct BranchResult {
+      double time = 0.0;          // sequential completion time
+      std::vector<LayerAssignment> assigns;
+      int gpus = 0;               // widest scaling inside the branch
+    };
+    std::vector<BranchResult> results;
+    results.reserve(block.branches.size());
+
+    for (const SpChain& branch : block.branches) {
+      BranchResult r;
+      if (branch.empty()) {
+        // Identity shortcut: the branching layer's activation is resharded
+        // straight to the join's GPU set.
+        r.time = p_.comm(u, g_u, g_v);
+        r.gpus = 0;
+      } else {
+        const ChainSolution sol = solve_chain(branch, u, g_u);
+        const LayerId last = branch.layers.back();
+        double best = kInf;
+        std::size_t best_hi = 0;
+        for (std::size_t hi = 0; hi < cands_.size(); ++hi) {
+          if (!sol.by_last_gpus[hi].feasible()) continue;
+          const double amp = p_.amplification(last, cands_[hi], sol.last_T[hi]);
+          if (amp > amp_limit_) continue;
+          const double t =
+              sol.by_last_gpus[hi].time + p_.comm(last, cands_[hi], g_v);
+          if (t < best) {
+            best = t;
+            best_hi = hi;
+          }
+        }
+        if (best == kInf) {
+          // Relaxation: ignore the limit rather than fail the whole block.
+          for (std::size_t hi = 0; hi < cands_.size(); ++hi) {
+            if (!sol.by_last_gpus[hi].feasible()) continue;
+            const double t =
+                sol.by_last_gpus[hi].time + p_.comm(last, cands_[hi], g_v);
+            if (t < best) {
+              best = t;
+              best_hi = hi;
+            }
+          }
+        }
+        if (best == kInf) return Partial{};  // infeasible block
+        r.time = best;
+        r.assigns = sol.by_last_gpus[best_hi].assigns;
+        for (const LayerAssignment& a : r.assigns) {
+          r.gpus = std::max(r.gpus, a.gpus);
+        }
+      }
+      results.push_back(std::move(r));
+    }
+
+    // Critical-branch merge: the longest branch defines the block time; any
+    // other branch may run concurrently on a disjoint GPU set if migrating
+    // its input there (and back) does not make it the new critical path and
+    // the cluster has GPUs left.
+    std::size_t crit = 0;
+    for (std::size_t i = 1; i < results.size(); ++i) {
+      if (results[i].time > results[crit].time) crit = i;
+    }
+    Partial out;
+    out.time = results[crit].time;
+    int used_gpus = results[crit].gpus;
+    const double migration = p_.comm(u, g_u, 1, /*disjoint=*/true);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      if (i == crit) continue;
+      BranchResult& r = results[i];
+      const bool fits = used_gpus + r.gpus <= p_.options().max_gpus;
+      const bool no_slowdown = r.time + migration <= out.time;
+      if (fits && no_slowdown) {
+        used_gpus += r.gpus;
+        for (LayerAssignment& a : r.assigns) a.concurrent = true;
+      } else {
+        out.time += r.time;
+      }
+    }
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      out.assigns.insert(out.assigns.end(), results[i].assigns.begin(),
+                         results[i].assigns.end());
+    }
+    return out;
+  }
+
+  struct MemoCell {
+    Partial partial;
+    bool done = false;
+  };
+
+  const ProfileSet& p_;
+  const std::vector<int>& cands_;
+  double amp_limit_;
+  std::unordered_map<const SpBlock*, std::vector<MemoCell>> block_memo_;
+};
+
+}  // namespace
+
+Planner::Planner(const ProfileSet& profiles) : profiles_(profiles) {}
+
+TrainingPlan Planner::plan(const PlannerOptions& options) const {
+  Search search(profiles_, options.amp_limit);
+  return search.run();
+}
+
+}  // namespace deeppool::core

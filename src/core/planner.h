@@ -1,0 +1,46 @@
+// Burst parallel training planner (§4 of the paper).
+//
+// Given per-layer profiles and a GPU-sec amplification limit, finds a GPU
+// count for every layer that minimizes iteration time:
+//
+//   * Linear chains: the dynamic program of Algorithm 1. S[i][g] is the
+//     shortest time to complete layers 1..i with layer i scaled to g GPUs;
+//     T[i][g] the time spent on layer i itself (compute + sync + inbound
+//     comm), which defines the layer's GPU-sec amplification
+//     Amp(i,g) = T[i][g] * g / comp(i,1). Transitions out of layer i-1 are
+//     only taken from configurations within the amplification allowance
+//     (with the paper's min-amplification fallback when none qualifies).
+//
+//   * Branch/join graphs (Fig. 7): blocks between a branching layer and its
+//     joining layer are reduced to single edges whose cost table
+//     tr(u,g)->(v,h) comes from running the chain DP on every branch with
+//     the branching layer's GPU count fixed. The join then identifies the
+//     critical branch and runs each non-critical branch concurrently on
+//     disjoint GPUs when that neither lengthens the iteration nor exceeds
+//     the GPU budget. Nested blocks (Inception-E) are handled recursively
+//     and memoized.
+#pragma once
+
+#include "core/plan.h"
+#include "core/profile.h"
+#include "models/sp_tree.h"
+
+namespace deeppool::core {
+
+struct PlannerOptions {
+  /// GPU-sec amplification allowance per layer; <= 0 means unlimited.
+  double amp_limit = 1.5;
+};
+
+class Planner {
+ public:
+  explicit Planner(const ProfileSet& profiles);
+
+  /// Finds the best burst-parallel plan under `options.amp_limit`.
+  TrainingPlan plan(const PlannerOptions& options = {}) const;
+
+ private:
+  const ProfileSet& profiles_;
+};
+
+}  // namespace deeppool::core

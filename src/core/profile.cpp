@@ -1,0 +1,108 @@
+#include "core/profile.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace deeppool::core {
+
+namespace {
+
+std::vector<int> make_candidates(const ProfileOptions& options) {
+  if (options.max_gpus < 1) throw std::invalid_argument("max_gpus must be >= 1");
+  if (options.global_batch < 1) {
+    throw std::invalid_argument("global_batch must be >= 1");
+  }
+  std::vector<int> cands;
+  if (options.pow2_only) {
+    for (int g = 1; g <= options.max_gpus; g *= 2) cands.push_back(g);
+  } else {
+    for (int g = 1; g <= options.max_gpus; ++g) cands.push_back(g);
+  }
+  // Never scale a layer beyond one sample per GPU.
+  std::erase_if(cands, [&](int g) {
+    return static_cast<std::int64_t>(g) > options.global_batch;
+  });
+  if (cands.empty()) cands.push_back(1);
+  return cands;
+}
+
+}  // namespace
+
+ProfileSet::ProfileSet(const models::ModelGraph& model,
+                       const models::CostModel& cost,
+                       const net::NetworkModel& network,
+                       ProfileOptions options)
+    : model_(&model),
+      network_(&network),
+      options_(options),
+      cands_(make_candidates(options)) {
+  comp_.resize(model.size());
+  sync_.resize(model.size());
+  act_bytes_.resize(model.size());
+  for (const models::Layer& layer : model.layers()) {
+    auto& comp_row = comp_[static_cast<std::size_t>(layer.id)];
+    auto& sync_row = sync_[static_cast<std::size_t>(layer.id)];
+    comp_row.reserve(cands_.size());
+    sync_row.reserve(cands_.size());
+    for (const int g : cands_) {
+      comp_row.push_back(cost.layer_time(layer, per_gpu_batch(g)).total());
+      sync_row.push_back(network.allreduce_time(cost.grad_bytes(layer), g));
+    }
+    act_bytes_[static_cast<std::size_t>(layer.id)] =
+        cost.activation_bytes_per_sample(layer);
+  }
+}
+
+int ProfileSet::candidate_index(int g) const {
+  const auto it = std::find(cands_.begin(), cands_.end(), g);
+  if (it == cands_.end()) {
+    throw std::invalid_argument("GPU count " + std::to_string(g) +
+                                " is not a search candidate");
+  }
+  return static_cast<int>(it - cands_.begin());
+}
+
+std::int64_t ProfileSet::per_gpu_batch(int g) const {
+  if (g < 1) throw std::invalid_argument("gpu count must be >= 1");
+  return (options_.global_batch + g - 1) / g;
+}
+
+double ProfileSet::comp(models::LayerId i, int g) const {
+  return comp_[static_cast<std::size_t>(i)]
+               [static_cast<std::size_t>(candidate_index(g))];
+}
+
+double ProfileSet::sync(models::LayerId i, int g) const {
+  return sync_[static_cast<std::size_t>(i)]
+               [static_cast<std::size_t>(candidate_index(g))];
+}
+
+double ProfileSet::comm(models::LayerId from, int g, int h,
+                        bool disjoint) const {
+  // Samples leaving the data-loading input layer can be routed to any GPU by
+  // the loader; the planner charges nothing for them.
+  if (model_->layer(from).kind == models::LayerKind::kInput) return 0.0;
+  const std::int64_t bytes = act_bytes_[static_cast<std::size_t>(from)];
+  double t;
+  if (disjoint) {
+    // Full migration: every sample crosses the network; the busiest link
+    // carries the per-GPU share of the source set.
+    const std::int64_t link_bytes =
+        bytes * (options_.global_batch / std::max<std::int64_t>(1, g));
+    t = network_->transfer_time(link_bytes);
+  } else {
+    t = network_->reshard_time(bytes, options_.global_batch, g, h);
+  }
+  // The same bytes flow backwards as activation gradients in the backward
+  // pass (§4.1 "as do gradients during backward passes").
+  return 2.0 * t;
+}
+
+double ProfileSet::amplification(models::LayerId i, int g,
+                                 double layer_time) const {
+  const double base = comp(i, 1);
+  if (base <= 0.0) return 1.0;  // zero-cost layers (input) never amplify
+  return layer_time * static_cast<double>(g) / base;
+}
+
+}  // namespace deeppool::core

@@ -1,0 +1,74 @@
+// Layer profiles: the planner's view of the hardware.
+//
+// §4.1 of the paper: "the planner profiles the computation costs of each
+// layer with every possible degree of scaling" and uses a simple network
+// model for communication. ProfileSet precomputes, for every layer i and
+// candidate GPU count g:
+//
+//   comp(i,g)  forward+backward compute time at per-GPU batch ceil(B/g)
+//   sync(i,g)  gradient all-reduce time across g GPUs
+//   comm(i,g)->(j,h)  activation + backprop resharding time when the scale
+//                     changes between consecutive layers
+//
+// Candidate GPU counts are powers of two by default (paper §7.4 limits the
+// search space this way), capped by the global batch size so every GPU gets
+// at least one sample.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "models/cost_model.h"
+#include "models/graph.h"
+#include "net/network_model.h"
+
+namespace deeppool::core {
+
+struct ProfileOptions {
+  int max_gpus = 8;
+  std::int64_t global_batch = 32;
+  bool pow2_only = true;  ///< restrict candidates to powers of two (§7.4)
+};
+
+class ProfileSet {
+ public:
+  ProfileSet(const models::ModelGraph& model, const models::CostModel& cost,
+             const net::NetworkModel& network, ProfileOptions options);
+
+  const models::ModelGraph& model() const noexcept { return *model_; }
+  const ProfileOptions& options() const noexcept { return options_; }
+
+  /// Candidate GPU counts in increasing order (always starts at 1).
+  const std::vector<int>& gpu_candidates() const noexcept { return cands_; }
+  /// Index of `g` in gpu_candidates(); throws std::invalid_argument if `g`
+  /// is not a candidate.
+  int candidate_index(int g) const;
+
+  /// Per-GPU batch when the global batch is split across g GPUs (>= 1).
+  std::int64_t per_gpu_batch(int g) const;
+
+  /// Forward+backward compute time of layer i at scale g.
+  double comp(models::LayerId i, int g) const;
+  /// Gradient synchronization time of layer i at scale g.
+  double sync(models::LayerId i, int g) const;
+  /// Activation + gradient resharding time between consecutive layers when
+  /// the scale changes from g to h. `disjoint` charges a full migration to a
+  /// fresh GPU set (used when a branch runs concurrently with the critical
+  /// branch on different GPUs, §4.2).
+  double comm(models::LayerId from, int g, int h, bool disjoint = false) const;
+
+  /// GPU-sec amplification of running layer i at scale g for `layer_time`
+  /// seconds: Amp = layer_time * g / comp(i, 1)  (§4 definition).
+  double amplification(models::LayerId i, int g, double layer_time) const;
+
+ private:
+  const models::ModelGraph* model_;
+  const net::NetworkModel* network_;
+  ProfileOptions options_;
+  std::vector<int> cands_;
+  std::vector<std::vector<double>> comp_;  // [layer][cand]
+  std::vector<std::vector<double>> sync_;  // [layer][cand]
+  std::vector<std::int64_t> act_bytes_;    // per-sample output activation
+};
+
+}  // namespace deeppool::core

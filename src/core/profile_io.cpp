@@ -1,0 +1,98 @@
+#include "core/profile_io.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace deeppool::core {
+
+Json profiles_to_json(const ProfileSet& profiles) {
+  Json j;
+  j["model"] = Json(profiles.model().name());
+  j["max_gpus"] = Json(profiles.options().max_gpus);
+  j["global_batch"] = Json(profiles.options().global_batch);
+  j["pow2_only"] = Json(profiles.options().pow2_only);
+  Json::Array cands;
+  for (int g : profiles.gpu_candidates()) cands.push_back(Json(g));
+  j["gpu_candidates"] = Json(std::move(cands));
+
+  Json::Array comp_rows;
+  Json::Array sync_rows;
+  for (const models::Layer& layer : profiles.model().layers()) {
+    Json::Array comp_row;
+    Json::Array sync_row;
+    for (int g : profiles.gpu_candidates()) {
+      comp_row.push_back(Json(profiles.comp(layer.id, g)));
+      sync_row.push_back(Json(profiles.sync(layer.id, g)));
+    }
+    comp_rows.push_back(Json(std::move(comp_row)));
+    sync_rows.push_back(Json(std::move(sync_row)));
+  }
+  j["comp_s"] = Json(std::move(comp_rows));
+  j["sync_s"] = Json(std::move(sync_rows));
+  return j;
+}
+
+RecordedProfiles RecordedProfiles::from_json(const Json& j) {
+  RecordedProfiles rec;
+  rec.options.max_gpus = static_cast<int>(j.at("max_gpus").as_int());
+  rec.options.global_batch = j.at("global_batch").as_int();
+  rec.options.pow2_only = j.at("pow2_only").as_bool();
+  for (const Json& g : j.at("gpu_candidates").as_array()) {
+    rec.gpu_candidates.push_back(static_cast<int>(g.as_int()));
+  }
+  if (rec.gpu_candidates.empty() ||
+      !std::is_sorted(rec.gpu_candidates.begin(), rec.gpu_candidates.end()) ||
+      std::adjacent_find(rec.gpu_candidates.begin(),
+                         rec.gpu_candidates.end()) !=
+          rec.gpu_candidates.end()) {
+    throw std::runtime_error("profile: candidate list must be increasing");
+  }
+  auto load_table = [&](const char* key) {
+    std::vector<std::vector<double>> table;
+    for (const Json& row : j.at(key).as_array()) {
+      std::vector<double> r;
+      for (const Json& v : row.as_array()) {
+        const double s = v.as_number();
+        if (s < 0 || !std::isfinite(s)) {
+          throw std::runtime_error(std::string("profile: bad entry in ") + key);
+        }
+        r.push_back(s);
+      }
+      if (r.size() != rec.gpu_candidates.size()) {
+        throw std::runtime_error(std::string("profile: ragged row in ") + key);
+      }
+      table.push_back(std::move(r));
+    }
+    return table;
+  };
+  rec.comp = load_table("comp_s");
+  rec.sync = load_table("sync_s");
+  if (rec.comp.size() != rec.sync.size()) {
+    throw std::runtime_error("profile: comp/sync layer count mismatch");
+  }
+  return rec;
+}
+
+double RecordedProfiles::max_relative_drift(const ProfileSet& fresh) const {
+  if (comp.size() != fresh.model().size()) {
+    throw std::invalid_argument("recorded profile is for a different model");
+  }
+  if (gpu_candidates != fresh.gpu_candidates()) {
+    throw std::invalid_argument("recorded profile has different candidates");
+  }
+  double drift = 0.0;
+  for (std::size_t layer = 0; layer < comp.size(); ++layer) {
+    for (std::size_t ci = 0; ci < gpu_candidates.size(); ++ci) {
+      const double now = fresh.comp(static_cast<models::LayerId>(layer),
+                                    gpu_candidates[ci]);
+      const double then = comp[layer][ci];
+      if (now <= 0 && then <= 0) continue;
+      const double base = std::max(now, then);
+      drift = std::max(drift, std::abs(now - then) / base);
+    }
+  }
+  return drift;
+}
+
+}  // namespace deeppool::core

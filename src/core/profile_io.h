@@ -1,0 +1,39 @@
+// Profile serialization.
+//
+// The paper's planner "initially profiles each layer with different batch
+// sizes" and the performance monitor "may be fed back to the planner" (Fig.
+// 6, a manual loop in their prototype). ProfileSet normally derives its
+// tables from the analytic cost model; these helpers export the tables to
+// JSON and re-import measured ones, so externally profiled numbers (or the
+// runtime monitor's observations) can drive planning.
+#pragma once
+
+#include "core/profile.h"
+#include "util/json.h"
+
+namespace deeppool::core {
+
+/// Dumps every comp/sync entry of `profiles` plus its search options.
+Json profiles_to_json(const ProfileSet& profiles);
+
+/// A measured profile table loaded from JSON. Interface-compatible with the
+/// planner's needs via ProfileSet construction from recorded values.
+struct RecordedProfiles {
+  ProfileOptions options;
+  std::vector<int> gpu_candidates;
+  /// comp[layer][candidate-index], sync[layer][candidate-index], seconds.
+  std::vector<std::vector<double>> comp;
+  std::vector<std::vector<double>> sync;
+
+  /// Parses the format produced by profiles_to_json(). Throws
+  /// std::runtime_error on malformed documents (missing keys, ragged rows,
+  /// non-increasing candidate lists).
+  static RecordedProfiles from_json(const Json& j);
+
+  /// Verifies the recorded table matches `model` (row count) and returns the
+  /// largest relative deviation from `fresh`'s comp entries — the staleness
+  /// metric the coordinator uses to decide whether to re-plan.
+  double max_relative_drift(const ProfileSet& fresh) const;
+};
+
+}  // namespace deeppool::core

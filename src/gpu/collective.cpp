@@ -1,0 +1,35 @@
+#include "gpu/collective.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace deeppool::gpu {
+
+Collective::Collective(sim::Simulator& sim, int participants,
+                       double base_duration_s)
+    : sim_(sim), participants_(participants), base_duration_s_(base_duration_s) {
+  if (participants < 1) {
+    throw std::invalid_argument("collective needs >= 1 participant");
+  }
+  if (base_duration_s < 0) {
+    throw std::invalid_argument("negative collective duration");
+  }
+}
+
+void Collective::arrive(double interference_factor,
+                        std::function<void()> on_complete) {
+  if (started_) throw std::logic_error("arrival after collective started");
+  if (interference_factor < 1.0) interference_factor = 1.0;
+  worst_factor_ = std::max(worst_factor_, interference_factor);
+  callbacks_.push_back(std::move(on_complete));
+  if (static_cast<int>(callbacks_.size()) < participants_) return;
+
+  started_ = true;
+  effective_duration_ = base_duration_s_ * worst_factor_;
+  sim_.schedule_after(effective_duration_, [this] {
+    finished_ = true;
+    for (auto& cb : callbacks_) cb();
+  });
+}
+
+}  // namespace deeppool::gpu

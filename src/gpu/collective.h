@@ -1,0 +1,46 @@
+// Cross-device collective synchronization (NCCL all-reduce analogue).
+//
+// A Collective is a barrier-plus-timer shared by one comm op on each
+// participating device: the operation starts timing once every rank has
+// arrived, runs for base_duration scaled by the worst per-rank interference
+// factor (the slowest rank gates the ring), then completes on all ranks at
+// once.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace deeppool::gpu {
+
+class Collective {
+ public:
+  /// `participants`: number of ranks that must arrive.
+  Collective(sim::Simulator& sim, int participants, double base_duration_s);
+
+  /// Rank arrival. `interference_factor` >= 1 is the rank's local slowdown
+  /// estimate; `on_complete` fires when the collective finishes. Throws
+  /// std::logic_error on over-arrival.
+  void arrive(double interference_factor, std::function<void()> on_complete);
+
+  int arrived() const noexcept { return static_cast<int>(callbacks_.size()); }
+  int participants() const noexcept { return participants_; }
+  bool started() const noexcept { return started_; }
+  bool finished() const noexcept { return finished_; }
+  /// Duration actually charged (valid once started).
+  double effective_duration() const noexcept { return effective_duration_; }
+
+ private:
+  sim::Simulator& sim_;
+  int participants_;
+  double base_duration_s_;
+  double worst_factor_ = 1.0;
+  double effective_duration_ = 0.0;
+  bool started_ = false;
+  bool finished_ = false;
+  std::vector<std::function<void()>> callbacks_;
+};
+
+}  // namespace deeppool::gpu

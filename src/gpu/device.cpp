@@ -1,0 +1,245 @@
+#include "gpu/device.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace deeppool::gpu {
+
+Device::Device(sim::Simulator& sim, DeviceConfig config, int device_id)
+    : sim_(sim), config_(config), id_(device_id), free_sms_(config.sm_count) {
+  if (config.sm_count < 1) throw std::invalid_argument("sm_count must be >= 1");
+  if (config.driver_entry_s < 0) {
+    throw std::invalid_argument("negative driver service time");
+  }
+}
+
+StreamId Device::create_stream(int priority) {
+  streams_.push_back(Stream{priority, {}});
+  held_by_stream_.push_back(0);
+  sm_seconds_.push_back(0.0);
+  ops_done_.push_back(0);
+  return static_cast<StreamId>(streams_.size()) - 1;
+}
+
+int Device::stream_priority(StreamId s) const {
+  return streams_.at(static_cast<std::size_t>(s)).priority;
+}
+
+void Device::launch(StreamId stream, OpDesc op,
+                    std::function<void()> on_complete) {
+  std::vector<LaunchItem> items;
+  items.push_back(LaunchItem{std::move(op), std::move(on_complete)});
+  launch_batch(stream, std::move(items));
+}
+
+void Device::launch_batch(StreamId stream, std::vector<LaunchItem> items) {
+  if (stream < 0 || static_cast<std::size_t>(stream) >= streams_.size()) {
+    throw std::invalid_argument("unknown stream");
+  }
+  if (items.empty()) throw std::invalid_argument("empty launch batch");
+  for (const LaunchItem& item : items) {
+    if (item.op.type == OpType::kKernel && item.op.blocks < 1) {
+      throw std::invalid_argument("kernel needs >= 1 block");
+    }
+  }
+  queue_.push_back(PendingLaunch{stream, std::move(items)});
+  pump_queue();
+}
+
+std::size_t Device::transmission_queue_depth() const noexcept {
+  return queue_.size();
+}
+
+void Device::pump_queue() {
+  if (queue_busy_ || queue_.empty()) return;
+  queue_busy_ = true;
+  // The shared transmission queue services entries strictly in FIFO order
+  // with no priority awareness — the §5 head-of-line blocking hazard.
+  sim_.schedule_after(config_.driver_entry_s, [this] {
+    PendingLaunch entry = std::move(queue_.front());
+    queue_.pop_front();
+    Stream& s = streams_[static_cast<std::size_t>(entry.stream)];
+    for (LaunchItem& item : entry.items) {
+      ExecOp op;
+      op.desc = std::move(item.op);
+      op.on_complete = std::move(item.on_complete);
+      op.blocks_remaining = op.desc.type == OpType::kKernel ? op.desc.blocks : 0;
+      s.ready.push_back(std::move(op));
+    }
+    queue_busy_ = false;
+    pump_queue();
+    dispatch();
+  });
+}
+
+bool Device::stream_paused(const Stream& s) const {
+  return pause_active_ && s.priority < pause_threshold_;
+}
+
+double Device::interference_factor(StreamId sid, double sensitivity) const {
+  if (sensitivity <= 0.0) return 1.0;
+  const double other = static_cast<double>(busy_sms_excluding(sid));
+  const double frac = other / static_cast<double>(config_.sm_count);
+  return 1.0 + sensitivity * frac;
+}
+
+int Device::busy_sms_excluding(StreamId s) const {
+  int total = 0;
+  for (std::size_t i = 0; i < held_by_stream_.size(); ++i) {
+    if (static_cast<StreamId>(i) != s) total += held_by_stream_[i];
+  }
+  return total;
+}
+
+void Device::dispatch() {
+  // Visit streams best-priority first. Equal priorities (including the case
+  // where the device ignores priorities entirely — Fig. 11's "naive
+  // collocation") are served round-robin so no stream is systematically
+  // favored by creation order.
+  std::vector<std::size_t> order(streams_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = (i + rr_counter_) % order.size();
+  }
+  ++rr_counter_;
+  if (config_.honor_stream_priorities) {
+    std::stable_sort(order.begin(), order.end(),
+                     [this](std::size_t a, std::size_t b) {
+                       return streams_[a].priority > streams_[b].priority;
+                     });
+  }
+
+  for (const std::size_t si : order) {
+    Stream& s = streams_[si];
+    if (s.ready.empty() || stream_paused(s)) continue;
+    ExecOp& op = s.ready.front();
+    const auto sid = static_cast<StreamId>(si);
+
+    // Slowdown-feedback gate: a flagged op pauses lower-priority dispatch
+    // from the moment it reaches the stream head until it completes.
+    if (op.desc.pause_low_priority && !op.pause_applied) {
+      op.pause_applied = true;
+      ++op_pause_requests_;
+      pause_active_ = true;
+      pause_threshold_ = s.priority;
+    }
+
+    switch (op.desc.type) {
+      case OpType::kDelay: {
+        if (op.comm_started) break;
+        op.comm_started = true;
+        op.exec_start = sim_.now();
+        sim_.schedule_after(op.desc.base_duration_s,
+                            [this, sid] { finish_front(sid); });
+        break;
+      }
+      case OpType::kComm: {
+        if (op.comm_started || free_sms_ < 1) break;
+        const int grant = std::min(op.desc.comm_sms, free_sms_);
+        free_sms_ -= grant;
+        held_by_stream_[si] += grant;
+        op.held_sms = grant;
+        op.comm_started = true;
+        op.exec_start = sim_.now();
+        const double factor =
+            interference_factor(sid, op.desc.interference_sensitivity);
+        const double start = sim_.now();
+        auto complete = [this, sid, si, grant, start] {
+          free_sms_ += grant;
+          held_by_stream_[si] -= grant;
+          sm_seconds_[si] += static_cast<double>(grant) * (sim_.now() - start);
+          finish_front(sid);
+        };
+        if (op.desc.collective) {
+          op.desc.collective->arrive(factor, std::move(complete));
+        } else {
+          sim_.schedule_after(op.desc.base_duration_s * factor,
+                              std::move(complete));
+        }
+        break;
+      }
+      case OpType::kKernel: {
+        while (op.blocks_remaining > 0 && free_sms_ > 0) {
+          int group = std::min(op.blocks_remaining, free_sms_);
+          if (op.desc.max_concurrency > 0) {
+            group = std::min(group,
+                             op.desc.max_concurrency - op.blocks_in_flight);
+          }
+          if (group <= 0) break;
+          if (op.exec_start < 0) op.exec_start = sim_.now();
+          op.blocks_remaining -= group;
+          op.blocks_in_flight += group;
+          op.groups_in_flight += 1;
+          free_sms_ -= group;
+          held_by_stream_[si] += group;
+          const double dur = op.desc.block_s;
+          sim_.schedule_after(dur, [this, sid, si, group, dur] {
+            free_sms_ += group;
+            held_by_stream_[si] -= group;
+            sm_seconds_[si] += static_cast<double>(group) * dur;
+            Stream& st = streams_[si];
+            if (!st.ready.empty()) {
+              ExecOp& front = st.ready.front();
+              front.groups_in_flight -= 1;
+              front.blocks_in_flight -= group;
+              if (front.blocks_remaining == 0 && front.groups_in_flight == 0) {
+                finish_front(sid);
+                return;  // finish_front already re-dispatched
+              }
+            }
+            dispatch();
+          });
+        }
+        break;
+      }
+    }
+  }
+}
+
+void Device::finish_front(StreamId sid) {
+  Stream& s = streams_[static_cast<std::size_t>(sid)];
+  if (s.ready.empty()) throw std::logic_error("finish_front on empty stream");
+  ExecOp op = std::move(s.ready.front());
+  s.ready.pop_front();
+  ops_done_[static_cast<std::size_t>(sid)] += 1;
+  if (op.pause_applied) {
+    --op_pause_requests_;
+    if (op_pause_requests_ == 0) pause_active_ = false;
+  }
+  const double exec_start = op.exec_start >= 0 ? op.exec_start : sim_.now();
+  if (op.desc.on_measured) op.desc.on_measured(sim_.now() - exec_start);
+  if (trace_ != nullptr) {
+    const char* cat = op.desc.type == OpType::kComm ? "comm"
+                      : op.desc.type == OpType::kDelay ? "delay"
+                                                       : "kernel";
+    trace_->record(id_, sid, op.desc.name, cat, exec_start,
+                   sim_.now() - exec_start);
+  }
+  if (op.on_complete) op.on_complete();
+  dispatch();
+}
+
+void Device::pause_priority_below(int threshold) {
+  pause_active_ = true;
+  pause_threshold_ = threshold;
+}
+
+void Device::resume_all() {
+  pause_active_ = false;
+  dispatch();
+}
+
+double Device::sm_seconds(StreamId s) const {
+  return sm_seconds_.at(static_cast<std::size_t>(s));
+}
+
+double Device::total_sm_seconds() const {
+  double t = 0.0;
+  for (double v : sm_seconds_) t += v;
+  return t;
+}
+
+std::int64_t Device::ops_completed(StreamId s) const {
+  return ops_done_.at(static_cast<std::size_t>(s));
+}
+
+}  // namespace deeppool::gpu

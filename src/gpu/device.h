@@ -1,0 +1,151 @@
+// Simulated CUDA device (paper §5 / Fig. 8).
+//
+// Models the scheduling behaviour DeepPool's multiplexing mechanisms depend
+// on, calibrated to an A100-class part:
+//
+//   * Streams: per-stream FIFO ordering; only the front op of a stream
+//     executes. Streams carry an integer priority.
+//   * Non-preemptive SM scheduler: the device dispatches thread blocks of
+//     ready ops onto free SMs, highest stream priority first — but running
+//     blocks always run to completion. A long low-priority kernel that got
+//     the SMs first therefore delays short high-priority kernels (Fig. 12).
+//   * Shared transmission queue: host launches from ALL streams funnel
+//     through one FIFO serviced at a fixed rate, with no priority awareness
+//     — the head-of-line blocking the paper observed when a background task
+//     issues unbounded launches. DeepPool's launch pacing bounds occupancy
+//     at the source (runtime/ layer).
+//   * Stream priorities can be disabled (Fig. 11's "naive collocation" rung)
+//     in which case ready ops are served in arrival order.
+//   * Collocation pause: the runtime's slowdown feedback loop can pause
+//     dispatch for low-priority streams around interference-sensitive ops.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "gpu/collective.h"
+#include "gpu/op.h"
+#include "sim/simulator.h"
+#include "util/trace.h"
+
+namespace deeppool::gpu {
+
+using StreamId = int;
+
+struct DeviceConfig {
+  int sm_count = 108;
+  /// Service time per transmission-queue entry (host->device launch path).
+  /// Deliberately slower than a host's submission cost so that unbounded
+  /// launch streams build real queue depth (the §5 pathology).
+  double driver_entry_s = 4e-6;
+  /// When false, the block scheduler ignores stream priorities entirely.
+  bool honor_stream_priorities = true;
+};
+
+class Device {
+ public:
+  Device(sim::Simulator& sim, DeviceConfig config, int device_id);
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  int id() const noexcept { return id_; }
+  const DeviceConfig& config() const noexcept { return config_; }
+
+  /// Creates a stream. Higher priority values are favored by the dispatcher.
+  StreamId create_stream(int priority);
+  int stream_priority(StreamId s) const;
+
+  /// One op plus its completion callback.
+  struct LaunchItem {
+    OpDesc op;
+    std::function<void()> on_complete;
+  };
+
+  /// Host-side launch: the op enters the shared transmission queue and is
+  /// delivered to its stream after queue service. `on_complete` fires when
+  /// the op finishes executing on the device. The queue is unbounded — the
+  /// *runtime* is responsible for pacing (that is the point of §5).
+  void launch(StreamId stream, OpDesc op, std::function<void()> on_complete);
+
+  /// CUDA-graph launch: all items occupy a single transmission-queue entry
+  /// and are delivered to the stream together, so the device never waits on
+  /// the host between them. Graph *splitting* (bounding the items per launch
+  /// so large background graphs cannot head-of-line-block the device, §5) is
+  /// the runtime's job.
+  void launch_batch(StreamId stream, std::vector<LaunchItem> items);
+
+  /// Pauses block dispatch for streams with priority strictly below
+  /// `threshold` (running blocks finish; nothing new starts). Used by the
+  /// slowdown feedback loop.
+  void pause_priority_below(int threshold);
+  /// Lifts the pause.
+  void resume_all();
+  bool paused() const noexcept { return pause_active_; }
+
+  int free_sms() const noexcept { return free_sms_; }
+  /// SMs currently held by streams other than `s`.
+  int busy_sms_excluding(StreamId s) const;
+  /// Entries currently waiting in (or being serviced by) the shared queue.
+  std::size_t transmission_queue_depth() const noexcept;
+
+  /// Cumulative SM-seconds consumed by a stream (for utilization metrics).
+  double sm_seconds(StreamId s) const;
+  double total_sm_seconds() const;
+  /// Ops completed per stream.
+  std::int64_t ops_completed(StreamId s) const;
+
+  /// Attaches a Chrome-trace recorder; every completed op records a span
+  /// (pid = device id, tid = stream id). Pass nullptr to detach. The
+  /// recorder must outlive the device.
+  void set_trace(TraceRecorder* trace) noexcept { trace_ = trace; }
+
+ private:
+  struct PendingLaunch {
+    StreamId stream;
+    std::vector<LaunchItem> items;
+  };
+
+  struct ExecOp {
+    OpDesc desc;
+    std::function<void()> on_complete;
+    int blocks_remaining = 0;   // not yet dispatched
+    int blocks_in_flight = 0;   // dispatched blocks still running
+    int groups_in_flight = 0;   // dispatched block-groups still running
+    bool comm_started = false;
+    bool pause_applied = false; // this op currently holds a collocation pause
+    int held_sms = 0;           // comm ops hold SMs until completion
+    double exec_start = -1.0;   // first dispatch time (for on_measured)
+  };
+
+  struct Stream {
+    int priority = 0;
+    std::deque<ExecOp> ready;   // device-side FIFO; front op executes
+  };
+
+  void pump_queue();
+  void dispatch();
+  void finish_front(StreamId sid);
+  bool stream_paused(const Stream& s) const;
+  double interference_factor(StreamId sid, double sensitivity) const;
+
+  sim::Simulator& sim_;
+  DeviceConfig config_;
+  int id_;
+  int free_sms_;
+  bool queue_busy_ = false;
+  bool pause_active_ = false;
+  int pause_threshold_ = 0;
+  int op_pause_requests_ = 0;  // pauses held by in-flight flagged ops
+  std::deque<PendingLaunch> queue_;
+  std::vector<Stream> streams_;
+  std::vector<int> held_by_stream_;        // SMs currently held, per stream
+  std::vector<double> sm_seconds_;         // accumulated, per stream
+  std::vector<std::int64_t> ops_done_;     // per stream
+  std::uint64_t rr_counter_ = 0;           // fairness among equal priorities
+  TraceRecorder* trace_ = nullptr;
+};
+
+}  // namespace deeppool::gpu

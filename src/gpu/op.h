@@ -1,0 +1,69 @@
+// Device operation descriptors.
+//
+// Everything a DeepPool runtime launches onto a simulated GPU is an OpDesc:
+// compute kernels (dispatched block-group by block-group onto SMs), comm
+// operations (NCCL-like: hold a few SMs, duration inflates under
+// interference, optionally synchronized across devices via a Collective),
+// and pure delays (host-visible waits such as activation resharding).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+namespace deeppool::gpu {
+
+class Collective;
+
+enum class OpType {
+  kKernel,  ///< SM-resident compute; non-preemptive at block granularity
+  kComm,    ///< NCCL-style communication kernel (interference-sensitive)
+  kDelay,   ///< fixed-duration wait that holds no SMs
+};
+
+struct OpDesc {
+  OpType type = OpType::kKernel;
+  std::string name;
+  /// Caller-assigned id for performance monitoring (e.g. index of the op
+  /// within a training iteration). -1 = unmonitored.
+  int monitor_id = -1;
+  /// Optional measurement hook: invoked at completion with the op's
+  /// device-side execution time (first dispatch to completion, including SM
+  /// contention and collective skew, excluding stream queueing). This is
+  /// what the paper's performance monitor profiles per operator.
+  std::function<void(double)> on_measured;
+
+  // -- kKernel --
+  /// Thread-block count; the device dispatches min(free SMs, remaining)
+  /// blocks at a time, each occupying one SM for block_s seconds,
+  /// non-preemptively (§5: the on-device scheduler never interrupts running
+  /// blocks).
+  int blocks = 1;
+  double block_s = 0.0;
+  /// Maximum blocks running concurrently (the kernel's useful parallelism);
+  /// 0 = unlimited. A kernel with blocks = 4 * max_concurrency executes as
+  /// four back-to-back waves even on an idle device.
+  int max_concurrency = 0;
+
+  // -- kComm / kDelay --
+  double base_duration_s = 0.0;
+  /// kComm only: observed duration = base * (1 + sensitivity * f) where f is
+  /// the fraction of SMs held by *other* streams at start. The paper measured
+  /// NCCL all-reduce "more than doubling" under collocation (§5).
+  double interference_sensitivity = 0.0;
+  /// kComm only: SMs pinned while the operation is in flight.
+  int comm_sms = 1;
+  /// kComm only: optional cross-device barrier (gradient all-reduce spans
+  /// all participating ranks). The op completes only when every participant
+  /// has arrived and the collective's duration has elapsed.
+  std::shared_ptr<Collective> collective;
+
+  /// Slowdown-feedback gate: while this op is at its stream's head (from
+  /// reaching the front until completion), dispatch for lower-priority
+  /// streams on this device is paused. Set by the runtime for operators the
+  /// perf monitor has flagged interference-sensitive (§5).
+  bool pause_low_priority = false;
+};
+
+}  // namespace deeppool::gpu

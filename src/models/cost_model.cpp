@@ -1,0 +1,96 @@
+#include "models/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace deeppool::models {
+
+DeviceSpec DeviceSpec::a100() { return DeviceSpec{}; }
+
+CostModel::CostModel(DeviceSpec spec) : spec_(std::move(spec)) {
+  if (spec_.peak_flops <= 0 || spec_.mem_bandwidth <= 0 || spec_.sm_count <= 0) {
+    throw std::invalid_argument("invalid DeviceSpec");
+  }
+}
+
+double CostModel::occupancy(double work_elems) const noexcept {
+  // Ramp from ~0 to 1 as the number of work tiles passes the SM count.
+  // With one tile per SM the device is at ~2/3 of peak; at 8 waves it is
+  // within ~6% of peak. This reproduces the small-batch utilization collapse
+  // of paper Fig. 4 without modeling individual thread blocks.
+  const double tiles = std::max(1.0, work_elems / spec_.tile_elems);
+  const double half = 0.5 * static_cast<double>(spec_.sm_count);
+  return tiles / (tiles + half);
+}
+
+double CostModel::kernel_time(double flops, double bytes, double weight_bytes,
+                              double out_elems) const {
+  const double occ = occupancy(out_elems);
+  const double compute = flops / (spec_.peak_flops * occ);
+  const double memory = (bytes + weight_bytes) / spec_.mem_bandwidth;
+  return spec_.kernel_launch_floor_s + std::max(compute, memory);
+}
+
+LayerTime CostModel::layer_time(const Layer& layer, std::int64_t batch) const {
+  if (batch < 1) throw std::invalid_argument("batch must be >= 1");
+  LayerTime t;
+  if (layer.kind == LayerKind::kInput) return t;
+
+  const double b = static_cast<double>(batch);
+  const double flops = static_cast<double>(layer.flops_per_sample) * b;
+  const double in_bytes =
+      static_cast<double>(layer.in.elems() * spec_.dtype_bytes) * b *
+      static_cast<double>(std::max<std::size_t>(layer.inputs.size(), 1));
+  const double out_bytes =
+      static_cast<double>(layer.out.elems() * spec_.dtype_bytes) * b;
+  const double weight_bytes =
+      static_cast<double>(layer.params * spec_.dtype_bytes);
+  const double out_elems = static_cast<double>(layer.out.elems()) * b;
+
+  t.forward_s = kernel_time(flops, in_bytes + out_bytes, weight_bytes, out_elems);
+
+  // Backward: grad wrt inputs plus grad wrt weights (~2x forward FLOPs for
+  // parameterized layers, ~1x for the rest); weights are read again and
+  // weight gradients written.
+  const double bwd_scale = layer.has_params() ? 2.0 : 1.0;
+  t.backward_s = kernel_time(bwd_scale * flops, 2.0 * (in_bytes + out_bytes),
+                             2.0 * weight_bytes,
+                             static_cast<double>(layer.in.elems()) * b);
+
+  const double total_flops = (1.0 + bwd_scale) * flops;
+  const double wall = t.total();
+  t.utilization = wall > 0 ? total_flops / (spec_.peak_flops * wall) : 0.0;
+  return t;
+}
+
+double CostModel::iteration_compute_time(const ModelGraph& model,
+                                         std::int64_t batch) const {
+  double total = 0.0;
+  for (const Layer& l : model.layers()) total += layer_time(l, batch).total();
+  return total;
+}
+
+std::int64_t CostModel::grad_bytes(const Layer& layer) const noexcept {
+  return layer.params * spec_.dtype_bytes;
+}
+
+std::int64_t CostModel::activation_bytes_per_sample(
+    const Layer& layer) const noexcept {
+  return layer.out.elems() * spec_.dtype_bytes;
+}
+
+std::int64_t CostModel::memory_footprint_bytes(const ModelGraph& model,
+                                               std::int64_t batch) const {
+  // weights (fp16) + fp32 master copy + grads + Adam moments ~= params * 16B,
+  // plus all live activations for the batch (training keeps them for
+  // backward).
+  const std::int64_t param_state = model.total_params() * 16;
+  std::int64_t act = 0;
+  for (const Layer& l : model.layers()) {
+    act += l.out.elems() * spec_.dtype_bytes * batch;
+  }
+  return param_state + act;
+}
+
+}  // namespace deeppool::models

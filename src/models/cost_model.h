@@ -1,0 +1,86 @@
+// Analytic layer-execution cost model (A100-class roofline + overheads).
+//
+// This replaces the paper's offline LibTorch profiling pass: DeepPool's
+// planner only ever consumes per-layer time tables comp(i, g) measured "with
+// different per-GPU batch sizes" (§4.1). We synthesize those tables from a
+// roofline model with three effects the paper's figures depend on:
+//
+//   1. compute/memory roofline:      t >= max(flops/peak, bytes/bandwidth)
+//   2. per-kernel fixed floor:       launch + weight fetch; this is what makes
+//      dense layers stop scaling (Fig. 5) and small batches inefficient
+//   3. occupancy ramp:               small outputs can't fill all SMs, so the
+//      effective peak degrades at low batch (Fig. 4 utilization collapse)
+//
+// All times are seconds; batch is the per-GPU batch.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "models/graph.h"
+
+namespace deeppool::models {
+
+/// Physical device description (paper Table 2: NVIDIA A100-SXM4-40GB, AMP on).
+struct DeviceSpec {
+  std::string name = "A100-SXM4-40GB";
+  double peak_flops = 156e12;      ///< achievable fp16 AMP tensor FLOPs/s
+  double mem_bandwidth = 1.4e12;   ///< HBM2 bytes/s (achievable)
+  int sm_count = 108;
+  double kernel_launch_floor_s = 4e-6;  ///< device-side fixed cost per kernel
+  int dtype_bytes = 2;             ///< fp16 activations/weights under AMP
+  std::int64_t memory_bytes = 40LL * 1024 * 1024 * 1024;
+  /// Output elements one "tile" of work covers; used by the occupancy ramp.
+  double tile_elems = 4096.0;
+
+  static DeviceSpec a100();
+};
+
+/// Timing breakdown for one layer at one per-GPU batch size.
+struct LayerTime {
+  double forward_s = 0.0;
+  double backward_s = 0.0;
+  double total() const noexcept { return forward_s + backward_s; }
+  /// Achieved-FLOPs / peak-FLOPs over the layer's wall time (0 for
+  /// zero-FLOP layers).
+  double utilization = 0.0;
+};
+
+/// Evaluates layer execution times on a DeviceSpec.
+class CostModel {
+ public:
+  explicit CostModel(DeviceSpec spec);
+
+  const DeviceSpec& spec() const noexcept { return spec_; }
+
+  /// Forward+backward time of `layer` at per-GPU batch `batch` (>= 1).
+  LayerTime layer_time(const Layer& layer, std::int64_t batch) const;
+
+  /// Sum of layer_time().total() over all layers at the same per-GPU batch.
+  double iteration_compute_time(const ModelGraph& model,
+                                std::int64_t batch) const;
+
+  /// Per-layer gradient bytes that must be all-reduced after backward.
+  std::int64_t grad_bytes(const Layer& layer) const noexcept;
+
+  /// Activation bytes per sample crossing the edge out of `layer`.
+  std::int64_t activation_bytes_per_sample(const Layer& layer) const noexcept;
+
+  /// Approximate training-time memory footprint (weights + gradients +
+  /// optimizer state + activations for one batch). Used to validate that a
+  /// background job fits next to a strong-scaled foreground job (§3.1).
+  std::int64_t memory_footprint_bytes(const ModelGraph& model,
+                                      std::int64_t batch) const;
+
+  /// Fraction of peak the device can reach given `work_elems` parallel
+  /// output elements (the occupancy ramp; exposed for tests).
+  double occupancy(double work_elems) const noexcept;
+
+ private:
+  double kernel_time(double flops, double bytes, double weight_bytes,
+                     double out_elems) const;
+
+  DeviceSpec spec_;
+};
+
+}  // namespace deeppool::models

@@ -1,0 +1,305 @@
+#include "models/graph.h"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace deeppool::models {
+
+const char* layer_kind_name(LayerKind kind) noexcept {
+  switch (kind) {
+    case LayerKind::kInput: return "input";
+    case LayerKind::kConv2d: return "conv2d";
+    case LayerKind::kDense: return "dense";
+    case LayerKind::kMaxPool: return "maxpool";
+    case LayerKind::kAvgPool: return "avgpool";
+    case LayerKind::kGlobalPool: return "globalpool";
+    case LayerKind::kAdd: return "add";
+    case LayerKind::kConcat: return "concat";
+    case LayerKind::kFlatten: return "flatten";
+    case LayerKind::kSoftmax: return "softmax";
+  }
+  return "unknown";
+}
+
+ModelGraph::ModelGraph(std::string name, std::vector<Layer> layers)
+    : name_(std::move(name)), layers_(std::move(layers)) {
+  succ_.resize(layers_.size());
+  pred_.resize(layers_.size());
+  for (const Layer& l : layers_) {
+    for (LayerId in : l.inputs) {
+      succ_[static_cast<std::size_t>(in)].push_back(l.id);
+      pred_[static_cast<std::size_t>(l.id)].push_back(in);
+    }
+  }
+  validate();
+  for (const Layer& l : layers_) {
+    if (pred_[static_cast<std::size_t>(l.id)].empty()) source_ = l.id;
+    if (succ_[static_cast<std::size_t>(l.id)].empty()) sink_ = l.id;
+  }
+}
+
+void ModelGraph::validate() const {
+  if (layers_.empty()) throw std::invalid_argument("empty model graph");
+  int sources = 0;
+  int sinks = 0;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    const Layer& l = layers_[i];
+    if (l.id != static_cast<LayerId>(i)) {
+      throw std::invalid_argument("layer ids must be dense and ordered");
+    }
+    for (LayerId in : l.inputs) {
+      if (in < 0 || in >= l.id) {
+        throw std::invalid_argument("layer '" + l.name +
+                                    "' has a non-topological input");
+      }
+    }
+    if (pred_[i].empty()) ++sources;
+    if (succ_[i].empty()) ++sinks;
+  }
+  if (sources != 1) throw std::invalid_argument("graph must have one source");
+  if (sinks != 1) throw std::invalid_argument("graph must have one sink");
+}
+
+const Layer& ModelGraph::layer(LayerId id) const {
+  if (id < 0 || static_cast<std::size_t>(id) >= layers_.size()) {
+    throw std::out_of_range("layer id " + std::to_string(id));
+  }
+  return layers_[static_cast<std::size_t>(id)];
+}
+
+const std::vector<LayerId>& ModelGraph::successors(LayerId id) const {
+  layer(id);  // bounds check
+  return succ_[static_cast<std::size_t>(id)];
+}
+
+const std::vector<LayerId>& ModelGraph::predecessors(LayerId id) const {
+  layer(id);  // bounds check
+  return pred_[static_cast<std::size_t>(id)];
+}
+
+std::int64_t ModelGraph::total_params() const noexcept {
+  return std::accumulate(layers_.begin(), layers_.end(), std::int64_t{0},
+                         [](std::int64_t acc, const Layer& l) {
+                           return acc + l.params;
+                         });
+}
+
+std::int64_t ModelGraph::total_flops_per_sample() const noexcept {
+  return std::accumulate(layers_.begin(), layers_.end(), std::int64_t{0},
+                         [](std::int64_t acc, const Layer& l) {
+                           return acc + l.flops_per_sample;
+                         });
+}
+
+int ModelGraph::op_count() const noexcept {
+  int n = 0;
+  for (const Layer& l : layers_) {
+    if (l.kind != LayerKind::kInput) ++n;
+  }
+  return n;
+}
+
+bool ModelGraph::has_branches() const noexcept {
+  for (const auto& s : succ_) {
+    if (s.size() > 1) return true;
+  }
+  return false;
+}
+
+GraphBuilder::GraphBuilder(std::string model_name, Shape input_shape)
+    : name_(std::move(model_name)) {
+  Layer input;
+  input.id = 0;
+  input.name = "input";
+  input.kind = LayerKind::kInput;
+  input.in = input_shape;
+  input.out = input_shape;
+  layers_.push_back(std::move(input));
+  last_ = 0;
+}
+
+LayerId GraphBuilder::resolve(LayerId from) const {
+  const LayerId id = from < 0 ? last_ : from;
+  if (id < 0 || static_cast<std::size_t>(id) >= layers_.size()) {
+    throw std::invalid_argument("unknown predecessor layer " +
+                                std::to_string(from));
+  }
+  return id;
+}
+
+Shape GraphBuilder::shape_of(LayerId id) const {
+  return layers_.at(static_cast<std::size_t>(resolve(id))).out;
+}
+
+LayerId GraphBuilder::push(Layer layer) {
+  if (built_) throw std::logic_error("GraphBuilder already built");
+  layer.id = static_cast<LayerId>(layers_.size());
+  layers_.push_back(std::move(layer));
+  last_ = layers_.back().id;
+  return last_;
+}
+
+LayerId GraphBuilder::conv2d(const std::string& name, std::int64_t out_channels,
+                             std::int64_t kernel, std::int64_t stride,
+                             std::int64_t pad, LayerId from) {
+  return conv2d_rect(name, out_channels, kernel, kernel, stride, pad, pad, from);
+}
+
+LayerId GraphBuilder::conv2d_rect(const std::string& name,
+                                  std::int64_t out_channels,
+                                  std::int64_t kernel_h, std::int64_t kernel_w,
+                                  std::int64_t stride, std::int64_t pad_h,
+                                  std::int64_t pad_w, LayerId from) {
+  const LayerId src = resolve(from);
+  const Shape in = shape_of(src);
+  Layer l;
+  l.name = name;
+  l.kind = LayerKind::kConv2d;
+  l.in = in;
+  l.out = Shape{out_channels, conv_out_dim(in.h, kernel_h, stride, pad_h),
+                conv_out_dim(in.w, kernel_w, stride, pad_w)};
+  l.inputs = {src};
+  // conv weights + bias, plus fused BN scale/shift.
+  l.params = kernel_h * kernel_w * in.c * out_channels + 3 * out_channels;
+  // 2 FLOPs per MAC; BN+ReLU adds ~4 ops per output element.
+  l.flops_per_sample =
+      2 * kernel_h * kernel_w * in.c * out_channels * l.out.h * l.out.w +
+      4 * l.out.elems();
+  return push(std::move(l));
+}
+
+LayerId GraphBuilder::dense(const std::string& name, std::int64_t out_features,
+                            LayerId from) {
+  const LayerId src = resolve(from);
+  const Shape in = shape_of(src);
+  Layer l;
+  l.name = name;
+  l.kind = LayerKind::kDense;
+  l.in = in;
+  l.out = Shape{out_features, 1, 1};
+  l.inputs = {src};
+  l.params = in.elems() * out_features + out_features;
+  l.flops_per_sample = 2 * in.elems() * out_features;
+  return push(std::move(l));
+}
+
+namespace {
+Layer make_pool(LayerKind kind, const std::string& name, Shape in,
+                std::int64_t kernel, std::int64_t stride, std::int64_t pad,
+                LayerId src) {
+  Layer l;
+  l.name = name;
+  l.kind = kind;
+  l.in = in;
+  l.out = Shape{in.c, conv_out_dim(in.h, kernel, stride, pad),
+                conv_out_dim(in.w, kernel, stride, pad)};
+  l.inputs = {src};
+  l.flops_per_sample = kernel * kernel * l.out.elems();
+  return l;
+}
+}  // namespace
+
+LayerId GraphBuilder::maxpool(const std::string& name, std::int64_t kernel,
+                              std::int64_t stride, std::int64_t pad,
+                              LayerId from) {
+  const LayerId src = resolve(from);
+  return push(
+      make_pool(LayerKind::kMaxPool, name, shape_of(src), kernel, stride, pad,
+                src));
+}
+
+LayerId GraphBuilder::avgpool(const std::string& name, std::int64_t kernel,
+                              std::int64_t stride, std::int64_t pad,
+                              LayerId from) {
+  const LayerId src = resolve(from);
+  return push(
+      make_pool(LayerKind::kAvgPool, name, shape_of(src), kernel, stride, pad,
+                src));
+}
+
+LayerId GraphBuilder::global_pool(const std::string& name, LayerId from) {
+  const LayerId src = resolve(from);
+  const Shape in = shape_of(src);
+  Layer l;
+  l.name = name;
+  l.kind = LayerKind::kGlobalPool;
+  l.in = in;
+  l.out = Shape{in.c, 1, 1};
+  l.inputs = {src};
+  l.flops_per_sample = in.elems();
+  return push(std::move(l));
+}
+
+LayerId GraphBuilder::flatten(const std::string& name, LayerId from) {
+  const LayerId src = resolve(from);
+  const Shape in = shape_of(src);
+  Layer l;
+  l.name = name;
+  l.kind = LayerKind::kFlatten;
+  l.in = in;
+  l.out = Shape{in.elems(), 1, 1};
+  l.inputs = {src};
+  return push(std::move(l));
+}
+
+LayerId GraphBuilder::softmax(const std::string& name, LayerId from) {
+  const LayerId src = resolve(from);
+  const Shape in = shape_of(src);
+  Layer l;
+  l.name = name;
+  l.kind = LayerKind::kSoftmax;
+  l.in = in;
+  l.out = in;
+  l.inputs = {src};
+  l.flops_per_sample = 3 * in.elems();
+  return push(std::move(l));
+}
+
+LayerId GraphBuilder::add(const std::string& name, LayerId a, LayerId b) {
+  const LayerId sa = resolve(a);
+  const LayerId sb = resolve(b);
+  if (shape_of(sa) != shape_of(sb)) {
+    throw std::invalid_argument("add '" + name + "': shape mismatch " +
+                                shape_of(sa).to_string() + " vs " +
+                                shape_of(sb).to_string());
+  }
+  Layer l;
+  l.name = name;
+  l.kind = LayerKind::kAdd;
+  l.in = shape_of(sa);
+  l.out = l.in;
+  l.inputs = {sa, sb};
+  l.flops_per_sample = l.out.elems();
+  return push(std::move(l));
+}
+
+LayerId GraphBuilder::concat(const std::string& name,
+                             const std::vector<LayerId>& from) {
+  if (from.size() < 2) throw std::invalid_argument("concat needs >= 2 inputs");
+  Layer l;
+  l.name = name;
+  l.kind = LayerKind::kConcat;
+  std::int64_t channels = 0;
+  const Shape first = shape_of(resolve(from.front()));
+  for (LayerId f : from) {
+    const Shape s = shape_of(resolve(f));
+    if (s.h != first.h || s.w != first.w) {
+      throw std::invalid_argument("concat '" + name +
+                                  "': spatial shape mismatch");
+    }
+    channels += s.c;
+    l.inputs.push_back(resolve(f));
+  }
+  l.in = first;
+  l.out = Shape{channels, first.h, first.w};
+  l.flops_per_sample = 0;  // pure memory movement; cost model charges bytes
+  return push(std::move(l));
+}
+
+ModelGraph GraphBuilder::build() {
+  if (built_) throw std::logic_error("GraphBuilder already built");
+  built_ = true;
+  return ModelGraph(name_, std::move(layers_));
+}
+
+}  // namespace deeppool::models

@@ -1,0 +1,99 @@
+// Model graph and builder.
+//
+// ModelGraph is a single-source / single-sink DAG of Layers in topological id
+// order. The paper requires "the input model's execution graph to be static"
+// (§3.2); builders construct the graph once and it is immutable afterwards.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "models/layer.h"
+
+namespace deeppool::models {
+
+class ModelGraph {
+ public:
+  ModelGraph(std::string name, std::vector<Layer> layers);
+
+  const std::string& name() const noexcept { return name_; }
+  std::size_t size() const noexcept { return layers_.size(); }
+  const Layer& layer(LayerId id) const;
+  const std::vector<Layer>& layers() const noexcept { return layers_; }
+
+  const std::vector<LayerId>& successors(LayerId id) const;
+  const std::vector<LayerId>& predecessors(LayerId id) const;
+
+  LayerId source() const noexcept { return source_; }
+  LayerId sink() const noexcept { return sink_; }
+
+  /// Total learnable parameters across all layers.
+  std::int64_t total_params() const noexcept;
+  /// Total forward FLOPs per sample.
+  std::int64_t total_flops_per_sample() const noexcept;
+  /// Number of layers excluding the kInput placeholder (paper Table 1 counts).
+  int op_count() const noexcept;
+  /// True if any layer has more than one successor (graph has branches and
+  /// the planner must run graph reduction).
+  bool has_branches() const noexcept;
+
+ private:
+  void validate() const;
+
+  std::string name_;
+  std::vector<Layer> layers_;
+  std::vector<std::vector<LayerId>> succ_;
+  std::vector<std::vector<LayerId>> pred_;
+  LayerId source_ = -1;
+  LayerId sink_ = -1;
+};
+
+/// Incremental builder used by the model zoo and by user-defined models
+/// (see examples/custom_model_plan.cpp). Shape propagation and FLOP counting
+/// are automatic; invalid wiring throws std::invalid_argument.
+class GraphBuilder {
+ public:
+  GraphBuilder(std::string model_name, Shape input_shape);
+
+  /// Id of the most recently added layer (the implicit `from` argument).
+  LayerId last() const noexcept { return last_; }
+  Shape shape_of(LayerId id) const;
+
+  /// Fused Conv2d (+BN+ReLU). `from = -1` means chain from last().
+  LayerId conv2d(const std::string& name, std::int64_t out_channels,
+                 std::int64_t kernel, std::int64_t stride = 1,
+                 std::int64_t pad = 0, LayerId from = -1);
+  /// Rectangular-kernel conv (Inception-V3's factorized 1x7 / 7x1 convs).
+  LayerId conv2d_rect(const std::string& name, std::int64_t out_channels,
+                      std::int64_t kernel_h, std::int64_t kernel_w,
+                      std::int64_t stride, std::int64_t pad_h,
+                      std::int64_t pad_w, LayerId from = -1);
+  LayerId dense(const std::string& name, std::int64_t out_features,
+                LayerId from = -1);
+  LayerId maxpool(const std::string& name, std::int64_t kernel,
+                  std::int64_t stride, std::int64_t pad = 0, LayerId from = -1);
+  LayerId avgpool(const std::string& name, std::int64_t kernel,
+                  std::int64_t stride, std::int64_t pad = 0, LayerId from = -1);
+  LayerId global_pool(const std::string& name, LayerId from = -1);
+  LayerId flatten(const std::string& name, LayerId from = -1);
+  LayerId softmax(const std::string& name, LayerId from = -1);
+  /// Residual join: elementwise sum (shapes must match).
+  LayerId add(const std::string& name, LayerId a, LayerId b);
+  /// Channel concatenation join (spatial dims must match).
+  LayerId concat(const std::string& name, const std::vector<LayerId>& from);
+
+  /// Finalizes and validates the graph. The builder must not be reused.
+  ModelGraph build();
+
+ private:
+  LayerId push(Layer layer);
+  LayerId resolve(LayerId from) const;
+
+  std::string name_;
+  std::vector<Layer> layers_;
+  LayerId last_ = -1;
+  bool built_ = false;
+};
+
+}  // namespace deeppool::models

@@ -1,0 +1,61 @@
+// Layer intermediate representation.
+//
+// A Layer is the planner's unit of scaling: the burst-parallel planner picks
+// a GPU count per layer. Following the paper's Table 1 layer counts, we use
+// fused operators (Conv2d includes bias + BatchNorm + ReLU where present) so
+// VGG-16 is 21 layers, WideResNet-101-2 is 105, Inception-V3 is 119.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "models/shape.h"
+
+namespace deeppool::models {
+
+using LayerId = int;
+
+enum class LayerKind {
+  kInput,      ///< source placeholder; zero cost
+  kConv2d,     ///< fused conv (+BN +ReLU)
+  kDense,      ///< fully connected (+ReLU where present)
+  kMaxPool,
+  kAvgPool,
+  kGlobalPool,
+  kAdd,        ///< residual join (elementwise sum)
+  kConcat,     ///< channel concatenation join (Inception)
+  kFlatten,
+  kSoftmax,
+};
+
+const char* layer_kind_name(LayerKind kind) noexcept;
+
+/// One operator in the model graph. `inputs` holds predecessor layer ids;
+/// builders guarantee inputs[i] < id (topological id order).
+struct Layer {
+  LayerId id = -1;
+  std::string name;
+  LayerKind kind = LayerKind::kInput;
+  Shape in;   ///< per-sample input shape (first input for joins)
+  Shape out;  ///< per-sample output shape
+  std::vector<LayerId> inputs;
+
+  std::int64_t params = 0;            ///< learnable parameter count
+  std::int64_t flops_per_sample = 0;  ///< forward FLOPs per sample
+
+  /// True for layers whose gradients require an all-reduce (have parameters).
+  bool has_params() const noexcept { return params > 0; }
+
+  /// Per-sample activation bytes produced by this layer.
+  std::int64_t out_bytes_per_sample(int dtype_bytes) const noexcept {
+    return out.elems() * dtype_bytes;
+  }
+  /// Per-sample activation bytes consumed (sum over all inputs is tracked by
+  /// the graph; this is the primary input only).
+  std::int64_t in_bytes_per_sample(int dtype_bytes) const noexcept {
+    return in.elems() * dtype_bytes;
+  }
+};
+
+}  // namespace deeppool::models

@@ -1,0 +1,41 @@
+// Per-sample tensor shape (channels × height × width).
+//
+// DeepPool's planner and cost model reason about per-sample activation sizes;
+// batch is always carried separately so that strong scaling (splitting the
+// batch across GPUs) never mutates the model description.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace deeppool::models {
+
+struct Shape {
+  std::int64_t c = 0;  ///< channels (or features for dense layers, h=w=1)
+  std::int64_t h = 1;
+  std::int64_t w = 1;
+
+  /// Elements per sample.
+  std::int64_t elems() const noexcept { return c * h * w; }
+
+  bool operator==(const Shape&) const = default;
+
+  std::string to_string() const {
+    return std::to_string(c) + "x" + std::to_string(h) + "x" + std::to_string(w);
+  }
+};
+
+/// Output spatial size of a convolution/pool window. Throws if the geometry
+/// is inconsistent (window larger than padded input).
+inline std::int64_t conv_out_dim(std::int64_t in, std::int64_t kernel,
+                                 std::int64_t stride, std::int64_t pad) {
+  const std::int64_t padded = in + 2 * pad - kernel;
+  if (padded < 0) {
+    throw std::invalid_argument("conv window " + std::to_string(kernel) +
+                                " exceeds padded input " + std::to_string(in));
+  }
+  return padded / stride + 1;
+}
+
+}  // namespace deeppool::models

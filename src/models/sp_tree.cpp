@@ -1,0 +1,109 @@
+#include "models/sp_tree.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace deeppool::models {
+
+namespace {
+
+class Decomposer {
+ public:
+  explicit Decomposer(const ModelGraph& graph) : graph_(graph) {}
+
+  SpChain run() {
+    auto [chain, join] = parse_chain(graph_.source());
+    if (join != -1) {
+      throw std::invalid_argument("graph '" + graph_.name() +
+                                  "' is not series-parallel: dangling join at "
+                                  "layer " +
+                                  std::to_string(join));
+    }
+    if (sp_layer_count(chain) != graph_.size()) {
+      throw std::invalid_argument("graph '" + graph_.name() +
+                                  "' is not series-parallel: unreachable or "
+                                  "repeated layers");
+    }
+    return chain;
+  }
+
+ private:
+  /// Parses a chain beginning at `start`. Returns the chain plus the first
+  /// node with in-degree > 1 reached via a plain edge (the enclosing block's
+  /// join), or -1 when the chain runs to the sink.
+  std::pair<SpChain, LayerId> parse_chain(LayerId start) {
+    SpChain chain;
+    if (graph_.predecessors(start).size() > 1) {
+      // Identity shortcut: the branch goes straight to the join.
+      return {std::move(chain), start};
+    }
+    LayerId cur = start;
+    for (;;) {
+      chain.layers.push_back(cur);
+      const auto& succs = graph_.successors(cur);
+      if (succs.empty()) return {std::move(chain), -1};
+      if (succs.size() == 1) {
+        const LayerId next = succs.front();
+        if (graph_.predecessors(next).size() > 1) {
+          return {std::move(chain), next};  // enclosing join; don't consume
+        }
+        chain.edges.push_back(nullptr);
+        cur = next;
+        continue;
+      }
+      // `cur` is a branching layer: parse all branches, which must converge
+      // at a single joining layer.
+      auto block = std::make_unique<SpBlock>();
+      LayerId join = -1;
+      for (const LayerId s : succs) {
+        auto [branch, branch_join] = parse_chain(s);
+        if (branch_join == -1) {
+          throw std::invalid_argument(
+              "graph '" + graph_.name() + "' is not series-parallel: branch "
+              "from layer " + std::to_string(cur) + " reaches the sink "
+              "without joining");
+        }
+        if (join == -1) {
+          join = branch_join;
+        } else if (join != branch_join) {
+          throw std::invalid_argument(
+              "graph '" + graph_.name() + "' is not series-parallel: "
+              "branches from layer " + std::to_string(cur) +
+              " join at different layers " + std::to_string(join) + " and " +
+              std::to_string(branch_join));
+        }
+        block->branches.push_back(std::move(branch));
+      }
+      chain.edges.push_back(std::move(block));
+      cur = join;  // the join belongs to this chain
+    }
+  }
+
+  const ModelGraph& graph_;
+};
+
+}  // namespace
+
+SpChain decompose(const ModelGraph& graph) { return Decomposer(graph).run(); }
+
+std::size_t sp_layer_count(const SpChain& chain) {
+  std::size_t n = chain.layers.size();
+  for (const auto& edge : chain.edges) {
+    if (!edge) continue;
+    for (const SpChain& branch : edge->branches) n += sp_layer_count(branch);
+  }
+  return n;
+}
+
+int sp_nesting_depth(const SpChain& chain) {
+  int depth = 0;
+  for (const auto& edge : chain.edges) {
+    if (!edge) continue;
+    for (const SpChain& branch : edge->branches) {
+      depth = std::max(depth, 1 + sp_nesting_depth(branch));
+    }
+  }
+  return depth;
+}
+
+}  // namespace deeppool::models

@@ -1,0 +1,51 @@
+// Series-parallel decomposition of a model graph.
+//
+// The paper's planner (§4.2, Fig. 7) reduces "portions of DNN graphs from the
+// branching layer to the joining layer" into single edges so the linear DP
+// applies. SpChain/SpBlock is exactly that structure: a chain of layers where
+// the edge between two consecutive layers is either a plain edge or a reduced
+// branch/join block whose branches are themselves chains (recursively).
+//
+// decompose() builds the structure from a ModelGraph and throws
+// std::invalid_argument if the graph is not series-parallel (DeepPool, like
+// the paper's prototype, requires static SP execution graphs).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "models/graph.h"
+
+namespace deeppool::models {
+
+struct SpBlock;
+
+/// A chain of layers. `layers` has N entries and `edges` N-1; edges[i] sits
+/// between layers[i] and layers[i+1] and is nullptr for a plain edge or a
+/// block for a reduced branch/join region. A chain may be empty (an identity
+/// shortcut branch, e.g. a ResNet skip connection).
+struct SpChain {
+  std::vector<LayerId> layers;
+  std::vector<std::unique_ptr<SpBlock>> edges;
+
+  bool empty() const noexcept { return layers.empty(); }
+};
+
+/// A parallel region: the branching layer and joining layer live in the
+/// *enclosing* chain; `branches` are the interior chains between them.
+struct SpBlock {
+  std::vector<SpChain> branches;
+};
+
+/// Decomposes `graph` into its top-level chain (source..sink).
+/// Throws std::invalid_argument if the graph is not series-parallel.
+SpChain decompose(const ModelGraph& graph);
+
+/// Total number of layers contained in the chain, including all nested
+/// blocks. For a full decomposition this equals graph.size().
+std::size_t sp_layer_count(const SpChain& chain);
+
+/// Maximum block nesting depth (0 for a flat chain).
+int sp_nesting_depth(const SpChain& chain);
+
+}  // namespace deeppool::models

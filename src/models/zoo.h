@@ -1,0 +1,35 @@
+// Model zoo: the networks the paper evaluates.
+//
+// Paper Table 1 workloads plus the two models used in the motivation section:
+//   VGG-16            132M params, 21 ops, 3x224x224   (Figs. 5, 9, 10, 11)
+//   WideResNet-101-2  127M params, 105 convs, 3x400x400 (Figs. 9, 10)
+//   Inception-V3       24M params, 119 ops, 3x299x299  (Figs. 9, 10; branchy)
+//   VGG-11            (Figs. 1-3 scaling-strategy study)
+//   ResNet-50         (Fig. 4 utilization CDF)
+// Shapes, parameter counts and FLOPs follow the original architectures;
+// BatchNorm/ReLU are fused into the preceding conv (see layer.h).
+#pragma once
+
+#include "models/graph.h"
+
+namespace deeppool::models::zoo {
+
+ModelGraph vgg11(std::int64_t num_classes = 1000);
+ModelGraph vgg16(std::int64_t num_classes = 1000);
+ModelGraph resnet50(std::int64_t num_classes = 1000);
+ModelGraph wide_resnet101_2(std::int64_t num_classes = 1000);
+ModelGraph inception_v3(std::int64_t num_classes = 1000);
+
+/// Tiny 4-layer perceptron used by unit tests (fast, chain-shaped).
+ModelGraph tiny_mlp();
+/// Small model with one branch/join block, used to exercise graph reduction.
+ModelGraph tiny_branchy();
+
+/// Looks a model up by name ("vgg16", "wide_resnet101_2", ...).
+/// Throws std::invalid_argument for unknown names.
+ModelGraph by_name(const std::string& name);
+
+/// Names accepted by by_name().
+std::vector<std::string> names();
+
+}  // namespace deeppool::models::zoo

@@ -1,0 +1,126 @@
+#include "models/zoo.h"
+
+namespace deeppool::models::zoo {
+
+namespace {
+
+using models::LayerId;
+
+// Inception-V3 modules (Szegedy et al., 2015), torchvision channel layout.
+// Each module branches from `in` and joins at a concat; InceptionE contains
+// nested branch/join blocks, which exercises the planner's recursive graph
+// reduction.
+
+LayerId inception_a(GraphBuilder& b, const std::string& p, LayerId in,
+                    std::int64_t pool_features) {
+  const LayerId b1 = b.conv2d(p + ".b1x1", 64, 1, 1, 0, in);
+  LayerId b5 = b.conv2d(p + ".b5x5_1", 48, 1, 1, 0, in);
+  b5 = b.conv2d(p + ".b5x5_2", 64, 5, 1, 2, b5);
+  LayerId b3 = b.conv2d(p + ".b3x3dbl_1", 64, 1, 1, 0, in);
+  b3 = b.conv2d(p + ".b3x3dbl_2", 96, 3, 1, 1, b3);
+  b3 = b.conv2d(p + ".b3x3dbl_3", 96, 3, 1, 1, b3);
+  LayerId bp = b.avgpool(p + ".pool", 3, 1, 1, in);
+  bp = b.conv2d(p + ".pool_proj", pool_features, 1, 1, 0, bp);
+  return b.concat(p + ".concat", {b1, b5, b3, bp});
+}
+
+LayerId inception_b(GraphBuilder& b, const std::string& p, LayerId in) {
+  const LayerId b3 = b.conv2d(p + ".b3x3", 384, 3, 2, 0, in);
+  LayerId bd = b.conv2d(p + ".b3x3dbl_1", 64, 1, 1, 0, in);
+  bd = b.conv2d(p + ".b3x3dbl_2", 96, 3, 1, 1, bd);
+  bd = b.conv2d(p + ".b3x3dbl_3", 96, 3, 2, 0, bd);
+  const LayerId bp = b.maxpool(p + ".pool", 3, 2, 0, in);
+  return b.concat(p + ".concat", {b3, bd, bp});
+}
+
+LayerId inception_c(GraphBuilder& b, const std::string& p, LayerId in,
+                    std::int64_t c7) {
+  const LayerId b1 = b.conv2d(p + ".b1x1", 192, 1, 1, 0, in);
+  LayerId b7 = b.conv2d(p + ".b7x7_1", c7, 1, 1, 0, in);
+  b7 = b.conv2d_rect(p + ".b7x7_2", c7, 1, 7, 1, 0, 3, b7);
+  b7 = b.conv2d_rect(p + ".b7x7_3", 192, 7, 1, 1, 3, 0, b7);
+  LayerId bd = b.conv2d(p + ".b7x7dbl_1", c7, 1, 1, 0, in);
+  bd = b.conv2d_rect(p + ".b7x7dbl_2", c7, 7, 1, 1, 3, 0, bd);
+  bd = b.conv2d_rect(p + ".b7x7dbl_3", c7, 1, 7, 1, 0, 3, bd);
+  bd = b.conv2d_rect(p + ".b7x7dbl_4", c7, 7, 1, 1, 3, 0, bd);
+  bd = b.conv2d_rect(p + ".b7x7dbl_5", 192, 1, 7, 1, 0, 3, bd);
+  LayerId bp = b.avgpool(p + ".pool", 3, 1, 1, in);
+  bp = b.conv2d(p + ".pool_proj", 192, 1, 1, 0, bp);
+  return b.concat(p + ".concat", {b1, b7, bd, bp});
+}
+
+LayerId inception_d(GraphBuilder& b, const std::string& p, LayerId in) {
+  LayerId b3 = b.conv2d(p + ".b3x3_1", 192, 1, 1, 0, in);
+  b3 = b.conv2d(p + ".b3x3_2", 320, 3, 2, 0, b3);
+  LayerId b7 = b.conv2d(p + ".b7x7x3_1", 192, 1, 1, 0, in);
+  b7 = b.conv2d_rect(p + ".b7x7x3_2", 192, 1, 7, 1, 0, 3, b7);
+  b7 = b.conv2d_rect(p + ".b7x7x3_3", 192, 7, 1, 1, 3, 0, b7);
+  b7 = b.conv2d(p + ".b7x7x3_4", 192, 3, 2, 0, b7);
+  const LayerId bp = b.maxpool(p + ".pool", 3, 2, 0, in);
+  return b.concat(p + ".concat", {b3, b7, bp});
+}
+
+LayerId inception_e(GraphBuilder& b, const std::string& p, LayerId in) {
+  const LayerId b1 = b.conv2d(p + ".b1x1", 320, 1, 1, 0, in);
+  // 3x3 branch splits again into 1x3 / 3x1 (nested branch/join).
+  const LayerId b3_stem = b.conv2d(p + ".b3x3_1", 384, 1, 1, 0, in);
+  const LayerId b3_a = b.conv2d_rect(p + ".b3x3_2a", 384, 1, 3, 1, 0, 1, b3_stem);
+  const LayerId b3_b = b.conv2d_rect(p + ".b3x3_2b", 384, 3, 1, 1, 1, 0, b3_stem);
+  const LayerId b3 = b.concat(p + ".b3x3_cat", {b3_a, b3_b});
+  const LayerId bd_stem1 = b.conv2d(p + ".b3x3dbl_1", 448, 1, 1, 0, in);
+  const LayerId bd_stem2 = b.conv2d(p + ".b3x3dbl_2", 384, 3, 1, 1, bd_stem1);
+  const LayerId bd_a =
+      b.conv2d_rect(p + ".b3x3dbl_3a", 384, 1, 3, 1, 0, 1, bd_stem2);
+  const LayerId bd_b =
+      b.conv2d_rect(p + ".b3x3dbl_3b", 384, 3, 1, 1, 1, 0, bd_stem2);
+  const LayerId bd = b.concat(p + ".b3x3dbl_cat", {bd_a, bd_b});
+  LayerId bp = b.avgpool(p + ".pool", 3, 1, 1, in);
+  bp = b.conv2d(p + ".pool_proj", 192, 1, 1, 0, bp);
+  return b.concat(p + ".concat", {b1, b3, bd, bp});
+}
+
+}  // namespace
+
+ModelGraph inception_v3(std::int64_t num_classes) {
+  GraphBuilder b("inception_v3", Shape{3, 299, 299});
+  b.conv2d("stem.conv1", 32, 3, 2, 0);
+  b.conv2d("stem.conv2", 32, 3, 1, 0);
+  b.conv2d("stem.conv3", 64, 3, 1, 1);
+  b.maxpool("stem.pool1", 3, 2);
+  b.conv2d("stem.conv4", 80, 1, 1, 0);
+  b.conv2d("stem.conv5", 192, 3, 1, 0);
+  LayerId cur = b.maxpool("stem.pool2", 3, 2);
+
+  cur = inception_a(b, "mixed5b", cur, 32);
+  cur = inception_a(b, "mixed5c", cur, 64);
+  cur = inception_a(b, "mixed5d", cur, 64);
+  cur = inception_b(b, "mixed6a", cur);
+  cur = inception_c(b, "mixed6b", cur, 128);
+  cur = inception_c(b, "mixed6c", cur, 160);
+  cur = inception_c(b, "mixed6d", cur, 160);
+  cur = inception_c(b, "mixed6e", cur, 192);
+  cur = inception_d(b, "mixed7a", cur);
+  cur = inception_e(b, "mixed7b", cur);
+  cur = inception_e(b, "mixed7c", cur);
+  b.global_pool("gap", cur);
+  b.dense("fc", num_classes);
+  return b.build();
+}
+
+ModelGraph by_name(const std::string& name) {
+  if (name == "vgg11") return vgg11();
+  if (name == "vgg16") return vgg16();
+  if (name == "resnet50") return resnet50();
+  if (name == "wide_resnet101_2") return wide_resnet101_2();
+  if (name == "inception_v3") return inception_v3();
+  if (name == "tiny_mlp") return tiny_mlp();
+  if (name == "tiny_branchy") return tiny_branchy();
+  throw std::invalid_argument("unknown model: " + name);
+}
+
+std::vector<std::string> names() {
+  return {"vgg11",        "vgg16",    "resnet50",
+          "wide_resnet101_2", "inception_v3", "tiny_mlp", "tiny_branchy"};
+}
+
+}  // namespace deeppool::models::zoo

@@ -1,0 +1,64 @@
+#include "models/zoo.h"
+
+namespace deeppool::models::zoo {
+
+namespace {
+
+/// Bottleneck residual block: 1x1 reduce -> 3x3 -> 1x1 expand, with a
+/// projection shortcut when the shape changes. `width` is the inner channel
+/// count (doubled for WideResNet-101-2), `out_channels` the block output.
+models::LayerId bottleneck(GraphBuilder& b, const std::string& prefix,
+                           models::LayerId in, std::int64_t width,
+                           std::int64_t out_channels, std::int64_t stride) {
+  const Shape in_shape = b.shape_of(in);
+  const LayerId c1 = b.conv2d(prefix + ".conv1", width, 1, 1, 0, in);
+  const LayerId c2 = b.conv2d(prefix + ".conv2", width, 3, stride, 1, c1);
+  const LayerId c3 = b.conv2d(prefix + ".conv3", out_channels, 1, 1, 0, c2);
+  LayerId shortcut = in;
+  if (stride != 1 || in_shape.c != out_channels) {
+    shortcut =
+        b.conv2d(prefix + ".downsample", out_channels, 1, stride, 0, in);
+  }
+  return b.add(prefix + ".add", c3, shortcut);
+}
+
+/// Shared ResNet scaffolding. `blocks` is the per-stage block count; `width0`
+/// the stage-1 inner width (64 for ResNet, 128 for WideResNet-*-2).
+ModelGraph make_resnet(const std::string& name, Shape input,
+                       const std::vector<int>& blocks, std::int64_t width0,
+                       std::int64_t num_classes) {
+  GraphBuilder b(name, input);
+  b.conv2d("stem.conv", 64, 7, 2, 3);
+  LayerId cur = b.maxpool("stem.pool", 3, 2, 1);
+  std::int64_t width = width0;
+  std::int64_t out_channels = 256;
+  for (std::size_t stage = 0; stage < blocks.size(); ++stage) {
+    for (int block = 0; block < blocks[stage]; ++block) {
+      const std::int64_t stride = (stage > 0 && block == 0) ? 2 : 1;
+      cur = bottleneck(b,
+                       "layer" + std::to_string(stage + 1) + "." +
+                           std::to_string(block),
+                       cur, width, out_channels, stride);
+    }
+    width *= 2;
+    out_channels *= 2;
+  }
+  b.global_pool("gap", cur);
+  b.dense("fc", num_classes);
+  return b.build();
+}
+
+}  // namespace
+
+ModelGraph resnet50(std::int64_t num_classes) {
+  return make_resnet("resnet50", Shape{3, 224, 224}, {3, 4, 6, 3}, 64,
+                     num_classes);
+}
+
+ModelGraph wide_resnet101_2(std::int64_t num_classes) {
+  // Paper Table 1: 3x400x400 input, 127M params, "intense conv".
+  return make_resnet("wide_resnet101_2", Shape{3, 400, 400}, {3, 4, 23, 3},
+                     128, num_classes);
+}
+
+}  // namespace deeppool::models::zoo

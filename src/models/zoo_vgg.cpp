@@ -1,0 +1,63 @@
+#include "models/zoo.h"
+
+namespace deeppool::models::zoo {
+
+namespace {
+
+/// Shared VGG scaffolding: `cfg` lists conv output channels per stage; each
+/// stage ends with a 2x2/2 max-pool; the classifier is fc4096-fc4096-fcN.
+ModelGraph make_vgg(const std::string& name,
+                    const std::vector<std::vector<std::int64_t>>& cfg,
+                    std::int64_t num_classes) {
+  GraphBuilder b(name, Shape{3, 224, 224});
+  int conv_idx = 1;
+  int stage_idx = 1;
+  for (const auto& stage : cfg) {
+    for (std::int64_t channels : stage) {
+      b.conv2d("conv" + std::to_string(conv_idx++), channels, 3, 1, 1);
+    }
+    b.maxpool("pool" + std::to_string(stage_idx++), 2, 2);
+  }
+  b.dense("fc6", 4096);
+  b.dense("fc7", 4096);
+  b.dense("fc8", num_classes);
+  return b.build();
+}
+
+}  // namespace
+
+ModelGraph vgg11(std::int64_t num_classes) {
+  return make_vgg("vgg11",
+                  {{64}, {128}, {256, 256}, {512, 512}, {512, 512}},
+                  num_classes);
+}
+
+ModelGraph vgg16(std::int64_t num_classes) {
+  return make_vgg(
+      "vgg16",
+      {{64, 64}, {128, 128}, {256, 256, 256}, {512, 512, 512}, {512, 512, 512}},
+      num_classes);
+}
+
+ModelGraph tiny_mlp() {
+  GraphBuilder b("tiny_mlp", Shape{64, 1, 1});
+  b.dense("fc1", 128);
+  b.dense("fc2", 128);
+  b.dense("fc3", 64);
+  b.dense("fc4", 10);
+  return b.build();
+}
+
+ModelGraph tiny_branchy() {
+  GraphBuilder b("tiny_branchy", Shape{16, 32, 32});
+  const LayerId stem = b.conv2d("stem", 32, 3, 1, 1);
+  const LayerId left1 = b.conv2d("left1", 32, 3, 1, 1, stem);
+  const LayerId left2 = b.conv2d("left2", 32, 3, 1, 1, left1);
+  const LayerId right = b.conv2d("right", 32, 1, 1, 0, stem);
+  b.add("join", left2, right);
+  b.global_pool("gap");
+  b.dense("fc", 10);
+  return b.build();
+}
+
+}  // namespace deeppool::models::zoo

@@ -1,0 +1,82 @@
+#include "net/network_model.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace deeppool::net {
+
+NetworkSpec NetworkSpec::nvswitch() { return NetworkSpec{}; }
+
+NetworkSpec NetworkSpec::from_bits_per_second(double bps, std::string name) {
+  if (bps <= 0) throw std::invalid_argument("bandwidth must be positive");
+  NetworkSpec spec;
+  spec.name = name.empty() ? std::to_string(bps / 1e9) + "Gbps" : std::move(name);
+  spec.per_gpu_bandwidth = bps / 8.0;
+  return spec;
+}
+
+NetworkSpec NetworkSpec::from_name(const std::string& name) {
+  if (name == "10g") return from_bits_per_second(10e9, "10Gbps");
+  if (name == "100g") return from_bits_per_second(100e9, "100Gbps");
+  if (name == "1t") return from_bits_per_second(1e12, "1Tbps");
+  if (name == "4.8t") return from_bits_per_second(4.8e12, "4.8Tbps");
+  if (name == "nvswitch") return nvswitch();
+  throw std::invalid_argument("unknown network: " + name);
+}
+
+NetworkModel::NetworkModel(NetworkSpec spec) : spec_(std::move(spec)) {
+  if (spec_.per_gpu_bandwidth <= 0 || spec_.propagation_delay_s < 0) {
+    throw std::invalid_argument("invalid NetworkSpec");
+  }
+}
+
+double NetworkModel::transfer_time(std::int64_t bytes) const {
+  if (bytes < 0) throw std::invalid_argument("negative payload");
+  if (bytes == 0) return 0.0;
+  return static_cast<double>(bytes) / spec_.per_gpu_bandwidth +
+         spec_.propagation_delay_s;
+}
+
+double NetworkModel::allreduce_time(std::int64_t bytes, int gpus) const {
+  if (gpus < 1) throw std::invalid_argument("gpus must be >= 1");
+  if (bytes < 0) throw std::invalid_argument("negative payload");
+  if (gpus == 1 || bytes == 0) return 0.0;
+  return static_cast<double>(bytes) / spec_.per_gpu_bandwidth +
+         spec_.propagation_delay_s;
+}
+
+double NetworkModel::ring_allreduce_time(std::int64_t bytes, int gpus) const {
+  if (gpus < 1) throw std::invalid_argument("gpus must be >= 1");
+  if (bytes < 0) throw std::invalid_argument("negative payload");
+  if (gpus == 1 || bytes == 0) return 0.0;
+  const double g = static_cast<double>(gpus);
+  const double wire_bytes = 2.0 * static_cast<double>(bytes) * (g - 1.0) / g;
+  return wire_bytes / spec_.per_gpu_bandwidth +
+         2.0 * (g - 1.0) * spec_.propagation_delay_s;
+}
+
+double NetworkModel::reshard_time(std::int64_t bytes_per_sample,
+                                  std::int64_t global_batch, int from_gpus,
+                                  int to_gpus) const {
+  if (from_gpus < 1 || to_gpus < 1) {
+    throw std::invalid_argument("gpu counts must be >= 1");
+  }
+  if (bytes_per_sample < 0 || global_batch < 0) {
+    throw std::invalid_argument("negative payload");
+  }
+  if (from_gpus == to_gpus || global_batch == 0 || bytes_per_sample == 0) {
+    return 0.0;
+  }
+  // With nested GPU sets (the smaller set is a prefix of the larger), each
+  // GPU in the small set keeps its share and distributes the rest; the
+  // busiest link carries (B/min - B/max) samples.
+  const double batch = static_cast<double>(global_batch);
+  const double lo = static_cast<double>(std::min(from_gpus, to_gpus));
+  const double hi = static_cast<double>(std::max(from_gpus, to_gpus));
+  const double samples_on_busiest_link = batch / lo - batch / hi;
+  const double bytes_on_link =
+      samples_on_busiest_link * static_cast<double>(bytes_per_sample);
+  return bytes_on_link / spec_.per_gpu_bandwidth + spec_.propagation_delay_s;
+}
+
+}  // namespace deeppool::net

@@ -1,0 +1,61 @@
+// Cluster interconnect model.
+//
+// The paper's planner uses "a simple networking model ... full bi-section
+// networking (as in NVSwitch): we simply divide the payload size by the
+// bandwidth and add the propagation delay" (§4.1). This module implements
+// that model plus the two collective patterns the planner charges for:
+// gradient all-reduce (sync) and sample/activation resharding when the GPU
+// count changes between layers (comm).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace deeppool::net {
+
+/// Full-bisection interconnect description.
+struct NetworkSpec {
+  std::string name = "NVSwitch";
+  double per_gpu_bandwidth = 600e9;  ///< bytes/s each GPU can send (Table 2)
+  double propagation_delay_s = 3e-6; ///< per-message latency
+
+  static NetworkSpec nvswitch();              ///< 600 GB/s per GPU (Table 2)
+  /// Named speeds used in Fig. 3: "10g", "100g", "1t", "4.8t" (bits/s).
+  static NetworkSpec from_name(const std::string& name);
+  /// Arbitrary link speed in bits per second.
+  static NetworkSpec from_bits_per_second(double bps, std::string name = "");
+};
+
+class NetworkModel {
+ public:
+  explicit NetworkModel(NetworkSpec spec);
+
+  const NetworkSpec& spec() const noexcept { return spec_; }
+
+  /// Point-to-point transfer of `bytes` through one GPU's link.
+  double transfer_time(std::int64_t bytes) const;
+
+  /// Gradient all-reduce of `bytes` across `gpus` participants, using the
+  /// paper's simple model: payload / per-GPU bandwidth + propagation delay
+  /// (§4.1 — on full-bisection NVSwitch fabric the reduction is effectively
+  /// bandwidth-limited by each GPU's own link). Returns 0 for a single GPU.
+  double allreduce_time(std::int64_t bytes, int gpus) const;
+
+  /// Classic ring all-reduce estimate (2*(g-1)/g of the payload on the wire,
+  /// 2*(g-1) propagation hops): the conservative alternative, kept for the
+  /// network-model ablation bench.
+  double ring_allreduce_time(std::int64_t bytes, int gpus) const;
+
+  /// Resharding samples between a layer scaled to `from_gpus` and the next
+  /// scaled to `to_gpus`: with nested GPU sets, every sample that changes
+  /// owner crosses the network once; the bottleneck is the busiest link.
+  /// `bytes_per_sample` is the activation size, `global_batch` the number of
+  /// samples. Returns 0 when the scale does not change.
+  double reshard_time(std::int64_t bytes_per_sample, std::int64_t global_batch,
+                      int from_gpus, int to_gpus) const;
+
+ private:
+  NetworkSpec spec_;
+};
+
+}  // namespace deeppool::net

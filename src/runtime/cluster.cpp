@@ -1,0 +1,308 @@
+#include "runtime/cluster.h"
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "gpu/device.h"
+#include "runtime/executor.h"
+#include "runtime/iteration.h"
+#include "sim/simulator.h"
+#include "util/logging.h"
+#include "util/trace.h"
+
+namespace deeppool::runtime {
+
+namespace {
+
+/// Lazily builds foreground iterations so that every rank's executor pulls
+/// its slice of the same iteration (sharing that iteration's collectives).
+class FgIterationPool {
+ public:
+  FgIterationPool(sim::Simulator& sim, const models::ModelGraph& model,
+                  const models::CostModel& cost, const core::TrainingPlan& plan,
+                  int num_devices)
+      : sim_(sim),
+        model_(model),
+        cost_(cost),
+        plan_(plan),
+        num_devices_(num_devices) {}
+
+  DeviceIteration take(int iteration, int device) {
+    while (static_cast<int>(built_.size()) <= iteration) {
+      built_.push_back(build_fg_iteration(sim_, model_, cost_, plan_,
+                                          num_devices_));
+    }
+    return std::move(built_[static_cast<std::size_t>(iteration)]
+                           [static_cast<std::size_t>(device)]);
+  }
+
+ private:
+  sim::Simulator& sim_;
+  const models::ModelGraph& model_;
+  const models::CostModel& cost_;
+  const core::TrainingPlan& plan_;
+  int num_devices_;
+  std::vector<std::vector<DeviceIteration>> built_;
+};
+
+}  // namespace
+
+namespace {
+
+/// §3.1 memory admission: the foreground's strong-scaled working set plus
+/// the background job must fit in device memory when they share a GPU.
+void check_memory_fit(const models::ModelGraph& fg_model,
+                      const models::ModelGraph& bg_model,
+                      const models::CostModel& cost,
+                      const ScenarioConfig& config) {
+  std::int64_t fg_bytes = 0;
+  if (config.fg_plan) {
+    const int peak = std::max(1, config.fg_plan->peak_gpus());
+    const std::int64_t per_gpu =
+        (config.fg_plan->global_batch + peak - 1) / peak;
+    fg_bytes = cost.memory_footprint_bytes(fg_model, per_gpu);
+  }
+  std::int64_t bg_bytes = 0;
+  const bool shares_gpu =
+      config.bg_distributed_plan.has_value() || config.collocate_bg;
+  if (shares_gpu || config.bg_on_idle_gpus) {
+    if (config.bg_distributed_plan) {
+      const int peak = std::max(1, config.bg_distributed_plan->peak_gpus());
+      bg_bytes = cost.memory_footprint_bytes(
+          bg_model, (config.bg_distributed_plan->global_batch + peak - 1) / peak);
+    } else {
+      bg_bytes = cost.memory_footprint_bytes(bg_model, config.bg_batch);
+    }
+  }
+  const std::int64_t budget = cost.spec().memory_bytes;
+  const std::int64_t need = shares_gpu ? fg_bytes + bg_bytes
+                                       : std::max(fg_bytes, bg_bytes);
+  if (need > budget) {
+    throw std::invalid_argument(
+        "working sets exceed device memory: foreground " +
+        std::to_string(fg_bytes) + "B + background " +
+        std::to_string(bg_bytes) + "B > " + std::to_string(budget) + "B");
+  }
+}
+
+}  // namespace
+
+ScenarioResult run_scenario(const models::ModelGraph& fg_model,
+                            const models::ModelGraph& bg_model,
+                            const models::CostModel& cost,
+                            const ScenarioConfig& config) {
+  if (config.num_gpus < 1) throw std::invalid_argument("num_gpus must be >= 1");
+  if (config.enforce_memory_fit) {
+    check_memory_fit(fg_model, bg_model, cost, config);
+  }
+
+  sim::Simulator sim;
+  gpu::DeviceConfig dev_cfg;
+  dev_cfg.sm_count = cost.spec().sm_count;
+
+  std::vector<std::unique_ptr<gpu::Device>> devices;
+  devices.reserve(static_cast<std::size_t>(config.num_gpus));
+  TraceRecorder trace;
+  for (int d = 0; d < config.num_gpus; ++d) {
+    devices.push_back(std::make_unique<gpu::Device>(sim, dev_cfg, d));
+    if (!config.trace_path.empty()) devices.back()->set_trace(&trace);
+  }
+
+  const int fg_gpus =
+      config.fg_plan ? std::min(config.fg_plan->peak_gpus(), config.num_gpus)
+                     : 0;
+
+  // Background executors are declared before the foreground callbacks so the
+  // measurement-window snapshots can reference them; they are fully
+  // constructed before the simulation starts.
+  std::vector<std::unique_ptr<HostExecutor>> bg_execs;
+  std::vector<std::int64_t> bg_ops_begin;
+  // Total device ops one background iteration spans (all ranks), for
+  // fractional-progress accounting.
+  double bg_ops_per_iter = 0.0;
+
+  // --- Foreground job -------------------------------------------------------
+  PerfMonitor fg_monitor(config.mux.slowdown_threshold,
+                         config.mux.slowdown_min_samples);
+  std::unique_ptr<FgIterationPool> fg_pool;
+  std::vector<std::unique_ptr<HostExecutor>> fg_execs;
+  const int total_fg_iters = config.warmup_iters + config.measure_iters;
+
+  bool done = !config.fg_plan.has_value();
+  double t_begin = 0.0;
+  double t_end = 0.0;
+  std::vector<double> sm_begin(static_cast<std::size_t>(config.num_gpus), 0.0);
+  std::vector<double> sm_end(static_cast<std::size_t>(config.num_gpus), 0.0);
+
+  if (config.fg_plan) {
+    fg_pool = std::make_unique<FgIterationPool>(sim, fg_model, cost,
+                                                *config.fg_plan, fg_gpus);
+    for (int d = 0; d < fg_gpus; ++d) {
+      gpu::Device& dev = *devices[static_cast<std::size_t>(d)];
+      const gpu::StreamId stream = dev.create_stream(config.mux.fg_priority);
+      auto factory = [pool = fg_pool.get(), d](int k) {
+        return pool->take(k, d);
+      };
+      std::function<void(int, double)> on_iter;
+      if (d == 0) {
+        on_iter = [&, total_fg_iters](int k, double t) {
+          if (k + 1 == config.warmup_iters) {
+            t_begin = t;
+            for (int i = 0; i < config.num_gpus; ++i) {
+              sm_begin[static_cast<std::size_t>(i)] =
+                  devices[static_cast<std::size_t>(i)]->total_sm_seconds();
+            }
+            bg_ops_begin.clear();
+            for (const auto& e : bg_execs) {
+              bg_ops_begin.push_back(e->ops_completed());
+            }
+          }
+          if (k + 1 == total_fg_iters) {
+            t_end = t;
+            for (int i = 0; i < config.num_gpus; ++i) {
+              sm_end[static_cast<std::size_t>(i)] =
+                  devices[static_cast<std::size_t>(i)]->total_sm_seconds();
+            }
+            done = true;
+          }
+        };
+      }
+      fg_execs.push_back(std::make_unique<HostExecutor>(
+          sim, dev, stream, config.mux, fg_monitor, "fg" + std::to_string(d),
+          std::move(factory), std::move(on_iter)));
+    }
+  }
+
+  // --- Background jobs ------------------------------------------------------
+  PerfMonitor bg_monitor(config.mux.slowdown_threshold,
+                         config.mux.slowdown_min_samples);
+  MultiplexConfig bg_mux = config.mux;
+  bg_mux.slowdown_feedback = false;  // background never pauses anyone
+  const int bg_priority = config.mux.stream_priorities ? config.mux.bg_priority
+                                                       : config.mux.fg_priority;
+  std::unique_ptr<FgIterationPool> bg_pool;
+  if (config.bg_distributed_plan) {
+    // Extension: distributed burst-parallel background job across the
+    // cluster at low priority (the paper's future-work item).
+    const int bg_gpus =
+        std::min(config.bg_distributed_plan->peak_gpus(), config.num_gpus);
+    bg_pool = std::make_unique<FgIterationPool>(
+        sim, bg_model, cost, *config.bg_distributed_plan, bg_gpus);
+    const auto sample = build_fg_iteration(sim, bg_model, cost,
+                                           *config.bg_distributed_plan, bg_gpus);
+    for (const DeviceIteration& d : sample) {
+      bg_ops_per_iter += static_cast<double>(d.ops.size());
+    }
+    for (int d = 0; d < bg_gpus; ++d) {
+      gpu::Device& dev = *devices[static_cast<std::size_t>(d)];
+      const gpu::StreamId stream = dev.create_stream(bg_priority);
+      auto factory = [pool = bg_pool.get(), d](int k) {
+        return pool->take(k, d);
+      };
+      bg_execs.push_back(std::make_unique<HostExecutor>(
+          sim, dev, stream, bg_mux, bg_monitor, "bgdist" + std::to_string(d),
+          std::move(factory)));
+    }
+  } else {
+    bg_ops_per_iter =
+        static_cast<double>(build_bg_iteration(bg_model, cost, config.bg_batch)
+                                .ops.size());
+    for (int d = 0; d < config.num_gpus; ++d) {
+      const bool on_fg_gpu = d < fg_gpus;
+      const bool wanted = (on_fg_gpu && config.collocate_bg) ||
+                          (!on_fg_gpu && config.bg_on_idle_gpus);
+      if (!wanted) continue;
+      gpu::Device& dev = *devices[static_cast<std::size_t>(d)];
+      const gpu::StreamId stream = dev.create_stream(bg_priority);
+      auto factory = [&bg_model, &cost, batch = config.bg_batch](int) {
+        return build_bg_iteration(bg_model, cost, batch);
+      };
+      bg_execs.push_back(std::make_unique<HostExecutor>(
+          sim, dev, stream, bg_mux, bg_monitor, "bg" + std::to_string(d),
+          std::move(factory)));
+    }
+  }
+
+  for (auto& e : fg_execs) e->start();
+  for (auto& e : bg_execs) e->start();
+
+  // --- Run -------------------------------------------------------------------
+  if (config.fg_plan) {
+    while (!done && sim.now() < config.max_sim_time_s && sim.step()) {
+    }
+    if (!done) {
+      throw std::runtime_error(
+          "foreground did not finish " + std::to_string(total_fg_iters) +
+          " iterations within the simulation cap (t=" +
+          std::to_string(sim.now()) + "s)");
+    }
+  } else {
+    t_begin = 0.0;
+    sim.run(config.bg_only_time_s);
+    t_end = config.bg_only_time_s;
+    for (int i = 0; i < config.num_gpus; ++i) {
+      sm_end[static_cast<std::size_t>(i)] =
+          devices[static_cast<std::size_t>(i)]->total_sm_seconds();
+    }
+  }
+  for (auto& e : fg_execs) e->stop();
+  for (auto& e : bg_execs) e->stop();
+
+  // --- Metrics ---------------------------------------------------------------
+  ScenarioResult r;
+  r.window_s = t_end - t_begin;
+  if (r.window_s <= 0.0) throw std::runtime_error("empty measurement window");
+
+  if (config.fg_plan) {
+    r.fg_iterations = config.measure_iters;
+    r.fg_iteration_avg_s = r.window_s / config.measure_iters;
+    r.fg_throughput =
+        static_cast<double>(config.fg_plan->global_batch) *
+        static_cast<double>(config.measure_iters) / r.window_s;
+    if (config.fg_plan->single_gpu_iteration_s > 0.0) {
+      r.fg_speedup =
+          config.fg_plan->single_gpu_iteration_s / r.fg_iteration_avg_s;
+    }
+    // Mean slowdown over gradient-sync operators.
+    double slow_sum = 0.0;
+    int slow_n = 0;
+    for (const models::Layer& l : fg_model.layers()) {
+      const int id = monitor_id(l.id, OpPhase::kSync);
+      if (fg_monitor.samples(id) > 0) {
+        slow_sum += fg_monitor.mean_slowdown(id);
+        ++slow_n;
+      }
+    }
+    r.allreduce_slowdown = slow_n > 0 ? slow_sum / slow_n : 1.0;
+  }
+
+  // Background progress inside the measurement window, at op granularity: a
+  // best-effort iteration may be longer than the window itself.
+  double bg_ops = 0.0;
+  for (std::size_t i = 0; i < bg_execs.size(); ++i) {
+    const std::int64_t begin = i < bg_ops_begin.size() ? bg_ops_begin[i] : 0;
+    bg_ops += static_cast<double>(bg_execs[i]->ops_completed() - begin);
+  }
+  const double bg_iters = bg_ops_per_iter > 0 ? bg_ops / bg_ops_per_iter : 0.0;
+  const std::int64_t bg_samples_per_iter =
+      config.bg_distributed_plan ? config.bg_distributed_plan->global_batch
+                                 : config.bg_batch;
+  r.bg_throughput =
+      bg_iters * static_cast<double>(bg_samples_per_iter) / r.window_s;
+
+  double busy = 0.0;
+  for (int i = 0; i < config.num_gpus; ++i) {
+    busy += sm_end[static_cast<std::size_t>(i)] -
+            sm_begin[static_cast<std::size_t>(i)];
+  }
+  r.sm_utilization = busy / (static_cast<double>(config.num_gpus) *
+                             static_cast<double>(cost.spec().sm_count) *
+                             r.window_s);
+  if (!config.trace_path.empty()) trace.save(config.trace_path);
+  DP_INFO << "scenario done: fg=" << r.fg_throughput
+          << " bg=" << r.bg_throughput << " util=" << r.sm_utilization;
+  return r;
+}
+
+}  // namespace deeppool::runtime

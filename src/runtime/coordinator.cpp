@@ -1,0 +1,106 @@
+#include "runtime/coordinator.h"
+
+#include <stdexcept>
+
+#include "models/zoo.h"
+#include "util/logging.h"
+
+namespace deeppool::runtime {
+
+ClusterCoordinator::ClusterCoordinator(int num_gpus, models::DeviceSpec device,
+                                       net::NetworkSpec network)
+    : num_gpus_(num_gpus),
+      cost_(std::move(device)),
+      network_(std::move(network)) {
+  if (num_gpus < 1) throw std::invalid_argument("num_gpus must be >= 1");
+}
+
+JobId ClusterCoordinator::submit_foreground(const Json& plan_json,
+                                            const MultiplexConfig& mux) {
+  (void)mux;  // per-job multiplexing overrides reserved for future use
+  JobRecord record;
+  record.id = static_cast<JobId>(jobs_.size());
+  record.priority = JobPriority::kForeground;
+  try {
+    record.plan = core::TrainingPlan::from_json(plan_json);
+    record.model_name = record.plan.model_name;
+    const models::ModelGraph model = models::zoo::by_name(record.model_name);
+    const core::ProfileSet profiles(
+        model, cost_, network_,
+        core::ProfileOptions{num_gpus_, record.plan.global_batch, true});
+    const core::ValidationReport report =
+        core::PlanValidator(profiles).validate(record.plan);
+    if (!report.ok()) {
+      record.state = JobRecord::State::kRejected;
+      record.rejection_reason = report.to_string();
+      DP_WARN << "rejected plan for " << record.model_name << ": "
+              << record.rejection_reason;
+    } else {
+      record.state = JobRecord::State::kQueued;
+      fg_queue_.push_back(record.id);
+    }
+  } catch (const std::exception& e) {
+    record.state = JobRecord::State::kRejected;
+    record.rejection_reason = e.what();
+  }
+  jobs_.push_back(std::move(record));
+  return jobs_.back().id;
+}
+
+JobId ClusterCoordinator::submit_background(const std::string& model_name,
+                                            std::int64_t bg_batch) {
+  if (bg_batch < 1) throw std::invalid_argument("bg_batch must be >= 1");
+  models::zoo::by_name(model_name);  // throws for unknown models
+  JobRecord record;
+  record.id = static_cast<JobId>(jobs_.size());
+  record.priority = JobPriority::kBackground;
+  record.model_name = model_name;
+  record.bg_batch = bg_batch;
+  record.state = JobRecord::State::kQueued;
+  jobs_.push_back(std::move(record));
+  active_bg_ = jobs_.back().id;
+  return jobs_.back().id;
+}
+
+int ClusterCoordinator::run_all() {
+  int executed = 0;
+  while (!fg_queue_.empty()) {
+    const JobId id = fg_queue_.front();
+    fg_queue_.pop_front();
+    JobRecord& job = jobs_.at(static_cast<std::size_t>(id));
+    job.state = JobRecord::State::kRunning;
+
+    const models::ModelGraph fg_model = models::zoo::by_name(job.model_name);
+    ScenarioConfig config;
+    config.num_gpus = num_gpus_;
+    config.fg_plan = job.plan;
+
+    if (active_bg_) {
+      const JobRecord& bg = jobs_.at(static_cast<std::size_t>(*active_bg_));
+      const models::ModelGraph bg_model = models::zoo::by_name(bg.model_name);
+      config.collocate_bg = true;
+      config.bg_batch = bg.bg_batch;
+      job.result = run_scenario(fg_model, bg_model, cost_, config);
+      jobs_.at(static_cast<std::size_t>(*active_bg_)).state =
+          JobRecord::State::kRunning;
+    } else {
+      job.result = run_scenario(fg_model, fg_model, cost_, config);
+    }
+    job.state = JobRecord::State::kCompleted;
+    ++executed;
+  }
+  return executed;
+}
+
+const JobRecord& ClusterCoordinator::job(JobId id) const {
+  if (id < 0 || static_cast<std::size_t>(id) >= jobs_.size()) {
+    throw std::out_of_range("unknown job id " + std::to_string(id));
+  }
+  return jobs_[static_cast<std::size_t>(id)];
+}
+
+std::size_t ClusterCoordinator::queued_foreground() const noexcept {
+  return fg_queue_.size();
+}
+
+}  // namespace deeppool::runtime

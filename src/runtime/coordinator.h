@@ -1,0 +1,75 @@
+// Cluster coordinator (paper Fig. 6).
+//
+// The long-lived control-plane object a user-facing DeepPool deployment
+// exposes: jobs are *submitted* (as JSON training plans, exactly what the
+// burst-parallel planner emits), validated, queued, and then executed on the
+// simulated cluster with DeepPool's multiplexing between the foreground job
+// and the accumulated background jobs. One foreground job runs at a time
+// (the paper's prototype makes the same simplification); background
+// submissions fill every GPU.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/plan_validator.h"
+#include "runtime/cluster.h"
+#include "util/json.h"
+
+namespace deeppool::runtime {
+
+using JobId = int;
+
+enum class JobPriority { kForeground, kBackground };
+
+struct JobRecord {
+  JobId id = -1;
+  std::string model_name;
+  JobPriority priority = JobPriority::kForeground;
+  core::TrainingPlan plan;     // foreground: burst plan; background: unused
+  std::int64_t bg_batch = 8;   // background only
+  enum class State { kQueued, kRunning, kCompleted, kRejected } state =
+      State::kQueued;
+  std::string rejection_reason;
+  std::optional<ScenarioResult> result;
+};
+
+class ClusterCoordinator {
+ public:
+  /// `num_gpus`: cluster size. Profiles are built per submitted model so
+  /// every plan is validated against the coordinator's own view of the
+  /// hardware.
+  ClusterCoordinator(int num_gpus, models::DeviceSpec device,
+                     net::NetworkSpec network);
+
+  /// Submits a foreground job from its JSON training plan (the Fig. 6
+  /// "submit" arrow). The plan is validated; invalid plans are recorded as
+  /// kRejected and their id still returned. The model must exist in the zoo.
+  JobId submit_foreground(const Json& plan_json, const MultiplexConfig& mux = {});
+
+  /// Submits a background training job (single-GPU best-effort replicas on
+  /// every GPU, batch `bg_batch`).
+  JobId submit_background(const std::string& model_name, std::int64_t bg_batch);
+
+  /// Runs queued foreground jobs to completion in FIFO order, multiplexing
+  /// the most recent background submission onto the same GPUs. Returns the
+  /// number of foreground jobs executed.
+  int run_all();
+
+  const JobRecord& job(JobId id) const;
+  std::size_t queued_foreground() const noexcept;
+  int num_gpus() const noexcept { return num_gpus_; }
+
+ private:
+  int num_gpus_;
+  models::CostModel cost_;
+  net::NetworkModel network_;
+  std::vector<JobRecord> jobs_;
+  std::deque<JobId> fg_queue_;
+  std::optional<JobId> active_bg_;
+};
+
+}  // namespace deeppool::runtime

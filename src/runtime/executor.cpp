@@ -1,0 +1,152 @@
+#include "runtime/executor.h"
+
+#include <memory>
+#include <stdexcept>
+
+namespace deeppool::runtime {
+
+HostExecutor::HostExecutor(sim::Simulator& sim, gpu::Device& device,
+                           gpu::StreamId stream, MultiplexConfig mux,
+                           PerfMonitor& monitor, std::string name,
+                           std::function<DeviceIteration(int)> iteration_factory,
+                           std::function<void(int, double)> on_iteration)
+    : sim_(sim),
+      device_(device),
+      stream_(stream),
+      mux_(mux),
+      monitor_(monitor),
+      name_(std::move(name)),
+      iteration_factory_(std::move(iteration_factory)),
+      on_iteration_(std::move(on_iteration)) {
+  if (!iteration_factory_) throw std::invalid_argument("missing factory");
+}
+
+int HostExecutor::outstanding_cap() const {
+  return mux_.pacing_limit > 0 ? mux_.pacing_limit
+                               : mux_.unpaced_outstanding_cap;
+}
+
+void HostExecutor::start() {
+  if (started_) return;
+  started_ = true;
+  try_advance();
+}
+
+void HostExecutor::build_iteration(int k) {
+  DeviceIteration it = iteration_factory_(k);
+  if (it.ops.empty()) throw std::logic_error("empty iteration from factory");
+  if (it.baselines.size() != it.ops.size()) {
+    throw std::logic_error("baseline/op count mismatch");
+  }
+
+  std::vector<Unit> units;
+  Unit current;
+  auto flush = [&] {
+    if (current.ops.empty()) return;
+    current.iteration = k;
+    units.push_back(std::move(current));
+    current = Unit{};
+  };
+  const int graph_cap = mux_.cuda_graphs ? std::max(1, mux_.graph_split) : 1;
+  for (std::size_t i = 0; i < it.ops.size(); ++i) {
+    gpu::OpDesc& op = it.ops[i];
+    if (op.type == gpu::OpType::kComm) {
+      // Comm ops launch on their own: NCCL operations are captured outside
+      // graphs so the feedback loop can gate them individually.
+      flush();
+      current.ops.push_back(std::move(op));
+      current.baselines.push_back(it.baselines[i]);
+      flush();
+      continue;
+    }
+    current.ops.push_back(std::move(op));
+    current.baselines.push_back(it.baselines[i]);
+    if (static_cast<int>(current.ops.size()) >= graph_cap) flush();
+  }
+  flush();
+  units.back().last_of_iteration = true;
+  for (Unit& u : units) pending_units_.push_back(std::move(u));
+  built_iterations_ = k + 1;
+}
+
+void HostExecutor::try_advance() {
+  if (stopped_ || host_busy_) return;
+  if (pending_units_.empty()) build_iteration(built_iterations_);
+  if (outstanding_ >= outstanding_cap()) return;
+
+  Unit unit = std::move(pending_units_.front());
+  pending_units_.pop_front();
+
+  // Host CPU time to prepare and submit the launch: one graph launch for a
+  // grouped unit, one cudaLaunchKernel otherwise.
+  const double cpu_cost = (mux_.cuda_graphs && unit.ops.size() > 1)
+                              ? mux_.graph_launch_s
+                              : (unit.ops.front().type == gpu::OpType::kComm
+                                     ? mux_.cpu_launch_s
+                                     : (mux_.cuda_graphs ? mux_.graph_launch_s
+                                                         : mux_.cpu_launch_s));
+  host_busy_ = true;
+  sim_.schedule_after(cpu_cost, [this, unit = std::move(unit)]() mutable {
+    host_busy_ = false;
+    launch_unit(std::move(unit));
+    try_advance();
+  });
+}
+
+void HostExecutor::launch_unit(Unit unit) {
+  // Slowdown feedback: if a communication operator in this unit has been
+  // observed to be interference-sensitive, pause low-priority dispatch on
+  // this device until the unit completes (§5's collocation pause; the
+  // paper's canonical case is NCCL all-reduce, which "more than doubles in
+  // execution time when another task is run on the same GPU"). Compute
+  // kernels are monitored but never gate collocation: stream priorities
+  // already bound their slowdown to a wave of the contending kernel.
+  if (mux_.slowdown_feedback) {
+    for (gpu::OpDesc& op : unit.ops) {
+      if (op.type == gpu::OpType::kComm && op.monitor_id >= 0 &&
+          monitor_.is_sensitive(op.monitor_id)) {
+        // The device holds the pause exactly while the op is at the stream
+        // head (see OpDesc::pause_low_priority) — not while it waits behind
+        // earlier launches.
+        op.pause_low_priority = true;
+      }
+    }
+  }
+
+  outstanding_ += 1;
+  const int iteration = unit.iteration;
+  const bool last = unit.last_of_iteration;
+
+  std::vector<gpu::Device::LaunchItem> items;
+  items.reserve(unit.ops.size());
+  for (std::size_t i = 0; i < unit.ops.size(); ++i) {
+    const bool is_last_op = i + 1 == unit.ops.size();
+    const int mid = unit.ops[i].monitor_id;
+    if (mid >= 0) {
+      // Device-side execution time vs the profiled isolation baseline: this
+      // is the §5 performance-monitor feed.
+      const double baseline = unit.baselines[i];
+      unit.ops[i].on_measured = [this, mid, baseline](double exec_s) {
+        monitor_.record(mid, exec_s, baseline);
+      };
+    }
+    auto cb = [this, is_last_op, iteration, last] {
+      ++ops_completed_;
+      if (is_last_op) on_unit_complete(iteration, last);
+    };
+    items.push_back(gpu::Device::LaunchItem{std::move(unit.ops[i]), std::move(cb)});
+  }
+  device_.launch_batch(stream_, std::move(items));
+}
+
+void HostExecutor::on_unit_complete(int iteration, bool last) {
+  outstanding_ -= 1;
+  if (last) {
+    iterations_completed_ = iteration + 1;
+    iteration_ends_.push_back(sim_.now());
+    if (on_iteration_) on_iteration_(iteration, sim_.now());
+  }
+  try_advance();
+}
+
+}  // namespace deeppool::runtime

@@ -1,0 +1,98 @@
+// Host-side launch loop for one task on one device (paper Fig. 8, host box).
+//
+// The executor mediates between a task's iteration op-stream and the
+// simulated device, implementing the §5 mechanisms:
+//
+//   * CUDA graphs: consecutive kernels are grouped into a single launch
+//     (one transmission-queue entry), split at `graph_split` kernels and at
+//     every comm op.
+//   * Launch pacing: at most `pacing_limit` launches outstanding; with
+//     pacing disabled the executor pipelines iterations ahead (up to a large
+//     safety cap), reproducing the unbounded-launch queue flooding.
+//   * Slowdown feedback: before launching an operator the perf monitor has
+//     flagged sensitive, pause low-priority dispatch on this device; resume
+//     when the operator completes.
+//
+// Iterations are supplied by a factory callback so distributed jobs can hand
+// every rank the same per-iteration collectives.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "gpu/device.h"
+#include "runtime/iteration.h"
+#include "runtime/multiplex.h"
+#include "runtime/perf_monitor.h"
+#include "sim/simulator.h"
+
+namespace deeppool::runtime {
+
+class HostExecutor {
+ public:
+  /// `iteration_factory(k)` returns the ops this device runs in iteration k.
+  /// `on_iteration(k, t)` fires when iteration k completes at sim time t.
+  HostExecutor(sim::Simulator& sim, gpu::Device& device, gpu::StreamId stream,
+               MultiplexConfig mux, PerfMonitor& monitor, std::string name,
+               std::function<DeviceIteration(int)> iteration_factory,
+               std::function<void(int, double)> on_iteration = {});
+
+  HostExecutor(const HostExecutor&) = delete;
+  HostExecutor& operator=(const HostExecutor&) = delete;
+
+  /// Begins launching iteration 0. Idempotent.
+  void start();
+  /// Stops issuing new work (in-flight ops drain naturally).
+  void stop() { stopped_ = true; }
+
+  int iterations_completed() const noexcept { return iterations_completed_; }
+  /// Completion timestamps, one per finished iteration.
+  const std::vector<double>& iteration_end_times() const noexcept {
+    return iteration_ends_;
+  }
+  /// Total device ops completed — fractional-iteration progress accounting
+  /// (a background iteration can be longer than a measurement window).
+  std::int64_t ops_completed() const noexcept { return ops_completed_; }
+  const std::string& name() const noexcept { return name_; }
+
+ private:
+  /// One paced launch unit: a CUDA graph (>=1 kernels/delays) or a single
+  /// comm op.
+  struct Unit {
+    std::vector<gpu::OpDesc> ops;
+    std::vector<double> baselines;
+    int iteration = 0;
+    bool last_of_iteration = false;
+  };
+
+  void build_iteration(int k);
+  void try_advance();
+  void launch_unit(Unit unit);
+  void on_unit_complete(int iteration, bool last);
+
+  int outstanding_cap() const;
+
+  sim::Simulator& sim_;
+  gpu::Device& device_;
+  gpu::StreamId stream_;
+  MultiplexConfig mux_;
+  PerfMonitor& monitor_;
+  std::string name_;
+  std::function<DeviceIteration(int)> iteration_factory_;
+  std::function<void(int, double)> on_iteration_;
+
+  std::deque<Unit> pending_units_;
+  int built_iterations_ = 0;
+  int iterations_completed_ = 0;
+  std::vector<double> iteration_ends_;
+  std::int64_t ops_completed_ = 0;
+  int outstanding_ = 0;
+  bool host_busy_ = false;
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace deeppool::runtime

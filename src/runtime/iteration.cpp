@@ -1,0 +1,186 @@
+#include "runtime/iteration.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "gpu/collective.h"
+
+namespace deeppool::runtime {
+
+namespace {
+
+
+gpu::OpDesc kernel_op(const models::Layer& layer, OpPhase phase,
+                      const KernelShape& shape) {
+  gpu::OpDesc op;
+  op.type = gpu::OpType::kKernel;
+  op.name = layer.name + (phase == OpPhase::kForward ? ".fwd" : ".bwd");
+  op.monitor_id = monitor_id(layer.id, phase);
+  op.blocks = shape.blocks;
+  op.block_s = shape.block_s;
+  op.max_concurrency = shape.max_concurrency;
+  return op;
+}
+
+}  // namespace
+
+int monitor_id(models::LayerId layer, OpPhase phase) {
+  return layer * 4 + static_cast<int>(phase);
+}
+
+KernelShape kernel_shape(const models::CostModel& cost,
+                         const models::Layer& layer, std::int64_t batch,
+                         bool backward) {
+  const models::LayerTime t = cost.layer_time(layer, batch);
+  const double duration = backward ? t.backward_s : t.forward_s;
+  // SM footprint follows the kernel's achieved utilization: a strong-scaled
+  // (small-batch or memory-bound) kernel leaves most of the device's compute
+  // free — exactly the capacity DeepPool's collocation reclaims (Fig. 4).
+  // One wave of `demand` blocks, each lasting the kernel's full duration,
+  // makes the kernel's SM-seconds equal utilization * sm_count * duration
+  // and makes the whole kernel the unit of non-preemption (§5).
+  const int sm_count = cost.spec().sm_count;
+  const int demand = static_cast<int>(std::clamp(
+      std::ceil(t.utilization * static_cast<double>(sm_count)), 1.0,
+      static_cast<double>(sm_count)));
+  // Subdivide long kernels into short waves (~20us blocks, up to 16 per
+  // kernel) so that SMs recycle at realistic thread-block granularity: a
+  // contended kernel picks up freed SMs within one wave instead of
+  // serializing behind a full kernel duration.
+  const int chunks = static_cast<int>(
+      std::clamp(std::round(duration / 20e-6), 1.0, 16.0));
+  KernelShape shape;
+  shape.blocks = demand * chunks;
+  shape.block_s = duration / static_cast<double>(chunks);
+  shape.max_concurrency = demand;
+  shape.isolated_s = duration;
+  return shape;
+}
+
+std::vector<DeviceIteration> build_fg_iteration(
+    sim::Simulator& sim, const models::ModelGraph& model,
+    const models::CostModel& cost, const core::TrainingPlan& plan,
+    int num_devices) {
+  if (plan.assignments.size() != model.size()) {
+    throw std::invalid_argument("plan does not match model");
+  }
+  std::vector<DeviceIteration> out(static_cast<std::size_t>(num_devices));
+
+  auto add_op = [&](int ranks, const gpu::OpDesc& op, double baseline) {
+    for (int d = 0; d < std::min(ranks, num_devices); ++d) {
+      out[static_cast<std::size_t>(d)].ops.push_back(op);
+      out[static_cast<std::size_t>(d)].baselines.push_back(baseline);
+    }
+  };
+
+  auto add_reshard = [&](models::LayerId layer, int from_g, int to_g,
+                         double duration) {
+    if (from_g == to_g || duration <= 0.0) return;
+    const int ranks = std::max(from_g, to_g);
+    gpu::OpDesc op;
+    op.type = gpu::OpType::kComm;
+    op.name = model.layer(layer).name + ".reshard";
+    op.monitor_id = monitor_id(layer, OpPhase::kReshard);
+    op.base_duration_s = duration;
+    op.interference_sensitivity = kReshardSensitivity;
+    op.comm_sms = 4;
+    op.collective = std::make_shared<gpu::Collective>(
+        sim, std::min(ranks, num_devices), duration);
+    add_op(ranks, op, duration);
+  };
+
+  // Forward pass. The plan's comm_in_s covers the forward activation move
+  // plus the backward gradient move (ProfileSet::comm doubles the transfer),
+  // so each direction charges half here.
+  int prev_g = 0;
+  models::LayerId prev_layer = -1;
+  for (const models::Layer& layer : model.layers()) {
+    const core::LayerAssignment& a = plan.assignment(layer.id);
+    if (layer.kind == models::LayerKind::kInput) {
+      prev_g = a.gpus;
+      prev_layer = layer.id;
+      continue;
+    }
+    if (prev_layer >= 0) {
+      add_reshard(layer.id, prev_g, a.gpus, a.comm_in_s / 2.0);
+    }
+    const KernelShape shape = kernel_shape(
+        cost, layer, (plan.global_batch + a.gpus - 1) / a.gpus, false);
+    add_op(a.gpus, kernel_op(layer, OpPhase::kForward, shape),
+           shape.isolated_s);
+    prev_g = a.gpus;
+    prev_layer = layer.id;
+  }
+
+  // Backward pass (reverse layer order). After layer i's backward kernel the
+  // activation gradients cross the same edge the forward pass charged on
+  // entry to i (layer ids are dense and topological, so the edge partner is
+  // id-1 under the serialized execution order).
+  for (auto it = model.layers().rbegin(); it != model.layers().rend(); ++it) {
+    const models::Layer& layer = *it;
+    if (layer.kind == models::LayerKind::kInput) continue;
+    const core::LayerAssignment& a = plan.assignment(layer.id);
+    const KernelShape shape = kernel_shape(
+        cost, layer, (plan.global_batch + a.gpus - 1) / a.gpus, true);
+    add_op(a.gpus, kernel_op(layer, OpPhase::kBackward, shape),
+           shape.isolated_s);
+    if (layer.id > 0) {
+      const int downstream_g = plan.assignment(layer.id - 1).gpus;
+      add_reshard(layer.id, a.gpus, downstream_g, a.comm_in_s / 2.0);
+    }
+  }
+
+  // Gradient synchronization, one all-reduce per parameterized layer,
+  // not overlapped with the backward pass (§4.1).
+  for (const models::Layer& layer : model.layers()) {
+    const core::LayerAssignment& a = plan.assignment(layer.id);
+    if (!layer.has_params() || a.gpus < 2 || a.sync_s <= 0.0) continue;
+    gpu::OpDesc op;
+    op.type = gpu::OpType::kComm;
+    op.name = layer.name + ".allreduce";
+    op.monitor_id = monitor_id(layer.id, OpPhase::kSync);
+    op.base_duration_s = a.sync_s;
+    op.interference_sensitivity = kAllReduceSensitivity;
+    op.comm_sms = kCommSms;
+    op.collective = std::make_shared<gpu::Collective>(
+        sim, std::min(a.gpus, num_devices), a.sync_s);
+    add_op(a.gpus, op, a.sync_s);
+  }
+
+  // Iteration barrier: optimizer step across every rank the job touches.
+  {
+    gpu::OpDesc op;
+    op.type = gpu::OpType::kComm;
+    op.name = "iteration.barrier";
+    op.monitor_id = -1;
+    op.base_duration_s = 0.0;
+    op.comm_sms = 1;
+    op.collective = std::make_shared<gpu::Collective>(sim, num_devices, 0.0);
+    add_op(num_devices, op, 0.0);
+  }
+  return out;
+}
+
+DeviceIteration build_bg_iteration(const models::ModelGraph& model,
+                                   const models::CostModel& cost,
+                                   std::int64_t bg_batch) {
+  if (bg_batch < 1) throw std::invalid_argument("bg_batch must be >= 1");
+  DeviceIteration it;
+  for (const models::Layer& layer : model.layers()) {
+    if (layer.kind == models::LayerKind::kInput) continue;
+    const KernelShape shape = kernel_shape(cost, layer, bg_batch, false);
+    it.ops.push_back(kernel_op(layer, OpPhase::kForward, shape));
+    it.baselines.push_back(shape.isolated_s);
+  }
+  for (auto rit = model.layers().rbegin(); rit != model.layers().rend();
+       ++rit) {
+    if (rit->kind == models::LayerKind::kInput) continue;
+    const KernelShape shape = kernel_shape(cost, *rit, bg_batch, true);
+    it.ops.push_back(kernel_op(*rit, OpPhase::kBackward, shape));
+    it.baselines.push_back(shape.isolated_s);
+  }
+  return it;
+}
+
+}  // namespace deeppool::runtime

@@ -1,0 +1,72 @@
+// Iteration builders: turn a model + training plan into the per-device
+// operation sequences one training iteration launches.
+//
+// Foreground (burst-parallel, distributed): per plan assignment, each layer's
+// forward kernel runs on GPUs [0, g_i); scale changes insert resharding comm
+// ops synchronized across the union of the two GPU sets; the backward pass
+// mirrors the forward; gradient all-reduces (one per parameterized layer,
+// not overlapped — §4.1) close the iteration, followed by a zero-cost
+// barrier that keeps ranks in lockstep across iterations.
+//
+// Background (local, single device): forward+backward kernels at the
+// best-effort batch size, no communication.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/plan.h"
+#include "gpu/op.h"
+#include "models/cost_model.h"
+#include "sim/simulator.h"
+
+namespace deeppool::runtime {
+
+/// Stable operator identity for the performance monitor: one id per
+/// (layer, phase) pair, identical across iterations.
+enum class OpPhase : int { kForward = 0, kBackward = 1, kSync = 2, kReshard = 3 };
+int monitor_id(models::LayerId layer, OpPhase phase);
+
+/// Thread-block geometry for a layer kernel at a given batch: how many
+/// blocks the kernel spawns and how long each runs. Derived from the cost
+/// model so that the kernel's isolated duration equals the analytic time.
+struct KernelShape {
+  int blocks = 1;
+  double block_s = 0.0;
+  int max_concurrency = 0;  ///< useful parallelism (SM demand)
+  double isolated_s = 0.0;  ///< duration on an idle device
+};
+KernelShape kernel_shape(const models::CostModel& cost,
+                         const models::Layer& layer, std::int64_t batch,
+                         bool backward);
+
+/// Interference sensitivity of NCCL-style all-reduce (§5: "more than
+/// doubles in execution time when another task is run on the same GPU").
+inline constexpr double kAllReduceSensitivity = 2.5;
+/// Resharding transfers are DMA-dominated and less SM-sensitive.
+inline constexpr double kReshardSensitivity = 0.8;
+/// SMs a NCCL kernel occupies.
+inline constexpr int kCommSms = 8;
+
+/// One device's op list for one iteration, plus per-op isolation baselines
+/// (for the perf monitor).
+struct DeviceIteration {
+  std::vector<gpu::OpDesc> ops;
+  std::vector<double> baselines;
+};
+
+/// Builds one foreground iteration for all `num_devices` ranks. Collectives
+/// are freshly allocated and shared between the ranks' op descriptors, so
+/// the returned vector must be used for exactly one iteration.
+std::vector<DeviceIteration> build_fg_iteration(
+    sim::Simulator& sim, const models::ModelGraph& model,
+    const models::CostModel& cost, const core::TrainingPlan& plan,
+    int num_devices);
+
+/// Builds one background iteration (single device, local training).
+DeviceIteration build_bg_iteration(const models::ModelGraph& model,
+                                   const models::CostModel& cost,
+                                   std::int64_t bg_batch);
+
+}  // namespace deeppool::runtime

@@ -1,0 +1,49 @@
+// Multiplexing mechanism configuration (paper §5, ablated in Fig. 11).
+//
+// Each knob corresponds to one rung of the Fig. 11 ladder; turning them all
+// off reproduces "naive collocation", turning them all on is full DeepPool.
+#pragma once
+
+#include <cstdint>
+
+namespace deeppool::runtime {
+
+struct MultiplexConfig {
+  /// Group launches into CUDA graphs (one transmission-queue entry per
+  /// graph) instead of one entry per kernel.
+  bool cuda_graphs = true;
+  /// Maximum kernels per graph launch. DeepPool "splits large CUDA graph
+  /// launches into groups of smaller graphs" so big background graphs cannot
+  /// head-of-line-block the device (§5).
+  int graph_split = 24;
+
+  /// Give the foreground stream a higher CUDA priority than background.
+  bool stream_priorities = true;
+  /// Priority values used for the two classes.
+  int fg_priority = 10;
+  int bg_priority = 0;
+
+  /// Launch pacing: maximum launches (kernel or graph) a task may have
+  /// outstanding (submitted but not completed). 0 = unbounded, which lets a
+  /// background task flood the shared transmission queue.
+  int pacing_limit = 2;
+  /// Safety cap used when pacing is disabled (keeps the simulation finite;
+  /// large enough that the queue-flooding pathology is fully expressed).
+  int unpaced_outstanding_cap = 64;
+
+  /// Slowdown feedback loop: monitor per-operator slowdown and pause
+  /// background dispatch around operators observed to be highly sensitive
+  /// (NCCL all-reduce in the paper).
+  bool slowdown_feedback = true;
+  double slowdown_threshold = 1.5;
+  int slowdown_min_samples = 2;
+
+  /// Host-side cost of one cudaLaunchKernel-style submission. Launches are
+  /// asynchronous: the host can run ahead of the device's transmission
+  /// queue, which drains more slowly (see DeviceConfig::driver_entry_s).
+  double cpu_launch_s = 2.5e-6;
+  /// Host-side cost of one graph launch (amortized over its kernels).
+  double graph_launch_s = 8e-6;
+};
+
+}  // namespace deeppool::runtime

@@ -1,0 +1,50 @@
+#include "runtime/perf_monitor.h"
+
+#include <stdexcept>
+
+namespace deeppool::runtime {
+
+PerfMonitor::PerfMonitor(double slowdown_threshold, int min_samples)
+    : threshold_(slowdown_threshold), min_samples_(min_samples) {
+  if (slowdown_threshold <= 1.0) {
+    throw std::invalid_argument("slowdown threshold must exceed 1.0");
+  }
+  if (min_samples < 1) throw std::invalid_argument("min_samples must be >= 1");
+}
+
+void PerfMonitor::record(int monitor_id, double measured_s, double baseline_s) {
+  if (baseline_s <= 0.0) return;
+  Stats& s = stats_[monitor_id];
+  s.ratio_sum += measured_s / baseline_s;
+  s.count += 1;
+}
+
+bool PerfMonitor::is_sensitive(int monitor_id) const {
+  const auto it = stats_.find(monitor_id);
+  if (it == stats_.end() || it->second.count < min_samples_) return false;
+  return it->second.ratio_sum / static_cast<double>(it->second.count) >
+         threshold_;
+}
+
+double PerfMonitor::mean_slowdown(int monitor_id) const {
+  const auto it = stats_.find(monitor_id);
+  if (it == stats_.end() || it->second.count == 0) return 1.0;
+  return it->second.ratio_sum / static_cast<double>(it->second.count);
+}
+
+std::int64_t PerfMonitor::samples(int monitor_id) const {
+  const auto it = stats_.find(monitor_id);
+  return it == stats_.end() ? 0 : it->second.count;
+}
+
+double PerfMonitor::overall_mean_slowdown() const {
+  double sum = 0.0;
+  std::int64_t n = 0;
+  for (const auto& [id, s] : stats_) {
+    sum += s.ratio_sum;
+    n += s.count;
+  }
+  return n == 0 ? 1.0 : sum / static_cast<double>(n);
+}
+
+}  // namespace deeppool::runtime

@@ -1,0 +1,45 @@
+// Per-operator performance monitor (paper Fig. 6 "Perf. Monitor" and the §5
+// slowdown feedback loop).
+//
+// Executors report each monitored operator's measured latency against its
+// isolation baseline. Operators whose average slowdown exceeds the threshold
+// (after a minimum sample count) are flagged "sensitive"; the executor then
+// pauses background collocation for the duration of those operators.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace deeppool::runtime {
+
+class PerfMonitor {
+ public:
+  PerfMonitor(double slowdown_threshold, int min_samples);
+
+  /// Records one observation of operator `monitor_id`.
+  /// `baseline_s` <= 0 observations are ignored (nothing to compare to).
+  void record(int monitor_id, double measured_s, double baseline_s);
+
+  /// True once the operator's mean slowdown exceeds the threshold.
+  bool is_sensitive(int monitor_id) const;
+
+  /// Mean measured/baseline ratio (1.0 if never recorded).
+  double mean_slowdown(int monitor_id) const;
+
+  std::int64_t samples(int monitor_id) const;
+
+  /// Mean slowdown across every recorded operator (1.0 if none).
+  double overall_mean_slowdown() const;
+
+ private:
+  struct Stats {
+    double ratio_sum = 0.0;
+    std::int64_t count = 0;
+  };
+
+  double threshold_;
+  int min_samples_;
+  std::unordered_map<int, Stats> stats_;
+};
+
+}  // namespace deeppool::runtime

@@ -1,0 +1,63 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace deeppool::sim {
+
+EventId Simulator::schedule_at(Time when, std::function<void()> fn) {
+  if (std::isnan(when) || when < now_) {
+    throw std::invalid_argument("schedule_at: time " + std::to_string(when) +
+                                " is before now " + std::to_string(now_));
+  }
+  const EventId id = next_id_++;
+  queue_.push(Event{when, next_seq_++, id, std::move(fn)});
+  ++live_events_;
+  return id;
+}
+
+EventId Simulator::schedule_after(Time delay, std::function<void()> fn) {
+  if (std::isnan(delay) || delay < 0.0) {
+    throw std::invalid_argument("schedule_after: negative delay");
+  }
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+void Simulator::cancel(EventId id) {
+  cancelled_.push_back(id);
+  if (live_events_ > 0) --live_events_;
+}
+
+bool Simulator::is_cancelled(EventId id) const {
+  return std::find(cancelled_.begin(), cancelled_.end(), id) != cancelled_.end();
+}
+
+bool Simulator::step(Time until) {
+  while (!queue_.empty()) {
+    if (queue_.top().when > until) return false;
+    Event ev = queue_.top();
+    queue_.pop();
+    if (is_cancelled(ev.id)) {
+      cancelled_.erase(std::find(cancelled_.begin(), cancelled_.end(), ev.id));
+      continue;
+    }
+    --live_events_;
+    now_ = ev.when;
+    ++executed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Simulator::run(Time until) {
+  std::size_t n = 0;
+  while (step(until)) ++n;
+  if (!queue_.empty() && queue_.top().when > until && until != kTimeInfinity) {
+    now_ = std::max(now_, until);
+  }
+  return n;
+}
+
+}  // namespace deeppool::sim

@@ -1,0 +1,80 @@
+// Discrete-event simulation core.
+//
+// Every dynamic component of DeepPool's substrate (GPU SM scheduler, driver
+// queues, network transfers, host launch loops) runs on one shared Simulator.
+// Events are (time, sequence, callback); ties in time break by insertion
+// order so the simulation is fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <vector>
+
+namespace deeppool::sim {
+
+using Time = double;  ///< Simulated seconds since simulation start.
+
+constexpr Time kTimeInfinity = std::numeric_limits<Time>::infinity();
+
+/// Handle for cancelling a scheduled event.
+using EventId = std::uint64_t;
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  Time now() const noexcept { return now_; }
+
+  /// Schedules `fn` at absolute time `when` (>= now, else throws
+  /// std::invalid_argument). Returns an id usable with cancel().
+  EventId schedule_at(Time when, std::function<void()> fn);
+
+  /// Schedules `fn` after `delay` seconds (>= 0).
+  EventId schedule_after(Time delay, std::function<void()> fn);
+
+  /// Marks an event as cancelled. Cancelling an already-run or unknown id is
+  /// a no-op. O(1); cancelled entries are skipped when popped.
+  void cancel(EventId id);
+
+  /// Runs events until the queue is empty or `until` is passed. The clock
+  /// advances to each event's time; returns the number of events executed.
+  std::size_t run(Time until = kTimeInfinity);
+
+  /// Runs exactly one event if available before `until`; returns whether one
+  /// ran.
+  bool step(Time until = kTimeInfinity);
+
+  bool empty() const noexcept { return live_events_ == 0; }
+  std::size_t pending() const noexcept { return live_events_; }
+  std::uint64_t executed() const noexcept { return executed_; }
+
+ private:
+  struct Event {
+    Time when;
+    std::uint64_t seq;
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool is_cancelled(EventId id) const;
+
+  Time now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::size_t live_events_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<EventId> cancelled_;  // sorted insertion not required; small
+};
+
+}  // namespace deeppool::sim

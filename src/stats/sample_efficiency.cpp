@@ -1,0 +1,40 @@
+#include "stats/sample_efficiency.h"
+
+#include <stdexcept>
+
+namespace deeppool::stats {
+
+SampleEfficiencyModel::SampleEfficiencyModel(double steps_at_infinity,
+                                             double critical_batch)
+    : steps_inf_(steps_at_infinity), critical_batch_(critical_batch) {
+  if (steps_inf_ <= 0 || critical_batch_ <= 0) {
+    throw std::invalid_argument("sample efficiency parameters must be positive");
+  }
+}
+
+double SampleEfficiencyModel::steps_to_accuracy(std::int64_t global_batch) const {
+  if (global_batch < 1) throw std::invalid_argument("batch must be >= 1");
+  const double b = static_cast<double>(global_batch);
+  return steps_inf_ * (1.0 + critical_batch_ / b);
+}
+
+double SampleEfficiencyModel::samples_to_accuracy(
+    std::int64_t global_batch) const {
+  return static_cast<double>(global_batch) * steps_to_accuracy(global_batch);
+}
+
+double SampleEfficiencyModel::efficiency(std::int64_t global_batch) const {
+  // samples(B->0) = S_inf * B_crit; efficiency = that floor / samples(B).
+  const double floor = steps_inf_ * critical_batch_;
+  return floor / samples_to_accuracy(global_batch);
+}
+
+SampleEfficiencyModel SampleEfficiencyModel::vgg11_error035() {
+  // Shape calibrated to Shallue et al.'s VGG-class measurements: weak
+  // scaling saturates around 16-17x (B_crit / 256 ~ 16), with a few thousand
+  // iterations left at very large batch.
+  return SampleEfficiencyModel(/*steps_at_infinity=*/2000.0,
+                               /*critical_batch=*/4096.0);
+}
+
+}  // namespace deeppool::stats

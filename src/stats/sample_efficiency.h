@@ -1,0 +1,48 @@
+// Statistical (sample) efficiency model.
+//
+// §2 of the paper estimates speedups by combining layer profiles with the
+// steps-to-accuracy measurements of Shallue et al. We use the standard
+// empirical form of those curves (McCandlish et al., "An Empirical Model of
+// Large-Batch Training"):
+//
+//     steps(B) = S_inf * (1 + B_crit / B)
+//
+// Below the critical batch size B_crit training is in the "perfect scaling"
+// regime (doubling B halves the steps); far above it, steps flatten at S_inf
+// and extra batch is wasted — exactly the sample-efficiency degradation that
+// motivates strong scaling.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace deeppool::stats {
+
+class SampleEfficiencyModel {
+ public:
+  /// `steps_at_infinity`: iteration floor for very large batches;
+  /// `critical_batch`: the knee of the curve.
+  SampleEfficiencyModel(double steps_at_infinity, double critical_batch);
+
+  /// Optimization steps to reach the target accuracy at global batch B.
+  double steps_to_accuracy(std::int64_t global_batch) const;
+
+  /// Total samples processed to reach accuracy: B * steps(B). Monotone
+  /// non-decreasing in B — large batches always cost samples.
+  double samples_to_accuracy(std::int64_t global_batch) const;
+
+  /// Relative sample efficiency vs an infinitesimal batch (1 at B->0).
+  double efficiency(std::int64_t global_batch) const;
+
+  double critical_batch() const noexcept { return critical_batch_; }
+
+  /// Calibration for VGG-11 trained to error 0.35 (paper Figs. 1-3), shaped
+  /// after the Shallue et al. measurements for small vision models.
+  static SampleEfficiencyModel vgg11_error035();
+
+ private:
+  double steps_inf_;
+  double critical_batch_;
+};
+
+}  // namespace deeppool::stats

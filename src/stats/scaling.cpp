@@ -1,0 +1,95 @@
+#include "stats/scaling.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace deeppool::stats {
+
+ScalingEvaluator::ScalingEvaluator(const models::ModelGraph& model,
+                                   const models::CostModel& cost,
+                                   const net::NetworkModel& network,
+                                   const SampleEfficiencyModel& efficiency,
+                                   std::int64_t reference_batch)
+    : model_(model),
+      cost_(cost),
+      network_(network),
+      efficiency_(efficiency),
+      reference_batch_(reference_batch) {
+  if (reference_batch_ < 1) {
+    throw std::invalid_argument("reference batch must be >= 1");
+  }
+  baseline_tta_ = time_to_accuracy(reference_batch_, 1);
+}
+
+double ScalingEvaluator::iteration_time(std::int64_t global_batch,
+                                        int gpus) const {
+  if (gpus < 1) throw std::invalid_argument("gpus must be >= 1");
+  if (global_batch < gpus) {
+    throw std::invalid_argument("global batch smaller than GPU count");
+  }
+  const std::int64_t per_gpu = (global_batch + gpus - 1) / gpus;
+  double total = 0.0;
+  for (const models::Layer& layer : model_.layers()) {
+    total += cost_.layer_time(layer, per_gpu).total();
+    // §4.1: gradient sync assumed not overlapped with the backward pass.
+    total += network_.allreduce_time(cost_.grad_bytes(layer), gpus);
+  }
+  return total;
+}
+
+double ScalingEvaluator::time_to_accuracy(std::int64_t global_batch,
+                                          int gpus) const {
+  return efficiency_.steps_to_accuracy(global_batch) *
+         iteration_time(global_batch, gpus);
+}
+
+ScalingPoint ScalingEvaluator::make_point(std::int64_t global_batch,
+                                          int gpus) const {
+  ScalingPoint p;
+  p.gpus = gpus;
+  p.global_batch = global_batch;
+  p.iteration_s = iteration_time(global_batch, gpus);
+  p.steps = efficiency_.steps_to_accuracy(global_batch);
+  p.time_to_accuracy_s = p.steps * p.iteration_s;
+  p.speedup = baseline_tta_ / p.time_to_accuracy_s;
+  return p;
+}
+
+ScalingPoint ScalingEvaluator::weak(int gpus) const {
+  return make_point(reference_batch_ * gpus, gpus);
+}
+
+ScalingPoint ScalingEvaluator::strong(int gpus) const {
+  return make_point(std::max<std::int64_t>(reference_batch_, gpus), gpus);
+}
+
+ScalingPoint ScalingEvaluator::batch_optimal(int gpus,
+                                             std::int64_t max_batch) const {
+  ScalingPoint best;
+  bool found = false;
+  for (std::int64_t b = 1; b <= max_batch; b *= 2) {
+    if (b < gpus) continue;
+    const ScalingPoint p = make_point(b, gpus);
+    if (!found || p.time_to_accuracy_s < best.time_to_accuracy_s) {
+      best = p;
+      found = true;
+    }
+    // Past the efficiency knee and past the compute-saturation point the
+    // objective is increasing; stop once well beyond both.
+    if (b > 64 * static_cast<std::int64_t>(efficiency_.critical_batch())) break;
+  }
+  if (!found) throw std::logic_error("no feasible batch for batch_optimal");
+  return best;
+}
+
+ScalingEvaluator::Sweep ScalingEvaluator::sweep(int max_gpus) const {
+  Sweep s;
+  for (int g = 1; g <= max_gpus; g *= 2) {
+    s.weak.push_back(weak(g));
+    s.strong.push_back(strong(g));
+    s.batch_optimal.push_back(batch_optimal(g));
+  }
+  return s;
+}
+
+}  // namespace deeppool::stats

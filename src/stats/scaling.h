@@ -1,0 +1,74 @@
+// Scaling-strategy evaluator (paper §2, Figs. 1-3).
+//
+// Combines the analytic cost model, the network model and the sample
+// efficiency curve to estimate time-to-accuracy for the three strategies the
+// paper compares:
+//
+//   weak scaling          B(G) = B0 * G   (per-GPU batch constant)
+//   strong scaling        B(G) = B0       (global batch constant)
+//   batch-optimal scaling B(G) = argmin_B steps(B) * iter(B, G)
+//
+// Iteration time follows the paper's data-parallel model: per-layer compute
+// at the per-GPU batch plus non-overlapped gradient all-reduce.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "models/cost_model.h"
+#include "net/network_model.h"
+#include "stats/sample_efficiency.h"
+
+namespace deeppool::stats {
+
+struct ScalingPoint {
+  int gpus = 1;
+  std::int64_t global_batch = 0;
+  double iteration_s = 0.0;
+  double steps = 0.0;
+  double time_to_accuracy_s = 0.0;
+  double speedup = 1.0;  ///< vs 1 GPU at the reference batch
+  std::int64_t per_gpu_batch() const {
+    return (global_batch + gpus - 1) / gpus;
+  }
+};
+
+class ScalingEvaluator {
+ public:
+  ScalingEvaluator(const models::ModelGraph& model,
+                   const models::CostModel& cost,
+                   const net::NetworkModel& network,
+                   const SampleEfficiencyModel& efficiency,
+                   std::int64_t reference_batch = 256);
+
+  /// Data-parallel iteration time at global batch B on G GPUs (G <= B).
+  double iteration_time(std::int64_t global_batch, int gpus) const;
+
+  /// Time to accuracy = steps(B) * iteration(B, G).
+  double time_to_accuracy(std::int64_t global_batch, int gpus) const;
+
+  ScalingPoint weak(int gpus) const;
+  ScalingPoint strong(int gpus) const;
+  /// Best power-of-two global batch in [gpus, max_batch].
+  ScalingPoint batch_optimal(int gpus,
+                             std::int64_t max_batch = 1 << 20) const;
+
+  /// Sweep all three strategies over power-of-two GPU counts up to
+  /// `max_gpus` (the Fig. 1 series).
+  struct Sweep {
+    std::vector<ScalingPoint> weak, strong, batch_optimal;
+  };
+  Sweep sweep(int max_gpus) const;
+
+ private:
+  ScalingPoint make_point(std::int64_t global_batch, int gpus) const;
+
+  const models::ModelGraph& model_;
+  const models::CostModel& cost_;
+  const net::NetworkModel& network_;
+  const SampleEfficiencyModel& efficiency_;
+  std::int64_t reference_batch_;
+  double baseline_tta_;
+};
+
+}  // namespace deeppool::stats

@@ -1,0 +1,71 @@
+// Minimal JSON value, writer and parser.
+//
+// The paper's cluster coordinator receives the burst-parallel training plan
+// "in JSON" (Fig. 6); TrainingPlan round-trips through this module. The
+// implementation supports the full JSON grammar except \u escapes beyond
+// ASCII (sufficient for plan files, which are machine-generated).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace deeppool {
+
+/// A JSON document node. Objects preserve key order via std::map (sorted),
+/// which keeps serialized plans deterministic.
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  using Object = std::map<std::string, Json>;
+
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}
+  Json(bool b) : value_(b) {}
+  Json(double d) : value_(d) {}
+  Json(int i) : value_(static_cast<double>(i)) {}
+  Json(std::int64_t i) : value_(static_cast<double>(i)) {}
+  Json(std::size_t i) : value_(static_cast<double>(i)) {}
+  Json(const char* s) : value_(std::string(s)) {}
+  Json(std::string s) : value_(std::move(s)) {}
+  Json(Array a) : value_(std::move(a)) {}
+  Json(Object o) : value_(std::move(o)) {}
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+  bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  bool is_number() const { return std::holds_alternative<double>(value_); }
+  bool is_string() const { return std::holds_alternative<std::string>(value_); }
+  bool is_array() const { return std::holds_alternative<Array>(value_); }
+  bool is_object() const { return std::holds_alternative<Object>(value_); }
+
+  /// Typed accessors; throw std::runtime_error on kind mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  std::int64_t as_int() const;  ///< as_number() rounded; throws if non-finite.
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  Array& as_array();
+  const Object& as_object() const;
+  Object& as_object();
+
+  /// Object field access; throws std::runtime_error if absent or not object.
+  const Json& at(const std::string& key) const;
+  bool contains(const std::string& key) const;
+  Json& operator[](const std::string& key);  ///< Creates object/field.
+
+  /// Serializes; indent < 0 means compact single-line output.
+  std::string dump(int indent = -1) const;
+
+  /// Parses a complete JSON document; throws std::runtime_error with a
+  /// byte-offset message on malformed input or trailing garbage.
+  static Json parse(std::string_view text);
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> value_;
+};
+
+}  // namespace deeppool

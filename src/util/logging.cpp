@@ -1,0 +1,79 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cctype>
+#include <stdexcept>
+
+namespace deeppool {
+
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+std::mutex& emit_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF  ";
+  }
+  return "?????";
+}
+
+std::string lowercase(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+}  // namespace
+
+LogLevel log_level() noexcept {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel parse_log_level(std::string_view name) {
+  const std::string n = lowercase(name);
+  if (n == "debug") return LogLevel::kDebug;
+  if (n == "info") return LogLevel::kInfo;
+  if (n == "warn" || n == "warning") return LogLevel::kWarn;
+  if (n == "error") return LogLevel::kError;
+  if (n == "off" || n == "none") return LogLevel::kOff;
+  throw std::invalid_argument("unknown log level: " + std::string(name));
+}
+
+namespace detail {
+
+LogLine::LogLine(LogLevel level, const char* file, int line)
+    : enabled_(level >= log_level() && level != LogLevel::kOff), level_(level) {
+  if (!enabled_) return;
+  std::string_view path(file);
+  const auto slash = path.find_last_of('/');
+  if (slash != std::string_view::npos) path.remove_prefix(slash + 1);
+  stream_ << "[" << level_tag(level_) << " " << path << ":" << line << "] ";
+}
+
+LogLine::~LogLine() {
+  if (!enabled_) return;
+  std::lock_guard<std::mutex> lock(emit_mutex());
+  std::cerr << stream_.str() << '\n';
+}
+
+}  // namespace detail
+
+}  // namespace deeppool

@@ -1,0 +1,66 @@
+// Minimal leveled logging for DeepPool.
+//
+// Logging is intentionally tiny: a global level, timestamped lines to stderr,
+// and printf-free (iostream-based) formatting via operator<< chaining.
+// Benchmarks run with Warn by default so table output stays clean.
+#pragma once
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace deeppool {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Returns the process-wide minimum level that will be emitted.
+LogLevel log_level() noexcept;
+
+/// Sets the process-wide minimum level. Thread-safe.
+void set_log_level(LogLevel level) noexcept;
+
+/// Parses "debug"/"info"/"warn"/"error"/"off" (case-insensitive).
+/// Throws std::invalid_argument on unknown names.
+LogLevel parse_log_level(std::string_view name);
+
+namespace detail {
+
+/// One log statement. Accumulates the message and emits it (with a
+/// level tag) on destruction, under a global mutex so lines never interleave.
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line);
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine();
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+}  // namespace deeppool
+
+#define DP_LOG(level) \
+  ::deeppool::detail::LogLine(::deeppool::LogLevel::level, __FILE__, __LINE__)
+#define DP_DEBUG DP_LOG(kDebug)
+#define DP_INFO DP_LOG(kInfo)
+#define DP_WARN DP_LOG(kWarn)
+#define DP_ERROR DP_LOG(kError)

@@ -1,0 +1,76 @@
+// Deterministic PCG32 random number generator.
+//
+// Simulations must be reproducible run-to-run; std::mt19937 is deterministic
+// too but its state is large and seeding is clumsy. PCG32 is tiny, fast, and
+// has well-understood statistical quality for simulation workloads.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace deeppool {
+
+/// Minimal PCG32 (Melissa O'Neill's pcg32_random_r) with convenience helpers.
+/// Satisfies UniformRandomBitGenerator so it composes with <random>
+/// distributions when needed.
+class Pcg32 {
+ public:
+  using result_type = std::uint32_t;
+
+  explicit Pcg32(std::uint64_t seed = 0x853c49e6748fea9bULL,
+                 std::uint64_t stream = 0xda3e39cb94b95bdbULL) {
+    state_ = 0U;
+    inc_ = (stream << 1u) | 1u;
+    next();
+    state_ += seed;
+    next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() { return next(); }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next()) * (1.0 / 4294967296.0);
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). n must be > 0. Uses rejection sampling to
+  /// avoid modulo bias.
+  std::uint32_t bounded(std::uint32_t n) {
+    const std::uint32_t threshold = (-n) % n;
+    for (;;) {
+      const std::uint32_t r = next();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  /// Approximately normal sample via sum of uniforms (Irwin–Hall, n=12):
+  /// adequate for jitter in simulations, no cached state.
+  double normal(double mean, double stddev) {
+    double s = 0.0;
+    for (int i = 0; i < 12; ++i) s += uniform();
+    return mean + stddev * (s - 6.0);
+  }
+
+ private:
+  std::uint32_t next() {
+    const std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    const auto xorshifted =
+        static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+    const auto rot = static_cast<std::uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((-rot) & 31u));
+  }
+
+  std::uint64_t state_;
+  std::uint64_t inc_;
+};
+
+}  // namespace deeppool

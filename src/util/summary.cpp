@@ -1,0 +1,129 @@
+#include "util/summary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace deeppool {
+
+void Summary::add(double value) { add_weighted(value, 1.0); }
+
+void Summary::add_weighted(double value, double weight) {
+  if (weight < 0.0) throw std::invalid_argument("negative weight");
+  values_.push_back(value);
+  weights_.push_back(weight);
+  sum_ += value;
+  weighted_sum_ += value * weight;
+  total_weight_ += weight;
+  sorted_valid_ = false;
+}
+
+double Summary::mean() const {
+  if (values_.empty()) throw std::logic_error("mean of empty Summary");
+  if (total_weight_ <= 0.0) throw std::logic_error("mean with zero weight");
+  return weighted_sum_ / total_weight_;
+}
+
+double Summary::min() const {
+  if (values_.empty()) throw std::logic_error("min of empty Summary");
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double Summary::max() const {
+  if (values_.empty()) throw std::logic_error("max of empty Summary");
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+void Summary::ensure_sorted() const {
+  if (sorted_valid_) return;
+  order_.resize(values_.size());
+  std::iota(order_.begin(), order_.end(), std::size_t{0});
+  std::sort(order_.begin(), order_.end(), [this](std::size_t a, std::size_t b) {
+    return values_[a] < values_[b];
+  });
+  sorted_valid_ = true;
+}
+
+double Summary::percentile(double p) const {
+  if (values_.empty()) throw std::logic_error("percentile of empty Summary");
+  if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile range");
+  ensure_sorted();
+  const double target = (p / 100.0) * total_weight_;
+  double cum = 0.0;
+  for (std::size_t k = 0; k < order_.size(); ++k) {
+    cum += weights_[order_[k]];
+    if (cum >= target) return values_[order_[k]];
+  }
+  return values_[order_.back()];
+}
+
+double Summary::cdf_at(double x) const {
+  if (values_.empty() || total_weight_ <= 0.0) return 0.0;
+  ensure_sorted();
+  double cum = 0.0;
+  for (std::size_t k = 0; k < order_.size(); ++k) {
+    if (values_[order_[k]] > x) break;
+    cum += weights_[order_[k]];
+  }
+  return cum / total_weight_;
+}
+
+std::vector<std::pair<double, double>> Summary::cdf_points() const {
+  std::vector<std::pair<double, double>> out;
+  if (values_.empty() || total_weight_ <= 0.0) return out;
+  ensure_sorted();
+  double cum = 0.0;
+  for (std::size_t k = 0; k < order_.size(); ++k) {
+    cum += weights_[order_[k]];
+    const double v = values_[order_[k]];
+    if (!out.empty() && out.back().first == v) {
+      out.back().second = cum / total_weight_;
+    } else {
+      out.emplace_back(v, cum / total_weight_);
+    }
+  }
+  return out;
+}
+
+void Summary::clear() {
+  values_.clear();
+  weights_.clear();
+  order_.clear();
+  sum_ = weighted_sum_ = total_weight_ = 0.0;
+  sorted_valid_ = false;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0.0) {
+  if (bins == 0) throw std::invalid_argument("histogram needs >= 1 bin");
+  if (!(hi > lo)) throw std::invalid_argument("histogram needs hi > lo");
+}
+
+void Histogram::add(double value, double weight) {
+  if (weight < 0.0) throw std::invalid_argument("negative weight");
+  auto idx = static_cast<std::ptrdiff_t>(std::floor((value - lo_) / width_));
+  idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  counts_[static_cast<std::size_t>(idx)] += weight;
+  total_ += weight;
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  if (i >= counts_.size()) throw std::out_of_range("histogram bin");
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double Histogram::bin_hi(std::size_t i) const { return bin_lo(i) + width_; }
+
+double Histogram::bin_weight(std::size_t i) const {
+  if (i >= counts_.size()) throw std::out_of_range("histogram bin");
+  return counts_[i];
+}
+
+double Histogram::bin_fraction(std::size_t i) const {
+  if (total_ <= 0.0) return 0.0;
+  return bin_weight(i) / total_;
+}
+
+}  // namespace deeppool

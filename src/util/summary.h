@@ -1,0 +1,79 @@
+// Summary statistics, percentiles, CDFs and fixed-bin histograms.
+//
+// Used by the GPU simulator's performance monitor (per-operator latency
+// distributions, slowdown detection) and by the Fig. 4 utilization-CDF bench.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace deeppool {
+
+/// Accumulates scalar samples and answers mean / percentile / extrema
+/// queries. Percentile queries sort a copy lazily; the accumulator caches the
+/// sorted view until the next add().
+class Summary {
+ public:
+  void add(double value);
+  void add_weighted(double value, double weight);
+
+  std::size_t count() const noexcept { return values_.size(); }
+  bool empty() const noexcept { return values_.empty(); }
+  double total_weight() const noexcept { return total_weight_; }
+
+  double sum() const noexcept { return sum_; }
+  double mean() const;  ///< Weighted mean. Throws std::logic_error if empty.
+  double min() const;   ///< Throws std::logic_error if empty.
+  double max() const;   ///< Throws std::logic_error if empty.
+
+  /// Weighted percentile in [0, 100]. Interpolates between samples.
+  /// Throws std::logic_error if empty, std::invalid_argument if out of range.
+  double percentile(double p) const;
+
+  /// Weighted empirical CDF evaluated at `x`: fraction of mass with
+  /// value <= x. Returns 0 for empty accumulators.
+  double cdf_at(double x) const;
+
+  /// Sorted (value, cumulative_fraction) pairs, one per distinct sample —
+  /// directly plottable as a CDF curve.
+  std::vector<std::pair<double, double>> cdf_points() const;
+
+  void clear();
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> values_;
+  std::vector<double> weights_;
+  double sum_ = 0.0;
+  double weighted_sum_ = 0.0;
+  double total_weight_ = 0.0;
+  mutable std::vector<std::size_t> order_;  // indices sorted by value
+  mutable bool sorted_valid_ = false;
+};
+
+/// Fixed-width histogram over [lo, hi) with `bins` buckets; out-of-range
+/// samples clamp into the first/last bucket.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double value, double weight = 1.0);
+
+  std::size_t bins() const noexcept { return counts_.size(); }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+  double bin_weight(std::size_t i) const;
+  double total_weight() const noexcept { return total_; }
+
+  /// Fraction of total mass in bucket i (0 if the histogram is empty).
+  double bin_fraction(std::size_t i) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<double> counts_;
+  double total_ = 0.0;
+};
+
+}  // namespace deeppool

@@ -1,0 +1,51 @@
+// ASCII table and CSV rendering for benchmark output.
+//
+// Every bench binary prints the same rows/series the paper's table or figure
+// reports; TablePrinter keeps that output aligned and diff-friendly.
+#pragma once
+
+#include <concepts>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace deeppool {
+
+/// Column-aligned ASCII table. Cells are strings; numeric helpers format with
+/// fixed precision. Rendering right-aligns cells that parse as numbers.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a row. Throws std::invalid_argument if the width differs from
+  /// the header width.
+  void add_row(std::vector<std::string> row);
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+  std::size_t cols() const noexcept { return header_.size(); }
+
+  /// Renders with a separator line under the header and `|` column breaks.
+  std::string to_string() const;
+
+  /// RFC-4180-ish CSV (quotes cells containing commas/quotes/newlines).
+  std::string to_csv() const;
+
+  void print(std::ostream& os) const;
+
+  /// Formats a double with `digits` places after the decimal point.
+  static std::string num(double value, int digits = 2);
+  /// Formats any integer value.
+  template <typename T>
+    requires std::integral<T>
+  static std::string num(T value) {
+    return std::to_string(value);
+  }
+  /// Formats `value` as a percentage with `digits` decimals ("12.3%").
+  static std::string pct(double fraction, int digits = 1);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace deeppool

@@ -1,0 +1,43 @@
+#include "util/trace.h"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "util/json.h"
+
+namespace deeppool {
+
+void TraceRecorder::record(int pid, int tid, const std::string& name,
+                           const std::string& category, double start_s,
+                           double duration_s) {
+  events_.push_back(Event{pid, tid, name, category, start_s, duration_s});
+}
+
+std::string TraceRecorder::to_json() const {
+  Json::Array arr;
+  arr.reserve(events_.size());
+  for (const Event& e : events_) {
+    Json ev;
+    ev["ph"] = Json("X");
+    ev["pid"] = Json(e.pid);
+    ev["tid"] = Json(e.tid);
+    ev["name"] = Json(e.name);
+    ev["cat"] = Json(e.category);
+    ev["ts"] = Json(e.start_s * 1e6);
+    ev["dur"] = Json(e.duration_s * 1e6);
+    arr.push_back(std::move(ev));
+  }
+  Json doc;
+  doc["traceEvents"] = Json(std::move(arr));
+  doc["displayTimeUnit"] = Json("ms");
+  return doc.dump();
+}
+
+void TraceRecorder::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open trace file: " + path);
+  out << to_json();
+  if (!out) throw std::runtime_error("failed writing trace file: " + path);
+}
+
+}  // namespace deeppool

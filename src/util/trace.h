@@ -1,0 +1,43 @@
+// Chrome trace-event recorder.
+//
+// The simulator can export its execution as a chrome://tracing /
+// Perfetto-compatible JSON file: one "complete" (ph:"X") event per executed
+// device operation, with the device as pid and the stream as tid. Useful for
+// visually debugging collocation behaviour (who held the SMs when the
+// all-reduce stalled?).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace deeppool {
+
+class TraceRecorder {
+ public:
+  /// Records a completed span. Times are simulated seconds; they are written
+  /// as microseconds (the trace-event format's unit).
+  void record(int pid, int tid, const std::string& name,
+              const std::string& category, double start_s, double duration_s);
+
+  std::size_t size() const noexcept { return events_.size(); }
+
+  /// Serializes to trace-event JSON (object form with "traceEvents").
+  std::string to_json() const;
+
+  /// Writes to_json() to `path`. Throws std::runtime_error on I/O failure.
+  void save(const std::string& path) const;
+
+ private:
+  struct Event {
+    int pid;
+    int tid;
+    std::string name;
+    std::string category;
+    double start_s;
+    double duration_s;
+  };
+  std::vector<Event> events_;
+};
+
+}  // namespace deeppool

@@ -1,0 +1,163 @@
+// Integration tests: full scenarios on the simulated 8-GPU DGX node.
+#include "runtime/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include "core/planner.h"
+#include "models/zoo.h"
+#include "net/network_model.h"
+
+namespace deeppool::runtime {
+namespace {
+
+struct Fixture {
+  explicit Fixture(std::int64_t batch = 32)
+      : model(models::zoo::vgg16()),
+        cost(models::DeviceSpec::a100()),
+        net(net::NetworkSpec::nvswitch()),
+        profiles(model, cost, net, core::ProfileOptions{8, batch, true}) {}
+
+  core::TrainingPlan dp() { return core::data_parallel_plan(profiles, 8); }
+  core::TrainingPlan bp(double amp = 2.0) {
+    return core::Planner(profiles).plan({amp});
+  }
+
+  models::ModelGraph model;
+  models::CostModel cost;
+  net::NetworkModel net;
+  core::ProfileSet profiles;
+};
+
+ScenarioConfig base_config() {
+  ScenarioConfig c;
+  c.warmup_iters = 3;
+  c.measure_iters = 10;
+  return c;
+}
+
+TEST(Cluster, DataParallelForegroundRuns) {
+  Fixture f;
+  ScenarioConfig c = base_config();
+  c.fg_plan = f.dp();
+  const ScenarioResult r = run_scenario(f.model, f.model, f.cost, c);
+  EXPECT_EQ(r.fg_iterations, 10);
+  EXPECT_GT(r.fg_throughput, 0.0);
+  EXPECT_DOUBLE_EQ(r.bg_throughput, 0.0);
+  EXPECT_GT(r.fg_speedup, 1.0);
+  EXPECT_LT(r.fg_speedup, 8.0);
+}
+
+TEST(Cluster, SimulatedIterationTracksPlanEstimate) {
+  // The executed iteration should be close to the planner's estimate —
+  // launch overheads and queue transit add a bounded amount on top.
+  Fixture f;
+  ScenarioConfig c = base_config();
+  c.fg_plan = f.dp();
+  const ScenarioResult r = run_scenario(f.model, f.model, f.cost, c);
+  const double est = c.fg_plan->est_iteration_s;
+  EXPECT_GT(r.fg_iteration_avg_s, est * 0.9);
+  EXPECT_LT(r.fg_iteration_avg_s, est * 1.8);
+}
+
+TEST(Cluster, BgOnlyThroughputScalesWithGpus) {
+  Fixture f;
+  ScenarioConfig c = base_config();
+  c.fg_plan.reset();
+  c.bg_batch = 8;
+  c.num_gpus = 8;
+  const ScenarioResult r8 = run_scenario(f.model, f.model, f.cost, c);
+  c.num_gpus = 4;
+  const ScenarioResult r4 = run_scenario(f.model, f.model, f.cost, c);
+  EXPECT_GT(r8.bg_throughput, 0.0);
+  EXPECT_NEAR(r8.bg_throughput / r4.bg_throughput, 2.0, 0.3);
+  EXPECT_DOUBLE_EQ(r8.fg_throughput, 0.0);
+}
+
+TEST(Cluster, CollocationAddsBackgroundThroughput) {
+  Fixture f;
+  ScenarioConfig c = base_config();
+  c.fg_plan = f.bp();
+  c.collocate_bg = false;
+  const ScenarioResult solo = run_scenario(f.model, f.model, f.cost, c);
+  c.collocate_bg = true;
+  const ScenarioResult col = run_scenario(f.model, f.model, f.cost, c);
+  EXPECT_GT(col.bg_throughput, 0.0);
+  EXPECT_GT(col.cluster_throughput(), solo.cluster_throughput());
+}
+
+TEST(Cluster, CollocationCostsBoundedForeground) {
+  // §7.1: with all mechanisms on, foreground degradation stays modest.
+  Fixture f;
+  ScenarioConfig c = base_config();
+  c.fg_plan = f.bp();
+  c.collocate_bg = false;
+  const ScenarioResult solo = run_scenario(f.model, f.model, f.cost, c);
+  c.collocate_bg = true;
+  const ScenarioResult col = run_scenario(f.model, f.model, f.cost, c);
+  EXPECT_GT(col.fg_throughput, 0.55 * solo.fg_throughput);
+}
+
+TEST(Cluster, NaiveCollocationHurtsForegroundMore) {
+  Fixture f;
+  ScenarioConfig good = base_config();
+  good.fg_plan = f.bp();
+  good.collocate_bg = true;
+  const ScenarioResult with_mechanisms =
+      run_scenario(f.model, f.model, f.cost, good);
+
+  ScenarioConfig naive = good;
+  naive.mux.stream_priorities = false;
+  naive.mux.pacing_limit = 0;
+  naive.mux.slowdown_feedback = false;
+  naive.bg_batch = 32;
+  const ScenarioResult bad = run_scenario(f.model, f.model, f.cost, naive);
+  EXPECT_LT(bad.fg_throughput, 0.8 * with_mechanisms.fg_throughput);
+}
+
+TEST(Cluster, PartitionUsesIdleGpusForBackground) {
+  // "Cluster Partition": FG data-parallel on 4 GPUs, dedicated BG on the
+  // other 4.
+  Fixture f;
+  ScenarioConfig c = base_config();
+  c.fg_plan = core::data_parallel_plan(f.profiles, 4);
+  c.collocate_bg = false;
+  c.bg_on_idle_gpus = true;
+  const ScenarioResult r = run_scenario(f.model, f.model, f.cost, c);
+  EXPECT_GT(r.fg_throughput, 0.0);
+  EXPECT_GT(r.bg_throughput, 0.0);
+}
+
+TEST(Cluster, AllreduceSlowdownVisibleUnderNaiveCollocation) {
+  Fixture f;
+  ScenarioConfig c = base_config();
+  c.fg_plan = f.dp();
+  c.collocate_bg = true;
+  c.mux.slowdown_feedback = false;
+  c.mux.pacing_limit = 0;
+  c.bg_batch = 32;
+  const ScenarioResult r = run_scenario(f.model, f.model, f.cost, c);
+  EXPECT_GT(r.allreduce_slowdown, 1.3);
+}
+
+TEST(Cluster, UtilizationRisesWithCollocation) {
+  Fixture f;
+  ScenarioConfig c = base_config();
+  c.fg_plan = f.bp();
+  c.collocate_bg = false;
+  const ScenarioResult solo = run_scenario(f.model, f.model, f.cost, c);
+  c.collocate_bg = true;
+  const ScenarioResult col = run_scenario(f.model, f.model, f.cost, c);
+  EXPECT_GT(col.sm_utilization, solo.sm_utilization);
+  EXPECT_LE(col.sm_utilization, 1.0 + 1e-9);
+}
+
+TEST(Cluster, InvalidConfigRejected) {
+  Fixture f;
+  ScenarioConfig c = base_config();
+  c.num_gpus = 0;
+  EXPECT_THROW(run_scenario(f.model, f.model, f.cost, c),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace deeppool::runtime

@@ -1,0 +1,110 @@
+// Tests for the cluster extensions: distributed background jobs (the
+// paper's stated future-work item) and the §3.1 memory admission check.
+#include <gtest/gtest.h>
+
+#include "core/planner.h"
+#include "models/zoo.h"
+#include "net/network_model.h"
+#include "runtime/cluster.h"
+
+namespace deeppool::runtime {
+namespace {
+
+struct Fixture {
+  explicit Fixture(std::int64_t batch = 32)
+      : model(models::zoo::vgg16()),
+        cost(models::DeviceSpec::a100()),
+        net(net::NetworkSpec::nvswitch()),
+        profiles(model, cost, net, core::ProfileOptions{8, batch, true}) {}
+
+  models::ModelGraph model;
+  models::CostModel cost;
+  net::NetworkModel net;
+  core::ProfileSet profiles;
+};
+
+ScenarioConfig quick() {
+  ScenarioConfig c;
+  c.warmup_iters = 3;
+  c.measure_iters = 8;
+  return c;
+}
+
+TEST(ClusterExt, DistributedBackgroundJobMakesProgress) {
+  Fixture f;
+  ScenarioConfig c = quick();
+  c.fg_plan = core::Planner(f.profiles).plan({2.0});
+  // Background: another burst-parallel job of the same model at batch 16.
+  const core::ProfileSet bg_profiles(f.model, f.cost, f.net,
+                                     core::ProfileOptions{8, 16, true});
+  c.bg_distributed_plan = core::Planner(bg_profiles).plan({2.0});
+  const ScenarioResult r = run_scenario(f.model, f.model, f.cost, c);
+  EXPECT_GT(r.fg_throughput, 0.0);
+  EXPECT_GT(r.bg_throughput, 0.0);
+}
+
+TEST(ClusterExt, DistributedBackgroundStillYieldsToForeground) {
+  Fixture f;
+  ScenarioConfig base = quick();
+  base.fg_plan = core::Planner(f.profiles).plan({2.0});
+
+  const ScenarioResult solo = run_scenario(f.model, f.model, f.cost, base);
+
+  ScenarioConfig c = base;
+  const core::ProfileSet bg_profiles(f.model, f.cost, f.net,
+                                     core::ProfileOptions{8, 16, true});
+  c.bg_distributed_plan = core::Planner(bg_profiles).plan({2.0});
+  const ScenarioResult shared = run_scenario(f.model, f.model, f.cost, c);
+  // Low priority + all mechanisms: the foreground keeps most of its speed.
+  EXPECT_GT(shared.fg_throughput, 0.5 * solo.fg_throughput);
+}
+
+TEST(ClusterExt, DistributedBackgroundThroughputAccountsGlobalBatch) {
+  // A distributed BG iteration produces its plan's *global* batch, not the
+  // local bg_batch knob (which must be ignored).
+  Fixture f;
+  ScenarioConfig c = quick();
+  c.fg_plan = core::data_parallel_plan(f.profiles, 8);
+  const core::ProfileSet bg_profiles(f.model, f.cost, f.net,
+                                     core::ProfileOptions{8, 16, true});
+  c.bg_distributed_plan = core::data_parallel_plan(bg_profiles, 8);
+  c.bg_batch = 99999;  // must have no effect in distributed mode
+  EXPECT_NO_THROW(run_scenario(f.model, f.model, f.cost, c));
+}
+
+TEST(ClusterExt, MemoryAdmissionRejectsOversizedCollocation) {
+  Fixture f(8192);  // giant global batch on 8 GPUs -> per-GPU batch 1024
+  ScenarioConfig c = quick();
+  c.fg_plan = core::data_parallel_plan(f.profiles, 8);
+  c.collocate_bg = true;
+  c.bg_batch = 512;  // ~33GB foreground + ~18GB background >> 40GB
+  EXPECT_THROW(run_scenario(f.model, f.model, f.cost, c),
+               std::invalid_argument);
+}
+
+TEST(ClusterExt, MemoryAdmissionCanBeDisabled) {
+  Fixture f(8192);
+  ScenarioConfig c = quick();
+  c.measure_iters = 2;
+  c.warmup_iters = 1;
+  c.fg_plan = core::data_parallel_plan(f.profiles, 8);
+  c.collocate_bg = true;
+  c.bg_batch = 512;
+  c.enforce_memory_fit = false;
+  EXPECT_NO_THROW(run_scenario(f.model, f.model, f.cost, c));
+}
+
+TEST(ClusterExt, StrongScalingCreatesMemoryHeadroom) {
+  // The §3.1 claim: the strong-scaled FG (small per-GPU batch) plus a small
+  // BG job passes admission, while the same FG replicated at full batch on
+  // one GPU would not leave room.
+  Fixture f(32);
+  ScenarioConfig c = quick();
+  c.fg_plan = core::data_parallel_plan(f.profiles, 8);  // 4 samples per GPU
+  c.collocate_bg = true;
+  c.bg_batch = 8;
+  EXPECT_NO_THROW(run_scenario(f.model, f.model, f.cost, c));
+}
+
+}  // namespace
+}  // namespace deeppool::runtime

@@ -1,0 +1,80 @@
+#include "gpu/collective.h"
+
+#include <gtest/gtest.h>
+
+namespace deeppool::gpu {
+namespace {
+
+TEST(Collective, CompletesWhenAllArrive) {
+  sim::Simulator sim;
+  Collective c(sim, 3, 1.0);
+  int done = 0;
+  c.arrive(1.0, [&] { ++done; });
+  c.arrive(1.0, [&] { ++done; });
+  sim.run();
+  EXPECT_EQ(done, 0);  // still waiting for the third rank
+  EXPECT_FALSE(c.started());
+  c.arrive(1.0, [&] { ++done; });
+  EXPECT_TRUE(c.started());
+  sim.run();
+  EXPECT_EQ(done, 3);
+  EXPECT_TRUE(c.finished());
+  EXPECT_DOUBLE_EQ(sim.now(), 1.0);
+}
+
+TEST(Collective, WorstInterferenceFactorGates) {
+  sim::Simulator sim;
+  Collective c(sim, 2, 2.0);
+  c.arrive(1.0, [] {});
+  c.arrive(1.75, [] {});  // slowest rank dictates the ring
+  sim.run();
+  EXPECT_DOUBLE_EQ(c.effective_duration(), 3.5);
+  EXPECT_DOUBLE_EQ(sim.now(), 3.5);
+}
+
+TEST(Collective, FactorBelowOneClamped) {
+  sim::Simulator sim;
+  Collective c(sim, 1, 2.0);
+  c.arrive(0.25, [] {});
+  sim.run();
+  EXPECT_DOUBLE_EQ(c.effective_duration(), 2.0);
+}
+
+TEST(Collective, SingleParticipantStartsImmediately) {
+  sim::Simulator sim;
+  Collective c(sim, 1, 0.5);
+  bool done = false;
+  c.arrive(1.0, [&] { done = true; });
+  EXPECT_TRUE(c.started());
+  sim.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(Collective, ZeroDurationBarrier) {
+  sim::Simulator sim;
+  sim.schedule_at(5.0, [] {});
+  sim.run();
+  Collective c(sim, 2, 0.0);
+  int done = 0;
+  c.arrive(1.0, [&] { ++done; });
+  c.arrive(1.0, [&] { ++done; });
+  sim.run();
+  EXPECT_EQ(done, 2);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);  // no time elapsed
+}
+
+TEST(Collective, OverArrivalThrows) {
+  sim::Simulator sim;
+  Collective c(sim, 1, 1.0);
+  c.arrive(1.0, [] {});
+  EXPECT_THROW(c.arrive(1.0, [] {}), std::logic_error);
+}
+
+TEST(Collective, InvalidConstruction) {
+  sim::Simulator sim;
+  EXPECT_THROW(Collective(sim, 0, 1.0), std::invalid_argument);
+  EXPECT_THROW(Collective(sim, 2, -1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace deeppool::gpu

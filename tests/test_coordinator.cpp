@@ -1,0 +1,101 @@
+#include "runtime/coordinator.h"
+
+#include <gtest/gtest.h>
+
+#include "core/planner.h"
+#include "models/zoo.h"
+
+namespace deeppool::runtime {
+namespace {
+
+Json make_plan_json(const std::string& model_name, std::int64_t batch,
+                    double amp, int gpus = 8) {
+  const models::ModelGraph model = models::zoo::by_name(model_name);
+  const models::CostModel cost{models::DeviceSpec::a100()};
+  const net::NetworkModel network{net::NetworkSpec::nvswitch()};
+  const core::ProfileSet profiles(model, cost, network,
+                                  core::ProfileOptions{gpus, batch, true});
+  return core::Planner(profiles).plan({amp}).to_json();
+}
+
+ClusterCoordinator make_coordinator() {
+  return ClusterCoordinator(8, models::DeviceSpec::a100(),
+                            net::NetworkSpec::nvswitch());
+}
+
+TEST(Coordinator, SubmitValidatesAndQueues) {
+  ClusterCoordinator coord = make_coordinator();
+  const JobId id = coord.submit_foreground(make_plan_json("vgg16", 32, 2.0));
+  EXPECT_EQ(coord.job(id).state, JobRecord::State::kQueued);
+  EXPECT_EQ(coord.queued_foreground(), 1u);
+}
+
+TEST(Coordinator, MalformedPlanRejectedNotQueued) {
+  ClusterCoordinator coord = make_coordinator();
+  Json bad;
+  bad["nonsense"] = Json(1);
+  const JobId id = coord.submit_foreground(bad);
+  EXPECT_EQ(coord.job(id).state, JobRecord::State::kRejected);
+  EXPECT_FALSE(coord.job(id).rejection_reason.empty());
+  EXPECT_EQ(coord.queued_foreground(), 0u);
+}
+
+TEST(Coordinator, InvalidPlanContentRejected) {
+  ClusterCoordinator coord = make_coordinator();
+  Json plan = make_plan_json("vgg16", 32, 2.0);
+  // Corrupt one layer's GPU count to a non-candidate.
+  plan["layers"].as_array()[3]["gpus"] = Json(5);
+  const JobId id = coord.submit_foreground(plan);
+  EXPECT_EQ(coord.job(id).state, JobRecord::State::kRejected);
+  EXPECT_NE(coord.job(id).rejection_reason.find("candidate"),
+            std::string::npos);
+}
+
+TEST(Coordinator, RunsForegroundJobToCompletion) {
+  ClusterCoordinator coord = make_coordinator();
+  const JobId id = coord.submit_foreground(make_plan_json("vgg16", 32, 2.0));
+  EXPECT_EQ(coord.run_all(), 1);
+  EXPECT_EQ(coord.job(id).state, JobRecord::State::kCompleted);
+  ASSERT_TRUE(coord.job(id).result.has_value());
+  EXPECT_GT(coord.job(id).result->fg_throughput, 0.0);
+  EXPECT_EQ(coord.queued_foreground(), 0u);
+}
+
+TEST(Coordinator, BackgroundJobCollocatesWithForeground) {
+  ClusterCoordinator coord = make_coordinator();
+  coord.submit_background("vgg16", 8);
+  const JobId fg = coord.submit_foreground(make_plan_json("vgg16", 32, 2.0));
+  coord.run_all();
+  ASSERT_TRUE(coord.job(fg).result.has_value());
+  EXPECT_GT(coord.job(fg).result->bg_throughput, 0.0);
+}
+
+TEST(Coordinator, FifoAcrossMultipleForegroundJobs) {
+  ClusterCoordinator coord = make_coordinator();
+  const JobId a = coord.submit_foreground(make_plan_json("vgg16", 32, 2.0));
+  const JobId b = coord.submit_foreground(make_plan_json("vgg16", 32, 1.2));
+  EXPECT_EQ(coord.queued_foreground(), 2u);
+  EXPECT_EQ(coord.run_all(), 2);
+  EXPECT_EQ(coord.job(a).state, JobRecord::State::kCompleted);
+  EXPECT_EQ(coord.job(b).state, JobRecord::State::kCompleted);
+}
+
+TEST(Coordinator, UnknownBackgroundModelThrows) {
+  ClusterCoordinator coord = make_coordinator();
+  EXPECT_THROW(coord.submit_background("alexnet", 8), std::invalid_argument);
+  EXPECT_THROW(coord.submit_background("vgg16", 0), std::invalid_argument);
+}
+
+TEST(Coordinator, UnknownJobIdThrows) {
+  ClusterCoordinator coord = make_coordinator();
+  EXPECT_THROW(coord.job(42), std::out_of_range);
+}
+
+TEST(Coordinator, InvalidClusterSizeThrows) {
+  EXPECT_THROW(ClusterCoordinator(0, models::DeviceSpec::a100(),
+                                  net::NetworkSpec::nvswitch()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace deeppool::runtime

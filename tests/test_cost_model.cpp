@@ -1,0 +1,158 @@
+#include "models/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "models/zoo.h"
+
+namespace deeppool::models {
+namespace {
+
+class CostModelTest : public ::testing::Test {
+ protected:
+  CostModel cm{DeviceSpec::a100()};
+};
+
+TEST_F(CostModelTest, InputLayerIsFree) {
+  const ModelGraph g = zoo::vgg16();
+  const LayerTime t = cm.layer_time(g.layer(g.source()), 32);
+  EXPECT_DOUBLE_EQ(t.total(), 0.0);
+}
+
+TEST_F(CostModelTest, TimeMonotoneInBatch) {
+  const ModelGraph g = zoo::vgg16();
+  for (const Layer& l : g.layers()) {
+    if (l.kind == LayerKind::kInput) continue;
+    double prev = 0.0;
+    for (std::int64_t b : {1, 2, 4, 8, 16, 32, 64, 128}) {
+      const double t = cm.layer_time(l, b).total();
+      EXPECT_GE(t, prev) << l.name << " batch " << b;
+      prev = t;
+    }
+  }
+}
+
+TEST_F(CostModelTest, LaunchFloorBoundsBelow) {
+  const ModelGraph g = zoo::vgg16();
+  for (const Layer& l : g.layers()) {
+    if (l.kind == LayerKind::kInput) continue;
+    EXPECT_GE(cm.layer_time(l, 1).forward_s, cm.spec().kernel_launch_floor_s);
+  }
+}
+
+TEST_F(CostModelTest, BatchRejectsNonPositive) {
+  const ModelGraph g = zoo::vgg16();
+  EXPECT_THROW(cm.layer_time(g.layer(1), 0), std::invalid_argument);
+}
+
+TEST_F(CostModelTest, UtilizationImprovesWithBatch) {
+  const ModelGraph g = zoo::resnet50();
+  // A large conv layer: utilization at batch 256 must far exceed batch 1.
+  const Layer* big = nullptr;
+  for (const Layer& l : g.layers()) {
+    if (l.kind == LayerKind::kConv2d &&
+        (big == nullptr || l.flops_per_sample > big->flops_per_sample)) {
+      big = &l;
+    }
+  }
+  ASSERT_NE(big, nullptr);
+  const double u1 = cm.layer_time(*big, 1).utilization;
+  const double u256 = cm.layer_time(*big, 256).utilization;
+  EXPECT_GT(u256, 2.0 * u1);
+  EXPECT_LE(u256, 1.0 + 1e-9);
+}
+
+TEST_F(CostModelTest, ComputeBoundLayerNearRoofline) {
+  // Big conv at large batch should approach (not exceed) peak FLOPs.
+  GraphBuilder b("m", Shape{256, 56, 56});
+  b.conv2d("c", 256, 3, 1, 1);
+  const ModelGraph g = b.build();
+  const double u = cm.layer_time(g.layer(1), 256).utilization;
+  EXPECT_GT(u, 0.7);
+  EXPECT_LE(u, 1.0 + 1e-9);
+}
+
+TEST_F(CostModelTest, DenseLayerIsMemoryBoundAtSmallBatch) {
+  // VGG's fc6 moves ~200MB of weights; at batch 1 the time must be dominated
+  // by the weight fetch, i.e. roughly weight_bytes / mem_bw.
+  GraphBuilder b("m", Shape{25088, 1, 1});
+  b.dense("fc6", 4096);
+  const ModelGraph g = b.build();
+  const Layer& fc = g.layer(1);
+  const double weight_fetch =
+      static_cast<double>(fc.params * cm.spec().dtype_bytes) /
+      cm.spec().mem_bandwidth;
+  const double t = cm.layer_time(fc, 1).forward_s;
+  EXPECT_GT(t, weight_fetch);
+  EXPECT_LT(t, 3.0 * weight_fetch);
+}
+
+TEST_F(CostModelTest, StrongScalingHeterogeneity) {
+  // Fig. 5's premise: conv layers speed up strongly when the per-GPU batch
+  // shrinks 128 -> 2; dense layers barely move.
+  const ModelGraph g = zoo::vgg16();
+  double conv_speedup = 0.0;
+  double dense_speedup = 1e9;
+  for (const Layer& l : g.layers()) {
+    if (l.kind == LayerKind::kConv2d) {
+      conv_speedup = std::max(
+          conv_speedup,
+          cm.layer_time(l, 128).total() / cm.layer_time(l, 2).total());
+    }
+    if (l.kind == LayerKind::kDense) {
+      dense_speedup = std::min(
+          dense_speedup,
+          cm.layer_time(l, 128).total() / cm.layer_time(l, 2).total());
+    }
+  }
+  EXPECT_GT(conv_speedup, 20.0);
+  EXPECT_LT(dense_speedup, 3.0);
+}
+
+TEST_F(CostModelTest, OccupancyRampMonotone) {
+  // Below one tile of work the ramp is flat (a kernel can't use less than
+  // one tile); beyond that it rises strictly toward 1.
+  EXPECT_DOUBLE_EQ(cm.occupancy(10.0), cm.occupancy(100.0));
+  double prev = 0.0;
+  for (double w : {1e4, 1e5, 1e6, 1e7, 1e8}) {
+    const double o = cm.occupancy(w);
+    EXPECT_GT(o, prev);
+    EXPECT_LE(o, 1.0);
+    prev = o;
+  }
+  EXPECT_GT(cm.occupancy(1e9), 0.99);
+}
+
+TEST_F(CostModelTest, IterationTimeIsSumOfLayers) {
+  const ModelGraph g = zoo::tiny_mlp();
+  double sum = 0.0;
+  for (const Layer& l : g.layers()) sum += cm.layer_time(l, 8).total();
+  EXPECT_DOUBLE_EQ(cm.iteration_compute_time(g, 8), sum);
+}
+
+TEST_F(CostModelTest, MemoryFootprintScalesWithBatch) {
+  const ModelGraph g = zoo::vgg16();
+  const std::int64_t m1 = cm.memory_footprint_bytes(g, 1);
+  const std::int64_t m32 = cm.memory_footprint_bytes(g, 32);
+  EXPECT_GT(m32, m1);
+  // Param state must dominate the batch-1 footprint for VGG.
+  EXPECT_GT(m1, g.total_params() * 16);
+  // Strong-scaled VGG-16 (batch 4) plus a small background job fits in 40GB;
+  // this is the memory headroom claim of §3.1.
+  EXPECT_LT(cm.memory_footprint_bytes(g, 4) * 2, cm.spec().memory_bytes);
+}
+
+TEST_F(CostModelTest, InvalidSpecRejected) {
+  DeviceSpec bad = DeviceSpec::a100();
+  bad.peak_flops = 0;
+  EXPECT_THROW(CostModel{bad}, std::invalid_argument);
+}
+
+TEST_F(CostModelTest, GradBytesMatchesParams) {
+  const ModelGraph g = zoo::tiny_mlp();
+  for (const Layer& l : g.layers()) {
+    EXPECT_EQ(cm.grad_bytes(l), l.params * cm.spec().dtype_bytes);
+  }
+}
+
+}  // namespace
+}  // namespace deeppool::models

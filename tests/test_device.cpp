@@ -1,0 +1,221 @@
+#include "gpu/device.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace deeppool::gpu {
+namespace {
+
+OpDesc kernel(const std::string& name, int blocks, double block_s) {
+  OpDesc op;
+  op.type = OpType::kKernel;
+  op.name = name;
+  op.blocks = blocks;
+  op.block_s = block_s;
+  return op;
+}
+
+OpDesc delay(const std::string& name, double dur) {
+  OpDesc op;
+  op.type = OpType::kDelay;
+  op.name = name;
+  op.base_duration_s = dur;
+  return op;
+}
+
+class DeviceTest : public ::testing::Test {
+ protected:
+  DeviceTest() : dev_(sim_, DeviceConfig{}, 0) {}
+  sim::Simulator sim_;
+  Device dev_;
+};
+
+TEST_F(DeviceTest, SingleKernelRunsForOneWave) {
+  const StreamId s = dev_.create_stream(0);
+  double done = -1;
+  dev_.launch(s, kernel("k", 108, 1e-3), [&] { done = sim_.now(); });
+  sim_.run();
+  // driver service + one wave (1ms).
+  EXPECT_NEAR(done, 1e-3 + dev_.config().driver_entry_s, 1e-9);
+  EXPECT_EQ(dev_.ops_completed(s), 1);
+  EXPECT_NEAR(dev_.sm_seconds(s), 108 * 1e-3, 1e-9);
+}
+
+TEST_F(DeviceTest, OversubscribedKernelTakesMultipleWaves) {
+  const StreamId s = dev_.create_stream(0);
+  double done = -1;
+  dev_.launch(s, kernel("k", 216, 1e-3), [&] { done = sim_.now(); });
+  sim_.run();
+  EXPECT_NEAR(done, 2e-3 + dev_.config().driver_entry_s, 1e-9);
+}
+
+TEST_F(DeviceTest, StreamFifoOrdering) {
+  const StreamId s = dev_.create_stream(0);
+  std::vector<int> order;
+  dev_.launch(s, kernel("a", 10, 1e-3), [&] { order.push_back(1); });
+  dev_.launch(s, kernel("b", 10, 1e-4), [&] { order.push_back(2); });
+  dev_.launch(s, delay("c", 1e-5), [&] { order.push_back(3); });
+  sim_.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST_F(DeviceTest, IndependentStreamsOverlap) {
+  const StreamId a = dev_.create_stream(0);
+  const StreamId b = dev_.create_stream(0);
+  double done_a = -1, done_b = -1;
+  dev_.launch(a, kernel("a", 50, 1e-3), [&] { done_a = sim_.now(); });
+  dev_.launch(b, kernel("b", 50, 1e-3), [&] { done_b = sim_.now(); });
+  sim_.run();
+  // 100 blocks fit the 108 SMs: both finish in ~one wave, overlapping.
+  EXPECT_LT(done_a, 1.2e-3);
+  EXPECT_LT(done_b, 1.2e-3);
+}
+
+TEST_F(DeviceTest, HighPriorityStreamGetsSmsFirst) {
+  const StreamId lo = dev_.create_stream(0);
+  const StreamId hi = dev_.create_stream(10);
+  double done_lo = -1, done_hi = -1;
+  // The low-priority kernel needs two full waves; it wins the first wave
+  // non-preemptively, but once SMs free up the high-priority kernel jumps
+  // ahead of the second wave.
+  dev_.launch(lo, kernel("lo", 216, 1e-3), [&] { done_lo = sim_.now(); });
+  dev_.launch(hi, kernel("hi", 108, 1e-3), [&] { done_hi = sim_.now(); });
+  sim_.run();
+  EXPECT_LT(done_hi, done_lo);
+  EXPECT_NEAR(done_hi, 2e-3, 1e-4);  // waited exactly one wave
+  EXPECT_NEAR(done_lo, 3e-3, 1e-4);
+}
+
+TEST_F(DeviceTest, NonPreemptiveBlocksDelayHighPriority) {
+  // The Fig. 12 pathology: a long low-priority kernel grabs all SMs first;
+  // the later high-priority kernel must wait for it to drain.
+  const StreamId lo = dev_.create_stream(0);
+  const StreamId hi = dev_.create_stream(10);
+  dev_.launch(lo, kernel("long", 108, 10e-3), [] {});
+  sim_.run(1e-3);  // low-priority kernel now occupies the device
+  double done_hi = -1;
+  dev_.launch(hi, kernel("short", 8, 10e-6), [&] { done_hi = sim_.now(); });
+  sim_.run();
+  EXPECT_GT(done_hi, 10e-3);  // had to wait behind the running blocks
+}
+
+TEST_F(DeviceTest, TransmissionQueueHeadOfLineBlocking)
+{
+  // Many low-priority launches queued first delay a high-priority launch's
+  // *delivery*, regardless of stream priorities (§5).
+  const StreamId lo = dev_.create_stream(0);
+  const StreamId hi = dev_.create_stream(10);
+  for (int i = 0; i < 100; ++i) {
+    dev_.launch(lo, kernel("spam", 1, 1e-7), [] {});
+  }
+  double done_hi = -1;
+  dev_.launch(hi, kernel("urgent", 1, 1e-7), [&] { done_hi = sim_.now(); });
+  EXPECT_GE(dev_.transmission_queue_depth(), 100u);
+  sim_.run();
+  // 101 queue entries' service times gate the delivery.
+  EXPECT_GT(done_hi, 100 * dev_.config().driver_entry_s);
+}
+
+TEST_F(DeviceTest, GraphBatchOccupiesOneQueueEntry) {
+  const StreamId s = dev_.create_stream(0);
+  std::vector<Device::LaunchItem> items;
+  int completed = 0;
+  for (int i = 0; i < 10; ++i) {
+    items.push_back({kernel("g" + std::to_string(i), 1, 1e-6),
+                     [&] { ++completed; }});
+  }
+  dev_.launch_batch(s, std::move(items));
+  EXPECT_EQ(dev_.transmission_queue_depth(), 1u);
+  sim_.run();
+  EXPECT_EQ(completed, 10);
+  // One queue service + 10 sequential 1us kernels.
+  EXPECT_NEAR(sim_.now(), dev_.config().driver_entry_s + 10e-6, 1e-9);
+}
+
+TEST_F(DeviceTest, PauseBlocksLowPriorityDispatch) {
+  const StreamId lo = dev_.create_stream(0);
+  const StreamId hi = dev_.create_stream(10);
+  dev_.pause_priority_below(10);
+  double done_lo = -1, done_hi = -1;
+  dev_.launch(lo, kernel("lo", 4, 1e-4), [&] { done_lo = sim_.now(); });
+  dev_.launch(hi, kernel("hi", 4, 1e-4), [&] { done_hi = sim_.now(); });
+  sim_.run(5e-3);
+  EXPECT_GT(done_hi, 0);   // high priority unaffected
+  EXPECT_LT(done_lo, 0);   // low priority starved while paused
+  dev_.resume_all();
+  sim_.run();
+  EXPECT_GT(done_lo, 0);
+}
+
+TEST_F(DeviceTest, CommOpHoldsSmsAndTracksInterference) {
+  const StreamId bg = dev_.create_stream(0);
+  const StreamId fg = dev_.create_stream(10);
+  // Background kernel holds half the device.
+  dev_.launch(bg, kernel("bg", 54, 50e-3), [] {});
+  sim_.run(1e-3);
+  OpDesc comm;
+  comm.type = OpType::kComm;
+  comm.name = "allreduce";
+  comm.base_duration_s = 1e-3;
+  comm.interference_sensitivity = 2.0;
+  comm.comm_sms = 8;
+  double done = -1;
+  dev_.launch(fg, comm, [&] { done = sim_.now(); });
+  sim_.run();
+  // Slowdown factor 1 + 2.0 * (54/108) = 2.0 -> ~2ms.
+  EXPECT_NEAR(done - 1e-3, dev_.config().driver_entry_s + 2e-3, 1e-4);
+}
+
+TEST_F(DeviceTest, CommOpUnaffectedWhenAlone) {
+  const StreamId fg = dev_.create_stream(10);
+  OpDesc comm;
+  comm.type = OpType::kComm;
+  comm.base_duration_s = 1e-3;
+  comm.interference_sensitivity = 2.0;
+  comm.comm_sms = 8;
+  double done = -1;
+  dev_.launch(fg, comm, [&] { done = sim_.now(); });
+  sim_.run();
+  EXPECT_NEAR(done, 1e-3 + dev_.config().driver_entry_s, 1e-9);
+}
+
+TEST_F(DeviceTest, PrioritiesIgnoredWhenDisabled) {
+  DeviceConfig cfg;
+  cfg.honor_stream_priorities = false;
+  Device dev(sim_, cfg, 1);
+  const StreamId lo = dev.create_stream(0);
+  const StreamId hi = dev.create_stream(10);
+  double done_lo = -1, done_hi = -1;
+  dev.launch(lo, kernel("lo", 108, 1e-3), [&] { done_lo = sim_.now(); });
+  dev.launch(hi, kernel("hi", 108, 1e-3), [&] { done_hi = sim_.now(); });
+  sim_.run();
+  // Arrival order rules: the low-priority kernel keeps the SMs it got.
+  EXPECT_LT(done_lo, done_hi);
+}
+
+TEST_F(DeviceTest, InvalidLaunchArguments) {
+  const StreamId s = dev_.create_stream(0);
+  EXPECT_THROW(dev_.launch(99, kernel("k", 1, 1e-6), [] {}),
+               std::invalid_argument);
+  EXPECT_THROW(dev_.launch(s, kernel("k", 0, 1e-6), [] {}),
+               std::invalid_argument);
+  EXPECT_THROW(dev_.launch_batch(s, {}), std::invalid_argument);
+}
+
+TEST_F(DeviceTest, BusySmAccounting) {
+  const StreamId a = dev_.create_stream(0);
+  const StreamId b = dev_.create_stream(0);
+  dev_.launch(a, kernel("a", 30, 1e-3), [] {});
+  dev_.launch(b, kernel("b", 40, 2e-3), [] {});
+  sim_.run(1e-4);
+  EXPECT_EQ(dev_.free_sms(), 108 - 70);
+  EXPECT_EQ(dev_.busy_sms_excluding(a), 40);
+  EXPECT_EQ(dev_.busy_sms_excluding(b), 30);
+  sim_.run();
+  EXPECT_EQ(dev_.free_sms(), 108);
+  EXPECT_NEAR(dev_.total_sm_seconds(), 30 * 1e-3 + 40 * 2e-3, 1e-9);
+}
+
+}  // namespace
+}  // namespace deeppool::gpu

@@ -1,0 +1,165 @@
+// Randomized stress tests for the simulated device: determinism, resource
+// conservation, and FIFO invariants under arbitrary interleaved workloads.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gpu/device.h"
+#include "util/rng.h"
+
+namespace deeppool::gpu {
+namespace {
+
+struct WorkloadResult {
+  std::vector<std::pair<int, double>> completions;  // (op tag, time)
+  double total_sm_seconds = 0.0;
+  double end_time = 0.0;
+};
+
+/// Launches `n` random ops across `streams` streams and runs to completion.
+WorkloadResult run_random_workload(std::uint64_t seed, int n, int streams) {
+  sim::Simulator sim;
+  Device dev(sim, DeviceConfig{}, 0);
+  Pcg32 rng(seed);
+  std::vector<StreamId> ids;
+  for (int s = 0; s < streams; ++s) {
+    ids.push_back(dev.create_stream(static_cast<int>(rng.bounded(3))));
+  }
+  WorkloadResult result;
+  for (int i = 0; i < n; ++i) {
+    OpDesc op;
+    const std::uint32_t kind = rng.bounded(4);
+    if (kind == 0) {
+      op.type = OpType::kComm;
+      op.base_duration_s = rng.uniform(1e-6, 1e-4);
+      op.comm_sms = 1 + static_cast<int>(rng.bounded(16));
+      op.interference_sensitivity = rng.uniform(0.0, 3.0);
+    } else if (kind == 1) {
+      op.type = OpType::kDelay;
+      op.base_duration_s = rng.uniform(1e-6, 5e-5);
+    } else {
+      op.type = OpType::kKernel;
+      op.blocks = 1 + static_cast<int>(rng.bounded(300));
+      op.block_s = rng.uniform(1e-6, 2e-4);
+      if (kind == 3) {
+        op.max_concurrency = 1 + static_cast<int>(rng.bounded(108));
+      }
+    }
+    const StreamId sid = ids[rng.bounded(static_cast<std::uint32_t>(streams))];
+    dev.launch(sid, op, [&result, i, &sim] {
+      result.completions.emplace_back(i, sim.now());
+    });
+  }
+  sim.run();
+  result.total_sm_seconds = dev.total_sm_seconds();
+  result.end_time = sim.now();
+  EXPECT_EQ(dev.free_sms(), dev.config().sm_count);  // all SMs returned
+  return result;
+}
+
+TEST(DeviceStress, AllOpsComplete) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    const WorkloadResult r = run_random_workload(seed, 200, 3);
+    EXPECT_EQ(r.completions.size(), 200u) << "seed " << seed;
+  }
+}
+
+TEST(DeviceStress, DeterministicReplay) {
+  const WorkloadResult a = run_random_workload(42, 300, 4);
+  const WorkloadResult b = run_random_workload(42, 300, 4);
+  ASSERT_EQ(a.completions.size(), b.completions.size());
+  for (std::size_t i = 0; i < a.completions.size(); ++i) {
+    EXPECT_EQ(a.completions[i].first, b.completions[i].first);
+    EXPECT_DOUBLE_EQ(a.completions[i].second, b.completions[i].second);
+  }
+  EXPECT_DOUBLE_EQ(a.total_sm_seconds, b.total_sm_seconds);
+}
+
+TEST(DeviceStress, DifferentSeedsDiffer) {
+  const WorkloadResult a = run_random_workload(7, 100, 2);
+  const WorkloadResult b = run_random_workload(8, 100, 2);
+  EXPECT_NE(a.end_time, b.end_time);
+}
+
+TEST(DeviceStress, SmSecondsBoundedByCapacity) {
+  const WorkloadResult r = run_random_workload(11, 250, 3);
+  // SM-seconds consumed can never exceed capacity x elapsed time.
+  EXPECT_LE(r.total_sm_seconds, 108.0 * r.end_time * (1.0 + 1e-9));
+  EXPECT_GT(r.total_sm_seconds, 0.0);
+}
+
+TEST(DeviceStress, CompletionsFifoWithinStream) {
+  sim::Simulator sim;
+  Device dev(sim, DeviceConfig{}, 0);
+  Pcg32 rng(5);
+  const StreamId a = dev.create_stream(1);
+  const StreamId b = dev.create_stream(0);
+  std::vector<int> order_a, order_b;
+  for (int i = 0; i < 50; ++i) {
+    OpDesc op;
+    op.type = OpType::kKernel;
+    op.blocks = 1 + static_cast<int>(rng.bounded(200));
+    op.block_s = rng.uniform(1e-6, 1e-4);
+    const bool to_a = rng.bounded(2) == 0;
+    dev.launch(to_a ? a : b, op, [&, i, to_a] {
+      (to_a ? order_a : order_b).push_back(i);
+    });
+  }
+  sim.run();
+  // Tags were assigned in launch order, so each stream's completion list
+  // must be sorted.
+  EXPECT_TRUE(std::is_sorted(order_a.begin(), order_a.end()));
+  EXPECT_TRUE(std::is_sorted(order_b.begin(), order_b.end()));
+  EXPECT_EQ(order_a.size() + order_b.size(), 50u);
+}
+
+TEST(DeviceStress, PauseResumeUnderLoadLosesNothing) {
+  sim::Simulator sim;
+  Device dev(sim, DeviceConfig{}, 0);
+  const StreamId lo = dev.create_stream(0);
+  const StreamId hi = dev.create_stream(10);
+  int done = 0;
+  for (int i = 0; i < 40; ++i) {
+    OpDesc op;
+    op.type = OpType::kKernel;
+    op.blocks = 20;
+    op.block_s = 1e-5;
+    dev.launch(i % 2 == 0 ? lo : hi, op, [&] { ++done; });
+  }
+  // Toggle the pause several times mid-flight.
+  for (int k = 1; k <= 5; ++k) {
+    sim.schedule_at(k * 1e-4, [&dev, k] {
+      if (k % 2 == 1) {
+        dev.pause_priority_below(10);
+      } else {
+        dev.resume_all();
+      }
+    });
+  }
+  sim.schedule_at(6e-4, [&dev] { dev.resume_all(); });
+  sim.run();
+  EXPECT_EQ(done, 40);
+  EXPECT_EQ(dev.free_sms(), dev.config().sm_count);
+}
+
+TEST(DeviceStress, ManyStreamsProgressUnderPriorityLadder) {
+  sim::Simulator sim;
+  Device dev(sim, DeviceConfig{}, 0);
+  constexpr int kStreams = 8;
+  std::vector<int> done(kStreams, 0);
+  for (int s = 0; s < kStreams; ++s) {
+    const StreamId sid = dev.create_stream(s);
+    for (int i = 0; i < 10; ++i) {
+      OpDesc op;
+      op.type = OpType::kKernel;
+      op.blocks = 30;
+      op.block_s = 1e-5;
+      dev.launch(sid, op, [&done, s] { ++done[static_cast<std::size_t>(s)]; });
+    }
+  }
+  sim.run();
+  for (int s = 0; s < kStreams; ++s) EXPECT_EQ(done[s], 10) << "stream " << s;
+}
+
+}  // namespace
+}  // namespace deeppool::gpu

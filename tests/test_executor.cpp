@@ -1,0 +1,202 @@
+#include "runtime/executor.h"
+
+#include <gtest/gtest.h>
+
+namespace deeppool::runtime {
+namespace {
+
+DeviceIteration simple_iteration(int kernels, double block_s, int blocks = 4) {
+  DeviceIteration it;
+  for (int i = 0; i < kernels; ++i) {
+    gpu::OpDesc op;
+    op.type = gpu::OpType::kKernel;
+    op.name = "k" + std::to_string(i);
+    op.monitor_id = i;
+    op.blocks = blocks;
+    op.block_s = block_s;
+    it.ops.push_back(op);
+    it.baselines.push_back(block_s);
+  }
+  return it;
+}
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  ExecutorTest()
+      : dev_(sim_, gpu::DeviceConfig{}, 0), monitor_(1.5, 2) {}
+
+  sim::Simulator sim_;
+  gpu::Device dev_;
+  PerfMonitor monitor_;
+  MultiplexConfig mux_;
+};
+
+TEST_F(ExecutorTest, CompletesIterationsInOrder) {
+  const gpu::StreamId s = dev_.create_stream(10);
+  std::vector<int> iters;
+  HostExecutor exec(
+      sim_, dev_, s, mux_, monitor_, "t",
+      [](int) { return simple_iteration(4, 1e-5); },
+      [&](int k, double) { iters.push_back(k); });
+  exec.start();
+  sim_.run(5e-3);
+  exec.stop();
+  sim_.run();
+  ASSERT_GE(iters.size(), 3u);
+  for (std::size_t i = 0; i < iters.size(); ++i) {
+    EXPECT_EQ(iters[i], static_cast<int>(i));
+  }
+  EXPECT_EQ(exec.iterations_completed(), static_cast<int>(iters.size()));
+  EXPECT_EQ(exec.iteration_end_times().size(), iters.size());
+}
+
+TEST_F(ExecutorTest, GraphsReduceHostOverheadForManySmallKernels) {
+  // 64 tiny kernels per iteration: with per-kernel launches the host gap
+  // dominates; CUDA graphs amortize it (the Fig. 11 "+Graph" rung).
+  auto run = [&](bool graphs) {
+    sim::Simulator sim;
+    gpu::Device dev(sim, gpu::DeviceConfig{}, 0);
+    const gpu::StreamId s = dev.create_stream(10);
+    MultiplexConfig mux = mux_;
+    mux.cuda_graphs = graphs;
+    PerfMonitor mon(1.5, 2);
+    HostExecutor exec(sim, dev, s, mux, mon, "t",
+                      [](int) { return simple_iteration(64, 1e-6, 1); });
+    exec.start();
+    sim.run(20e-3);
+    exec.stop();
+    sim.run();
+    return exec.iterations_completed();
+  };
+  const int with_graphs = run(true);
+  const int without = run(false);
+  EXPECT_GT(with_graphs, 2 * without);
+}
+
+TEST_F(ExecutorTest, PacingBoundsOutstandingLaunches) {
+  const gpu::StreamId s = dev_.create_stream(10);
+  MultiplexConfig mux = mux_;
+  mux.pacing_limit = 2;
+  mux.cuda_graphs = false;
+  std::size_t max_queue = 0;
+  HostExecutor exec(sim_, dev_, s, mux, monitor_, "t",
+                    [](int) { return simple_iteration(32, 5e-5); });
+  exec.start();
+  while (sim_.step(10e-3)) {
+    max_queue = std::max(max_queue, dev_.transmission_queue_depth());
+  }
+  // With pacing 2 the shared queue can never hold more than 2 of our
+  // launches (+1 being serviced).
+  EXPECT_LE(max_queue, 3u);
+}
+
+TEST_F(ExecutorTest, UnpacedTaskFloodsQueue) {
+  const gpu::StreamId s = dev_.create_stream(10);
+  MultiplexConfig mux = mux_;
+  mux.pacing_limit = 0;
+  mux.cuda_graphs = false;
+  std::size_t max_queue = 0;
+  HostExecutor exec(sim_, dev_, s, mux, monitor_, "t",
+                    [](int) { return simple_iteration(32, 5e-4); });
+  exec.start();
+  while (sim_.step(30e-3)) {
+    max_queue = std::max(max_queue, dev_.transmission_queue_depth());
+  }
+  EXPECT_GT(max_queue, 10u);
+}
+
+TEST_F(ExecutorTest, MonitorReceivesPerOpSamples) {
+  const gpu::StreamId s = dev_.create_stream(10);
+  HostExecutor exec(sim_, dev_, s, mux_, monitor_, "t",
+                    [](int) { return simple_iteration(4, 1e-5); });
+  exec.start();
+  sim_.run(2e-3);
+  exec.stop();
+  sim_.run();
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_GT(monitor_.samples(i), 0) << "op " << i;
+  }
+}
+
+TEST_F(ExecutorTest, SensitiveOpPausesLowPriority) {
+  const gpu::StreamId fg = dev_.create_stream(10);
+  const gpu::StreamId bg = dev_.create_stream(0);
+  // Pre-poison the monitor: op 0 is known-sensitive.
+  monitor_.record(0, 10.0, 1.0);
+  monitor_.record(0, 10.0, 1.0);
+  ASSERT_TRUE(monitor_.is_sensitive(0));
+
+  MultiplexConfig mux = mux_;
+  mux.slowdown_feedback = true;
+  mux.cuda_graphs = false;
+  mux.pacing_limit = 1;  // no pipelining: pauses must actually lift
+
+  // Keep a background kernel stream busy so we can watch it pause.
+  int bg_done = 0;
+  std::function<void()> bg_feed = [&] {
+    ++bg_done;
+    gpu::OpDesc op;
+    op.type = gpu::OpType::kKernel;
+    op.blocks = 2;
+    op.block_s = 1e-5;
+    dev_.launch(bg, op, bg_feed);
+  };
+  {
+    gpu::OpDesc op;
+    op.type = gpu::OpType::kKernel;
+    op.blocks = 2;
+    op.block_s = 1e-5;
+    dev_.launch(bg, op, bg_feed);
+  }
+
+  HostExecutor exec(sim_, dev_, fg, mux, monitor_, "t", [](int) {
+    DeviceIteration it;
+    gpu::OpDesc comm;
+    comm.type = gpu::OpType::kComm;
+    comm.name = "sensitive";
+    comm.monitor_id = 0;
+    comm.base_duration_s = 2e-4;
+    comm.comm_sms = 4;
+    it.ops.push_back(comm);
+    it.baselines.push_back(2e-4);
+    // Non-sensitive compute between the sensitive ops: collocation windows.
+    gpu::OpDesc work;
+    work.type = gpu::OpType::kKernel;
+    work.name = "work";
+    work.monitor_id = 1;
+    work.blocks = 16;
+    work.block_s = 4e-4;
+    it.ops.push_back(work);
+    it.baselines.push_back(4e-4);
+    return it;
+  });
+  exec.start();
+  bool saw_pause = false;
+  while (sim_.step(5e-3)) {
+    if (dev_.paused()) saw_pause = true;
+  }
+  EXPECT_TRUE(saw_pause);
+  EXPECT_GT(bg_done, 0);  // background still made progress between pauses
+}
+
+TEST_F(ExecutorTest, StopPreventsFurtherIterations) {
+  const gpu::StreamId s = dev_.create_stream(10);
+  HostExecutor exec(sim_, dev_, s, mux_, monitor_, "t",
+                    [](int) { return simple_iteration(2, 1e-5); });
+  exec.start();
+  sim_.run(1e-3);
+  exec.stop();
+  sim_.run();  // in-flight units drain
+  const int after_drain = exec.iterations_completed();
+  sim_.run(sim_.now() + 10e-3);
+  EXPECT_EQ(exec.iterations_completed(), after_drain);
+}
+
+TEST_F(ExecutorTest, FactoryRequired) {
+  const gpu::StreamId s = dev_.create_stream(10);
+  EXPECT_THROW(HostExecutor(sim_, dev_, s, mux_, monitor_, "t", nullptr),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace deeppool::runtime

@@ -1,0 +1,134 @@
+#include "models/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace deeppool::models {
+namespace {
+
+TEST(Shape, ConvOutDim) {
+  EXPECT_EQ(conv_out_dim(224, 3, 1, 1), 224);
+  EXPECT_EQ(conv_out_dim(224, 2, 2, 0), 112);
+  EXPECT_EQ(conv_out_dim(224, 7, 2, 3), 112);
+  EXPECT_EQ(conv_out_dim(5, 3, 2, 0), 2);
+  EXPECT_THROW(conv_out_dim(2, 5, 1, 0), std::invalid_argument);
+}
+
+TEST(GraphBuilder, ChainShapesPropagate) {
+  GraphBuilder b("m", Shape{3, 8, 8});
+  const LayerId c = b.conv2d("c", 16, 3, 1, 1);
+  EXPECT_EQ(b.shape_of(c), (Shape{16, 8, 8}));
+  const LayerId p = b.maxpool("p", 2, 2);
+  EXPECT_EQ(b.shape_of(p), (Shape{16, 4, 4}));
+  const LayerId f = b.flatten("f");
+  EXPECT_EQ(b.shape_of(f), (Shape{256, 1, 1}));
+  const LayerId d = b.dense("d", 10);
+  EXPECT_EQ(b.shape_of(d), (Shape{10, 1, 1}));
+  const ModelGraph g = b.build();
+  EXPECT_EQ(g.size(), 5u);  // input + 4
+  EXPECT_EQ(g.op_count(), 4);
+  EXPECT_FALSE(g.has_branches());
+}
+
+TEST(GraphBuilder, ConvParamAndFlopCounts) {
+  GraphBuilder b("m", Shape{3, 32, 32});
+  b.conv2d("c", 8, 3, 1, 1);
+  const ModelGraph g = b.build();
+  const Layer& c = g.layer(1);
+  // 3*3*3*8 weights + 3*8 fused bias/BN.
+  EXPECT_EQ(c.params, 216 + 24);
+  // 2 * k*k*cin * cout * H*W MACs-flops + 4 per output elem.
+  EXPECT_EQ(c.flops_per_sample, 2LL * 9 * 3 * 8 * 32 * 32 + 4LL * 8 * 32 * 32);
+}
+
+TEST(GraphBuilder, DenseParamCounts) {
+  GraphBuilder b("m", Shape{100, 1, 1});
+  b.dense("d", 10);
+  const ModelGraph g = b.build();
+  EXPECT_EQ(g.layer(1).params, 1010);
+  EXPECT_EQ(g.layer(1).flops_per_sample, 2000);
+}
+
+TEST(GraphBuilder, RectConvShapes) {
+  GraphBuilder b("m", Shape{4, 17, 17});
+  const LayerId c = b.conv2d_rect("c17", 8, 1, 7, 1, 0, 3);
+  EXPECT_EQ(b.shape_of(c), (Shape{8, 17, 17}));
+  const LayerId c2 = b.conv2d_rect("c71", 8, 7, 1, 1, 3, 0);
+  EXPECT_EQ(b.shape_of(c2), (Shape{8, 17, 17}));
+}
+
+TEST(GraphBuilder, AddRequiresMatchingShapes) {
+  GraphBuilder b("m", Shape{3, 8, 8});
+  const LayerId a = b.conv2d("a", 8, 3, 1, 1);
+  const LayerId c = b.conv2d("c", 16, 3, 1, 1, a);
+  EXPECT_THROW(b.add("bad", a, c), std::invalid_argument);
+}
+
+TEST(GraphBuilder, ConcatSumsChannels) {
+  GraphBuilder b("m", Shape{3, 8, 8});
+  const LayerId x = b.conv2d("x", 4, 1, 1, 0, 0);
+  const LayerId y = b.conv2d("y", 6, 1, 1, 0, 0);
+  const LayerId cat = b.concat("cat", {x, y});
+  EXPECT_EQ(b.shape_of(cat), (Shape{10, 8, 8}));
+  EXPECT_THROW(b.concat("one", {x}), std::invalid_argument);
+}
+
+TEST(GraphBuilder, ConcatRejectsSpatialMismatch) {
+  GraphBuilder b("m", Shape{3, 8, 8});
+  const LayerId x = b.conv2d("x", 4, 1, 1, 0, 0);
+  const LayerId y = b.maxpool("y", 2, 2, 0, 0);
+  EXPECT_THROW(b.concat("cat", {x, y}), std::invalid_argument);
+}
+
+TEST(ModelGraph, PredecessorsAndSuccessors) {
+  GraphBuilder b("m", Shape{3, 8, 8});
+  const LayerId stem = b.conv2d("stem", 8, 3, 1, 1);
+  const LayerId l = b.conv2d("l", 8, 3, 1, 1, stem);
+  const LayerId r = b.conv2d("r", 8, 3, 1, 1, stem);
+  const LayerId j = b.add("j", l, r);
+  const ModelGraph g = b.build();
+  EXPECT_EQ(g.successors(stem).size(), 2u);
+  EXPECT_EQ(g.predecessors(j).size(), 2u);
+  EXPECT_TRUE(g.has_branches());
+  EXPECT_EQ(g.source(), 0);
+  EXPECT_EQ(g.sink(), j);
+}
+
+TEST(ModelGraph, MultipleSinksRejected) {
+  std::vector<Layer> layers(3);
+  layers[0].id = 0;
+  layers[0].kind = LayerKind::kInput;
+  layers[1].id = 1;
+  layers[1].inputs = {0};
+  layers[2].id = 2;
+  layers[2].inputs = {0};
+  EXPECT_THROW(ModelGraph("bad", layers), std::invalid_argument);
+}
+
+TEST(ModelGraph, LayerOutOfRangeThrows) {
+  GraphBuilder b("m", Shape{3, 8, 8});
+  b.conv2d("c", 8, 3, 1, 1);
+  const ModelGraph g = b.build();
+  EXPECT_THROW(g.layer(99), std::out_of_range);
+  EXPECT_THROW(g.layer(-1), std::out_of_range);
+}
+
+TEST(GraphBuilder, BuildTwiceThrows) {
+  GraphBuilder b("m", Shape{3, 8, 8});
+  b.conv2d("c", 8, 3, 1, 1);
+  b.build();
+  EXPECT_THROW(b.build(), std::logic_error);
+}
+
+TEST(ModelGraph, Totals) {
+  GraphBuilder b("m", Shape{10, 1, 1});
+  b.dense("d1", 20);
+  b.dense("d2", 5);
+  const ModelGraph g = b.build();
+  EXPECT_EQ(g.total_params(), (10 * 20 + 20) + (20 * 5 + 5));
+  EXPECT_EQ(g.total_flops_per_sample(), 2 * 10 * 20 + 2 * 20 * 5);
+}
+
+}  // namespace
+}  // namespace deeppool::models

@@ -1,0 +1,171 @@
+#include "runtime/iteration.h"
+
+#include <gtest/gtest.h>
+
+#include "gpu/collective.h"
+
+#include "core/planner.h"
+#include "models/zoo.h"
+#include "net/network_model.h"
+
+namespace deeppool::runtime {
+namespace {
+
+struct Fixture {
+  Fixture()
+      : model(models::zoo::vgg16()),
+        cost(models::DeviceSpec::a100()),
+        net(net::NetworkSpec::nvswitch()),
+        profiles(model, cost, net, core::ProfileOptions{8, 32, true}) {}
+
+  models::ModelGraph model;
+  models::CostModel cost;
+  net::NetworkModel net;
+  core::ProfileSet profiles;
+};
+
+TEST(MonitorId, StablePerLayerPhase) {
+  EXPECT_NE(monitor_id(3, OpPhase::kForward), monitor_id(3, OpPhase::kSync));
+  EXPECT_NE(monitor_id(3, OpPhase::kForward), monitor_id(4, OpPhase::kForward));
+  EXPECT_EQ(monitor_id(3, OpPhase::kBackward), monitor_id(3, OpPhase::kBackward));
+}
+
+TEST(KernelShape, IsolatedDurationMatchesCostModel) {
+  Fixture f;
+  for (const models::Layer& l : f.model.layers()) {
+    if (l.kind == models::LayerKind::kInput) continue;
+    const KernelShape fwd = kernel_shape(f.cost, l, 8, false);
+    EXPECT_NEAR(fwd.isolated_s, f.cost.layer_time(l, 8).forward_s, 1e-12);
+    // Reassembled duration: on an idle device the kernel runs
+    // blocks / max_concurrency waves of block_s each.
+    ASSERT_GT(fwd.max_concurrency, 0);
+    const int waves = fwd.blocks / fwd.max_concurrency;
+    EXPECT_EQ(fwd.blocks % fwd.max_concurrency, 0);
+    EXPECT_NEAR(waves * fwd.block_s, fwd.isolated_s, 1e-9);
+  }
+}
+
+TEST(KernelShape, BlocksGrowWithBatchAndAreCapped) {
+  Fixture f;
+  const models::Layer& conv = f.model.layer(1);
+  const KernelShape small = kernel_shape(f.cost, conv, 1, false);
+  const KernelShape big = kernel_shape(f.cost, conv, 64, false);
+  EXPECT_LE(small.max_concurrency, big.max_concurrency);
+  EXPECT_LE(big.max_concurrency, 108);  // SM demand never exceeds the device
+  EXPECT_GE(small.blocks, 1);
+  EXPECT_LE(big.blocks, 108 * 16);
+}
+
+TEST(BgIteration, ForwardAndBackwardPerLayer) {
+  Fixture f;
+  const DeviceIteration it = build_bg_iteration(f.model, f.cost, 4);
+  // 21 real ops, fwd + bwd each.
+  EXPECT_EQ(it.ops.size(), 42u);
+  EXPECT_EQ(it.baselines.size(), it.ops.size());
+  for (const gpu::OpDesc& op : it.ops) {
+    EXPECT_EQ(op.type, gpu::OpType::kKernel);
+    EXPECT_FALSE(op.collective);
+  }
+}
+
+TEST(BgIteration, RejectsBadBatch) {
+  Fixture f;
+  EXPECT_THROW(build_bg_iteration(f.model, f.cost, 0), std::invalid_argument);
+}
+
+TEST(FgIteration, DataParallelPlanHasNoReshards) {
+  Fixture f;
+  sim::Simulator sim;
+  const core::TrainingPlan dp = core::data_parallel_plan(f.profiles, 8);
+  const auto devs = build_fg_iteration(sim, f.model, f.cost, dp, 8);
+  ASSERT_EQ(devs.size(), 8u);
+  for (const DeviceIteration& d : devs) {
+    for (const gpu::OpDesc& op : d.ops) {
+      EXPECT_EQ(op.name.find("reshard"), std::string::npos);
+    }
+  }
+  // Every rank runs the same op count under pure data parallelism.
+  for (const DeviceIteration& d : devs) {
+    EXPECT_EQ(d.ops.size(), devs[0].ops.size());
+  }
+}
+
+TEST(FgIteration, AllreducePerParameterizedLayer) {
+  Fixture f;
+  sim::Simulator sim;
+  const core::TrainingPlan dp = core::data_parallel_plan(f.profiles, 8);
+  const auto devs = build_fg_iteration(sim, f.model, f.cost, dp, 8);
+  int allreduces = 0;
+  for (const gpu::OpDesc& op : devs[0].ops) {
+    if (op.name.find("allreduce") != std::string::npos) {
+      ++allreduces;
+      EXPECT_TRUE(op.collective);
+      EXPECT_EQ(op.collective->participants(), 8);
+      EXPECT_GT(op.interference_sensitivity, 1.0);
+    }
+  }
+  // VGG-16: 13 convs + 3 dense layers carry parameters.
+  EXPECT_EQ(allreduces, 16);
+}
+
+TEST(FgIteration, BurstPlanInsertsReshards) {
+  Fixture f;
+  const core::TrainingPlan bp = core::Planner(f.profiles).plan({1.5});
+  ASSERT_GT(bp.peak_gpus(), 1);
+  sim::Simulator sim;
+  const auto devs = build_fg_iteration(sim, f.model, f.cost, bp, bp.peak_gpus());
+  int reshards = 0;
+  for (const gpu::OpDesc& op : devs[0].ops) {
+    if (op.name.find("reshard") != std::string::npos) ++reshards;
+  }
+  // The burst plan changes scale at least once each way.
+  EXPECT_GE(reshards, 2);
+}
+
+TEST(FgIteration, RankParticipationMatchesPlan) {
+  Fixture f;
+  const core::TrainingPlan bp = core::Planner(f.profiles).plan({1.5});
+  sim::Simulator sim;
+  const int n = bp.peak_gpus();
+  const auto devs = build_fg_iteration(sim, f.model, f.cost, bp, n);
+  for (const models::Layer& l : f.model.layers()) {
+    if (l.kind == models::LayerKind::kInput) continue;
+    const int g = bp.assignment(l.id).gpus;
+    for (int d = 0; d < n; ++d) {
+      int count = 0;
+      for (const gpu::OpDesc& op : devs[static_cast<std::size_t>(d)].ops) {
+        if (op.name == l.name + ".fwd") ++count;
+      }
+      EXPECT_EQ(count, d < g ? 1 : 0) << l.name << " rank " << d;
+    }
+  }
+}
+
+TEST(FgIteration, EndsWithClusterBarrier) {
+  Fixture f;
+  sim::Simulator sim;
+  const core::TrainingPlan dp = core::data_parallel_plan(f.profiles, 8);
+  const auto devs = build_fg_iteration(sim, f.model, f.cost, dp, 8);
+  for (const DeviceIteration& d : devs) {
+    ASSERT_FALSE(d.ops.empty());
+    EXPECT_EQ(d.ops.back().name, "iteration.barrier");
+    ASSERT_TRUE(d.ops.back().collective);
+    EXPECT_EQ(d.ops.back().collective->participants(), 8);
+  }
+  // All ranks share the same barrier object.
+  EXPECT_EQ(devs[0].ops.back().collective.get(),
+            devs[7].ops.back().collective.get());
+}
+
+TEST(FgIteration, FreshCollectivesPerIteration) {
+  Fixture f;
+  sim::Simulator sim;
+  const core::TrainingPlan dp = core::data_parallel_plan(f.profiles, 8);
+  const auto it1 = build_fg_iteration(sim, f.model, f.cost, dp, 8);
+  const auto it2 = build_fg_iteration(sim, f.model, f.cost, dp, 8);
+  EXPECT_NE(it1[0].ops.back().collective.get(),
+            it2[0].ops.back().collective.get());
+}
+
+}  // namespace
+}  // namespace deeppool::runtime

@@ -1,0 +1,99 @@
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace deeppool {
+namespace {
+
+TEST(Json, ScalarKinds) {
+  EXPECT_TRUE(Json().is_null());
+  EXPECT_TRUE(Json(true).is_bool());
+  EXPECT_TRUE(Json(3.5).is_number());
+  EXPECT_TRUE(Json("hi").is_string());
+  EXPECT_TRUE(Json(Json::Array{}).is_array());
+  EXPECT_TRUE(Json(Json::Object{}).is_object());
+}
+
+TEST(Json, KindMismatchThrows) {
+  const Json j(1.0);
+  EXPECT_THROW(j.as_string(), std::runtime_error);
+  EXPECT_THROW(j.as_array(), std::runtime_error);
+  EXPECT_THROW(j.as_bool(), std::runtime_error);
+  EXPECT_THROW(Json("x").as_number(), std::runtime_error);
+}
+
+TEST(Json, ObjectBuilding) {
+  Json j;
+  j["a"] = Json(1);
+  j["b"]["nested"] = Json("x");
+  EXPECT_EQ(j.at("a").as_int(), 1);
+  EXPECT_EQ(j.at("b").at("nested").as_string(), "x");
+  EXPECT_TRUE(j.contains("a"));
+  EXPECT_FALSE(j.contains("zzz"));
+  EXPECT_THROW(j.at("zzz"), std::runtime_error);
+}
+
+TEST(Json, CompactDump) {
+  Json j;
+  j["n"] = Json(42);
+  j["s"] = Json("a\"b");
+  EXPECT_EQ(j.dump(), R"({"n":42,"s":"a\"b"})");
+}
+
+TEST(Json, IntegersDumpWithoutDecimal) {
+  EXPECT_EQ(Json(7.0).dump(), "7");
+  EXPECT_EQ(Json(-3).dump(), "-3");
+}
+
+TEST(Json, ParseRoundTrip) {
+  const std::string text =
+      R"({"arr":[1,2.5,true,null,"str"],"obj":{"k":"v"},"neg":-7})";
+  const Json j = Json::parse(text);
+  EXPECT_EQ(j.at("arr").as_array().size(), 5u);
+  EXPECT_DOUBLE_EQ(j.at("arr").as_array()[1].as_number(), 2.5);
+  EXPECT_TRUE(j.at("arr").as_array()[2].as_bool());
+  EXPECT_TRUE(j.at("arr").as_array()[3].is_null());
+  EXPECT_EQ(j.at("obj").at("k").as_string(), "v");
+  EXPECT_EQ(j.at("neg").as_int(), -7);
+  // Round-trip stability: dump -> parse -> dump is a fixed point.
+  EXPECT_EQ(Json::parse(j.dump()).dump(), j.dump());
+}
+
+TEST(Json, ParseEscapes) {
+  const Json j = Json::parse(R"("line\n\ttabA")");
+  EXPECT_EQ(j.as_string(), "line\n\ttabA");
+}
+
+TEST(Json, ParseWhitespaceTolerant) {
+  const Json j = Json::parse("  { \"a\" : [ 1 , 2 ] }  ");
+  EXPECT_EQ(j.at("a").as_array().size(), 2u);
+}
+
+TEST(Json, ParseErrors) {
+  EXPECT_THROW(Json::parse(""), std::runtime_error);
+  EXPECT_THROW(Json::parse("{"), std::runtime_error);
+  EXPECT_THROW(Json::parse("[1,]"), std::runtime_error);
+  EXPECT_THROW(Json::parse("{\"a\":1} trailing"), std::runtime_error);
+  EXPECT_THROW(Json::parse("tru"), std::runtime_error);
+  EXPECT_THROW(Json::parse("\"unterminated"), std::runtime_error);
+  EXPECT_THROW(Json::parse("1.2.3"), std::runtime_error);
+}
+
+TEST(Json, PrettyDumpIsReparseable) {
+  Json j;
+  j["list"] = Json(Json::Array{Json(1), Json(2)});
+  j["flag"] = Json(false);
+  const std::string pretty = j.dump(2);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  EXPECT_EQ(Json::parse(pretty).dump(), j.dump());
+}
+
+TEST(Json, ScientificNotationNumbers) {
+  EXPECT_DOUBLE_EQ(Json::parse("1.5e-6").as_number(), 1.5e-6);
+  EXPECT_DOUBLE_EQ(Json::parse("2E3").as_number(), 2000.0);
+}
+
+}  // namespace
+}  // namespace deeppool

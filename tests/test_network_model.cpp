@@ -1,0 +1,110 @@
+#include "net/network_model.h"
+
+#include <gtest/gtest.h>
+
+namespace deeppool::net {
+namespace {
+
+TEST(NetworkSpec, NamedSpeeds) {
+  EXPECT_DOUBLE_EQ(NetworkSpec::from_name("10g").per_gpu_bandwidth, 10e9 / 8);
+  EXPECT_DOUBLE_EQ(NetworkSpec::from_name("1t").per_gpu_bandwidth, 1e12 / 8);
+  EXPECT_DOUBLE_EQ(NetworkSpec::from_name("4.8t").per_gpu_bandwidth, 4.8e12 / 8);
+  EXPECT_DOUBLE_EQ(NetworkSpec::nvswitch().per_gpu_bandwidth, 600e9);
+  EXPECT_THROW(NetworkSpec::from_name("zzz"), std::invalid_argument);
+  EXPECT_THROW(NetworkSpec::from_bits_per_second(0), std::invalid_argument);
+}
+
+class NetTest : public ::testing::Test {
+ protected:
+  NetworkModel nm{NetworkSpec::nvswitch()};
+};
+
+TEST_F(NetTest, TransferIsPayloadOverBandwidthPlusDelay) {
+  const auto& s = nm.spec();
+  EXPECT_DOUBLE_EQ(nm.transfer_time(600'000'000),
+                   1e9 * 0.6 / s.per_gpu_bandwidth + s.propagation_delay_s);
+  EXPECT_DOUBLE_EQ(nm.transfer_time(0), 0.0);
+  EXPECT_THROW(nm.transfer_time(-1), std::invalid_argument);
+}
+
+TEST_F(NetTest, AllreduceSingleGpuFree) {
+  EXPECT_DOUBLE_EQ(nm.allreduce_time(1 << 20, 1), 0.0);
+  EXPECT_DOUBLE_EQ(nm.allreduce_time(0, 8), 0.0);
+}
+
+TEST_F(NetTest, AllreducePaperModelIsScaleIndependent) {
+  // §4.1: "we simply divide the payload size by the bandwidth and add the
+  // propagation delay" — on full-bisection fabric the cost doesn't grow
+  // with participant count.
+  const std::int64_t bytes = 256LL << 20;
+  const double t2 = nm.allreduce_time(bytes, 2);
+  for (int g : {4, 8, 64, 256}) {
+    EXPECT_DOUBLE_EQ(nm.allreduce_time(bytes, g), t2);
+  }
+  EXPECT_DOUBLE_EQ(
+      t2, static_cast<double>(bytes) / nm.spec().per_gpu_bandwidth +
+              nm.spec().propagation_delay_s);
+}
+
+TEST_F(NetTest, RingAllreduceGrowsWithGpusButBounded) {
+  const std::int64_t bytes = 256LL << 20;
+  double prev = 0.0;
+  for (int g : {2, 4, 8, 16, 64, 256}) {
+    const double t = nm.ring_allreduce_time(bytes, g);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+  // Ring wire bytes converge to 2x payload: after subtracting the per-hop
+  // propagation term, the time at huge g stays within ~2.1x of 2 GPUs.
+  const double hop = nm.spec().propagation_delay_s;
+  const double t2 = nm.ring_allreduce_time(bytes, 2) - 2 * hop;
+  const double t256 = nm.ring_allreduce_time(bytes, 256) - 2 * 255 * hop;
+  EXPECT_LT(t256, 2.1 * t2);
+  EXPECT_GT(t256, 1.5 * t2);
+  // The ring estimate upper-bounds the paper's simple model.
+  EXPECT_GT(nm.ring_allreduce_time(bytes, 8), nm.allreduce_time(bytes, 8));
+}
+
+TEST_F(NetTest, AllreduceRejectsBadArgs) {
+  EXPECT_THROW(nm.allreduce_time(1024, 0), std::invalid_argument);
+  EXPECT_THROW(nm.allreduce_time(-5, 4), std::invalid_argument);
+}
+
+TEST_F(NetTest, ReshardZeroWhenScaleUnchanged) {
+  EXPECT_DOUBLE_EQ(nm.reshard_time(1024, 128, 4, 4), 0.0);
+  EXPECT_DOUBLE_EQ(nm.reshard_time(0, 128, 2, 4), 0.0);
+  EXPECT_DOUBLE_EQ(nm.reshard_time(1024, 0, 2, 4), 0.0);
+}
+
+TEST_F(NetTest, ReshardSymmetricInDirection) {
+  EXPECT_DOUBLE_EQ(nm.reshard_time(4096, 128, 2, 8),
+                   nm.reshard_time(4096, 128, 8, 2));
+}
+
+TEST_F(NetTest, ReshardBusiestLinkMath) {
+  // B=128 samples of 1KB, scaling 2 -> 8: each of the 2 source GPUs keeps
+  // 16 of its 64 samples and sends 48.
+  const auto& s = nm.spec();
+  const double expect =
+      48.0 * 1024.0 / s.per_gpu_bandwidth + s.propagation_delay_s;
+  EXPECT_DOUBLE_EQ(nm.reshard_time(1024, 128, 2, 8), expect);
+}
+
+TEST_F(NetTest, ReshardSmallerForNearerScales) {
+  const double near = nm.reshard_time(1024, 128, 4, 8);
+  const double far = nm.reshard_time(1024, 128, 1, 8);
+  EXPECT_LT(near, far);
+}
+
+TEST_F(NetTest, FasterNetworkFasterEverything) {
+  const NetworkModel slow(NetworkSpec::from_name("10g"));
+  const NetworkModel fast(NetworkSpec::from_name("4.8t"));
+  const std::int64_t bytes = 64LL << 20;
+  EXPECT_GT(slow.transfer_time(bytes), fast.transfer_time(bytes));
+  EXPECT_GT(slow.allreduce_time(bytes, 8), fast.allreduce_time(bytes, 8));
+  EXPECT_GT(slow.reshard_time(1024, 256, 2, 8),
+            fast.reshard_time(1024, 256, 2, 8));
+}
+
+}  // namespace
+}  // namespace deeppool::net

@@ -1,0 +1,63 @@
+#include "runtime/perf_monitor.h"
+
+#include <gtest/gtest.h>
+
+namespace deeppool::runtime {
+namespace {
+
+TEST(PerfMonitor, ConstructionValidation) {
+  EXPECT_THROW(PerfMonitor(1.0, 2), std::invalid_argument);
+  EXPECT_THROW(PerfMonitor(1.5, 0), std::invalid_argument);
+}
+
+TEST(PerfMonitor, NotSensitiveUntilMinSamples) {
+  PerfMonitor m(1.5, 3);
+  m.record(7, 10.0, 1.0);  // 10x slowdown, but only one sample
+  EXPECT_FALSE(m.is_sensitive(7));
+  m.record(7, 10.0, 1.0);
+  EXPECT_FALSE(m.is_sensitive(7));
+  m.record(7, 10.0, 1.0);
+  EXPECT_TRUE(m.is_sensitive(7));
+}
+
+TEST(PerfMonitor, MeanSlowdownThresholding) {
+  PerfMonitor m(1.5, 1);
+  m.record(1, 1.4, 1.0);
+  EXPECT_FALSE(m.is_sensitive(1));
+  m.record(1, 2.0, 1.0);  // mean now 1.7
+  EXPECT_TRUE(m.is_sensitive(1));
+  EXPECT_NEAR(m.mean_slowdown(1), 1.7, 1e-12);
+}
+
+TEST(PerfMonitor, UnknownOperatorDefaults) {
+  PerfMonitor m(1.5, 1);
+  EXPECT_FALSE(m.is_sensitive(42));
+  EXPECT_DOUBLE_EQ(m.mean_slowdown(42), 1.0);
+  EXPECT_EQ(m.samples(42), 0);
+}
+
+TEST(PerfMonitor, ZeroBaselineIgnored) {
+  PerfMonitor m(1.5, 1);
+  m.record(3, 100.0, 0.0);
+  EXPECT_EQ(m.samples(3), 0);
+  EXPECT_FALSE(m.is_sensitive(3));
+}
+
+TEST(PerfMonitor, OverallMeanAcrossOperators) {
+  PerfMonitor m(1.5, 1);
+  EXPECT_DOUBLE_EQ(m.overall_mean_slowdown(), 1.0);
+  m.record(1, 2.0, 1.0);
+  m.record(2, 4.0, 1.0);
+  EXPECT_DOUBLE_EQ(m.overall_mean_slowdown(), 3.0);
+}
+
+TEST(PerfMonitor, OperatorsIndependent) {
+  PerfMonitor m(1.5, 1);
+  m.record(1, 5.0, 1.0);
+  m.record(2, 1.0, 1.0);
+  EXPECT_TRUE(m.is_sensitive(1));
+  EXPECT_FALSE(m.is_sensitive(2));
+}
+
+}  // namespace
+}  // namespace deeppool::runtime

@@ -1,0 +1,103 @@
+#include "core/plan.h"
+
+#include <gtest/gtest.h>
+
+#include "core/profile.h"
+#include "models/zoo.h"
+
+namespace deeppool::core {
+namespace {
+
+class PlanTest : public ::testing::Test {
+ protected:
+  PlanTest()
+      : model_(models::zoo::vgg16()),
+        cost_(models::DeviceSpec::a100()),
+        net_(net::NetworkSpec::nvswitch()),
+        profiles_(model_, cost_, net_, ProfileOptions{8, 32, true}) {}
+
+  models::ModelGraph model_;
+  models::CostModel cost_;
+  net::NetworkModel net_;
+  ProfileSet profiles_;
+};
+
+TEST_F(PlanTest, DataParallelPlanCoversAllLayers) {
+  const TrainingPlan plan = data_parallel_plan(profiles_, 8);
+  EXPECT_EQ(plan.assignments.size(), model_.size());
+  for (const LayerAssignment& a : plan.assignments) {
+    EXPECT_EQ(a.gpus, 8);
+    EXPECT_DOUBLE_EQ(a.comm_in_s, 0.0);
+  }
+  EXPECT_EQ(plan.peak_gpus(), 8);
+  EXPECT_GT(plan.est_iteration_s, 0.0);
+  EXPECT_GT(plan.single_gpu_iteration_s, plan.est_iteration_s);
+}
+
+TEST_F(PlanTest, DataParallelSpeedupSubLinear) {
+  const TrainingPlan plan = data_parallel_plan(profiles_, 8);
+  EXPECT_GT(plan.est_speedup(), 1.0);
+  EXPECT_LT(plan.est_speedup(), 8.0);
+}
+
+TEST_F(PlanTest, AmplificationAboveOneWhenScaled) {
+  const TrainingPlan plan = data_parallel_plan(profiles_, 8);
+  EXPECT_GT(plan.amplification(), 1.0);
+}
+
+TEST_F(PlanTest, GpuSecIsWeightedSum) {
+  TrainingPlan p;
+  p.single_gpu_iteration_s = 1.0;
+  LayerAssignment a;
+  a.layer = 0;
+  a.gpus = 4;
+  a.comp_s = 0.1;
+  a.sync_s = 0.05;
+  a.comm_in_s = 0.01;
+  p.assignments.push_back(a);
+  EXPECT_DOUBLE_EQ(p.gpu_sec(), 0.16 * 4);
+  EXPECT_DOUBLE_EQ(p.amplification(), 0.64);
+}
+
+TEST_F(PlanTest, JsonRoundTrip) {
+  TrainingPlan plan = data_parallel_plan(profiles_, 4);
+  plan.assignments[3].concurrent = true;
+  const Json j = plan.to_json();
+  const TrainingPlan back = TrainingPlan::from_json(j);
+  EXPECT_EQ(back.model_name, plan.model_name);
+  EXPECT_EQ(back.global_batch, plan.global_batch);
+  EXPECT_EQ(back.max_gpus, plan.max_gpus);
+  ASSERT_EQ(back.assignments.size(), plan.assignments.size());
+  for (std::size_t i = 0; i < plan.assignments.size(); ++i) {
+    EXPECT_EQ(back.assignments[i].layer, plan.assignments[i].layer);
+    EXPECT_EQ(back.assignments[i].gpus, plan.assignments[i].gpus);
+    EXPECT_EQ(back.assignments[i].concurrent, plan.assignments[i].concurrent);
+    EXPECT_DOUBLE_EQ(back.assignments[i].comp_s, plan.assignments[i].comp_s);
+  }
+  EXPECT_DOUBLE_EQ(back.est_iteration_s, plan.est_iteration_s);
+}
+
+TEST_F(PlanTest, JsonSurvivesTextRoundTrip) {
+  const TrainingPlan plan = data_parallel_plan(profiles_, 8);
+  const std::string text = plan.to_json().dump(2);
+  const TrainingPlan back = TrainingPlan::from_json(Json::parse(text));
+  EXPECT_DOUBLE_EQ(back.est_iteration_s, plan.est_iteration_s);
+  EXPECT_EQ(back.assignments.size(), plan.assignments.size());
+}
+
+TEST_F(PlanTest, AssignmentLookup) {
+  const TrainingPlan plan = data_parallel_plan(profiles_, 8);
+  EXPECT_EQ(plan.assignment(5).layer, 5);
+  EXPECT_THROW(plan.assignment(999), std::out_of_range);
+}
+
+TEST_F(PlanTest, TableRendersAllLayers) {
+  const TrainingPlan plan = data_parallel_plan(profiles_, 8);
+  const std::string table = plan.to_table();
+  for (const models::Layer& l : model_.layers()) {
+    EXPECT_NE(table.find(l.name), std::string::npos) << l.name;
+  }
+}
+
+}  // namespace
+}  // namespace deeppool::core

@@ -1,0 +1,117 @@
+#include "core/plan_validator.h"
+
+#include <gtest/gtest.h>
+
+#include "core/planner.h"
+#include "models/zoo.h"
+#include "net/network_model.h"
+
+namespace deeppool::core {
+namespace {
+
+class ValidatorTest : public ::testing::Test {
+ protected:
+  ValidatorTest()
+      : model_(models::zoo::vgg16()),
+        cost_(models::DeviceSpec::a100()),
+        net_(net::NetworkSpec::nvswitch()),
+        profiles_(model_, cost_, net_, ProfileOptions{8, 32, true}),
+        validator_(profiles_) {}
+
+  models::ModelGraph model_;
+  models::CostModel cost_;
+  net::NetworkModel net_;
+  ProfileSet profiles_;
+  PlanValidator validator_;
+};
+
+TEST_F(ValidatorTest, PlannerOutputValidates) {
+  const TrainingPlan plan = Planner(profiles_).plan({1.5});
+  const ValidationReport report = validator_.validate(plan);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST_F(ValidatorTest, DataParallelPlanValidates) {
+  const ValidationReport report =
+      validator_.validate(data_parallel_plan(profiles_, 8));
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST_F(ValidatorTest, JsonRoundTripValidates) {
+  const TrainingPlan plan = Planner(profiles_).plan({1.5});
+  const TrainingPlan back = TrainingPlan::from_json(plan.to_json());
+  EXPECT_TRUE(validator_.validate(back).ok());
+}
+
+TEST_F(ValidatorTest, WrongModelNameRejected) {
+  TrainingPlan plan = data_parallel_plan(profiles_, 8);
+  plan.model_name = "resnet50";
+  const ValidationReport report = validator_.validate(plan);
+  EXPECT_FALSE(report.ok());
+  EXPECT_GE(report.error_count(), 1u);
+}
+
+TEST_F(ValidatorTest, WrongBatchRejected) {
+  TrainingPlan plan = data_parallel_plan(profiles_, 8);
+  plan.global_batch = 64;
+  EXPECT_FALSE(validator_.validate(plan).ok());
+}
+
+TEST_F(ValidatorTest, MissingLayerRejected) {
+  TrainingPlan plan = data_parallel_plan(profiles_, 8);
+  plan.assignments.pop_back();
+  EXPECT_FALSE(validator_.validate(plan).ok());
+}
+
+TEST_F(ValidatorTest, DuplicateLayerRejected) {
+  TrainingPlan plan = data_parallel_plan(profiles_, 8);
+  plan.assignments.back() = plan.assignments.front();
+  EXPECT_FALSE(validator_.validate(plan).ok());
+}
+
+TEST_F(ValidatorTest, NonCandidateGpuCountRejected) {
+  TrainingPlan plan = data_parallel_plan(profiles_, 8);
+  plan.assignments[3].gpus = 3;  // not a power of two
+  const ValidationReport report = validator_.validate(plan);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.issues.front().layer, 3);
+}
+
+TEST_F(ValidatorTest, OversizedGpuCountRejected) {
+  TrainingPlan plan = data_parallel_plan(profiles_, 8);
+  plan.assignments[3].gpus = 16;
+  EXPECT_FALSE(validator_.validate(plan).ok());
+}
+
+TEST_F(ValidatorTest, NegativeTimingRejected) {
+  TrainingPlan plan = data_parallel_plan(profiles_, 8);
+  plan.assignments[5].comp_s = -1.0;
+  EXPECT_FALSE(validator_.validate(plan).ok());
+}
+
+TEST_F(ValidatorTest, AmplificationBreachWarns) {
+  TrainingPlan plan = data_parallel_plan(profiles_, 8);
+  plan.amp_limit = 1.0001;  // DP at per-GPU batch 4 amplifies well above 1
+  const ValidationReport report = validator_.validate(plan);
+  EXPECT_TRUE(report.ok());  // warnings only
+  EXPECT_GT(report.warning_count(), 0u);
+}
+
+TEST_F(ValidatorTest, StaleEstimateWarns) {
+  TrainingPlan plan = data_parallel_plan(profiles_, 8);
+  plan.assignments[1].comp_s *= 3.0;  // pretend profiles drifted
+  const ValidationReport report = validator_.validate(plan);
+  EXPECT_TRUE(report.ok());
+  EXPECT_GT(report.warning_count(), 0u);
+}
+
+TEST_F(ValidatorTest, ReportRendersIssues) {
+  TrainingPlan plan = data_parallel_plan(profiles_, 8);
+  plan.assignments[3].gpus = 3;
+  const std::string text = validator_.validate(plan).to_string();
+  EXPECT_NE(text.find("REJECTED"), std::string::npos);
+  EXPECT_NE(text.find("layer 3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace deeppool::core

@@ -1,0 +1,131 @@
+// Property-style planner tests: invariants that must hold for every
+// (model, global batch, cluster size, amplification limit) combination.
+#include <gtest/gtest.h>
+
+#include "core/plan_validator.h"
+#include "core/planner.h"
+#include "models/zoo.h"
+#include "net/network_model.h"
+
+namespace deeppool::core {
+namespace {
+
+struct Case {
+  const char* model;
+  int gpus;
+  std::int64_t batch;
+  double amp;
+};
+
+std::string case_name(const ::testing::TestParamInfo<Case>& info) {
+  const Case& c = info.param;
+  return std::string(c.model) + "_g" + std::to_string(c.gpus) + "_b" +
+         std::to_string(c.batch) + "_a" +
+         std::to_string(static_cast<int>(c.amp * 100));
+}
+
+class PlannerProperty : public ::testing::TestWithParam<Case> {
+ protected:
+  PlannerProperty()
+      : model_(models::zoo::by_name(GetParam().model)),
+        cost_(models::DeviceSpec::a100()),
+        net_(net::NetworkSpec::nvswitch()),
+        profiles_(model_, cost_, net_,
+                  ProfileOptions{GetParam().gpus, GetParam().batch, true}),
+        plan_(Planner(profiles_).plan({GetParam().amp})) {}
+
+  models::ModelGraph model_;
+  models::CostModel cost_;
+  net::NetworkModel net_;
+  ProfileSet profiles_;
+  TrainingPlan plan_;
+};
+
+TEST_P(PlannerProperty, ValidatorAccepts) {
+  const ValidationReport report = PlanValidator(profiles_).validate(plan_);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST_P(PlannerProperty, CoversEveryLayerOnce) {
+  ASSERT_EQ(plan_.assignments.size(), model_.size());
+  for (std::size_t i = 0; i < plan_.assignments.size(); ++i) {
+    EXPECT_EQ(plan_.assignments[i].layer, static_cast<models::LayerId>(i));
+  }
+}
+
+TEST_P(PlannerProperty, IterationBoundedBySingleGpu) {
+  // Scaling out must never be slower than the single-GPU execution the
+  // planner could always fall back to (g=1 everywhere has no comm/sync).
+  EXPECT_LE(plan_.est_iteration_s, plan_.single_gpu_iteration_s * 1.0001);
+}
+
+TEST_P(PlannerProperty, IterationBoundedBelowByBestLayerSum) {
+  // The iteration cannot beat the sum of each layer's *fastest* candidate.
+  double lower = 0.0;
+  for (const models::Layer& l : model_.layers()) {
+    double best = profiles_.comp(l.id, 1);
+    for (int g : profiles_.gpu_candidates()) {
+      best = std::min(best, profiles_.comp(l.id, g));
+    }
+    lower += best;
+  }
+  EXPECT_GE(plan_.est_iteration_s, lower * 0.999);
+}
+
+TEST_P(PlannerProperty, SpeedupWithinClusterSize) {
+  EXPECT_GE(plan_.est_speedup(), 1.0 - 1e-9);
+  EXPECT_LE(plan_.est_speedup(), static_cast<double>(GetParam().gpus) + 1e-9);
+}
+
+TEST_P(PlannerProperty, GpuSecAtLeastSingleGpuWork) {
+  // Aggregate GPU time can only grow when work is spread out.
+  EXPECT_GE(plan_.gpu_sec(), plan_.single_gpu_iteration_s * 0.999);
+}
+
+TEST_P(PlannerProperty, PerGpuBatchNeverBelowOne) {
+  for (const LayerAssignment& a : plan_.assignments) {
+    EXPECT_GE(GetParam().batch / a.gpus, 1) << a.name;
+  }
+}
+
+TEST_P(PlannerProperty, DeterministicAcrossRuns) {
+  const TrainingPlan again = Planner(profiles_).plan({GetParam().amp});
+  ASSERT_EQ(again.assignments.size(), plan_.assignments.size());
+  for (std::size_t i = 0; i < plan_.assignments.size(); ++i) {
+    EXPECT_EQ(again.assignments[i].gpus, plan_.assignments[i].gpus);
+  }
+  EXPECT_DOUBLE_EQ(again.est_iteration_s, plan_.est_iteration_s);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PlannerProperty,
+    ::testing::Values(Case{"vgg11", 8, 32, 1.5},
+                      Case{"vgg16", 8, 32, 1.2},
+                      Case{"vgg16", 8, 256, 2.0},
+                      Case{"vgg16", 4, 16, 1.5},
+                      Case{"vgg16", 64, 256, 1.5},
+                      Case{"resnet50", 8, 32, 1.5},
+                      Case{"resnet50", 16, 64, 2.0},
+                      Case{"wide_resnet101_2", 8, 16, 2.0},
+                      Case{"inception_v3", 8, 32, 1.5},
+                      Case{"inception_v3", 16, 64, 3.0},
+                      Case{"tiny_mlp", 8, 64, 1.5},
+                      Case{"tiny_branchy", 8, 32, 2.0}),
+    case_name);
+
+// Full-range (non power-of-two) search must obey the same invariants and be
+// at least as good as the pow2-restricted search.
+TEST(PlannerFullRange, AtLeastAsGoodAsPow2) {
+  const models::ModelGraph model = models::zoo::vgg16();
+  const models::CostModel cost{models::DeviceSpec::a100()};
+  const net::NetworkModel net{net::NetworkSpec::nvswitch()};
+  const ProfileSet pow2(model, cost, net, ProfileOptions{8, 32, true});
+  const ProfileSet full(model, cost, net, ProfileOptions{8, 32, false});
+  const TrainingPlan p2 = Planner(pow2).plan({0.0});
+  const TrainingPlan pf = Planner(full).plan({0.0});
+  EXPECT_LE(pf.est_iteration_s, p2.est_iteration_s * 1.0001);
+  EXPECT_TRUE(PlanValidator(full).validate(pf).ok());
+}
+
+}  // namespace
+}  // namespace deeppool::core

@@ -1,0 +1,122 @@
+#include "core/profile.h"
+
+#include <gtest/gtest.h>
+
+#include "models/zoo.h"
+
+namespace deeppool::core {
+namespace {
+
+class ProfileTest : public ::testing::Test {
+ protected:
+  ProfileTest()
+      : model_(models::zoo::vgg16()),
+        cost_(models::DeviceSpec::a100()),
+        net_(net::NetworkSpec::nvswitch()) {}
+
+  ProfileSet make(int gpus, std::int64_t batch, bool pow2 = true) {
+    return ProfileSet(model_, cost_, net_, ProfileOptions{gpus, batch, pow2});
+  }
+
+  models::ModelGraph model_;
+  models::CostModel cost_;
+  net::NetworkModel net_;
+};
+
+TEST_F(ProfileTest, Pow2Candidates) {
+  const ProfileSet p = make(8, 32);
+  EXPECT_EQ(p.gpu_candidates(), (std::vector<int>{1, 2, 4, 8}));
+}
+
+TEST_F(ProfileTest, FullRangeCandidates) {
+  const ProfileSet p = make(4, 32, /*pow2=*/false);
+  EXPECT_EQ(p.gpu_candidates(), (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST_F(ProfileTest, CandidatesCappedByBatch) {
+  const ProfileSet p = make(8, 4);
+  EXPECT_EQ(p.gpu_candidates(), (std::vector<int>{1, 2, 4}));
+}
+
+TEST_F(ProfileTest, PerGpuBatchCeil) {
+  const ProfileSet p = make(8, 33);
+  EXPECT_EQ(p.per_gpu_batch(1), 33);
+  EXPECT_EQ(p.per_gpu_batch(2), 17);
+  EXPECT_EQ(p.per_gpu_batch(8), 5);
+}
+
+TEST_F(ProfileTest, CompDecreasesWithScale) {
+  const ProfileSet p = make(8, 32);
+  for (const models::Layer& l : model_.layers()) {
+    if (l.kind == models::LayerKind::kInput) continue;
+    EXPECT_GE(p.comp(l.id, 1), p.comp(l.id, 8)) << l.name;
+  }
+}
+
+TEST_F(ProfileTest, SyncZeroOnOneGpuPositiveWhenScaled) {
+  const ProfileSet p = make(8, 32);
+  for (const models::Layer& l : model_.layers()) {
+    EXPECT_DOUBLE_EQ(p.sync(l.id, 1), 0.0);
+    if (l.has_params()) {
+      EXPECT_GT(p.sync(l.id, 8), 0.0);
+      EXPECT_GE(p.sync(l.id, 8), p.sync(l.id, 2));
+    } else {
+      EXPECT_DOUBLE_EQ(p.sync(l.id, 8), 0.0);
+    }
+  }
+}
+
+TEST_F(ProfileTest, CommZeroWhenScaleUnchanged) {
+  const ProfileSet p = make(8, 32);
+  for (int g : p.gpu_candidates()) {
+    EXPECT_DOUBLE_EQ(p.comm(5, g, g), 0.0);
+  }
+}
+
+TEST_F(ProfileTest, CommFromInputLayerFree) {
+  const ProfileSet p = make(8, 32);
+  EXPECT_DOUBLE_EQ(p.comm(model_.source(), 1, 8), 0.0);
+}
+
+TEST_F(ProfileTest, DisjointCommAtLeastNested) {
+  const ProfileSet p = make(8, 32);
+  EXPECT_GE(p.comm(5, 2, 8, /*disjoint=*/true), p.comm(5, 2, 8));
+}
+
+TEST_F(ProfileTest, AmplificationIdentityOnSingleGpu) {
+  const ProfileSet p = make(8, 32);
+  for (const models::Layer& l : model_.layers()) {
+    if (l.kind == models::LayerKind::kInput) continue;
+    EXPECT_DOUBLE_EQ(p.amplification(l.id, 1, p.comp(l.id, 1)), 1.0);
+  }
+}
+
+TEST_F(ProfileTest, AmplificationAboveOneWhenScaled) {
+  const ProfileSet p = make(8, 32);
+  // Scaling any real layer to 8 GPUs costs more aggregate GPU-time than
+  // running it on one (fixed kernel floors are paid 8x).
+  for (const models::Layer& l : model_.layers()) {
+    if (l.kind == models::LayerKind::kInput) continue;
+    const double layer_time = p.comp(l.id, 8) + p.sync(l.id, 8);
+    EXPECT_GT(p.amplification(l.id, 8, layer_time), 1.0) << l.name;
+  }
+}
+
+TEST_F(ProfileTest, UnknownCandidateThrows) {
+  const ProfileSet p = make(8, 32);
+  EXPECT_THROW(p.comp(1, 3), std::invalid_argument);
+  EXPECT_THROW(p.candidate_index(16), std::invalid_argument);
+}
+
+TEST_F(ProfileTest, InvalidOptionsThrow) {
+  EXPECT_THROW(make(0, 32), std::invalid_argument);
+  EXPECT_THROW(make(8, 0), std::invalid_argument);
+}
+
+TEST_F(ProfileTest, BatchOneMeansSingleCandidate) {
+  const ProfileSet p = make(8, 1);
+  EXPECT_EQ(p.gpu_candidates(), (std::vector<int>{1}));
+}
+
+}  // namespace
+}  // namespace deeppool::core

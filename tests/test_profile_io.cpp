@@ -1,0 +1,92 @@
+#include "core/profile_io.h"
+
+#include <gtest/gtest.h>
+
+#include "models/zoo.h"
+#include "net/network_model.h"
+
+namespace deeppool::core {
+namespace {
+
+class ProfileIoTest : public ::testing::Test {
+ protected:
+  ProfileIoTest()
+      : model_(models::zoo::vgg16()),
+        cost_(models::DeviceSpec::a100()),
+        net_(net::NetworkSpec::nvswitch()),
+        profiles_(model_, cost_, net_, ProfileOptions{8, 32, true}) {}
+
+  models::ModelGraph model_;
+  models::CostModel cost_;
+  net::NetworkModel net_;
+  ProfileSet profiles_;
+};
+
+TEST_F(ProfileIoTest, RoundTripPreservesEveryEntry) {
+  const Json j = profiles_to_json(profiles_);
+  const RecordedProfiles rec = RecordedProfiles::from_json(j);
+  EXPECT_EQ(rec.options.max_gpus, 8);
+  EXPECT_EQ(rec.options.global_batch, 32);
+  EXPECT_TRUE(rec.options.pow2_only);
+  EXPECT_EQ(rec.gpu_candidates, profiles_.gpu_candidates());
+  ASSERT_EQ(rec.comp.size(), model_.size());
+  for (std::size_t layer = 0; layer < rec.comp.size(); ++layer) {
+    for (std::size_t ci = 0; ci < rec.gpu_candidates.size(); ++ci) {
+      const int g = rec.gpu_candidates[ci];
+      EXPECT_DOUBLE_EQ(rec.comp[layer][ci],
+                       profiles_.comp(static_cast<models::LayerId>(layer), g));
+      EXPECT_DOUBLE_EQ(rec.sync[layer][ci],
+                       profiles_.sync(static_cast<models::LayerId>(layer), g));
+    }
+  }
+}
+
+TEST_F(ProfileIoTest, SurvivesTextSerialization) {
+  const std::string text = profiles_to_json(profiles_).dump(2);
+  const RecordedProfiles rec = RecordedProfiles::from_json(Json::parse(text));
+  EXPECT_EQ(rec.comp.size(), model_.size());
+}
+
+TEST_F(ProfileIoTest, FreshProfilesHaveZeroDrift) {
+  const RecordedProfiles rec =
+      RecordedProfiles::from_json(profiles_to_json(profiles_));
+  EXPECT_DOUBLE_EQ(rec.max_relative_drift(profiles_), 0.0);
+}
+
+TEST_F(ProfileIoTest, DriftDetectedAgainstDifferentHardware) {
+  const RecordedProfiles rec =
+      RecordedProfiles::from_json(profiles_to_json(profiles_));
+  models::DeviceSpec slower = models::DeviceSpec::a100();
+  slower.peak_flops /= 2;
+  slower.mem_bandwidth /= 2;
+  const models::CostModel slow_cost{slower};
+  const ProfileSet slow_profiles(model_, slow_cost, net_,
+                                 ProfileOptions{8, 32, true});
+  EXPECT_GT(rec.max_relative_drift(slow_profiles), 0.3);
+}
+
+TEST_F(ProfileIoTest, DriftRejectsMismatchedModel) {
+  const RecordedProfiles rec =
+      RecordedProfiles::from_json(profiles_to_json(profiles_));
+  const models::ModelGraph other = models::zoo::tiny_mlp();
+  const ProfileSet other_profiles(other, cost_, net_,
+                                  ProfileOptions{8, 32, true});
+  EXPECT_THROW(rec.max_relative_drift(other_profiles), std::invalid_argument);
+}
+
+TEST_F(ProfileIoTest, MalformedDocumentsRejected) {
+  Json j = profiles_to_json(profiles_);
+  j["gpu_candidates"].as_array().push_back(Json(2));  // duplicate, unsorted
+  EXPECT_THROW(RecordedProfiles::from_json(j), std::runtime_error);
+
+  Json ragged = profiles_to_json(profiles_);
+  ragged["comp_s"].as_array()[0].as_array().pop_back();
+  EXPECT_THROW(RecordedProfiles::from_json(ragged), std::runtime_error);
+
+  Json negative = profiles_to_json(profiles_);
+  negative["comp_s"].as_array()[1].as_array()[0] = Json(-1.0);
+  EXPECT_THROW(RecordedProfiles::from_json(negative), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace deeppool::core

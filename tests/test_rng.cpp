@@ -1,0 +1,69 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+namespace deeppool {
+namespace {
+
+TEST(Pcg32, DeterministicForSameSeed) {
+  Pcg32 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Pcg32, DifferentSeedsDiffer) {
+  Pcg32 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Pcg32, UniformInRange) {
+  Pcg32 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const double v = rng.uniform(5.0, 6.0);
+    EXPECT_GE(v, 5.0);
+    EXPECT_LT(v, 6.0);
+  }
+}
+
+TEST(Pcg32, BoundedCoversRangeWithoutEscape) {
+  Pcg32 rng(11);
+  bool seen[7] = {};
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint32_t x = rng.bounded(7);
+    ASSERT_LT(x, 7u);
+    seen[x] = true;
+  }
+  for (bool b : seen) EXPECT_TRUE(b);
+}
+
+TEST(Pcg32, UniformMeanApproximatelyHalf) {
+  Pcg32 rng(42);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Pcg32, NormalMomentsApproximatelyCorrect) {
+  Pcg32 rng(5);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(10.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+}  // namespace
+}  // namespace deeppool

@@ -1,0 +1,68 @@
+#include "stats/sample_efficiency.h"
+
+#include <gtest/gtest.h>
+
+namespace deeppool::stats {
+namespace {
+
+TEST(SampleEfficiency, RejectsBadParameters) {
+  EXPECT_THROW(SampleEfficiencyModel(0, 100), std::invalid_argument);
+  EXPECT_THROW(SampleEfficiencyModel(100, -1), std::invalid_argument);
+  SampleEfficiencyModel m(100, 100);
+  EXPECT_THROW(m.steps_to_accuracy(0), std::invalid_argument);
+}
+
+TEST(SampleEfficiency, StepsDecreaseWithBatch) {
+  const SampleEfficiencyModel m(1000, 512);
+  double prev = 1e18;
+  for (std::int64_t b = 1; b <= 1 << 20; b *= 2) {
+    const double s = m.steps_to_accuracy(b);
+    EXPECT_LT(s, prev);
+    prev = s;
+  }
+}
+
+TEST(SampleEfficiency, PerfectScalingRegimeBelowCriticalBatch) {
+  // Well below B_crit, doubling the batch should nearly halve the steps.
+  const SampleEfficiencyModel m(1000, 4096);
+  const double s8 = m.steps_to_accuracy(8);
+  const double s16 = m.steps_to_accuracy(16);
+  EXPECT_NEAR(s8 / s16, 2.0, 0.01);
+}
+
+TEST(SampleEfficiency, DiminishingReturnsAboveCriticalBatch) {
+  // Far above B_crit, doubling the batch barely reduces steps.
+  const SampleEfficiencyModel m(1000, 512);
+  const double a = m.steps_to_accuracy(1 << 16);
+  const double b = m.steps_to_accuracy(1 << 17);
+  EXPECT_GT(b / a, 0.99);
+  EXPECT_NEAR(a, 1000.0, 20.0);  // approaching the floor
+}
+
+TEST(SampleEfficiency, SamplesMonotoneNonDecreasing) {
+  const SampleEfficiencyModel m(2000, 4096);
+  double prev = 0.0;
+  for (std::int64_t b = 1; b <= 1 << 20; b *= 2) {
+    const double s = m.samples_to_accuracy(b);
+    EXPECT_GE(s, prev);
+    prev = s;
+  }
+}
+
+TEST(SampleEfficiency, EfficiencyHalvesAtCriticalBatch) {
+  const SampleEfficiencyModel m(1000, 512);
+  EXPECT_NEAR(m.efficiency(512), 0.5, 1e-9);
+  EXPECT_GT(m.efficiency(16), 0.95);
+  EXPECT_LT(m.efficiency(1 << 16), 0.01);
+}
+
+TEST(SampleEfficiency, Vgg11CalibrationShape) {
+  const SampleEfficiencyModel m = SampleEfficiencyModel::vgg11_error035();
+  // The weak-scaling ceiling implied by the calibration:
+  // steps(256)/steps(inf) ~= 17 (matches Fig. 1's weak-scaling plateau).
+  const double ceiling = m.steps_to_accuracy(256) / m.steps_to_accuracy(1 << 30);
+  EXPECT_NEAR(ceiling, 17.0, 0.2);
+}
+
+}  // namespace
+}  // namespace deeppool::stats

@@ -1,0 +1,115 @@
+#include "stats/scaling.h"
+
+#include <gtest/gtest.h>
+
+#include "models/zoo.h"
+
+namespace deeppool::stats {
+namespace {
+
+class ScalingTest : public ::testing::Test {
+ protected:
+  ScalingTest()
+      : model_(models::zoo::vgg11()),
+        cost_(models::DeviceSpec::a100()),
+        net_(net::NetworkSpec::from_name("1t")),
+        eff_(SampleEfficiencyModel::vgg11_error035()),
+        eval_(model_, cost_, net_, eff_, 256) {}
+
+  models::ModelGraph model_;
+  models::CostModel cost_;
+  net::NetworkModel net_;
+  SampleEfficiencyModel eff_;
+  ScalingEvaluator eval_;
+};
+
+TEST_F(ScalingTest, BaselineSpeedupIsOne) {
+  EXPECT_NEAR(eval_.weak(1).speedup, 1.0, 1e-9);
+  EXPECT_NEAR(eval_.strong(1).speedup, 1.0, 1e-9);
+}
+
+TEST_F(ScalingTest, IterationTimeValidation) {
+  EXPECT_THROW(eval_.iteration_time(256, 0), std::invalid_argument);
+  EXPECT_THROW(eval_.iteration_time(4, 8), std::invalid_argument);
+}
+
+TEST_F(ScalingTest, WeakScalingSaturates) {
+  // Fig. 1: weak scaling's speedup is capped by the sample-efficiency
+  // ceiling (~17x for the VGG-11 calibration) no matter the GPU count.
+  const double s64 = eval_.weak(64).speedup;
+  const double s256 = eval_.weak(256).speedup;
+  EXPECT_LT(s256, 18.0);
+  EXPECT_LT(s256 / s64, 1.6);  // nearly flat already
+}
+
+TEST_F(ScalingTest, StrongScalingBeatsWeakAtLargeScaleOnFastNetwork) {
+  const double weak = eval_.weak(256).speedup;
+  const double strong = eval_.strong(256).speedup;
+  EXPECT_GT(strong, weak);
+}
+
+TEST_F(ScalingTest, BatchOptimalDominatesBothEverywhere) {
+  for (int g : {1, 4, 16, 64, 256}) {
+    const double bo = eval_.batch_optimal(g).speedup;
+    EXPECT_GE(bo, eval_.weak(g).speedup * 0.999) << g;
+    EXPECT_GE(bo, eval_.strong(g).speedup * 0.999) << g;
+  }
+}
+
+TEST_F(ScalingTest, AllStrategiesNearLinearAtSmallScale) {
+  // Fig. 1: "all approaches provide linear speedup up to 4 GPUs".
+  for (int g : {2, 4}) {
+    EXPECT_GT(eval_.weak(g).speedup, 0.7 * g);
+    EXPECT_GT(eval_.strong(g).speedup, 0.7 * g);
+  }
+}
+
+TEST_F(ScalingTest, BatchOptimalPerGpuBatchShrinksWithScale) {
+  // Fig. 2: the chosen per-GPU batch decreases as the job scales.
+  const net::NetworkModel fast(net::NetworkSpec::from_name("4.8t"));
+  const ScalingEvaluator ev(model_, cost_, fast, eff_, 256);
+  const std::int64_t small = ev.batch_optimal(4).per_gpu_batch();
+  const std::int64_t large = ev.batch_optimal(256).per_gpu_batch();
+  EXPECT_LT(large, small);
+}
+
+TEST_F(ScalingTest, StrongScalingGainsMoreFromFastNetworks) {
+  // Fig. 3: at 256 GPUs, faster networks barely move weak scaling but
+  // dramatically improve strong scaling.
+  const net::NetworkModel slow(net::NetworkSpec::from_name("10g"));
+  const net::NetworkModel fast(net::NetworkSpec::from_name("4.8t"));
+  const ScalingEvaluator ev_slow(model_, cost_, slow, eff_, 256);
+  const ScalingEvaluator ev_fast(model_, cost_, fast, eff_, 256);
+  const double weak_gain = ev_fast.weak(256).speedup / ev_slow.weak(256).speedup;
+  const double strong_gain =
+      ev_fast.strong(256).speedup / ev_slow.strong(256).speedup;
+  EXPECT_GT(strong_gain, 5.0 * weak_gain);
+}
+
+TEST_F(ScalingTest, WeakScalingPreferredOnSlowNetworks) {
+  // Fig. 3's 10 Gbps panel: weak scaling wins when sync is expensive.
+  const net::NetworkModel slow(net::NetworkSpec::from_name("10g"));
+  const ScalingEvaluator ev(model_, cost_, slow, eff_, 256);
+  EXPECT_GT(ev.weak(256).speedup, ev.strong(256).speedup);
+}
+
+TEST_F(ScalingTest, SweepSeriesAligned) {
+  const auto sweep = eval_.sweep(64);
+  ASSERT_EQ(sweep.weak.size(), 7u);  // 1..64 powers of two
+  ASSERT_EQ(sweep.strong.size(), sweep.weak.size());
+  ASSERT_EQ(sweep.batch_optimal.size(), sweep.weak.size());
+  for (std::size_t i = 0; i < sweep.weak.size(); ++i) {
+    EXPECT_EQ(sweep.weak[i].gpus, sweep.strong[i].gpus);
+    EXPECT_EQ(sweep.weak[i].global_batch, 256LL * sweep.weak[i].gpus);
+    EXPECT_EQ(sweep.strong[i].global_batch, 256);
+  }
+}
+
+TEST_F(ScalingTest, TimeToAccuracyConsistent) {
+  const ScalingPoint p = eval_.strong(8);
+  EXPECT_NEAR(p.time_to_accuracy_s, p.steps * p.iteration_s,
+              p.time_to_accuracy_s * 1e-12);
+}
+
+}  // namespace
+}  // namespace deeppool::stats

@@ -1,0 +1,110 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace deeppool::sim {
+namespace {
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator simu;
+  std::vector<int> order;
+  simu.schedule_at(3.0, [&] { order.push_back(3); });
+  simu.schedule_at(1.0, [&] { order.push_back(1); });
+  simu.schedule_at(2.0, [&] { order.push_back(2); });
+  EXPECT_EQ(simu.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(simu.now(), 3.0);
+}
+
+TEST(Simulator, TiesBreakByInsertionOrder) {
+  Simulator simu;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    simu.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  simu.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, SchedulingInThePastThrows) {
+  Simulator simu;
+  simu.schedule_at(5.0, [] {});
+  simu.run();
+  EXPECT_THROW(simu.schedule_at(1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(simu.schedule_after(-1.0, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator simu;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 10) simu.schedule_after(1.0, chain);
+  };
+  simu.schedule_after(1.0, chain);
+  simu.run();
+  EXPECT_EQ(fired, 10);
+  EXPECT_DOUBLE_EQ(simu.now(), 10.0);
+}
+
+TEST(Simulator, RunUntilStopsAndAdvancesClock) {
+  Simulator simu;
+  int fired = 0;
+  simu.schedule_at(1.0, [&] { ++fired; });
+  simu.schedule_at(10.0, [&] { ++fired; });
+  EXPECT_EQ(simu.run(5.0), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(simu.now(), 5.0);
+  EXPECT_EQ(simu.pending(), 1u);
+  simu.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator simu;
+  int fired = 0;
+  const EventId id = simu.schedule_at(1.0, [&] { ++fired; });
+  simu.schedule_at(2.0, [&] { ++fired; });
+  simu.cancel(id);
+  EXPECT_EQ(simu.run(), 1u);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, StepExecutesExactlyOne) {
+  Simulator simu;
+  int fired = 0;
+  simu.schedule_at(1.0, [&] { ++fired; });
+  simu.schedule_at(2.0, [&] { ++fired; });
+  EXPECT_TRUE(simu.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(simu.step());
+  EXPECT_FALSE(simu.step());
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, EmptyAndCounters) {
+  Simulator simu;
+  EXPECT_TRUE(simu.empty());
+  simu.schedule_at(1.0, [] {});
+  EXPECT_FALSE(simu.empty());
+  EXPECT_EQ(simu.pending(), 1u);
+  simu.run();
+  EXPECT_TRUE(simu.empty());
+  EXPECT_EQ(simu.executed(), 1u);
+}
+
+TEST(Simulator, ZeroDelayRunsAtCurrentTime) {
+  Simulator simu;
+  double when = -1;
+  simu.schedule_at(2.0, [&] {
+    simu.schedule_after(0.0, [&] { when = simu.now(); });
+  });
+  simu.run();
+  EXPECT_DOUBLE_EQ(when, 2.0);
+}
+
+}  // namespace
+}  // namespace deeppool::sim

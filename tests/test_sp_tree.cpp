@@ -1,0 +1,101 @@
+#include "models/sp_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "models/zoo.h"
+
+namespace deeppool::models {
+namespace {
+
+TEST(SpTree, FlatChainHasNoBlocks) {
+  const ModelGraph g = zoo::vgg16();
+  const SpChain chain = decompose(g);
+  EXPECT_EQ(chain.layers.size(), g.size());
+  EXPECT_EQ(sp_layer_count(chain), g.size());
+  EXPECT_EQ(sp_nesting_depth(chain), 0);
+  for (const auto& e : chain.edges) EXPECT_EQ(e, nullptr);
+}
+
+TEST(SpTree, SimpleBranchJoin) {
+  const ModelGraph g = zoo::tiny_branchy();
+  const SpChain chain = decompose(g);
+  EXPECT_EQ(sp_layer_count(chain), g.size());
+  // Top chain: input, stem, [block], join, gap, fc.
+  int blocks = 0;
+  for (const auto& e : chain.edges) {
+    if (e) {
+      ++blocks;
+      EXPECT_EQ(e->branches.size(), 2u);
+      // One branch has two convs, the other one conv.
+      std::vector<std::size_t> sizes;
+      for (const auto& br : e->branches) sizes.push_back(br.layers.size());
+      std::sort(sizes.begin(), sizes.end());
+      EXPECT_EQ(sizes, (std::vector<std::size_t>{1, 2}));
+    }
+  }
+  EXPECT_EQ(blocks, 1);
+  EXPECT_EQ(sp_nesting_depth(chain), 1);
+}
+
+TEST(SpTree, IdentityShortcutYieldsEmptyBranch) {
+  GraphBuilder b("skip", Shape{8, 8, 8});
+  const LayerId stem = b.conv2d("stem", 8, 3, 1, 1);
+  const LayerId conv = b.conv2d("conv", 8, 3, 1, 1, stem);
+  b.add("join", conv, stem);
+  const ModelGraph g = b.build();
+  const SpChain chain = decompose(g);
+  ASSERT_EQ(chain.layers.size(), 3u);  // input, stem, join
+  const SpBlock* block = chain.edges[1].get();
+  ASSERT_NE(block, nullptr);
+  ASSERT_EQ(block->branches.size(), 2u);
+  const bool first_empty = block->branches[0].empty();
+  const bool second_empty = block->branches[1].empty();
+  EXPECT_NE(first_empty, second_empty);
+}
+
+TEST(SpTree, ResNetDecomposes) {
+  const ModelGraph g = zoo::resnet50();
+  const SpChain chain = decompose(g);
+  EXPECT_EQ(sp_layer_count(chain), g.size());
+  EXPECT_EQ(sp_nesting_depth(chain), 1);  // residual blocks don't nest
+  // 16 bottleneck blocks -> 16 block edges on the top chain.
+  int blocks = 0;
+  for (const auto& e : chain.edges) {
+    if (e) ++blocks;
+  }
+  EXPECT_EQ(blocks, 16);
+}
+
+TEST(SpTree, InceptionHasNestedBlocks) {
+  const ModelGraph g = zoo::inception_v3();
+  const SpChain chain = decompose(g);
+  EXPECT_EQ(sp_layer_count(chain), g.size());
+  // InceptionE's 1x3/3x1 split nests inside the module's branch.
+  EXPECT_EQ(sp_nesting_depth(chain), 2);
+}
+
+TEST(SpTree, NonSeriesParallelRejected) {
+  // Crossing pattern: two branch points joined by a shared middle layer
+  // (K3,3-ish), not series-parallel.
+  std::vector<Layer> layers(6);
+  for (int i = 0; i < 6; ++i) {
+    layers[static_cast<std::size_t>(i)].id = i;
+    layers[static_cast<std::size_t>(i)].name = "l" + std::to_string(i);
+  }
+  layers[0].kind = LayerKind::kInput;
+  layers[1].inputs = {0};
+  layers[2].inputs = {0};
+  layers[3].inputs = {1, 2};  // join of 1,2
+  layers[4].inputs = {1};     // but 1 also feeds 4 -> crossing
+  layers[5].inputs = {3, 4};
+  const ModelGraph g("cross", layers);
+  EXPECT_THROW(decompose(g), std::invalid_argument);
+}
+
+TEST(SpTree, WideResNetLayerCountPreserved) {
+  const ModelGraph g = zoo::wide_resnet101_2();
+  EXPECT_EQ(sp_layer_count(decompose(g)), g.size());
+}
+
+}  // namespace
+}  // namespace deeppool::models

@@ -1,0 +1,116 @@
+#include "util/summary.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace deeppool {
+namespace {
+
+TEST(Summary, EmptyThrows) {
+  Summary s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_THROW(s.mean(), std::logic_error);
+  EXPECT_THROW(s.min(), std::logic_error);
+  EXPECT_THROW(s.max(), std::logic_error);
+  EXPECT_THROW(s.percentile(50), std::logic_error);
+  EXPECT_DOUBLE_EQ(s.cdf_at(0.0), 0.0);
+}
+
+TEST(Summary, BasicMoments) {
+  Summary s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.add(v);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+}
+
+TEST(Summary, WeightedMean) {
+  Summary s;
+  s.add_weighted(10.0, 3.0);
+  s.add_weighted(20.0, 1.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 12.5);
+  EXPECT_DOUBLE_EQ(s.total_weight(), 4.0);
+}
+
+TEST(Summary, NegativeWeightRejected) {
+  Summary s;
+  EXPECT_THROW(s.add_weighted(1.0, -0.5), std::invalid_argument);
+}
+
+TEST(Summary, PercentileOrderInsensitive) {
+  Summary s;
+  for (double v : {9.0, 1.0, 5.0, 3.0, 7.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 9.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 5.0);
+  EXPECT_THROW(s.percentile(-1), std::invalid_argument);
+  EXPECT_THROW(s.percentile(101), std::invalid_argument);
+}
+
+TEST(Summary, CdfMonotone) {
+  Summary s;
+  for (double v : {1.0, 2.0, 2.0, 5.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.cdf_at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.cdf_at(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(s.cdf_at(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(s.cdf_at(100.0), 1.0);
+}
+
+TEST(Summary, CdfPointsDeduplicated) {
+  Summary s;
+  for (double v : {1.0, 2.0, 2.0, 3.0}) s.add(v);
+  const auto pts = s.cdf_points();
+  ASSERT_EQ(pts.size(), 3u);
+  EXPECT_DOUBLE_EQ(pts[0].first, 1.0);
+  EXPECT_DOUBLE_EQ(pts[1].first, 2.0);
+  EXPECT_DOUBLE_EQ(pts[1].second, 0.75);
+  EXPECT_DOUBLE_EQ(pts[2].second, 1.0);
+}
+
+TEST(Summary, ClearResets) {
+  Summary s;
+  s.add(1.0);
+  s.clear();
+  EXPECT_TRUE(s.empty());
+  EXPECT_DOUBLE_EQ(s.total_weight(), 0.0);
+}
+
+TEST(Summary, AddAfterPercentileQueryStaysCorrect) {
+  Summary s;
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 1.0);
+  s.add(10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 10.0);
+}
+
+TEST(Histogram, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);    // bin 0
+  h.add(9.9);    // bin 4
+  h.add(-3.0);   // clamps to bin 0
+  h.add(42.0);   // clamps to bin 4
+  EXPECT_DOUBLE_EQ(h.bin_weight(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_weight(4), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_weight(2), 0.0);
+  EXPECT_DOUBLE_EQ(h.total_weight(), 4.0);
+  EXPECT_DOUBLE_EQ(h.bin_fraction(0), 0.5);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 0.25);
+  EXPECT_DOUBLE_EQ(h.bin_lo(3), 0.75);
+  EXPECT_THROW(h.bin_lo(4), std::out_of_range);
+}
+
+TEST(Histogram, InvalidConstruction) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace deeppool

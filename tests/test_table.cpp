@@ -1,0 +1,55 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace deeppool {
+namespace {
+
+TEST(TablePrinter, RejectsEmptyHeaderAndBadRows) {
+  EXPECT_THROW(TablePrinter({}), std::invalid_argument);
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_NO_THROW(t.add_row({"1", "2"}));
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_EQ(t.cols(), 2u);
+}
+
+TEST(TablePrinter, RendersAlignedColumns) {
+  TablePrinter t({"name", "value"});
+  t.add_row({"x", "1.00"});
+  t.add_row({"longer", "25.50"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("longer"), std::string::npos);
+  EXPECT_NE(s.find("-+-"), std::string::npos);
+  // All lines equal width.
+  std::size_t prev = std::string::npos;
+  std::size_t start = 0;
+  while (start < s.size()) {
+    const std::size_t end = s.find('\n', start);
+    const std::size_t len = end - start;
+    if (prev != std::string::npos) EXPECT_EQ(len, prev);
+    prev = len;
+    start = end + 1;
+  }
+}
+
+TEST(TablePrinter, CsvEscaping) {
+  TablePrinter t({"a", "b"});
+  t.add_row({"plain", "has,comma"});
+  t.add_row({"has\"quote", "multi\nline"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(TablePrinter, NumberFormatting) {
+  EXPECT_EQ(TablePrinter::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::num(static_cast<long long>(42)), "42");
+  EXPECT_EQ(TablePrinter::pct(0.1234, 1), "12.3%");
+}
+
+}  // namespace
+}  // namespace deeppool

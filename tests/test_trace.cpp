@@ -1,0 +1,76 @@
+#include "util/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "gpu/device.h"
+#include "util/json.h"
+
+namespace deeppool {
+namespace {
+
+TEST(TraceRecorder, EmptyTraceIsValidJson) {
+  TraceRecorder t;
+  const Json doc = Json::parse(t.to_json());
+  EXPECT_TRUE(doc.at("traceEvents").as_array().empty());
+}
+
+TEST(TraceRecorder, RecordsCompleteEvents) {
+  TraceRecorder t;
+  t.record(0, 1, "conv1.fwd", "kernel", 1e-3, 5e-4);
+  t.record(2, 3, "allreduce", "comm", 2e-3, 1e-4);
+  ASSERT_EQ(t.size(), 2u);
+  const Json doc = Json::parse(t.to_json());
+  const auto& events = doc.at("traceEvents").as_array();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].at("ph").as_string(), "X");
+  EXPECT_EQ(events[0].at("name").as_string(), "conv1.fwd");
+  EXPECT_EQ(events[0].at("pid").as_int(), 0);
+  EXPECT_EQ(events[0].at("tid").as_int(), 1);
+  EXPECT_DOUBLE_EQ(events[0].at("ts").as_number(), 1000.0);   // us
+  EXPECT_DOUBLE_EQ(events[0].at("dur").as_number(), 500.0);
+  EXPECT_EQ(events[1].at("cat").as_string(), "comm");
+}
+
+TEST(TraceRecorder, SaveRoundTrips) {
+  TraceRecorder t;
+  t.record(0, 0, "k", "kernel", 0.0, 1e-6);
+  const std::string path = "/tmp/deeppool_trace_test.json";
+  t.save(path);
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(Json::parse(content).at("traceEvents").as_array().size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(TraceRecorder, SaveToBadPathThrows) {
+  TraceRecorder t;
+  EXPECT_THROW(t.save("/nonexistent_dir_zzz/trace.json"), std::runtime_error);
+}
+
+TEST(TraceRecorder, DeviceRecordsExecutedOps) {
+  sim::Simulator sim;
+  gpu::Device dev(sim, gpu::DeviceConfig{}, 7);
+  TraceRecorder trace;
+  dev.set_trace(&trace);
+  const gpu::StreamId s = dev.create_stream(0);
+  gpu::OpDesc op;
+  op.type = gpu::OpType::kKernel;
+  op.name = "k0";
+  op.blocks = 4;
+  op.block_s = 1e-5;
+  dev.launch(s, op, [] {});
+  sim.run();
+  ASSERT_EQ(trace.size(), 1u);
+  const Json doc = Json::parse(trace.to_json());
+  const auto& ev = doc.at("traceEvents").as_array()[0];
+  EXPECT_EQ(ev.at("pid").as_int(), 7);
+  EXPECT_EQ(ev.at("name").as_string(), "k0");
+  EXPECT_NEAR(ev.at("dur").as_number(), 10.0, 1e-6);  // 10us kernel
+}
+
+}  // namespace
+}  // namespace deeppool

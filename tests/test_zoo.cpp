@@ -1,0 +1,116 @@
+#include "models/zoo.h"
+
+#include <gtest/gtest.h>
+
+namespace deeppool::models {
+namespace {
+
+// Parameter counts within a few percent of the published architectures
+// (paper Table 1); fused BN params make ours slightly larger.
+struct ZooCase {
+  const char* name;
+  double params_million;
+  double tolerance;  // relative
+  Shape input;
+  bool branches;
+};
+
+class ZooParams : public ::testing::TestWithParam<ZooCase> {};
+
+TEST_P(ZooParams, MatchesPublishedCharacteristics) {
+  const ZooCase& c = GetParam();
+  const ModelGraph g = zoo::by_name(c.name);
+  const double params_m = static_cast<double>(g.total_params()) / 1e6;
+  EXPECT_NEAR(params_m, c.params_million, c.params_million * c.tolerance)
+      << c.name << " has " << params_m << "M params";
+  EXPECT_EQ(g.layer(g.source()).out, c.input);
+  EXPECT_EQ(g.has_branches(), c.branches);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table1, ZooParams,
+    ::testing::Values(
+        ZooCase{"vgg11", 132.9, 0.05, Shape{3, 224, 224}, false},
+        ZooCase{"vgg16", 138.4, 0.05, Shape{3, 224, 224}, false},
+        ZooCase{"resnet50", 25.6, 0.06, Shape{3, 224, 224}, true},
+        ZooCase{"wide_resnet101_2", 126.9, 0.06, Shape{3, 400, 400}, true},
+        ZooCase{"inception_v3", 23.8, 0.08, Shape{3, 299, 299}, true}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+TEST(Zoo, Vgg16HasPaperLayerCount) {
+  // Table 1: 21 ops (13 conv + 5 pool + 3 dense).
+  const ModelGraph g = zoo::vgg16();
+  EXPECT_EQ(g.op_count(), 21);
+  int convs = 0, pools = 0, dense = 0;
+  for (const Layer& l : g.layers()) {
+    convs += l.kind == LayerKind::kConv2d;
+    pools += l.kind == LayerKind::kMaxPool;
+    dense += l.kind == LayerKind::kDense;
+  }
+  EXPECT_EQ(convs, 13);
+  EXPECT_EQ(pools, 5);
+  EXPECT_EQ(dense, 3);
+}
+
+TEST(Zoo, WideResNet101HasPaperConvCount) {
+  // Table 1 counts 105 layers: 104 convolutions + the classifier.
+  const ModelGraph g = zoo::wide_resnet101_2();
+  int convs = 0, dense = 0;
+  for (const Layer& l : g.layers()) {
+    convs += l.kind == LayerKind::kConv2d;
+    dense += l.kind == LayerKind::kDense;
+  }
+  EXPECT_EQ(convs, 104);
+  EXPECT_EQ(dense, 1);
+}
+
+TEST(Zoo, InceptionV3StructureIsBranchHeavy) {
+  const ModelGraph g = zoo::inception_v3();
+  int convs = 0;
+  int concats = 0;
+  for (const Layer& l : g.layers()) {
+    convs += l.kind == LayerKind::kConv2d;
+    concats += l.kind == LayerKind::kConcat;
+  }
+  EXPECT_EQ(convs, 94);  // torchvision Inception-V3 conv count
+  EXPECT_GE(concats, 11);
+  // Table 1: ~119 ops. Our fused-op graph lands close.
+  EXPECT_NEAR(g.op_count(), 119, 12);
+}
+
+TEST(Zoo, ResNet50FinalShape) {
+  const ModelGraph g = zoo::resnet50();
+  EXPECT_EQ(g.layer(g.sink()).out, (Shape{1000, 1, 1}));
+}
+
+TEST(Zoo, ClassCountPropagates) {
+  const ModelGraph g = zoo::vgg16(42);
+  EXPECT_EQ(g.layer(g.sink()).out.c, 42);
+}
+
+TEST(Zoo, ByNameRejectsUnknown) {
+  EXPECT_THROW(zoo::by_name("alexnet"), std::invalid_argument);
+}
+
+TEST(Zoo, AllNamesConstruct) {
+  for (const std::string& name : zoo::names()) {
+    EXPECT_NO_THROW(zoo::by_name(name)) << name;
+  }
+}
+
+TEST(Zoo, Vgg16FlopsMatchPublished) {
+  // ~15.5 GFLOPs forward per 224x224 sample (MAC-based, x2).
+  const ModelGraph g = zoo::vgg16();
+  const double gflops = static_cast<double>(g.total_flops_per_sample()) / 1e9;
+  EXPECT_NEAR(gflops, 31.0, 3.0);  // 2 FLOPs/MAC convention
+}
+
+TEST(Zoo, ResNet50FlopsMatchPublished) {
+  // ~4.1 GMACs -> ~8.2 GFLOPs per sample.
+  const ModelGraph g = zoo::resnet50();
+  const double gflops = static_cast<double>(g.total_flops_per_sample()) / 1e9;
+  EXPECT_NEAR(gflops, 8.2, 1.2);
+}
+
+}  // namespace
+}  // namespace deeppool::models

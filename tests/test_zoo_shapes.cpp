@@ -1,0 +1,95 @@
+// Layer-level shape and structure checks against the published
+// architectures: spot-check intermediate tensor shapes at the points where
+// stage transitions happen, so a builder regression cannot silently distort
+// every downstream FLOP count.
+#include <gtest/gtest.h>
+
+#include "models/zoo.h"
+
+namespace deeppool::models {
+namespace {
+
+const Layer& find_layer(const ModelGraph& g, const std::string& name) {
+  for (const Layer& l : g.layers()) {
+    if (l.name == name) return l;
+  }
+  throw std::out_of_range("no layer named " + name);
+}
+
+TEST(ZooShapes, Vgg16StageBoundaries) {
+  const ModelGraph g = zoo::vgg16();
+  EXPECT_EQ(find_layer(g, "conv1").out, (Shape{64, 224, 224}));
+  EXPECT_EQ(find_layer(g, "pool1").out, (Shape{64, 112, 112}));
+  EXPECT_EQ(find_layer(g, "pool2").out, (Shape{128, 56, 56}));
+  EXPECT_EQ(find_layer(g, "pool3").out, (Shape{256, 28, 28}));
+  EXPECT_EQ(find_layer(g, "pool4").out, (Shape{512, 14, 14}));
+  EXPECT_EQ(find_layer(g, "pool5").out, (Shape{512, 7, 7}));
+  // fc6 consumes the flattened 512*7*7 = 25088 features.
+  EXPECT_EQ(find_layer(g, "fc6").params, 25088LL * 4096 + 4096);
+}
+
+TEST(ZooShapes, ResNet50StageBoundaries) {
+  const ModelGraph g = zoo::resnet50();
+  EXPECT_EQ(find_layer(g, "stem.conv").out, (Shape{64, 112, 112}));
+  EXPECT_EQ(find_layer(g, "stem.pool").out, (Shape{64, 56, 56}));
+  EXPECT_EQ(find_layer(g, "layer1.0.add").out, (Shape{256, 56, 56}));
+  EXPECT_EQ(find_layer(g, "layer2.0.add").out, (Shape{512, 28, 28}));
+  EXPECT_EQ(find_layer(g, "layer3.0.add").out, (Shape{1024, 14, 14}));
+  EXPECT_EQ(find_layer(g, "layer4.2.add").out, (Shape{2048, 7, 7}));
+  EXPECT_EQ(find_layer(g, "gap").out, (Shape{2048, 1, 1}));
+}
+
+TEST(ZooShapes, WideResNetDoublesInnerWidthOnly) {
+  const ModelGraph g = zoo::wide_resnet101_2();
+  // Inner 3x3 conv of stage 1 has width 128 (2x ResNet's 64)...
+  EXPECT_EQ(find_layer(g, "layer1.0.conv2").out.c, 128);
+  // ...but the block output keeps the standard 256 channels.
+  EXPECT_EQ(find_layer(g, "layer1.0.add").out.c, 256);
+  // Input 400x400 -> stage-4 spatial size 13.
+  EXPECT_EQ(find_layer(g, "layer4.2.add").out, (Shape{2048, 13, 13}));
+}
+
+TEST(ZooShapes, InceptionStemAndMixedShapes) {
+  const ModelGraph g = zoo::inception_v3();
+  EXPECT_EQ(find_layer(g, "stem.conv1").out, (Shape{32, 149, 149}));
+  EXPECT_EQ(find_layer(g, "stem.pool2").out, (Shape{192, 35, 35}));
+  // Mixed 5b concat: 64 + 64 + 96 + 32 = 256 channels at 35x35.
+  EXPECT_EQ(find_layer(g, "mixed5b.concat").out, (Shape{256, 35, 35}));
+  // Mixed 6a downsamples to 17x17 with 384 + 96 + 288 = 768 channels.
+  EXPECT_EQ(find_layer(g, "mixed6a.concat").out, (Shape{768, 17, 17}));
+  // Mixed 7a downsamples to 8x8 with 320 + 192 + 768 = 1280 channels.
+  EXPECT_EQ(find_layer(g, "mixed7a.concat").out, (Shape{1280, 8, 8}));
+  // Mixed 7b/7c: 320 + 768 + 768 + 192 = 2048 channels.
+  EXPECT_EQ(find_layer(g, "mixed7c.concat").out, (Shape{2048, 8, 8}));
+}
+
+TEST(ZooShapes, InceptionFactorizedConvsPreserveSpatial) {
+  const ModelGraph g = zoo::inception_v3();
+  EXPECT_EQ(find_layer(g, "mixed6b.b7x7_2").out, (Shape{128, 17, 17}));
+  EXPECT_EQ(find_layer(g, "mixed6b.b7x7_3").out, (Shape{192, 17, 17}));
+  EXPECT_EQ(find_layer(g, "mixed7b.b3x3_2a").out, (Shape{384, 8, 8}));
+  EXPECT_EQ(find_layer(g, "mixed7b.b3x3_2b").out, (Shape{384, 8, 8}));
+}
+
+TEST(ZooShapes, Vgg11VsVgg16Relationship) {
+  const ModelGraph v11 = zoo::vgg11();
+  const ModelGraph v16 = zoo::vgg16();
+  // Same classifier sizes, fewer convs, hence fewer params and FLOPs.
+  EXPECT_EQ(find_layer(v11, "fc6").params, find_layer(v16, "fc6").params);
+  EXPECT_LT(v11.total_flops_per_sample(), v16.total_flops_per_sample());
+  EXPECT_LT(v11.total_params(), v16.total_params());
+}
+
+TEST(ZooShapes, ParameterizedLayersAllHaveFlops) {
+  for (const std::string& name : zoo::names()) {
+    const ModelGraph g = zoo::by_name(name);
+    for (const Layer& l : g.layers()) {
+      if (l.has_params()) {
+        EXPECT_GT(l.flops_per_sample, 0) << name << ":" << l.name;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace deeppool::models
