@@ -1,0 +1,25 @@
+# Resolves GoogleTest: prefer the system package (present on the dev image as
+# gtest 1.12), fall back to FetchContent pinned to a release tag so clean CI
+# runners work without preinstalled packages.
+#
+# Provides: GTest::gtest, GTest::gtest_main and the GoogleTest CMake module
+# (gtest_discover_tests).
+
+find_package(GTest QUIET)
+
+if(NOT GTest_FOUND)
+  message(STATUS "System GoogleTest not found; fetching v1.14.0")
+  include(FetchContent)
+  FetchContent_Declare(
+    googletest
+    URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.tar.gz
+    URL_HASH SHA256=8ad598c73ad796e0d8280b082cebd82a630d73e73cd3c70057938a6501bba5d7
+  )
+  # Never override the parent project's compiler/linker settings (MSVC CRT).
+  set(gtest_force_shared_crt ON CACHE BOOL "" FORCE)
+  set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+  set(BUILD_GMOCK OFF CACHE BOOL "" FORCE)
+  FetchContent_MakeAvailable(googletest)
+endif()
+
+include(GoogleTest)

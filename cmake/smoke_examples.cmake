@@ -1,0 +1,32 @@
+# Runs each example binary and asserts the stdout markers documented in the
+# examples themselves. Invoked by the smoke_examples CTest entry with
+# -D<NAME>=<path> for every example.
+
+function(run_and_expect exe)
+  # Remaining arguments: substrings that must appear in stdout.
+  execute_process(
+    COMMAND ${exe}
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${exe} exited with ${rc}\nstderr:\n${err}")
+  endif()
+  foreach(marker IN LISTS ARGN)
+    string(FIND "${out}" "${marker}" idx)
+    if(idx EQUAL -1)
+      message(FATAL_ERROR
+        "${exe}: expected \"${marker}\" in stdout, got:\n${out}")
+    endif()
+  endforeach()
+  message(STATUS "${exe}: ok")
+endfunction()
+
+run_and_expect(${QUICKSTART}
+  "single_gpu_iteration_s" "est_iteration_s" "Burst parallel")
+run_and_expect(${CLUSTER_SHARING}
+  "BP+Col (DeepPool)" "cluster(samples/s)")
+run_and_expect(${CUSTOM_MODEL_PLAN}
+  "JSON round-trip" "Simulated on 8 GPUs")
+run_and_expect(${SCALING_EXPLORER}
+  "batch-optimal" "scaling")

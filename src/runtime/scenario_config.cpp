@@ -1,0 +1,267 @@
+#include "runtime/scenario_config.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "core/plan.h"
+#include "core/planner.h"
+#include "core/profile.h"
+#include "models/cost_model.h"
+#include "models/zoo.h"
+#include "net/network_model.h"
+
+namespace deeppool::runtime {
+
+namespace {
+
+// Lenient field readers: absent key -> caller-supplied default.
+double num_or(const Json& j, const char* key, double fallback) {
+  return j.contains(key) ? j.at(key).as_number() : fallback;
+}
+
+std::int64_t int_or(const Json& j, const char* key, std::int64_t fallback) {
+  return j.contains(key) ? j.at(key).as_int() : fallback;
+}
+
+bool bool_or(const Json& j, const char* key, bool fallback) {
+  return j.contains(key) ? j.at(key).as_bool() : fallback;
+}
+
+std::string str_or(const Json& j, const char* key, std::string fallback) {
+  return j.contains(key) ? j.at(key).as_string() : std::move(fallback);
+}
+
+}  // namespace
+
+Json to_json(const MultiplexConfig& mux) {
+  Json j;
+  j["cuda_graphs"] = Json(mux.cuda_graphs);
+  j["graph_split"] = Json(mux.graph_split);
+  j["stream_priorities"] = Json(mux.stream_priorities);
+  j["fg_priority"] = Json(mux.fg_priority);
+  j["bg_priority"] = Json(mux.bg_priority);
+  j["pacing_limit"] = Json(mux.pacing_limit);
+  j["unpaced_outstanding_cap"] = Json(mux.unpaced_outstanding_cap);
+  j["slowdown_feedback"] = Json(mux.slowdown_feedback);
+  j["slowdown_threshold"] = Json(mux.slowdown_threshold);
+  j["slowdown_min_samples"] = Json(mux.slowdown_min_samples);
+  j["cpu_launch_s"] = Json(mux.cpu_launch_s);
+  j["graph_launch_s"] = Json(mux.graph_launch_s);
+  return j;
+}
+
+MultiplexConfig multiplex_config_from_json(const Json& j) {
+  MultiplexConfig mux;
+  mux.cuda_graphs = bool_or(j, "cuda_graphs", mux.cuda_graphs);
+  mux.graph_split = static_cast<int>(int_or(j, "graph_split", mux.graph_split));
+  mux.stream_priorities =
+      bool_or(j, "stream_priorities", mux.stream_priorities);
+  mux.fg_priority = static_cast<int>(int_or(j, "fg_priority", mux.fg_priority));
+  mux.bg_priority = static_cast<int>(int_or(j, "bg_priority", mux.bg_priority));
+  mux.pacing_limit =
+      static_cast<int>(int_or(j, "pacing_limit", mux.pacing_limit));
+  mux.unpaced_outstanding_cap = static_cast<int>(
+      int_or(j, "unpaced_outstanding_cap", mux.unpaced_outstanding_cap));
+  mux.slowdown_feedback =
+      bool_or(j, "slowdown_feedback", mux.slowdown_feedback);
+  mux.slowdown_threshold =
+      num_or(j, "slowdown_threshold", mux.slowdown_threshold);
+  mux.slowdown_min_samples = static_cast<int>(
+      int_or(j, "slowdown_min_samples", mux.slowdown_min_samples));
+  mux.cpu_launch_s = num_or(j, "cpu_launch_s", mux.cpu_launch_s);
+  mux.graph_launch_s = num_or(j, "graph_launch_s", mux.graph_launch_s);
+  return mux;
+}
+
+Json to_json(const ScenarioConfig& config) {
+  Json j;
+  j["num_gpus"] = Json(config.num_gpus);
+  if (config.fg_plan) j["fg_plan"] = config.fg_plan->to_json();
+  j["collocate_bg"] = Json(config.collocate_bg);
+  j["bg_on_idle_gpus"] = Json(config.bg_on_idle_gpus);
+  j["bg_batch"] = Json(config.bg_batch);
+  if (config.bg_distributed_plan) {
+    j["bg_distributed_plan"] = config.bg_distributed_plan->to_json();
+  }
+  j["enforce_memory_fit"] = Json(config.enforce_memory_fit);
+  j["mux"] = to_json(config.mux);
+  if (!config.trace_path.empty()) j["trace_path"] = Json(config.trace_path);
+  j["warmup_iters"] = Json(config.warmup_iters);
+  j["measure_iters"] = Json(config.measure_iters);
+  j["bg_only_time_s"] = Json(config.bg_only_time_s);
+  j["max_sim_time_s"] = Json(config.max_sim_time_s);
+  return j;
+}
+
+ScenarioConfig scenario_config_from_json(const Json& j) {
+  ScenarioConfig config;
+  config.num_gpus = static_cast<int>(int_or(j, "num_gpus", config.num_gpus));
+  if (j.contains("fg_plan") && !j.at("fg_plan").is_null()) {
+    config.fg_plan = core::TrainingPlan::from_json(j.at("fg_plan"));
+  }
+  config.collocate_bg = bool_or(j, "collocate_bg", config.collocate_bg);
+  config.bg_on_idle_gpus =
+      bool_or(j, "bg_on_idle_gpus", config.bg_on_idle_gpus);
+  config.bg_batch = int_or(j, "bg_batch", config.bg_batch);
+  if (j.contains("bg_distributed_plan") &&
+      !j.at("bg_distributed_plan").is_null()) {
+    config.bg_distributed_plan =
+        core::TrainingPlan::from_json(j.at("bg_distributed_plan"));
+  }
+  config.enforce_memory_fit =
+      bool_or(j, "enforce_memory_fit", config.enforce_memory_fit);
+  if (j.contains("mux")) {
+    config.mux = multiplex_config_from_json(j.at("mux"));
+  }
+  config.trace_path = str_or(j, "trace_path", config.trace_path);
+  config.warmup_iters =
+      static_cast<int>(int_or(j, "warmup_iters", config.warmup_iters));
+  config.measure_iters =
+      static_cast<int>(int_or(j, "measure_iters", config.measure_iters));
+  config.bg_only_time_s = num_or(j, "bg_only_time_s", config.bg_only_time_s);
+  config.max_sim_time_s = num_or(j, "max_sim_time_s", config.max_sim_time_s);
+  return config;
+}
+
+Json to_json(const ScenarioResult& result) {
+  Json j;
+  j["window_s"] = Json(result.window_s);
+  j["fg_iterations"] = Json(result.fg_iterations);
+  j["fg_iteration_avg_s"] = Json(result.fg_iteration_avg_s);
+  j["fg_samples_per_s"] = Json(result.fg_throughput);
+  j["bg_samples_per_s"] = Json(result.bg_throughput);
+  j["cluster_samples_per_s"] = Json(result.cluster_throughput());
+  j["fg_speedup"] = Json(result.fg_speedup);
+  j["allreduce_slowdown"] = Json(result.allreduce_slowdown);
+  j["sm_utilization"] = Json(result.sm_utilization);
+  return j;
+}
+
+ScenarioSpec scenario_spec_from_json(const Json& j) {
+  ScenarioSpec spec;
+  spec.name = str_or(j, "name", spec.name);
+  spec.model = str_or(j, "model", spec.model);
+  spec.bg_model = str_or(j, "bg_model", spec.bg_model);
+  spec.network = str_or(j, "network", spec.network);
+  // An embedded plan means "run exactly this" unless the spec says otherwise.
+  const std::string default_mode =
+      j.contains("fg_plan") && !j.at("fg_plan").is_null() ? "explicit"
+                                                          : spec.fg_mode;
+  spec.fg_mode = str_or(j, "fg_mode", default_mode);
+  spec.fg_gpus = static_cast<int>(int_or(j, "fg_gpus", spec.fg_gpus));
+  spec.global_batch = int_or(j, "global_batch", spec.global_batch);
+  spec.amp_limit = num_or(j, "amp_limit", spec.amp_limit);
+  spec.pow2_only = bool_or(j, "pow2_only", spec.pow2_only);
+  spec.config = scenario_config_from_json(j);
+  return spec;
+}
+
+Json to_json(const ScenarioSpec& spec) {
+  // Flattened: config keys share the top level with the spec's own fields.
+  Json j = to_json(spec.config);
+  j["name"] = Json(spec.name);
+  j["model"] = Json(spec.model);
+  if (!spec.bg_model.empty()) j["bg_model"] = Json(spec.bg_model);
+  j["network"] = Json(spec.network);
+  j["fg_mode"] = Json(spec.fg_mode);
+  j["fg_gpus"] = Json(spec.fg_gpus);
+  j["global_batch"] = Json(spec.global_batch);
+  j["amp_limit"] = Json(spec.amp_limit);
+  j["pow2_only"] = Json(spec.pow2_only);
+  return j;
+}
+
+ScenarioConfig resolve_spec(const ScenarioSpec& spec) {
+  ScenarioConfig config = spec.config;
+  if (spec.fg_mode == "none") {
+    config.fg_plan.reset();
+    return config;
+  }
+  if (spec.fg_mode == "explicit") {
+    if (!config.fg_plan) {
+      throw std::runtime_error(
+          "fg_mode \"explicit\" requires an embedded \"fg_plan\"");
+    }
+    return config;
+  }
+
+  const models::ModelGraph model = models::zoo::by_name(spec.model);
+  const models::CostModel cost{models::DeviceSpec::a100()};
+  const net::NetworkModel network{net::NetworkSpec::from_name(spec.network)};
+  const core::ProfileSet profiles(
+      model, cost, network,
+      core::ProfileOptions{config.num_gpus, spec.global_batch, spec.pow2_only});
+
+  if (spec.fg_mode == "burst") {
+    config.fg_plan = core::Planner(profiles).plan({spec.amp_limit});
+  } else if (spec.fg_mode == "dp") {
+    const int gpus = spec.fg_gpus > 0 ? spec.fg_gpus : config.num_gpus;
+    config.fg_plan = core::data_parallel_plan(profiles, gpus);
+  } else {
+    throw std::invalid_argument(
+        "unknown fg_mode \"" + spec.fg_mode +
+        "\" (expected burst | dp | explicit | none)");
+  }
+  return config;
+}
+
+ScenarioResult run_spec(const ScenarioSpec& spec) {
+  const ScenarioConfig config = resolve_spec(spec);
+  const models::ModelGraph fg_model = models::zoo::by_name(spec.model);
+  const models::ModelGraph bg_model = models::zoo::by_name(
+      spec.bg_model.empty() ? spec.model : spec.bg_model);
+  const models::CostModel cost{models::DeviceSpec::a100()};
+  return run_scenario(fg_model, bg_model, cost, config);
+}
+
+void set_sweep_param(ScenarioSpec& spec, const std::string& param,
+                     double value) {
+  const auto as_int = [&] { return static_cast<int>(value); };
+  const auto as_i64 = [&] { return static_cast<std::int64_t>(value); };
+  const auto as_bool = [&] { return value != 0.0; };
+
+  if (param == "amp_limit") spec.amp_limit = value;
+  else if (param == "global_batch") spec.global_batch = as_i64();
+  else if (param == "fg_gpus") spec.fg_gpus = as_int();
+  else if (param == "num_gpus") spec.config.num_gpus = as_int();
+  else if (param == "bg_batch") spec.config.bg_batch = as_i64();
+  else if (param == "collocate_bg") spec.config.collocate_bg = as_bool();
+  else if (param == "bg_on_idle_gpus") spec.config.bg_on_idle_gpus = as_bool();
+  else if (param == "warmup_iters") spec.config.warmup_iters = as_int();
+  else if (param == "measure_iters") spec.config.measure_iters = as_int();
+  else if (param == "cuda_graphs") spec.config.mux.cuda_graphs = as_bool();
+  else if (param == "graph_split") spec.config.mux.graph_split = as_int();
+  else if (param == "stream_priorities")
+    spec.config.mux.stream_priorities = as_bool();
+  else if (param == "pacing_limit") spec.config.mux.pacing_limit = as_int();
+  else if (param == "slowdown_feedback")
+    spec.config.mux.slowdown_feedback = as_bool();
+  else if (param == "slowdown_threshold")
+    spec.config.mux.slowdown_threshold = value;
+  else if (param == "slowdown_min_samples")
+    spec.config.mux.slowdown_min_samples = as_int();
+  else if (param == "fg_priority") spec.config.mux.fg_priority = as_int();
+  else if (param == "bg_priority") spec.config.mux.bg_priority = as_int();
+  else if (param == "unpaced_outstanding_cap")
+    spec.config.mux.unpaced_outstanding_cap = as_int();
+  else if (param == "cpu_launch_s") spec.config.mux.cpu_launch_s = value;
+  else if (param == "graph_launch_s") spec.config.mux.graph_launch_s = value;
+  else if (param == "enforce_memory_fit")
+    spec.config.enforce_memory_fit = as_bool();
+  else if (param == "bg_only_time_s") spec.config.bg_only_time_s = value;
+  else if (param == "max_sim_time_s") spec.config.max_sim_time_s = value;
+  else if (param == "pow2_only") spec.pow2_only = as_bool();
+  else {
+    throw std::invalid_argument(
+        "unknown sweep param \"" + param +
+        "\"; supported: amp_limit global_batch fg_gpus num_gpus bg_batch "
+        "collocate_bg bg_on_idle_gpus warmup_iters measure_iters "
+        "bg_only_time_s max_sim_time_s enforce_memory_fit pow2_only "
+        "cuda_graphs graph_split stream_priorities fg_priority bg_priority "
+        "pacing_limit unpaced_outstanding_cap slowdown_feedback "
+        "slowdown_threshold slowdown_min_samples cpu_launch_s "
+        "graph_launch_s");
+  }
+}
+
+}  // namespace deeppool::runtime

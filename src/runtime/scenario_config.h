@@ -1,0 +1,77 @@
+// JSON codec for cluster-sharing scenarios.
+//
+// Two layers:
+//   * Wire codec — MultiplexConfig / ScenarioConfig / ScenarioResult
+//     round-trip through util/json, so a scenario (including an embedded
+//     TrainingPlan) can be checkpointed and replayed exactly.
+//   * ScenarioSpec — the user-facing schema the `deeppool` CLI consumes:
+//     model *names* plus planner knobs instead of a pre-computed plan.
+//     run_spec() profiles the model, runs the requested planner and drives
+//     run_scenario(), which is how every Fig-9/10/12-style experiment is
+//     launched from one JSON file.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "runtime/cluster.h"
+#include "util/json.h"
+
+namespace deeppool::runtime {
+
+/// Wire codec. The from_json parsers accept partial objects: absent keys keep
+/// the struct's default, unknown keys are ignored (forward compatibility).
+Json to_json(const MultiplexConfig& mux);
+MultiplexConfig multiplex_config_from_json(const Json& j);
+
+Json to_json(const ScenarioConfig& config);
+ScenarioConfig scenario_config_from_json(const Json& j);
+
+/// Metric emission (one-way; results are derived, never parsed back).
+Json to_json(const ScenarioResult& result);
+
+/// A scenario described by names and knobs rather than concrete plans.
+struct ScenarioSpec {
+  std::string name = "scenario";
+  std::string model = "vgg16";     ///< zoo name of the foreground model
+  std::string bg_model;            ///< zoo name of the background; "" = model
+  std::string network = "nvswitch";///< net::NetworkSpec::from_name()
+
+  /// How the foreground plan is produced:
+  ///   "burst"    — Planner under amp_limit (the paper's BP)
+  ///   "dp"       — data_parallel_plan across fg_gpus
+  ///   "explicit" — use config.fg_plan as given in the JSON
+  ///   "none"     — no foreground job (the "BG Only" bars)
+  std::string fg_mode = "burst";
+  int fg_gpus = 0;                 ///< dp replica count; 0 = config.num_gpus
+  std::int64_t global_batch = 32;
+  double amp_limit = 1.5;          ///< GPU-sec amplification allowance
+  bool pow2_only = true;           ///< profile only power-of-two GPU counts
+
+  /// Cluster/collocation/multiplex/measurement knobs. In the spec JSON these
+  /// keys live at the top level alongside the fields above.
+  ScenarioConfig config;
+};
+
+/// Parses a spec. Top-level keys are the ScenarioSpec fields plus every
+/// ScenarioConfig key (flattened); a present "fg_plan" flips the default
+/// fg_mode to "explicit". Throws std::runtime_error on malformed input.
+ScenarioSpec scenario_spec_from_json(const Json& j);
+Json to_json(const ScenarioSpec& spec);
+
+/// Profiles + plans the foreground per `spec` and runs the scenario.
+/// Throws std::runtime_error / std::invalid_argument on bad specs.
+ScenarioResult run_spec(const ScenarioSpec& spec);
+
+/// Resolves the spec into the concrete ScenarioConfig run_spec() would use
+/// (planner output embedded) without simulating — the CLI's `plan` view.
+ScenarioConfig resolve_spec(const ScenarioSpec& spec);
+
+/// Sets one numeric knob by name (e.g. "amp_limit", "bg_batch", "num_gpus",
+/// "pacing_limit", "collocate_bg" — booleans take 0/1). Used by the CLI's
+/// `sweep` subcommand. Throws std::invalid_argument listing the supported
+/// names on an unknown knob.
+void set_sweep_param(ScenarioSpec& spec, const std::string& param,
+                     double value);
+
+}  // namespace deeppool::runtime

@@ -1,0 +1,236 @@
+#include "runtime/scenario_config.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/planner.h"
+#include "core/profile.h"
+#include "models/zoo.h"
+#include "net/network_model.h"
+
+namespace deeppool::runtime {
+namespace {
+
+TEST(ScenarioConfigJson, MultiplexRoundTripPreservesEveryKnob) {
+  MultiplexConfig mux;
+  mux.cuda_graphs = false;
+  mux.graph_split = 7;
+  mux.stream_priorities = false;
+  mux.fg_priority = 3;
+  mux.bg_priority = -1;
+  mux.pacing_limit = 5;
+  mux.unpaced_outstanding_cap = 17;
+  mux.slowdown_feedback = false;
+  mux.slowdown_threshold = 2.25;
+  mux.slowdown_min_samples = 9;
+  mux.cpu_launch_s = 1e-6;
+  mux.graph_launch_s = 3e-6;
+
+  const MultiplexConfig back =
+      multiplex_config_from_json(Json::parse(to_json(mux).dump()));
+  EXPECT_EQ(back.cuda_graphs, mux.cuda_graphs);
+  EXPECT_EQ(back.graph_split, mux.graph_split);
+  EXPECT_EQ(back.stream_priorities, mux.stream_priorities);
+  EXPECT_EQ(back.fg_priority, mux.fg_priority);
+  EXPECT_EQ(back.bg_priority, mux.bg_priority);
+  EXPECT_EQ(back.pacing_limit, mux.pacing_limit);
+  EXPECT_EQ(back.unpaced_outstanding_cap, mux.unpaced_outstanding_cap);
+  EXPECT_EQ(back.slowdown_feedback, mux.slowdown_feedback);
+  EXPECT_DOUBLE_EQ(back.slowdown_threshold, mux.slowdown_threshold);
+  EXPECT_EQ(back.slowdown_min_samples, mux.slowdown_min_samples);
+  EXPECT_DOUBLE_EQ(back.cpu_launch_s, mux.cpu_launch_s);
+  EXPECT_DOUBLE_EQ(back.graph_launch_s, mux.graph_launch_s);
+}
+
+TEST(ScenarioConfigJson, ConfigRoundTripIncludesEmbeddedPlan) {
+  const models::ModelGraph model = models::zoo::vgg16();
+  const models::CostModel cost{models::DeviceSpec::a100()};
+  const net::NetworkModel network{net::NetworkSpec::nvswitch()};
+  const core::ProfileSet profiles(model, cost, network,
+                                  core::ProfileOptions{4, 16, true});
+
+  ScenarioConfig config;
+  config.num_gpus = 4;
+  config.fg_plan = core::Planner(profiles).plan({1.5});
+  config.collocate_bg = true;
+  config.bg_on_idle_gpus = false;
+  config.bg_batch = 4;
+  config.enforce_memory_fit = false;
+  config.mux.pacing_limit = 3;
+  config.trace_path = "trace.json";
+  config.warmup_iters = 2;
+  config.measure_iters = 6;
+  config.bg_only_time_s = 0.5;
+  config.max_sim_time_s = 120.0;
+
+  const ScenarioConfig back =
+      scenario_config_from_json(Json::parse(to_json(config).dump()));
+  EXPECT_EQ(back.num_gpus, 4);
+  ASSERT_TRUE(back.fg_plan.has_value());
+  EXPECT_EQ(back.fg_plan->model_name, config.fg_plan->model_name);
+  EXPECT_EQ(back.fg_plan->assignments.size(),
+            config.fg_plan->assignments.size());
+  EXPECT_DOUBLE_EQ(back.fg_plan->est_iteration_s,
+                   config.fg_plan->est_iteration_s);
+  EXPECT_TRUE(back.collocate_bg);
+  EXPECT_FALSE(back.bg_on_idle_gpus);
+  EXPECT_EQ(back.bg_batch, 4);
+  EXPECT_FALSE(back.bg_distributed_plan.has_value());
+  EXPECT_FALSE(back.enforce_memory_fit);
+  EXPECT_EQ(back.mux.pacing_limit, 3);
+  EXPECT_EQ(back.trace_path, "trace.json");
+  EXPECT_EQ(back.warmup_iters, 2);
+  EXPECT_EQ(back.measure_iters, 6);
+  EXPECT_DOUBLE_EQ(back.bg_only_time_s, 0.5);
+  EXPECT_DOUBLE_EQ(back.max_sim_time_s, 120.0);
+}
+
+TEST(ScenarioConfigJson, PartialObjectKeepsDefaults) {
+  const ScenarioConfig defaults;
+  const ScenarioConfig parsed =
+      scenario_config_from_json(Json::parse(R"({"bg_batch": 2})"));
+  EXPECT_EQ(parsed.bg_batch, 2);
+  EXPECT_EQ(parsed.num_gpus, defaults.num_gpus);
+  EXPECT_EQ(parsed.collocate_bg, defaults.collocate_bg);
+  EXPECT_EQ(parsed.mux.graph_split, defaults.mux.graph_split);
+  EXPECT_FALSE(parsed.fg_plan.has_value());
+}
+
+TEST(ScenarioConfigJson, ResultJsonHasTheMetricKeysTheCliEmits) {
+  ScenarioResult result;
+  result.fg_throughput = 100.0;
+  result.bg_throughput = 25.0;
+  result.sm_utilization = 0.75;
+  const Json j = to_json(result);
+  EXPECT_DOUBLE_EQ(j.at("fg_samples_per_s").as_number(), 100.0);
+  EXPECT_DOUBLE_EQ(j.at("bg_samples_per_s").as_number(), 25.0);
+  EXPECT_DOUBLE_EQ(j.at("cluster_samples_per_s").as_number(), 125.0);
+  EXPECT_TRUE(j.contains("fg_speedup"));
+  EXPECT_TRUE(j.contains("allreduce_slowdown"));
+  EXPECT_TRUE(j.contains("sm_utilization"));
+}
+
+TEST(ScenarioSpecJson, SpecRoundTrip) {
+  ScenarioSpec spec;
+  spec.name = "fig9";
+  spec.model = "resnet50";
+  spec.bg_model = "vgg11";
+  spec.network = "1t";
+  spec.fg_mode = "dp";
+  spec.fg_gpus = 4;
+  spec.global_batch = 64;
+  spec.amp_limit = 2.5;
+  spec.pow2_only = false;
+  spec.config.num_gpus = 16;
+  spec.config.collocate_bg = true;
+
+  const ScenarioSpec back =
+      scenario_spec_from_json(Json::parse(to_json(spec).dump()));
+  EXPECT_EQ(back.name, "fig9");
+  EXPECT_EQ(back.model, "resnet50");
+  EXPECT_EQ(back.bg_model, "vgg11");
+  EXPECT_EQ(back.network, "1t");
+  EXPECT_EQ(back.fg_mode, "dp");
+  EXPECT_EQ(back.fg_gpus, 4);
+  EXPECT_EQ(back.global_batch, 64);
+  EXPECT_DOUBLE_EQ(back.amp_limit, 2.5);
+  EXPECT_FALSE(back.pow2_only);
+  EXPECT_EQ(back.config.num_gpus, 16);
+  EXPECT_TRUE(back.config.collocate_bg);
+}
+
+TEST(ScenarioSpecJson, EmbeddedPlanDefaultsToExplicitMode) {
+  const models::ModelGraph model = models::zoo::vgg11();
+  const models::CostModel cost{models::DeviceSpec::a100()};
+  const net::NetworkModel network{net::NetworkSpec::nvswitch()};
+  const core::ProfileSet profiles(model, cost, network,
+                                  core::ProfileOptions{4, 16, true});
+
+  Json j;
+  j["model"] = Json("vgg11");
+  j["fg_plan"] = core::data_parallel_plan(profiles, 4).to_json();
+  const ScenarioSpec spec = scenario_spec_from_json(j);
+  EXPECT_EQ(spec.fg_mode, "explicit");
+  ASSERT_TRUE(spec.config.fg_plan.has_value());
+  EXPECT_EQ(spec.config.fg_plan->peak_gpus(), 4);
+}
+
+TEST(ScenarioSpecJson, NullPlanDoesNotFlipModeToExplicit) {
+  const ScenarioSpec spec = scenario_spec_from_json(
+      Json::parse(R"({"model": "vgg11", "fg_plan": null})"));
+  EXPECT_EQ(spec.fg_mode, "burst");
+  EXPECT_FALSE(spec.config.fg_plan.has_value());
+}
+
+TEST(ScenarioSpecJson, ResolveSpecPlansTheForeground) {
+  ScenarioSpec spec;
+  spec.model = "vgg11";
+  spec.fg_mode = "burst";
+  spec.amp_limit = 1.5;
+  spec.global_batch = 16;
+  spec.config.num_gpus = 4;
+
+  const ScenarioConfig resolved = resolve_spec(spec);
+  ASSERT_TRUE(resolved.fg_plan.has_value());
+  EXPECT_EQ(resolved.fg_plan->model_name, "vgg11");
+  EXPECT_LE(resolved.fg_plan->peak_gpus(), 4);
+  EXPECT_GT(resolved.fg_plan->est_iteration_s, 0.0);
+
+  spec.fg_mode = "none";
+  EXPECT_FALSE(resolve_spec(spec).fg_plan.has_value());
+
+  spec.fg_mode = "explicit";  // no embedded plan -> error
+  EXPECT_THROW(resolve_spec(spec), std::runtime_error);
+  spec.fg_mode = "warp";
+  EXPECT_THROW(resolve_spec(spec), std::invalid_argument);
+}
+
+TEST(ScenarioSpecJson, RunSpecProducesThroughput) {
+  ScenarioSpec spec;
+  spec.model = "vgg11";
+  spec.fg_mode = "dp";
+  spec.global_batch = 16;
+  spec.config.num_gpus = 4;
+  spec.config.collocate_bg = true;
+  spec.config.bg_batch = 4;
+  spec.config.warmup_iters = 1;
+  spec.config.measure_iters = 4;
+
+  const ScenarioResult result = run_spec(spec);
+  EXPECT_GT(result.fg_throughput, 0.0);
+  EXPECT_GT(result.bg_throughput, 0.0);
+  EXPECT_GT(result.sm_utilization, 0.0);
+  EXPECT_EQ(result.fg_iterations, 4);
+}
+
+TEST(ScenarioSpecJson, SweepParamSettersCoverSpecAndMuxKnobs) {
+  ScenarioSpec spec;
+  set_sweep_param(spec, "amp_limit", 3.0);
+  EXPECT_DOUBLE_EQ(spec.amp_limit, 3.0);
+  set_sweep_param(spec, "global_batch", 128);
+  EXPECT_EQ(spec.global_batch, 128);
+  set_sweep_param(spec, "num_gpus", 16);
+  EXPECT_EQ(spec.config.num_gpus, 16);
+  set_sweep_param(spec, "bg_batch", 2);
+  EXPECT_EQ(spec.config.bg_batch, 2);
+  set_sweep_param(spec, "collocate_bg", 1);
+  EXPECT_TRUE(spec.config.collocate_bg);
+  set_sweep_param(spec, "cuda_graphs", 0);
+  EXPECT_FALSE(spec.config.mux.cuda_graphs);
+  set_sweep_param(spec, "pacing_limit", 6);
+  EXPECT_EQ(spec.config.mux.pacing_limit, 6);
+  set_sweep_param(spec, "max_sim_time_s", 10.0);
+  EXPECT_DOUBLE_EQ(spec.config.max_sim_time_s, 10.0);
+  set_sweep_param(spec, "enforce_memory_fit", 0);
+  EXPECT_FALSE(spec.config.enforce_memory_fit);
+  set_sweep_param(spec, "fg_priority", 5);
+  EXPECT_EQ(spec.config.mux.fg_priority, 5);
+  set_sweep_param(spec, "cpu_launch_s", 1e-6);
+  EXPECT_DOUBLE_EQ(spec.config.mux.cpu_launch_s, 1e-6);
+  EXPECT_THROW(set_sweep_param(spec, "no_such_knob", 1.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace deeppool::runtime

@@ -1,0 +1,292 @@
+// deeppool — unified scenario-driver CLI.
+//
+//   deeppool plan     --model vgg16 [--gpus 8] [--batch 32] [--amp 1.5]
+//                     [--network nvswitch] [--dp] [--table]
+//   deeppool plan     --config scenario.json [--table]
+//   deeppool simulate --config scenario.json [--set knob=value ...]
+//                     [--output metrics.json] [--compact]
+//   deeppool sweep    --config scenario.json [--param knob --values 1,2,4]
+//                     [--output metrics.json] [--compact]
+//   deeppool models
+//
+// `plan` runs the burst-parallel planner and emits the TrainingPlan JSON the
+// cluster coordinator consumes (Fig. 6). `simulate` drives one Fig-9-style
+// cluster-sharing scenario end to end and emits throughput/QoS metrics JSON.
+// `sweep` re-runs the scenario across a list of values for one knob (Fig. 10
+// / Fig. 12-style studies); the knob can come from the CLI or from a
+// `"sweep": {"param": ..., "values": [...]}` block in the scenario file.
+// Results go to stdout (or --output); diagnostics go to stderr.
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/planner.h"
+#include "models/zoo.h"
+#include "runtime/scenario_config.h"
+#include "util/json.h"
+
+namespace {
+
+using deeppool::Json;
+namespace runtime = deeppool::runtime;
+
+int usage(std::ostream& os, int exit_code) {
+  os << "usage:\n"
+        "  deeppool plan     --model NAME [--gpus N] [--batch B] [--amp A]\n"
+        "                    [--network NET] [--dp] [--table]\n"
+        "  deeppool plan     --config FILE [--table]\n"
+        "  deeppool simulate --config FILE [--set KNOB=VALUE ...]\n"
+        "                    [--output FILE] [--compact]\n"
+        "  deeppool sweep    --config FILE [--param KNOB --values V1,V2,...]\n"
+        "                    [--set KNOB=VALUE ...] [--output FILE] [--compact]\n"
+        "  deeppool models\n"
+        "\n"
+        "Scenario files are JSON ScenarioSpecs (see examples/scenarios/).\n";
+  return exit_code;
+}
+
+struct Args {
+  std::string command;
+  std::string config_path;
+  std::string output_path;
+  std::string model;
+  std::string network = "nvswitch";
+  std::string sweep_param;
+  std::vector<double> sweep_values;
+  std::vector<std::pair<std::string, double>> overrides;  // --set knob=value
+  int gpus = 8;
+  std::int64_t batch = 32;
+  double amp = 1.5;
+  bool dp = false;
+  bool table = false;
+  bool compact = false;
+};
+
+// Strict numeric parsing: std::stod("2x9") happily returns 2, which would
+// turn a typo'd sweep list into a plausible-looking wrong experiment.
+double parse_double(const std::string& text, const std::string& what) {
+  std::size_t consumed = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(text, &consumed);
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  if (consumed != text.size() || text.empty()) {
+    throw std::invalid_argument(what + ": \"" + text + "\" is not a number");
+  }
+  return value;
+}
+
+std::int64_t parse_int(const std::string& text, const std::string& what) {
+  std::size_t consumed = 0;
+  std::int64_t value = 0;
+  try {
+    value = std::stoll(text, &consumed);
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  if (consumed != text.size() || text.empty()) {
+    throw std::invalid_argument(what + ": \"" + text +
+                                "\" is not an integer");
+  }
+  return value;
+}
+
+std::vector<double> parse_value_list(const std::string& csv) {
+  std::vector<double> values;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) values.push_back(parse_double(item, "--values"));
+  }
+  if (values.empty()) {
+    throw std::invalid_argument("--values needs a comma-separated list");
+  }
+  return values;
+}
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  args.command = argv[1];
+  auto need_value = [&](int& i, const std::string& flag) -> std::string {
+    if (i + 1 >= argc) {
+      throw std::invalid_argument(flag + " needs a value");
+    }
+    return argv[++i];
+  };
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--config") args.config_path = need_value(i, flag);
+    else if (flag == "--output") args.output_path = need_value(i, flag);
+    else if (flag == "--model") args.model = need_value(i, flag);
+    else if (flag == "--network") args.network = need_value(i, flag);
+    else if (flag == "--gpus")
+      args.gpus = static_cast<int>(parse_int(need_value(i, flag), flag));
+    else if (flag == "--batch") args.batch = parse_int(need_value(i, flag), flag);
+    else if (flag == "--amp") args.amp = parse_double(need_value(i, flag), flag);
+    else if (flag == "--dp") args.dp = true;
+    else if (flag == "--table") args.table = true;
+    else if (flag == "--compact") args.compact = true;
+    else if (flag == "--param") args.sweep_param = need_value(i, flag);
+    else if (flag == "--values")
+      args.sweep_values = parse_value_list(need_value(i, flag));
+    else if (flag == "--set") {
+      const std::string kv = need_value(i, flag);
+      const std::size_t eq = kv.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        throw std::invalid_argument("--set expects KNOB=VALUE, got " + kv);
+      }
+      args.overrides.emplace_back(kv.substr(0, eq),
+                                  parse_double(kv.substr(eq + 1), flag));
+    } else {
+      throw std::invalid_argument("unknown flag " + flag);
+    }
+  }
+  return args;
+}
+
+Json load_json_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return Json::parse(buffer.str());
+}
+
+runtime::ScenarioSpec load_spec(const Args& args) {
+  if (args.config_path.empty()) {
+    throw std::invalid_argument("--config FILE is required");
+  }
+  runtime::ScenarioSpec spec =
+      runtime::scenario_spec_from_json(load_json_file(args.config_path));
+  for (const auto& [knob, value] : args.overrides) {
+    runtime::set_sweep_param(spec, knob, value);
+  }
+  return spec;
+}
+
+void emit(const Args& args, const Json& j) {
+  const std::string text = j.dump(args.compact ? -1 : 2);
+  if (args.output_path.empty()) {
+    std::cout << text << '\n';
+  } else {
+    std::ofstream out(args.output_path);
+    if (!out) throw std::runtime_error("cannot write " + args.output_path);
+    out << text << '\n';
+    std::cerr << "wrote " << args.output_path << '\n';
+  }
+}
+
+int cmd_plan(const Args& args) {
+  runtime::ScenarioSpec spec;
+  if (!args.config_path.empty()) {
+    spec = load_spec(args);
+  } else {
+    if (args.model.empty()) {
+      throw std::invalid_argument("plan needs --model NAME or --config FILE");
+    }
+    spec.model = args.model;
+    spec.network = args.network;
+    spec.fg_mode = args.dp ? "dp" : "burst";
+    spec.global_batch = args.batch;
+    spec.amp_limit = args.amp;
+    spec.config.num_gpus = args.gpus;
+  }
+  const runtime::ScenarioConfig resolved = runtime::resolve_spec(spec);
+  if (!resolved.fg_plan) {
+    throw std::runtime_error("scenario has no foreground job to plan");
+  }
+  if (args.table) {
+    std::cout << resolved.fg_plan->to_table();
+    return 0;
+  }
+  emit(args, resolved.fg_plan->to_json());
+  return 0;
+}
+
+int cmd_simulate(const Args& args) {
+  const runtime::ScenarioSpec spec = load_spec(args);
+  std::cerr << "simulating \"" << spec.name << "\": " << spec.model << " on "
+            << spec.config.num_gpus << " GPUs (" << spec.fg_mode << ")\n";
+  const runtime::ScenarioResult result = runtime::run_spec(spec);
+  Json out;
+  out["scenario"] = Json(spec.name);
+  out["spec"] = runtime::to_json(spec);
+  out["result"] = runtime::to_json(result);
+  emit(args, out);
+  return 0;
+}
+
+int cmd_sweep(const Args& args) {
+  const runtime::ScenarioSpec base = load_spec(args);
+  std::string param = args.sweep_param;
+  std::vector<double> values = args.sweep_values;
+  if (param.empty() || values.empty()) {
+    // Fall back to the scenario file's "sweep" block.
+    const Json file = load_json_file(args.config_path);
+    if (!file.contains("sweep")) {
+      throw std::invalid_argument(
+          "sweep needs --param/--values or a \"sweep\" block in the config");
+    }
+    const Json& block = file.at("sweep");
+    if (param.empty()) param = block.at("param").as_string();
+    if (values.empty()) {
+      for (const Json& v : block.at("values").as_array()) {
+        values.push_back(v.as_number());
+      }
+    }
+  }
+  if (values.empty()) {
+    throw std::invalid_argument("sweep has no values to run");
+  }
+
+  Json::Array results;
+  for (const double value : values) {
+    runtime::ScenarioSpec spec = base;
+    runtime::set_sweep_param(spec, param, value);
+    std::cerr << "sweep " << param << "=" << value << " ...\n";
+    Json point;
+    point[param] = Json(value);
+    point["result"] = runtime::to_json(runtime::run_spec(spec));
+    results.push_back(std::move(point));
+  }
+  Json out;
+  out["scenario"] = Json(base.name);
+  out["param"] = Json(param);
+  out["results"] = Json(std::move(results));
+  emit(args, out);
+  return 0;
+}
+
+int cmd_models() {
+  for (const std::string& name : deeppool::models::zoo::names()) {
+    std::cout << name << '\n';
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(std::cerr, 2);
+  try {
+    const Args args = parse_args(argc, argv);
+    if (args.command == "plan") return cmd_plan(args);
+    if (args.command == "simulate") return cmd_simulate(args);
+    if (args.command == "sweep") return cmd_sweep(args);
+    if (args.command == "models") return cmd_models();
+    if (args.command == "help" || args.command == "--help") {
+      return usage(std::cout, 0);
+    }
+    std::cerr << "unknown command \"" << args.command << "\"\n\n";
+    return usage(std::cerr, 2);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}
