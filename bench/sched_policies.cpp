@@ -1,0 +1,88 @@
+// Cluster-throughput comparison across scheduler placement policies — the
+// Fig.-9-style headline for the multi-tenant scheduler: the same Poisson job
+// trace (the shipped examples/scenarios/sched_poisson_mix.json workload)
+// replayed under fifo_partition / best_fit / burst_lending on 16 GPUs.
+//
+// Besides the human-readable table, writes machine-readable metrics to
+// BENCH_sched.json (or argv[1]) so the perf trajectory of the scheduler is
+// tracked run over run; the schema is documented in README.md.
+#include <fstream>
+#include <iostream>
+
+#include "bench_common.h"
+#include "sched/policies.h"
+#include "sched/scheduler.h"
+#include "util/json.h"
+
+using namespace deeppool;
+
+int main(int argc, char** argv) {
+  bench::print_header(
+      "Cluster scheduler: goodput/JCT/QoS across placement policies",
+      "multi-tenant extension of paper Figs. 9/10");
+
+  const sched::WorkloadSpec workload = sched::reference_poisson_mix();
+  sched::ScheduleConfig config;
+  config.num_gpus = 16;
+  config.qos_fg_slowdown = 1.25;
+
+  TablePrinter table({"policy", "goodput(samples/s)", "makespan(s)",
+                      "mean JCT(s)", "fg p95 slowdown", "queue delay(s)",
+                      "util", "lends", "reclaims", "QoS"});
+  Json::Array results;
+  for (const std::string& policy : sched::policy_names()) {
+    config.policy = policy;
+    const sched::ScheduleResult r = sched::run_schedule(workload, config);
+    double jct_sum = 0.0;
+    for (const sched::JobOutcome& job : r.jobs) jct_sum += job.jct_s;
+    const double mean_jct =
+        r.jobs.empty() ? 0.0 : jct_sum / static_cast<double>(r.jobs.size());
+
+    table.add_row({policy,
+                   TablePrinter::num(r.fleet.goodput_samples_per_s, 0),
+                   TablePrinter::num(r.fleet.makespan_s, 2),
+                   TablePrinter::num(mean_jct, 2),
+                   TablePrinter::num(r.fleet.fg_p95_slowdown, 3),
+                   TablePrinter::num(r.fleet.mean_queue_delay_s, 2),
+                   TablePrinter::pct(r.fleet.gpu_utilization, 1),
+                   TablePrinter::num(static_cast<long long>(r.fleet.lends)),
+                   TablePrinter::num(static_cast<long long>(r.fleet.reclaims)),
+                   r.fleet.qos_met ? "met" : "VIOLATED"});
+
+    Json point;
+    point["policy"] = Json(policy);
+    point["goodput_samples_per_s"] = Json(r.fleet.goodput_samples_per_s);
+    point["makespan_s"] = Json(r.fleet.makespan_s);
+    point["mean_jct_s"] = Json(mean_jct);
+    point["fg_p95_slowdown"] = Json(r.fleet.fg_p95_slowdown);
+    point["mean_queue_delay_s"] = Json(r.fleet.mean_queue_delay_s);
+    point["gpu_utilization"] = Json(r.fleet.gpu_utilization);
+    point["lends"] = Json(r.fleet.lends);
+    point["reclaims"] = Json(r.fleet.reclaims);
+    point["qos_met"] = Json(r.fleet.qos_met);
+    results.push_back(std::move(point));
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: burst_lending beats best_fit beats "
+               "fifo_partition on goodput; fg p95 slowdown stays under the "
+               "1.25 QoS bound because lending is refused where it would "
+               "break it.\n";
+
+  Json out;
+  out["bench"] = Json("sched_policies");
+  out["seed"] = Json(static_cast<std::int64_t>(workload.seed));
+  out["num_gpus"] = Json(config.num_gpus);
+  out["qos_fg_slowdown"] = Json(config.qos_fg_slowdown);
+  out["workload"] = sched::to_json(workload);
+  out["results"] = Json(std::move(results));
+
+  const std::string path = argc > 1 ? argv[1] : "BENCH_sched.json";
+  std::ofstream file(path);
+  if (!file) {
+    std::cerr << "cannot write " << path << "\n";
+    return 1;
+  }
+  file << out.dump(2) << '\n';
+  std::cout << "wrote " << path << '\n';
+  return 0;
+}

@@ -12,27 +12,6 @@
 
 namespace deeppool::runtime {
 
-namespace {
-
-// Lenient field readers: absent key -> caller-supplied default.
-double num_or(const Json& j, const char* key, double fallback) {
-  return j.contains(key) ? j.at(key).as_number() : fallback;
-}
-
-std::int64_t int_or(const Json& j, const char* key, std::int64_t fallback) {
-  return j.contains(key) ? j.at(key).as_int() : fallback;
-}
-
-bool bool_or(const Json& j, const char* key, bool fallback) {
-  return j.contains(key) ? j.at(key).as_bool() : fallback;
-}
-
-std::string str_or(const Json& j, const char* key, std::string fallback) {
-  return j.contains(key) ? j.at(key).as_string() : std::move(fallback);
-}
-
-}  // namespace
-
 Json to_json(const MultiplexConfig& mux) {
   Json j;
   j["cuda_graphs"] = Json(mux.cuda_graphs);
@@ -51,6 +30,9 @@ Json to_json(const MultiplexConfig& mux) {
 }
 
 MultiplexConfig multiplex_config_from_json(const Json& j) {
+  if (!j.is_object()) {
+    throw std::runtime_error("MultiplexConfig must be a JSON object");
+  }
   MultiplexConfig mux;
   mux.cuda_graphs = bool_or(j, "cuda_graphs", mux.cuda_graphs);
   mux.graph_split = static_cast<int>(int_or(j, "graph_split", mux.graph_split));
@@ -94,6 +76,9 @@ Json to_json(const ScenarioConfig& config) {
 }
 
 ScenarioConfig scenario_config_from_json(const Json& j) {
+  if (!j.is_object()) {
+    throw std::runtime_error("ScenarioConfig must be a JSON object");
+  }
   ScenarioConfig config;
   config.num_gpus = static_cast<int>(int_or(j, "num_gpus", config.num_gpus));
   if (j.contains("fg_plan") && !j.at("fg_plan").is_null()) {
@@ -137,9 +122,24 @@ Json to_json(const ScenarioResult& result) {
   return j;
 }
 
+std::string spec_kind(const Json& j) {
+  return str_or(j, "kind", "scenario");
+}
+
 ScenarioSpec scenario_spec_from_json(const Json& j) {
+  if (!j.is_object()) {
+    throw std::runtime_error("ScenarioSpec must be a JSON object");
+  }
+  const std::string kind = spec_kind(j);
+  if (kind != "scenario") {
+    throw std::runtime_error(
+        "spec kind \"" + kind + "\" is not a plan/simulate/sweep scenario" +
+        (kind == "schedule" ? "; run it with `deeppool schedule`" : ""));
+  }
   ScenarioSpec spec;
   spec.name = str_or(j, "name", spec.name);
+  spec.seed = static_cast<std::uint64_t>(
+      int_or(j, "seed", static_cast<std::int64_t>(spec.seed)));
   spec.model = str_or(j, "model", spec.model);
   spec.bg_model = str_or(j, "bg_model", spec.bg_model);
   spec.network = str_or(j, "network", spec.network);
@@ -160,6 +160,7 @@ Json to_json(const ScenarioSpec& spec) {
   // Flattened: config keys share the top level with the spec's own fields.
   Json j = to_json(spec.config);
   j["name"] = Json(spec.name);
+  j["seed"] = Json(static_cast<std::int64_t>(spec.seed));
   j["model"] = Json(spec.model);
   if (!spec.bg_model.empty()) j["bg_model"] = Json(spec.bg_model);
   j["network"] = Json(spec.network);

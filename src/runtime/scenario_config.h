@@ -30,9 +30,15 @@ ScenarioConfig scenario_config_from_json(const Json& j);
 /// Metric emission (one-way; results are derived, never parsed back).
 Json to_json(const ScenarioResult& result);
 
+/// Top-level "kind" of a spec file: "scenario" (default when absent, the
+/// plan/simulate/sweep schema above) or "schedule" (the multi-tenant
+/// scheduler schema in sched/scheduler.h). Lets one CLI dispatch on a file.
+std::string spec_kind(const Json& j);
+
 /// A scenario described by names and knobs rather than concrete plans.
 struct ScenarioSpec {
   std::string name = "scenario";
+  std::uint64_t seed = 0;          ///< provenance: echoed into output JSON
   std::string model = "vgg16";     ///< zoo name of the foreground model
   std::string bg_model;            ///< zoo name of the background; "" = model
   std::string network = "nvswitch";///< net::NetworkSpec::from_name()

@@ -1,0 +1,128 @@
+#include "sched/policies.h"
+
+#include <stdexcept>
+
+namespace deeppool::sched {
+
+namespace {
+
+/// First-`needed` free GPUs, or nullopt when fewer than `needed` are free.
+std::optional<Placement> place_exclusive(const JobView& job,
+                                         const std::vector<GpuView>& gpus) {
+  Placement p;
+  for (std::size_t g = 0; g < gpus.size(); ++g) {
+    if (gpus[g].free()) p.gpu_ids.push_back(static_cast<int>(g));
+    if (static_cast<int>(p.gpu_ids.size()) == job.gpus_needed) return p;
+  }
+  return std::nullopt;
+}
+
+class FifoPartition final : public PlacementPolicy {
+ public:
+  const char* name() const override { return "fifo_partition"; }
+  bool backfill() const override { return false; }
+  bool lending() const override { return false; }
+
+  std::optional<Decision> select(
+      const std::vector<JobView>& queue,
+      const std::vector<GpuView>& gpus) const override {
+    if (queue.empty()) return std::nullopt;
+    auto p = place_exclusive(queue.front(), gpus);
+    if (!p) return std::nullopt;
+    return Decision{0, std::move(*p)};
+  }
+};
+
+class BestFit final : public PlacementPolicy {
+ public:
+  const char* name() const override { return "best_fit"; }
+  bool backfill() const override { return true; }
+  bool lending() const override { return false; }
+
+  std::optional<Decision> select(
+      const std::vector<JobView>& queue,
+      const std::vector<GpuView>& gpus) const override {
+    // Tightest packing: of the queued jobs that fit the free GPUs, take the
+    // one that leaves the fewest free (largest demand); FIFO breaks ties.
+    std::optional<Decision> best;
+    int best_need = -1;
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+      if (queue[i].gpus_needed <= best_need) continue;
+      auto p = place_exclusive(queue[i], gpus);
+      if (!p) continue;
+      best_need = queue[i].gpus_needed;
+      best = Decision{static_cast<int>(i), std::move(*p)};
+    }
+    return best;
+  }
+};
+
+class BurstLending final : public PlacementPolicy {
+ public:
+  const char* name() const override { return "burst_lending"; }
+  bool backfill() const override { return true; }
+  bool lending() const override { return true; }
+
+  std::optional<Decision> select(
+      const std::vector<JobView>& queue,
+      const std::vector<GpuView>& gpus) const override {
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+      auto p = place(queue[i], gpus);
+      if (p) return Decision{static_cast<int>(i), std::move(*p)};
+    }
+    return std::nullopt;
+  }
+
+ private:
+  static std::optional<Placement> place(const JobView& job,
+                                        const std::vector<GpuView>& gpus) {
+    if (job.foreground) {
+      // Free GPUs first; top up from GPUs held by dedicated background jobs
+      // (the scheduler demotes or evicts those tenants — "reclamation on
+      // foreground demand").
+      Placement p;
+      for (std::size_t g = 0; g < gpus.size(); ++g) {
+        if (gpus[g].free()) p.gpu_ids.push_back(static_cast<int>(g));
+        if (static_cast<int>(p.gpu_ids.size()) == job.gpus_needed) return p;
+      }
+      for (std::size_t g = 0; g < gpus.size(); ++g) {
+        if (gpus[g].reclaimable()) p.gpu_ids.push_back(static_cast<int>(g));
+        if (static_cast<int>(p.gpu_ids.size()) == job.gpus_needed) return p;
+      }
+      return std::nullopt;
+    }
+    // Background: a free GPU makes a dedicated tenant; otherwise lend from
+    // the foreground GPU offering the best idle-phase rate (QoS-aware —
+    // the scheduler zeroes lend_rate where the bound would be broken).
+    for (std::size_t g = 0; g < gpus.size(); ++g) {
+      if (gpus[g].free()) return Placement{{static_cast<int>(g)}, false};
+    }
+    int best_gpu = -1;
+    double best_rate = 0.0;
+    for (std::size_t g = 0; g < gpus.size(); ++g) {
+      if (gpus[g].lend_rate > best_rate) {
+        best_rate = gpus[g].lend_rate;
+        best_gpu = static_cast<int>(g);
+      }
+    }
+    if (best_gpu < 0) return std::nullopt;
+    return Placement{{best_gpu}, true};
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<PlacementPolicy> make_policy(const std::string& name) {
+  if (name == "fifo_partition") return std::make_unique<FifoPartition>();
+  if (name == "best_fit") return std::make_unique<BestFit>();
+  if (name == "burst_lending") return std::make_unique<BurstLending>();
+  throw std::invalid_argument(
+      "unknown policy \"" + name +
+      "\"; supported: fifo_partition best_fit burst_lending");
+}
+
+std::vector<std::string> policy_names() {
+  return {"fifo_partition", "best_fit", "burst_lending"};
+}
+
+}  // namespace deeppool::sched

@@ -1,0 +1,88 @@
+// Pluggable placement policies for the multi-tenant cluster scheduler.
+//
+// A policy sees an abstract cluster view (per-GPU occupancy plus, for
+// lendable GPUs, the background progress rate lending would yield) and the
+// pending job queue, and decides which queued job to dispatch next and onto
+// which GPUs. Three policies ship:
+//
+//   fifo_partition — strict FIFO over dedicated GPU partitions; the head of
+//     the queue blocks everything behind it (the classic static-partition
+//     baseline of paper Fig. 10).
+//   best_fit      — dedicated partitions, but the dispatcher may backfill:
+//     among queued jobs that fit the free GPUs it picks the one leaving the
+//     least capacity idle (tightest packing), so small jobs slide into holes.
+//   burst_lending — best-effort multi-tenancy in the DeepPool style: besides
+//     backfilling, background jobs may be *lent* the idle phases of a
+//     foreground job's GPUs (QoS-aware: only where the projected foreground
+//     slowdown stays under the configured bound), and a foreground arrival
+//     reclaims GPUs occupied by dedicated background jobs.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace deeppool::sched {
+
+/// What a policy may know about one GPU.
+struct GpuView {
+  int fg_job = -1;  ///< id of the foreground job owning this GPU, -1 if none
+  int bg_job = -1;  ///< id of the background job on this GPU, -1 if none
+  /// Background progress rate (fraction of a dedicated GPU) a lent placement
+  /// on this GPU would get right now; 0 means lending is not allowed (no
+  /// foreground owner, a background tenant already present, or the QoS bound
+  /// would be violated). Filled in by the scheduler.
+  double lend_rate = 0.0;
+
+  bool free() const { return fg_job < 0 && bg_job < 0; }
+  /// A dedicated background job holds this GPU and no foreground does; a
+  /// lending policy may hand the GPU to an arriving foreground job.
+  bool reclaimable() const { return fg_job < 0 && bg_job >= 0; }
+};
+
+/// What a policy may know about one queued job.
+struct JobView {
+  int id = -1;
+  bool foreground = true;
+  int gpus_needed = 1;
+};
+
+/// A placement decision: the chosen GPUs, and whether a background job rides
+/// collocated on foreground-owned GPUs ("lent") instead of owning them.
+struct Placement {
+  std::vector<int> gpu_ids;
+  bool lent = false;
+};
+
+/// A dispatch decision: which queued job (index into the queue view) goes
+/// where.
+struct Decision {
+  int queue_index = -1;
+  Placement placement;
+};
+
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+  virtual const char* name() const = 0;
+  /// Whether jobs behind a blocked queue head may dispatch first.
+  virtual bool backfill() const = 0;
+  /// Whether this policy lends foreground idle-phase GPUs / reclaims
+  /// background-held GPUs on foreground demand.
+  virtual bool lending() const = 0;
+  /// Picks the next job to dispatch, or nullopt if nothing fits right now.
+  /// `queue` is in FIFO (arrival) order. Must be deterministic.
+  virtual std::optional<Decision> select(
+      const std::vector<JobView>& queue,
+      const std::vector<GpuView>& gpus) const = 0;
+};
+
+/// Factory: "fifo_partition" | "best_fit" | "burst_lending". Throws
+/// std::invalid_argument listing the known names on anything else.
+std::unique_ptr<PlacementPolicy> make_policy(const std::string& name);
+
+/// Names accepted by make_policy(), in documentation order.
+std::vector<std::string> policy_names();
+
+}  // namespace deeppool::sched

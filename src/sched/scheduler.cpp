@@ -1,0 +1,698 @@
+#include "sched/scheduler.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+#include "core/plan.h"
+#include "core/planner.h"
+#include "core/profile.h"
+#include "models/cost_model.h"
+#include "models/zoo.h"
+#include "net/network_model.h"
+#include "runtime/scenario_config.h"
+#include "sched/policies.h"
+#include "sim/simulator.h"
+#include "util/logging.h"
+#include "util/summary.h"
+
+namespace deeppool::sched {
+
+namespace {
+
+Json to_json_config(const ScheduleConfig& config) {
+  Json j;
+  j["num_gpus"] = Json(config.num_gpus);
+  j["policy"] = Json(config.policy);
+  j["qos_fg_slowdown"] = Json(config.qos_fg_slowdown);
+  j["network"] = Json(config.network);
+  j["pow2_only"] = Json(config.pow2_only);
+  j["mux"] = runtime::to_json(config.mux);
+  j["util_timeline_bins"] = Json(config.util_timeline_bins);
+  j["max_sim_time_s"] = Json(config.max_sim_time_s);
+  return j;
+}
+
+ScheduleConfig config_from_json(const Json& j) {
+  if (!j.is_object()) {
+    throw std::runtime_error("cluster config must be a JSON object");
+  }
+  ScheduleConfig config;
+  config.num_gpus = static_cast<int>(int_or(j, "num_gpus", config.num_gpus));
+  config.policy = str_or(j, "policy", config.policy);
+  config.qos_fg_slowdown =
+      num_or(j, "qos_fg_slowdown", config.qos_fg_slowdown);
+  config.network = str_or(j, "network", config.network);
+  config.pow2_only = bool_or(j, "pow2_only", config.pow2_only);
+  if (j.contains("mux")) {
+    config.mux = runtime::multiplex_config_from_json(j.at("mux"));
+  }
+  config.util_timeline_bins = static_cast<int>(
+      int_or(j, "util_timeline_bins", config.util_timeline_bins));
+  config.max_sim_time_s = num_or(j, "max_sim_time_s", config.max_sim_time_s);
+  return config;
+}
+
+void validate_config(const ScheduleConfig& config) {
+  if (config.num_gpus < 1) throw std::invalid_argument("num_gpus must be >= 1");
+  if (config.qos_fg_slowdown < 1.0) {
+    throw std::invalid_argument("qos_fg_slowdown must be >= 1.0");
+  }
+  if (config.util_timeline_bins < 1) {
+    throw std::invalid_argument("util_timeline_bins must be >= 1");
+  }
+  if (!(config.max_sim_time_s > 0.0)) {
+    throw std::invalid_argument("max_sim_time_s must be > 0");
+  }
+  make_policy(config.policy);                    // throws on unknown names
+  net::NetworkSpec::from_name(config.network);   // throws on unknown fabrics
+}
+
+/// A job's execution shape once resolved against the hardware model.
+struct Shape {
+  int gpus = 1;
+  double iso_iter_s = 0.0;  ///< isolated per-iteration time
+  double idle_frac = 0.0;   ///< lendable idle fraction of its GPUs (fg only)
+};
+
+constexpr double kRemainingEps = 1e-9;
+
+/// Event-driven fluid execution of one trace against one policy.
+class Engine {
+ public:
+  Engine(const WorkloadSpec& workload, const ScheduleConfig& config)
+      : config_(config),
+        policy_(make_policy(config.policy)),
+        cost_(models::DeviceSpec::a100()),
+        network_(net::NetworkSpec::from_name(config.network)),
+        interference_(fg_interference(config.mux)),
+        bg_eff_(bg_lend_efficiency(config.mux)),
+        gpus_(static_cast<std::size_t>(config.num_gpus)) {
+    specs_ = generate_workload(workload);
+    seed_ = workload.seed;
+  }
+
+  ScheduleResult run();
+
+ private:
+  struct Gpu {
+    int fg = -1;
+    int bg = -1;
+  };
+
+  enum class State { kPending, kQueued, kRunning, kDone };
+
+  struct Job {
+    JobSpec spec;
+    Shape shape;
+    State state = State::kPending;
+    std::vector<int> gpu_ids;
+    bool lent = false;
+    int host_fg = -1;
+    double remaining_iters = 0.0;
+    double rate = 0.0;  ///< iterations per second
+    double last_settle_s = 0.0;
+    sim::EventId completion = 0;
+    double start_s = -1.0;
+    double finish_s = -1.0;
+    int reclaims = 0;
+
+    bool foreground() const { return spec.qos == QosClass::kForeground; }
+  };
+
+  Shape resolve_shape(const JobSpec& spec);
+  void on_arrival(int id);
+  void on_complete(int id);
+  void try_dispatch();
+  void dispatch(int job_id, const Placement& placement);
+  void reclaim_tenant(int bg_id, int gpu, Job& incoming_fg, bool demote);
+  std::vector<GpuView> gpu_views() const;
+  int shared_gpus(const Job& fg) const;
+  void settle(Job& job);
+  void set_rate(Job& job);
+  void update_util();
+  double cluster_busy() const;
+  void check_invariants();
+  ScheduleResult finalize();
+
+  ScheduleConfig config_;
+  std::unique_ptr<PlacementPolicy> policy_;
+  models::CostModel cost_;
+  net::NetworkModel network_;
+  double interference_;
+  double bg_eff_;
+
+  sim::Simulator sim_;
+  std::vector<JobSpec> specs_;
+  std::uint64_t seed_ = 0;
+  std::vector<Job> jobs_;
+  std::vector<int> queue_;  ///< pending job ids, dispatch order
+  std::vector<Gpu> gpus_;
+  std::map<std::string, Shape> shape_cache_;
+
+  int lends_ = 0;
+  int reclaims_ = 0;
+  int max_jobs_per_gpu_ = 0;
+
+  double busy_ = 0.0;         ///< current busy-GPU total (0..num_gpus)
+  double util_last_t_ = 0.0;
+  double util_integral_ = 0.0;
+  std::vector<std::pair<double, double>> util_steps_;  ///< (t, busy fraction)
+};
+
+Shape Engine::resolve_shape(const JobSpec& spec) {
+  const bool fg = spec.qos == QosClass::kForeground;
+  const std::string key = spec.model + "|" +
+                          std::to_string(spec.global_batch) + "|" +
+                          std::to_string(spec.amp_limit) + "|" +
+                          (fg ? "fg" : "bg");
+  const auto it = shape_cache_.find(key);
+  if (it != shape_cache_.end()) return it->second;
+
+  const models::ModelGraph model = models::zoo::by_name(spec.model);
+  Shape shape;
+  if (fg) {
+    const core::ProfileSet profiles(
+        model, cost_, network_,
+        core::ProfileOptions{config_.num_gpus, spec.global_batch,
+                             config_.pow2_only});
+    const core::TrainingPlan plan =
+        core::Planner(profiles).plan({spec.amp_limit});
+    shape.gpus = std::max(1, plan.peak_gpus());
+    shape.iso_iter_s = plan.est_iteration_s;
+    // The slack DeepPool lends: fraction of the job's GPU-time reservation
+    // its bursty plan leaves idle each iteration.
+    const double reserved = static_cast<double>(shape.gpus) * shape.iso_iter_s;
+    if (reserved > 0.0) {
+      shape.idle_frac =
+          std::clamp(1.0 - plan.gpu_sec() / reserved, 0.0, 0.95);
+    }
+  } else {
+    const core::ProfileSet profiles(
+        model, cost_, network_,
+        core::ProfileOptions{1, spec.global_batch, true});
+    shape.gpus = 1;
+    shape.iso_iter_s = core::data_parallel_plan(profiles, 1).est_iteration_s;
+  }
+  if (!(shape.iso_iter_s > 0.0)) {
+    throw std::runtime_error("resolved zero iteration time for model \"" +
+                             spec.model + "\"");
+  }
+  shape_cache_.emplace(key, shape);
+  return shape;
+}
+
+int Engine::shared_gpus(const Job& fg) const {
+  int shared = 0;
+  for (int g : fg.gpu_ids) {
+    if (gpus_[static_cast<std::size_t>(g)].bg >= 0) ++shared;
+  }
+  return shared;
+}
+
+std::vector<GpuView> Engine::gpu_views() const {
+  std::vector<GpuView> views(gpus_.size());
+  for (std::size_t g = 0; g < gpus_.size(); ++g) {
+    views[g].fg_job = gpus_[g].fg;
+    views[g].bg_job = gpus_[g].bg;
+    if (!policy_->lending()) continue;
+    if (gpus_[g].fg < 0 || gpus_[g].bg >= 0) continue;
+    const Job& fg = jobs_[static_cast<std::size_t>(gpus_[g].fg)];
+    const double projected =
+        1.0 + interference_ * static_cast<double>(shared_gpus(fg) + 1) /
+                  static_cast<double>(fg.shape.gpus);
+    const double rate = fg.shape.idle_frac * bg_eff_;
+    if (rate > 0.0 && projected <= config_.qos_fg_slowdown) {
+      views[g].lend_rate = rate;
+    }
+  }
+  return views;
+}
+
+void Engine::settle(Job& job) {
+  const double now = sim_.now();
+  job.remaining_iters =
+      std::max(0.0, job.remaining_iters - (now - job.last_settle_s) * job.rate);
+  job.last_settle_s = now;
+}
+
+void Engine::set_rate(Job& job) {
+  settle(job);
+  if (job.state != State::kRunning) {
+    job.rate = 0.0;
+    return;
+  }
+  if (job.foreground()) {
+    const double slowdown =
+        1.0 + interference_ * static_cast<double>(shared_gpus(job)) /
+                  static_cast<double>(job.shape.gpus);
+    job.rate = 1.0 / (job.shape.iso_iter_s * slowdown);
+  } else if (job.lent) {
+    const Job& host = jobs_[static_cast<std::size_t>(job.host_fg)];
+    job.rate = host.shape.idle_frac * bg_eff_ / job.shape.iso_iter_s;
+  } else {
+    job.rate = 1.0 / job.shape.iso_iter_s;
+  }
+  if (job.completion != 0) {
+    sim_.cancel(job.completion);
+    job.completion = 0;
+  }
+  if (job.rate > 0.0) {
+    const double eta =
+        job.remaining_iters <= kRemainingEps ? 0.0
+                                             : job.remaining_iters / job.rate;
+    const int id = job.spec.id;
+    job.completion =
+        sim_.schedule_after(eta, [this, id] { on_complete(id); });
+  }
+}
+
+void Engine::reclaim_tenant(int bg_id, int gpu, Job& incoming_fg,
+                            bool demote) {
+  Job& bg = jobs_[static_cast<std::size_t>(bg_id)];
+  settle(bg);
+  if (demote) {
+    // The tenant stays on its GPU, collocated under the arriving foreground
+    // job at idle-phase rate. Rates are recomputed by the caller once the
+    // foreground occupies its GPUs.
+    bg.lent = true;
+    bg.host_fg = incoming_fg.spec.id;
+  } else {
+    // Evict: progress is preserved, the job re-queues at the front.
+    if (bg.completion != 0) {
+      sim_.cancel(bg.completion);
+      bg.completion = 0;
+    }
+    gpus_[static_cast<std::size_t>(gpu)].bg = -1;
+    bg.state = State::kQueued;
+    bg.gpu_ids.clear();
+    bg.lent = false;
+    bg.host_fg = -1;
+    bg.rate = 0.0;
+    queue_.insert(queue_.begin(), bg_id);
+  }
+  ++bg.reclaims;
+  ++reclaims_;
+}
+
+void Engine::dispatch(int job_id, const Placement& placement) {
+  Job& job = jobs_[static_cast<std::size_t>(job_id)];
+  const double now = sim_.now();
+  if (job.foreground()) {
+    // Reclaim dedicated background tenants standing on the chosen GPUs:
+    // demote to collocated where the QoS bound and a non-zero lending rate
+    // allow it, evict back to the queue otherwise.
+    int kept = 0;
+    for (int g : placement.gpu_ids) {
+      const int b = gpus_[static_cast<std::size_t>(g)].bg;
+      if (b < 0) continue;
+      const double projected =
+          1.0 + interference_ * static_cast<double>(kept + 1) /
+                    static_cast<double>(job.shape.gpus);
+      const double rate = job.shape.idle_frac * bg_eff_;
+      const bool demote =
+          rate > 0.0 && projected <= config_.qos_fg_slowdown;
+      reclaim_tenant(b, g, job, demote);
+      if (demote) ++kept;
+    }
+    for (int g : placement.gpu_ids) {
+      gpus_[static_cast<std::size_t>(g)].fg = job_id;
+    }
+  } else {
+    const int g = placement.gpu_ids.front();
+    gpus_[static_cast<std::size_t>(g)].bg = job_id;
+    job.lent = placement.lent;
+    job.host_fg = placement.lent ? gpus_[static_cast<std::size_t>(g)].fg : -1;
+    if (placement.lent) ++lends_;
+  }
+  job.state = State::kRunning;
+  job.gpu_ids = placement.gpu_ids;
+  if (job.start_s < 0.0) job.start_s = now;
+  job.last_settle_s = now;
+  set_rate(job);
+  if (job.foreground()) {
+    // Demoted tenants and collocation change the rates on these GPUs.
+    for (int g : job.gpu_ids) {
+      const int b = gpus_[static_cast<std::size_t>(g)].bg;
+      if (b >= 0) set_rate(jobs_[static_cast<std::size_t>(b)]);
+    }
+  } else if (job.lent) {
+    set_rate(jobs_[static_cast<std::size_t>(job.host_fg)]);
+  }
+}
+
+void Engine::try_dispatch() {
+  for (;;) {
+    if (queue_.empty()) break;
+    std::vector<JobView> queue_views;
+    queue_views.reserve(queue_.size());
+    for (int id : queue_) {
+      const Job& job = jobs_[static_cast<std::size_t>(id)];
+      queue_views.push_back(
+          JobView{id, job.foreground(), job.shape.gpus});
+    }
+    const auto decision = policy_->select(queue_views, gpu_views());
+    if (!decision) break;
+    const int job_id = queue_[static_cast<std::size_t>(decision->queue_index)];
+    queue_.erase(queue_.begin() + decision->queue_index);
+    dispatch(job_id, decision->placement);
+  }
+  update_util();
+  check_invariants();
+}
+
+void Engine::on_arrival(int id) {
+  jobs_[static_cast<std::size_t>(id)].state = State::kQueued;
+  queue_.push_back(id);
+  try_dispatch();
+}
+
+void Engine::on_complete(int id) {
+  Job& job = jobs_[static_cast<std::size_t>(id)];
+  settle(job);
+  job.remaining_iters = 0.0;
+  job.state = State::kDone;
+  job.finish_s = sim_.now();
+  job.completion = 0;
+  job.rate = 0.0;
+  if (job.foreground()) {
+    for (int g : job.gpu_ids) {
+      gpus_[static_cast<std::size_t>(g)].fg = -1;
+      const int b = gpus_[static_cast<std::size_t>(g)].bg;
+      if (b >= 0) {
+        // Promote the lent tenant: the GPU is now fully its own.
+        Job& bg = jobs_[static_cast<std::size_t>(b)];
+        bg.lent = false;
+        bg.host_fg = -1;
+        set_rate(bg);
+      }
+    }
+  } else {
+    const int g = job.gpu_ids.front();
+    gpus_[static_cast<std::size_t>(g)].bg = -1;
+    const int f = gpus_[static_cast<std::size_t>(g)].fg;
+    if (f >= 0) set_rate(jobs_[static_cast<std::size_t>(f)]);
+  }
+  job.gpu_ids.clear();
+  try_dispatch();
+}
+
+double Engine::cluster_busy() const {
+  double busy = 0.0;
+  for (const Gpu& gpu : gpus_) {
+    if (gpu.fg >= 0) {
+      const Job& fg = jobs_[static_cast<std::size_t>(gpu.fg)];
+      double u = 1.0 - fg.shape.idle_frac;
+      if (gpu.bg >= 0) {
+        u = std::min(1.0, u + fg.shape.idle_frac * bg_eff_);
+      }
+      busy += u;
+    } else if (gpu.bg >= 0) {
+      busy += 1.0;
+    }
+  }
+  return busy;
+}
+
+void Engine::update_util() {
+  const double now = sim_.now();
+  util_integral_ += busy_ * (now - util_last_t_);
+  util_last_t_ = now;
+  busy_ = cluster_busy();
+  const double frac = busy_ / static_cast<double>(config_.num_gpus);
+  if (!util_steps_.empty() && util_steps_.back().first == now) {
+    util_steps_.back().second = frac;
+  } else {
+    util_steps_.emplace_back(now, frac);
+  }
+}
+
+void Engine::check_invariants() {
+  for (std::size_t g = 0; g < gpus_.size(); ++g) {
+    const Gpu& gpu = gpus_[g];
+    int occupancy = 0;
+    if (gpu.fg >= 0) {
+      ++occupancy;
+      const Job& fg = jobs_[static_cast<std::size_t>(gpu.fg)];
+      if (fg.state != State::kRunning ||
+          std::find(fg.gpu_ids.begin(), fg.gpu_ids.end(),
+                    static_cast<int>(g)) == fg.gpu_ids.end()) {
+        throw std::logic_error("scheduler invariant: stale fg owner on GPU " +
+                               std::to_string(g));
+      }
+    }
+    if (gpu.bg >= 0) {
+      ++occupancy;
+      const Job& bg = jobs_[static_cast<std::size_t>(gpu.bg)];
+      if (bg.state != State::kRunning || bg.gpu_ids.size() != 1 ||
+          bg.gpu_ids.front() != static_cast<int>(g)) {
+        throw std::logic_error("scheduler invariant: stale bg tenant on GPU " +
+                               std::to_string(g));
+      }
+      if (gpu.fg >= 0 && (!bg.lent || bg.host_fg != gpu.fg)) {
+        throw std::logic_error(
+            "scheduler invariant: collocated bg is not lent to its host on "
+            "GPU " +
+            std::to_string(g));
+      }
+      if (gpu.fg < 0 && bg.lent) {
+        throw std::logic_error(
+            "scheduler invariant: lent bg without a foreground host on GPU " +
+            std::to_string(g));
+      }
+    }
+    max_jobs_per_gpu_ = std::max(max_jobs_per_gpu_, occupancy);
+  }
+}
+
+ScheduleResult Engine::run() {
+  jobs_.reserve(specs_.size());
+  for (const JobSpec& spec : specs_) {
+    Job job;
+    job.spec = spec;
+    job.shape = resolve_shape(spec);
+    job.remaining_iters = static_cast<double>(spec.iterations);
+    jobs_.push_back(std::move(job));
+  }
+  for (const Job& job : jobs_) {
+    const int id = job.spec.id;
+    sim_.schedule_at(job.spec.arrival_s, [this, id] { on_arrival(id); });
+  }
+  sim_.run(config_.max_sim_time_s);
+  for (const Job& job : jobs_) {
+    if (job.state != State::kDone) {
+      throw std::runtime_error(
+          "schedule did not complete: job " + std::to_string(job.spec.id) +
+          " still " +
+          (job.state == State::kRunning ? "running" : "queued") +
+          " at t=" + std::to_string(sim_.now()) + "s (max_sim_time_s=" +
+          std::to_string(config_.max_sim_time_s) + ")");
+    }
+  }
+  return finalize();
+}
+
+ScheduleResult Engine::finalize() {
+  ScheduleResult result;
+  result.policy = config_.policy;
+  result.seed = seed_;
+
+  Summary fg_slow, bg_slow, delays;
+  double makespan = 0.0;
+  double total_samples = 0.0;
+  for (const Job& job : jobs_) {
+    JobOutcome out;
+    out.id = job.spec.id;
+    out.model = job.spec.model;
+    out.qos = job.spec.qos;
+    out.gpus = job.shape.gpus;
+    out.arrival_s = job.spec.arrival_s;
+    out.start_s = job.start_s;
+    out.finish_s = job.finish_s;
+    out.queue_delay_s = job.start_s - job.spec.arrival_s;
+    out.jct_s = job.finish_s - job.spec.arrival_s;
+    out.isolated_run_s =
+        static_cast<double>(job.spec.iterations) * job.shape.iso_iter_s;
+    out.slowdown = (job.finish_s - job.start_s) / out.isolated_run_s;
+    out.samples = static_cast<double>(job.spec.iterations) *
+                  static_cast<double>(job.spec.global_batch);
+    out.reclaims = job.reclaims;
+
+    (job.foreground() ? fg_slow : bg_slow).add(out.slowdown);
+    delays.add(out.queue_delay_s);
+    makespan = std::max(makespan, job.finish_s);
+    total_samples += out.samples;
+    if (job.foreground()) ++result.fleet.fg_jobs;
+    else ++result.fleet.bg_jobs;
+    result.jobs.push_back(std::move(out));
+  }
+
+  FleetMetrics& fleet = result.fleet;
+  fleet.makespan_s = makespan;
+  fleet.jobs_completed = static_cast<int>(jobs_.size());
+  fleet.goodput_samples_per_s = makespan > 0.0 ? total_samples / makespan : 0.0;
+  if (!fg_slow.empty()) {
+    fleet.fg_mean_slowdown = fg_slow.mean();
+    fleet.fg_p95_slowdown = fg_slow.percentile(95.0);
+  }
+  if (!bg_slow.empty()) fleet.bg_mean_slowdown = bg_slow.mean();
+  if (!delays.empty()) {
+    fleet.mean_queue_delay_s = delays.mean();
+    fleet.p95_queue_delay_s = delays.percentile(95.0);
+  }
+  fleet.lends = lends_;
+  fleet.reclaims = reclaims_;
+  fleet.max_jobs_per_gpu = max_jobs_per_gpu_;
+  fleet.qos_met = fleet.fg_p95_slowdown <= config_.qos_fg_slowdown;
+
+  // Close the utilization integral at the makespan and bin the step curve.
+  util_integral_ += busy_ * (makespan - util_last_t_);
+  if (makespan > 0.0) {
+    fleet.gpu_utilization =
+        util_integral_ / (static_cast<double>(config_.num_gpus) * makespan);
+    const int nbins = config_.util_timeline_bins;
+    const double width = makespan / static_cast<double>(nbins);
+    std::vector<double> bins(static_cast<std::size_t>(nbins), 0.0);
+    for (std::size_t i = 0; i < util_steps_.size(); ++i) {
+      const double seg_lo = util_steps_[i].first;
+      const double seg_hi = i + 1 < util_steps_.size()
+                                ? util_steps_[i + 1].first
+                                : makespan;
+      const double value = util_steps_[i].second;
+      if (seg_hi <= seg_lo) continue;
+      const int first = std::clamp(
+          static_cast<int>(seg_lo / width), 0, nbins - 1);
+      const int last = std::clamp(
+          static_cast<int>((seg_hi - 1e-12) / width), 0, nbins - 1);
+      for (int b = first; b <= last; ++b) {
+        const double lo = std::max(seg_lo, width * b);
+        const double hi = std::min(seg_hi, width * (b + 1));
+        if (hi > lo) bins[static_cast<std::size_t>(b)] += value * (hi - lo);
+      }
+    }
+    for (double& b : bins) b /= width;
+    fleet.util_timeline = std::move(bins);
+  }
+
+  DP_INFO << "schedule done: policy=" << result.policy
+          << " jobs=" << fleet.jobs_completed
+          << " goodput=" << fleet.goodput_samples_per_s
+          << " fg_p95_slowdown=" << fleet.fg_p95_slowdown
+          << " util=" << fleet.gpu_utilization;
+  return result;
+}
+
+}  // namespace
+
+double fg_interference(const runtime::MultiplexConfig& mux) {
+  double f = 0.45;  // naive collocation (every Fig.-11 mechanism off)
+  if (mux.cuda_graphs) f *= 0.55;
+  if (mux.stream_priorities && mux.fg_priority > mux.bg_priority) f *= 0.45;
+  if (mux.pacing_limit > 0) f *= 0.55;
+  if (mux.slowdown_feedback) f *= 0.75;
+  return f;
+}
+
+double bg_lend_efficiency(const runtime::MultiplexConfig& mux) {
+  return mux.cuda_graphs ? 0.85 : 0.7;
+}
+
+ScheduleResult run_schedule(const WorkloadSpec& workload,
+                            const ScheduleConfig& config) {
+  validate_config(config);
+  Engine engine(workload, config);
+  return engine.run();
+}
+
+ScheduleResult run_schedule(const ScheduleSpec& spec) {
+  return run_schedule(spec.workload, spec.config);
+}
+
+ScheduleSpec schedule_spec_from_json(const Json& j) {
+  if (!j.is_object()) {
+    throw std::runtime_error("ScheduleSpec must be a JSON object");
+  }
+  const std::string kind = runtime::spec_kind(j);
+  if (kind != "schedule" && j.contains("kind")) {
+    throw std::runtime_error("spec kind \"" + kind +
+                             "\" is not a schedule spec");
+  }
+  // A plain scenario file (or arbitrary JSON) must not silently run as an
+  // all-defaults schedule: demand the tag or an explicit workload block.
+  if (!j.contains("kind") && !j.contains("workload")) {
+    throw std::runtime_error(
+        "not a schedule spec: expected \"kind\": \"schedule\" or a "
+        "\"workload\" block");
+  }
+  ScheduleSpec spec;
+  spec.name = str_or(j, "name", spec.name);
+  if (j.contains("workload")) {
+    spec.workload = workload_spec_from_json(j.at("workload"));
+  }
+  if (j.contains("cluster")) {
+    spec.config = config_from_json(j.at("cluster"));
+  }
+  validate_config(spec.config);
+  return spec;
+}
+
+Json to_json(const ScheduleSpec& spec) {
+  Json j;
+  j["kind"] = Json("schedule");
+  j["name"] = Json(spec.name);
+  j["workload"] = to_json(spec.workload);
+  j["cluster"] = to_json_config(spec.config);
+  return j;
+}
+
+Json to_json(const JobOutcome& job) {
+  Json j;
+  j["id"] = Json(job.id);
+  j["model"] = Json(job.model);
+  j["qos"] = Json(to_string(job.qos));
+  j["gpus"] = Json(job.gpus);
+  j["arrival_s"] = Json(job.arrival_s);
+  j["start_s"] = Json(job.start_s);
+  j["finish_s"] = Json(job.finish_s);
+  j["queue_delay_s"] = Json(job.queue_delay_s);
+  j["jct_s"] = Json(job.jct_s);
+  j["isolated_run_s"] = Json(job.isolated_run_s);
+  j["slowdown"] = Json(job.slowdown);
+  j["samples"] = Json(job.samples);
+  j["reclaims"] = Json(job.reclaims);
+  return j;
+}
+
+Json to_json(const ScheduleResult& result) {
+  Json j;
+  j["policy"] = Json(result.policy);
+  j["seed"] = Json(static_cast<std::int64_t>(result.seed));
+  Json fleet;
+  const FleetMetrics& f = result.fleet;
+  fleet["makespan_s"] = Json(f.makespan_s);
+  fleet["goodput_samples_per_s"] = Json(f.goodput_samples_per_s);
+  fleet["fg_mean_slowdown"] = Json(f.fg_mean_slowdown);
+  fleet["fg_p95_slowdown"] = Json(f.fg_p95_slowdown);
+  fleet["bg_mean_slowdown"] = Json(f.bg_mean_slowdown);
+  fleet["mean_queue_delay_s"] = Json(f.mean_queue_delay_s);
+  fleet["p95_queue_delay_s"] = Json(f.p95_queue_delay_s);
+  fleet["gpu_utilization"] = Json(f.gpu_utilization);
+  Json::Array timeline;
+  for (double u : f.util_timeline) timeline.push_back(Json(u));
+  fleet["util_timeline"] = Json(std::move(timeline));
+  fleet["jobs_completed"] = Json(f.jobs_completed);
+  fleet["fg_jobs"] = Json(f.fg_jobs);
+  fleet["bg_jobs"] = Json(f.bg_jobs);
+  fleet["lends"] = Json(f.lends);
+  fleet["reclaims"] = Json(f.reclaims);
+  fleet["max_jobs_per_gpu"] = Json(f.max_jobs_per_gpu);
+  fleet["qos_met"] = Json(f.qos_met);
+  j["fleet"] = std::move(fleet);
+  Json::Array jobs;
+  for (const JobOutcome& job : result.jobs) jobs.push_back(to_json(job));
+  j["jobs"] = Json(std::move(jobs));
+  return j;
+}
+
+}  // namespace deeppool::sched

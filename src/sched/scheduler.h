@@ -1,0 +1,121 @@
+// Multi-tenant cluster scheduler: jobs arrive, queue, run, and depart.
+//
+// Layered on the sim::Simulator event core. Each arriving job is resolved
+// into a concrete execution shape with the same machinery the CLI's `plan`
+// subcommand uses: foreground jobs get a burst-parallel TrainingPlan from
+// core::Planner (GPU demand = peak_gpus, isolated iteration time = the
+// planner's critical-path estimate, idle fraction = 1 - GPUsec/(peak*iter) —
+// the very slack DeepPool lends out), background jobs get the single-GPU
+// data-parallel profile. Execution is fluid: a running job progresses at
+// 1/(iso_iter * slowdown) iterations per second, where slowdown follows the
+// current sharing state and the MultiplexConfig (each Fig.-11 mechanism that
+// is enabled shrinks the collocation interference). Placement is delegated
+// to a pluggable policy (policies.h); per-job and fleet metrics aggregate
+// through util/summary.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/multiplex.h"
+#include "sched/workload.h"
+#include "util/json.h"
+
+namespace deeppool::sched {
+
+/// Cluster + policy knobs (JSON key: "cluster").
+struct ScheduleConfig {
+  int num_gpus = 16;
+  std::string policy = "burst_lending";
+  /// QoS bound: lending is refused where the projected foreground slowdown
+  /// would exceed this factor; fleet metrics report compliance against it.
+  double qos_fg_slowdown = 1.25;
+  std::string network = "nvswitch";  ///< net::NetworkSpec::from_name()
+  bool pow2_only = true;             ///< planner profile candidates
+  runtime::MultiplexConfig mux;      ///< informs interference factors
+  int util_timeline_bins = 24;       ///< GPU-utilization timeline resolution
+  double max_sim_time_s = 1e6;       ///< hard safety cap
+};
+
+/// Per-job record in the result.
+struct JobOutcome {
+  int id = -1;
+  std::string model;
+  QosClass qos = QosClass::kForeground;
+  int gpus = 1;               ///< GPUs the job occupies while running
+  double arrival_s = 0.0;
+  double start_s = 0.0;       ///< first dispatch
+  double finish_s = 0.0;
+  double queue_delay_s = 0.0; ///< start - arrival
+  double jct_s = 0.0;         ///< finish - arrival
+  double isolated_run_s = 0.0;///< iterations * isolated iteration time
+  double slowdown = 1.0;      ///< (finish - start) / isolated_run_s
+  double samples = 0.0;       ///< iterations * batch (goodput contribution)
+  int reclaims = 0;           ///< times this bg job lost its dedicated GPU
+};
+
+/// Fleet-wide aggregates over one schedule run.
+struct FleetMetrics {
+  double makespan_s = 0.0;
+  double goodput_samples_per_s = 0.0;  ///< total samples / makespan
+  double fg_mean_slowdown = 1.0;
+  double fg_p95_slowdown = 1.0;
+  double bg_mean_slowdown = 1.0;
+  double mean_queue_delay_s = 0.0;
+  double p95_queue_delay_s = 0.0;
+  double gpu_utilization = 0.0;        ///< busy-GPU fraction over makespan
+  std::vector<double> util_timeline;   ///< per-bin mean busy fraction
+  int jobs_completed = 0;
+  int fg_jobs = 0;
+  int bg_jobs = 0;
+  int lends = 0;      ///< background placements onto foreground GPUs
+  int reclaims = 0;   ///< bg demotions/evictions on foreground demand
+  int max_jobs_per_gpu = 0;  ///< never exceeds 2 (one fg + one bg)
+  bool qos_met = true;       ///< fg_p95_slowdown <= qos_fg_slowdown
+};
+
+struct ScheduleResult {
+  std::string policy;
+  std::uint64_t seed = 0;
+  std::vector<JobOutcome> jobs;  // id order
+  FleetMetrics fleet;
+};
+
+/// A full experiment: trace spec + cluster/policy config.
+struct ScheduleSpec {
+  std::string name = "schedule";
+  WorkloadSpec workload;
+  ScheduleConfig config;
+};
+
+/// Parses {"kind": "schedule", "name": ..., "workload": {...},
+/// "cluster": {...}}. kind may be omitted only when a "workload" block is
+/// present; any other kind throws. Unknown keys are ignored, bad values
+/// throw (std::invalid_argument / std::runtime_error).
+ScheduleSpec schedule_spec_from_json(const Json& j);
+Json to_json(const ScheduleSpec& spec);
+
+Json to_json(const JobOutcome& job);
+Json to_json(const ScheduleResult& result);
+
+/// Collocation interference factor the MultiplexConfig implies: the
+/// fractional foreground slowdown from one background tenant on all of the
+/// job's GPUs. Each enabled mechanism (CUDA graphs, stream priorities,
+/// launch pacing, slowdown feedback) shrinks it, mirroring the Fig. 11
+/// ladder from naive collocation (~0.45) down to full DeepPool (~0.05).
+double fg_interference(const runtime::MultiplexConfig& mux);
+
+/// Fraction of a dedicated GPU's rate a lent background tenant achieves per
+/// unit of foreground idle time (graph launches batch bg work efficiently).
+double bg_lend_efficiency(const runtime::MultiplexConfig& mux);
+
+/// Runs the whole trace to completion. Deterministic: the same workload and
+/// config produce a byte-identical to_json(result) dump. Throws
+/// std::invalid_argument on bad specs and std::runtime_error if jobs cannot
+/// finish within max_sim_time_s.
+ScheduleResult run_schedule(const WorkloadSpec& workload,
+                            const ScheduleConfig& config);
+ScheduleResult run_schedule(const ScheduleSpec& spec);
+
+}  // namespace deeppool::sched

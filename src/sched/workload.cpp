@@ -1,0 +1,237 @@
+#include "sched/workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "models/zoo.h"
+#include "util/rng.h"
+
+namespace deeppool::sched {
+
+namespace {
+
+void validate_mix(const std::vector<ModelMixEntry>& mix, const char* what) {
+  if (mix.empty()) {
+    throw std::invalid_argument(std::string(what) + " must not be empty");
+  }
+  double total = 0.0;
+  for (const ModelMixEntry& e : mix) {
+    if (!(e.weight > 0.0)) {
+      throw std::invalid_argument(std::string(what) + " entry \"" + e.model +
+                                  "\": weight must be > 0");
+    }
+    if (e.global_batch < 1) {
+      throw std::invalid_argument(std::string(what) + " entry \"" + e.model +
+                                  "\": global_batch must be >= 1");
+    }
+    models::zoo::by_name(e.model);  // throws on unknown model names
+    total += e.weight;
+  }
+  if (!(total > 0.0)) {
+    throw std::invalid_argument(std::string(what) + ": zero total weight");
+  }
+}
+
+/// Weighted draw; `u` uniform in [0, 1).
+const ModelMixEntry& draw_mix(const std::vector<ModelMixEntry>& mix,
+                              double u) {
+  double total = 0.0;
+  for (const ModelMixEntry& e : mix) total += e.weight;
+  double cut = u * total;
+  for (const ModelMixEntry& e : mix) {
+    cut -= e.weight;
+    if (cut < 0.0) return e;
+  }
+  return mix.back();
+}
+
+}  // namespace
+
+const char* to_string(QosClass qos) {
+  return qos == QosClass::kForeground ? "foreground" : "background";
+}
+
+void validate(const WorkloadSpec& spec) {
+  if (spec.arrival == "poisson") {
+    if (!(spec.rate_per_s > 0.0)) {
+      throw std::invalid_argument("poisson arrivals need rate_per_s > 0");
+    }
+  } else if (spec.arrival == "fixed") {
+    if (!(spec.interval_s > 0.0)) {
+      throw std::invalid_argument("fixed arrivals need interval_s > 0");
+    }
+  } else if (spec.arrival == "trace") {
+    if (spec.arrival_times.empty()) {
+      throw std::invalid_argument("trace arrivals need arrival_times");
+    }
+    double prev = 0.0;
+    for (double t : spec.arrival_times) {
+      if (!(t >= prev)) {
+        throw std::invalid_argument(
+            "arrival_times must be non-negative and sorted ascending");
+      }
+      prev = t;
+    }
+  } else {
+    throw std::invalid_argument("unknown arrival process \"" + spec.arrival +
+                                "\" (expected poisson | fixed | trace)");
+  }
+  if (spec.arrival != "trace" && spec.num_jobs < 1) {
+    throw std::invalid_argument("num_jobs must be >= 1");
+  }
+  if (spec.bg_fraction < 0.0 || spec.bg_fraction > 1.0) {
+    throw std::invalid_argument("bg_fraction must be in [0, 1]");
+  }
+  if (spec.min_iterations < 1 || spec.max_iterations < spec.min_iterations) {
+    throw std::invalid_argument(
+        "iteration bounds need 1 <= min_iterations <= max_iterations");
+  }
+  // A mix is only consulted for the classes that can actually occur.
+  if (spec.bg_fraction < 1.0) validate_mix(spec.fg_mix, "fg_mix");
+  if (spec.bg_fraction > 0.0) validate_mix(spec.bg_mix, "bg_mix");
+}
+
+std::vector<JobSpec> generate_workload(const WorkloadSpec& spec) {
+  validate(spec);
+  Pcg32 rng(spec.seed);
+
+  std::vector<double> arrivals;
+  if (spec.arrival == "trace") {
+    arrivals = spec.arrival_times;
+  } else if (spec.arrival == "fixed") {
+    arrivals.reserve(static_cast<std::size_t>(spec.num_jobs));
+    for (int i = 0; i < spec.num_jobs; ++i) {
+      arrivals.push_back(static_cast<double>(i) * spec.interval_s);
+    }
+  } else {  // poisson: exponential inter-arrival gaps
+    arrivals.reserve(static_cast<std::size_t>(spec.num_jobs));
+    double t = 0.0;
+    for (int i = 0; i < spec.num_jobs; ++i) {
+      t += -std::log(1.0 - rng.uniform()) / spec.rate_per_s;
+      arrivals.push_back(t);
+    }
+  }
+
+  std::vector<JobSpec> jobs;
+  jobs.reserve(arrivals.size());
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    JobSpec job;
+    job.id = static_cast<int>(i);
+    job.arrival_s = arrivals[i];
+    job.qos = rng.uniform() < spec.bg_fraction ? QosClass::kBackground
+                                               : QosClass::kForeground;
+    const auto& mix =
+        job.qos == QosClass::kForeground ? spec.fg_mix : spec.bg_mix;
+    const ModelMixEntry& entry = draw_mix(mix, rng.uniform());
+    job.model = entry.model;
+    job.global_batch = entry.global_batch;
+    job.amp_limit = entry.amp_limit;
+    const std::uint32_t span = static_cast<std::uint32_t>(
+        spec.max_iterations - spec.min_iterations + 1);
+    job.iterations = spec.min_iterations +
+                     static_cast<int>(span > 1 ? rng.bounded(span) : 0);
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+WorkloadSpec reference_poisson_mix() {
+  WorkloadSpec w;
+  w.arrival = "poisson";
+  w.rate_per_s = 2.5;
+  w.num_jobs = 24;
+  w.seed = 42;
+  w.bg_fraction = 0.5;
+  w.min_iterations = 150;
+  w.max_iterations = 400;
+  w.fg_mix = {{"vgg16", 2.0, 32, 2.0},
+              {"wide_resnet101_2", 1.0, 16, 2.0},
+              {"inception_v3", 1.0, 32, 0.0}};
+  w.bg_mix = {{"resnet50", 2.0, 16, 0.0}, {"vgg16", 1.0, 8, 0.0}};
+  return w;
+}
+
+Json to_json(const ModelMixEntry& entry) {
+  Json j;
+  j["model"] = Json(entry.model);
+  j["weight"] = Json(entry.weight);
+  j["global_batch"] = Json(entry.global_batch);
+  j["amp_limit"] = Json(entry.amp_limit);
+  return j;
+}
+
+ModelMixEntry model_mix_entry_from_json(const Json& j) {
+  if (!j.is_object()) {
+    throw std::runtime_error("model-mix entry must be a JSON object");
+  }
+  ModelMixEntry entry;
+  entry.model = str_or(j, "model", entry.model);
+  entry.weight = num_or(j, "weight", entry.weight);
+  entry.global_batch = int_or(j, "global_batch", entry.global_batch);
+  entry.amp_limit = num_or(j, "amp_limit", entry.amp_limit);
+  return entry;
+}
+
+Json to_json(const WorkloadSpec& spec) {
+  Json j;
+  j["arrival"] = Json(spec.arrival);
+  j["rate_per_s"] = Json(spec.rate_per_s);
+  j["interval_s"] = Json(spec.interval_s);
+  if (!spec.arrival_times.empty()) {
+    Json::Array times;
+    for (double t : spec.arrival_times) times.push_back(Json(t));
+    j["arrival_times"] = Json(std::move(times));
+  }
+  j["num_jobs"] = Json(static_cast<std::int64_t>(spec.num_jobs));
+  j["seed"] = Json(static_cast<std::int64_t>(spec.seed));
+  j["bg_fraction"] = Json(spec.bg_fraction);
+  j["min_iterations"] = Json(spec.min_iterations);
+  j["max_iterations"] = Json(spec.max_iterations);
+  Json::Array fg, bg;
+  for (const ModelMixEntry& e : spec.fg_mix) fg.push_back(to_json(e));
+  for (const ModelMixEntry& e : spec.bg_mix) bg.push_back(to_json(e));
+  j["fg_mix"] = Json(std::move(fg));
+  j["bg_mix"] = Json(std::move(bg));
+  return j;
+}
+
+WorkloadSpec workload_spec_from_json(const Json& j) {
+  if (!j.is_object()) {
+    throw std::runtime_error("WorkloadSpec must be a JSON object");
+  }
+  WorkloadSpec spec;
+  spec.arrival = str_or(j, "arrival", spec.arrival);
+  spec.rate_per_s = num_or(j, "rate_per_s", spec.rate_per_s);
+  spec.interval_s = num_or(j, "interval_s", spec.interval_s);
+  if (j.contains("arrival_times")) {
+    spec.arrival_times.clear();
+    for (const Json& t : j.at("arrival_times").as_array()) {
+      spec.arrival_times.push_back(t.as_number());
+    }
+  }
+  spec.num_jobs = static_cast<int>(int_or(j, "num_jobs", spec.num_jobs));
+  spec.seed = static_cast<std::uint64_t>(int_or(
+      j, "seed", static_cast<std::int64_t>(spec.seed)));
+  spec.bg_fraction = num_or(j, "bg_fraction", spec.bg_fraction);
+  spec.min_iterations =
+      static_cast<int>(int_or(j, "min_iterations", spec.min_iterations));
+  spec.max_iterations =
+      static_cast<int>(int_or(j, "max_iterations", spec.max_iterations));
+  if (j.contains("fg_mix")) {
+    spec.fg_mix.clear();
+    for (const Json& e : j.at("fg_mix").as_array()) {
+      spec.fg_mix.push_back(model_mix_entry_from_json(e));
+    }
+  }
+  if (j.contains("bg_mix")) {
+    spec.bg_mix.clear();
+    for (const Json& e : j.at("bg_mix").as_array()) {
+      spec.bg_mix.push_back(model_mix_entry_from_json(e));
+    }
+  }
+  validate(spec);
+  return spec;
+}
+
+}  // namespace deeppool::sched

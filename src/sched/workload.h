@@ -1,0 +1,92 @@
+// Trace-driven workload generation for the multi-tenant cluster scheduler.
+//
+// Turns a JSON trace spec — arrival process (Poisson / fixed-interval /
+// explicit trace), model mix drawn from models/zoo, per-class batch and
+// planner knobs — into a deterministic stream of JobSpecs. All randomness
+// flows through one util/rng Pcg32 seeded from the spec, so the same spec
+// (same seed) always yields the byte-identical job stream; this is what lets
+// `deeppool schedule` reproduce a whole cluster experiment from one file.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace deeppool::sched {
+
+/// Job service class. Foreground jobs are latency-sensitive (burst-parallel,
+/// QoS-bounded); background jobs are best-effort single-GPU trainers that
+/// may ride on lent GPUs.
+enum class QosClass { kForeground, kBackground };
+
+const char* to_string(QosClass qos);
+
+/// One job in the arrival stream.
+struct JobSpec {
+  int id = -1;
+  double arrival_s = 0.0;
+  std::string model = "vgg16";  ///< models/zoo name
+  QosClass qos = QosClass::kForeground;
+  std::int64_t global_batch = 32;  ///< fg: planner batch; bg: per-GPU batch
+  double amp_limit = 1.5;          ///< fg planner knob (<= 0: unlimited)
+  int iterations = 50;             ///< training iterations the job runs
+};
+
+/// One entry of a model mix; jobs draw an entry with probability
+/// weight / sum(weights).
+struct ModelMixEntry {
+  std::string model = "vgg16";
+  double weight = 1.0;
+  std::int64_t global_batch = 32;
+  double amp_limit = 1.5;
+};
+
+/// The trace spec the `schedule` CLI consumes (JSON key: "workload").
+struct WorkloadSpec {
+  /// Arrival process: "poisson" | "fixed" | "trace".
+  std::string arrival = "poisson";
+  double rate_per_s = 1.0;            ///< poisson: mean arrivals per second
+  double interval_s = 1.0;            ///< fixed: gap between arrivals
+  std::vector<double> arrival_times;  ///< trace: explicit times (sorted, >= 0)
+
+  int num_jobs = 20;           ///< ignored for "trace" (|arrival_times| wins)
+  std::uint64_t seed = 42;     ///< seeds the Pcg32 behind every draw
+  double bg_fraction = 0.5;    ///< P(job is background), in [0, 1]
+
+  /// Job length: iterations ~ Uniform{min_iterations, ..., max_iterations}.
+  int min_iterations = 30;
+  int max_iterations = 80;
+
+  std::vector<ModelMixEntry> fg_mix{ModelMixEntry{}};
+  std::vector<ModelMixEntry> bg_mix{
+      ModelMixEntry{"resnet50", 1.0, 16, 0.0}};
+};
+
+/// Validates the spec (arrival kind, positive rate/interval, mix weights,
+/// zoo model names, iteration bounds). Throws std::invalid_argument with the
+/// offending field in the message.
+void validate(const WorkloadSpec& spec);
+
+/// Expands the spec into a deterministic arrival-ordered job stream.
+/// Same spec -> identical stream. Throws like validate() on bad specs.
+std::vector<JobSpec> generate_workload(const WorkloadSpec& spec);
+
+/// The reference trace every scheduler surface replays: a saturating
+/// 24-job Poisson mix for a 16-GPU cluster. Single source of truth for the
+/// bench (bench/sched_policies) and the e2e acceptance tests; shipped to
+/// CLI users as examples/scenarios/sched_poisson_mix.json, and a test
+/// asserts that file stays identical to this definition.
+WorkloadSpec reference_poisson_mix();
+
+/// JSON codec. from_json accepts partial objects (absent keys keep
+/// defaults, matching runtime/scenario_config conventions) but type errors
+/// and invalid values throw.
+Json to_json(const WorkloadSpec& spec);
+WorkloadSpec workload_spec_from_json(const Json& j);
+
+Json to_json(const ModelMixEntry& entry);
+ModelMixEntry model_mix_entry_from_json(const Json& j);
+
+}  // namespace deeppool::sched

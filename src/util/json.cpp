@@ -335,4 +335,20 @@ std::string Json::dump(int indent) const {
 
 Json Json::parse(std::string_view text) { return Parser(text).parse_document(); }
 
+double num_or(const Json& j, const char* key, double fallback) {
+  return j.contains(key) ? j.at(key).as_number() : fallback;
+}
+
+std::int64_t int_or(const Json& j, const char* key, std::int64_t fallback) {
+  return j.contains(key) ? j.at(key).as_int() : fallback;
+}
+
+bool bool_or(const Json& j, const char* key, bool fallback) {
+  return j.contains(key) ? j.at(key).as_bool() : fallback;
+}
+
+std::string str_or(const Json& j, const char* key, std::string fallback) {
+  return j.contains(key) ? j.at(key).as_string() : std::move(fallback);
+}
+
 }  // namespace deeppool

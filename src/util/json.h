@@ -68,4 +68,11 @@ class Json {
   std::variant<std::nullptr_t, bool, double, std::string, Array, Object> value_;
 };
 
+/// Lenient field readers shared by every spec codec: absent key -> the
+/// caller-supplied default; present-but-wrongly-typed values still throw.
+double num_or(const Json& j, const char* key, double fallback);
+std::int64_t int_or(const Json& j, const char* key, std::int64_t fallback);
+bool bool_or(const Json& j, const char* key, bool fallback);
+std::string str_or(const Json& j, const char* key, std::string fallback);
+
 }  // namespace deeppool

@@ -86,6 +86,37 @@ TEST(ScenarioConfigJson, ConfigRoundTripIncludesEmbeddedPlan) {
   EXPECT_DOUBLE_EQ(back.max_sim_time_s, 120.0);
 }
 
+TEST(ScenarioConfigJson, MultiplexBadInputIsRejected) {
+  // Wrong-typed knobs must throw, not silently fall back to defaults.
+  EXPECT_THROW(
+      multiplex_config_from_json(Json::parse(R"({"pacing_limit": "fast"})")),
+      std::runtime_error);
+  EXPECT_THROW(
+      multiplex_config_from_json(Json::parse(R"({"cuda_graphs": 3})")),
+      std::runtime_error);
+  EXPECT_THROW(multiplex_config_from_json(
+                   Json::parse(R"({"slowdown_threshold": [1.5]})")),
+               std::runtime_error);
+  EXPECT_THROW(
+      multiplex_config_from_json(Json::parse(R"({"fg_priority": true})")),
+      std::runtime_error);
+  EXPECT_THROW(multiplex_config_from_json(Json::parse(R"("not an object")")),
+               std::runtime_error);
+}
+
+TEST(ScenarioConfigJson, ConfigBadInputIsRejected) {
+  EXPECT_THROW(scenario_config_from_json(Json::parse(R"({"num_gpus": "lots"})")),
+               std::runtime_error);
+  EXPECT_THROW(scenario_config_from_json(Json::parse(R"({"fg_plan": 5})")),
+               std::runtime_error);
+  EXPECT_THROW(
+      scenario_config_from_json(Json::parse(R"({"mux": "defaults"})")),
+      std::runtime_error);
+  EXPECT_THROW(
+      scenario_config_from_json(Json::parse(R"({"collocate_bg": "yes"})")),
+      std::runtime_error);
+}
+
 TEST(ScenarioConfigJson, PartialObjectKeepsDefaults) {
   const ScenarioConfig defaults;
   const ScenarioConfig parsed =
@@ -109,6 +140,26 @@ TEST(ScenarioConfigJson, ResultJsonHasTheMetricKeysTheCliEmits) {
   EXPECT_TRUE(j.contains("fg_speedup"));
   EXPECT_TRUE(j.contains("allreduce_slowdown"));
   EXPECT_TRUE(j.contains("sm_utilization"));
+}
+
+TEST(ScenarioSpecJson, SpecKindDispatchesFileFormats) {
+  EXPECT_EQ(spec_kind(Json::parse(R"({"model": "vgg16"})")), "scenario");
+  EXPECT_EQ(spec_kind(Json::parse(R"({"kind": "schedule"})")), "schedule");
+  // A schedule spec must not parse as a plan/simulate scenario.
+  EXPECT_THROW(
+      scenario_spec_from_json(Json::parse(R"({"kind": "schedule"})")),
+      std::runtime_error);
+}
+
+TEST(ScenarioSpecJson, SeedRoundTripsForProvenance) {
+  ScenarioSpec spec;
+  spec.seed = 1234;
+  const ScenarioSpec back =
+      scenario_spec_from_json(Json::parse(to_json(spec).dump()));
+  EXPECT_EQ(back.seed, 1234u);
+  // Absent seed keeps the default.
+  EXPECT_EQ(scenario_spec_from_json(Json::parse(R"({"model": "vgg11"})")).seed,
+            0u);
 }
 
 TEST(ScenarioSpecJson, SpecRoundTrip) {

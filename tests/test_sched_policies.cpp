@@ -1,0 +1,150 @@
+#include "sched/policies.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace deeppool::sched {
+namespace {
+
+std::vector<GpuView> free_cluster(int n) {
+  return std::vector<GpuView>(static_cast<std::size_t>(n));
+}
+
+JobView fg_job(int id, int gpus) { return JobView{id, true, gpus}; }
+JobView bg_job(int id) { return JobView{id, false, 1}; }
+
+TEST(PolicyFactory, KnownNamesAndProperties) {
+  for (const std::string& name : policy_names()) {
+    const auto policy = make_policy(name);
+    EXPECT_EQ(policy->name(), name);
+  }
+  EXPECT_FALSE(make_policy("fifo_partition")->backfill());
+  EXPECT_FALSE(make_policy("fifo_partition")->lending());
+  EXPECT_TRUE(make_policy("best_fit")->backfill());
+  EXPECT_FALSE(make_policy("best_fit")->lending());
+  EXPECT_TRUE(make_policy("burst_lending")->backfill());
+  EXPECT_TRUE(make_policy("burst_lending")->lending());
+  EXPECT_THROW(make_policy("round_robin"), std::invalid_argument);
+}
+
+TEST(FifoPartition, PlacesHeadOnFreeGpus) {
+  const auto policy = make_policy("fifo_partition");
+  const auto d = policy->select({fg_job(0, 2), bg_job(1)}, free_cluster(4));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->queue_index, 0);
+  EXPECT_EQ(d->placement.gpu_ids, (std::vector<int>{0, 1}));
+  EXPECT_FALSE(d->placement.lent);
+}
+
+TEST(FifoPartition, BlockedHeadBlocksTheWholeQueue) {
+  const auto policy = make_policy("fifo_partition");
+  auto gpus = free_cluster(4);
+  gpus[0].fg_job = 7;
+  gpus[1].fg_job = 7;
+  gpus[2].fg_job = 7;
+  // Head needs 2 GPUs, only one is free; the 1-GPU bg job behind it fits
+  // but strict FIFO refuses to jump it ahead.
+  EXPECT_FALSE(
+      policy->select({fg_job(0, 2), bg_job(1)}, gpus).has_value());
+}
+
+TEST(BestFit, BackfillsPastABlockedHead) {
+  const auto policy = make_policy("best_fit");
+  auto gpus = free_cluster(4);
+  gpus[0].fg_job = 7;
+  gpus[1].fg_job = 7;
+  gpus[2].fg_job = 7;
+  const auto d = policy->select({fg_job(0, 2), bg_job(1)}, gpus);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->queue_index, 1);
+  EXPECT_EQ(d->placement.gpu_ids, (std::vector<int>{3}));
+}
+
+TEST(BestFit, PicksTheTightestFittingJob) {
+  const auto policy = make_policy("best_fit");
+  // 4 free GPUs; jobs needing 2, 4, 8 queued. 8 does not fit; 4 packs the
+  // hole exactly and wins over the earlier 2.
+  const auto d = policy->select(
+      {fg_job(0, 2), fg_job(1, 4), fg_job(2, 8)}, free_cluster(4));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->queue_index, 1);
+  EXPECT_EQ(d->placement.gpu_ids.size(), 4u);
+}
+
+TEST(BestFit, NeverCollocates) {
+  const auto policy = make_policy("best_fit");
+  auto gpus = free_cluster(2);
+  gpus[0].fg_job = 7;
+  gpus[0].lend_rate = 0.5;  // even an offered lend slot is ignored
+  gpus[1].fg_job = 7;
+  EXPECT_FALSE(policy->select({bg_job(0)}, gpus).has_value());
+}
+
+TEST(BurstLending, BgPrefersDedicatedGpuOverLending) {
+  const auto policy = make_policy("burst_lending");
+  auto gpus = free_cluster(2);
+  gpus[0].fg_job = 7;
+  gpus[0].lend_rate = 0.5;
+  const auto d = policy->select({bg_job(0)}, gpus);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->placement.gpu_ids, (std::vector<int>{1}));
+  EXPECT_FALSE(d->placement.lent);
+}
+
+TEST(BurstLending, LendsTheBestRatedGpuWhenNothingIsFree) {
+  const auto policy = make_policy("burst_lending");
+  auto gpus = free_cluster(3);
+  gpus[0].fg_job = 7;
+  gpus[0].lend_rate = 0.2;
+  gpus[1].fg_job = 8;
+  gpus[1].lend_rate = 0.6;
+  gpus[2].fg_job = 8;
+  gpus[2].lend_rate = 0.0;  // QoS bound would be broken here
+  const auto d = policy->select({bg_job(0)}, gpus);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_TRUE(d->placement.lent);
+  EXPECT_EQ(d->placement.gpu_ids, (std::vector<int>{1}));
+}
+
+TEST(BurstLending, QosZeroedLendRatesBlockLending) {
+  const auto policy = make_policy("burst_lending");
+  auto gpus = free_cluster(2);
+  gpus[0].fg_job = 7;
+  gpus[1].fg_job = 7;
+  // lend_rate == 0 everywhere: the scheduler said lending would violate the
+  // QoS bound, so the job must wait.
+  EXPECT_FALSE(policy->select({bg_job(0)}, gpus).has_value());
+}
+
+TEST(BurstLending, FgReclaimsGpusHeldByDedicatedBgJobs) {
+  const auto policy = make_policy("burst_lending");
+  auto gpus = free_cluster(4);
+  gpus[1].bg_job = 5;  // dedicated background tenants
+  gpus[2].bg_job = 6;
+  const auto d = policy->select({fg_job(0, 4)}, gpus);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->placement.gpu_ids.size(), 4u);
+  EXPECT_FALSE(d->placement.lent);
+}
+
+TEST(BurstLending, FgCannotTakeGpusOwnedByAnotherFg) {
+  const auto policy = make_policy("burst_lending");
+  auto gpus = free_cluster(4);
+  gpus[0].fg_job = 7;
+  gpus[1].fg_job = 7;
+  gpus[2].bg_job = 5;
+  // 1 free + 1 reclaimable < 3 needed; the two fg-owned GPUs are off-limits.
+  EXPECT_FALSE(policy->select({fg_job(0, 3)}, gpus).has_value());
+}
+
+TEST(BurstLending, CollocatedGpuIsNeitherFreeNorReclaimable) {
+  GpuView view;
+  view.fg_job = 1;
+  view.bg_job = 2;
+  EXPECT_FALSE(view.free());
+  EXPECT_FALSE(view.reclaimable());
+}
+
+}  // namespace
+}  // namespace deeppool::sched

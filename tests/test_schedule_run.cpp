@@ -1,0 +1,225 @@
+#include "sched/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "sched/policies.h"
+
+namespace deeppool::sched {
+namespace {
+
+/// The shipped sched_poisson_mix.json workload: a saturating 24-job Poisson
+/// trace on 16 GPUs (the acceptance scenario for the scheduler subsystem).
+WorkloadSpec mix_workload() { return reference_poisson_mix(); }
+
+ScheduleConfig cluster16(const std::string& policy) {
+  ScheduleConfig config;
+  config.num_gpus = 16;
+  config.policy = policy;
+  config.qos_fg_slowdown = 1.25;
+  return config;
+}
+
+#ifdef DEEPPOOL_SCENARIO_DIR
+TEST(ScheduleRun, ShippedPoissonMixSpecMatchesTheReferenceWorkload) {
+  // The bench and these tests replay reference_poisson_mix(); the CLI
+  // example ships the same trace as JSON. Keep them from drifting apart.
+  const std::string path =
+      std::string(DEEPPOOL_SCENARIO_DIR) + "/sched_poisson_mix.json";
+  std::ifstream in(path);
+  ASSERT_TRUE(in) << "cannot open " << path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const Json file = Json::parse(buffer.str());
+  const WorkloadSpec shipped = workload_spec_from_json(file.at("workload"));
+  EXPECT_EQ(to_json(shipped).dump(), to_json(reference_poisson_mix()).dump());
+}
+#endif
+
+TEST(ScheduleRun, CompletesEveryJobWithSaneMetrics) {
+  const ScheduleResult r = run_schedule(mix_workload(), cluster16("fifo_partition"));
+  EXPECT_EQ(r.fleet.jobs_completed, 24);
+  EXPECT_EQ(r.jobs.size(), 24u);
+  EXPECT_GT(r.fleet.makespan_s, 0.0);
+  EXPECT_GT(r.fleet.goodput_samples_per_s, 0.0);
+  EXPECT_GT(r.fleet.gpu_utilization, 0.0);
+  EXPECT_LE(r.fleet.gpu_utilization, 1.0);
+  EXPECT_EQ(static_cast<int>(r.fleet.util_timeline.size()),
+            cluster16("fifo_partition").util_timeline_bins);
+  for (const JobOutcome& job : r.jobs) {
+    EXPECT_GE(job.start_s, job.arrival_s);
+    EXPECT_GT(job.finish_s, job.start_s);
+    EXPECT_GE(job.queue_delay_s, 0.0);
+    EXPECT_GE(job.slowdown, 1.0 - 1e-9);
+    EXPECT_GE(job.gpus, 1);
+    EXPECT_LE(job.gpus, 16);
+    EXPECT_GT(job.samples, 0.0);
+  }
+  // Exclusive partitions never slow a job down.
+  EXPECT_NEAR(r.fleet.fg_p95_slowdown, 1.0, 1e-6);
+  EXPECT_EQ(r.fleet.lends, 0);
+  EXPECT_EQ(r.fleet.reclaims, 0);
+  EXPECT_EQ(r.fleet.max_jobs_per_gpu, 1);
+}
+
+TEST(ScheduleRun, DeterministicByteIdenticalResults) {
+  const ScheduleResult a = run_schedule(mix_workload(), cluster16("burst_lending"));
+  const ScheduleResult b = run_schedule(mix_workload(), cluster16("burst_lending"));
+  EXPECT_EQ(to_json(a).dump(), to_json(b).dump());
+}
+
+TEST(ScheduleRun, SeedChangesTheOutcome) {
+  WorkloadSpec w = mix_workload();
+  const ScheduleResult a = run_schedule(w, cluster16("burst_lending"));
+  w.seed = 43;
+  const ScheduleResult b = run_schedule(w, cluster16("burst_lending"));
+  EXPECT_NE(to_json(a).dump(), to_json(b).dump());
+  EXPECT_EQ(a.seed, 42u);
+  EXPECT_EQ(b.seed, 43u);
+}
+
+TEST(ScheduleRun, BurstLendingBeatsFifoOnGoodputWithinQos) {
+  // The paper's cluster-level claim, as an acceptance test: lending idle
+  // burst-phase GPUs to background work raises cluster goodput while the
+  // QoS-aware lending rule keeps foreground p95 slowdown under the bound.
+  const ScheduleResult fifo =
+      run_schedule(mix_workload(), cluster16("fifo_partition"));
+  const ScheduleResult best =
+      run_schedule(mix_workload(), cluster16("best_fit"));
+  const ScheduleResult lend =
+      run_schedule(mix_workload(), cluster16("burst_lending"));
+  EXPECT_GT(lend.fleet.goodput_samples_per_s,
+            fifo.fleet.goodput_samples_per_s);
+  EXPECT_GE(lend.fleet.goodput_samples_per_s,
+            best.fleet.goodput_samples_per_s);
+  EXPECT_GT(lend.fleet.lends, 0);
+  EXPECT_LE(lend.fleet.fg_p95_slowdown, 1.25);
+  EXPECT_TRUE(lend.fleet.qos_met);
+  EXPECT_LT(lend.fleet.mean_queue_delay_s, fifo.fleet.mean_queue_delay_s);
+}
+
+TEST(ScheduleRun, NoGpuEverHostsMoreThanOneFgPlusOneBg) {
+  // Saturated lending trace; the engine validates occupancy after every
+  // event and throws std::logic_error on violation, so completing at all is
+  // the invariant check — and the observed maximum must be the fg+bg pair.
+  WorkloadSpec w = mix_workload();
+  w.num_jobs = 40;
+  w.rate_per_s = 5.0;
+  const ScheduleResult r = run_schedule(w, cluster16("burst_lending"));
+  EXPECT_EQ(r.fleet.jobs_completed, 40);
+  EXPECT_EQ(r.fleet.max_jobs_per_gpu, 2);
+}
+
+TEST(ScheduleRun, FgDemandReclaimsBgHeldGpus) {
+  // 8 background jobs blanket the cluster at t=0; a foreground job arrives
+  // at t=0.5 needing every GPU. burst_lending must reclaim (demote or
+  // evict) background tenants instead of waiting for them to drain.
+  WorkloadSpec w;
+  w.arrival = "trace";
+  w.arrival_times = {0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.5};
+  w.seed = 6;
+  w.bg_fraction = 8.0 / 9.0;  // statistically mostly-bg; pin via trace below
+  w.min_iterations = 200;
+  w.max_iterations = 200;
+  w.fg_mix = {{"vgg16", 1.0, 32, 2.0}};
+  w.bg_mix = {{"resnet50", 1.0, 16, 0.0}};
+
+  ScheduleConfig config;
+  config.num_gpus = 8;
+  config.policy = "burst_lending";
+  config.qos_fg_slowdown = 1.25;
+
+  // Seed 6 pins the draw: the late arrival is foreground and at least one
+  // of the first 8 is background. Hard-assert it so a workload-generation
+  // change cannot silently hollow out the reclamation expectations below —
+  // if the draw order ever changes, pick a new seed here.
+  const auto jobs = generate_workload(w);
+  ASSERT_EQ(jobs[8].qos, QosClass::kForeground);
+  int early_bg = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (jobs[static_cast<std::size_t>(i)].qos == QosClass::kBackground) {
+      ++early_bg;
+    }
+  }
+  ASSERT_GT(early_bg, 0);
+
+  const ScheduleResult r = run_schedule(w, config);
+  EXPECT_EQ(r.fleet.jobs_completed, 9);
+  bool fg_reclaimed = false;
+  for (const JobOutcome& job : r.jobs) {
+    if (job.qos == QosClass::kForeground) {
+      // The fg job must not have waited for the 200-iteration bg jobs to
+      // drain their GPUs.
+      fg_reclaimed = fg_reclaimed || job.queue_delay_s < 1.0;
+    }
+  }
+  EXPECT_GT(r.fleet.reclaims, 0);
+  EXPECT_TRUE(fg_reclaimed);
+}
+
+TEST(ScheduleRun, FifoHeadOfLineVsBackfill) {
+  // One cluster-filling fg job queued behind it leaves fifo idle GPUs that
+  // best_fit backfills, so best_fit's makespan can only be shorter or equal.
+  const ScheduleResult fifo =
+      run_schedule(mix_workload(), cluster16("fifo_partition"));
+  const ScheduleResult best =
+      run_schedule(mix_workload(), cluster16("best_fit"));
+  EXPECT_LE(best.fleet.makespan_s, fifo.fleet.makespan_s);
+}
+
+TEST(ScheduleSpecJson, RoundTripAndKindHandling) {
+  ScheduleSpec spec;
+  spec.name = "t";
+  spec.workload = mix_workload();
+  spec.config = cluster16("best_fit");
+  const Json j = Json::parse(to_json(spec).dump());
+  EXPECT_EQ(j.at("kind").as_string(), "schedule");
+  const ScheduleSpec back = schedule_spec_from_json(j);
+  EXPECT_EQ(back.name, "t");
+  EXPECT_EQ(back.workload.num_jobs, 24);
+  EXPECT_EQ(back.workload.seed, 42u);
+  EXPECT_EQ(back.config.policy, "best_fit");
+  EXPECT_EQ(back.config.num_gpus, 16);
+
+  EXPECT_THROW(schedule_spec_from_json(Json::parse(R"({"kind": "scenario"})")),
+               std::runtime_error);
+  // Arbitrary JSON without the tag or a workload must not run as a
+  // defaults-only schedule.
+  EXPECT_THROW(schedule_spec_from_json(Json::parse(R"({"model": "vgg16"})")),
+               std::runtime_error);
+  EXPECT_THROW(schedule_spec_from_json(Json::parse(
+                   R"({"kind": "schedule", "cluster": {"policy": "wat"}})")),
+               std::invalid_argument);
+  EXPECT_THROW(schedule_spec_from_json(Json::parse(
+                   R"({"kind": "schedule", "cluster": {"num_gpus": 0}})")),
+               std::invalid_argument);
+  EXPECT_THROW(
+      schedule_spec_from_json(Json::parse(
+          R"({"kind": "schedule", "cluster": {"qos_fg_slowdown": 0.5}})")),
+      std::invalid_argument);
+}
+
+TEST(ScheduleRun, InterferenceFactorsFollowTheMuxLadder) {
+  runtime::MultiplexConfig naive;
+  naive.cuda_graphs = false;
+  naive.stream_priorities = false;
+  naive.pacing_limit = 0;
+  naive.slowdown_feedback = false;
+  const runtime::MultiplexConfig full;  // defaults: everything on
+  EXPECT_GT(fg_interference(naive), 0.4);
+  EXPECT_LT(fg_interference(full), 0.06);
+  EXPECT_GT(bg_lend_efficiency(full), bg_lend_efficiency(naive));
+
+  // Naive collocation interferes so much that the QoS-aware rule refuses to
+  // lend: goodput falls back toward partitioning but the bound still holds.
+  ScheduleConfig config = cluster16("burst_lending");
+  config.mux = naive;
+  const ScheduleResult r = run_schedule(mix_workload(), config);
+  EXPECT_TRUE(r.fleet.qos_met);
+}
+
+}  // namespace
+}  // namespace deeppool::sched

@@ -1,0 +1,250 @@
+#include "sched/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace deeppool::sched {
+namespace {
+
+WorkloadSpec poisson_spec(int jobs = 50, std::uint64_t seed = 42) {
+  WorkloadSpec spec;
+  spec.arrival = "poisson";
+  spec.rate_per_s = 2.0;
+  spec.num_jobs = jobs;
+  spec.seed = seed;
+  return spec;
+}
+
+bool same_stream(const std::vector<JobSpec>& a,
+                 const std::vector<JobSpec>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].id != b[i].id || a[i].arrival_s != b[i].arrival_s ||
+        a[i].model != b[i].model || a[i].qos != b[i].qos ||
+        a[i].global_batch != b[i].global_batch ||
+        a[i].amp_limit != b[i].amp_limit ||
+        a[i].iterations != b[i].iterations) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(Workload, SameSeedSameStream) {
+  const auto a = generate_workload(poisson_spec());
+  const auto b = generate_workload(poisson_spec());
+  EXPECT_TRUE(same_stream(a, b));
+}
+
+TEST(Workload, DifferentSeedDifferentStream) {
+  const auto a = generate_workload(poisson_spec(50, 1));
+  const auto b = generate_workload(poisson_spec(50, 2));
+  EXPECT_FALSE(same_stream(a, b));
+}
+
+TEST(Workload, ArrivalsSortedIdsSequential) {
+  const auto jobs = generate_workload(poisson_spec(40));
+  ASSERT_EQ(jobs.size(), 40u);
+  double prev = 0.0;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(jobs[i].id, static_cast<int>(i));
+    EXPECT_GE(jobs[i].arrival_s, prev);
+    prev = jobs[i].arrival_s;
+  }
+}
+
+TEST(Workload, PoissonMeanInterarrivalMatchesRate) {
+  WorkloadSpec spec = poisson_spec(4000);
+  spec.rate_per_s = 2.0;
+  const auto jobs = generate_workload(spec);
+  const double mean_gap = jobs.back().arrival_s / (jobs.size() - 1);
+  // 4000 exponential gaps: the sample mean of 1/rate=0.5s should land well
+  // within 10%.
+  EXPECT_NEAR(mean_gap, 0.5, 0.05);
+}
+
+TEST(Workload, BgFractionShapesTheClassMix) {
+  WorkloadSpec spec = poisson_spec(2000);
+  spec.bg_fraction = 0.25;
+  int bg = 0;
+  for (const JobSpec& j : generate_workload(spec)) {
+    if (j.qos == QosClass::kBackground) ++bg;
+  }
+  EXPECT_NEAR(static_cast<double>(bg) / 2000.0, 0.25, 0.04);
+}
+
+TEST(Workload, FixedArrivalsAreExact) {
+  WorkloadSpec spec;
+  spec.arrival = "fixed";
+  spec.interval_s = 0.25;
+  spec.num_jobs = 5;
+  const auto jobs = generate_workload(spec);
+  ASSERT_EQ(jobs.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(jobs[static_cast<std::size_t>(i)].arrival_s, 0.25 * i);
+  }
+}
+
+TEST(Workload, ExplicitTraceWinsOverNumJobs) {
+  WorkloadSpec spec;
+  spec.arrival = "trace";
+  spec.arrival_times = {0.0, 0.5, 0.5, 3.0};
+  spec.num_jobs = 99;
+  const auto jobs = generate_workload(spec);
+  ASSERT_EQ(jobs.size(), 4u);
+  EXPECT_DOUBLE_EQ(jobs[3].arrival_s, 3.0);
+}
+
+TEST(Workload, IterationsStayInsideConfiguredBounds) {
+  WorkloadSpec spec = poisson_spec(500);
+  spec.min_iterations = 10;
+  spec.max_iterations = 12;
+  bool saw_min = false;
+  bool saw_max = false;
+  for (const JobSpec& j : generate_workload(spec)) {
+    EXPECT_GE(j.iterations, 10);
+    EXPECT_LE(j.iterations, 12);
+    saw_min = saw_min || j.iterations == 10;
+    saw_max = saw_max || j.iterations == 12;
+  }
+  EXPECT_TRUE(saw_min);
+  EXPECT_TRUE(saw_max);
+}
+
+TEST(Workload, ModelsComeFromTheConfiguredMix) {
+  WorkloadSpec spec = poisson_spec(300);
+  spec.bg_fraction = 0.5;
+  spec.fg_mix = {{"vgg16", 1.0, 32, 2.0}, {"inception_v3", 3.0, 32, 0.0}};
+  spec.bg_mix = {{"resnet50", 1.0, 16, 0.0}};
+  int inception = 0, fg_total = 0;
+  for (const JobSpec& j : generate_workload(spec)) {
+    if (j.qos == QosClass::kForeground) {
+      ++fg_total;
+      EXPECT_TRUE(j.model == "vgg16" || j.model == "inception_v3");
+      if (j.model == "inception_v3") {
+        ++inception;
+        EXPECT_DOUBLE_EQ(j.amp_limit, 0.0);
+      }
+    } else {
+      EXPECT_EQ(j.model, "resnet50");
+      EXPECT_EQ(j.global_batch, 16);
+    }
+  }
+  ASSERT_GT(fg_total, 0);
+  // weight 3:1 -> ~75% inception among foreground jobs
+  EXPECT_NEAR(static_cast<double>(inception) / fg_total, 0.75, 0.1);
+}
+
+TEST(Workload, ValidationRejectsBadSpecs) {
+  WorkloadSpec bad = poisson_spec();
+  bad.rate_per_s = 0.0;
+  EXPECT_THROW(generate_workload(bad), std::invalid_argument);
+
+  bad = poisson_spec();
+  bad.arrival = "bursty";
+  EXPECT_THROW(generate_workload(bad), std::invalid_argument);
+
+  bad = poisson_spec();
+  bad.num_jobs = 0;
+  EXPECT_THROW(generate_workload(bad), std::invalid_argument);
+
+  bad = poisson_spec();
+  bad.bg_fraction = 1.5;
+  EXPECT_THROW(generate_workload(bad), std::invalid_argument);
+
+  bad = poisson_spec();
+  bad.min_iterations = 20;
+  bad.max_iterations = 10;
+  EXPECT_THROW(generate_workload(bad), std::invalid_argument);
+
+  bad = poisson_spec();
+  bad.fg_mix = {{"not_a_model", 1.0, 32, 1.5}};
+  EXPECT_THROW(generate_workload(bad), std::invalid_argument);
+
+  bad = poisson_spec();
+  bad.fg_mix = {{"vgg16", 0.0, 32, 1.5}};
+  EXPECT_THROW(generate_workload(bad), std::invalid_argument);
+
+  bad = poisson_spec();
+  bad.arrival = "trace";
+  bad.arrival_times = {1.0, 0.5};  // unsorted
+  EXPECT_THROW(generate_workload(bad), std::invalid_argument);
+
+  bad = poisson_spec();
+  bad.arrival = "trace";
+  bad.arrival_times = {-1.0};
+  EXPECT_THROW(generate_workload(bad), std::invalid_argument);
+}
+
+TEST(Workload, UnusedMixIsNotValidated) {
+  // All-background workloads may leave fg_mix broken, and vice versa.
+  WorkloadSpec spec = poisson_spec();
+  spec.bg_fraction = 1.0;
+  spec.fg_mix.clear();
+  EXPECT_NO_THROW(generate_workload(spec));
+
+  spec = poisson_spec();
+  spec.bg_fraction = 0.0;
+  spec.bg_mix.clear();
+  EXPECT_NO_THROW(generate_workload(spec));
+}
+
+TEST(WorkloadJson, RoundTripPreservesEveryField) {
+  WorkloadSpec spec;
+  spec.arrival = "trace";
+  spec.arrival_times = {0.0, 1.5, 2.25};
+  spec.rate_per_s = 3.5;
+  spec.interval_s = 0.75;
+  spec.num_jobs = 17;
+  spec.seed = 1234;
+  spec.bg_fraction = 0.3;
+  spec.min_iterations = 5;
+  spec.max_iterations = 9;
+  spec.fg_mix = {{"vgg16", 2.0, 64, 1.75}};
+  spec.bg_mix = {{"resnet50", 1.0, 8, 0.0}, {"vgg11", 0.5, 4, 0.0}};
+
+  const WorkloadSpec back =
+      workload_spec_from_json(Json::parse(to_json(spec).dump()));
+  EXPECT_EQ(back.arrival, "trace");
+  ASSERT_EQ(back.arrival_times.size(), 3u);
+  EXPECT_DOUBLE_EQ(back.arrival_times[2], 2.25);
+  EXPECT_DOUBLE_EQ(back.rate_per_s, 3.5);
+  EXPECT_DOUBLE_EQ(back.interval_s, 0.75);
+  EXPECT_EQ(back.num_jobs, 17);
+  EXPECT_EQ(back.seed, 1234u);
+  EXPECT_DOUBLE_EQ(back.bg_fraction, 0.3);
+  EXPECT_EQ(back.min_iterations, 5);
+  EXPECT_EQ(back.max_iterations, 9);
+  ASSERT_EQ(back.fg_mix.size(), 1u);
+  EXPECT_EQ(back.fg_mix[0].model, "vgg16");
+  EXPECT_DOUBLE_EQ(back.fg_mix[0].weight, 2.0);
+  EXPECT_EQ(back.fg_mix[0].global_batch, 64);
+  EXPECT_DOUBLE_EQ(back.fg_mix[0].amp_limit, 1.75);
+  ASSERT_EQ(back.bg_mix.size(), 2u);
+  EXPECT_EQ(back.bg_mix[1].model, "vgg11");
+}
+
+TEST(WorkloadJson, PartialObjectKeepsDefaultsAndBadInputThrows) {
+  const WorkloadSpec defaults;
+  const WorkloadSpec parsed =
+      workload_spec_from_json(Json::parse(R"({"num_jobs": 3})"));
+  EXPECT_EQ(parsed.num_jobs, 3);
+  EXPECT_EQ(parsed.arrival, defaults.arrival);
+  EXPECT_EQ(parsed.seed, defaults.seed);
+
+  EXPECT_THROW(workload_spec_from_json(Json::parse(R"({"num_jobs": "many"})")),
+               std::runtime_error);
+  EXPECT_THROW(
+      workload_spec_from_json(Json::parse(R"({"fg_mix": "vgg16"})")),
+      std::runtime_error);
+  EXPECT_THROW(
+      workload_spec_from_json(Json::parse(R"({"arrival": "sometimes"})")),
+      std::invalid_argument);
+  EXPECT_THROW(
+      workload_spec_from_json(Json::parse(R"({"bg_fraction": -0.5})")),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace deeppool::sched

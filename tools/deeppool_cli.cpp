@@ -7,6 +7,8 @@
 //                     [--output metrics.json] [--compact]
 //   deeppool sweep    --config scenario.json [--param knob --values 1,2,4]
 //                     [--output metrics.json] [--compact]
+//   deeppool schedule spec.json [--policy NAME] [--seed N]
+//                     [--output metrics.json] [--compact]
 //   deeppool models
 //
 // `plan` runs the burst-parallel planner and emits the TrainingPlan JSON the
@@ -15,7 +17,13 @@
 // `sweep` re-runs the scenario across a list of values for one knob (Fig. 10
 // / Fig. 12-style studies); the knob can come from the CLI or from a
 // `"sweep": {"param": ..., "values": [...]}` block in the scenario file.
-// Results go to stdout (or --output); diagnostics go to stderr.
+// `schedule` replays a whole multi-tenant job trace ({"kind": "schedule"}
+// specs) through the cluster scheduler and emits per-job + fleet metrics.
+// A spec path may be given positionally or via --config. `--seed N` sets
+// the workload seed for `schedule` (its only consumer today — scenario
+// sims are deterministic and draw no randomness); every subcommand echoes
+// the effective seed in its output JSON for provenance. Results go to
+// stdout (or --output); diagnostics go to stderr.
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -27,6 +35,7 @@
 #include "core/planner.h"
 #include "models/zoo.h"
 #include "runtime/scenario_config.h"
+#include "sched/scheduler.h"
 #include "util/json.h"
 
 namespace {
@@ -43,9 +52,13 @@ int usage(std::ostream& os, int exit_code) {
         "                    [--output FILE] [--compact]\n"
         "  deeppool sweep    --config FILE [--param KNOB --values V1,V2,...]\n"
         "                    [--set KNOB=VALUE ...] [--output FILE] [--compact]\n"
+        "  deeppool schedule FILE [--policy NAME] [--seed N]\n"
+        "                    [--output FILE] [--compact]\n"
         "  deeppool models\n"
         "\n"
-        "Scenario files are JSON ScenarioSpecs (see examples/scenarios/).\n";
+        "--seed N seeds the schedule workload; every subcommand echoes the\n"
+        "effective seed in its output JSON. Spec files are JSON (see\n"
+        "examples/scenarios/); schedule specs carry \"kind\": \"schedule\".\n";
   return exit_code;
 }
 
@@ -55,9 +68,15 @@ struct Args {
   std::string output_path;
   std::string model;
   std::string network = "nvswitch";
+  std::string policy;  // schedule: placement policy override
   std::string sweep_param;
   std::vector<double> sweep_values;
   std::vector<std::pair<std::string, double>> overrides;  // --set knob=value
+  std::optional<std::uint64_t> seed;  // --seed: wins over the spec's seed
+  // Flags only `plan` consumes; recorded so other subcommands can reject
+  // them instead of silently ignoring them (their defaults are non-empty,
+  // so presence cannot be inferred from the values).
+  std::vector<std::string> plan_only_flags;
   int gpus = 8;
   std::int64_t batch = 32;
   double amp = 1.5;
@@ -123,16 +142,31 @@ Args parse_args(int argc, char** argv) {
     const std::string flag = argv[i];
     if (flag == "--config") args.config_path = need_value(i, flag);
     else if (flag == "--output") args.output_path = need_value(i, flag);
-    else if (flag == "--model") args.model = need_value(i, flag);
-    else if (flag == "--network") args.network = need_value(i, flag);
-    else if (flag == "--gpus")
+    else if (flag == "--model") {
+      args.model = need_value(i, flag);
+      args.plan_only_flags.push_back(flag);
+    } else if (flag == "--network") {
+      args.network = need_value(i, flag);
+      args.plan_only_flags.push_back(flag);
+    } else if (flag == "--gpus") {
       args.gpus = static_cast<int>(parse_int(need_value(i, flag), flag));
-    else if (flag == "--batch") args.batch = parse_int(need_value(i, flag), flag);
-    else if (flag == "--amp") args.amp = parse_double(need_value(i, flag), flag);
-    else if (flag == "--dp") args.dp = true;
-    else if (flag == "--table") args.table = true;
+      args.plan_only_flags.push_back(flag);
+    } else if (flag == "--batch") {
+      args.batch = parse_int(need_value(i, flag), flag);
+      args.plan_only_flags.push_back(flag);
+    } else if (flag == "--amp") {
+      args.amp = parse_double(need_value(i, flag), flag);
+      args.plan_only_flags.push_back(flag);
+    } else if (flag == "--dp") {
+      args.dp = true;
+      args.plan_only_flags.push_back(flag);
+    } else if (flag == "--table") args.table = true;
     else if (flag == "--compact") args.compact = true;
     else if (flag == "--param") args.sweep_param = need_value(i, flag);
+    else if (flag == "--policy") args.policy = need_value(i, flag);
+    else if (flag == "--seed")
+      args.seed = static_cast<std::uint64_t>(
+          parse_int(need_value(i, flag), flag));
     else if (flag == "--values")
       args.sweep_values = parse_value_list(need_value(i, flag));
     else if (flag == "--set") {
@@ -143,6 +177,8 @@ Args parse_args(int argc, char** argv) {
       }
       args.overrides.emplace_back(kv.substr(0, eq),
                                   parse_double(kv.substr(eq + 1), flag));
+    } else if (!flag.empty() && flag[0] != '-' && args.config_path.empty()) {
+      args.config_path = flag;  // positional spec path
     } else {
       throw std::invalid_argument("unknown flag " + flag);
     }
@@ -167,6 +203,7 @@ runtime::ScenarioSpec load_spec(const Args& args) {
   for (const auto& [knob, value] : args.overrides) {
     runtime::set_sweep_param(spec, knob, value);
   }
+  if (args.seed) spec.seed = *args.seed;
   return spec;
 }
 
@@ -182,9 +219,31 @@ void emit(const Args& args, const Json& j) {
   }
 }
 
+// Flags accepted by the shared parser but consumed by one subcommand only
+// must not be silently dropped elsewhere: a run that ignores a requested
+// override looks like a run that applied it.
+void reject_policy_flag(const Args& args, const std::string& command) {
+  if (!args.policy.empty()) {
+    throw std::invalid_argument("--policy only applies to `deeppool "
+                                "schedule`, not `" + command + "`");
+  }
+}
+
+void reject_plan_only_flags(const Args& args, const std::string& command) {
+  if (!args.plan_only_flags.empty()) {
+    throw std::invalid_argument(
+        args.plan_only_flags.front() + " only applies to `deeppool plan`, "
+        "not `" + command + "`; use --set or edit the spec file");
+  }
+}
+
 int cmd_plan(const Args& args) {
+  reject_policy_flag(args, "plan");
   runtime::ScenarioSpec spec;
   if (!args.config_path.empty()) {
+    // The spec file is the single source of truth on this branch; knob
+    // flags would be silently ignored, so refuse the combination.
+    reject_plan_only_flags(args, "plan --config (use --set)");
     spec = load_spec(args);
   } else {
     if (args.model.empty()) {
@@ -196,6 +255,7 @@ int cmd_plan(const Args& args) {
     spec.global_batch = args.batch;
     spec.amp_limit = args.amp;
     spec.config.num_gpus = args.gpus;
+    if (args.seed) spec.seed = *args.seed;  // load_spec covers --config
   }
   const runtime::ScenarioConfig resolved = runtime::resolve_spec(spec);
   if (!resolved.fg_plan) {
@@ -205,17 +265,22 @@ int cmd_plan(const Args& args) {
     std::cout << resolved.fg_plan->to_table();
     return 0;
   }
-  emit(args, resolved.fg_plan->to_json());
+  Json out = resolved.fg_plan->to_json();
+  out["seed"] = Json(static_cast<std::int64_t>(spec.seed));
+  emit(args, out);
   return 0;
 }
 
 int cmd_simulate(const Args& args) {
+  reject_policy_flag(args, "simulate");
+  reject_plan_only_flags(args, "simulate");
   const runtime::ScenarioSpec spec = load_spec(args);
   std::cerr << "simulating \"" << spec.name << "\": " << spec.model << " on "
             << spec.config.num_gpus << " GPUs (" << spec.fg_mode << ")\n";
   const runtime::ScenarioResult result = runtime::run_spec(spec);
   Json out;
   out["scenario"] = Json(spec.name);
+  out["seed"] = Json(static_cast<std::int64_t>(spec.seed));
   out["spec"] = runtime::to_json(spec);
   out["result"] = runtime::to_json(result);
   emit(args, out);
@@ -223,6 +288,8 @@ int cmd_simulate(const Args& args) {
 }
 
 int cmd_sweep(const Args& args) {
+  reject_policy_flag(args, "sweep");
+  reject_plan_only_flags(args, "sweep");
   const runtime::ScenarioSpec base = load_spec(args);
   std::string param = args.sweep_param;
   std::vector<double> values = args.sweep_values;
@@ -257,13 +324,54 @@ int cmd_sweep(const Args& args) {
   }
   Json out;
   out["scenario"] = Json(base.name);
+  out["seed"] = Json(static_cast<std::int64_t>(base.seed));
   out["param"] = Json(param);
   out["results"] = Json(std::move(results));
   emit(args, out);
   return 0;
 }
 
-int cmd_models() {
+int cmd_schedule(const Args& args) {
+  if (args.config_path.empty()) {
+    throw std::invalid_argument(
+        "schedule needs a spec file: deeppool schedule SPEC.json");
+  }
+  reject_plan_only_flags(args, "schedule");
+  if (!args.overrides.empty() || !args.sweep_param.empty() ||
+      !args.sweep_values.empty() || args.table) {
+    throw std::invalid_argument(
+        "schedule does not take --set/--param/--values/--table; "
+        "edit the spec file (or use --policy / --seed)");
+  }
+  namespace sched = deeppool::sched;
+  sched::ScheduleSpec spec =
+      sched::schedule_spec_from_json(load_json_file(args.config_path));
+  if (!args.policy.empty()) spec.config.policy = args.policy;
+  if (args.seed) spec.workload.seed = *args.seed;
+  std::cerr << "scheduling \"" << spec.name << "\": "
+            << (spec.workload.arrival == "trace"
+                    ? spec.workload.arrival_times.size()
+                    : static_cast<std::size_t>(spec.workload.num_jobs))
+            << " jobs (" << spec.workload.arrival << ") on "
+            << spec.config.num_gpus << " GPUs, policy "
+            << spec.config.policy << ", seed " << spec.workload.seed << "\n";
+  const sched::ScheduleResult result = sched::run_schedule(spec);
+  Json out;
+  out["schedule"] = Json(spec.name);
+  out["seed"] = Json(static_cast<std::int64_t>(result.seed));
+  out["spec"] = sched::to_json(spec);
+  out["result"] = sched::to_json(result);
+  emit(args, out);
+  return 0;
+}
+
+int cmd_models(const Args& args) {
+  if (!args.policy.empty() || args.seed || !args.plan_only_flags.empty() ||
+      !args.overrides.empty() || !args.sweep_param.empty() ||
+      !args.sweep_values.empty() || args.table || args.compact ||
+      !args.config_path.empty() || !args.output_path.empty()) {
+    throw std::invalid_argument("models takes no flags");
+  }
   for (const std::string& name : deeppool::models::zoo::names()) {
     std::cout << name << '\n';
   }
@@ -279,12 +387,14 @@ int main(int argc, char** argv) {
     if (args.command == "plan") return cmd_plan(args);
     if (args.command == "simulate") return cmd_simulate(args);
     if (args.command == "sweep") return cmd_sweep(args);
-    if (args.command == "models") return cmd_models();
+    if (args.command == "schedule") return cmd_schedule(args);
+    if (args.command == "models") return cmd_models(args);
     if (args.command == "help" || args.command == "--help") {
       return usage(std::cout, 0);
     }
-    std::cerr << "unknown command \"" << args.command << "\"\n\n";
-    return usage(std::cerr, 2);
+    std::cerr << "error: unknown command \"" << args.command
+              << "\"; run 'deeppool help' for usage\n";
+    return 2;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;
