@@ -1,0 +1,121 @@
+// Measured-interference calibration: the per-pair collocation cost matrix
+// behind `deeppool schedule --calibration` — the Fig.-12-style story at the
+// scheduler's granularity. Sweeps the model pairs of the reference Poisson
+// trace (examples/scenarios/sched_poisson_mix.json) through run_scenario(),
+// prints the measured factors next to the analytic mux-derived fallback,
+// then replays the reference schedule both ways to show how measured
+// pricing moves goodput/QoS.
+//
+// Besides the human-readable tables, writes machine-readable metrics to
+// BENCH_calib.json (or argv[1]) so the calibration trajectory is tracked
+// run over run; the schema is documented in README.md.
+#include <fstream>
+#include <iostream>
+
+#include "bench_common.h"
+#include "calib/calibrator.h"
+#include "sched/scheduler.h"
+#include "util/json.h"
+
+using namespace deeppool;
+
+int main(int argc, char** argv) {
+  bench::print_header(
+      "Measured interference calibration: per-pair collocation factors",
+      "scheduler-granularity extension of paper Figs. 11/12");
+
+  // The shipped calib_pairs.json grid (a test keeps the file and this
+  // definition identical): every fg x bg pairing the reference trace can
+  // draw, at its cluster shape.
+  const calib::CalibrationSpec spec = calib::reference_pairs_spec();
+  const calib::CalibrationResult calibration = calib::run_calibration(spec);
+
+  const double analytic_f = calib::analytic_fg_interference(spec.mux);
+  const double analytic_e = calib::analytic_bg_lend_efficiency(spec.mux);
+  TablePrinter table({"fg model", "bg model", "gpus", "amp", "fg slowdown",
+                      "(analytic)", "bg efficiency", "(analytic)"});
+  for (const calib::CalibrationPoint& p : calibration.points) {
+    table.add_row({p.key.fg_model, p.key.bg_model,
+                   TablePrinter::num(static_cast<long long>(
+                       p.key.shape.num_gpus)),
+                   TablePrinter::num(p.key.shape.amp_limit, 1),
+                   TablePrinter::num(p.factors.fg_slowdown, 3),
+                   TablePrinter::num(analytic_f, 3),
+                   TablePrinter::num(p.factors.bg_efficiency, 3),
+                   TablePrinter::num(analytic_e, 3)});
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: measured fg slowdowns spread per pair "
+               "(heavier background kernels interfere more) where the "
+               "analytic fallback charges every pair the same "
+            << analytic_f << ".\n\n";
+
+  // The consumer's view: the reference trace priced both ways.
+  const sched::WorkloadSpec workload = sched::reference_poisson_mix();
+  sched::ScheduleConfig config;
+  config.num_gpus = 16;
+  config.qos_fg_slowdown = 1.25;
+  config.policy = "burst_lending";
+  const sched::ScheduleResult analytic = sched::run_schedule(workload, config);
+  config.calibration = calibration.table;
+  const sched::ScheduleResult measured = sched::run_schedule(workload, config);
+
+  TablePrinter sched_table({"pricing", "goodput(samples/s)", "fg p95 slowdown",
+                            "lends", "reclaims", "table hits", "fallbacks",
+                            "QoS"});
+  const auto add_sched_row = [&](const char* label,
+                                 const sched::ScheduleResult& r) {
+    sched_table.add_row(
+        {label, TablePrinter::num(r.fleet.goodput_samples_per_s, 0),
+         TablePrinter::num(r.fleet.fg_p95_slowdown, 3),
+         TablePrinter::num(static_cast<long long>(r.fleet.lends)),
+         TablePrinter::num(static_cast<long long>(r.fleet.reclaims)),
+         TablePrinter::num(static_cast<long long>(r.fleet.calib_hits)),
+         TablePrinter::num(static_cast<long long>(r.fleet.calib_misses)),
+         r.fleet.qos_met ? "met" : "VIOLATED"});
+  };
+  add_sched_row("analytic", analytic);
+  add_sched_row("measured", measured);
+  sched_table.print(std::cout);
+  std::cout << "\nThe measured run must price every decision from the table "
+               "(fallbacks = 0) and stay within QoS.\n";
+
+  Json out;
+  out["bench"] = Json("calibration");
+  out["seed"] = Json(static_cast<std::int64_t>(workload.seed));
+  out["spec"] = calib::to_json(spec);
+  Json::Array points;
+  for (const calib::CalibrationPoint& p : calibration.points) {
+    points.push_back(calib::to_json(p));
+  }
+  out["points"] = Json(std::move(points));
+  out["table"] = calibration.table.to_json();
+  out["analytic_fg_interference"] = Json(analytic_f);
+  out["analytic_bg_lend_efficiency"] = Json(analytic_e);
+  const auto sched_point = [](const sched::ScheduleResult& r) {
+    Json p;
+    p["goodput_samples_per_s"] = Json(r.fleet.goodput_samples_per_s);
+    p["fg_p95_slowdown"] = Json(r.fleet.fg_p95_slowdown);
+    p["lends"] = Json(r.fleet.lends);
+    p["reclaims"] = Json(r.fleet.reclaims);
+    p["calib_hits"] = Json(r.fleet.calib_hits);
+    p["calib_misses"] = Json(r.fleet.calib_misses);
+    p["qos_met"] = Json(r.fleet.qos_met);
+    return p;
+  };
+  Json schedule;
+  schedule["workload"] = sched::to_json(workload);
+  schedule["analytic"] = sched_point(analytic);
+  schedule["measured"] = sched_point(measured);
+  out["schedule"] = std::move(schedule);
+
+  const std::string path = argc > 1 ? argv[1] : "BENCH_calib.json";
+  std::ofstream file(path);
+  if (!file) {
+    std::cerr << "cannot write " << path << "\n";
+    return 1;
+  }
+  file << out.dump(2) << '\n';
+  std::cout << "wrote " << path << '\n';
+  return 0;
+}

@@ -1,0 +1,351 @@
+#include "calib/calibrator.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+#include "core/plan.h"
+#include "core/planner.h"
+#include "core/profile.h"
+#include "models/cost_model.h"
+#include "models/zoo.h"
+#include "net/network_model.h"
+#include "runtime/cluster.h"
+#include "runtime/scenario_config.h"
+#include "util/logging.h"
+
+namespace deeppool::calib {
+
+namespace {
+
+constexpr double kIdleEps = 1e-6;
+
+std::vector<std::string> string_list(const Json& j, const char* key) {
+  std::vector<std::string> out;
+  for (const Json& v : j.at(key).as_array()) out.push_back(v.as_string());
+  return out;
+}
+
+/// The foreground side of one grid point, measured once per
+/// (fg_model, num_gpus, amp_limit) and shared across every bg pairing.
+struct FgBaseline {
+  core::TrainingPlan plan;
+  double iso_iter_s = 0.0;
+  double idle_frac = 0.0;
+};
+
+/// First occurrence of each value, original order preserved. Duplicate grid
+/// entries would re-run expensive sweeps into the same table key and emit
+/// duplicate report points.
+template <typename T>
+std::vector<T> deduped(const std::vector<T>& values) {
+  std::vector<T> out;
+  for (const T& v : values) {
+    if (std::find(out.begin(), out.end(), v) == out.end()) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace
+
+void validate(const CalibrationSpec& spec) {
+  if (spec.fg_models.empty()) {
+    throw std::invalid_argument("calibration needs at least one fg model");
+  }
+  if (spec.bg_models.empty()) {
+    throw std::invalid_argument("calibration needs at least one bg model");
+  }
+  if (spec.gpu_counts.empty()) {
+    throw std::invalid_argument("calibration needs at least one gpu count");
+  }
+  if (spec.amp_limits.empty()) {
+    throw std::invalid_argument("calibration needs at least one amp limit");
+  }
+  for (const std::string& name : spec.fg_models) {
+    models::zoo::by_name(name);  // throws listing the zoo on unknown names
+  }
+  for (const std::string& name : spec.bg_models) {
+    models::zoo::by_name(name);
+  }
+  for (const int g : spec.gpu_counts) {
+    if (g < 1) throw std::invalid_argument("gpu_counts entries must be >= 1");
+  }
+  if (spec.fg_batch < 1) {
+    throw std::invalid_argument("fg_batch must be >= 1");
+  }
+  if (spec.bg_batch < 1) {
+    throw std::invalid_argument("bg_batch must be >= 1");
+  }
+  if (spec.warmup_iters < 0) {
+    throw std::invalid_argument("warmup_iters must be >= 0");
+  }
+  if (spec.measure_iters < 1) {
+    throw std::invalid_argument("measure_iters must be >= 1");
+  }
+  if (!(spec.bg_only_time_s > 0.0)) {
+    throw std::invalid_argument("bg_only_time_s must be > 0");
+  }
+  net::NetworkSpec::from_name(spec.network);  // throws on unknown fabrics
+}
+
+CalibrationSpec calibration_spec_from_json(const Json& j) {
+  if (!j.is_object()) {
+    throw std::runtime_error("CalibrationSpec must be a JSON object");
+  }
+  const std::string kind = runtime::spec_kind(j);
+  if (kind != "calibration" && j.contains("kind")) {
+    throw std::runtime_error(
+        "spec kind \"" + kind + "\" is not a calibration spec" +
+        (kind == "schedule" ? "; run it with `deeppool schedule`" : ""));
+  }
+  // Arbitrary JSON must not silently run as an all-defaults calibration:
+  // demand the tag or an explicit model grid.
+  if (!j.contains("kind") && !j.contains("fg_models")) {
+    throw std::runtime_error(
+        "not a calibration spec: expected \"kind\": \"calibration\" or an "
+        "\"fg_models\" list");
+  }
+  CalibrationSpec spec;
+  spec.name = str_or(j, "name", spec.name);
+  if (j.contains("fg_models")) spec.fg_models = string_list(j, "fg_models");
+  if (j.contains("bg_models")) spec.bg_models = string_list(j, "bg_models");
+  if (j.contains("gpu_counts")) {
+    spec.gpu_counts.clear();
+    for (const Json& v : j.at("gpu_counts").as_array()) {
+      spec.gpu_counts.push_back(static_cast<int>(v.as_int()));
+    }
+  }
+  if (j.contains("amp_limits")) {
+    spec.amp_limits.clear();
+    for (const Json& v : j.at("amp_limits").as_array()) {
+      spec.amp_limits.push_back(v.as_number());
+    }
+  }
+  spec.fg_batch = int_or(j, "fg_batch", spec.fg_batch);
+  spec.bg_batch = int_or(j, "bg_batch", spec.bg_batch);
+  spec.network = str_or(j, "network", spec.network);
+  spec.pow2_only = bool_or(j, "pow2_only", spec.pow2_only);
+  spec.warmup_iters =
+      static_cast<int>(int_or(j, "warmup_iters", spec.warmup_iters));
+  spec.measure_iters =
+      static_cast<int>(int_or(j, "measure_iters", spec.measure_iters));
+  spec.bg_only_time_s = num_or(j, "bg_only_time_s", spec.bg_only_time_s);
+  if (j.contains("mux")) {
+    spec.mux = runtime::multiplex_config_from_json(j.at("mux"));
+  }
+  validate(spec);
+  return spec;
+}
+
+Json to_json(const CalibrationSpec& spec) {
+  Json j;
+  j["kind"] = Json("calibration");
+  j["name"] = Json(spec.name);
+  Json::Array fg, bg, gpus, amps;
+  for (const std::string& m : spec.fg_models) fg.push_back(Json(m));
+  for (const std::string& m : spec.bg_models) bg.push_back(Json(m));
+  for (const int g : spec.gpu_counts) gpus.push_back(Json(g));
+  for (const double a : spec.amp_limits) amps.push_back(Json(a));
+  j["fg_models"] = Json(std::move(fg));
+  j["bg_models"] = Json(std::move(bg));
+  j["gpu_counts"] = Json(std::move(gpus));
+  j["amp_limits"] = Json(std::move(amps));
+  j["fg_batch"] = Json(spec.fg_batch);
+  j["bg_batch"] = Json(spec.bg_batch);
+  j["network"] = Json(spec.network);
+  j["pow2_only"] = Json(spec.pow2_only);
+  j["warmup_iters"] = Json(spec.warmup_iters);
+  j["measure_iters"] = Json(spec.measure_iters);
+  j["bg_only_time_s"] = Json(spec.bg_only_time_s);
+  j["mux"] = runtime::to_json(spec.mux);
+  return j;
+}
+
+CalibrationSpec reference_pairs_spec() {
+  CalibrationSpec spec;
+  spec.name = "calib_pairs";
+  spec.fg_models = {"vgg16", "wide_resnet101_2", "inception_v3"};
+  spec.bg_models = {"resnet50", "vgg16"};
+  spec.gpu_counts = {16};
+  spec.amp_limits = {2.0, 0.0};
+  spec.fg_batch = 32;
+  spec.bg_batch = 8;
+  spec.warmup_iters = 2;
+  spec.measure_iters = 8;
+  spec.bg_only_time_s = 0.1;
+  return spec;
+}
+
+Json to_json(const CalibrationPoint& point) {
+  Json j;
+  j["fg_model"] = Json(point.key.fg_model);
+  j["bg_model"] = Json(point.key.bg_model);
+  j["num_gpus"] = Json(point.key.shape.num_gpus);
+  j["amp_limit"] = Json(point.key.shape.amp_limit);
+  j["fg_slowdown"] = Json(point.factors.fg_slowdown);
+  j["bg_efficiency"] = Json(point.factors.bg_efficiency);
+  j["fg_iso_iter_s"] = Json(point.fg_iso_iter_s);
+  j["fg_shared_iter_s"] = Json(point.fg_shared_iter_s);
+  j["fg_idle_frac"] = Json(point.fg_idle_frac);
+  j["fg_plan_gpus"] = Json(point.fg_plan_gpus);
+  j["bg_dedicated_samples_per_s"] = Json(point.bg_dedicated_samples_per_s);
+  j["bg_lent_samples_per_s"] = Json(point.bg_lent_samples_per_s);
+  return j;
+}
+
+Json to_json(const CalibrationResult& result) {
+  Json j;
+  j["kind"] = Json("calibration_report");
+  j["spec"] = to_json(result.spec);
+  Json::Array points;
+  for (const CalibrationPoint& p : result.points) points.push_back(to_json(p));
+  j["points"] = Json(std::move(points));
+  j["table"] = result.table.to_json();
+  return j;
+}
+
+CalibrationResult run_calibration(const CalibrationSpec& spec,
+                                  std::ostream* progress) {
+  validate(spec);
+  const models::CostModel cost{models::DeviceSpec::a100()};
+  const net::NetworkModel network{net::NetworkSpec::from_name(spec.network)};
+
+  // Baseline caches: the isolated-foreground run is shared across every bg
+  // model, the dedicated-background rate across every fg shape.
+  std::map<std::pair<std::string, GpuShape>, FgBaseline> fg_cache;
+  std::map<std::string, double> bg_rate_cache;
+
+  const auto scenario_base = [&](int num_gpus) {
+    runtime::ScenarioConfig c;
+    c.num_gpus = num_gpus;
+    c.bg_batch = spec.bg_batch;
+    c.mux = spec.mux;
+    c.warmup_iters = spec.warmup_iters;
+    c.measure_iters = spec.measure_iters;
+    c.bg_only_time_s = spec.bg_only_time_s;
+    // The scheduler admits jobs regardless of footprint; measuring must not
+    // be stricter than the consumer, or big pairs would hole the table.
+    c.enforce_memory_fit = false;
+    return c;
+  };
+
+  const auto dedicated_bg_rate = [&](const std::string& bg_name) {
+    const auto it = bg_rate_cache.find(bg_name);
+    if (it != bg_rate_cache.end()) return it->second;
+    runtime::ScenarioConfig c = scenario_base(1);
+    c.bg_on_idle_gpus = true;
+    c.collocate_bg = false;
+    const models::ModelGraph bg_model = models::zoo::by_name(bg_name);
+    const runtime::ScenarioResult r =
+        run_scenario(bg_model, bg_model, cost, c);
+    bg_rate_cache.emplace(bg_name, r.bg_throughput);
+    return r.bg_throughput;
+  };
+
+  // Each grid axis is swept over its distinct values only. amp limits are
+  // additionally canonicalized first: every non-positive value means
+  // "unlimited" and shares one table key (see GpuShape), so a spec listing
+  // [0.0, -1.0] measures the shape once instead of re-running the sweep
+  // into the same entry.
+  std::vector<double> canonical_amps = spec.amp_limits;
+  for (double& amp : canonical_amps) {
+    if (amp <= 0.0) amp = 0.0;
+  }
+  const std::vector<double> amp_limits = deduped(canonical_amps);
+  const std::vector<std::string> fg_models = deduped(spec.fg_models);
+  const std::vector<std::string> bg_models = deduped(spec.bg_models);
+  const std::vector<int> gpu_counts = deduped(spec.gpu_counts);
+
+  CalibrationResult result;
+  result.spec = spec;
+  for (const std::string& fg_name : fg_models) {
+    const models::ModelGraph fg_model = models::zoo::by_name(fg_name);
+    for (const int num_gpus : gpu_counts) {
+      for (const double amp : amp_limits) {
+        const GpuShape shape{num_gpus, amp};
+        auto fg_it = fg_cache.find({fg_name, shape});
+        if (fg_it == fg_cache.end()) {
+          FgBaseline base;
+          const core::ProfileSet profiles(
+              fg_model, cost, network,
+              core::ProfileOptions{num_gpus, spec.fg_batch, spec.pow2_only});
+          base.plan = core::Planner(profiles).plan({amp});
+          // The lendable slack, exactly as the scheduler prices it.
+          const double reserved =
+              static_cast<double>(std::max(1, base.plan.peak_gpus())) *
+              base.plan.est_iteration_s;
+          if (reserved > 0.0) {
+            base.idle_frac =
+                std::clamp(1.0 - base.plan.gpu_sec() / reserved, 0.0, 0.95);
+          }
+          runtime::ScenarioConfig iso = scenario_base(num_gpus);
+          iso.fg_plan = base.plan;
+          iso.collocate_bg = false;
+          iso.bg_on_idle_gpus = false;
+          base.iso_iter_s =
+              run_scenario(fg_model, fg_model, cost, iso).fg_iteration_avg_s;
+          if (!(base.iso_iter_s > 0.0)) {
+            throw std::runtime_error(
+                "calibration measured a zero isolated iteration time for \"" +
+                fg_name + "\"");
+          }
+          fg_it = fg_cache.emplace(std::make_pair(fg_name, shape),
+                                   std::move(base)).first;
+        }
+        const FgBaseline& base = fg_it->second;
+
+        for (const std::string& bg_name : bg_models) {
+          const models::ModelGraph bg_model = models::zoo::by_name(bg_name);
+          runtime::ScenarioConfig shared = scenario_base(num_gpus);
+          shared.fg_plan = base.plan;
+          shared.collocate_bg = true;
+          shared.bg_on_idle_gpus = false;
+          const runtime::ScenarioResult r =
+              run_scenario(fg_model, bg_model, cost, shared);
+
+          CalibrationPoint point;
+          point.key = PairKey{fg_name, bg_name, shape};
+          point.fg_iso_iter_s = base.iso_iter_s;
+          point.fg_shared_iter_s = r.fg_iteration_avg_s;
+          point.fg_idle_frac = base.idle_frac;
+          point.fg_plan_gpus = std::max(1, base.plan.peak_gpus());
+          point.bg_dedicated_samples_per_s = dedicated_bg_rate(bg_name);
+          point.bg_lent_samples_per_s =
+              r.bg_throughput / static_cast<double>(point.fg_plan_gpus);
+
+          point.factors.fg_slowdown = std::max(
+              0.0, r.fg_iteration_avg_s / base.iso_iter_s - 1.0);
+          // Lent-tenant efficiency per unit of foreground idle time, capped
+          // at 1 so the fluid model never credits a tenant with more than
+          // its host's idle share.
+          if (base.idle_frac > kIdleEps &&
+              point.bg_dedicated_samples_per_s > 0.0) {
+            point.factors.bg_efficiency = std::clamp(
+                point.bg_lent_samples_per_s /
+                    (base.idle_frac * point.bg_dedicated_samples_per_s),
+                0.0, 1.0);
+          }
+          result.table.set(point.key, point.factors);
+          result.points.push_back(point);
+          if (progress != nullptr) {
+            *progress << "calibrated " << fg_name << " x " << bg_name << " @ "
+                      << num_gpus << " GPUs, amp " << amp << ": fg_slowdown "
+                      << point.factors.fg_slowdown << ", bg_efficiency "
+                      << point.factors.bg_efficiency << "\n";
+          }
+        }
+      }
+    }
+  }
+  // Emit points in key order regardless of sweep nesting so the report is
+  // deterministic under spec-list reordering.
+  std::sort(result.points.begin(), result.points.end(),
+            [](const CalibrationPoint& a, const CalibrationPoint& b) {
+              return a.key < b.key;
+            });
+  DP_INFO << "calibration done: " << result.table.size() << " pairs";
+  return result;
+}
+
+}  // namespace deeppool::calib

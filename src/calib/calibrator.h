@@ -1,0 +1,104 @@
+// Measured interference calibration: profile-then-decide for the scheduler.
+//
+// run_calibration() sweeps every (fg_model x bg_model x GPU shape) pair of a
+// CalibrationSpec by driving the existing run_scenario() simulator three
+// ways per grid point:
+//
+//   1. foreground alone on its burst-parallel plan   -> isolated iter time
+//   2. foreground with the background collocated on
+//      every one of its GPUs                         -> shared iter time and
+//                                                       lent bg throughput
+//   3. background alone on one dedicated GPU         -> dedicated bg rate
+//
+// and derives the pair's scheduler-facing factors:
+//
+//   fg_slowdown   = shared_iter / isolated_iter - 1            (clamped >= 0)
+//   bg_efficiency = lent_per_gpu_rate / (idle_frac * dedicated_rate)
+//                                                            (clamped [0, 1])
+//
+// where idle_frac is the lendable burst-phase slack the foreground plan
+// leaves (the exact quantity sched/scheduler.cpp computes for its fluid
+// rates, so a measured table plugs into the engine's formulas unchanged).
+// The result is an InterferenceTable cache the `deeppool calibrate` CLI
+// writes out and `deeppool schedule --calibration` replays.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "calib/interference.h"
+#include "runtime/multiplex.h"
+#include "util/json.h"
+
+namespace deeppool::calib {
+
+/// The sweep grid (JSON spec kind: "calibration"). Every fg model is crossed
+/// with every bg model, GPU count and amp_limit; model names come from
+/// models/zoo.
+struct CalibrationSpec {
+  std::string name = "calibration";
+  std::vector<std::string> fg_models{"vgg16"};
+  std::vector<std::string> bg_models{"resnet50"};
+  std::vector<int> gpu_counts{16};
+  std::vector<double> amp_limits{1.5};
+  std::int64_t fg_batch = 32;   ///< foreground planner global batch
+  std::int64_t bg_batch = 8;    ///< background per-iteration batch
+  std::string network = "nvswitch";  ///< net::NetworkSpec::from_name()
+  bool pow2_only = true;        ///< planner profile candidates
+  int warmup_iters = 2;         ///< fg iterations before measurement
+  int measure_iters = 8;        ///< fg iterations measured per run
+  double bg_only_time_s = 0.1;  ///< window for the dedicated-bg baseline
+  runtime::MultiplexConfig mux; ///< mechanisms active while measuring
+};
+
+/// Throws std::invalid_argument naming the offending field: empty model /
+/// grid lists, unknown zoo models or network, non-positive counts/windows.
+void validate(const CalibrationSpec& spec);
+
+/// Parses {"kind": "calibration", "fg_models": [...], ...}. kind may be
+/// omitted only when an "fg_models" list is present; any other kind throws.
+/// Absent keys keep defaults, bad values throw.
+CalibrationSpec calibration_spec_from_json(const Json& j);
+Json to_json(const CalibrationSpec& spec);
+
+/// The reference grid: every fg x bg pairing the reference Poisson trace
+/// (sched::reference_poisson_mix) can draw, at its 16-GPU cluster shape.
+/// Single source of truth for bench_calibration; shipped to CLI users as
+/// examples/scenarios/calib_pairs.json, and a test asserts that file stays
+/// identical to this definition.
+CalibrationSpec reference_pairs_spec();
+
+/// One measured grid point: the derived factors plus the raw measurements
+/// behind them (kept so a calibration run is auditable, not a black box).
+struct CalibrationPoint {
+  PairKey key;
+  PairFactors factors;
+  double fg_iso_iter_s = 0.0;     ///< isolated fg iteration time
+  double fg_shared_iter_s = 0.0;  ///< fg iteration time under collocation
+  double fg_idle_frac = 0.0;      ///< lendable slack of the fg plan
+  int fg_plan_gpus = 0;           ///< peak GPUs the fg plan occupies
+  double bg_dedicated_samples_per_s = 0.0;  ///< bg alone on one GPU
+  double bg_lent_samples_per_s = 0.0;       ///< per-GPU bg rate when lent
+};
+
+struct CalibrationResult {
+  CalibrationSpec spec;
+  std::vector<CalibrationPoint> points;  ///< key order (deterministic)
+  InterferenceTable table;
+};
+
+Json to_json(const CalibrationPoint& point);
+/// Full report; ["table"] holds the InterferenceTable cache file verbatim.
+Json to_json(const CalibrationResult& result);
+
+/// Runs the whole grid. Deterministic: the same spec produces a
+/// byte-identical to_json(result) dump. Isolated-foreground and
+/// dedicated-background baselines are measured once and shared across the
+/// pairs that need them. `progress` (optional) gets one line per pair.
+/// Throws like validate() on bad specs.
+CalibrationResult run_calibration(const CalibrationSpec& spec,
+                                  std::ostream* progress = nullptr);
+
+}  // namespace deeppool::calib

@@ -1,0 +1,131 @@
+#include "calib/interference.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace deeppool::calib {
+
+namespace {
+
+/// Non-positive amp limits all mean "unlimited" (the planner normalizes
+/// them to the same plan), so they must map to one table key.
+PairKey canonical(PairKey key) {
+  if (key.shape.amp_limit <= 0.0) key.shape.amp_limit = 0.0;
+  return key;
+}
+
+}  // namespace
+
+double analytic_fg_interference(const runtime::MultiplexConfig& mux) {
+  double f = 0.45;  // naive collocation (every Fig.-11 mechanism off)
+  if (mux.cuda_graphs) f *= 0.55;
+  if (mux.stream_priorities && mux.fg_priority > mux.bg_priority) f *= 0.45;
+  if (mux.pacing_limit > 0) f *= 0.55;
+  if (mux.slowdown_feedback) f *= 0.75;
+  return f;
+}
+
+double analytic_bg_lend_efficiency(const runtime::MultiplexConfig& mux) {
+  return mux.cuda_graphs ? 0.85 : 0.7;
+}
+
+PairFactors analytic_factors(const runtime::MultiplexConfig& mux) {
+  return PairFactors{analytic_fg_interference(mux),
+                     analytic_bg_lend_efficiency(mux)};
+}
+
+void InterferenceTable::set(const PairKey& key, const PairFactors& factors) {
+  if (key.fg_model.empty() || key.bg_model.empty()) {
+    throw std::invalid_argument("interference key needs fg and bg model names");
+  }
+  if (key.shape.num_gpus < 1) {
+    throw std::invalid_argument("interference key num_gpus must be >= 1");
+  }
+  if (!std::isfinite(key.shape.amp_limit)) {
+    throw std::invalid_argument("interference key amp_limit must be finite");
+  }
+  if (!std::isfinite(factors.fg_slowdown) || factors.fg_slowdown < 0.0) {
+    throw std::invalid_argument(
+        "fg_slowdown must be finite and >= 0 for pair (" + key.fg_model +
+        ", " + key.bg_model + ")");
+  }
+  if (!std::isfinite(factors.bg_efficiency) || factors.bg_efficiency < 0.0 ||
+      factors.bg_efficiency > 1.0) {
+    throw std::invalid_argument(
+        "bg_efficiency must be in [0, 1] for pair (" + key.fg_model + ", " +
+        key.bg_model + ")");
+  }
+  entries_[canonical(key)] = factors;
+}
+
+const PairFactors* InterferenceTable::find(const PairKey& key) const {
+  const auto it = entries_.find(canonical(key));
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+Json InterferenceTable::to_json() const {
+  Json j;
+  j["kind"] = Json("interference_table");
+  Json::Array entries;
+  for (const auto& [key, factors] : entries_) {
+    Json e;
+    e["fg_model"] = Json(key.fg_model);
+    e["bg_model"] = Json(key.bg_model);
+    e["num_gpus"] = Json(key.shape.num_gpus);
+    e["amp_limit"] = Json(key.shape.amp_limit);
+    e["fg_slowdown"] = Json(factors.fg_slowdown);
+    e["bg_efficiency"] = Json(factors.bg_efficiency);
+    entries.push_back(std::move(e));
+  }
+  j["entries"] = Json(std::move(entries));
+  return j;
+}
+
+InterferenceTable InterferenceTable::from_json(const Json& j) {
+  if (!j.is_object()) {
+    throw std::runtime_error("interference table must be a JSON object");
+  }
+  const std::string kind = str_or(j, "kind", "interference_table");
+  if (kind != "interference_table") {
+    throw std::runtime_error("spec kind \"" + kind +
+                             "\" is not an interference table");
+  }
+  // Arbitrary untagged JSON (a metrics dump, a plan file) must not load as
+  // a silently-empty table that turns the whole run analytic.
+  if (!j.contains("kind") && !j.contains("entries")) {
+    throw std::runtime_error(
+        "not an interference table: expected \"kind\": "
+        "\"interference_table\" or an \"entries\" list");
+  }
+  InterferenceTable table;
+  if (!j.contains("entries")) return table;
+  for (const Json& e : j.at("entries").as_array()) {
+    if (!e.is_object()) {
+      throw std::runtime_error("interference entry must be a JSON object");
+    }
+    PairKey key;
+    key.fg_model = e.at("fg_model").as_string();
+    key.bg_model = e.at("bg_model").as_string();
+    key.shape.num_gpus = static_cast<int>(e.at("num_gpus").as_int());
+    key.shape.amp_limit = e.at("amp_limit").as_number();
+    PairFactors factors;
+    factors.fg_slowdown = e.at("fg_slowdown").as_number();
+    factors.bg_efficiency = e.at("bg_efficiency").as_number();
+    table.set(key, factors);  // validates
+  }
+  return table;
+}
+
+PairFactors InterferenceModel::factors(const std::string& fg_model,
+                                       const std::string& bg_model,
+                                       const GpuShape& shape) const {
+  if (const PairFactors* measured =
+          table_.find(PairKey{fg_model, bg_model, shape})) {
+    ++hits_;
+    return *measured;
+  }
+  ++misses_;
+  return analytic_;
+}
+
+}  // namespace deeppool::calib

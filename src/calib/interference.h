@@ -1,0 +1,144 @@
+// Measured collocation-interference data for the cluster scheduler.
+//
+// The paper's central observation is that collocation cost depends on *which*
+// kernels share a device: a background trainer that floods the transmission
+// queue slows one foreground model far more than another. The scheduler
+// therefore prices GPU lending per (foreground model, background model,
+// GPU shape) pair. This module owns that data path:
+//
+//   * InterferenceTable — a keyed map
+//       (fg_model, bg_model, {num_gpus, amp_limit}) -> {fg_slowdown,
+//       bg_efficiency}
+//     with JSON (de)serialization via util/json and deterministic iteration
+//     order, produced once by calib::run_calibration (calibrator.h) and
+//     consumed by every scheduling decision ("measure once, cache").
+//   * analytic_* — the model-agnostic fallback factors derived from the
+//     MultiplexConfig alone (the Fig. 11 mechanism ladder). These used to
+//     live in sched/scheduler.cpp; sched re-exports them for compatibility.
+//   * InterferenceModel — the lookup facade the scheduler holds: measured
+//     entries where the table has them, graceful fallback to the analytic
+//     factors for missing keys, and hit/miss counters so a run can prove
+//     which source priced its decisions.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "runtime/multiplex.h"
+#include "util/json.h"
+
+namespace deeppool::calib {
+
+/// The foreground execution shape a measurement was taken under. Jobs are
+/// planned against the whole cluster (`num_gpus`) with a GPU-time
+/// amplification allowance (`amp_limit`, <= 0 meaning unlimited), and both
+/// change how much idle burst-phase slack the plan leaves for lending — so
+/// both key the table. Every non-positive amp_limit is the same "unlimited"
+/// plan, so the table canonicalizes them to 0.0 on set and find: a job
+/// specced with amp_limit -1 hits an entry calibrated at 0.0. Batch sizes
+/// are deliberately not part of the key: they are a second-order effect and
+/// keying on them would explode the grid.
+struct GpuShape {
+  int num_gpus = 16;
+  double amp_limit = 1.5;
+
+  auto operator<=>(const GpuShape&) const = default;
+};
+
+/// One fg x bg collocation pairing at one GPU shape.
+struct PairKey {
+  std::string fg_model;
+  std::string bg_model;
+  GpuShape shape;
+
+  auto operator<=>(const PairKey&) const = default;
+};
+
+/// What the scheduler charges for that pairing:
+///   fg_slowdown    — fractional foreground slowdown with a background
+///                    tenant on all of the job's GPUs (the engine scales it
+///                    by shared/total GPUs, so a fully-shared job runs at
+///                    1 + fg_slowdown times its isolated iteration time).
+///   bg_efficiency  — fraction of a dedicated GPU's progress rate a lent
+///                    background tenant achieves per unit of foreground
+///                    idle time (lent rate = idle_frac * bg_efficiency).
+struct PairFactors {
+  double fg_slowdown = 0.0;
+  double bg_efficiency = 0.0;
+};
+
+/// Analytic fallback factors implied by the MultiplexConfig: each enabled
+/// Fig.-11 mechanism (CUDA graphs, stream priorities, launch pacing,
+/// slowdown feedback) shrinks the collocation interference, mirroring the
+/// ladder from naive collocation (~0.45) down to full DeepPool (~0.05).
+double analytic_fg_interference(const runtime::MultiplexConfig& mux);
+
+/// Fraction of a dedicated GPU's rate a lent background tenant achieves per
+/// unit of foreground idle time (graph launches batch bg work efficiently).
+double analytic_bg_lend_efficiency(const runtime::MultiplexConfig& mux);
+
+/// Both analytic factors as a PairFactors (the shape every fallback takes).
+PairFactors analytic_factors(const runtime::MultiplexConfig& mux);
+
+/// The measured-interference cache file. Deterministic: entries iterate in
+/// key order and to_json() of equal tables is byte-identical.
+class InterferenceTable {
+ public:
+  /// Inserts or overwrites one measurement. Throws std::invalid_argument on
+  /// non-finite or negative factors, bg_efficiency > 1, empty model names,
+  /// or num_gpus < 1.
+  void set(const PairKey& key, const PairFactors& factors);
+
+  /// Measured factors for the key, or nullptr when the pair was never
+  /// calibrated (callers fall back to the analytic model).
+  const PairFactors* find(const PairKey& key) const;
+
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+  const std::map<PairKey, PairFactors>& entries() const { return entries_; }
+
+  /// {"kind": "interference_table", "entries": [...]} with entries in key
+  /// order; round-trips byte-stably through from_json. from_json demands
+  /// the "kind" tag (or an "entries" list): arbitrary JSON must not load
+  /// as a silently-empty table that turns a run fully analytic.
+  Json to_json() const;
+  static InterferenceTable from_json(const Json& j);
+
+ private:
+  std::map<PairKey, PairFactors> entries_;
+};
+
+/// The factor source a schedule run holds: measured where calibrated,
+/// analytic everywhere else. Counts hits (measured entry answered) and
+/// misses (fallback used) so results can report which source priced them.
+class InterferenceModel {
+ public:
+  /// Analytic-only model (no table): every lookup is a fallback.
+  explicit InterferenceModel(const runtime::MultiplexConfig& mux)
+      : analytic_(analytic_factors(mux)) {}
+
+  InterferenceModel(const runtime::MultiplexConfig& mux,
+                    InterferenceTable table)
+      : analytic_(analytic_factors(mux)), table_(std::move(table)) {}
+
+  /// Measured factors for the pair, or the analytic fallback when the key is
+  /// missing. Never throws; every call bumps exactly one counter.
+  PairFactors factors(const std::string& fg_model, const std::string& bg_model,
+                      const GpuShape& shape) const;
+
+  bool calibrated() const { return !table_.empty(); }
+  const InterferenceTable& table() const { return table_; }
+  std::int64_t hits() const { return hits_; }
+  std::int64_t misses() const { return misses_; }
+
+ private:
+  PairFactors analytic_;
+  InterferenceTable table_;
+  mutable std::int64_t hits_ = 0;
+  mutable std::int64_t misses_ = 0;
+};
+
+}  // namespace deeppool::calib

@@ -132,9 +132,12 @@ ScenarioSpec scenario_spec_from_json(const Json& j) {
   }
   const std::string kind = spec_kind(j);
   if (kind != "scenario") {
+    std::string hint;
+    if (kind == "schedule") hint = "; run it with `deeppool schedule`";
+    if (kind == "calibration") hint = "; run it with `deeppool calibrate`";
     throw std::runtime_error(
         "spec kind \"" + kind + "\" is not a plan/simulate/sweep scenario" +
-        (kind == "schedule" ? "; run it with `deeppool schedule`" : ""));
+        hint);
   }
   ScenarioSpec spec;
   spec.name = str_or(j, "name", spec.name);

@@ -31,8 +31,10 @@ ScenarioConfig scenario_config_from_json(const Json& j);
 Json to_json(const ScenarioResult& result);
 
 /// Top-level "kind" of a spec file: "scenario" (default when absent, the
-/// plan/simulate/sweep schema above) or "schedule" (the multi-tenant
-/// scheduler schema in sched/scheduler.h). Lets one CLI dispatch on a file.
+/// plan/simulate/sweep schema above), "schedule" (the multi-tenant
+/// scheduler schema in sched/scheduler.h) or "calibration" (the measured
+/// interference sweep in calib/calibrator.h). Lets one CLI dispatch on a
+/// file.
 std::string spec_kind(const Json& j);
 
 /// A scenario described by names and knobs rather than concrete plans.

@@ -24,8 +24,8 @@ class FifoPartition final : public PlacementPolicy {
   bool lending() const override { return false; }
 
   std::optional<Decision> select(
-      const std::vector<JobView>& queue,
-      const std::vector<GpuView>& gpus) const override {
+      const std::vector<JobView>& queue, const std::vector<GpuView>& gpus,
+      const PolicyContext&) const override {
     if (queue.empty()) return std::nullopt;
     auto p = place_exclusive(queue.front(), gpus);
     if (!p) return std::nullopt;
@@ -40,8 +40,8 @@ class BestFit final : public PlacementPolicy {
   bool lending() const override { return false; }
 
   std::optional<Decision> select(
-      const std::vector<JobView>& queue,
-      const std::vector<GpuView>& gpus) const override {
+      const std::vector<JobView>& queue, const std::vector<GpuView>& gpus,
+      const PolicyContext&) const override {
     // Tightest packing: of the queued jobs that fit the free GPUs, take the
     // one that leaves the fewest free (largest demand); FIFO breaks ties.
     std::optional<Decision> best;
@@ -64,10 +64,10 @@ class BurstLending final : public PlacementPolicy {
   bool lending() const override { return true; }
 
   std::optional<Decision> select(
-      const std::vector<JobView>& queue,
-      const std::vector<GpuView>& gpus) const override {
+      const std::vector<JobView>& queue, const std::vector<GpuView>& gpus,
+      const PolicyContext& ctx) const override {
     for (std::size_t i = 0; i < queue.size(); ++i) {
-      auto p = place(queue[i], gpus);
+      auto p = place(queue[i], gpus, ctx);
       if (p) return Decision{static_cast<int>(i), std::move(*p)};
     }
     return std::nullopt;
@@ -75,7 +75,8 @@ class BurstLending final : public PlacementPolicy {
 
  private:
   static std::optional<Placement> place(const JobView& job,
-                                        const std::vector<GpuView>& gpus) {
+                                        const std::vector<GpuView>& gpus,
+                                        const PolicyContext& ctx) {
     if (job.foreground) {
       // Free GPUs first; top up from GPUs held by dedicated background jobs
       // (the scheduler demotes or evicts those tenants — "reclamation on
@@ -92,16 +93,22 @@ class BurstLending final : public PlacementPolicy {
       return std::nullopt;
     }
     // Background: a free GPU makes a dedicated tenant; otherwise lend from
-    // the foreground GPU offering the best idle-phase rate (QoS-aware —
-    // the scheduler zeroes lend_rate where the bound would be broken).
+    // the foreground GPU offering the best idle-phase rate for *this* job
+    // (QoS-aware — the evaluator returns 0 where the bound would be
+    // broken). The per-pair evaluator, when supplied, prices each candidate
+    // GPU against this job's model; GpuView::lend_rate is the pair-agnostic
+    // fallback.
     for (std::size_t g = 0; g < gpus.size(); ++g) {
       if (gpus[g].free()) return Placement{{static_cast<int>(g)}, false};
     }
     int best_gpu = -1;
     double best_rate = 0.0;
     for (std::size_t g = 0; g < gpus.size(); ++g) {
-      if (gpus[g].lend_rate > best_rate) {
-        best_rate = gpus[g].lend_rate;
+      const double rate = ctx.lend_rate
+                              ? ctx.lend_rate(job, static_cast<int>(g))
+                              : gpus[g].lend_rate;
+      if (rate > best_rate) {
+        best_rate = rate;
         best_gpu = static_cast<int>(g);
       }
     }
@@ -116,9 +123,15 @@ std::unique_ptr<PlacementPolicy> make_policy(const std::string& name) {
   if (name == "fifo_partition") return std::make_unique<FifoPartition>();
   if (name == "best_fit") return std::make_unique<BestFit>();
   if (name == "burst_lending") return std::make_unique<BurstLending>();
-  throw std::invalid_argument(
-      "unknown policy \"" + name +
-      "\"; supported: fifo_partition best_fit burst_lending");
+  // Derive the list from policy_names() so the one-line error a user sees
+  // for a typo'd --policy can never drift from the real set.
+  std::string known;
+  for (const std::string& valid : policy_names()) {
+    if (!known.empty()) known += " | ";
+    known += valid;
+  }
+  throw std::invalid_argument("unknown policy \"" + name +
+                              "\"; valid policies: " + known);
 }
 
 std::vector<std::string> policy_names() {

@@ -18,6 +18,7 @@
 //     reclaims GPUs occupied by dedicated background jobs.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -29,10 +30,11 @@ namespace deeppool::sched {
 struct GpuView {
   int fg_job = -1;  ///< id of the foreground job owning this GPU, -1 if none
   int bg_job = -1;  ///< id of the background job on this GPU, -1 if none
-  /// Background progress rate (fraction of a dedicated GPU) a lent placement
-  /// on this GPU would get right now; 0 means lending is not allowed (no
-  /// foreground owner, a background tenant already present, or the QoS bound
-  /// would be violated). Filled in by the scheduler.
+  /// Pair-agnostic background progress rate (fraction of a dedicated GPU) a
+  /// lent placement on this GPU would get right now; 0 means lending is not
+  /// allowed (no foreground owner, a background tenant already present, or
+  /// the QoS bound would be violated). Used when no per-pair evaluator is
+  /// supplied via PolicyContext (unit tests, custom drivers).
   double lend_rate = 0.0;
 
   bool free() const { return fg_job < 0 && bg_job < 0; }
@@ -46,6 +48,22 @@ struct JobView {
   int id = -1;
   bool foreground = true;
   int gpus_needed = 1;
+  /// Zoo model name; keys measured-interference lookups so lending can be
+  /// priced per (foreground, background) pair.
+  std::string model;
+};
+
+/// Optional per-dispatch context the scheduler hands to select(). The lend
+/// evaluator prices lending per *pair*: the rate (fraction of a dedicated
+/// GPU) this specific queued job would progress at if lent this specific
+/// GPU, 0 when lending is refused (no foreground owner, a tenant already
+/// present, or the projected foreground slowdown would break QoS). The
+/// scheduler backs it with a calib::InterferenceModel — a measured
+/// InterferenceTable when one is loaded, the analytic mux-derived factors
+/// otherwise — so burst_lending lends against measured per-pair costs
+/// without knowing where the numbers came from.
+struct PolicyContext {
+  std::function<double(const JobView& job, int gpu)> lend_rate;
 };
 
 /// A placement decision: the chosen GPUs, and whether a background job rides
@@ -72,14 +90,16 @@ class PlacementPolicy {
   /// background-held GPUs on foreground demand.
   virtual bool lending() const = 0;
   /// Picks the next job to dispatch, or nullopt if nothing fits right now.
-  /// `queue` is in FIFO (arrival) order. Must be deterministic.
+  /// `queue` is in FIFO (arrival) order. Must be deterministic. `ctx` may
+  /// carry a per-pair lend evaluator; without one, lending policies fall
+  /// back to the pair-agnostic GpuView::lend_rate.
   virtual std::optional<Decision> select(
-      const std::vector<JobView>& queue,
-      const std::vector<GpuView>& gpus) const = 0;
+      const std::vector<JobView>& queue, const std::vector<GpuView>& gpus,
+      const PolicyContext& ctx = {}) const = 0;
 };
 
 /// Factory: "fifo_partition" | "best_fit" | "burst_lending". Throws
-/// std::invalid_argument listing the known names on anything else.
+/// std::invalid_argument listing policy_names() on anything else.
 std::unique_ptr<PlacementPolicy> make_policy(const std::string& name);
 
 /// Names accepted by make_policy(), in documentation order.

@@ -29,6 +29,9 @@ Json to_json_config(const ScheduleConfig& config) {
   j["network"] = Json(config.network);
   j["pow2_only"] = Json(config.pow2_only);
   j["mux"] = runtime::to_json(config.mux);
+  if (!config.calibration.empty()) {
+    j["calibration"] = config.calibration.to_json();
+  }
   j["util_timeline_bins"] = Json(config.util_timeline_bins);
   j["max_sim_time_s"] = Json(config.max_sim_time_s);
   return j;
@@ -47,6 +50,10 @@ ScheduleConfig config_from_json(const Json& j) {
   config.pow2_only = bool_or(j, "pow2_only", config.pow2_only);
   if (j.contains("mux")) {
     config.mux = runtime::multiplex_config_from_json(j.at("mux"));
+  }
+  if (j.contains("calibration")) {
+    config.calibration =
+        calib::InterferenceTable::from_json(j.at("calibration"));
   }
   config.util_timeline_bins = static_cast<int>(
       int_or(j, "util_timeline_bins", config.util_timeline_bins));
@@ -86,8 +93,7 @@ class Engine {
         policy_(make_policy(config.policy)),
         cost_(models::DeviceSpec::a100()),
         network_(net::NetworkSpec::from_name(config.network)),
-        interference_(fg_interference(config.mux)),
-        bg_eff_(bg_lend_efficiency(config.mux)),
+        interference_(config.mux, config.calibration),
         gpus_(static_cast<std::size_t>(config.num_gpus)) {
     specs_ = generate_workload(workload);
     seed_ = workload.seed;
@@ -128,7 +134,10 @@ class Engine {
   void dispatch(int job_id, const Placement& placement);
   void reclaim_tenant(int bg_id, int gpu, Job& incoming_fg, bool demote);
   std::vector<GpuView> gpu_views() const;
-  int shared_gpus(const Job& fg) const;
+  calib::GpuShape shape_key(const Job& fg) const;
+  calib::PairFactors pair_factors(const Job& fg, const Job& bg) const;
+  double shared_interference(const Job& fg) const;
+  double lend_rate_for(const std::string& bg_model, int gpu) const;
   void settle(Job& job);
   void set_rate(Job& job);
   void update_util();
@@ -140,8 +149,8 @@ class Engine {
   std::unique_ptr<PlacementPolicy> policy_;
   models::CostModel cost_;
   net::NetworkModel network_;
-  double interference_;
-  double bg_eff_;
+  /// Per-pair factor source: measured table entries with analytic fallback.
+  calib::InterferenceModel interference_;
 
   sim::Simulator sim_;
   std::vector<JobSpec> specs_;
@@ -203,29 +212,55 @@ Shape Engine::resolve_shape(const JobSpec& spec) {
   return shape;
 }
 
-int Engine::shared_gpus(const Job& fg) const {
-  int shared = 0;
+calib::GpuShape Engine::shape_key(const Job& fg) const {
+  // Measurements are keyed by the cluster the plan was laid out against and
+  // the job's amplification allowance — the knobs that set how much burst
+  // slack the plan leaves (see calib::GpuShape).
+  return calib::GpuShape{config_.num_gpus, fg.spec.amp_limit};
+}
+
+calib::PairFactors Engine::pair_factors(const Job& fg, const Job& bg) const {
+  return interference_.factors(fg.spec.model, bg.spec.model, shape_key(fg));
+}
+
+/// Summed fractional slowdown the fg job's current tenants inflict; each
+/// tenant is priced per pair, so two different background models on two of
+/// the job's GPUs charge two different costs.
+double Engine::shared_interference(const Job& fg) const {
+  double sum = 0.0;
   for (int g : fg.gpu_ids) {
-    if (gpus_[static_cast<std::size_t>(g)].bg >= 0) ++shared;
+    const int b = gpus_[static_cast<std::size_t>(g)].bg;
+    if (b >= 0) {
+      sum += pair_factors(fg, jobs_[static_cast<std::size_t>(b)]).fg_slowdown;
+    }
   }
-  return shared;
+  return sum;
+}
+
+/// The per-pair lend evaluator behind PolicyContext: the rate a background
+/// job of `bg_model` would get if lent GPU `gpu` right now, 0 when lending
+/// is refused (no fg owner, tenant present, or the projected fg slowdown —
+/// existing tenants plus this candidate — would break the QoS bound).
+double Engine::lend_rate_for(const std::string& bg_model, int gpu) const {
+  const Gpu& slot = gpus_[static_cast<std::size_t>(gpu)];
+  if (slot.fg < 0 || slot.bg >= 0) return 0.0;
+  const Job& fg = jobs_[static_cast<std::size_t>(slot.fg)];
+  const calib::PairFactors f =
+      interference_.factors(fg.spec.model, bg_model, shape_key(fg));
+  const double projected =
+      1.0 + (shared_interference(fg) + f.fg_slowdown) /
+                static_cast<double>(fg.shape.gpus);
+  const double rate = fg.shape.idle_frac * f.bg_efficiency;
+  return rate > 0.0 && projected <= config_.qos_fg_slowdown ? rate : 0.0;
 }
 
 std::vector<GpuView> Engine::gpu_views() const {
+  // Occupancy only; lending is priced per pair through the PolicyContext
+  // evaluator, so there is no meaningful per-GPU rate to precompute here.
   std::vector<GpuView> views(gpus_.size());
   for (std::size_t g = 0; g < gpus_.size(); ++g) {
     views[g].fg_job = gpus_[g].fg;
     views[g].bg_job = gpus_[g].bg;
-    if (!policy_->lending()) continue;
-    if (gpus_[g].fg < 0 || gpus_[g].bg >= 0) continue;
-    const Job& fg = jobs_[static_cast<std::size_t>(gpus_[g].fg)];
-    const double projected =
-        1.0 + interference_ * static_cast<double>(shared_gpus(fg) + 1) /
-                  static_cast<double>(fg.shape.gpus);
-    const double rate = fg.shape.idle_frac * bg_eff_;
-    if (rate > 0.0 && projected <= config_.qos_fg_slowdown) {
-      views[g].lend_rate = rate;
-    }
   }
   return views;
 }
@@ -245,12 +280,12 @@ void Engine::set_rate(Job& job) {
   }
   if (job.foreground()) {
     const double slowdown =
-        1.0 + interference_ * static_cast<double>(shared_gpus(job)) /
-                  static_cast<double>(job.shape.gpus);
+        1.0 + shared_interference(job) / static_cast<double>(job.shape.gpus);
     job.rate = 1.0 / (job.shape.iso_iter_s * slowdown);
   } else if (job.lent) {
     const Job& host = jobs_[static_cast<std::size_t>(job.host_fg)];
-    job.rate = host.shape.idle_frac * bg_eff_ / job.shape.iso_iter_s;
+    job.rate = host.shape.idle_frac * pair_factors(host, job).bg_efficiency /
+               job.shape.iso_iter_s;
   } else {
     job.rate = 1.0 / job.shape.iso_iter_s;
   }
@@ -302,19 +337,22 @@ void Engine::dispatch(int job_id, const Placement& placement) {
   if (job.foreground()) {
     // Reclaim dedicated background tenants standing on the chosen GPUs:
     // demote to collocated where the QoS bound and a non-zero lending rate
-    // allow it, evict back to the queue otherwise.
-    int kept = 0;
+    // allow it, evict back to the queue otherwise. Each tenant is priced
+    // per pair against the arriving foreground model.
+    double kept_interference = 0.0;
     for (int g : placement.gpu_ids) {
       const int b = gpus_[static_cast<std::size_t>(g)].bg;
       if (b < 0) continue;
+      const calib::PairFactors f =
+          pair_factors(job, jobs_[static_cast<std::size_t>(b)]);
       const double projected =
-          1.0 + interference_ * static_cast<double>(kept + 1) /
+          1.0 + (kept_interference + f.fg_slowdown) /
                     static_cast<double>(job.shape.gpus);
-      const double rate = job.shape.idle_frac * bg_eff_;
+      const double rate = job.shape.idle_frac * f.bg_efficiency;
       const bool demote =
           rate > 0.0 && projected <= config_.qos_fg_slowdown;
       reclaim_tenant(b, g, job, demote);
-      if (demote) ++kept;
+      if (demote) kept_interference += f.fg_slowdown;
     }
     for (int g : placement.gpu_ids) {
       gpus_[static_cast<std::size_t>(g)].fg = job_id;
@@ -343,6 +381,10 @@ void Engine::dispatch(int job_id, const Placement& placement) {
 }
 
 void Engine::try_dispatch() {
+  PolicyContext ctx;
+  ctx.lend_rate = [this](const JobView& job, int gpu) {
+    return lend_rate_for(job.model, gpu);
+  };
   for (;;) {
     if (queue_.empty()) break;
     std::vector<JobView> queue_views;
@@ -350,9 +392,9 @@ void Engine::try_dispatch() {
     for (int id : queue_) {
       const Job& job = jobs_[static_cast<std::size_t>(id)];
       queue_views.push_back(
-          JobView{id, job.foreground(), job.shape.gpus});
+          JobView{id, job.foreground(), job.shape.gpus, job.spec.model});
     }
-    const auto decision = policy_->select(queue_views, gpu_views());
+    const auto decision = policy_->select(queue_views, gpu_views(), ctx);
     if (!decision) break;
     const int job_id = queue_[static_cast<std::size_t>(decision->queue_index)];
     queue_.erase(queue_.begin() + decision->queue_index);
@@ -405,7 +447,9 @@ double Engine::cluster_busy() const {
       const Job& fg = jobs_[static_cast<std::size_t>(gpu.fg)];
       double u = 1.0 - fg.shape.idle_frac;
       if (gpu.bg >= 0) {
-        u = std::min(1.0, u + fg.shape.idle_frac * bg_eff_);
+        const Job& bg = jobs_[static_cast<std::size_t>(gpu.bg)];
+        u = std::min(
+            1.0, u + fg.shape.idle_frac * pair_factors(fg, bg).bg_efficiency);
       }
       busy += u;
     } else if (gpu.bg >= 0) {
@@ -545,6 +589,9 @@ ScheduleResult Engine::finalize() {
   fleet.reclaims = reclaims_;
   fleet.max_jobs_per_gpu = max_jobs_per_gpu_;
   fleet.qos_met = fleet.fg_p95_slowdown <= config_.qos_fg_slowdown;
+  fleet.calibrated = interference_.calibrated();
+  fleet.calib_hits = static_cast<int>(interference_.hits());
+  fleet.calib_misses = static_cast<int>(interference_.misses());
 
   // Close the utilization integral at the makespan and bin the step curve.
   util_integral_ += busy_ * (makespan - util_last_t_);
@@ -585,19 +632,6 @@ ScheduleResult Engine::finalize() {
 
 }  // namespace
 
-double fg_interference(const runtime::MultiplexConfig& mux) {
-  double f = 0.45;  // naive collocation (every Fig.-11 mechanism off)
-  if (mux.cuda_graphs) f *= 0.55;
-  if (mux.stream_priorities && mux.fg_priority > mux.bg_priority) f *= 0.45;
-  if (mux.pacing_limit > 0) f *= 0.55;
-  if (mux.slowdown_feedback) f *= 0.75;
-  return f;
-}
-
-double bg_lend_efficiency(const runtime::MultiplexConfig& mux) {
-  return mux.cuda_graphs ? 0.85 : 0.7;
-}
-
 ScheduleResult run_schedule(const WorkloadSpec& workload,
                             const ScheduleConfig& config) {
   validate_config(config);
@@ -615,8 +649,9 @@ ScheduleSpec schedule_spec_from_json(const Json& j) {
   }
   const std::string kind = runtime::spec_kind(j);
   if (kind != "schedule" && j.contains("kind")) {
-    throw std::runtime_error("spec kind \"" + kind +
-                             "\" is not a schedule spec");
+    throw std::runtime_error(
+        "spec kind \"" + kind + "\" is not a schedule spec" +
+        (kind == "calibration" ? "; run it with `deeppool calibrate`" : ""));
   }
   // A plain scenario file (or arbitrary JSON) must not silently run as an
   // all-defaults schedule: demand the tag or an explicit workload block.
@@ -688,6 +723,9 @@ Json to_json(const ScheduleResult& result) {
   fleet["reclaims"] = Json(f.reclaims);
   fleet["max_jobs_per_gpu"] = Json(f.max_jobs_per_gpu);
   fleet["qos_met"] = Json(f.qos_met);
+  fleet["calibrated"] = Json(f.calibrated);
+  fleet["calib_hits"] = Json(f.calib_hits);
+  fleet["calib_misses"] = Json(f.calib_misses);
   j["fleet"] = std::move(fleet);
   Json::Array jobs;
   for (const JobOutcome& job : result.jobs) jobs.push_back(to_json(job));

@@ -8,16 +8,19 @@
 // the very slack DeepPool lends out), background jobs get the single-GPU
 // data-parallel profile. Execution is fluid: a running job progresses at
 // 1/(iso_iter * slowdown) iterations per second, where slowdown follows the
-// current sharing state and the MultiplexConfig (each Fig.-11 mechanism that
-// is enabled shrinks the collocation interference). Placement is delegated
-// to a pluggable policy (policies.h); per-job and fleet metrics aggregate
-// through util/summary.
+// current sharing state priced per (fg model, bg model) pair through a
+// calib::InterferenceModel — measured InterferenceTable entries when a
+// calibration cache is loaded, analytic MultiplexConfig-derived factors
+// (each enabled Fig.-11 mechanism shrinks the interference) otherwise.
+// Placement is delegated to a pluggable policy (policies.h); per-job and
+// fleet metrics aggregate through util/summary.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "calib/interference.h"
 #include "runtime/multiplex.h"
 #include "sched/workload.h"
 #include "util/json.h"
@@ -34,6 +37,11 @@ struct ScheduleConfig {
   std::string network = "nvswitch";  ///< net::NetworkSpec::from_name()
   bool pow2_only = true;             ///< planner profile candidates
   runtime::MultiplexConfig mux;      ///< informs interference factors
+  /// Measured per-pair interference (the cache `deeppool calibrate`
+  /// produces). Lookups key on (fg model, bg model, {num_gpus, job
+  /// amp_limit}); pairs missing from the table fall back to the analytic
+  /// mux-derived factors. Empty table = fully analytic run.
+  calib::InterferenceTable calibration;
   int util_timeline_bins = 24;       ///< GPU-utilization timeline resolution
   double max_sim_time_s = 1e6;       ///< hard safety cap
 };
@@ -73,6 +81,12 @@ struct FleetMetrics {
   int reclaims = 0;   ///< bg demotions/evictions on foreground demand
   int max_jobs_per_gpu = 0;  ///< never exceeds 2 (one fg + one bg)
   bool qos_met = true;       ///< fg_p95_slowdown <= qos_fg_slowdown
+  bool calibrated = false;   ///< a measured InterferenceTable was loaded
+  /// Interference lookups answered by a measured table entry vs. by the
+  /// analytic fallback. calibrated && calib_misses == 0 proves every
+  /// collocation decision was priced from measurements.
+  int calib_hits = 0;
+  int calib_misses = 0;
 };
 
 struct ScheduleResult {
@@ -99,16 +113,16 @@ Json to_json(const ScheduleSpec& spec);
 Json to_json(const JobOutcome& job);
 Json to_json(const ScheduleResult& result);
 
-/// Collocation interference factor the MultiplexConfig implies: the
-/// fractional foreground slowdown from one background tenant on all of the
-/// job's GPUs. Each enabled mechanism (CUDA graphs, stream priorities,
-/// launch pacing, slowdown feedback) shrinks it, mirroring the Fig. 11
-/// ladder from naive collocation (~0.45) down to full DeepPool (~0.05).
-double fg_interference(const runtime::MultiplexConfig& mux);
-
-/// Fraction of a dedicated GPU's rate a lent background tenant achieves per
-/// unit of foreground idle time (graph launches batch bg work efficiently).
-double bg_lend_efficiency(const runtime::MultiplexConfig& mux);
+/// Analytic interference factors, re-exported from calib/ for
+/// compatibility: the calibration subsystem owns the interference math, and
+/// these mux-derived values are its fallback model for uncalibrated pairs
+/// (see calib::analytic_fg_interference for the Fig. 11 ladder semantics).
+inline double fg_interference(const runtime::MultiplexConfig& mux) {
+  return calib::analytic_fg_interference(mux);
+}
+inline double bg_lend_efficiency(const runtime::MultiplexConfig& mux) {
+  return calib::analytic_bg_lend_efficiency(mux);
+}
 
 /// Runs the whole trace to completion. Deterministic: the same workload and
 /// config produce a byte-identical to_json(result) dump. Throws

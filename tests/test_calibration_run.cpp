@@ -1,0 +1,239 @@
+#include "calib/calibrator.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "runtime/scenario_config.h"
+#include "sched/scheduler.h"
+
+namespace deeppool::calib {
+namespace {
+
+/// A one-pair grid sized for test speed (~tens of ms): vgg16 foreground,
+/// resnet50 background, 8 GPUs, the default amp allowance.
+CalibrationSpec tiny_spec() {
+  CalibrationSpec spec;
+  spec.name = "tiny";
+  spec.fg_models = {"vgg16"};
+  spec.bg_models = {"resnet50"};
+  spec.gpu_counts = {8};
+  spec.amp_limits = {1.5};
+  spec.warmup_iters = 1;
+  spec.measure_iters = 4;
+  spec.bg_only_time_s = 0.05;
+  return spec;
+}
+
+/// A trace the tiny grid fully covers: one cluster-filling vgg16 foreground
+/// job, then two resnet50 background arrivals that can only run by lending.
+/// Seed 2 pins the qos draws to [fg, bg, bg] (asserted below).
+sched::WorkloadSpec lending_workload() {
+  sched::WorkloadSpec w;
+  w.arrival = "trace";
+  w.arrival_times = {0.0, 0.05, 0.1};
+  w.seed = 2;
+  w.bg_fraction = 0.7;
+  w.min_iterations = 200;
+  w.max_iterations = 200;
+  w.fg_mix = {{"vgg16", 1.0, 32, 1.5}};
+  w.bg_mix = {{"resnet50", 1.0, 8, 0.0}};
+  return w;
+}
+
+sched::ScheduleConfig cluster8() {
+  sched::ScheduleConfig config;
+  config.num_gpus = 8;
+  config.policy = "burst_lending";
+  config.qos_fg_slowdown = 1.25;
+  return config;
+}
+
+TEST(Calibrator, MeasuresPlausibleFactorsDeterministically) {
+  const CalibrationResult a = run_calibration(tiny_spec());
+  ASSERT_EQ(a.table.size(), 1u);
+  ASSERT_EQ(a.points.size(), 1u);
+  const CalibrationPoint& p = a.points.front();
+  EXPECT_EQ(p.key.fg_model, "vgg16");
+  EXPECT_EQ(p.key.bg_model, "resnet50");
+  EXPECT_EQ(p.key.shape.num_gpus, 8);
+  // Collocation can only slow the foreground down, and the derived factors
+  // must stay in the ranges the scheduler's fluid model assumes.
+  EXPECT_GT(p.fg_iso_iter_s, 0.0);
+  EXPECT_GE(p.fg_shared_iter_s, p.fg_iso_iter_s);
+  EXPECT_GE(p.factors.fg_slowdown, 0.0);
+  EXPECT_GE(p.factors.bg_efficiency, 0.0);
+  EXPECT_LE(p.factors.bg_efficiency, 1.0);
+  EXPECT_GT(p.fg_idle_frac, 0.0);
+  EXPECT_GT(p.bg_dedicated_samples_per_s, 0.0);
+  EXPECT_GT(p.bg_lent_samples_per_s, 0.0);
+  // Measured, not fallback: the sweep must not just echo the analytic value.
+  EXPECT_NE(p.factors.fg_slowdown,
+            analytic_fg_interference(tiny_spec().mux));
+
+  // Measure once, cache: the same spec reproduces the table byte for byte.
+  const CalibrationResult b = run_calibration(tiny_spec());
+  EXPECT_EQ(to_json(a).dump(), to_json(b).dump());
+}
+
+TEST(Calibrator, DuplicateGridEntriesAreSweptOnce) {
+  // amp_limits 0.0 and -1.0 both mean "unlimited" and share one table key,
+  // and repeated models / gpu counts name the same grid point, so the sweep
+  // must measure each point once — not re-run into the same entry and emit
+  // duplicate report points.
+  CalibrationSpec spec = tiny_spec();
+  spec.amp_limits = {0.0, -1.0};
+  spec.fg_models = {"vgg16", "vgg16"};
+  spec.bg_models = {"resnet50", "resnet50"};
+  spec.gpu_counts = {8, 8};
+  const CalibrationResult r = run_calibration(spec);
+  EXPECT_EQ(r.table.size(), 1u);
+  ASSERT_EQ(r.points.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.points.front().key.shape.amp_limit, 0.0);
+}
+
+TEST(Calibrator, SpecJsonRoundTripAndValidation) {
+  const CalibrationSpec spec = tiny_spec();
+  const CalibrationSpec back =
+      calibration_spec_from_json(Json::parse(to_json(spec).dump()));
+  EXPECT_EQ(to_json(back).dump(), to_json(spec).dump());
+
+  EXPECT_THROW(calibration_spec_from_json(Json::parse(R"({"kind": "sched"})")),
+               std::runtime_error);
+  // Arbitrary JSON must not run as an all-defaults calibration.
+  EXPECT_THROW(calibration_spec_from_json(Json::parse(R"({"name": "x"})")),
+               std::runtime_error);
+  EXPECT_THROW(calibration_spec_from_json(Json::parse(
+                   R"({"kind": "calibration", "fg_models": []})")),
+               std::invalid_argument);
+  EXPECT_THROW(calibration_spec_from_json(Json::parse(
+                   R"({"kind": "calibration", "fg_models": ["wat"]})")),
+               std::invalid_argument);
+  EXPECT_THROW(calibration_spec_from_json(Json::parse(
+                   R"({"kind": "calibration", "gpu_counts": [0]})")),
+               std::invalid_argument);
+  EXPECT_THROW(calibration_spec_from_json(Json::parse(
+                   R"({"kind": "calibration", "measure_iters": 0})")),
+               std::invalid_argument);
+
+  // The other spec parsers route users to the right subcommand.
+  try {
+    runtime::scenario_spec_from_json(Json::parse(R"({"kind": "calibration"})"));
+    FAIL() << "scenario parser accepted a calibration spec";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("deeppool calibrate"),
+              std::string::npos);
+  }
+  try {
+    sched::schedule_spec_from_json(Json::parse(R"({"kind": "calibration"})"));
+    FAIL() << "schedule parser accepted a calibration spec";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("deeppool calibrate"),
+              std::string::npos);
+  }
+}
+
+#ifdef DEEPPOOL_SCENARIO_DIR
+CalibrationSpec load_shipped_spec(const std::string& file) {
+  const std::string path = std::string(DEEPPOOL_SCENARIO_DIR) + "/" + file;
+  std::ifstream in(path);
+  EXPECT_TRUE(in) << "cannot open " << path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return calibration_spec_from_json(Json::parse(buffer.str()));
+}
+
+TEST(Calibrator, ShippedTinySpecStaysParseable) {
+  const CalibrationSpec spec = load_shipped_spec("calib_tiny.json");
+  // The CI smoke step advertises this as "the tiny 2-pair spec"; keep it so.
+  EXPECT_EQ(spec.fg_models.size() * spec.bg_models.size() *
+                spec.gpu_counts.size() * spec.amp_limits.size(),
+            2u);
+}
+
+TEST(Calibrator, ShippedPairsSpecMatchesTheReferenceGrid) {
+  // bench_calibration measures reference_pairs_spec(); the CLI example
+  // ships the same grid as JSON. Keep them from drifting apart.
+  EXPECT_EQ(to_json(load_shipped_spec("calib_pairs.json")).dump(),
+            to_json(reference_pairs_spec()).dump());
+}
+#endif
+
+TEST(CalibratedSchedule, HitsTheTableNotTheFallback) {
+  const sched::WorkloadSpec w = lending_workload();
+  const auto jobs = sched::generate_workload(w);
+  ASSERT_EQ(jobs[0].qos, sched::QosClass::kForeground);
+  ASSERT_EQ(jobs[1].qos, sched::QosClass::kBackground);
+  ASSERT_EQ(jobs[2].qos, sched::QosClass::kBackground);
+
+  const sched::ScheduleResult analytic = sched::run_schedule(w, cluster8());
+  EXPECT_FALSE(analytic.fleet.calibrated);
+  EXPECT_EQ(analytic.fleet.calib_hits, 0);
+  EXPECT_GT(analytic.fleet.calib_misses, 0);
+  EXPECT_GT(analytic.fleet.lends, 0);
+
+  sched::ScheduleConfig config = cluster8();
+  config.calibration = run_calibration(tiny_spec()).table;
+  const sched::ScheduleResult measured = sched::run_schedule(w, config);
+  // The acceptance bar: every interference decision in this run was priced
+  // from the measured table — the analytic fallback never fired.
+  EXPECT_TRUE(measured.fleet.calibrated);
+  EXPECT_GT(measured.fleet.calib_hits, 0);
+  EXPECT_EQ(measured.fleet.calib_misses, 0);
+  EXPECT_GT(measured.fleet.lends, 0);
+  // And measured factors price the run differently than the analytic ones.
+  EXPECT_NE(to_json(measured).dump(), to_json(analytic).dump());
+  EXPECT_NE(measured.fleet.goodput_samples_per_s,
+            analytic.fleet.goodput_samples_per_s);
+}
+
+TEST(CalibratedSchedule, ConfigJsonRoundTripsTheTable) {
+  sched::ScheduleSpec spec;
+  spec.workload = lending_workload();
+  spec.config = cluster8();
+  spec.config.calibration = run_calibration(tiny_spec()).table;
+  const sched::ScheduleSpec back =
+      sched::schedule_spec_from_json(Json::parse(to_json(spec).dump()));
+  EXPECT_EQ(back.config.calibration.to_json().dump(),
+            spec.config.calibration.to_json().dump());
+  EXPECT_EQ(to_json(back).dump(), to_json(spec).dump());
+}
+
+TEST(CalibratedSchedule, PunitivePairChangesBurstLendingPlacement) {
+  // The e2e claim: per-pair pricing changes *placement*, not just reported
+  // numbers. Poison exactly one pair — resnet50 tenants on vgg16 hosts at
+  // the shape the reference trace runs — and burst_lending must route
+  // around it while every other pairing still falls back to the analytic
+  // factors.
+  const sched::WorkloadSpec w = sched::reference_poisson_mix();
+  sched::ScheduleConfig config;
+  config.num_gpus = 16;
+  config.policy = "burst_lending";
+  config.qos_fg_slowdown = 1.25;
+
+  const sched::ScheduleResult analytic = sched::run_schedule(w, config);
+  ASSERT_GT(analytic.fleet.lends, 0);
+
+  InterferenceTable punitive;
+  punitive.set(PairKey{"vgg16", "resnet50", GpuShape{16, 2.0}}, {10.0, 0.0});
+  config.calibration = punitive;
+  const sched::ScheduleResult poisoned = sched::run_schedule(w, config);
+
+  EXPECT_TRUE(poisoned.fleet.calibrated);
+  EXPECT_GT(poisoned.fleet.calib_hits, 0);   // the poisoned pair was consulted
+  EXPECT_GT(poisoned.fleet.calib_misses, 0); // everything else fell back
+  EXPECT_NE(to_json(poisoned).dump(), to_json(analytic).dump());
+  EXPECT_NE(poisoned.fleet.goodput_samples_per_s,
+            analytic.fleet.goodput_samples_per_s);
+  // A 10x slowdown factor can never pass the 1.25x QoS projection, so no
+  // resnet50 tenant may end up collocated under a vgg16 foreground.
+  EXPECT_LE(poisoned.fleet.lends, analytic.fleet.lends);
+  // The punitive run must still satisfy QoS: refusing the pair is the
+  // mechanism that protects the bound.
+  EXPECT_TRUE(poisoned.fleet.qos_met);
+}
+
+}  // namespace
+}  // namespace deeppool::calib

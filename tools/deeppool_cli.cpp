@@ -8,7 +8,10 @@
 //   deeppool sweep    --config scenario.json [--param knob --values 1,2,4]
 //                     [--output metrics.json] [--compact]
 //   deeppool schedule spec.json [--policy NAME] [--seed N]
+//                     [--calibration table.json]
 //                     [--output metrics.json] [--compact]
+//   deeppool calibrate spec.json [--out table.json]
+//                     [--output report.json] [--compact]
 //   deeppool models
 //
 // `plan` runs the burst-parallel planner and emits the TrainingPlan JSON the
@@ -18,7 +21,12 @@
 // / Fig. 12-style studies); the knob can come from the CLI or from a
 // `"sweep": {"param": ..., "values": [...]}` block in the scenario file.
 // `schedule` replays a whole multi-tenant job trace ({"kind": "schedule"}
-// specs) through the cluster scheduler and emits per-job + fleet metrics.
+// specs) through the cluster scheduler and emits per-job + fleet metrics;
+// `--calibration table.json` prices lending from a measured interference
+// table instead of the analytic mux-derived factors. `calibrate` sweeps a
+// {"kind": "calibration"} fg x bg model grid through the scenario simulator
+// and writes that table (`--out` names the cache file; the full measurement
+// report goes to stdout / --output).
 // A spec path may be given positionally or via --config. `--seed N` sets
 // the workload seed for `schedule` (its only consumer today — scenario
 // sims are deterministic and draw no randomness); every subcommand echoes
@@ -32,6 +40,7 @@
 #include <string>
 #include <vector>
 
+#include "calib/calibrator.h"
 #include "core/planner.h"
 #include "models/zoo.h"
 #include "runtime/scenario_config.h"
@@ -53,12 +62,15 @@ int usage(std::ostream& os, int exit_code) {
         "  deeppool sweep    --config FILE [--param KNOB --values V1,V2,...]\n"
         "                    [--set KNOB=VALUE ...] [--output FILE] [--compact]\n"
         "  deeppool schedule FILE [--policy NAME] [--seed N]\n"
-        "                    [--output FILE] [--compact]\n"
+        "                    [--calibration TABLE] [--output FILE] [--compact]\n"
+        "  deeppool calibrate FILE [--out TABLE] [--output FILE] [--compact]\n"
         "  deeppool models\n"
         "\n"
         "--seed N seeds the schedule workload; every subcommand echoes the\n"
         "effective seed in its output JSON. Spec files are JSON (see\n"
-        "examples/scenarios/); schedule specs carry \"kind\": \"schedule\".\n";
+        "examples/scenarios/); schedule specs carry \"kind\": \"schedule\",\n"
+        "calibration specs \"kind\": \"calibration\". `calibrate --out` writes\n"
+        "the measured interference table `schedule --calibration` consumes.\n";
   return exit_code;
 }
 
@@ -69,6 +81,8 @@ struct Args {
   std::string model;
   std::string network = "nvswitch";
   std::string policy;  // schedule: placement policy override
+  std::string calibration_path;  // schedule: measured interference table
+  std::string table_out_path;    // calibrate: where the table cache goes
   std::string sweep_param;
   std::vector<double> sweep_values;
   std::vector<std::pair<std::string, double>> overrides;  // --set knob=value
@@ -164,6 +178,9 @@ Args parse_args(int argc, char** argv) {
     else if (flag == "--compact") args.compact = true;
     else if (flag == "--param") args.sweep_param = need_value(i, flag);
     else if (flag == "--policy") args.policy = need_value(i, flag);
+    else if (flag == "--calibration")
+      args.calibration_path = need_value(i, flag);
+    else if (flag == "--out") args.table_out_path = need_value(i, flag);
     else if (flag == "--seed")
       args.seed = static_cast<std::uint64_t>(
           parse_int(need_value(i, flag), flag));
@@ -222,10 +239,21 @@ void emit(const Args& args, const Json& j) {
 // Flags accepted by the shared parser but consumed by one subcommand only
 // must not be silently dropped elsewhere: a run that ignores a requested
 // override looks like a run that applied it.
-void reject_policy_flag(const Args& args, const std::string& command) {
+void reject_schedule_only_flags(const Args& args, const std::string& command) {
   if (!args.policy.empty()) {
     throw std::invalid_argument("--policy only applies to `deeppool "
                                 "schedule`, not `" + command + "`");
+  }
+  if (!args.calibration_path.empty()) {
+    throw std::invalid_argument("--calibration only applies to `deeppool "
+                                "schedule`, not `" + command + "`");
+  }
+}
+
+void reject_table_out_flag(const Args& args, const std::string& command) {
+  if (!args.table_out_path.empty()) {
+    throw std::invalid_argument("--out only applies to `deeppool "
+                                "calibrate`, not `" + command + "`");
   }
 }
 
@@ -238,7 +266,8 @@ void reject_plan_only_flags(const Args& args, const std::string& command) {
 }
 
 int cmd_plan(const Args& args) {
-  reject_policy_flag(args, "plan");
+  reject_schedule_only_flags(args, "plan");
+  reject_table_out_flag(args, "plan");
   runtime::ScenarioSpec spec;
   if (!args.config_path.empty()) {
     // The spec file is the single source of truth on this branch; knob
@@ -272,7 +301,8 @@ int cmd_plan(const Args& args) {
 }
 
 int cmd_simulate(const Args& args) {
-  reject_policy_flag(args, "simulate");
+  reject_schedule_only_flags(args, "simulate");
+  reject_table_out_flag(args, "simulate");
   reject_plan_only_flags(args, "simulate");
   const runtime::ScenarioSpec spec = load_spec(args);
   std::cerr << "simulating \"" << spec.name << "\": " << spec.model << " on "
@@ -288,7 +318,8 @@ int cmd_simulate(const Args& args) {
 }
 
 int cmd_sweep(const Args& args) {
-  reject_policy_flag(args, "sweep");
+  reject_schedule_only_flags(args, "sweep");
+  reject_table_out_flag(args, "sweep");
   reject_plan_only_flags(args, "sweep");
   const runtime::ScenarioSpec base = load_spec(args);
   std::string param = args.sweep_param;
@@ -337,24 +368,37 @@ int cmd_schedule(const Args& args) {
         "schedule needs a spec file: deeppool schedule SPEC.json");
   }
   reject_plan_only_flags(args, "schedule");
+  reject_table_out_flag(args, "schedule");
   if (!args.overrides.empty() || !args.sweep_param.empty() ||
       !args.sweep_values.empty() || args.table) {
     throw std::invalid_argument(
         "schedule does not take --set/--param/--values/--table; "
-        "edit the spec file (or use --policy / --seed)");
+        "edit the spec file (or use --policy / --seed / --calibration)");
   }
   namespace sched = deeppool::sched;
   sched::ScheduleSpec spec =
       sched::schedule_spec_from_json(load_json_file(args.config_path));
   if (!args.policy.empty()) spec.config.policy = args.policy;
   if (args.seed) spec.workload.seed = *args.seed;
+  if (!args.calibration_path.empty()) {
+    // The CLI flag wins over any table embedded in the spec's cluster block.
+    spec.config.calibration = deeppool::calib::InterferenceTable::from_json(
+        load_json_file(args.calibration_path));
+    std::cerr << "loaded " << spec.config.calibration.size()
+              << " measured interference pairs from "
+              << args.calibration_path << "\n";
+  }
   std::cerr << "scheduling \"" << spec.name << "\": "
             << (spec.workload.arrival == "trace"
                     ? spec.workload.arrival_times.size()
                     : static_cast<std::size_t>(spec.workload.num_jobs))
             << " jobs (" << spec.workload.arrival << ") on "
             << spec.config.num_gpus << " GPUs, policy "
-            << spec.config.policy << ", seed " << spec.workload.seed << "\n";
+            << spec.config.policy << ", seed " << spec.workload.seed
+            << (spec.config.calibration.empty()
+                    ? ", analytic interference"
+                    : ", measured interference")
+            << "\n";
   const sched::ScheduleResult result = sched::run_schedule(spec);
   Json out;
   out["schedule"] = Json(spec.name);
@@ -365,11 +409,53 @@ int cmd_schedule(const Args& args) {
   return 0;
 }
 
+int cmd_calibrate(const Args& args) {
+  if (args.config_path.empty()) {
+    throw std::invalid_argument(
+        "calibrate needs a spec file: deeppool calibrate SPEC.json "
+        "[--out table.json]");
+  }
+  reject_schedule_only_flags(args, "calibrate");
+  reject_plan_only_flags(args, "calibrate");
+  if (!args.overrides.empty() || !args.sweep_param.empty() ||
+      !args.sweep_values.empty() || args.table) {
+    throw std::invalid_argument(
+        "calibrate does not take --set/--param/--values/--table; "
+        "edit the spec file");
+  }
+  namespace calib = deeppool::calib;
+  const calib::CalibrationSpec spec =
+      calib::calibration_spec_from_json(load_json_file(args.config_path));
+  std::cerr << "calibrating \"" << spec.name << "\": "
+            << spec.fg_models.size() << " fg x " << spec.bg_models.size()
+            << " bg models over " << spec.gpu_counts.size()
+            << " gpu count(s) x " << spec.amp_limits.size()
+            << " amp limit(s)\n";
+  const calib::CalibrationResult result = calib::run_calibration(spec,
+                                                                 &std::cerr);
+  if (!args.table_out_path.empty()) {
+    std::ofstream out(args.table_out_path);
+    if (!out) {
+      throw std::runtime_error("cannot write " + args.table_out_path);
+    }
+    out << result.table.to_json().dump(2) << '\n';
+    std::cerr << "wrote " << result.table.size()
+              << " measured pairs to " << args.table_out_path << '\n';
+  }
+  Json out = to_json(result);
+  // Calibration draws no randomness; the seed is echoed for provenance like
+  // every other subcommand.
+  out["seed"] = Json(static_cast<std::int64_t>(args.seed.value_or(0)));
+  emit(args, out);
+  return 0;
+}
+
 int cmd_models(const Args& args) {
   if (!args.policy.empty() || args.seed || !args.plan_only_flags.empty() ||
       !args.overrides.empty() || !args.sweep_param.empty() ||
       !args.sweep_values.empty() || args.table || args.compact ||
-      !args.config_path.empty() || !args.output_path.empty()) {
+      !args.config_path.empty() || !args.output_path.empty() ||
+      !args.calibration_path.empty() || !args.table_out_path.empty()) {
     throw std::invalid_argument("models takes no flags");
   }
   for (const std::string& name : deeppool::models::zoo::names()) {
@@ -388,6 +474,7 @@ int main(int argc, char** argv) {
     if (args.command == "simulate") return cmd_simulate(args);
     if (args.command == "sweep") return cmd_sweep(args);
     if (args.command == "schedule") return cmd_schedule(args);
+    if (args.command == "calibrate") return cmd_calibrate(args);
     if (args.command == "models") return cmd_models(args);
     if (args.command == "help" || args.command == "--help") {
       return usage(std::cout, 0);
