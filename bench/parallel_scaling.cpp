@@ -1,0 +1,194 @@
+// Parallel-execution scaling: the wall-clock story behind `--jobs` and the
+// planner cache — serial vs thread-pool timings for the two hot paths this
+// repo sweeps at fleet scale.
+//
+//   1. The bundled calibration grid (calib::reference_pairs_spec, shipped
+//      as examples/scenarios/calib_pairs.json) measured at --jobs 1 / 2 /
+//      4 / hardware concurrency, asserting byte-identical reports.
+//   2. A 5000-job Poisson trace (the reference mix scaled up) scheduled
+//      three ways: plan cache off (the pre-cache path: one planner DP per
+//      job), cache on serial, and cache on with parallel shape resolution —
+//      with the plan-cache hit rate and an output-equality check (the cache
+//      may only change its own counters, nothing else).
+//
+// Writes machine-readable metrics to BENCH_parallel.json (or argv[1]); CI
+// runs this and uploads the artifact so the speedup trajectory is tracked
+// run over run. Speedups are hardware-dependent: a 1-core runner reports
+// ~1x, the JSON records hardware_jobs so readers can tell.
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "calib/calibrator.h"
+#include "core/plan_cache.h"
+#include "sched/scheduler.h"
+#include "util/json.h"
+#include "util/parallel.h"
+
+using namespace deeppool;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::print_header(
+      "Parallel execution core: calibration-grid and scheduler scaling",
+      "MLSYSIM-style harness-speed argument: sweeps priced at fleet scale");
+
+  Json out;
+  out["bench"] = Json("parallel_scaling");
+  out["hardware_jobs"] = Json(util::hardware_jobs());
+
+  // --- Part 1: the bundled calibration grid across worker counts. -------
+  const calib::CalibrationSpec grid = calib::reference_pairs_spec();
+  std::vector<int> job_counts{1, 2, 4, util::hardware_jobs()};
+  std::sort(job_counts.begin(), job_counts.end());
+  job_counts.erase(std::unique(job_counts.begin(), job_counts.end()),
+                   job_counts.end());
+
+  TablePrinter calib_table({"jobs", "seconds", "speedup", "identical"});
+  Json::Array calib_runs;
+  std::string serial_dump;
+  double serial_s = 0.0;
+  double speedup_jobs4 = 1.0;
+  for (const int jobs : job_counts) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const calib::CalibrationResult r = calib::run_calibration(grid, nullptr,
+                                                              jobs);
+    const double elapsed = seconds_since(t0);
+    const std::string dump = to_json(r).dump();
+    if (jobs == 1) {
+      serial_dump = dump;
+      serial_s = elapsed;
+    }
+    const bool identical = dump == serial_dump;
+    const double speedup = elapsed > 0.0 ? serial_s / elapsed : 0.0;
+    if (jobs == 4) speedup_jobs4 = speedup;
+    calib_table.add_row({TablePrinter::num(static_cast<long long>(jobs)),
+                         TablePrinter::num(elapsed, 3),
+                         TablePrinter::num(speedup, 2),
+                         identical ? "yes" : "NO"});
+    Json run;
+    run["jobs"] = Json(jobs);
+    run["seconds"] = Json(elapsed);
+    run["speedup"] = Json(speedup);
+    run["byte_identical"] = Json(identical);
+    calib_runs.push_back(std::move(run));
+    if (!identical) {
+      std::cerr << "FATAL: calibration report at --jobs " << jobs
+                << " differs from the serial run\n";
+      return 1;
+    }
+  }
+  Json calib_json;
+  calib_json["grid"] = Json(grid.name);
+  calib_json["grid_points"] =
+      Json(static_cast<std::int64_t>(grid.fg_models.size() *
+                                     grid.bg_models.size() *
+                                     grid.gpu_counts.size() *
+                                     grid.amp_limits.size()));
+  calib_json["runs"] = Json(std::move(calib_runs));
+  calib_json["speedup_jobs4"] = Json(speedup_jobs4);
+  out["calibration"] = std::move(calib_json);
+  calib_table.print(std::cout);
+  std::cout << "\nExpected shape: near-linear speedup up to the core count "
+               "(a 1-core host reports ~1x), byte-identical reports "
+               "throughout.\n\n";
+
+  // --- Part 2: a 5000-job trace with and without the plan cache. --------
+  sched::WorkloadSpec w = sched::reference_poisson_mix();
+  w.num_jobs = 5000;
+  sched::ScheduleConfig config;
+  config.num_gpus = 16;
+  config.policy = "burst_lending";
+  config.qos_fg_slowdown = 1.25;
+  config.max_sim_time_s = 1e7;  // the long trace outlives the default cap
+
+  sched::ScheduleRunOptions uncached;
+  uncached.plan_cache = false;
+  auto t0 = std::chrono::steady_clock::now();
+  sched::ScheduleResult no_cache = sched::run_schedule(w, config, uncached);
+  const double uncached_s = seconds_since(t0);
+
+  t0 = std::chrono::steady_clock::now();
+  sched::ScheduleResult cached = sched::run_schedule(w, config, {});
+  const double cached_s = seconds_since(t0);
+
+  sched::ScheduleRunOptions parallel_opts;
+  parallel_opts.jobs = util::hardware_jobs();
+  t0 = std::chrono::steady_clock::now();
+  const sched::ScheduleResult cached_par =
+      sched::run_schedule(w, config, parallel_opts);
+  const double cached_par_s = seconds_since(t0);
+
+  const int hits = cached.fleet.plan_cache_hits;
+  const int misses = cached.fleet.plan_cache_misses;
+  const double hit_rate =
+      hits + misses > 0
+          ? static_cast<double>(hits) / static_cast<double>(hits + misses)
+          : 0.0;
+  // The cache may only change its own counters: normalize them and demand
+  // byte equality with the uncached run.
+  sched::ScheduleResult normalized = cached;
+  normalized.fleet.plan_cache_hits = 0;
+  normalized.fleet.plan_cache_misses = 0;
+  const bool identical =
+      to_json(normalized).dump() == to_json(no_cache).dump() &&
+      to_json(cached_par).dump() == to_json(cached).dump();
+
+  TablePrinter sched_table({"configuration", "seconds", "speedup"});
+  sched_table.add_row({"plan cache off, --jobs 1",
+                       TablePrinter::num(uncached_s, 3),
+                       TablePrinter::num(1.0, 2)});
+  sched_table.add_row({"plan cache on, --jobs 1",
+                       TablePrinter::num(cached_s, 3),
+                       TablePrinter::num(
+                           cached_s > 0.0 ? uncached_s / cached_s : 0.0, 2)});
+  sched_table.add_row(
+      {"plan cache on, --jobs " + std::to_string(parallel_opts.jobs),
+       TablePrinter::num(cached_par_s, 3),
+       TablePrinter::num(
+           cached_par_s > 0.0 ? uncached_s / cached_par_s : 0.0, 2)});
+  sched_table.print(std::cout);
+  std::cout << "\nplan cache: " << hits << " hits / " << misses
+            << " misses (hit rate " << hit_rate << "), output "
+            << (identical ? "byte-identical" : "DIFFERS") << " vs uncached\n";
+  if (!identical) {
+    std::cerr << "FATAL: the plan cache changed schedule output\n";
+    return 1;
+  }
+
+  Json sched_json;
+  sched_json["num_jobs"] = Json(w.num_jobs);
+  sched_json["uncached_seconds"] = Json(uncached_s);
+  sched_json["cached_seconds"] = Json(cached_s);
+  sched_json["cached_parallel_seconds"] = Json(cached_par_s);
+  sched_json["cached_parallel_jobs"] = Json(parallel_opts.jobs);
+  sched_json["cache_speedup"] =
+      Json(cached_s > 0.0 ? uncached_s / cached_s : 0.0);
+  sched_json["plan_cache_hits"] = Json(hits);
+  sched_json["plan_cache_misses"] = Json(misses);
+  sched_json["hit_rate"] = Json(hit_rate);
+  sched_json["byte_identical"] = Json(identical);
+  out["schedule"] = std::move(sched_json);
+
+  const std::string path = argc > 1 ? argv[1] : "BENCH_parallel.json";
+  std::ofstream file(path);
+  if (!file) {
+    std::cerr << "cannot write " << path << "\n";
+    return 1;
+  }
+  file << out.dump(2) << '\n';
+  std::cout << "wrote " << path << '\n';
+  return 0;
+}

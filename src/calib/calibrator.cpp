@@ -1,7 +1,7 @@
 #include "calib/calibrator.h"
 
 #include <algorithm>
-#include <map>
+#include <mutex>
 #include <stdexcept>
 #include <utility>
 
@@ -14,6 +14,7 @@
 #include "runtime/cluster.h"
 #include "runtime/scenario_config.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace deeppool::calib {
 
@@ -206,15 +207,14 @@ Json to_json(const CalibrationResult& result) {
 }
 
 CalibrationResult run_calibration(const CalibrationSpec& spec,
-                                  std::ostream* progress) {
+                                  std::ostream* progress, int jobs) {
   validate(spec);
+  if (jobs < 1) {
+    throw std::invalid_argument("run_calibration needs jobs >= 1 (got " +
+                                std::to_string(jobs) + ")");
+  }
   const models::CostModel cost{models::DeviceSpec::a100()};
   const net::NetworkModel network{net::NetworkSpec::from_name(spec.network)};
-
-  // Baseline caches: the isolated-foreground run is shared across every bg
-  // model, the dedicated-background rate across every fg shape.
-  std::map<std::pair<std::string, GpuShape>, FgBaseline> fg_cache;
-  std::map<std::string, double> bg_rate_cache;
 
   const auto scenario_base = [&](int num_gpus) {
     runtime::ScenarioConfig c;
@@ -228,19 +228,6 @@ CalibrationResult run_calibration(const CalibrationSpec& spec,
     // be stricter than the consumer, or big pairs would hole the table.
     c.enforce_memory_fit = false;
     return c;
-  };
-
-  const auto dedicated_bg_rate = [&](const std::string& bg_name) {
-    const auto it = bg_rate_cache.find(bg_name);
-    if (it != bg_rate_cache.end()) return it->second;
-    runtime::ScenarioConfig c = scenario_base(1);
-    c.bg_on_idle_gpus = true;
-    c.collocate_bg = false;
-    const models::ModelGraph bg_model = models::zoo::by_name(bg_name);
-    const runtime::ScenarioResult r =
-        run_scenario(bg_model, bg_model, cost, c);
-    bg_rate_cache.emplace(bg_name, r.bg_throughput);
-    return r.bg_throughput;
   };
 
   // Each grid axis is swept over its distinct values only. amp limits are
@@ -257,86 +244,136 @@ CalibrationResult run_calibration(const CalibrationSpec& spec,
   const std::vector<std::string> bg_models = deduped(spec.bg_models);
   const std::vector<int> gpu_counts = deduped(spec.gpu_counts);
 
-  CalibrationResult result;
-  result.spec = spec;
+  // The widest phase is the collocated-pair grid; workers beyond it would
+  // never find an index to claim in any phase.
+  util::ThreadPool pool(util::clamp_jobs(
+      jobs, fg_models.size() * gpu_counts.size() * amp_limits.size() *
+                bg_models.size()));
+
+  // The sweep runs in three dependency phases so every baseline is measured
+  // exactly once and the caches are filled before anything reads them —
+  // race-free by construction (each phase writes only its own index slot,
+  // the maps are built serially from the completed phase).
+
+  // Phase 1: dedicated-background rate, one task per distinct bg model.
+  const std::vector<double> bg_rates =
+      pool.parallel_map(bg_models.size(), [&](std::size_t i) {
+        runtime::ScenarioConfig c = scenario_base(1);
+        c.bg_on_idle_gpus = true;
+        c.collocate_bg = false;
+        const models::ModelGraph bg_model = models::zoo::by_name(bg_models[i]);
+        return run_scenario(bg_model, bg_model, cost, c).bg_throughput;
+      });
+
+  // Phase 2: isolated-foreground baseline, one task per distinct
+  // (fg model, gpu count, amp limit) shape; shared across every bg pairing.
+  struct ShapePoint {
+    std::string fg_name;
+    GpuShape shape;
+  };
+  std::vector<ShapePoint> shape_points;
   for (const std::string& fg_name : fg_models) {
-    const models::ModelGraph fg_model = models::zoo::by_name(fg_name);
     for (const int num_gpus : gpu_counts) {
       for (const double amp : amp_limits) {
-        const GpuShape shape{num_gpus, amp};
-        auto fg_it = fg_cache.find({fg_name, shape});
-        if (fg_it == fg_cache.end()) {
-          FgBaseline base;
-          const core::ProfileSet profiles(
-              fg_model, cost, network,
-              core::ProfileOptions{num_gpus, spec.fg_batch, spec.pow2_only});
-          base.plan = core::Planner(profiles).plan({amp});
-          // The lendable slack, exactly as the scheduler prices it.
-          const double reserved =
-              static_cast<double>(std::max(1, base.plan.peak_gpus())) *
-              base.plan.est_iteration_s;
-          if (reserved > 0.0) {
-            base.idle_frac =
-                std::clamp(1.0 - base.plan.gpu_sec() / reserved, 0.0, 0.95);
-          }
-          runtime::ScenarioConfig iso = scenario_base(num_gpus);
-          iso.fg_plan = base.plan;
-          iso.collocate_bg = false;
-          iso.bg_on_idle_gpus = false;
-          base.iso_iter_s =
-              run_scenario(fg_model, fg_model, cost, iso).fg_iteration_avg_s;
-          if (!(base.iso_iter_s > 0.0)) {
-            throw std::runtime_error(
-                "calibration measured a zero isolated iteration time for \"" +
-                fg_name + "\"");
-          }
-          fg_it = fg_cache.emplace(std::make_pair(fg_name, shape),
-                                   std::move(base)).first;
-        }
-        const FgBaseline& base = fg_it->second;
-
-        for (const std::string& bg_name : bg_models) {
-          const models::ModelGraph bg_model = models::zoo::by_name(bg_name);
-          runtime::ScenarioConfig shared = scenario_base(num_gpus);
-          shared.fg_plan = base.plan;
-          shared.collocate_bg = true;
-          shared.bg_on_idle_gpus = false;
-          const runtime::ScenarioResult r =
-              run_scenario(fg_model, bg_model, cost, shared);
-
-          CalibrationPoint point;
-          point.key = PairKey{fg_name, bg_name, shape};
-          point.fg_iso_iter_s = base.iso_iter_s;
-          point.fg_shared_iter_s = r.fg_iteration_avg_s;
-          point.fg_idle_frac = base.idle_frac;
-          point.fg_plan_gpus = std::max(1, base.plan.peak_gpus());
-          point.bg_dedicated_samples_per_s = dedicated_bg_rate(bg_name);
-          point.bg_lent_samples_per_s =
-              r.bg_throughput / static_cast<double>(point.fg_plan_gpus);
-
-          point.factors.fg_slowdown = std::max(
-              0.0, r.fg_iteration_avg_s / base.iso_iter_s - 1.0);
-          // Lent-tenant efficiency per unit of foreground idle time, capped
-          // at 1 so the fluid model never credits a tenant with more than
-          // its host's idle share.
-          if (base.idle_frac > kIdleEps &&
-              point.bg_dedicated_samples_per_s > 0.0) {
-            point.factors.bg_efficiency = std::clamp(
-                point.bg_lent_samples_per_s /
-                    (base.idle_frac * point.bg_dedicated_samples_per_s),
-                0.0, 1.0);
-          }
-          result.table.set(point.key, point.factors);
-          result.points.push_back(point);
-          if (progress != nullptr) {
-            *progress << "calibrated " << fg_name << " x " << bg_name << " @ "
-                      << num_gpus << " GPUs, amp " << amp << ": fg_slowdown "
-                      << point.factors.fg_slowdown << ", bg_efficiency "
-                      << point.factors.bg_efficiency << "\n";
-          }
-        }
+        shape_points.push_back(ShapePoint{fg_name, GpuShape{num_gpus, amp}});
       }
     }
+  }
+  const std::vector<FgBaseline> baselines =
+      pool.parallel_map(shape_points.size(), [&](std::size_t i) {
+        const ShapePoint& sp = shape_points[i];
+        const models::ModelGraph fg_model = models::zoo::by_name(sp.fg_name);
+        FgBaseline base;
+        const core::ProfileSet profiles(
+            fg_model, cost, network,
+            core::ProfileOptions{sp.shape.num_gpus, spec.fg_batch,
+                                 spec.pow2_only});
+        base.plan = core::Planner(profiles).plan({sp.shape.amp_limit});
+        // The lendable slack, exactly as the scheduler prices it.
+        const double reserved =
+            static_cast<double>(std::max(1, base.plan.peak_gpus())) *
+            base.plan.est_iteration_s;
+        if (reserved > 0.0) {
+          base.idle_frac =
+              std::clamp(1.0 - base.plan.gpu_sec() / reserved, 0.0, 0.95);
+        }
+        runtime::ScenarioConfig iso = scenario_base(sp.shape.num_gpus);
+        iso.fg_plan = base.plan;
+        iso.collocate_bg = false;
+        iso.bg_on_idle_gpus = false;
+        base.iso_iter_s =
+            run_scenario(fg_model, fg_model, cost, iso).fg_iteration_avg_s;
+        if (!(base.iso_iter_s > 0.0)) {
+          throw std::runtime_error(
+              "calibration measured a zero isolated iteration time for \"" +
+              sp.fg_name + "\" at " + std::to_string(sp.shape.num_gpus) +
+              " GPUs, amp_limit " + std::to_string(sp.shape.amp_limit));
+        }
+        return base;
+      });
+  // Phase 3: the collocated grid points, one task per (shape x bg model),
+  // reading the now-immutable baselines by index.
+  struct PairTask {
+    std::size_t shape_index;
+    std::size_t bg_index;
+  };
+  std::vector<PairTask> tasks;
+  tasks.reserve(shape_points.size() * bg_models.size());
+  for (std::size_t s = 0; s < shape_points.size(); ++s) {
+    for (std::size_t b = 0; b < bg_models.size(); ++b) {
+      tasks.push_back(PairTask{s, b});
+    }
+  }
+  std::mutex progress_mu;
+  CalibrationResult result;
+  result.spec = spec;
+  result.points = pool.parallel_map(tasks.size(), [&](std::size_t i) {
+    const ShapePoint& sp = shape_points[tasks[i].shape_index];
+    const std::string& bg_name = bg_models[tasks[i].bg_index];
+    const FgBaseline& base = baselines[tasks[i].shape_index];
+    const models::ModelGraph fg_model = models::zoo::by_name(sp.fg_name);
+    const models::ModelGraph bg_model = models::zoo::by_name(bg_name);
+    runtime::ScenarioConfig shared = scenario_base(sp.shape.num_gpus);
+    shared.fg_plan = base.plan;
+    shared.collocate_bg = true;
+    shared.bg_on_idle_gpus = false;
+    const runtime::ScenarioResult r =
+        run_scenario(fg_model, bg_model, cost, shared);
+
+    CalibrationPoint point;
+    point.key = PairKey{sp.fg_name, bg_name, sp.shape};
+    point.fg_iso_iter_s = base.iso_iter_s;
+    point.fg_shared_iter_s = r.fg_iteration_avg_s;
+    point.fg_idle_frac = base.idle_frac;
+    point.fg_plan_gpus = std::max(1, base.plan.peak_gpus());
+    point.bg_dedicated_samples_per_s = bg_rates[tasks[i].bg_index];
+    point.bg_lent_samples_per_s =
+        r.bg_throughput / static_cast<double>(point.fg_plan_gpus);
+
+    point.factors.fg_slowdown =
+        std::max(0.0, r.fg_iteration_avg_s / base.iso_iter_s - 1.0);
+    // Lent-tenant efficiency per unit of foreground idle time, capped
+    // at 1 so the fluid model never credits a tenant with more than
+    // its host's idle share.
+    if (base.idle_frac > kIdleEps &&
+        point.bg_dedicated_samples_per_s > 0.0) {
+      point.factors.bg_efficiency = std::clamp(
+          point.bg_lent_samples_per_s /
+              (base.idle_frac * point.bg_dedicated_samples_per_s),
+          0.0, 1.0);
+    }
+    if (progress != nullptr) {
+      // Line-atomic; ordering across workers is unspecified by design.
+      std::lock_guard<std::mutex> lk(progress_mu);
+      *progress << "calibrated " << sp.fg_name << " x " << bg_name << " @ "
+                << sp.shape.num_gpus << " GPUs, amp " << sp.shape.amp_limit
+                << ": fg_slowdown " << point.factors.fg_slowdown
+                << ", bg_efficiency " << point.factors.bg_efficiency << "\n";
+    }
+    return point;
+  });
+  for (const CalibrationPoint& point : result.points) {
+    result.table.set(point.key, point.factors);
   }
   // Emit points in key order regardless of sweep nesting so the report is
   // deterministic under spec-list reordering.

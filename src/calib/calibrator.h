@@ -93,12 +93,19 @@ Json to_json(const CalibrationPoint& point);
 /// Full report; ["table"] holds the InterferenceTable cache file verbatim.
 Json to_json(const CalibrationResult& result);
 
-/// Runs the whole grid. Deterministic: the same spec produces a
-/// byte-identical to_json(result) dump. Isolated-foreground and
-/// dedicated-background baselines are measured once and shared across the
-/// pairs that need them. `progress` (optional) gets one line per pair.
-/// Throws like validate() on bad specs.
+/// Runs the whole grid, fanning independent measurements across `jobs`
+/// pool workers (util::ThreadPool; 1 = the serial path). The sweep runs in
+/// three dependency phases — dedicated-background baselines, then
+/// isolated-foreground baselines, then the collocated grid points — so
+/// every baseline is measured exactly once, race-free, and shared across
+/// the pairs that need it. Deterministic regardless of `jobs`: the same
+/// spec produces a byte-identical to_json(result) dump (grid points are
+/// assembled in index order and reported in key order). `progress`
+/// (optional) gets one line per pair; under `jobs > 1` line *order* may
+/// vary, line contents never interleave. Throws like validate() on bad
+/// specs and std::invalid_argument on jobs < 1.
 CalibrationResult run_calibration(const CalibrationSpec& spec,
-                                  std::ostream* progress = nullptr);
+                                  std::ostream* progress = nullptr,
+                                  int jobs = 1);
 
 }  // namespace deeppool::calib

@@ -1,0 +1,49 @@
+#include "core/plan_cache.h"
+
+#include <utility>
+
+namespace deeppool::core {
+
+PlanCache::PlanPtr PlanCache::plan(
+    const PlanCacheKey& key, const std::function<TrainingPlan()>& compute) {
+  std::shared_future<PlanPtr> future;
+  std::promise<PlanPtr> mine;
+  bool owner = false;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      future = it->second;
+    } else {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      future = mine.get_future().share();
+      entries_.emplace(key, future);
+      owner = true;
+    }
+  }
+  if (owner) {
+    try {
+      mine.set_value(std::make_shared<const TrainingPlan>(compute()));
+    } catch (...) {
+      mine.set_exception(std::current_exception());
+      // Waiters already holding the future see the error; drop the entry so
+      // the failure does not poison later lookups of the same key.
+      std::lock_guard<std::mutex> lk(mu_);
+      entries_.erase(key);
+    }
+  }
+  return future.get();  // rethrows the compute error for every waiter
+}
+
+std::size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return entries_.size();
+}
+
+void PlanCache::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  entries_.clear();
+}
+
+}  // namespace deeppool::core

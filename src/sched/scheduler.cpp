@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "core/plan.h"
+#include "core/plan_cache.h"
 #include "core/planner.h"
 #include "core/profile.h"
 #include "models/cost_model.h"
@@ -15,6 +16,7 @@
 #include "sched/policies.h"
 #include "sim/simulator.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 #include "util/summary.h"
 
 namespace deeppool::sched {
@@ -88,8 +90,10 @@ constexpr double kRemainingEps = 1e-9;
 /// Event-driven fluid execution of one trace against one policy.
 class Engine {
  public:
-  Engine(const WorkloadSpec& workload, const ScheduleConfig& config)
+  Engine(const WorkloadSpec& workload, const ScheduleConfig& config,
+         const ScheduleRunOptions& options)
       : config_(config),
+        options_(options),
         policy_(make_policy(config.policy)),
         cost_(models::DeviceSpec::a100()),
         network_(net::NetworkSpec::from_name(config.network)),
@@ -97,6 +101,15 @@ class Engine {
         gpus_(static_cast<std::size_t>(config.num_gpus)) {
     specs_ = generate_workload(workload);
     seed_ = workload.seed;
+    if (options_.plan_cache) {
+      plan_cache_ = options_.shared_plan_cache != nullptr
+                        ? options_.shared_plan_cache
+                        : &local_plan_cache_;
+      // Fleet metrics report this run's lookups only, so a pre-warmed
+      // shared cache does not smear earlier runs' counts into ours.
+      plan_hits_before_ = plan_cache_->hits();
+      plan_misses_before_ = plan_cache_->misses();
+    }
   }
 
   ScheduleResult run();
@@ -146,11 +159,18 @@ class Engine {
   ScheduleResult finalize();
 
   ScheduleConfig config_;
+  ScheduleRunOptions options_;
   std::unique_ptr<PlacementPolicy> policy_;
   models::CostModel cost_;
   net::NetworkModel network_;
   /// Per-pair factor source: measured table entries with analytic fallback.
   calib::InterferenceModel interference_;
+  /// Planner memoization: local per-run cache unless the caller shared one;
+  /// nullptr when ScheduleRunOptions::plan_cache is off.
+  core::PlanCache local_plan_cache_;
+  core::PlanCache* plan_cache_ = nullptr;
+  std::int64_t plan_hits_before_ = 0;
+  std::int64_t plan_misses_before_ = 0;
 
   sim::Simulator sim_;
   std::vector<JobSpec> specs_;
@@ -158,7 +178,6 @@ class Engine {
   std::vector<Job> jobs_;
   std::vector<int> queue_;  ///< pending job ids, dispatch order
   std::vector<Gpu> gpus_;
-  std::map<std::string, Shape> shape_cache_;
 
   int lends_ = 0;
   int reclaims_ = 0;
@@ -172,43 +191,56 @@ class Engine {
 
 Shape Engine::resolve_shape(const JobSpec& spec) {
   const bool fg = spec.qos == QosClass::kForeground;
-  const std::string key = spec.model + "|" +
-                          std::to_string(spec.global_batch) + "|" +
-                          std::to_string(spec.amp_limit) + "|" +
-                          (fg ? "fg" : "bg");
-  const auto it = shape_cache_.find(key);
-  if (it != shape_cache_.end()) return it->second;
-
-  const models::ModelGraph model = models::zoo::by_name(spec.model);
-  Shape shape;
-  if (fg) {
+  // The cache key is exactly the planner's input set. Background trainers
+  // are always the single-GPU data-parallel profile, so their amp_limit and
+  // pow2 knobs are canonicalized out of the key — two bg mix entries that
+  // differ only there share one plan.
+  core::PlanCacheKey key;
+  key.model = spec.model;
+  key.network = config_.network;
+  key.global_batch = spec.global_batch;
+  key.amp_limit = fg ? spec.amp_limit : 0.0;
+  key.gpu_candidates = fg ? config_.num_gpus : 1;
+  key.pow2_only = fg ? config_.pow2_only : true;
+  key.data_parallel = !fg;
+  const auto compute = [&]() -> core::TrainingPlan {
+    const models::ModelGraph model = models::zoo::by_name(spec.model);
+    if (fg) {
+      const core::ProfileSet profiles(
+          model, cost_, network_,
+          core::ProfileOptions{config_.num_gpus, spec.global_batch,
+                               config_.pow2_only});
+      return core::Planner(profiles).plan({spec.amp_limit});
+    }
     const core::ProfileSet profiles(
         model, cost_, network_,
-        core::ProfileOptions{config_.num_gpus, spec.global_batch,
-                             config_.pow2_only});
-    const core::TrainingPlan plan =
-        core::Planner(profiles).plan({spec.amp_limit});
-    shape.gpus = std::max(1, plan.peak_gpus());
-    shape.iso_iter_s = plan.est_iteration_s;
+        core::ProfileOptions{1, spec.global_batch, true});
+    return core::data_parallel_plan(profiles, 1);
+  };
+  const core::PlanCache::PlanPtr plan =
+      plan_cache_ != nullptr
+          ? plan_cache_->plan(key, compute)
+          : std::make_shared<const core::TrainingPlan>(compute());
+
+  Shape shape;
+  if (fg) {
+    shape.gpus = std::max(1, plan->peak_gpus());
+    shape.iso_iter_s = plan->est_iteration_s;
     // The slack DeepPool lends: fraction of the job's GPU-time reservation
     // its bursty plan leaves idle each iteration.
     const double reserved = static_cast<double>(shape.gpus) * shape.iso_iter_s;
     if (reserved > 0.0) {
       shape.idle_frac =
-          std::clamp(1.0 - plan.gpu_sec() / reserved, 0.0, 0.95);
+          std::clamp(1.0 - plan->gpu_sec() / reserved, 0.0, 0.95);
     }
   } else {
-    const core::ProfileSet profiles(
-        model, cost_, network_,
-        core::ProfileOptions{1, spec.global_batch, true});
     shape.gpus = 1;
-    shape.iso_iter_s = core::data_parallel_plan(profiles, 1).est_iteration_s;
+    shape.iso_iter_s = plan->est_iteration_s;
   }
   if (!(shape.iso_iter_s > 0.0)) {
     throw std::runtime_error("resolved zero iteration time for model \"" +
                              spec.model + "\"");
   }
-  shape_cache_.emplace(key, shape);
   return shape;
 }
 
@@ -511,12 +543,25 @@ void Engine::check_invariants() {
 }
 
 ScheduleResult Engine::run() {
+  // Resolve every job's execution shape before the event simulation starts.
+  // Shape resolution is the planner-DP hot path and each job is
+  // independent, so it fans out across the pool; the plan cache's
+  // single-flight lookups keep hit/miss counts deterministic regardless of
+  // worker count, and each worker writes only its own index slot. The
+  // simulation itself stays single-threaded (it is event-ordered).
+  std::vector<Shape> shapes(specs_.size());
+  {
+    util::ThreadPool pool(util::clamp_jobs(options_.jobs, specs_.size()));
+    pool.parallel_for(specs_.size(), [&](std::size_t i) {
+      shapes[i] = resolve_shape(specs_[i]);
+    });
+  }
   jobs_.reserve(specs_.size());
-  for (const JobSpec& spec : specs_) {
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
     Job job;
-    job.spec = spec;
-    job.shape = resolve_shape(spec);
-    job.remaining_iters = static_cast<double>(spec.iterations);
+    job.spec = specs_[i];
+    job.shape = shapes[i];
+    job.remaining_iters = static_cast<double>(specs_[i].iterations);
     jobs_.push_back(std::move(job));
   }
   for (const Job& job : jobs_) {
@@ -592,6 +637,12 @@ ScheduleResult Engine::finalize() {
   fleet.calibrated = interference_.calibrated();
   fleet.calib_hits = static_cast<int>(interference_.hits());
   fleet.calib_misses = static_cast<int>(interference_.misses());
+  if (plan_cache_ != nullptr) {
+    fleet.plan_cache_hits =
+        static_cast<int>(plan_cache_->hits() - plan_hits_before_);
+    fleet.plan_cache_misses =
+        static_cast<int>(plan_cache_->misses() - plan_misses_before_);
+  }
 
   // Close the utilization integral at the makespan and bin the step curve.
   util_integral_ += busy_ * (makespan - util_last_t_);
@@ -633,14 +684,20 @@ ScheduleResult Engine::finalize() {
 }  // namespace
 
 ScheduleResult run_schedule(const WorkloadSpec& workload,
-                            const ScheduleConfig& config) {
+                            const ScheduleConfig& config,
+                            const ScheduleRunOptions& options) {
   validate_config(config);
-  Engine engine(workload, config);
+  if (options.jobs < 1) {
+    throw std::invalid_argument("schedule needs jobs >= 1 (got " +
+                                std::to_string(options.jobs) + ")");
+  }
+  Engine engine(workload, config, options);
   return engine.run();
 }
 
-ScheduleResult run_schedule(const ScheduleSpec& spec) {
-  return run_schedule(spec.workload, spec.config);
+ScheduleResult run_schedule(const ScheduleSpec& spec,
+                            const ScheduleRunOptions& options) {
+  return run_schedule(spec.workload, spec.config, options);
 }
 
 ScheduleSpec schedule_spec_from_json(const Json& j) {
@@ -726,6 +783,8 @@ Json to_json(const ScheduleResult& result) {
   fleet["calibrated"] = Json(f.calibrated);
   fleet["calib_hits"] = Json(f.calib_hits);
   fleet["calib_misses"] = Json(f.calib_misses);
+  fleet["plan_cache_hits"] = Json(f.plan_cache_hits);
+  fleet["plan_cache_misses"] = Json(f.plan_cache_misses);
   j["fleet"] = std::move(fleet);
   Json::Array jobs;
   for (const JobOutcome& job : result.jobs) jobs.push_back(to_json(job));

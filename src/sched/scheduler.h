@@ -6,7 +6,11 @@
 // core::Planner (GPU demand = peak_gpus, isolated iteration time = the
 // planner's critical-path estimate, idle fraction = 1 - GPUsec/(peak*iter) —
 // the very slack DeepPool lends out), background jobs get the single-GPU
-// data-parallel profile. Execution is fluid: a running job progresses at
+// data-parallel profile. Shape resolution is memoized through a
+// core::PlanCache (traces draw from a handful of distinct shapes, so a
+// 5k-job trace plans each shape once, not 5k times) and fans out across a
+// util::ThreadPool before the — always single-threaded — event simulation
+// starts; see ScheduleRunOptions. Execution is fluid: a running job progresses at
 // 1/(iso_iter * slowdown) iterations per second, where slowdown follows the
 // current sharing state priced per (fg model, bg model) pair through a
 // calib::InterferenceModel — measured InterferenceTable entries when a
@@ -21,6 +25,7 @@
 #include <vector>
 
 #include "calib/interference.h"
+#include "core/plan_cache.h"
 #include "runtime/multiplex.h"
 #include "sched/workload.h"
 #include "util/json.h"
@@ -87,6 +92,12 @@ struct FleetMetrics {
   /// collocation decision was priced from measurements.
   int calib_hits = 0;
   int calib_misses = 0;
+  /// Planner invocations answered by the core::PlanCache vs. computed
+  /// fresh: misses == distinct job shapes in the trace, hits + misses ==
+  /// jobs resolved. Both 0 when the cache is disabled
+  /// (ScheduleRunOptions::plan_cache = false).
+  int plan_cache_hits = 0;
+  int plan_cache_misses = 0;
 };
 
 struct ScheduleResult {
@@ -124,12 +135,34 @@ inline double bg_lend_efficiency(const runtime::MultiplexConfig& mux) {
   return calib::analytic_bg_lend_efficiency(mux);
 }
 
+/// Execution knobs for one run_schedule call. Deliberately *not* part of
+/// the ScheduleSpec JSON: they change how fast the answer is computed,
+/// never what the answer is, so specs stay byte-portable across hosts.
+struct ScheduleRunOptions {
+  /// Worker count for resolving job shapes (the planner DP) before the
+  /// event simulation starts; 1 = the serial path. The simulation itself
+  /// is event-ordered and always single-threaded.
+  int jobs = 1;
+  /// Memoize planner invocations per distinct (model, batch, amp_limit,
+  /// gpu-candidate) shape. Off = re-plan every job (the pre-cache path;
+  /// kept for benchmarking the cache win).
+  bool plan_cache = true;
+  /// Optional cross-run cache: when set, plans persist across run_schedule
+  /// calls (e.g. a sweep re-pricing the same trace under many configs).
+  /// Ignored when plan_cache is false. The caller keeps ownership.
+  core::PlanCache* shared_plan_cache = nullptr;
+};
+
 /// Runs the whole trace to completion. Deterministic: the same workload and
-/// config produce a byte-identical to_json(result) dump. Throws
-/// std::invalid_argument on bad specs and std::runtime_error if jobs cannot
-/// finish within max_sim_time_s.
+/// config produce a byte-identical to_json(result) dump regardless of
+/// options.jobs and of whether the plan cache is shared (cache counters
+/// depend only on plan_cache on/off and on prior use of a shared cache).
+/// Throws std::invalid_argument on bad specs or options.jobs < 1, and
+/// std::runtime_error if jobs cannot finish within max_sim_time_s.
 ScheduleResult run_schedule(const WorkloadSpec& workload,
-                            const ScheduleConfig& config);
-ScheduleResult run_schedule(const ScheduleSpec& spec);
+                            const ScheduleConfig& config,
+                            const ScheduleRunOptions& options = {});
+ScheduleResult run_schedule(const ScheduleSpec& spec,
+                            const ScheduleRunOptions& options = {});
 
 }  // namespace deeppool::sched

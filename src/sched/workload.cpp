@@ -140,7 +140,7 @@ WorkloadSpec reference_poisson_mix() {
   WorkloadSpec w;
   w.arrival = "poisson";
   w.rate_per_s = 2.5;
-  w.num_jobs = 24;
+  w.num_jobs = 64;
   w.seed = 42;
   w.bg_fraction = 0.5;
   w.min_iterations = 150;

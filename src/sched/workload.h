@@ -74,10 +74,13 @@ void validate(const WorkloadSpec& spec);
 std::vector<JobSpec> generate_workload(const WorkloadSpec& spec);
 
 /// The reference trace every scheduler surface replays: a saturating
-/// 24-job Poisson mix for a 16-GPU cluster. Single source of truth for the
-/// bench (bench/sched_policies) and the e2e acceptance tests; shipped to
-/// CLI users as examples/scenarios/sched_poisson_mix.json, and a test
-/// asserts that file stays identical to this definition.
+/// 64-job Poisson mix for a 16-GPU cluster (64 jobs over 5 distinct
+/// (model, batch, amp) shapes, so it also exercises the planner's
+/// core::PlanCache at a > 90% hit rate). Single source of truth for the
+/// benches (bench/sched_policies, bench/parallel_scaling) and the e2e
+/// acceptance tests; shipped to CLI users as
+/// examples/scenarios/sched_poisson_mix.json, and a test asserts that
+/// file stays identical to this definition.
 WorkloadSpec reference_poisson_mix();
 
 /// JSON codec. from_json accepts partial objects (absent keys keep

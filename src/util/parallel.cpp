@@ -1,0 +1,139 @@
+#include "util/parallel.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace deeppool::util {
+
+ThreadPool::ThreadPool(int workers) : workers_(workers) {
+  if (workers < 1) {
+    throw std::invalid_argument("thread pool needs >= 1 worker (got " +
+                                std::to_string(workers) + ")");
+  }
+  threads_.reserve(static_cast<std::size_t>(workers_ - 1));
+  for (int i = 0; i + 1 < workers_; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    work_cv_.wait(lk, [&] { return stop_ || batch_ != seen; });
+    if (stop_) return;
+    seen = batch_;
+    run_batch(lk);
+  }
+}
+
+void ThreadPool::run_batch(std::unique_lock<std::mutex>& lk) {
+  while (body_ != nullptr && next_ < n_) {
+    const std::size_t i = next_++;
+    const auto* body = body_;
+    lk.unlock();
+    std::exception_ptr caught;
+    try {
+      (*body)(i);
+    } catch (...) {
+      caught = std::current_exception();
+    }
+    lk.lock();
+    if (caught != nullptr && (err_ == nullptr || i < err_index_)) {
+      err_index_ = i;
+      err_ = caught;
+    }
+    if (++done_ == n_) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  if (workers_ == 1 || n == 1) {
+    // Inline serial path. Same error contract as the pool: every index
+    // still runs, the first (== lowest) failing index's exception is
+    // rethrown afterwards — so side effects on the error path cannot
+    // differ between --jobs 1 and --jobs N.
+    std::exception_ptr first;
+    for (std::size_t i = 0; i < n; ++i) {
+      try {
+        body(i);
+      } catch (...) {
+        if (first == nullptr) first = std::current_exception();
+      }
+    }
+    if (first != nullptr) std::rethrow_exception(first);
+    return;
+  }
+  std::unique_lock<std::mutex> lk(mu_);
+  body_ = &body;
+  n_ = n;
+  next_ = 0;
+  done_ = 0;
+  err_ = nullptr;
+  err_index_ = std::numeric_limits<std::size_t>::max();
+  ++batch_;
+  work_cv_.notify_all();
+  run_batch(lk);  // the calling thread is a worker too
+  done_cv_.wait(lk, [&] { return done_ == n_; });
+  body_ = nullptr;
+  if (err_ != nullptr) {
+    const std::exception_ptr err = err_;
+    err_ = nullptr;
+    lk.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+int hardware_jobs() noexcept {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
+int clamp_jobs(int jobs, std::size_t tasks) noexcept {
+  const std::size_t capped =
+      std::min(static_cast<std::size_t>(jobs < 1 ? 1 : jobs), tasks);
+  return capped < 1 ? 1 : static_cast<int>(capped);
+}
+
+int resolve_jobs(std::optional<int> requested) {
+  if (requested.has_value()) {
+    if (*requested < 1) {
+      throw std::invalid_argument("--jobs must be >= 1 (got " +
+                                  std::to_string(*requested) + ")");
+    }
+    return *requested;
+  }
+  if (const char* env = std::getenv("DEEPPOOL_JOBS")) {
+    const std::string text(env);
+    std::size_t consumed = 0;
+    long value = 0;
+    try {
+      value = std::stol(text, &consumed);
+    } catch (const std::exception&) {
+      consumed = 0;
+    }
+    if (consumed != text.size() || text.empty() || value < 1 ||
+        value > std::numeric_limits<int>::max()) {
+      throw std::invalid_argument(
+          "DEEPPOOL_JOBS must be a positive integer (got \"" + text + "\")");
+    }
+    return static_cast<int>(value);
+  }
+  return hardware_jobs();
+}
+
+}  // namespace deeppool::util

@@ -1,0 +1,99 @@
+// Shared parallel-execution core: a fixed thread pool with deterministic,
+// index-ordered fork/join primitives.
+//
+// Every hot sweep in the repo — the calibrator's (fg x bg x gpus x amp)
+// grid, the CLI's `sweep` value list, the scheduler's per-job shape
+// resolution — is a list of independent tasks whose *results* must come
+// back in index order so output JSON stays byte-identical no matter how
+// many workers ran them. ThreadPool provides exactly that contract:
+//
+//   * parallel_for(n, body) invokes body(i) for every i in [0, n) across
+//     the pool (the calling thread participates) and blocks until all n
+//     complete. Scheduling order is unspecified; completion is not.
+//   * parallel_map(n, fn) collects fn(i) into a vector slot i, so the
+//     result is identical to the serial loop regardless of worker count.
+//   * A pool of 1 worker spawns no threads and runs everything inline on
+//     the caller — `--jobs 1` is byte-for-byte the old serial path.
+//   * Exceptions: every index still runs (no cancellation), and the
+//     exception thrown by the *lowest* failing index is rethrown — so
+//     error reporting is deterministic under parallelism too.
+//
+// One batch runs at a time; parallel_for must not be called concurrently
+// from multiple threads or recursively from inside a task.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace deeppool::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers - 1` threads (the caller is the last worker). Throws
+  /// std::invalid_argument when workers < 1.
+  explicit ThreadPool(int workers);
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+  ~ThreadPool();
+
+  int workers() const noexcept { return workers_; }
+
+  /// Runs body(0) .. body(n - 1) across the pool; returns when all have
+  /// completed. Rethrows the exception of the lowest failing index.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& body);
+
+  /// Index-ordered map: slot i of the result holds fn(i). The result type
+  /// must be default-constructible and movable.
+  template <typename Fn>
+  auto parallel_map(std::size_t n, Fn&& fn)
+      -> std::vector<std::decay_t<std::invoke_result_t<Fn&, std::size_t>>> {
+    std::vector<std::decay_t<std::invoke_result_t<Fn&, std::size_t>>> out(n);
+    parallel_for(n, [&](std::size_t i) { out[i] = fn(i); });
+    return out;
+  }
+
+ private:
+  void worker_loop();
+  /// Claims and runs batch indices until none remain; called with `lk` held.
+  void run_batch(std::unique_lock<std::mutex>& lk);
+
+  const int workers_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  ///< workers wait for a new batch
+  std::condition_variable done_cv_;  ///< parallel_for waits for completion
+  bool stop_ = false;
+  std::uint64_t batch_ = 0;  ///< generation counter; bumped per parallel_for
+
+  // Current batch (valid while body_ != nullptr).
+  const std::function<void(std::size_t)>* body_ = nullptr;
+  std::size_t n_ = 0;
+  std::size_t next_ = 0;  ///< next unclaimed index
+  std::size_t done_ = 0;  ///< completed indices
+  std::size_t err_index_ = 0;
+  std::exception_ptr err_;
+};
+
+/// max(1, std::thread::hardware_concurrency()) — the `--jobs` default.
+int hardware_jobs() noexcept;
+
+/// max(1, min(jobs, tasks)): the pool size actually worth spawning for a
+/// batch of `tasks` — workers beyond the task count would only wake, find
+/// nothing to claim, and park.
+int clamp_jobs(int jobs, std::size_t tasks) noexcept;
+
+/// Resolves the effective worker count: an explicit request wins, else the
+/// DEEPPOOL_JOBS environment variable, else hardware_jobs(). Throws
+/// std::invalid_argument (one line, naming the offender) on a requested
+/// value < 1 or a DEEPPOOL_JOBS that is not a positive integer.
+int resolve_jobs(std::optional<int> requested = std::nullopt);
+
+}  // namespace deeppool::util

@@ -1,0 +1,198 @@
+#include "util/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace deeppool::util {
+namespace {
+
+TEST(ThreadPool, MapPreservesIndexOrder) {
+  ThreadPool pool(4);
+  const std::vector<int> out =
+      pool.parallel_map(100, [](std::size_t i) { return static_cast<int>(i * i); });
+  ASSERT_EQ(out.size(), 100u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<int>(i * i));
+  }
+}
+
+TEST(ThreadPool, WorkerCountNeverChangesResults) {
+  // The determinism contract behind `--jobs`: identical results at any
+  // worker count, including more workers than tasks and more tasks than
+  // workers.
+  const auto run = [](int workers, std::size_t n) {
+    ThreadPool pool(workers);
+    return pool.parallel_map(
+        n, [](std::size_t i) { return static_cast<double>(i) * 1.5 + 1.0; });
+  };
+  const std::vector<double> serial = run(1, 37);
+  EXPECT_EQ(run(2, 37), serial);
+  EXPECT_EQ(run(8, 37), serial);
+  EXPECT_EQ(run(64, 37), serial);
+}
+
+TEST(ThreadPool, RunsTasksOnMultipleThreads) {
+  // 1ms sleeps give spawned workers ample time to claim indices while the
+  // calling thread is blocked in its own task.
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::set<std::thread::id> ids;
+  pool.parallel_for(64, [&](std::size_t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    std::lock_guard<std::mutex> lk(mu);
+    ids.insert(std::this_thread::get_id());
+  });
+  EXPECT_GT(ids.size(), 1u);
+}
+
+TEST(ThreadPool, SingleWorkerRunsInlineOnTheCaller) {
+  ThreadPool pool(1);
+  std::set<std::thread::id> ids;
+  pool.parallel_for(8, [&](std::size_t) {
+    ids.insert(std::this_thread::get_id());
+  });
+  EXPECT_EQ(ids, std::set<std::thread::id>{std::this_thread::get_id()});
+}
+
+TEST(ThreadPool, LowestFailingIndexWinsDeterministically) {
+  // Two indices throw; the pool must rethrow the lower one's exception no
+  // matter which worker hit it first — error reporting stays deterministic
+  // under parallelism.
+  for (const int workers : {1, 2, 8}) {
+    ThreadPool pool(workers);
+    try {
+      pool.parallel_for(50, [](std::size_t i) {
+        if (i == 11 || i == 37) {
+          throw std::runtime_error("task " + std::to_string(i) + " failed");
+        }
+      });
+      FAIL() << "parallel_for swallowed the exception at " << workers
+             << " workers";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "task 11 failed") << "workers=" << workers;
+    }
+  }
+}
+
+TEST(ThreadPool, EveryIndexStillRunsWhenOneThrows) {
+  // No cancellation: an early failure must not skip later indices, or a
+  // partial sweep could masquerade as a complete one after a retry. The
+  // serial path must honor the same contract, so side effects on the
+  // error path cannot differ between worker counts.
+  for (const int workers : {1, 4}) {
+    ThreadPool pool(workers);
+    std::atomic<int> ran{0};
+    EXPECT_THROW(pool.parallel_for(40,
+                                   [&](std::size_t i) {
+                                     ran.fetch_add(1);
+                                     if (i == 0) throw std::runtime_error("x");
+                                   }),
+                 std::runtime_error);
+    EXPECT_EQ(ran.load(), 40) << "workers=" << workers;
+  }
+}
+
+TEST(ThreadPool, ExceptionDoesNotPoisonTheNextBatch) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(8, [](std::size_t) { throw std::runtime_error("x"); }),
+      std::runtime_error);
+  std::atomic<int> ran{0};
+  pool.parallel_for(16, [&](std::size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(ThreadPool, ZeroTasksIsANoop) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  pool.parallel_for(0, [&](std::size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(ThreadPool, RejectsNonPositiveWorkerCounts) {
+  EXPECT_THROW(ThreadPool(0), std::invalid_argument);
+  EXPECT_THROW(ThreadPool(-3), std::invalid_argument);
+}
+
+/// Scoped DEEPPOOL_JOBS override; restores the previous value on exit so
+/// these tests cannot leak environment into each other.
+class ScopedJobsEnv {
+ public:
+  explicit ScopedJobsEnv(const char* value) {
+    const char* old = std::getenv("DEEPPOOL_JOBS");
+    if (old != nullptr) saved_ = old;
+    had_ = old != nullptr;
+    if (value != nullptr) {
+      ::setenv("DEEPPOOL_JOBS", value, 1);
+    } else {
+      ::unsetenv("DEEPPOOL_JOBS");
+    }
+  }
+  ~ScopedJobsEnv() {
+    if (had_) {
+      ::setenv("DEEPPOOL_JOBS", saved_.c_str(), 1);
+    } else {
+      ::unsetenv("DEEPPOOL_JOBS");
+    }
+  }
+
+ private:
+  std::string saved_;
+  bool had_ = false;
+};
+
+TEST(ResolveJobs, ExplicitRequestWinsOverEverything) {
+  ScopedJobsEnv env("7");
+  EXPECT_EQ(resolve_jobs(3), 3);
+  EXPECT_EQ(resolve_jobs(1), 1);
+}
+
+TEST(ResolveJobs, RejectsNonPositiveRequests) {
+  EXPECT_THROW(resolve_jobs(0), std::invalid_argument);
+  EXPECT_THROW(resolve_jobs(-2), std::invalid_argument);
+}
+
+TEST(ResolveJobs, EnvOverrideAppliesWhenNoRequest) {
+  ScopedJobsEnv env("7");
+  EXPECT_EQ(resolve_jobs(), 7);
+}
+
+TEST(ResolveJobs, BadEnvValuesThrowInsteadOfSilentlyDefaulting) {
+  {
+    ScopedJobsEnv env("zero");
+    EXPECT_THROW(resolve_jobs(), std::invalid_argument);
+  }
+  {
+    ScopedJobsEnv env("0");
+    EXPECT_THROW(resolve_jobs(), std::invalid_argument);
+  }
+  {
+    ScopedJobsEnv env("4x");
+    EXPECT_THROW(resolve_jobs(), std::invalid_argument);
+  }
+}
+
+TEST(ResolveJobs, DefaultsToHardwareConcurrency) {
+  ScopedJobsEnv env(nullptr);
+  EXPECT_EQ(resolve_jobs(), hardware_jobs());
+  EXPECT_GE(hardware_jobs(), 1);
+}
+
+TEST(ResolveJobs, ClampJobsNeverExceedsTasksOrDropsBelowOne) {
+  EXPECT_EQ(clamp_jobs(8, 3), 3);
+  EXPECT_EQ(clamp_jobs(2, 100), 2);
+  EXPECT_EQ(clamp_jobs(8, 0), 1);  // a pool must still be constructible
+  EXPECT_EQ(clamp_jobs(1, 100), 1);
+}
+
+}  // namespace
+}  // namespace deeppool::util

@@ -1,0 +1,147 @@
+// End-to-end determinism under parallelism: the `--jobs N` contract.
+//
+// Every parallel surface (calibration grid, scheduler shape resolution)
+// must produce byte-identical output JSON at any worker count, and the
+// plan cache must change how fast a schedule is priced — never what it
+// computes.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "calib/calibrator.h"
+#include "core/plan_cache.h"
+#include "sched/scheduler.h"
+#include "util/json.h"
+
+namespace deeppool {
+namespace {
+
+/// A multi-point grid (2 fg x 2 bg x 2 amp = 8 pairs, 4 fg baselines) so
+/// parallel runs genuinely interleave, sized for test speed.
+calib::CalibrationSpec small_grid() {
+  calib::CalibrationSpec spec;
+  spec.name = "determinism";
+  spec.fg_models = {"vgg16", "inception_v3"};
+  spec.bg_models = {"resnet50", "vgg16"};
+  spec.gpu_counts = {8};
+  spec.amp_limits = {1.5, 0.0};
+  spec.warmup_iters = 1;
+  spec.measure_iters = 4;
+  spec.bg_only_time_s = 0.05;
+  return spec;
+}
+
+sched::ScheduleConfig cluster16() {
+  sched::ScheduleConfig config;
+  config.num_gpus = 16;
+  config.policy = "burst_lending";
+  config.qos_fg_slowdown = 1.25;
+  return config;
+}
+
+sched::ScheduleRunOptions with_jobs(int jobs) {
+  sched::ScheduleRunOptions options;
+  options.jobs = jobs;
+  return options;
+}
+
+TEST(ParallelDeterminism, CalibrationIsByteIdenticalAcrossWorkerCounts) {
+  const std::string serial =
+      to_json(calib::run_calibration(small_grid(), nullptr, 1)).dump();
+  EXPECT_EQ(to_json(calib::run_calibration(small_grid(), nullptr, 2)).dump(),
+            serial);
+  EXPECT_EQ(to_json(calib::run_calibration(small_grid(), nullptr, 8)).dump(),
+            serial);
+}
+
+TEST(ParallelDeterminism, ScheduleIsByteIdenticalAcrossWorkerCounts) {
+  const sched::WorkloadSpec w = sched::reference_poisson_mix();
+  const std::string serial =
+      to_json(sched::run_schedule(w, cluster16(), with_jobs(1))).dump();
+  EXPECT_EQ(to_json(sched::run_schedule(w, cluster16(), with_jobs(8))).dump(),
+            serial);
+}
+
+TEST(ParallelDeterminism, NonPositiveJobsAreRejected) {
+  EXPECT_THROW(calib::run_calibration(small_grid(), nullptr, 0),
+               std::invalid_argument);
+  EXPECT_THROW(calib::run_calibration(small_grid(), nullptr, -1),
+               std::invalid_argument);
+  EXPECT_THROW(sched::run_schedule(sched::reference_poisson_mix(), cluster16(),
+                                   with_jobs(0)),
+               std::invalid_argument);
+}
+
+TEST(ParallelDeterminism, ReferenceTracePlanCacheHitRateExceeds90Percent) {
+  // The perf claim behind the cache: the 64-job reference trace draws from
+  // 5 distinct (model, batch, amp) shapes, so all but 5 resolutions are
+  // cache hits and every job is accounted for (hits + misses == jobs).
+  const sched::ScheduleResult r = sched::run_schedule(
+      sched::reference_poisson_mix(), cluster16(), with_jobs(4));
+  const sched::FleetMetrics& f = r.fleet;
+  ASSERT_GT(f.plan_cache_hits + f.plan_cache_misses, 0);
+  EXPECT_EQ(f.plan_cache_hits + f.plan_cache_misses, f.jobs_completed);
+  EXPECT_EQ(f.plan_cache_misses, 5);
+  const double hit_rate =
+      static_cast<double>(f.plan_cache_hits) /
+      static_cast<double>(f.plan_cache_hits + f.plan_cache_misses);
+  EXPECT_GT(hit_rate, 0.9);
+}
+
+TEST(ParallelDeterminism, CachedScheduleMatchesUncachedByteForByte) {
+  // The cache may only change the counters that report it, nothing else.
+  sched::ScheduleRunOptions uncached;
+  uncached.plan_cache = false;
+  sched::ScheduleResult without = sched::run_schedule(
+      sched::reference_poisson_mix(), cluster16(), uncached);
+  sched::ScheduleResult with = sched::run_schedule(
+      sched::reference_poisson_mix(), cluster16(), with_jobs(1));
+  EXPECT_EQ(without.fleet.plan_cache_hits, 0);
+  EXPECT_EQ(without.fleet.plan_cache_misses, 0);
+  EXPECT_GT(with.fleet.plan_cache_hits, 0);
+  with.fleet.plan_cache_hits = 0;
+  with.fleet.plan_cache_misses = 0;
+  EXPECT_EQ(to_json(with).dump(), to_json(without).dump());
+}
+
+TEST(ParallelDeterminism, SharedCacheReusesPlansAcrossRuns) {
+  core::PlanCache shared;
+  sched::ScheduleRunOptions options;
+  options.shared_plan_cache = &shared;
+  const sched::ScheduleResult first = sched::run_schedule(
+      sched::reference_poisson_mix(), cluster16(), options);
+  EXPECT_EQ(first.fleet.plan_cache_misses, 5);
+  // A second pricing of the same trace (e.g. another policy in a sweep)
+  // plans nothing at all — and still computes the identical schedule.
+  const sched::ScheduleResult second = sched::run_schedule(
+      sched::reference_poisson_mix(), cluster16(), options);
+  EXPECT_EQ(second.fleet.plan_cache_misses, 0);
+  EXPECT_EQ(second.fleet.plan_cache_hits, first.fleet.jobs_completed);
+  EXPECT_EQ(second.fleet.goodput_samples_per_s,
+            first.fleet.goodput_samples_per_s);
+  EXPECT_EQ(shared.size(), 5u);
+}
+
+TEST(ParallelDeterminism, SharedCacheKeysOnTheNetworkFabric) {
+  // Plans are priced against a network model; a cache shared across
+  // configs must re-plan when the fabric changes, never serve a
+  // 10g-derived plan to an nvswitch cluster.
+  core::PlanCache shared;
+  sched::ScheduleRunOptions options;
+  options.shared_plan_cache = &shared;
+  sched::ScheduleConfig nvswitch = cluster16();
+  sched::ScheduleConfig slow = cluster16();
+  slow.network = "10g";
+  const sched::ScheduleResult fast = sched::run_schedule(
+      sched::reference_poisson_mix(), nvswitch, options);
+  const sched::ScheduleResult congested = sched::run_schedule(
+      sched::reference_poisson_mix(), slow, options);
+  EXPECT_EQ(congested.fleet.plan_cache_misses, 5);  // fresh plans, no reuse
+  EXPECT_EQ(shared.size(), 10u);
+  EXPECT_NE(congested.fleet.goodput_samples_per_s,
+            fast.fleet.goodput_samples_per_s);
+}
+
+}  // namespace
+}  // namespace deeppool

@@ -1,0 +1,119 @@
+#include "core/plan_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "core/planner.h"
+#include "core/profile.h"
+#include "models/cost_model.h"
+#include "models/zoo.h"
+#include "net/network_model.h"
+#include "util/parallel.h"
+
+namespace deeppool::core {
+namespace {
+
+/// A real planner invocation (the exact workload the scheduler memoizes),
+/// small enough to run many times in a test. The graph/network locals must
+/// outlive the ProfileSet — it holds pointers into them.
+TrainingPlan plan_vgg16(double amp_limit) {
+  const models::ModelGraph graph = models::zoo::by_name("vgg16");
+  const models::CostModel cost{models::DeviceSpec::a100()};
+  const net::NetworkModel network{net::NetworkSpec::from_name("nvswitch")};
+  const ProfileSet profiles(graph, cost, network, ProfileOptions{8, 32, true});
+  return Planner(profiles).plan({amp_limit});
+}
+
+PlanCacheKey vgg16_key(double amp_limit) {
+  PlanCacheKey key;
+  key.model = "vgg16";
+  key.global_batch = 32;
+  key.amp_limit = amp_limit;
+  key.gpu_candidates = 8;
+  return key;
+}
+
+TEST(PlanCache, CachedPlanIsByteIdenticalToAFreshOne) {
+  PlanCache cache;
+  const auto cached =
+      cache.plan(vgg16_key(1.5), [] { return plan_vgg16(1.5); });
+  const auto again =
+      cache.plan(vgg16_key(1.5), [] { return plan_vgg16(1.5); });
+  EXPECT_EQ(cached.get(), again.get());  // same shared immutable plan
+  EXPECT_EQ(cached->to_json().dump(), plan_vgg16(1.5).to_json().dump());
+  EXPECT_EQ(cache.hits(), 1);
+  EXPECT_EQ(cache.misses(), 1);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(PlanCache, DistinctKeysPlanSeparately) {
+  PlanCache cache;
+  const auto a = cache.plan(vgg16_key(1.5), [] { return plan_vgg16(1.5); });
+  const auto b = cache.plan(vgg16_key(0.0), [] { return plan_vgg16(0.0); });
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(cache.misses(), 2);
+  EXPECT_EQ(cache.hits(), 0);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(PlanCache, HitsPlusMissesEqualsLookups) {
+  PlanCache cache;
+  const int lookups = 25;
+  for (int i = 0; i < lookups; ++i) {
+    const double amp = i % 2 == 0 ? 1.5 : 2.0;
+    cache.plan(vgg16_key(amp), [amp] { return plan_vgg16(amp); });
+  }
+  EXPECT_EQ(cache.hits() + cache.misses(), lookups);
+  EXPECT_EQ(cache.misses(), 2);  // the two distinct amp limits
+}
+
+TEST(PlanCache, SingleFlightUnderConcurrentLookups) {
+  // Many workers race one cold key: exactly one compute may run (the rest
+  // wait on its result), so misses == distinct keys deterministically no
+  // matter the interleaving — the property that keeps FleetMetrics
+  // counters byte-stable under `--jobs N`.
+  PlanCache cache;
+  std::atomic<int> computes{0};
+  util::ThreadPool pool(8);
+  pool.parallel_for(64, [&](std::size_t) {
+    cache.plan(vgg16_key(1.5), [&] {
+      computes.fetch_add(1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      return plan_vgg16(1.5);
+    });
+  });
+  EXPECT_EQ(computes.load(), 1);
+  EXPECT_EQ(cache.misses(), 1);
+  EXPECT_EQ(cache.hits(), 63);
+}
+
+TEST(PlanCache, ComputeErrorsPropagateAndDoNotPoisonTheKey) {
+  PlanCache cache;
+  EXPECT_THROW(cache.plan(vgg16_key(1.5),
+                          []() -> TrainingPlan {
+                            throw std::runtime_error("planner exploded");
+                          }),
+               std::runtime_error);
+  EXPECT_EQ(cache.size(), 0u);  // the failed entry was dropped
+  // The key is retryable, and the retry is a fresh miss.
+  const auto plan =
+      cache.plan(vgg16_key(1.5), [] { return plan_vgg16(1.5); });
+  EXPECT_GT(plan->est_iteration_s, 0.0);
+  EXPECT_EQ(cache.misses(), 2);
+}
+
+TEST(PlanCache, ClearForgetsEntriesButKeepsCounters) {
+  PlanCache cache;
+  cache.plan(vgg16_key(1.5), [] { return plan_vgg16(1.5); });
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  cache.plan(vgg16_key(1.5), [] { return plan_vgg16(1.5); });
+  EXPECT_EQ(cache.misses(), 2);  // re-planned after clear
+}
+
+}  // namespace
+}  // namespace deeppool::core

@@ -11,7 +11,7 @@
 namespace deeppool::sched {
 namespace {
 
-/// The shipped sched_poisson_mix.json workload: a saturating 24-job Poisson
+/// The shipped sched_poisson_mix.json workload: a saturating 64-job Poisson
 /// trace on 16 GPUs (the acceptance scenario for the scheduler subsystem).
 WorkloadSpec mix_workload() { return reference_poisson_mix(); }
 
@@ -41,8 +41,8 @@ TEST(ScheduleRun, ShippedPoissonMixSpecMatchesTheReferenceWorkload) {
 
 TEST(ScheduleRun, CompletesEveryJobWithSaneMetrics) {
   const ScheduleResult r = run_schedule(mix_workload(), cluster16("fifo_partition"));
-  EXPECT_EQ(r.fleet.jobs_completed, 24);
-  EXPECT_EQ(r.jobs.size(), 24u);
+  EXPECT_EQ(r.fleet.jobs_completed, 64);
+  EXPECT_EQ(r.jobs.size(), 64u);
   EXPECT_GT(r.fleet.makespan_s, 0.0);
   EXPECT_GT(r.fleet.goodput_samples_per_s, 0.0);
   EXPECT_GT(r.fleet.gpu_utilization, 0.0);
@@ -179,7 +179,7 @@ TEST(ScheduleSpecJson, RoundTripAndKindHandling) {
   EXPECT_EQ(j.at("kind").as_string(), "schedule");
   const ScheduleSpec back = schedule_spec_from_json(j);
   EXPECT_EQ(back.name, "t");
-  EXPECT_EQ(back.workload.num_jobs, 24);
+  EXPECT_EQ(back.workload.num_jobs, 64);
   EXPECT_EQ(back.workload.seed, 42u);
   EXPECT_EQ(back.config.policy, "best_fit");
   EXPECT_EQ(back.config.num_gpus, 16);

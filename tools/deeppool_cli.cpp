@@ -6,11 +6,11 @@
 //   deeppool simulate --config scenario.json [--set knob=value ...]
 //                     [--output metrics.json] [--compact]
 //   deeppool sweep    --config scenario.json [--param knob --values 1,2,4]
-//                     [--output metrics.json] [--compact]
-//   deeppool schedule spec.json [--policy NAME] [--seed N]
+//                     [--jobs N] [--output metrics.json] [--compact]
+//   deeppool schedule spec.json [--policy NAME] [--seed N] [--jobs N]
 //                     [--calibration table.json]
 //                     [--output metrics.json] [--compact]
-//   deeppool calibrate spec.json [--out table.json]
+//   deeppool calibrate spec.json [--out table.json] [--jobs N]
 //                     [--output report.json] [--compact]
 //   deeppool models
 //
@@ -30,15 +30,21 @@
 // A spec path may be given positionally or via --config. `--seed N` sets
 // the workload seed for `schedule` (its only consumer today — scenario
 // sims are deterministic and draw no randomness); every subcommand echoes
-// the effective seed in its output JSON for provenance. Results go to
-// stdout (or --output); diagnostics go to stderr.
+// the effective seed in its output JSON for provenance. `--jobs N` fans
+// calibrate / sweep / schedule work across a util/parallel thread pool
+// (default: DEEPPOOL_JOBS env, else hardware concurrency; 1 = serial;
+// results are byte-identical either way) and is echoed in output JSON too.
+// Results go to stdout (or --output); diagnostics go to stderr.
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
+
+#include <mutex>
 
 #include "calib/calibrator.h"
 #include "core/planner.h"
@@ -46,6 +52,7 @@
 #include "runtime/scenario_config.h"
 #include "sched/scheduler.h"
 #include "util/json.h"
+#include "util/parallel.h"
 
 namespace {
 
@@ -60,17 +67,23 @@ int usage(std::ostream& os, int exit_code) {
         "  deeppool simulate --config FILE [--set KNOB=VALUE ...]\n"
         "                    [--output FILE] [--compact]\n"
         "  deeppool sweep    --config FILE [--param KNOB --values V1,V2,...]\n"
-        "                    [--set KNOB=VALUE ...] [--output FILE] [--compact]\n"
-        "  deeppool schedule FILE [--policy NAME] [--seed N]\n"
+        "                    [--set KNOB=VALUE ...] [--jobs N] [--output FILE]\n"
+        "                    [--compact]\n"
+        "  deeppool schedule FILE [--policy NAME] [--seed N] [--jobs N]\n"
         "                    [--calibration TABLE] [--output FILE] [--compact]\n"
-        "  deeppool calibrate FILE [--out TABLE] [--output FILE] [--compact]\n"
+        "  deeppool calibrate FILE [--out TABLE] [--jobs N] [--output FILE]\n"
+        "                    [--compact]\n"
         "  deeppool models\n"
         "\n"
         "--seed N seeds the schedule workload; every subcommand echoes the\n"
-        "effective seed in its output JSON. Spec files are JSON (see\n"
-        "examples/scenarios/); schedule specs carry \"kind\": \"schedule\",\n"
-        "calibration specs \"kind\": \"calibration\". `calibrate --out` writes\n"
-        "the measured interference table `schedule --calibration` consumes.\n";
+        "effective seed in its output JSON. --jobs N (>= 1) fans calibrate /\n"
+        "sweep / schedule work across N pool workers — results are\n"
+        "byte-identical to --jobs 1; default is the DEEPPOOL_JOBS env var,\n"
+        "else the host's hardware concurrency — and is echoed in output\n"
+        "JSON too. Spec files are JSON (see examples/scenarios/); schedule\n"
+        "specs carry \"kind\": \"schedule\", calibration specs \"kind\":\n"
+        "\"calibration\". `calibrate --out` writes the measured interference\n"
+        "table `schedule --calibration` consumes.\n";
   return exit_code;
 }
 
@@ -87,6 +100,9 @@ struct Args {
   std::vector<double> sweep_values;
   std::vector<std::pair<std::string, double>> overrides;  // --set knob=value
   std::optional<std::uint64_t> seed;  // --seed: wins over the spec's seed
+  // --jobs: pool workers for calibrate/sweep/schedule. Validated where it
+  // is consumed (util::resolve_jobs), so 0/negative fail with one line.
+  std::optional<int> jobs;
   // Flags only `plan` consumes; recorded so other subcommands can reject
   // them instead of silently ignoring them (their defaults are non-empty,
   // so presence cannot be inferred from the values).
@@ -184,6 +200,17 @@ Args parse_args(int argc, char** argv) {
     else if (flag == "--seed")
       args.seed = static_cast<std::uint64_t>(
           parse_int(need_value(i, flag), flag));
+    else if (flag == "--jobs") {
+      const std::int64_t jobs = parse_int(need_value(i, flag), flag);
+      if (jobs > std::numeric_limits<int>::max() ||
+          jobs < std::numeric_limits<int>::min()) {
+        // Don't let a silly value wrap through the int cast into a
+        // plausible-looking worker count.
+        throw std::invalid_argument("--jobs: " + std::to_string(jobs) +
+                                    " is out of range");
+      }
+      args.jobs = static_cast<int>(jobs);
+    }
     else if (flag == "--values")
       args.sweep_values = parse_value_list(need_value(i, flag));
     else if (flag == "--set") {
@@ -257,6 +284,14 @@ void reject_table_out_flag(const Args& args, const std::string& command) {
   }
 }
 
+void reject_jobs_flag(const Args& args, const std::string& command) {
+  if (args.jobs.has_value()) {
+    throw std::invalid_argument(
+        "--jobs only applies to `deeppool calibrate`, `sweep` and "
+        "`schedule`, not `" + command + "`");
+  }
+}
+
 void reject_plan_only_flags(const Args& args, const std::string& command) {
   if (!args.plan_only_flags.empty()) {
     throw std::invalid_argument(
@@ -268,6 +303,7 @@ void reject_plan_only_flags(const Args& args, const std::string& command) {
 int cmd_plan(const Args& args) {
   reject_schedule_only_flags(args, "plan");
   reject_table_out_flag(args, "plan");
+  reject_jobs_flag(args, "plan");
   runtime::ScenarioSpec spec;
   if (!args.config_path.empty()) {
     // The spec file is the single source of truth on this branch; knob
@@ -304,6 +340,7 @@ int cmd_simulate(const Args& args) {
   reject_schedule_only_flags(args, "simulate");
   reject_table_out_flag(args, "simulate");
   reject_plan_only_flags(args, "simulate");
+  reject_jobs_flag(args, "simulate");
   const runtime::ScenarioSpec spec = load_spec(args);
   std::cerr << "simulating \"" << spec.name << "\": " << spec.model << " on "
             << spec.config.num_gpus << " GPUs (" << spec.fg_mode << ")\n";
@@ -343,19 +380,32 @@ int cmd_sweep(const Args& args) {
     throw std::invalid_argument("sweep has no values to run");
   }
 
+  // Each value is an independent scenario run: fan them across the pool.
+  // Points are collected in value-list order, so the output JSON is
+  // byte-identical no matter how many workers ran them.
+  const int jobs = deeppool::util::resolve_jobs(args.jobs);
+  deeppool::util::ThreadPool pool(
+      deeppool::util::clamp_jobs(jobs, values.size()));
+  std::mutex progress_mu;
+  std::vector<Json> points =
+      pool.parallel_map(values.size(), [&](std::size_t i) {
+        runtime::ScenarioSpec spec = base;
+        runtime::set_sweep_param(spec, param, values[i]);
+        {
+          std::lock_guard<std::mutex> lk(progress_mu);
+          std::cerr << "sweep " << param << "=" << values[i] << " ...\n";
+        }
+        Json point;
+        point[param] = Json(values[i]);
+        point["result"] = runtime::to_json(runtime::run_spec(spec));
+        return point;
+      });
   Json::Array results;
-  for (const double value : values) {
-    runtime::ScenarioSpec spec = base;
-    runtime::set_sweep_param(spec, param, value);
-    std::cerr << "sweep " << param << "=" << value << " ...\n";
-    Json point;
-    point[param] = Json(value);
-    point["result"] = runtime::to_json(runtime::run_spec(spec));
-    results.push_back(std::move(point));
-  }
+  for (Json& point : points) results.push_back(std::move(point));
   Json out;
   out["scenario"] = Json(base.name);
   out["seed"] = Json(static_cast<std::int64_t>(base.seed));
+  out["jobs"] = Json(jobs);
   out["param"] = Json(param);
   out["results"] = Json(std::move(results));
   emit(args, out);
@@ -388,6 +438,7 @@ int cmd_schedule(const Args& args) {
               << " measured interference pairs from "
               << args.calibration_path << "\n";
   }
+  const int jobs = deeppool::util::resolve_jobs(args.jobs);
   std::cerr << "scheduling \"" << spec.name << "\": "
             << (spec.workload.arrival == "trace"
                     ? spec.workload.arrival_times.size()
@@ -398,11 +449,14 @@ int cmd_schedule(const Args& args) {
             << (spec.config.calibration.empty()
                     ? ", analytic interference"
                     : ", measured interference")
-            << "\n";
-  const sched::ScheduleResult result = sched::run_schedule(spec);
+            << ", " << jobs << " worker(s)\n";
+  sched::ScheduleRunOptions options;
+  options.jobs = jobs;
+  const sched::ScheduleResult result = sched::run_schedule(spec, options);
   Json out;
   out["schedule"] = Json(spec.name);
   out["seed"] = Json(static_cast<std::int64_t>(result.seed));
+  out["jobs"] = Json(jobs);
   out["spec"] = sched::to_json(spec);
   out["result"] = sched::to_json(result);
   emit(args, out);
@@ -426,13 +480,14 @@ int cmd_calibrate(const Args& args) {
   namespace calib = deeppool::calib;
   const calib::CalibrationSpec spec =
       calib::calibration_spec_from_json(load_json_file(args.config_path));
+  const int jobs = deeppool::util::resolve_jobs(args.jobs);
   std::cerr << "calibrating \"" << spec.name << "\": "
             << spec.fg_models.size() << " fg x " << spec.bg_models.size()
             << " bg models over " << spec.gpu_counts.size()
             << " gpu count(s) x " << spec.amp_limits.size()
-            << " amp limit(s)\n";
-  const calib::CalibrationResult result = calib::run_calibration(spec,
-                                                                 &std::cerr);
+            << " amp limit(s), " << jobs << " worker(s)\n";
+  const calib::CalibrationResult result =
+      calib::run_calibration(spec, &std::cerr, jobs);
   if (!args.table_out_path.empty()) {
     std::ofstream out(args.table_out_path);
     if (!out) {
@@ -444,14 +499,17 @@ int cmd_calibrate(const Args& args) {
   }
   Json out = to_json(result);
   // Calibration draws no randomness; the seed is echoed for provenance like
-  // every other subcommand.
+  // every other subcommand. jobs never changes the result bytes either —
+  // it is echoed so a report names how it was produced.
   out["seed"] = Json(static_cast<std::int64_t>(args.seed.value_or(0)));
+  out["jobs"] = Json(jobs);
   emit(args, out);
   return 0;
 }
 
 int cmd_models(const Args& args) {
-  if (!args.policy.empty() || args.seed || !args.plan_only_flags.empty() ||
+  if (!args.policy.empty() || args.seed || args.jobs ||
+      !args.plan_only_flags.empty() ||
       !args.overrides.empty() || !args.sweep_param.empty() ||
       !args.sweep_values.empty() || args.table || args.compact ||
       !args.config_path.empty() || !args.output_path.empty() ||
