@@ -1,0 +1,195 @@
+// Warm-cache daemon latency: what a resident api::Service buys over
+// one-shot invocations.
+//
+// Drives a 200-request schedule stream through one Service two ways:
+//
+//   1. Directly (handle() per request), timing each request: the first is
+//      the cold request (every job shape runs the planner DP), the rest
+//      hit the warm core::PlanCache — the cold/warm ratio is the price a
+//      one-shot CLI pays on *every* invocation.
+//   2. Through the run_serve NDJSON transport end to end, verifying one
+//      response per request, all ok, and strictly climbing cumulative
+//      plan-cache hits.
+//
+// Writes machine-readable metrics to BENCH_serve.json (or argv[1]); CI
+// runs this and uploads the artifact like BENCH_parallel.json.
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/request.h"
+#include "api/response.h"
+#include "api/serve.h"
+#include "api/service.h"
+#include "bench_common.h"
+#include "sched/workload.h"
+#include "util/json.h"
+
+using namespace deeppool;
+
+namespace {
+
+constexpr int kRequests = 200;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+api::Request schedule_request() {
+  sched::ScheduleSpec spec;
+  spec.name = "bench_serve";
+  spec.workload.arrival = "fixed";
+  spec.workload.interval_s = 0.5;
+  spec.workload.num_jobs = 16;
+  spec.workload.seed = 5;
+  spec.workload.min_iterations = 10;
+  spec.workload.max_iterations = 20;
+  spec.config.num_gpus = 8;
+  spec.config.policy = "burst_lending";
+  spec.config.util_timeline_bins = 8;
+  return api::Request{api::ScheduleRequest{std::move(spec), ""}};
+}
+
+double mean(const std::vector<double>& xs) {
+  double sum = 0.0;
+  for (const double x : xs) sum += x;
+  return xs.empty() ? 0.0 : sum / static_cast<double>(xs.size());
+}
+
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const std::size_t i = static_cast<std::size_t>(
+      p * static_cast<double>(xs.size() - 1));
+  return xs[i];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::print_header(
+      "Warm-cache daemon: cold vs warm request latency over one Service",
+      "`deeppool serve` — resident PlanCache across a request stream");
+
+  // --- Part 1: per-request latency with a resident Service. ------------
+  const api::Request request = schedule_request();
+  api::Service service(api::ServiceOptions{});
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(kRequests);
+  std::string first_payload;
+  for (int i = 0; i < kRequests; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const api::Response response = service.handle(request);
+    latencies_ms.push_back(seconds_since(t0) * 1e3);
+    if (!response.ok) {
+      std::cerr << "FATAL: request " << i << " failed: " << response.error
+                << "\n";
+      return 1;
+    }
+    if (i == 0) first_payload = response.payload.dump();
+  }
+  const double cold_ms = latencies_ms.front();
+  const std::vector<double> warm(latencies_ms.begin() + 1,
+                                 latencies_ms.end());
+  const double warm_mean_ms = mean(warm);
+  const double warm_p50_ms = percentile(warm, 0.5);
+  const double warm_p95_ms = percentile(warm, 0.95);
+  const double speedup = warm_mean_ms > 0.0 ? cold_ms / warm_mean_ms : 0.0;
+  const api::ServiceStats stats = service.stats();
+
+  TablePrinter table({"metric", "value"});
+  table.add_row({"cold request (ms)", TablePrinter::num(cold_ms, 3)});
+  table.add_row({"warm mean (ms)", TablePrinter::num(warm_mean_ms, 3)});
+  table.add_row({"warm p50 (ms)", TablePrinter::num(warm_p50_ms, 3)});
+  table.add_row({"warm p95 (ms)", TablePrinter::num(warm_p95_ms, 3)});
+  table.add_row({"cold / warm", TablePrinter::num(speedup, 2)});
+  table.print(std::cout);
+  std::cout << "\nplan cache after " << kRequests << " requests: "
+            << stats.plan_cache_hits << " hits / " << stats.plan_cache_misses
+            << " misses (" << stats.plan_cache_size << " resident plans)\n";
+  if (stats.plan_cache_misses != stats.plan_cache_size ||
+      stats.plan_cache_hits <= stats.plan_cache_misses) {
+    std::cerr << "FATAL: the resident cache did not absorb the stream\n";
+    return 1;
+  }
+
+  // --- Part 2: the same stream through the NDJSON transport. -----------
+  const std::string line = api::to_json(request).dump();
+  std::stringstream in;
+  for (int i = 0; i < kRequests; ++i) in << line << '\n';
+  std::ostringstream out;
+  api::Service daemon(api::ServiceOptions{});
+  const auto t0 = std::chrono::steady_clock::now();
+  if (api::run_serve(in, out, daemon) != 0) {
+    std::cerr << "FATAL: run_serve failed\n";
+    return 1;
+  }
+  const double ndjson_s = seconds_since(t0);
+  int responses = 0;
+  bool all_ok = true;
+  bool hits_climb = true;
+  bool parity = true;
+  std::int64_t last_hits = -1;
+  {
+    std::stringstream replies(out.str());
+    std::string reply;
+    while (std::getline(replies, reply)) {
+      const api::Response response =
+          api::response_from_json(Json::parse(reply));
+      all_ok = all_ok && response.ok;
+      if (responses == 0) {
+        parity = response.payload.dump() == first_payload;
+      }
+      const std::int64_t hits =
+          response.service ? response.service->plan_cache_hits : -1;
+      hits_climb = hits_climb && hits > last_hits;
+      last_hits = hits;
+      ++responses;
+    }
+  }
+  std::cout << "NDJSON transport: " << responses << " responses in "
+            << ndjson_s << " s ("
+            << (ndjson_s > 0.0 ? static_cast<double>(responses) / ndjson_s
+                               : 0.0)
+            << " req/s), hits "
+            << (hits_climb ? "strictly climbing" : "NOT CLIMBING")
+            << ", first payload "
+            << (parity ? "byte-identical to direct handle()" : "DIFFERS")
+            << "\n";
+  if (responses != kRequests || !all_ok || !hits_climb || !parity) {
+    std::cerr << "FATAL: NDJSON transport check failed\n";
+    return 1;
+  }
+
+  Json out_json;
+  out_json["bench"] = Json("serve");
+  out_json["requests"] = Json(kRequests);
+  out_json["cold_ms"] = Json(cold_ms);
+  out_json["warm_mean_ms"] = Json(warm_mean_ms);
+  out_json["warm_p50_ms"] = Json(warm_p50_ms);
+  out_json["warm_p95_ms"] = Json(warm_p95_ms);
+  out_json["cold_over_warm"] = Json(speedup);
+  out_json["plan_cache_hits"] = Json(stats.plan_cache_hits);
+  out_json["plan_cache_misses"] = Json(stats.plan_cache_misses);
+  out_json["plan_cache_size"] = Json(stats.plan_cache_size);
+  out_json["ndjson_responses"] = Json(responses);
+  out_json["ndjson_seconds"] = Json(ndjson_s);
+  out_json["ndjson_req_per_s"] =
+      Json(ndjson_s > 0.0 ? static_cast<double>(responses) / ndjson_s : 0.0);
+  out_json["byte_identical"] = Json(parity);
+
+  const std::string path = argc > 1 ? argv[1] : "BENCH_serve.json";
+  std::ofstream file(path);
+  if (!file) {
+    std::cerr << "cannot write " << path << "\n";
+    return 1;
+  }
+  file << out_json.dump(2) << '\n';
+  std::cout << "wrote " << path << '\n';
+  return 0;
+}

@@ -1,0 +1,81 @@
+#include "api/registry.h"
+
+namespace deeppool::api {
+
+const std::vector<CommandInfo>& command_registry() {
+  // Flag sets are the contract the CLI enforces: a flag listed nowhere is
+  // unknown, a flag listed elsewhere is rejected with the owning commands.
+  static const std::vector<CommandInfo> kCommands = {
+      {"plan",
+       "run the burst-parallel planner, emit the TrainingPlan JSON",
+       SpecArg::kScenario,
+       {"--config", "--model", "--network", "--gpus", "--batch", "--amp",
+        "--dp", "--table", "--set", "--seed", "--output", "--compact"}},
+      {"simulate",
+       "drive one cluster-sharing scenario end to end",
+       SpecArg::kScenario,
+       {"--config", "--set", "--seed", "--output", "--compact"}},
+      {"sweep",
+       "re-run a scenario across a list of values for one knob",
+       SpecArg::kScenario,
+       {"--config", "--param", "--values", "--set", "--jobs", "--seed",
+        "--output", "--compact"}},
+      {"schedule",
+       "replay a multi-tenant job trace through the cluster scheduler",
+       SpecArg::kSchedule,
+       {"--config", "--policy", "--calibration", "--jobs", "--seed",
+        "--output", "--compact"}},
+      {"calibrate",
+       "measure per-pair collocation interference, cache it as a table",
+       SpecArg::kCalibration,
+       {"--config", "--out", "--jobs", "--seed", "--output", "--compact"}},
+      {"models", "list the model-zoo names", SpecArg::kNone, {}},
+      {"serve",
+       "NDJSON request-per-line daemon over a resident Service",
+       SpecArg::kNone,
+       {"--jobs"},
+       /*is_op=*/false},
+  };
+  return kCommands;
+}
+
+const CommandInfo* find_command(const std::string& name) {
+  for (const CommandInfo& info : command_registry()) {
+    if (info.name == name) return &info;
+  }
+  return nullptr;
+}
+
+bool command_accepts(const CommandInfo& info, const std::string& flag) {
+  for (const std::string& f : info.flags) {
+    if (f == flag) return true;
+  }
+  return false;
+}
+
+std::string op_names() {
+  std::string names;
+  for (const CommandInfo& info : command_registry()) {
+    if (!info.is_op) continue;
+    if (!names.empty()) names += " | ";
+    names += info.name;
+  }
+  return names;
+}
+
+std::string flag_owners(const std::string& flag) {
+  std::vector<std::string> owners;
+  for (const CommandInfo& info : command_registry()) {
+    if (command_accepts(info, flag)) owners.push_back(info.name);
+  }
+  if (owners.empty()) return "";
+  // "`deeppool A`", "`deeppool A` and `B`", "`deeppool A`, `B` and `C`".
+  std::string text = "`deeppool " + owners.front() + "`";
+  for (std::size_t i = 1; i < owners.size(); ++i) {
+    text += i + 1 == owners.size() ? " and " : ", ";
+    text += "`" + owners[i] + "`";
+  }
+  return text;
+}
+
+}  // namespace deeppool::api

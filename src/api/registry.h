@@ -1,0 +1,55 @@
+// The command registry: one declarative record per deeppool operation.
+//
+// Dispatch used to live in three hand-maintained `if (command == ...)`
+// chains (CLI routing, per-command flag rejection helpers, usage text),
+// each of which had to be grown in lockstep for every new subcommand. The
+// registry replaces them: a CommandInfo names the operation, the spec kind
+// it consumes and the exact set of CLI flags that apply to it. The CLI
+// validates argv against it, api::Service routes requests through it, and
+// the error messages that point a user from the wrong command to the right
+// one are generated from it — so the three views can never diverge.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace deeppool::api {
+
+/// What a command reads as its primary input.
+enum class SpecArg {
+  kNone,         ///< no spec file (models, serve)
+  kScenario,     ///< {"kind": "scenario"} (plan, simulate, sweep)
+  kSchedule,     ///< {"kind": "schedule"}
+  kCalibration,  ///< {"kind": "calibration"}
+};
+
+struct CommandInfo {
+  std::string name;      ///< subcommand / request "op" value
+  std::string summary;   ///< one-line description (usage text)
+  SpecArg spec = SpecArg::kNone;
+  /// Every CLI flag this command consumes. A flag passed to a command whose
+  /// record does not list it is an error naming the commands that do.
+  std::vector<std::string> flags;
+  /// Whether the command is addressable as a service Request "op". serve is
+  /// the one transport-only command: it carries requests, it is not one.
+  bool is_op = true;
+};
+
+/// All commands in canonical (usage/dispatch) order.
+const std::vector<CommandInfo>& command_registry();
+
+/// The record for `name`, or nullptr for unknown commands.
+const CommandInfo* find_command(const std::string& name);
+
+/// True when `info` accepts `flag`.
+bool command_accepts(const CommandInfo& info, const std::string& flag);
+
+/// "plan | simulate | sweep | ..." — ops only, for unknown-op errors.
+std::string op_names();
+
+/// The commands that do accept `flag`, rendered for an error message:
+/// "`deeppool schedule`" or "`deeppool sweep`, `schedule` and `serve`".
+/// Empty string when no command accepts the flag.
+std::string flag_owners(const std::string& flag);
+
+}  // namespace deeppool::api

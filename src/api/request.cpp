@@ -1,0 +1,147 @@
+#include "api/request.h"
+
+#include <stdexcept>
+
+#include "api/registry.h"
+
+namespace deeppool::api {
+
+namespace {
+
+const Json& spec_field(const Json& j, const char* op) {
+  if (!j.contains("spec")) {
+    throw std::runtime_error(std::string("\"") + op +
+                             "\" request needs a \"spec\" object");
+  }
+  return j.at("spec");
+}
+
+Request parse_plan(const Json& j) {
+  return Request{PlanRequest{
+      runtime::scenario_spec_from_json(spec_field(j, PlanRequest::kOp))}};
+}
+
+Request parse_simulate(const Json& j) {
+  return Request{SimulateRequest{
+      runtime::scenario_spec_from_json(spec_field(j, SimulateRequest::kOp))}};
+}
+
+Request parse_sweep(const Json& j) {
+  SweepRequest req;
+  req.spec =
+      runtime::scenario_spec_from_json(spec_field(j, SweepRequest::kOp));
+  if (!j.contains("param") || !j.contains("values")) {
+    throw std::runtime_error(
+        "\"sweep\" request needs \"param\" and \"values\"");
+  }
+  req.param = j.at("param").as_string();
+  for (const Json& v : j.at("values").as_array()) {
+    req.values.push_back(v.as_number());
+  }
+  if (req.values.empty()) {
+    throw std::runtime_error("\"sweep\" request has no values to run");
+  }
+  return Request{std::move(req)};
+}
+
+Request parse_schedule(const Json& j) {
+  ScheduleRequest req;
+  req.spec =
+      sched::schedule_spec_from_json(spec_field(j, ScheduleRequest::kOp));
+  req.calibration_path = str_or(j, "calibration_path", "");
+  return Request{std::move(req)};
+}
+
+Request parse_calibrate(const Json& j) {
+  CalibrateRequest req;
+  req.spec =
+      calib::calibration_spec_from_json(spec_field(j, CalibrateRequest::kOp));
+  req.seed = static_cast<std::uint64_t>(int_or(j, "seed", 0));
+  return Request{std::move(req)};
+}
+
+Request parse_models(const Json&) { return Request{ModelsRequest{}}; }
+
+using Parser = Request (*)(const Json&);
+
+Parser parser_for(const std::string& op) {
+  if (op == PlanRequest::kOp) return parse_plan;
+  if (op == SimulateRequest::kOp) return parse_simulate;
+  if (op == SweepRequest::kOp) return parse_sweep;
+  if (op == ScheduleRequest::kOp) return parse_schedule;
+  if (op == CalibrateRequest::kOp) return parse_calibrate;
+  if (op == ModelsRequest::kOp) return parse_models;
+  return nullptr;
+}
+
+}  // namespace
+
+std::string Request::op() const {
+  return std::visit([](const auto& body) { return std::string(body.kOp); },
+                    body);
+}
+
+Request request_from_json(const Json& j) {
+  if (!j.is_object()) {
+    throw std::runtime_error("request must be a JSON object");
+  }
+  std::string op;
+  if (j.contains("op")) {
+    op = j.at("op").as_string();
+  } else if (j.contains("spec") && j.at("spec").is_object()) {
+    // Kind-based dispatch: a bare {"spec": {...}} line routes on the
+    // spec's own "kind" tag, so any spec file can be piped into `serve`
+    // verbatim. Scenario specs run end to end (the simulate op).
+    const std::string kind = runtime::spec_kind(j.at("spec"));
+    if (kind == "scenario") op = SimulateRequest::kOp;
+    else if (kind == "schedule") op = ScheduleRequest::kOp;
+    else if (kind == "calibration") op = CalibrateRequest::kOp;
+    else {
+      throw std::runtime_error("cannot infer an op from spec kind \"" +
+                               kind + "\"; pass an explicit \"op\" (one of " +
+                               op_names() + ")");
+    }
+  } else {
+    throw std::runtime_error("request needs an \"op\" field (one of " +
+                             op_names() + ")");
+  }
+  const CommandInfo* info = find_command(op);
+  const Parser parser = parser_for(op);
+  if (info == nullptr || !info->is_op || parser == nullptr) {
+    throw std::runtime_error("unknown op \"" + op + "\"; valid ops: " +
+                             op_names());
+  }
+  return parser(j);
+}
+
+Json to_json(const Request& request) {
+  Json j;
+  j["op"] = Json(request.op());
+  std::visit(
+      [&j](const auto& body) {
+        using T = std::decay_t<decltype(body)>;
+        if constexpr (std::is_same_v<T, PlanRequest> ||
+                      std::is_same_v<T, SimulateRequest>) {
+          j["spec"] = runtime::to_json(body.spec);
+        } else if constexpr (std::is_same_v<T, SweepRequest>) {
+          j["spec"] = runtime::to_json(body.spec);
+          j["param"] = Json(body.param);
+          Json::Array values;
+          for (const double v : body.values) values.push_back(Json(v));
+          j["values"] = Json(std::move(values));
+        } else if constexpr (std::is_same_v<T, ScheduleRequest>) {
+          j["spec"] = sched::to_json(body.spec);
+          if (!body.calibration_path.empty()) {
+            j["calibration_path"] = Json(body.calibration_path);
+          }
+        } else if constexpr (std::is_same_v<T, CalibrateRequest>) {
+          j["spec"] = calib::to_json(body.spec);
+          j["seed"] = Json(static_cast<std::int64_t>(body.seed));
+        }
+        // ModelsRequest carries nothing beyond its op.
+      },
+      request.body);
+  return j;
+}
+
+}  // namespace deeppool::api

@@ -1,0 +1,90 @@
+// Typed service requests: one struct per operation, one JSON codec each.
+//
+// A Request is the single wire format every deeppool entry point speaks:
+// the CLI builds one from argv, `deeppool serve` parses one per NDJSON
+// line, and tests construct them directly. Each variant carries a fully
+// resolved spec (CLI conveniences like --set overrides, --policy/--seed
+// overrides and the sweep-block fallback are applied by the adapter before
+// the Request is built), so api::Service never touches argv or files other
+// than the calibration-table cache a ScheduleRequest may name.
+//
+// Codecs are byte-stable: to_json(request_from_json(j)).dump(k) ==
+// j.dump(k) for canonical requests, mirroring the InterferenceTable cache
+// contract, so request logs can be replayed and rewritten without churn.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "calib/calibrator.h"
+#include "runtime/scenario_config.h"
+#include "sched/scheduler.h"
+#include "util/json.h"
+
+namespace deeppool::api {
+
+/// {"op": "plan", "spec": {...scenario...}} — resolve the foreground plan
+/// without simulating (the CLI's `plan` view).
+struct PlanRequest {
+  static constexpr const char* kOp = "plan";
+  runtime::ScenarioSpec spec;
+};
+
+/// {"op": "simulate", "spec": {...scenario...}} — one scenario end to end.
+struct SimulateRequest {
+  static constexpr const char* kOp = "simulate";
+  runtime::ScenarioSpec spec;
+};
+
+/// {"op": "sweep", "spec": {...scenario...}, "param": K, "values": [...]}.
+struct SweepRequest {
+  static constexpr const char* kOp = "sweep";
+  runtime::ScenarioSpec spec;
+  std::string param;
+  std::vector<double> values;
+};
+
+/// {"op": "schedule", "spec": {...schedule...}[, "calibration_path": P]}.
+/// A non-empty calibration_path names a measured-interference table file;
+/// the Service loads it once and keeps it resident, so repeated requests
+/// against the same table never re-read or re-parse it.
+struct ScheduleRequest {
+  static constexpr const char* kOp = "schedule";
+  sched::ScheduleSpec spec;
+  std::string calibration_path;
+};
+
+/// {"op": "calibrate", "seed": N, "spec": {...calibration...}}. seed is
+/// provenance only (calibration draws no randomness) and is echoed into
+/// the report like every other operation's output.
+struct CalibrateRequest {
+  static constexpr const char* kOp = "calibrate";
+  calib::CalibrationSpec spec;
+  std::uint64_t seed = 0;
+};
+
+/// {"op": "models"} — list the zoo.
+struct ModelsRequest {
+  static constexpr const char* kOp = "models";
+};
+
+/// One service request; exactly one alternative per registry op.
+struct Request {
+  std::variant<PlanRequest, SimulateRequest, SweepRequest, ScheduleRequest,
+               CalibrateRequest, ModelsRequest>
+      body;
+
+  /// The registry op name of the held alternative.
+  std::string op() const;
+};
+
+/// Parses a request object. Throws std::runtime_error /
+/// std::invalid_argument naming the problem: non-object input, missing
+/// "op", an op outside the registry (the message lists the valid ops), or
+/// a spec body that fails its own codec.
+Request request_from_json(const Json& j);
+Json to_json(const Request& request);
+
+}  // namespace deeppool::api

@@ -1,0 +1,63 @@
+#include "api/response.h"
+
+#include <stdexcept>
+
+#include "api/version.h"
+
+namespace deeppool::api {
+
+Json to_json(const ServiceStats& stats) {
+  Json j;
+  j["requests"] = Json(stats.requests);
+  j["errors"] = Json(stats.errors);
+  j["plan_cache_hits"] = Json(stats.plan_cache_hits);
+  j["plan_cache_misses"] = Json(stats.plan_cache_misses);
+  j["plan_cache_size"] = Json(stats.plan_cache_size);
+  j["calibrations_loaded"] = Json(stats.calibrations_loaded);
+  return j;
+}
+
+ServiceStats service_stats_from_json(const Json& j) {
+  ServiceStats stats;
+  stats.requests = int_or(j, "requests", 0);
+  stats.errors = int_or(j, "errors", 0);
+  stats.plan_cache_hits = int_or(j, "plan_cache_hits", 0);
+  stats.plan_cache_misses = int_or(j, "plan_cache_misses", 0);
+  stats.plan_cache_size = int_or(j, "plan_cache_size", 0);
+  stats.calibrations_loaded = int_or(j, "calibrations_loaded", 0);
+  return stats;
+}
+
+Json to_json(const Response& response) {
+  Json j;
+  j["ok"] = Json(response.ok);
+  if (!response.op.empty()) j["op"] = Json(response.op);
+  if (response.ok) {
+    j["payload"] = response.payload;
+  } else {
+    j["error"] = Json(response.error);
+  }
+  if (response.service) j["service"] = to_json(*response.service);
+  j["version"] = Json(version());
+  return j;
+}
+
+Response response_from_json(const Json& j) {
+  if (!j.is_object()) {
+    throw std::runtime_error("response must be a JSON object");
+  }
+  Response response;
+  response.ok = j.at("ok").as_bool();
+  response.op = str_or(j, "op", "");
+  if (response.ok) {
+    response.payload = j.at("payload");
+  } else {
+    response.error = j.at("error").as_string();
+  }
+  if (j.contains("service")) {
+    response.service = service_stats_from_json(j.at("service"));
+  }
+  return response;
+}
+
+}  // namespace deeppool::api

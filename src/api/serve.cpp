@@ -1,0 +1,32 @@
+#include "api/serve.h"
+
+#include <exception>
+#include <string>
+
+#include "api/request.h"
+#include "api/response.h"
+
+namespace deeppool::api {
+
+int run_serve(std::istream& in, std::ostream& out, Service& service) {
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    Response response;
+    std::string op;
+    try {
+      const Request request = request_from_json(Json::parse(line));
+      op = request.op();
+      response = service.handle(request);
+    } catch (const std::exception& e) {
+      // Malformed input or a failing handler answers in-band; the next
+      // line is served regardless.
+      response = service.error_response(e.what(), op);
+    }
+    out << to_json(response).dump() << '\n';
+    out.flush();
+  }
+  return 0;
+}
+
+}  // namespace deeppool::api

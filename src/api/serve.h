@@ -1,0 +1,24 @@
+// `deeppool serve` — the warm-cache NDJSON daemon loop.
+//
+// One request object per input line, one compact Response envelope per
+// output line, over a single resident api::Service: successive schedule
+// requests hit the warm core::PlanCache (the envelope's cumulative
+// "service" counters climb across the session) and calibration tables
+// load once. A line that fails to parse or to handle produces a
+// structured {"ok": false, "error": ...} response on the same stream —
+// it never kills the process. EOF ends the loop.
+#pragma once
+
+#include <istream>
+#include <ostream>
+
+#include "api/service.h"
+
+namespace deeppool::api {
+
+/// Drains `in`; returns the process exit code (0 — a stream that saw only
+/// malformed requests still shut down cleanly). Blank lines are skipped.
+/// Output is flushed per line so a piped client can interleave.
+int run_serve(std::istream& in, std::ostream& out, Service& service);
+
+}  // namespace deeppool::api

@@ -1,0 +1,264 @@
+#include "api/service.h"
+
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "api/registry.h"
+#include "api/version.h"
+#include "models/zoo.h"
+
+namespace deeppool::api {
+
+// Per-op handlers. A struct of statics (befriended by Service) rather than
+// free functions so handlers reach the Service's warm state without
+// widening its public surface.
+struct ServiceHandlers {
+  static Json plan(Service&, const Request& request) {
+    const PlanRequest& req = std::get<PlanRequest>(request.body);
+    const runtime::ScenarioConfig resolved = runtime::resolve_spec(req.spec);
+    if (!resolved.fg_plan) {
+      throw std::runtime_error("scenario has no foreground job to plan");
+    }
+    Json payload = resolved.fg_plan->to_json();
+    payload["seed"] = Json(static_cast<std::int64_t>(req.spec.seed));
+    return payload;
+  }
+
+  static Json simulate(Service& service, const Request& request) {
+    const SimulateRequest& req = std::get<SimulateRequest>(request.body);
+    service.diag("simulating \"" + req.spec.name + "\": " + req.spec.model +
+                 " on " + std::to_string(req.spec.config.num_gpus) +
+                 " GPUs (" + req.spec.fg_mode + ")");
+    const runtime::ScenarioResult result = runtime::run_spec(req.spec);
+    Json payload;
+    payload["scenario"] = Json(req.spec.name);
+    payload["seed"] = Json(static_cast<std::int64_t>(req.spec.seed));
+    payload["spec"] = runtime::to_json(req.spec);
+    payload["result"] = runtime::to_json(result);
+    return payload;
+  }
+
+  static Json sweep(Service& service, const Request& request) {
+    const SweepRequest& req = std::get<SweepRequest>(request.body);
+    if (req.param.empty() || req.values.empty()) {
+      throw std::invalid_argument("sweep needs a param and a value list");
+    }
+    // Each value is an independent scenario run: fan them across the
+    // shared pool. Points are collected in value-list order, so the
+    // payload is byte-identical no matter how many workers ran them.
+    std::mutex progress_mu;
+    std::vector<Json> points =
+        service.pool(req.values.size())
+            .parallel_map(req.values.size(), [&](std::size_t i) {
+          runtime::ScenarioSpec spec = req.spec;
+          runtime::set_sweep_param(spec, req.param, req.values[i]);
+          {
+            std::lock_guard<std::mutex> lk(progress_mu);
+            std::ostringstream line;
+            line << "sweep " << req.param << "=" << req.values[i] << " ...";
+            service.diag(line.str());
+          }
+          Json point;
+          point[req.param] = Json(req.values[i]);
+          point["result"] = runtime::to_json(runtime::run_spec(spec));
+          return point;
+        });
+    Json::Array results;
+    for (Json& point : points) results.push_back(std::move(point));
+    Json payload;
+    payload["scenario"] = Json(req.spec.name);
+    payload["seed"] = Json(static_cast<std::int64_t>(req.spec.seed));
+    payload["jobs"] = Json(service.jobs());
+    payload["param"] = Json(req.param);
+    payload["results"] = Json(std::move(results));
+    return payload;
+  }
+
+  static Json schedule(Service& service, const Request& request) {
+    const ScheduleRequest& req = std::get<ScheduleRequest>(request.body);
+    sched::ScheduleSpec spec = req.spec;
+    if (!req.calibration_path.empty()) {
+      // The request path wins over any table embedded in the spec.
+      spec.config.calibration =
+          service.calibration_table(req.calibration_path);
+    }
+    const std::size_t num_jobs =
+        spec.workload.arrival == "trace"
+            ? spec.workload.arrival_times.size()
+            : static_cast<std::size_t>(spec.workload.num_jobs);
+    service.diag(
+        "scheduling \"" + spec.name + "\": " + std::to_string(num_jobs) +
+        " jobs (" + spec.workload.arrival + ") on " +
+        std::to_string(spec.config.num_gpus) + " GPUs, policy " +
+        spec.config.policy + ", seed " + std::to_string(spec.workload.seed) +
+        (spec.config.calibration.empty() ? ", analytic interference"
+                                         : ", measured interference") +
+        ", " + std::to_string(service.jobs()) + " worker(s)");
+    sched::ScheduleRunOptions options;
+    options.jobs = service.jobs();
+    options.pool = &service.pool(num_jobs);
+    // The resident cache is the daemon's whole point: repeated schedule
+    // requests re-plan only shapes this Service has never seen.
+    options.shared_plan_cache = &service.plan_cache_;
+    const sched::ScheduleResult result = sched::run_schedule(spec, options);
+    Json payload;
+    payload["schedule"] = Json(spec.name);
+    payload["seed"] = Json(static_cast<std::int64_t>(result.seed));
+    payload["jobs"] = Json(service.jobs());
+    payload["spec"] = sched::to_json(spec);
+    payload["result"] = sched::to_json(result);
+    return payload;
+  }
+
+  static Json calibrate(Service& service, const Request& request) {
+    const CalibrateRequest& req = std::get<CalibrateRequest>(request.body);
+    service.diag("calibrating \"" + req.spec.name + "\": " +
+                 std::to_string(req.spec.fg_models.size()) + " fg x " +
+                 std::to_string(req.spec.bg_models.size()) + " bg models over " +
+                 std::to_string(req.spec.gpu_counts.size()) +
+                 " gpu count(s) x " + std::to_string(req.spec.amp_limits.size()) +
+                 " amp limit(s), " + std::to_string(service.jobs()) +
+                 " worker(s)");
+    // The collocated-pair grid is the calibration sweep's widest phase.
+    const std::size_t grid = req.spec.fg_models.size() *
+                             req.spec.bg_models.size() *
+                             req.spec.gpu_counts.size() *
+                             req.spec.amp_limits.size();
+    calib::CalibrationRunOptions options;
+    options.progress = service.diag_;
+    options.jobs = service.jobs();
+    options.pool = &service.pool(grid);
+    const calib::CalibrationResult result =
+        calib::run_calibration(req.spec, options);
+    Json payload = to_json(result);
+    // Calibration draws no randomness; seed and jobs are echoed for
+    // provenance like every other operation.
+    payload["seed"] = Json(static_cast<std::int64_t>(req.seed));
+    payload["jobs"] = Json(service.jobs());
+    return payload;
+  }
+
+  static Json models(Service&, const Request&) {
+    Json::Array names;
+    for (const std::string& name : deeppool::models::zoo::names()) {
+      names.push_back(Json(name));
+    }
+    Json payload;
+    payload["models"] = Json(std::move(names));
+    return payload;
+  }
+};
+
+namespace {
+
+using Handler = Json (*)(Service&, const Request&);
+
+Handler handler_for(const std::string& op) {
+  if (op == PlanRequest::kOp) return ServiceHandlers::plan;
+  if (op == SimulateRequest::kOp) return ServiceHandlers::simulate;
+  if (op == SweepRequest::kOp) return ServiceHandlers::sweep;
+  if (op == ScheduleRequest::kOp) return ServiceHandlers::schedule;
+  if (op == CalibrateRequest::kOp) return ServiceHandlers::calibrate;
+  if (op == ModelsRequest::kOp) return ServiceHandlers::models;
+  return nullptr;
+}
+
+}  // namespace
+
+Service::Service(ServiceOptions options)
+    : requested_jobs_(options.jobs), diag_(options.diagnostics) {
+  // Fail fast on an explicit bad value (--jobs 0 must error at startup,
+  // not on the first pooled request); the env/hardware fallback waits
+  // until jobs() is actually needed.
+  if (requested_jobs_.has_value()) {
+    jobs_ = util::resolve_jobs(requested_jobs_);
+  }
+}
+
+int Service::jobs() {
+  if (jobs_ == 0) jobs_ = util::resolve_jobs(requested_jobs_);
+  return jobs_;
+}
+
+Response Service::handle(const Request& request) {
+  ++requests_;
+  const std::string op = request.op();
+  // Route through the registry: only registered ops dispatch, and the
+  // registry's op list is the error message's source of truth.
+  const CommandInfo* info = find_command(op);
+  const Handler handler = info != nullptr && info->is_op
+                              ? handler_for(op)
+                              : nullptr;
+  if (handler == nullptr) {
+    throw std::invalid_argument("unknown op \"" + op + "\"; valid ops: " +
+                                op_names());
+  }
+  Response response;
+  response.ok = true;
+  response.op = op;
+  response.payload = handler(*this, request);
+  response.payload["version"] = Json(version());
+  response.service = stats();
+  return response;
+}
+
+Response Service::error_response(std::string message, std::string op) {
+  ++errors_;
+  Response response;
+  response.ok = false;
+  response.op = std::move(op);
+  response.error = std::move(message);
+  response.service = stats();
+  return response;
+}
+
+ServiceStats Service::stats() const {
+  ServiceStats stats;
+  stats.requests = requests_;
+  stats.errors = errors_;
+  stats.plan_cache_hits = plan_cache_.hits();
+  stats.plan_cache_misses = plan_cache_.misses();
+  stats.plan_cache_size = static_cast<std::int64_t>(plan_cache_.size());
+  stats.calibrations_loaded =
+      static_cast<std::int64_t>(calibrations_.size());
+  return stats;
+}
+
+const calib::InterferenceTable& Service::calibration_table(
+    const std::string& path) {
+  auto it = calibrations_.find(path);
+  if (it == calibrations_.end()) {
+    it = calibrations_
+             .emplace(path,
+                      calib::InterferenceTable::from_json(load_json_file(path)))
+             .first;
+    diag("loaded " + std::to_string(it->second.size()) +
+         " measured interference pairs from " + path);
+  }
+  return it->second;
+}
+
+util::ThreadPool& Service::pool(std::size_t tasks) {
+  const int want = util::clamp_jobs(jobs(), tasks);
+  // Rebuilding is safe: one request runs at a time, so the pool is idle
+  // between uses.
+  if (!pool_ || pool_->workers() < want) pool_.emplace(want);
+  return *pool_;
+}
+
+void Service::diag(const std::string& line) {
+  if (diag_ != nullptr) *diag_ << line << '\n';
+}
+
+Json load_json_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return Json::parse(buffer.str());
+}
+
+}  // namespace deeppool::api

@@ -1,0 +1,101 @@
+// api::Service — the one facade every deeppool entry point routes through.
+//
+// The Service owns the state worth keeping warm between requests:
+//
+//   * one core::PlanCache, shared into every schedule run
+//     (ScheduleRunOptions::shared_plan_cache), so repeated schedule
+//     requests in one Service lifetime re-plan nothing;
+//   * the calib::InterferenceTable files requests name, loaded once and
+//     kept resident (a daemon re-pricing a trace against the same table
+//     never re-reads it);
+//   * one util::ThreadPool sized by --jobs, lent to calibrate / sweep /
+//     schedule instead of each run constructing its own.
+//
+// handle() routes a typed Request through the command registry to its
+// handler and returns a Response whose payload is exactly the JSON the
+// one-shot CLI prints — the CLI is a thin argv->Request adapter, `deeppool
+// serve` a thin NDJSON transport, and a cold request answers
+// byte-identically through either (warm schedule payloads differ only in
+// their per-run plan-cache counters; see response.h).
+// Handlers throw on errors (std::invalid_argument / std::runtime_error);
+// transports decide whether that aborts (CLI) or becomes a structured
+// error response (serve). Not thread-safe: one request at a time.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <ostream>
+#include <string>
+
+#include "api/request.h"
+#include "api/response.h"
+#include "calib/interference.h"
+#include "core/plan_cache.h"
+#include "util/parallel.h"
+
+namespace deeppool::api {
+
+struct ServiceOptions {
+  /// Worker count for the shared pool: resolved through
+  /// util::resolve_jobs (explicit value > DEEPPOOL_JOBS env > hardware
+  /// concurrency; < 1 throws the usual one-line error).
+  std::optional<int> jobs;
+  /// Progress / provenance lines ("scheduling ...", "loaded N measured
+  /// pairs ..."); nullptr = silent. Never receives payload bytes.
+  std::ostream* diagnostics = nullptr;
+};
+
+class Service {
+ public:
+  explicit Service(ServiceOptions options = {});
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Handles one request; throws on operation errors. The returned
+  /// payload carries the operation output plus the "version" stamp; the
+  /// envelope carries a post-request stats snapshot.
+  Response handle(const Request& request);
+
+  /// An error envelope (ok = false) carrying `message`, the current stats
+  /// snapshot and the version stamp; bumps the error counter.
+  Response error_response(std::string message, std::string op = "");
+
+  ServiceStats stats() const;
+  /// The effective worker count. An explicit ServiceOptions::jobs is
+  /// validated at construction; the DEEPPOOL_JOBS / hardware-concurrency
+  /// fallback is resolved on first use only, so commands that never touch
+  /// the pool (plan, simulate, models) stay insensitive to the env var.
+  int jobs();
+  const core::PlanCache& plan_cache() const noexcept { return plan_cache_; }
+
+ private:
+  friend struct ServiceHandlers;
+
+  /// The resident table for `path`, loading and validating it on first
+  /// use only.
+  const calib::InterferenceTable& calibration_table(const std::string& path);
+  /// The shared pool, sized for a batch of `tasks`: created at
+  /// clamp_jobs(jobs(), tasks) on first use and rebuilt larger when a
+  /// wider batch arrives (never shrunk) — a one-shot run spawns no more
+  /// workers than its batch can feed, a resident daemon warms up to its
+  /// widest request and stays there.
+  util::ThreadPool& pool(std::size_t tasks);
+  void diag(const std::string& line);
+
+  std::optional<int> requested_jobs_;
+  int jobs_ = 0;  ///< 0 = fallback not yet resolved
+  std::ostream* diag_ = nullptr;
+  std::optional<util::ThreadPool> pool_;  ///< created on first parallel op
+  core::PlanCache plan_cache_;
+  std::map<std::string, calib::InterferenceTable> calibrations_;
+  std::int64_t requests_ = 0;
+  std::int64_t errors_ = 0;
+};
+
+/// Reads and parses one JSON file; throws std::runtime_error ("cannot
+/// open ...") on I/O failure. Shared by the Service (calibration tables)
+/// and the CLI adapter (spec files).
+Json load_json_file(const std::string& path);
+
+}  // namespace deeppool::api

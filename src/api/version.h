@@ -1,0 +1,16 @@
+// The single source of truth for the deeppool version string.
+//
+// Every Response envelope and every one-shot CLI output JSON carries this
+// value (key "version") so an artifact can always be traced to the code
+// that produced it; `deeppool --version` and usage() print it too.
+#pragma once
+
+#include <string>
+
+namespace deeppool::api {
+
+inline constexpr const char* kVersion = "0.5.0";
+
+inline std::string version() { return kVersion; }
+
+}  // namespace deeppool::api

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
@@ -208,10 +209,19 @@ Json to_json(const CalibrationResult& result) {
 
 CalibrationResult run_calibration(const CalibrationSpec& spec,
                                   std::ostream* progress, int jobs) {
+  CalibrationRunOptions options;
+  options.progress = progress;
+  options.jobs = jobs;
+  return run_calibration(spec, options);
+}
+
+CalibrationResult run_calibration(const CalibrationSpec& spec,
+                                  const CalibrationRunOptions& options) {
+  std::ostream* progress = options.progress;
   validate(spec);
-  if (jobs < 1) {
+  if (options.pool == nullptr && options.jobs < 1) {
     throw std::invalid_argument("run_calibration needs jobs >= 1 (got " +
-                                std::to_string(jobs) + ")");
+                                std::to_string(options.jobs) + ")");
   }
   const models::CostModel cost{models::DeviceSpec::a100()};
   const net::NetworkModel network{net::NetworkSpec::from_name(spec.network)};
@@ -245,10 +255,16 @@ CalibrationResult run_calibration(const CalibrationSpec& spec,
   const std::vector<int> gpu_counts = deduped(spec.gpu_counts);
 
   // The widest phase is the collocated-pair grid; workers beyond it would
-  // never find an index to claim in any phase.
-  util::ThreadPool pool(util::clamp_jobs(
-      jobs, fg_models.size() * gpu_counts.size() * amp_limits.size() *
-                bg_models.size()));
+  // never find an index to claim in any phase. A shared pool (the
+  // api::Service daemon lending its resident workers) is used as-is.
+  std::optional<util::ThreadPool> local_pool;
+  if (options.pool == nullptr) {
+    local_pool.emplace(util::clamp_jobs(
+        options.jobs, fg_models.size() * gpu_counts.size() *
+                          amp_limits.size() * bg_models.size()));
+  }
+  util::ThreadPool& pool = options.pool != nullptr ? *options.pool
+                                                   : *local_pool;
 
   // The sweep runs in three dependency phases so every baseline is measured
   // exactly once and the caches are filled before anything reads them —

@@ -32,6 +32,10 @@
 #include "runtime/multiplex.h"
 #include "util/json.h"
 
+namespace deeppool::util {
+class ThreadPool;
+}  // namespace deeppool::util
+
 namespace deeppool::calib {
 
 /// The sweep grid (JSON spec kind: "calibration"). Every fg model is crossed
@@ -107,5 +111,20 @@ Json to_json(const CalibrationResult& result);
 CalibrationResult run_calibration(const CalibrationSpec& spec,
                                   std::ostream* progress = nullptr,
                                   int jobs = 1);
+
+/// Execution knobs for one run_calibration call — like
+/// sched::ScheduleRunOptions, they change how fast the answer is
+/// computed, never its bytes.
+struct CalibrationRunOptions {
+  std::ostream* progress = nullptr;  ///< one line per measured pair
+  /// Worker count when no pool is shared; ignored when `pool` is set.
+  int jobs = 1;
+  /// Optional shared worker pool (api::Service lends its resident pool).
+  /// The caller keeps ownership; the pool must be idle for the call.
+  util::ThreadPool* pool = nullptr;
+};
+
+CalibrationResult run_calibration(const CalibrationSpec& spec,
+                                  const CalibrationRunOptions& options);
 
 }  // namespace deeppool::calib

@@ -34,7 +34,10 @@ Json to_json(const ScenarioResult& result);
 /// plan/simulate/sweep schema above), "schedule" (the multi-tenant
 /// scheduler schema in sched/scheduler.h) or "calibration" (the measured
 /// interference sweep in calib/calibrator.h). Lets one CLI dispatch on a
-/// file.
+/// file, and lets api::request_from_json infer the op of a bare
+/// {"spec": {...}} request (scenario -> simulate, schedule -> schedule,
+/// calibration -> calibrate) so any spec file pipes into `deeppool serve`
+/// verbatim.
 std::string spec_kind(const Json& j);
 
 /// A scenario described by names and knobs rather than concrete plans.

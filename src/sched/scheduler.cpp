@@ -550,7 +550,11 @@ ScheduleResult Engine::run() {
   // worker count, and each worker writes only its own index slot. The
   // simulation itself stays single-threaded (it is event-ordered).
   std::vector<Shape> shapes(specs_.size());
-  {
+  if (options_.pool != nullptr) {
+    options_.pool->parallel_for(specs_.size(), [&](std::size_t i) {
+      shapes[i] = resolve_shape(specs_[i]);
+    });
+  } else {
     util::ThreadPool pool(util::clamp_jobs(options_.jobs, specs_.size()));
     pool.parallel_for(specs_.size(), [&](std::size_t i) {
       shapes[i] = resolve_shape(specs_[i]);
@@ -687,7 +691,9 @@ ScheduleResult run_schedule(const WorkloadSpec& workload,
                             const ScheduleConfig& config,
                             const ScheduleRunOptions& options) {
   validate_config(config);
-  if (options.jobs < 1) {
+  // A shared pool supersedes the jobs knob, so only the pool-less path
+  // validates it.
+  if (options.pool == nullptr && options.jobs < 1) {
     throw std::invalid_argument("schedule needs jobs >= 1 (got " +
                                 std::to_string(options.jobs) + ")");
   }

@@ -30,6 +30,10 @@
 #include "sched/workload.h"
 #include "util/json.h"
 
+namespace deeppool::util {
+class ThreadPool;
+}  // namespace deeppool::util
+
 namespace deeppool::sched {
 
 /// Cluster + policy knobs (JSON key: "cluster").
@@ -151,6 +155,10 @@ struct ScheduleRunOptions {
   /// calls (e.g. a sweep re-pricing the same trace under many configs).
   /// Ignored when plan_cache is false. The caller keeps ownership.
   core::PlanCache* shared_plan_cache = nullptr;
+  /// Optional shared worker pool (api::Service lends its resident pool):
+  /// when set, shape resolution fans out across it and `jobs` is ignored.
+  /// The caller keeps ownership; the pool must be idle for the call.
+  util::ThreadPool* pool = nullptr;
 };
 
 /// Runs the whole trace to completion. Deterministic: the same workload and

@@ -1,0 +1,194 @@
+// api::Request / api::Response JSON codecs: byte-stable round trips
+// (mirroring the InterferenceTable cache contract) and structured errors
+// for malformed requests — the wire format `deeppool serve` speaks.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "api/registry.h"
+#include "api/request.h"
+#include "api/response.h"
+#include "api/version.h"
+
+namespace deeppool::api {
+namespace {
+
+// Serialize -> parse -> serialize must be the identity on bytes, so a
+// request log rewritten by any tool in the chain never churns.
+void expect_byte_stable(const Request& request) {
+  const std::string once = to_json(request).dump(2);
+  const Request back = request_from_json(Json::parse(once));
+  EXPECT_EQ(back.op(), request.op());
+  EXPECT_EQ(to_json(back).dump(2), once) << "op " << request.op();
+  EXPECT_EQ(Json::parse(once).dump(2), once);
+}
+
+TEST(ApiVersion, IsASingleNonEmptyConstant) {
+  EXPECT_FALSE(version().empty());
+  EXPECT_EQ(version(), std::string(kVersion));
+}
+
+TEST(Registry, EveryOpResolvesAndServeIsTransportOnly) {
+  for (const char* op :
+       {"plan", "simulate", "sweep", "schedule", "calibrate", "models"}) {
+    const CommandInfo* info = find_command(op);
+    ASSERT_NE(info, nullptr) << op;
+    EXPECT_TRUE(info->is_op) << op;
+  }
+  const CommandInfo* serve = find_command("serve");
+  ASSERT_NE(serve, nullptr);
+  EXPECT_FALSE(serve->is_op);
+  EXPECT_TRUE(command_accepts(*serve, "--jobs"));
+  EXPECT_FALSE(command_accepts(*serve, "--policy"));
+  EXPECT_EQ(find_command("frobnicate"), nullptr);
+  EXPECT_EQ(op_names(),
+            "plan | simulate | sweep | schedule | calibrate | models");
+}
+
+TEST(Registry, FlagOwnersRenderForErrorMessages) {
+  // Single owner, two owners, many owners, no owner.
+  EXPECT_EQ(flag_owners("--policy"), "`deeppool schedule`");
+  EXPECT_EQ(flag_owners("--out"), "`deeppool calibrate`");
+  EXPECT_EQ(flag_owners("--jobs"),
+            "`deeppool sweep`, `schedule`, `calibrate` and `serve`");
+  EXPECT_EQ(flag_owners("--frobnicate"), "");
+}
+
+TEST(RequestCodec, PlanSimulateSweepRoundTripByteStable) {
+  runtime::ScenarioSpec spec;
+  spec.name = "codec";
+  spec.model = "vgg16";
+  spec.seed = 9;
+  spec.config.num_gpus = 4;
+  expect_byte_stable(Request{PlanRequest{spec}});
+  expect_byte_stable(Request{SimulateRequest{spec}});
+  expect_byte_stable(Request{SweepRequest{spec, "amp_limit", {1.0, 1.5, 2.0}}});
+}
+
+TEST(RequestCodec, ScheduleCalibrateModelsRoundTripByteStable) {
+  sched::ScheduleSpec schedule;
+  schedule.name = "codec_sched";
+  schedule.workload.num_jobs = 4;
+  expect_byte_stable(Request{ScheduleRequest{schedule, ""}});
+  expect_byte_stable(Request{ScheduleRequest{schedule, "/tmp/table.json"}});
+
+  calib::CalibrationSpec calibration;
+  calibration.name = "codec_calib";
+  expect_byte_stable(Request{CalibrateRequest{calibration, 7}});
+  expect_byte_stable(Request{ModelsRequest{}});
+}
+
+TEST(RequestCodec, OpNamesMatchTheRegistry) {
+  EXPECT_EQ(Request{PlanRequest{}}.op(), "plan");
+  EXPECT_EQ(Request{SimulateRequest{}}.op(), "simulate");
+  EXPECT_EQ(Request{SweepRequest{}}.op(), "sweep");
+  EXPECT_EQ(Request{ScheduleRequest{}}.op(), "schedule");
+  EXPECT_EQ(Request{CalibrateRequest{}}.op(), "calibrate");
+  EXPECT_EQ(Request{ModelsRequest{}}.op(), "models");
+}
+
+TEST(RequestCodec, BareSpecsDispatchOnTheirKind) {
+  // A {"spec": {...}} line with no "op" routes on runtime::spec_kind, so
+  // any spec file pipes into `deeppool serve` verbatim.
+  EXPECT_EQ(request_from_json(
+                Json::parse(R"({"spec": {"model": "vgg16"}})"))
+                .op(),
+            "simulate");
+  EXPECT_EQ(request_from_json(Json::parse(
+                R"({"spec": {"kind": "schedule", "workload": {}}})"))
+                .op(),
+            "schedule");
+  EXPECT_EQ(request_from_json(
+                Json::parse(R"({"spec": {"kind": "calibration"}})"))
+                .op(),
+            "calibrate");
+  try {
+    request_from_json(Json::parse(R"({"spec": {"kind": "mystery"}})"));
+    FAIL() << "unknown kind inferred an op";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("cannot infer an op"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(RequestCodec, RejectsMalformedRequests) {
+  EXPECT_THROW(request_from_json(Json::parse("[1, 2]")), std::runtime_error);
+  // No op and nothing to infer one from.
+  EXPECT_THROW(request_from_json(Json::parse(R"({"config": "x.json"})")),
+               std::runtime_error);
+  EXPECT_THROW(request_from_json(Json::parse(R"({"spec": [1]})")),
+               std::runtime_error);
+  // Unknown ops (and "serve", which is a transport, not an op) name the
+  // valid set so the daemon's error is self-documenting.
+  for (const char* op : {"frobnicate", "serve"}) {
+    try {
+      request_from_json(Json::parse(std::string(R"({"op": ")") + op +
+                                    R"("})"));
+      FAIL() << "op " << op << " parsed";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("valid ops: plan | simulate"),
+                std::string::npos)
+          << e.what();
+    }
+  }
+  // Body errors surface from the inner spec codecs.
+  EXPECT_THROW(request_from_json(Json::parse(R"({"op": "plan"})")),
+               std::runtime_error);
+  EXPECT_THROW(request_from_json(Json::parse(
+                   R"({"op": "sweep", "spec": {"model": "vgg16"}})")),
+               std::runtime_error);
+  EXPECT_THROW(
+      request_from_json(Json::parse(
+          R"({"op": "schedule", "spec": {"kind": "calibration"}})")),
+      std::runtime_error);
+}
+
+TEST(ResponseCodec, OkEnvelopeRoundTripsByteStable) {
+  Response response;
+  response.ok = true;
+  response.op = "models";
+  response.payload["models"] = Json(Json::Array{Json("vgg16")});
+  ServiceStats stats;
+  stats.requests = 3;
+  stats.plan_cache_hits = 12;
+  stats.plan_cache_misses = 5;
+  stats.plan_cache_size = 5;
+  response.service = stats;
+
+  const Json j = to_json(response);
+  EXPECT_TRUE(j.at("ok").as_bool());
+  EXPECT_EQ(j.at("version").as_string(), version());
+  EXPECT_EQ(j.at("service").at("plan_cache_hits").as_int(), 12);
+
+  const std::string once = j.dump(2);
+  const Response back = response_from_json(Json::parse(once));
+  EXPECT_TRUE(back.ok);
+  EXPECT_EQ(back.op, "models");
+  ASSERT_TRUE(back.service.has_value());
+  EXPECT_EQ(back.service->requests, 3);
+  EXPECT_EQ(to_json(back).dump(2), once);
+}
+
+TEST(ResponseCodec, ErrorEnvelopeRoundTripsByteStable) {
+  Response response;
+  response.ok = false;
+  response.error = "cannot open nope.json";
+
+  const Json j = to_json(response);
+  EXPECT_FALSE(j.at("ok").as_bool());
+  EXPECT_FALSE(j.contains("payload"));
+  EXPECT_FALSE(j.contains("op"));
+  EXPECT_EQ(j.at("error").as_string(), "cannot open nope.json");
+  EXPECT_EQ(j.at("version").as_string(), version());
+
+  const std::string once = j.dump(2);
+  const Response back = response_from_json(Json::parse(once));
+  EXPECT_FALSE(back.ok);
+  EXPECT_EQ(back.error, "cannot open nope.json");
+  EXPECT_EQ(to_json(back).dump(2), once);
+}
+
+}  // namespace
+}  // namespace deeppool::api

@@ -1,0 +1,138 @@
+// `deeppool serve` semantics: one NDJSON request per line, one envelope
+// per line, over a resident Service — warm-cache growth across requests,
+// structured error responses for malformed lines, and byte-parity between
+// the serve payload and a one-shot (fresh-Service) run of the same
+// request.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/request.h"
+#include "api/response.h"
+#include "api/serve.h"
+#include "api/service.h"
+#include "api/version.h"
+#include "util/json.h"
+
+namespace deeppool::api {
+namespace {
+
+const char* kTinySchedule = R"({
+  "kind": "schedule",
+  "name": "serve_tiny",
+  "workload": {
+    "arrival": "fixed", "interval_s": 0.5, "num_jobs": 6, "seed": 3,
+    "bg_fraction": 0.5, "min_iterations": 10, "max_iterations": 20,
+    "fg_mix": [{"model": "vgg16", "weight": 1.0, "global_batch": 32,
+                "amp_limit": 2.0}],
+    "bg_mix": [{"model": "resnet50", "weight": 1.0, "global_batch": 16}]
+  },
+  "cluster": {"num_gpus": 4, "policy": "burst_lending",
+              "util_timeline_bins": 8}
+})";
+
+std::string schedule_line() {
+  Json j;
+  j["op"] = Json("schedule");
+  j["spec"] = Json::parse(kTinySchedule);
+  return j.dump();
+}
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::stringstream ss(text);
+  std::string line;
+  while (std::getline(ss, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(Serve, SessionKeepsTheCacheWarmAndSurvivesBadLines) {
+  std::stringstream in;
+  in << R"({"op": "models"})" << '\n'
+     << schedule_line() << '\n'
+     << schedule_line() << '\n'
+     << "{oops, not json" << '\n'
+     << R"({"op": "frobnicate"})" << '\n'
+     << "   " << '\n'  // blank: skipped, no response
+     << schedule_line() << '\n';
+
+  std::ostringstream out;
+  Service service(ServiceOptions{1, nullptr});
+  EXPECT_EQ(run_serve(in, out, service), 0);
+
+  const std::vector<std::string> lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), 6u);  // one response per non-blank line
+
+  std::vector<Response> responses;
+  for (const std::string& line : lines) {
+    responses.push_back(response_from_json(Json::parse(line)));
+  }
+
+  EXPECT_TRUE(responses[0].ok);
+  EXPECT_EQ(responses[0].op, "models");
+  EXPECT_TRUE(responses[1].ok);
+  EXPECT_TRUE(responses[2].ok);
+  EXPECT_EQ(responses[2].op, "schedule");
+
+  // Malformed JSON and unknown ops answer in-band and the loop continues.
+  EXPECT_FALSE(responses[3].ok);
+  EXPECT_FALSE(responses[3].error.empty());
+  EXPECT_FALSE(responses[4].ok);
+  EXPECT_NE(responses[4].error.find("valid ops"), std::string::npos);
+  EXPECT_TRUE(responses[5].ok);
+
+  // The whole point of the daemon: the resident plan cache climbs
+  // strictly across the session's schedule requests.
+  std::vector<std::int64_t> hits;
+  for (const Response& r : responses) {
+    if (r.ok && r.op == "schedule") {
+      ASSERT_TRUE(r.service.has_value());
+      hits.push_back(r.service->plan_cache_hits);
+    }
+  }
+  ASSERT_EQ(hits.size(), 3u);
+  EXPECT_GT(hits[0], 0);
+  EXPECT_GT(hits[1], hits[0]);
+  EXPECT_GT(hits[2], hits[1]);
+
+  // Envelope bookkeeping: 4 handled requests, 2 in-band errors; every
+  // line is version-stamped.
+  ASSERT_TRUE(responses[5].service.has_value());
+  EXPECT_EQ(responses[5].service->requests, 4);
+  EXPECT_EQ(responses[5].service->errors, 2);
+  for (const std::string& line : lines) {
+    EXPECT_EQ(Json::parse(line).at("version").as_string(), version());
+  }
+}
+
+TEST(Serve, PayloadIsByteIdenticalToAOneShotRun) {
+  std::stringstream in(schedule_line() + "\n");
+  std::ostringstream out;
+  Service daemon(ServiceOptions{1, nullptr});
+  ASSERT_EQ(run_serve(in, out, daemon), 0);
+  const std::vector<std::string> lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), 1u);
+  const Response served = response_from_json(Json::parse(lines[0]));
+  ASSERT_TRUE(served.ok);
+
+  // The one-shot CLI is the same request through a fresh Service; its
+  // stdout is payload.dump(2), so byte-parity is payload equality.
+  Service one_shot(ServiceOptions{1, nullptr});
+  const Response direct =
+      one_shot.handle(request_from_json(Json::parse(schedule_line())));
+  EXPECT_EQ(served.payload.dump(2), direct.payload.dump(2));
+}
+
+TEST(Serve, EmptyStreamAnswersNothing) {
+  std::stringstream in("");
+  std::ostringstream out;
+  Service service(ServiceOptions{1, nullptr});
+  EXPECT_EQ(run_serve(in, out, service), 0);
+  EXPECT_TRUE(out.str().empty());
+  EXPECT_EQ(service.stats().requests, 0);
+}
+
+}  // namespace
+}  // namespace deeppool::api

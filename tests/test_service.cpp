@@ -1,0 +1,181 @@
+// api::Service: the warm-state facade. Covers payload parity with the
+// underlying library calls, the resident plan cache climbing across
+// schedule requests, calibration tables loading exactly once, and the
+// version stamp on every payload.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include "api/request.h"
+#include "api/service.h"
+#include "api/version.h"
+#include "calib/interference.h"
+#include "runtime/scenario_config.h"
+#include "util/json.h"
+
+namespace deeppool::api {
+namespace {
+
+// A schedule spec small enough to run in milliseconds but with repeated
+// shapes, so the plan cache has something to hit.
+sched::ScheduleSpec tiny_schedule() {
+  return sched::schedule_spec_from_json(Json::parse(R"({
+    "kind": "schedule",
+    "name": "service_tiny",
+    "workload": {
+      "arrival": "fixed", "interval_s": 0.5, "num_jobs": 6, "seed": 3,
+      "bg_fraction": 0.5, "min_iterations": 10, "max_iterations": 20,
+      "fg_mix": [{"model": "vgg16", "weight": 1.0, "global_batch": 32,
+                  "amp_limit": 2.0}],
+      "bg_mix": [{"model": "resnet50", "weight": 1.0, "global_batch": 16}]
+    },
+    "cluster": {"num_gpus": 4, "policy": "burst_lending",
+                "util_timeline_bins": 8}
+  })"));
+}
+
+Json normalized_schedule_payload(Json payload) {
+  // The resident cache may only change its own counters, nothing else.
+  payload["result"]["fleet"]["plan_cache_hits"] = Json(0);
+  payload["result"]["fleet"]["plan_cache_misses"] = Json(0);
+  return payload;
+}
+
+TEST(Service, ModelsListsTheZooAndStampsVersion) {
+  Service service(ServiceOptions{1, nullptr});
+  const Response response = service.handle(Request{ModelsRequest{}});
+  EXPECT_TRUE(response.ok);
+  EXPECT_EQ(response.op, "models");
+  EXPECT_EQ(response.payload.at("version").as_string(), version());
+  bool has_vgg = false;
+  for (const Json& name : response.payload.at("models").as_array()) {
+    if (name.as_string() == "vgg16") has_vgg = true;
+  }
+  EXPECT_TRUE(has_vgg);
+  ASSERT_TRUE(response.service.has_value());
+  EXPECT_EQ(response.service->requests, 1);
+  EXPECT_EQ(response.service->errors, 0);
+}
+
+TEST(Service, PlanPayloadMatchesResolveSpec) {
+  runtime::ScenarioSpec spec;
+  spec.model = "vgg16";
+  spec.seed = 11;
+  spec.global_batch = 16;
+  spec.config.num_gpus = 4;
+
+  Service service(ServiceOptions{1, nullptr});
+  const Response response = service.handle(Request{PlanRequest{spec}});
+  ASSERT_TRUE(response.ok);
+
+  Json expected = runtime::resolve_spec(spec).fg_plan->to_json();
+  expected["seed"] = Json(static_cast<std::int64_t>(spec.seed));
+  expected["version"] = Json(version());
+  EXPECT_EQ(response.payload.dump(2), expected.dump(2));
+}
+
+TEST(Service, ScheduleHitsTheWarmPlanCacheAcrossRequests) {
+  Service service(ServiceOptions{1, nullptr});
+  const Request request{ScheduleRequest{tiny_schedule(), ""}};
+
+  const Response first = service.handle(request);
+  const Response second = service.handle(request);
+  const Response third = service.handle(request);
+  ASSERT_TRUE(first.ok);
+  ASSERT_TRUE(second.ok);
+  ASSERT_TRUE(third.ok);
+
+  // Cumulative service counters climb strictly: the daemon's whole point.
+  ASSERT_TRUE(first.service && second.service && third.service);
+  EXPECT_GT(first.service->plan_cache_hits, 0);
+  EXPECT_GT(second.service->plan_cache_hits, first.service->plan_cache_hits);
+  EXPECT_GT(third.service->plan_cache_hits, second.service->plan_cache_hits);
+  // Every distinct shape was planned during the first request; afterwards
+  // the cache answers everything.
+  EXPECT_EQ(second.service->plan_cache_misses,
+            first.service->plan_cache_misses);
+  EXPECT_EQ(second.payload.at("result").at("fleet").at("plan_cache_misses")
+                .as_int(),
+            0);
+
+  // The cache must not change the answer itself.
+  EXPECT_EQ(normalized_schedule_payload(first.payload).dump(2),
+            normalized_schedule_payload(second.payload).dump(2));
+  EXPECT_EQ(normalized_schedule_payload(second.payload).dump(2),
+            normalized_schedule_payload(third.payload).dump(2));
+}
+
+TEST(Service, CalibrationTableLoadsOnceAndStaysResident) {
+  calib::InterferenceTable table;
+  table.set(calib::PairKey{"vgg16", "resnet50", calib::GpuShape{4, 2.0}},
+            calib::PairFactors{0.07, 0.9});
+  const std::string path =
+      testing::TempDir() + "/service_calib_table.json";
+  {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good());
+    out << table.to_json().dump(2) << '\n';
+  }
+
+  Service service(ServiceOptions{1, nullptr});
+  const Request request{ScheduleRequest{tiny_schedule(), path}};
+  const Response first = service.handle(request);
+  const Response second = service.handle(request);
+  std::remove(path.c_str());
+
+  ASSERT_TRUE(first.ok && second.ok);
+  EXPECT_TRUE(first.payload.at("result").at("fleet").at("calibrated")
+                  .as_bool());
+  // One file, one load — the second request reuses the resident table
+  // (the file is already deleted, so a re-read would fail anyway).
+  ASSERT_TRUE(second.service.has_value());
+  EXPECT_EQ(second.service->calibrations_loaded, 1);
+  EXPECT_EQ(normalized_schedule_payload(first.payload).dump(2),
+            normalized_schedule_payload(second.payload).dump(2));
+}
+
+TEST(Service, MissingCalibrationFileThrowsOneLineError) {
+  Service service(ServiceOptions{1, nullptr});
+  const Request request{
+      ScheduleRequest{tiny_schedule(), "/nonexistent/table.json"}};
+  EXPECT_THROW(service.handle(request), std::runtime_error);
+  EXPECT_EQ(service.stats().requests, 1);
+}
+
+TEST(Service, FreshServicesAnswerByteIdentically) {
+  // One-shot CLI parity: the CLI builds a fresh Service per invocation, so
+  // any two fresh Services (and hence CLI vs. first serve response) must
+  // produce identical payload bytes for the same request.
+  const Request request{ScheduleRequest{tiny_schedule(), ""}};
+  Service one(ServiceOptions{1, nullptr});
+  Service two(ServiceOptions{1, nullptr});
+  EXPECT_EQ(one.handle(request).payload.dump(2),
+            two.handle(request).payload.dump(2));
+}
+
+TEST(Service, JobsResolveLikeTheCliFlag) {
+  EXPECT_EQ(Service(ServiceOptions{2, nullptr}).jobs(), 2);
+  try {
+    Service service(ServiceOptions{0, nullptr});
+    FAIL() << "jobs 0 accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_EQ(std::string(e.what()), "--jobs must be >= 1 (got 0)");
+  }
+}
+
+TEST(Service, ErrorResponseCountsAndStamps) {
+  Service service(ServiceOptions{1, nullptr});
+  const Response error = service.error_response("bad line", "");
+  EXPECT_FALSE(error.ok);
+  EXPECT_EQ(error.error, "bad line");
+  ASSERT_TRUE(error.service.has_value());
+  EXPECT_EQ(error.service->errors, 1);
+  EXPECT_EQ(error.service->requests, 0);
+  EXPECT_EQ(to_json(error).at("version").as_string(), version());
+}
+
+}  // namespace
+}  // namespace deeppool::api

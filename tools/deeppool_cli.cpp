@@ -2,7 +2,7 @@
 //
 //   deeppool plan     --model vgg16 [--gpus 8] [--batch 32] [--amp 1.5]
 //                     [--network nvswitch] [--dp] [--table]
-//   deeppool plan     --config scenario.json [--table]
+//   deeppool plan     --config scenario.json [--set knob=value ...] [--table]
 //   deeppool simulate --config scenario.json [--set knob=value ...]
 //                     [--output metrics.json] [--compact]
 //   deeppool sweep    --config scenario.json [--param knob --values 1,2,4]
@@ -12,58 +12,53 @@
 //                     [--output metrics.json] [--compact]
 //   deeppool calibrate spec.json [--out table.json] [--jobs N]
 //                     [--output report.json] [--compact]
+//   deeppool serve    [--jobs N]
 //   deeppool models
+//   deeppool --version
 //
-// `plan` runs the burst-parallel planner and emits the TrainingPlan JSON the
-// cluster coordinator consumes (Fig. 6). `simulate` drives one Fig-9-style
-// cluster-sharing scenario end to end and emits throughput/QoS metrics JSON.
-// `sweep` re-runs the scenario across a list of values for one knob (Fig. 10
-// / Fig. 12-style studies); the knob can come from the CLI or from a
-// `"sweep": {"param": ..., "values": [...]}` block in the scenario file.
-// `schedule` replays a whole multi-tenant job trace ({"kind": "schedule"}
-// specs) through the cluster scheduler and emits per-job + fleet metrics;
-// `--calibration table.json` prices lending from a measured interference
-// table instead of the analytic mux-derived factors. `calibrate` sweeps a
-// {"kind": "calibration"} fg x bg model grid through the scenario simulator
-// and writes that table (`--out` names the cache file; the full measurement
-// report goes to stdout / --output).
-// A spec path may be given positionally or via --config. `--seed N` sets
-// the workload seed for `schedule` (its only consumer today — scenario
-// sims are deterministic and draw no randomness); every subcommand echoes
-// the effective seed in its output JSON for provenance. `--jobs N` fans
-// calibrate / sweep / schedule work across a util/parallel thread pool
-// (default: DEEPPOOL_JOBS env, else hardware concurrency; 1 = serial;
-// results are byte-identical either way) and is echoed in output JSON too.
-// Results go to stdout (or --output); diagnostics go to stderr.
+// The CLI is a thin adapter over the typed service API in src/api/: argv
+// becomes an api::Request, one api::Service call produces the api::Response,
+// and the payload goes to stdout (or --output) byte-identical to what
+// `deeppool serve` answers for the same request. Which flags apply to which
+// subcommand is declared once in the api/registry command table — the CLI
+// only enforces it — and `serve` keeps one Service resident across an
+// NDJSON request-per-line session, so successive schedule requests hit the
+// warm plan cache and calibration tables load once. Every output JSON
+// carries "version" (api::kVersion) plus the effective seed, and --jobs
+// runs echo their worker count; results are byte-identical at any worker
+// count. Results go to stdout (or --output); diagnostics go to stderr.
 #include <fstream>
 #include <iostream>
 #include <limits>
+#include <map>
 #include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
-#include <mutex>
-
-#include "calib/calibrator.h"
-#include "core/planner.h"
-#include "models/zoo.h"
-#include "runtime/scenario_config.h"
-#include "sched/scheduler.h"
+#include "api/registry.h"
+#include "api/request.h"
+#include "api/response.h"
+#include "api/serve.h"
+#include "api/service.h"
+#include "api/version.h"
+#include "core/plan.h"
 #include "util/json.h"
-#include "util/parallel.h"
 
 namespace {
 
 using deeppool::Json;
+namespace api = deeppool::api;
 namespace runtime = deeppool::runtime;
 
 int usage(std::ostream& os, int exit_code) {
-  os << "usage:\n"
+  os << "deeppool " << api::version()
+     << " — burst-parallel cluster-sharing scenario driver\n"
+        "usage:\n"
         "  deeppool plan     --model NAME [--gpus N] [--batch B] [--amp A]\n"
         "                    [--network NET] [--dp] [--table]\n"
-        "  deeppool plan     --config FILE [--table]\n"
+        "  deeppool plan     --config FILE [--set KNOB=VALUE ...] [--table]\n"
         "  deeppool simulate --config FILE [--set KNOB=VALUE ...]\n"
         "                    [--output FILE] [--compact]\n"
         "  deeppool sweep    --config FILE [--param KNOB --values V1,V2,...]\n"
@@ -73,17 +68,24 @@ int usage(std::ostream& os, int exit_code) {
         "                    [--calibration TABLE] [--output FILE] [--compact]\n"
         "  deeppool calibrate FILE [--out TABLE] [--jobs N] [--output FILE]\n"
         "                    [--compact]\n"
+        "  deeppool serve    [--jobs N]\n"
         "  deeppool models\n"
+        "  deeppool --version\n"
         "\n"
-        "--seed N seeds the schedule workload; every subcommand echoes the\n"
-        "effective seed in its output JSON. --jobs N (>= 1) fans calibrate /\n"
-        "sweep / schedule work across N pool workers — results are\n"
-        "byte-identical to --jobs 1; default is the DEEPPOOL_JOBS env var,\n"
-        "else the host's hardware concurrency — and is echoed in output\n"
-        "JSON too. Spec files are JSON (see examples/scenarios/); schedule\n"
-        "specs carry \"kind\": \"schedule\", calibration specs \"kind\":\n"
-        "\"calibration\". `calibrate --out` writes the measured interference\n"
-        "table `schedule --calibration` consumes.\n";
+        "--seed N seeds the schedule workload; every output JSON echoes the\n"
+        "effective seed and the deeppool \"version\" for provenance. --jobs N\n"
+        "(>= 1) fans calibrate / sweep / schedule work across N pool workers\n"
+        "— results are byte-identical to --jobs 1; default is the\n"
+        "DEEPPOOL_JOBS env var, else the host's hardware concurrency — and\n"
+        "is echoed in output JSON too. Spec files are JSON (see\n"
+        "examples/scenarios/); schedule specs carry \"kind\": \"schedule\",\n"
+        "calibration specs \"kind\": \"calibration\". `calibrate --out`\n"
+        "writes the measured interference table `schedule --calibration`\n"
+        "consumes. `serve` reads one request object per stdin line, e.g.\n"
+        "{\"op\": \"schedule\", \"spec\": {...}}, and answers one response\n"
+        "line each over a resident service: the plan cache and loaded\n"
+        "calibration tables stay warm across requests, and malformed lines\n"
+        "get {\"ok\": false, ...} responses instead of killing the daemon.\n";
   return exit_code;
 }
 
@@ -93,26 +95,25 @@ struct Args {
   std::string output_path;
   std::string model;
   std::string network = "nvswitch";
-  std::string policy;  // schedule: placement policy override
+  std::string policy;            // schedule: placement policy override
   std::string calibration_path;  // schedule: measured interference table
   std::string table_out_path;    // calibrate: where the table cache goes
   std::string sweep_param;
   std::vector<double> sweep_values;
   std::vector<std::pair<std::string, double>> overrides;  // --set knob=value
   std::optional<std::uint64_t> seed;  // --seed: wins over the spec's seed
-  // --jobs: pool workers for calibrate/sweep/schedule. Validated where it
-  // is consumed (util::resolve_jobs), so 0/negative fail with one line.
+  // --jobs: validated where it is consumed (util::resolve_jobs inside
+  // api::Service), so 0/negative fail with one line.
   std::optional<int> jobs;
-  // Flags only `plan` consumes; recorded so other subcommands can reject
-  // them instead of silently ignoring them (their defaults are non-empty,
-  // so presence cannot be inferred from the values).
-  std::vector<std::string> plan_only_flags;
   int gpus = 8;
   std::int64_t batch = 32;
   double amp = 1.5;
   bool dp = false;
   bool table = false;
   bool compact = false;
+  /// Every flag seen, with its occurrence count: the registry check and
+  /// the duplicate-flag check both read this instead of sniffing values.
+  std::map<std::string, int> seen;
 };
 
 // Strict numeric parsing: std::stod("2x9") happily returns 2, which would
@@ -170,27 +171,24 @@ Args parse_args(int argc, char** argv) {
   };
   for (int i = 2; i < argc; ++i) {
     const std::string flag = argv[i];
+    if (!flag.empty() && flag[0] == '-') {
+      // Passing the same flag twice would silently last-win; --set is the
+      // one deliberately repeatable flag (each occurrence adds an override).
+      if (++args.seen[flag] > 1 && flag != "--set") {
+        throw std::invalid_argument("duplicate " + flag +
+                                    ": given more than once, pass it once");
+      }
+    }
     if (flag == "--config") args.config_path = need_value(i, flag);
     else if (flag == "--output") args.output_path = need_value(i, flag);
-    else if (flag == "--model") {
-      args.model = need_value(i, flag);
-      args.plan_only_flags.push_back(flag);
-    } else if (flag == "--network") {
-      args.network = need_value(i, flag);
-      args.plan_only_flags.push_back(flag);
-    } else if (flag == "--gpus") {
+    else if (flag == "--model") args.model = need_value(i, flag);
+    else if (flag == "--network") args.network = need_value(i, flag);
+    else if (flag == "--gpus")
       args.gpus = static_cast<int>(parse_int(need_value(i, flag), flag));
-      args.plan_only_flags.push_back(flag);
-    } else if (flag == "--batch") {
-      args.batch = parse_int(need_value(i, flag), flag);
-      args.plan_only_flags.push_back(flag);
-    } else if (flag == "--amp") {
-      args.amp = parse_double(need_value(i, flag), flag);
-      args.plan_only_flags.push_back(flag);
-    } else if (flag == "--dp") {
-      args.dp = true;
-      args.plan_only_flags.push_back(flag);
-    } else if (flag == "--table") args.table = true;
+    else if (flag == "--batch") args.batch = parse_int(need_value(i, flag), flag);
+    else if (flag == "--amp") args.amp = parse_double(need_value(i, flag), flag);
+    else if (flag == "--dp") args.dp = true;
+    else if (flag == "--table") args.table = true;
     else if (flag == "--compact") args.compact = true;
     else if (flag == "--param") args.sweep_param = need_value(i, flag);
     else if (flag == "--policy") args.policy = need_value(i, flag);
@@ -221,8 +219,17 @@ Args parse_args(int argc, char** argv) {
       }
       args.overrides.emplace_back(kv.substr(0, eq),
                                   parse_double(kv.substr(eq + 1), flag));
-    } else if (!flag.empty() && flag[0] != '-' && args.config_path.empty()) {
-      args.config_path = flag;  // positional spec path
+    } else if (!flag.empty() && flag[0] != '-') {
+      if (!args.config_path.empty()) {
+        throw std::invalid_argument(
+            "spec path given twice (\"" + args.config_path + "\" and \"" +
+            flag + "\")");
+      }
+      // Positional spec path. Deliberately not recorded in `seen`: the
+      // spec-file checks key off config_path, and a positional arg on a
+      // spec-less command must say "takes no spec file", not blame a
+      // --config flag the user never typed.
+      args.config_path = flag;
     } else {
       throw std::invalid_argument("unknown flag " + flag);
     }
@@ -230,25 +237,143 @@ Args parse_args(int argc, char** argv) {
   return args;
 }
 
-Json load_json_file(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open " + path);
-  std::stringstream buffer;
-  buffer << in.rdbuf();
-  return Json::parse(buffer.str());
+/// Registry check: every flag seen must be declared for this command. The
+/// error names the commands that do accept it, so a flag on the wrong
+/// subcommand points at the right one instead of being silently ignored.
+void check_flags(const Args& args, const api::CommandInfo& info) {
+  if (info.spec == api::SpecArg::kNone && !args.config_path.empty() &&
+      !args.seen.count("--config")) {
+    throw std::invalid_argument("`deeppool " + info.name +
+                                "` takes no spec file");
+  }
+  for (const auto& [flag, count] : args.seen) {
+    (void)count;
+    if (api::command_accepts(info, flag)) continue;
+    const std::string owners = api::flag_owners(flag);
+    if (owners.empty()) {
+      throw std::invalid_argument("unknown flag " + flag);
+    }
+    throw std::invalid_argument(flag + " only applies to " + owners +
+                                ", not `" + info.name + "`");
+  }
 }
 
-runtime::ScenarioSpec load_spec(const Args& args) {
+runtime::ScenarioSpec load_scenario_spec(const Args& args) {
   if (args.config_path.empty()) {
     throw std::invalid_argument("--config FILE is required");
   }
-  runtime::ScenarioSpec spec =
-      runtime::scenario_spec_from_json(load_json_file(args.config_path));
+  runtime::ScenarioSpec spec = runtime::scenario_spec_from_json(
+      api::load_json_file(args.config_path));
   for (const auto& [knob, value] : args.overrides) {
     runtime::set_sweep_param(spec, knob, value);
   }
   if (args.seed) spec.seed = *args.seed;
   return spec;
+}
+
+api::Request build_plan(const Args& args) {
+  runtime::ScenarioSpec spec;
+  if (!args.config_path.empty()) {
+    // The spec file is the single source of truth on this branch; knob
+    // flags would be silently ignored, so refuse the combination.
+    for (const char* flag :
+         {"--model", "--network", "--gpus", "--batch", "--amp", "--dp"}) {
+      if (args.seen.count(flag)) {
+        throw std::invalid_argument(
+            std::string(flag) + " does not combine with `deeppool plan "
+            "--config`; use --set or edit the spec file");
+      }
+    }
+    spec = load_scenario_spec(args);
+  } else {
+    if (args.model.empty()) {
+      throw std::invalid_argument("plan needs --model NAME or --config FILE");
+    }
+    spec.model = args.model;
+    spec.network = args.network;
+    spec.fg_mode = args.dp ? "dp" : "burst";
+    spec.global_batch = args.batch;
+    spec.amp_limit = args.amp;
+    spec.config.num_gpus = args.gpus;
+    for (const auto& [knob, value] : args.overrides) {
+      runtime::set_sweep_param(spec, knob, value);
+    }
+    if (args.seed) spec.seed = *args.seed;
+  }
+  return api::Request{api::PlanRequest{std::move(spec)}};
+}
+
+api::Request build_simulate(const Args& args) {
+  return api::Request{api::SimulateRequest{load_scenario_spec(args)}};
+}
+
+api::Request build_sweep(const Args& args) {
+  api::SweepRequest req;
+  req.spec = load_scenario_spec(args);
+  req.param = args.sweep_param;
+  req.values = args.sweep_values;
+  if (req.param.empty() || req.values.empty()) {
+    // Fall back to the scenario file's "sweep" block.
+    const Json file = api::load_json_file(args.config_path);
+    if (!file.contains("sweep")) {
+      throw std::invalid_argument(
+          "sweep needs --param/--values or a \"sweep\" block in the config");
+    }
+    const Json& block = file.at("sweep");
+    if (req.param.empty()) req.param = block.at("param").as_string();
+    if (req.values.empty()) {
+      for (const Json& v : block.at("values").as_array()) {
+        req.values.push_back(v.as_number());
+      }
+    }
+  }
+  if (req.values.empty()) {
+    throw std::invalid_argument("sweep has no values to run");
+  }
+  return api::Request{std::move(req)};
+}
+
+api::Request build_schedule(const Args& args) {
+  if (args.config_path.empty()) {
+    throw std::invalid_argument(
+        "schedule needs a spec file: deeppool schedule SPEC.json");
+  }
+  api::ScheduleRequest req;
+  req.spec = deeppool::sched::schedule_spec_from_json(
+      api::load_json_file(args.config_path));
+  if (!args.policy.empty()) req.spec.config.policy = args.policy;
+  if (args.seed) req.spec.workload.seed = *args.seed;
+  req.calibration_path = args.calibration_path;
+  return api::Request{std::move(req)};
+}
+
+api::Request build_calibrate(const Args& args) {
+  if (args.config_path.empty()) {
+    throw std::invalid_argument(
+        "calibrate needs a spec file: deeppool calibrate SPEC.json "
+        "[--out table.json]");
+  }
+  api::CalibrateRequest req;
+  req.spec = deeppool::calib::calibration_spec_from_json(
+      api::load_json_file(args.config_path));
+  req.seed = args.seed.value_or(0);
+  return api::Request{std::move(req)};
+}
+
+api::Request build_models(const Args&) {
+  return api::Request{api::ModelsRequest{}};
+}
+
+using Builder = api::Request (*)(const Args&);
+
+Builder builder_for(const std::string& command) {
+  static const std::map<std::string, Builder> kBuilders = {
+      {"plan", build_plan},          {"simulate", build_simulate},
+      {"sweep", build_sweep},        {"schedule", build_schedule},
+      {"calibrate", build_calibrate}, {"models", build_models},
+  };
+  const auto it = kBuilders.find(command);
+  return it != kBuilders.end() ? it->second : nullptr;
 }
 
 void emit(const Args& args, const Json& j) {
@@ -263,262 +388,35 @@ void emit(const Args& args, const Json& j) {
   }
 }
 
-// Flags accepted by the shared parser but consumed by one subcommand only
-// must not be silently dropped elsewhere: a run that ignores a requested
-// override looks like a run that applied it.
-void reject_schedule_only_flags(const Args& args, const std::string& command) {
-  if (!args.policy.empty()) {
-    throw std::invalid_argument("--policy only applies to `deeppool "
-                                "schedule`, not `" + command + "`");
-  }
-  if (!args.calibration_path.empty()) {
-    throw std::invalid_argument("--calibration only applies to `deeppool "
-                                "schedule`, not `" + command + "`");
-  }
-}
-
-void reject_table_out_flag(const Args& args, const std::string& command) {
-  if (!args.table_out_path.empty()) {
-    throw std::invalid_argument("--out only applies to `deeppool "
-                                "calibrate`, not `" + command + "`");
-  }
-}
-
-void reject_jobs_flag(const Args& args, const std::string& command) {
-  if (args.jobs.has_value()) {
-    throw std::invalid_argument(
-        "--jobs only applies to `deeppool calibrate`, `sweep` and "
-        "`schedule`, not `" + command + "`");
-  }
-}
-
-void reject_plan_only_flags(const Args& args, const std::string& command) {
-  if (!args.plan_only_flags.empty()) {
-    throw std::invalid_argument(
-        args.plan_only_flags.front() + " only applies to `deeppool plan`, "
-        "not `" + command + "`; use --set or edit the spec file");
-  }
-}
-
-int cmd_plan(const Args& args) {
-  reject_schedule_only_flags(args, "plan");
-  reject_table_out_flag(args, "plan");
-  reject_jobs_flag(args, "plan");
-  runtime::ScenarioSpec spec;
-  if (!args.config_path.empty()) {
-    // The spec file is the single source of truth on this branch; knob
-    // flags would be silently ignored, so refuse the combination.
-    reject_plan_only_flags(args, "plan --config (use --set)");
-    spec = load_spec(args);
-  } else {
-    if (args.model.empty()) {
-      throw std::invalid_argument("plan needs --model NAME or --config FILE");
-    }
-    spec.model = args.model;
-    spec.network = args.network;
-    spec.fg_mode = args.dp ? "dp" : "burst";
-    spec.global_batch = args.batch;
-    spec.amp_limit = args.amp;
-    spec.config.num_gpus = args.gpus;
-    if (args.seed) spec.seed = *args.seed;  // load_spec covers --config
-  }
-  const runtime::ScenarioConfig resolved = runtime::resolve_spec(spec);
-  if (!resolved.fg_plan) {
-    throw std::runtime_error("scenario has no foreground job to plan");
-  }
-  if (args.table) {
-    std::cout << resolved.fg_plan->to_table();
+/// Response -> stdout. Payloads print byte-identically to the `serve`
+/// transport; the two text views (plan --table, models) derive from the
+/// payload rather than bypassing the service.
+int present(const Args& args, const api::Response& response) {
+  if (args.command == "plan" && args.table) {
+    std::cout << deeppool::core::TrainingPlan::from_json(response.payload)
+                     .to_table();
     return 0;
   }
-  Json out = resolved.fg_plan->to_json();
-  out["seed"] = Json(static_cast<std::int64_t>(spec.seed));
-  emit(args, out);
-  return 0;
-}
-
-int cmd_simulate(const Args& args) {
-  reject_schedule_only_flags(args, "simulate");
-  reject_table_out_flag(args, "simulate");
-  reject_plan_only_flags(args, "simulate");
-  reject_jobs_flag(args, "simulate");
-  const runtime::ScenarioSpec spec = load_spec(args);
-  std::cerr << "simulating \"" << spec.name << "\": " << spec.model << " on "
-            << spec.config.num_gpus << " GPUs (" << spec.fg_mode << ")\n";
-  const runtime::ScenarioResult result = runtime::run_spec(spec);
-  Json out;
-  out["scenario"] = Json(spec.name);
-  out["seed"] = Json(static_cast<std::int64_t>(spec.seed));
-  out["spec"] = runtime::to_json(spec);
-  out["result"] = runtime::to_json(result);
-  emit(args, out);
-  return 0;
-}
-
-int cmd_sweep(const Args& args) {
-  reject_schedule_only_flags(args, "sweep");
-  reject_table_out_flag(args, "sweep");
-  reject_plan_only_flags(args, "sweep");
-  const runtime::ScenarioSpec base = load_spec(args);
-  std::string param = args.sweep_param;
-  std::vector<double> values = args.sweep_values;
-  if (param.empty() || values.empty()) {
-    // Fall back to the scenario file's "sweep" block.
-    const Json file = load_json_file(args.config_path);
-    if (!file.contains("sweep")) {
-      throw std::invalid_argument(
-          "sweep needs --param/--values or a \"sweep\" block in the config");
+  if (args.command == "models") {
+    for (const Json& name : response.payload.at("models").as_array()) {
+      std::cout << name.as_string() << '\n';
     }
-    const Json& block = file.at("sweep");
-    if (param.empty()) param = block.at("param").as_string();
-    if (values.empty()) {
-      for (const Json& v : block.at("values").as_array()) {
-        values.push_back(v.as_number());
-      }
-    }
+    return 0;
   }
-  if (values.empty()) {
-    throw std::invalid_argument("sweep has no values to run");
-  }
-
-  // Each value is an independent scenario run: fan them across the pool.
-  // Points are collected in value-list order, so the output JSON is
-  // byte-identical no matter how many workers ran them.
-  const int jobs = deeppool::util::resolve_jobs(args.jobs);
-  deeppool::util::ThreadPool pool(
-      deeppool::util::clamp_jobs(jobs, values.size()));
-  std::mutex progress_mu;
-  std::vector<Json> points =
-      pool.parallel_map(values.size(), [&](std::size_t i) {
-        runtime::ScenarioSpec spec = base;
-        runtime::set_sweep_param(spec, param, values[i]);
-        {
-          std::lock_guard<std::mutex> lk(progress_mu);
-          std::cerr << "sweep " << param << "=" << values[i] << " ...\n";
-        }
-        Json point;
-        point[param] = Json(values[i]);
-        point["result"] = runtime::to_json(runtime::run_spec(spec));
-        return point;
-      });
-  Json::Array results;
-  for (Json& point : points) results.push_back(std::move(point));
-  Json out;
-  out["scenario"] = Json(base.name);
-  out["seed"] = Json(static_cast<std::int64_t>(base.seed));
-  out["jobs"] = Json(jobs);
-  out["param"] = Json(param);
-  out["results"] = Json(std::move(results));
-  emit(args, out);
-  return 0;
-}
-
-int cmd_schedule(const Args& args) {
-  if (args.config_path.empty()) {
-    throw std::invalid_argument(
-        "schedule needs a spec file: deeppool schedule SPEC.json");
-  }
-  reject_plan_only_flags(args, "schedule");
-  reject_table_out_flag(args, "schedule");
-  if (!args.overrides.empty() || !args.sweep_param.empty() ||
-      !args.sweep_values.empty() || args.table) {
-    throw std::invalid_argument(
-        "schedule does not take --set/--param/--values/--table; "
-        "edit the spec file (or use --policy / --seed / --calibration)");
-  }
-  namespace sched = deeppool::sched;
-  sched::ScheduleSpec spec =
-      sched::schedule_spec_from_json(load_json_file(args.config_path));
-  if (!args.policy.empty()) spec.config.policy = args.policy;
-  if (args.seed) spec.workload.seed = *args.seed;
-  if (!args.calibration_path.empty()) {
-    // The CLI flag wins over any table embedded in the spec's cluster block.
-    spec.config.calibration = deeppool::calib::InterferenceTable::from_json(
-        load_json_file(args.calibration_path));
-    std::cerr << "loaded " << spec.config.calibration.size()
-              << " measured interference pairs from "
-              << args.calibration_path << "\n";
-  }
-  const int jobs = deeppool::util::resolve_jobs(args.jobs);
-  std::cerr << "scheduling \"" << spec.name << "\": "
-            << (spec.workload.arrival == "trace"
-                    ? spec.workload.arrival_times.size()
-                    : static_cast<std::size_t>(spec.workload.num_jobs))
-            << " jobs (" << spec.workload.arrival << ") on "
-            << spec.config.num_gpus << " GPUs, policy "
-            << spec.config.policy << ", seed " << spec.workload.seed
-            << (spec.config.calibration.empty()
-                    ? ", analytic interference"
-                    : ", measured interference")
-            << ", " << jobs << " worker(s)\n";
-  sched::ScheduleRunOptions options;
-  options.jobs = jobs;
-  const sched::ScheduleResult result = sched::run_schedule(spec, options);
-  Json out;
-  out["schedule"] = Json(spec.name);
-  out["seed"] = Json(static_cast<std::int64_t>(result.seed));
-  out["jobs"] = Json(jobs);
-  out["spec"] = sched::to_json(spec);
-  out["result"] = sched::to_json(result);
-  emit(args, out);
-  return 0;
-}
-
-int cmd_calibrate(const Args& args) {
-  if (args.config_path.empty()) {
-    throw std::invalid_argument(
-        "calibrate needs a spec file: deeppool calibrate SPEC.json "
-        "[--out table.json]");
-  }
-  reject_schedule_only_flags(args, "calibrate");
-  reject_plan_only_flags(args, "calibrate");
-  if (!args.overrides.empty() || !args.sweep_param.empty() ||
-      !args.sweep_values.empty() || args.table) {
-    throw std::invalid_argument(
-        "calibrate does not take --set/--param/--values/--table; "
-        "edit the spec file");
-  }
-  namespace calib = deeppool::calib;
-  const calib::CalibrationSpec spec =
-      calib::calibration_spec_from_json(load_json_file(args.config_path));
-  const int jobs = deeppool::util::resolve_jobs(args.jobs);
-  std::cerr << "calibrating \"" << spec.name << "\": "
-            << spec.fg_models.size() << " fg x " << spec.bg_models.size()
-            << " bg models over " << spec.gpu_counts.size()
-            << " gpu count(s) x " << spec.amp_limits.size()
-            << " amp limit(s), " << jobs << " worker(s)\n";
-  const calib::CalibrationResult result =
-      calib::run_calibration(spec, &std::cerr, jobs);
-  if (!args.table_out_path.empty()) {
+  if (args.command == "calibrate" && !args.table_out_path.empty()) {
     std::ofstream out(args.table_out_path);
     if (!out) {
       throw std::runtime_error("cannot write " + args.table_out_path);
     }
-    out << result.table.to_json().dump(2) << '\n';
-    std::cerr << "wrote " << result.table.size()
-              << " measured pairs to " << args.table_out_path << '\n';
+    const Json& table = response.payload.at("table");
+    out << table.dump(2) << '\n';
+    const std::size_t pairs = table.contains("entries")
+                                  ? table.at("entries").as_array().size()
+                                  : 0;
+    std::cerr << "wrote " << pairs << " measured pairs to "
+              << args.table_out_path << '\n';
   }
-  Json out = to_json(result);
-  // Calibration draws no randomness; the seed is echoed for provenance like
-  // every other subcommand. jobs never changes the result bytes either —
-  // it is echoed so a report names how it was produced.
-  out["seed"] = Json(static_cast<std::int64_t>(args.seed.value_or(0)));
-  out["jobs"] = Json(jobs);
-  emit(args, out);
-  return 0;
-}
-
-int cmd_models(const Args& args) {
-  if (!args.policy.empty() || args.seed || args.jobs ||
-      !args.plan_only_flags.empty() ||
-      !args.overrides.empty() || !args.sweep_param.empty() ||
-      !args.sweep_values.empty() || args.table || args.compact ||
-      !args.config_path.empty() || !args.output_path.empty() ||
-      !args.calibration_path.empty() || !args.table_out_path.empty()) {
-    throw std::invalid_argument("models takes no flags");
-  }
-  for (const std::string& name : deeppool::models::zoo::names()) {
-    std::cout << name << '\n';
-  }
+  emit(args, response.payload);
   return 0;
 }
 
@@ -526,20 +424,37 @@ int cmd_models(const Args& args) {
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage(std::cerr, 2);
+  const std::string command = argv[1];
+  if (command == "help" || command == "--help") return usage(std::cout, 0);
+  if (command == "version" || command == "--version") {
+    std::cout << "deeppool " << api::version() << '\n';
+    return 0;
+  }
   try {
-    const Args args = parse_args(argc, argv);
-    if (args.command == "plan") return cmd_plan(args);
-    if (args.command == "simulate") return cmd_simulate(args);
-    if (args.command == "sweep") return cmd_sweep(args);
-    if (args.command == "schedule") return cmd_schedule(args);
-    if (args.command == "calibrate") return cmd_calibrate(args);
-    if (args.command == "models") return cmd_models(args);
-    if (args.command == "help" || args.command == "--help") {
-      return usage(std::cout, 0);
+    const api::CommandInfo* info = api::find_command(command);
+    if (info == nullptr) {
+      std::cerr << "error: unknown command \"" << command
+                << "\"; run 'deeppool help' for usage\n";
+      return 2;
     }
-    std::cerr << "error: unknown command \"" << args.command
-              << "\"; run 'deeppool help' for usage\n";
-    return 2;
+    const Args args = parse_args(argc, argv);
+    check_flags(args, *info);
+
+    api::ServiceOptions options;
+    options.jobs = args.jobs;
+    options.diagnostics = &std::cerr;
+    api::Service service(options);
+    if (command == "serve") {
+      return api::run_serve(std::cin, std::cout, service);
+    }
+    const Builder builder = builder_for(command);
+    if (builder == nullptr) {
+      // A registered command with no argv builder is a wiring bug, not a
+      // user error; fail with a message instead of calling through null.
+      throw std::logic_error("command \"" + command +
+                             "\" has no request builder");
+    }
+    return present(args, service.handle(builder(args)));
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;
