@@ -23,8 +23,8 @@ const std::vector<CommandInfo>& command_registry() {
       {"schedule",
        "replay a multi-tenant job trace through the cluster scheduler",
        SpecArg::kSchedule,
-       {"--config", "--policy", "--calibration", "--jobs", "--seed",
-        "--output", "--compact"}},
+       {"--config", "--policy", "--calibration", "--core", "--util-bins",
+        "--jobs", "--seed", "--output", "--compact"}},
       {"calibrate",
        "measure per-pair collocation interference, cache it as a table",
        SpecArg::kCalibration,

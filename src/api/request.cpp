@@ -49,6 +49,7 @@ Request parse_schedule(const Json& j) {
   req.spec =
       sched::schedule_spec_from_json(spec_field(j, ScheduleRequest::kOp));
   req.calibration_path = str_or(j, "calibration_path", "");
+  req.core = str_or(j, "core", "");
   return Request{std::move(req)};
 }
 
@@ -134,6 +135,7 @@ Json to_json(const Request& request) {
           if (!body.calibration_path.empty()) {
             j["calibration_path"] = Json(body.calibration_path);
           }
+          if (!body.core.empty()) j["core"] = Json(body.core);
         } else if constexpr (std::is_same_v<T, CalibrateRequest>) {
           j["spec"] = calib::to_json(body.spec);
           j["seed"] = Json(static_cast<std::int64_t>(body.seed));

@@ -46,14 +46,17 @@ struct SweepRequest {
   std::vector<double> values;
 };
 
-/// {"op": "schedule", "spec": {...schedule...}[, "calibration_path": P]}.
-/// A non-empty calibration_path names a measured-interference table file;
-/// the Service loads it once and keeps it resident, so repeated requests
-/// against the same table never re-read or re-parse it.
+/// {"op": "schedule", "spec": {...schedule...}[, "calibration_path": P]
+/// [, "core": C]}. A non-empty calibration_path names a
+/// measured-interference table file; the Service loads it once and keeps it
+/// resident, so repeated requests against the same table never re-read or
+/// re-parse it. A non-empty core selects the scheduler core ("indexed" |
+/// "reference", see ScheduleRunOptions::core); empty takes the default.
 struct ScheduleRequest {
   static constexpr const char* kOp = "schedule";
   sched::ScheduleSpec spec;
   std::string calibration_path;
+  std::string core;
 };
 
 /// {"op": "calibrate", "seed": N, "spec": {...calibration...}}. seed is

@@ -103,6 +103,7 @@ struct ServiceHandlers {
     // The resident cache is the daemon's whole point: repeated schedule
     // requests re-plan only shapes this Service has never seen.
     options.shared_plan_cache = &service.plan_cache_;
+    if (!req.core.empty()) options.core = req.core;
     const sched::ScheduleResult result = sched::run_schedule(spec, options);
     Json payload;
     payload["schedule"] = Json(spec.name);

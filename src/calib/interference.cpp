@@ -128,4 +128,14 @@ PairFactors InterferenceModel::factors(const std::string& fg_model,
   return analytic_;
 }
 
+PairFactors InterferenceModel::peek(const std::string& fg_model,
+                                    const std::string& bg_model,
+                                    const GpuShape& shape) const {
+  if (const PairFactors* measured =
+          table_.find(PairKey{fg_model, bg_model, shape})) {
+    return *measured;
+  }
+  return analytic_;
+}
+
 }  // namespace deeppool::calib

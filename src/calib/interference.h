@@ -125,9 +125,19 @@ class InterferenceModel {
       : analytic_(analytic_factors(mux)), table_(std::move(table)) {}
 
   /// Measured factors for the pair, or the analytic fallback when the key is
-  /// missing. Never throws; every call bumps exactly one counter.
+  /// missing. Never throws; every call bumps exactly one counter. Use this
+  /// for lookups that price a committed decision (rates, demotions,
+  /// utilization accounting).
   PairFactors factors(const std::string& fg_model, const std::string& bg_model,
                       const GpuShape& shape) const;
+
+  /// Same lookup without touching the counters. For speculative probes —
+  /// lend-rate evaluation while a policy is still shopping for a placement —
+  /// whose call count depends on how the scheduler core scans, not on what
+  /// it decides; counting them would make hit/miss totals an artifact of
+  /// the scan order instead of a property of the schedule.
+  PairFactors peek(const std::string& fg_model, const std::string& bg_model,
+                   const GpuShape& shape) const;
 
   bool calibrated() const { return !table_.empty(); }
   const InterferenceTable& table() const { return table_; }

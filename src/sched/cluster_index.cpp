@@ -1,0 +1,215 @@
+#include "sched/cluster_index.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace deeppool::sched {
+
+namespace {
+constexpr std::int64_t kNoSeq = std::numeric_limits<std::int64_t>::max();
+}  // namespace
+
+ClusterIndex::ClusterIndex(int num_gpus,
+                           const std::vector<std::string>& bg_models)
+    : num_gpus_(num_gpus), bg_models_(bg_models) {
+  if (num_gpus < 1) {
+    throw std::invalid_argument("ClusterIndex needs num_gpus >= 1");
+  }
+  for (std::size_t m = 0; m < bg_models_.size(); ++m) {
+    model_index_[bg_models_[m]] = static_cast<int>(m);
+  }
+  fg_by_need_.resize(static_cast<std::size_t>(num_gpus) + 1);
+  all_by_need_.resize(static_cast<std::size_t>(num_gpus) + 1);
+  bg_by_model_.resize(bg_models_.size());
+  lend_offers_.resize(bg_models_.size());
+  gpu_offers_.resize(static_cast<std::size_t>(num_gpus));
+  while (tree_size_ < static_cast<std::size_t>(num_gpus)) tree_size_ *= 2;
+  fg_tree_.assign(2 * tree_size_, kNoSeq);
+  need_tree_.assign(2 * tree_size_, 0);
+  for (int g = 0; g < num_gpus; ++g) free_.insert(g);
+}
+
+int ClusterIndex::model_index(const std::string& model) const {
+  const auto it = model_index_.find(model);
+  return it == model_index_.end() ? -1 : it->second;
+}
+
+void ClusterIndex::refresh_fg_leaf(int need) {
+  const auto& bucket = fg_by_need_[static_cast<std::size_t>(need)];
+  std::size_t i = tree_size_ + static_cast<std::size_t>(need - 1);
+  fg_tree_[i] = bucket.empty() ? kNoSeq : *bucket.begin();
+  for (i /= 2; i >= 1; i /= 2) {
+    fg_tree_[i] = std::min(fg_tree_[2 * i], fg_tree_[2 * i + 1]);
+  }
+}
+
+void ClusterIndex::refresh_all_leaf(int need) {
+  const auto& bucket = all_by_need_[static_cast<std::size_t>(need)];
+  std::size_t i = tree_size_ + static_cast<std::size_t>(need - 1);
+  need_tree_[i] = bucket.empty() ? 0 : need;
+  for (i /= 2; i >= 1; i /= 2) {
+    need_tree_[i] = std::max(need_tree_[2 * i], need_tree_[2 * i + 1]);
+  }
+}
+
+std::int64_t ClusterIndex::insert(std::int64_t seq, int job, bool foreground,
+                                  int gpus_needed, const std::string& model) {
+  Entry entry;
+  entry.job = job;
+  entry.foreground = foreground;
+  entry.gpus_needed = gpus_needed;
+  entry.model = foreground ? -1 : model_index(model);
+  entry.seq = seq;
+  entries_.emplace(seq, entry);
+  const int b = bucket_of(gpus_needed);
+  if (b >= 0) {
+    all_by_need_[static_cast<std::size_t>(b)].insert(seq);
+    refresh_all_leaf(b);
+    if (foreground) {
+      fg_by_need_[static_cast<std::size_t>(b)].insert(seq);
+      refresh_fg_leaf(b);
+    }
+  }
+  if (!foreground) {
+    bg_all_.insert(seq);
+    if (entry.model >= 0) {
+      bg_by_model_[static_cast<std::size_t>(entry.model)].insert(seq);
+    }
+  }
+  return seq;
+}
+
+std::int64_t ClusterIndex::push_back(int job, bool foreground, int gpus_needed,
+                                     const std::string& model) {
+  return insert(back_seq_++, job, foreground, gpus_needed, model);
+}
+
+std::int64_t ClusterIndex::push_front(int job, bool foreground,
+                                      int gpus_needed,
+                                      const std::string& model) {
+  return insert(--front_seq_, job, foreground, gpus_needed, model);
+}
+
+void ClusterIndex::remove(std::int64_t seq) {
+  const auto it = entries_.find(seq);
+  if (it == entries_.end()) {
+    throw std::logic_error("ClusterIndex: removing unknown queue entry");
+  }
+  const Entry entry = it->second;
+  entries_.erase(it);
+  const int b = bucket_of(entry.gpus_needed);
+  if (b >= 0) {
+    all_by_need_[static_cast<std::size_t>(b)].erase(seq);
+    refresh_all_leaf(b);
+    if (entry.foreground) {
+      fg_by_need_[static_cast<std::size_t>(b)].erase(seq);
+      refresh_fg_leaf(b);
+    }
+  }
+  if (!entry.foreground) {
+    bg_all_.erase(seq);
+    if (entry.model >= 0) {
+      bg_by_model_[static_cast<std::size_t>(entry.model)].erase(seq);
+    }
+  }
+}
+
+const ClusterIndex::Entry* ClusterIndex::head() const {
+  return entries_.empty() ? nullptr : &entries_.begin()->second;
+}
+
+const ClusterIndex::Entry* ClusterIndex::earliest_fg_within(
+    int capacity) const {
+  if (capacity < 1) return nullptr;
+  const std::size_t cap =
+      static_cast<std::size_t>(std::min(capacity, num_gpus_));
+  // Min sequence over leaves [0, cap): iterative bottom-up range query.
+  std::int64_t best = kNoSeq;
+  std::size_t lo = tree_size_;
+  std::size_t hi = tree_size_ + cap;  // exclusive
+  while (lo < hi) {
+    if (lo & 1) best = std::min(best, fg_tree_[lo++]);
+    if (hi & 1) best = std::min(best, fg_tree_[--hi]);
+    lo /= 2;
+    hi /= 2;
+  }
+  return best == kNoSeq ? nullptr : &entries_.at(best);
+}
+
+const ClusterIndex::Entry* ClusterIndex::best_fit_within(int capacity) const {
+  if (capacity < 1) return nullptr;
+  const std::size_t cap =
+      static_cast<std::size_t>(std::min(capacity, num_gpus_));
+  int best_need = 0;
+  std::size_t lo = tree_size_;
+  std::size_t hi = tree_size_ + cap;
+  while (lo < hi) {
+    if (lo & 1) best_need = std::max(best_need, need_tree_[lo++]);
+    if (hi & 1) best_need = std::max(best_need, need_tree_[--hi]);
+    lo /= 2;
+    hi /= 2;
+  }
+  if (best_need == 0) return nullptr;
+  const auto& bucket = all_by_need_[static_cast<std::size_t>(best_need)];
+  return &entries_.at(*bucket.begin());
+}
+
+const ClusterIndex::Entry* ClusterIndex::earliest_bg() const {
+  return bg_all_.empty() ? nullptr : &entries_.at(*bg_all_.begin());
+}
+
+const ClusterIndex::Entry* ClusterIndex::earliest_lendable_bg() const {
+  // One probe per background model (traces mix a handful of models, not
+  // thousands): the earliest queued bg among models with a live offer.
+  const Entry* best = nullptr;
+  for (std::size_t m = 0; m < bg_models_.size(); ++m) {
+    if (lend_offers_[m].empty() || bg_by_model_[m].empty()) continue;
+    const Entry& candidate = entries_.at(*bg_by_model_[m].begin());
+    if (best == nullptr || candidate.seq < best->seq) best = &candidate;
+  }
+  return best;
+}
+
+void ClusterIndex::update_gpu(int gpu, bool has_fg, bool has_bg) {
+  free_.erase(gpu);
+  reclaimable_.erase(gpu);
+  if (!has_fg && !has_bg) free_.insert(gpu);
+  if (!has_fg && has_bg) reclaimable_.insert(gpu);
+  if (!has_fg || has_bg) clear_lend_rates(gpu);
+}
+
+void ClusterIndex::clear_lend_rates(int gpu) {
+  auto& offers = gpu_offers_[static_cast<std::size_t>(gpu)];
+  for (const auto& [model, rate] : offers) {
+    lend_offers_[static_cast<std::size_t>(model)].erase({-rate, gpu});
+  }
+  offers.clear();
+}
+
+void ClusterIndex::set_lend_rate(int gpu, int model, double rate) {
+  lend_offers_[static_cast<std::size_t>(model)].emplace(-rate, gpu);
+  gpu_offers_[static_cast<std::size_t>(gpu)].emplace_back(model, rate);
+}
+
+void ClusterIndex::first_free(int n, std::vector<int>& out) const {
+  for (auto it = free_.begin(); n > 0 && it != free_.end(); ++it, --n) {
+    out.push_back(*it);
+  }
+}
+
+void ClusterIndex::first_reclaimable(int n, std::vector<int>& out) const {
+  for (auto it = reclaimable_.begin(); n > 0 && it != reclaimable_.end();
+       ++it, --n) {
+    out.push_back(*it);
+  }
+}
+
+int ClusterIndex::best_lend_gpu(int model) const {
+  if (model < 0 || static_cast<std::size_t>(model) >= lend_offers_.size() ||
+      lend_offers_[static_cast<std::size_t>(model)].empty()) {
+    return -1;
+  }
+  return lend_offers_[static_cast<std::size_t>(model)].begin()->second;
+}
+
+}  // namespace deeppool::sched

@@ -1,0 +1,149 @@
+// Incremental cluster + pending-queue index for the fleet-scale scheduler.
+//
+// The snapshot scheduler core rebuilds per-GPU and per-queue-entry views and
+// linearly scans both on every event: O(GPUs × queue) per dispatch round,
+// quadratic over a trace. This index maintains the same information
+// incrementally so each placement question the shipped policies ask is
+// answered in O(log) time:
+//
+//   * the pending queue keyed by a dispatch sequence number (arrivals append,
+//     evicted background jobs re-queue at the front — mirrored here by a
+//     front-insert counter that decreases, so "earliest" is a plain ordered
+//     lookup);
+//   * per-need job buckets under two segment trees over need 1..num_gpus —
+//     min-sequence of foreground jobs within a capacity (burst_lending's
+//     "earliest placeable fg") and max nonempty need within a capacity
+//     (best_fit's "tightest fitting job");
+//   * ordered free / reclaimable GPU id sets (placement = first ids
+//     ascending, exactly the snapshot scan order);
+//   * per-background-model lend offers ordered (rate desc, gpu asc), kept in
+//     sync by the engine whenever a host's tenant set changes, so
+//     burst_lending's "best lend for this model" is a set front.
+//
+// The index answers *which job goes where*; it never prices interference
+// itself — the engine pushes refreshed lend rates in. Selection through
+// this index is decision-for-decision identical to the snapshot scan (the
+// byte-parity suite in tests/test_fleet_core.cpp holds the two cores to
+// identical schedule JSON).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace deeppool::sched {
+
+class ClusterIndex {
+ public:
+  /// One pending job as the policies see it.
+  struct Entry {
+    int job = -1;
+    bool foreground = true;
+    int gpus_needed = 1;
+    int model = -1;  ///< background-model index (see model_index), -1 for fg
+    std::int64_t seq = 0;  ///< dispatch order; smaller dispatches first
+  };
+
+  /// `bg_models` lists the distinct background model names the trace can
+  /// queue (lend offers are bucketed per model).
+  ClusterIndex(int num_gpus, const std::vector<std::string>& bg_models);
+
+  // --- pending queue ---
+
+  /// Appends an arriving job; returns its sequence key (for remove()).
+  std::int64_t push_back(int job, bool foreground, int gpus_needed,
+                         const std::string& model);
+  /// Re-queues an evicted job ahead of everything queued so far. Repeated
+  /// front-pushes within one dispatch round stack like repeated
+  /// vector::insert(begin()): the last one pushed dispatches first.
+  std::int64_t push_front(int job, bool foreground, int gpus_needed,
+                          const std::string& model);
+  /// Removes a queued job by the sequence key push_* returned.
+  void remove(std::int64_t seq);
+
+  bool queue_empty() const { return entries_.empty(); }
+  std::size_t queue_size() const { return entries_.size(); }
+
+  /// The queue head (earliest sequence), or nullptr when empty.
+  const Entry* head() const;
+  /// Earliest foreground job with gpus_needed <= capacity, or nullptr.
+  const Entry* earliest_fg_within(int capacity) const;
+  /// Largest-need job with gpus_needed <= capacity (earliest within that
+  /// need — best_fit's tightest packing with FIFO tie-break), or nullptr.
+  const Entry* best_fit_within(int capacity) const;
+  /// Earliest background job, or nullptr.
+  const Entry* earliest_bg() const;
+  /// Earliest background job whose model has at least one lend offer.
+  const Entry* earliest_lendable_bg() const;
+
+  // --- GPUs ---
+
+  /// Records a GPU's occupancy after any change. Also drops its lend offers
+  /// unless it is foreground-owned and tenant-free (the only lendable
+  /// state); the engine re-adds offers via set_lend_rate.
+  void update_gpu(int gpu, bool has_fg, bool has_bg);
+  /// Drops every lend offer on this GPU.
+  void clear_lend_rates(int gpu);
+  /// Adds a lend offer: a background job of this model lent this GPU would
+  /// progress at `rate` (> 0, QoS-vetted by the engine).
+  void set_lend_rate(int gpu, int model, double rate);
+
+  int free_count() const { return static_cast<int>(free_.size()); }
+  int reclaimable_count() const {
+    return static_cast<int>(reclaimable_.size());
+  }
+  /// Appends the first `n` free GPU ids ascending (fewer when not enough).
+  void first_free(int n, std::vector<int>& out) const;
+  /// Appends the first `n` reclaimable GPU ids ascending.
+  void first_reclaimable(int n, std::vector<int>& out) const;
+  /// Best lend offer for this model: highest rate, lowest GPU id among
+  /// ties — the snapshot scan's strict-improvement argmax. -1 when none.
+  int best_lend_gpu(int model) const;
+
+  /// Index of a background model name, -1 when unknown.
+  int model_index(const std::string& model) const;
+
+ private:
+  /// Bucket slot for a need value, or -1 when the job can never place
+  /// (need > num_gpus) and must stay invisible to the capacity queries.
+  int bucket_of(int need) const {
+    return need >= 1 && need <= num_gpus_ ? need : -1;
+  }
+  std::int64_t insert(std::int64_t seq, int job, bool foreground,
+                      int gpus_needed, const std::string& model);
+  void refresh_fg_leaf(int need);
+  void refresh_all_leaf(int need);
+
+  int num_gpus_;
+  std::vector<std::string> bg_models_;
+  std::map<std::string, int> model_index_;
+
+  std::map<std::int64_t, Entry> entries_;
+  std::int64_t back_seq_ = 0;    ///< next arrival key (0, 1, 2, ...)
+  std::int64_t front_seq_ = 0;   ///< next front key - 1 (-1, -2, ...)
+
+  /// Per-need membership, indexed 1..num_gpus.
+  std::vector<std::set<std::int64_t>> fg_by_need_;
+  std::vector<std::set<std::int64_t>> all_by_need_;
+  std::set<std::int64_t> bg_all_;
+  std::vector<std::set<std::int64_t>> bg_by_model_;
+
+  /// Segment trees over need 1..num_gpus (leaf i-1 = need i): min fg
+  /// sequence per need, and need value where any job is queued (0 = none).
+  std::size_t tree_size_ = 1;
+  std::vector<std::int64_t> fg_tree_;
+  std::vector<int> need_tree_;
+
+  std::set<int> free_;
+  std::set<int> reclaimable_;
+  /// Lend offers per model, ordered best-first: (-rate, gpu) ascending ==
+  /// rate descending, gpu ascending within a rate.
+  std::vector<std::set<std::pair<double, int>>> lend_offers_;
+  /// Per-GPU reverse map of its live offers, for O(models) clearing.
+  std::vector<std::vector<std::pair<int, double>>> gpu_offers_;
+};
+
+}  // namespace deeppool::sched

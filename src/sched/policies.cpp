@@ -2,9 +2,27 @@
 
 #include <stdexcept>
 
+#include "sched/cluster_index.h"
+
 namespace deeppool::sched {
 
 namespace {
+
+/// First-`need` free GPUs, topped up from reclaimable ones when `reclaim` is
+/// set — the exact ascending-id order the snapshot scans produce.
+std::optional<Placement> place_indexed(const ClusterIndex& index, int need,
+                                       bool reclaim) {
+  const int capacity =
+      index.free_count() + (reclaim ? index.reclaimable_count() : 0);
+  if (need > capacity) return std::nullopt;
+  Placement p;
+  index.first_free(need, p.gpu_ids);
+  if (static_cast<int>(p.gpu_ids.size()) < need) {
+    index.first_reclaimable(need - static_cast<int>(p.gpu_ids.size()),
+                            p.gpu_ids);
+  }
+  return p;
+}
 
 /// First-`needed` free GPUs, or nullopt when fewer than `needed` are free.
 std::optional<Placement> place_exclusive(const JobView& job,
@@ -31,6 +49,17 @@ class FifoPartition final : public PlacementPolicy {
     if (!p) return std::nullopt;
     return Decision{0, std::move(*p)};
   }
+
+  bool supports_index() const override { return true; }
+
+  std::optional<IndexedDecision> select_indexed(
+      const ClusterIndex& index) const override {
+    const ClusterIndex::Entry* head = index.head();
+    if (head == nullptr) return std::nullopt;
+    auto p = place_indexed(index, head->gpus_needed, /*reclaim=*/false);
+    if (!p) return std::nullopt;
+    return IndexedDecision{head->job, std::move(*p)};
+  }
 };
 
 class BestFit final : public PlacementPolicy {
@@ -55,6 +84,18 @@ class BestFit final : public PlacementPolicy {
     }
     return best;
   }
+
+  bool supports_index() const override { return true; }
+
+  std::optional<IndexedDecision> select_indexed(
+      const ClusterIndex& index) const override {
+    const ClusterIndex::Entry* entry =
+        index.best_fit_within(index.free_count());
+    if (entry == nullptr) return std::nullopt;
+    auto p = place_indexed(index, entry->gpus_needed, /*reclaim=*/false);
+    if (!p) return std::nullopt;
+    return IndexedDecision{entry->job, std::move(*p)};
+  }
 };
 
 class BurstLending final : public PlacementPolicy {
@@ -71,6 +112,39 @@ class BurstLending final : public PlacementPolicy {
       if (p) return Decision{static_cast<int>(i), std::move(*p)};
     }
     return std::nullopt;
+  }
+
+  bool supports_index() const override { return true; }
+
+  std::optional<IndexedDecision> select_indexed(
+      const ClusterIndex& index) const override {
+    // The snapshot scan dispatches the earliest queued job that is placeable
+    // right now. Placeable means: foreground — demand fits free plus
+    // reclaimable GPUs; background — any GPU is free, or (all busy) some
+    // foreground host has a live QoS-vetted lend offer for its model. Each
+    // candidate class has an O(log) "earliest" query; the winner is the
+    // minimum sequence among them.
+    const int free = index.free_count();
+    const ClusterIndex::Entry* fg = index.earliest_fg_within(
+        free + index.reclaimable_count());
+    const ClusterIndex::Entry* bg =
+        free > 0 ? index.earliest_bg() : index.earliest_lendable_bg();
+    const ClusterIndex::Entry* pick = fg;
+    if (bg != nullptr && (pick == nullptr || bg->seq < pick->seq)) pick = bg;
+    if (pick == nullptr) return std::nullopt;
+    if (pick->foreground) {
+      auto p = place_indexed(index, pick->gpus_needed, /*reclaim=*/true);
+      if (!p) return std::nullopt;  // unreachable: capacity was checked
+      return IndexedDecision{pick->job, std::move(*p)};
+    }
+    if (free > 0) {
+      Placement p;
+      index.first_free(1, p.gpu_ids);
+      return IndexedDecision{pick->job, std::move(p)};
+    }
+    const int gpu = index.best_lend_gpu(pick->model);
+    if (gpu < 0) return std::nullopt;  // unreachable: offer existence checked
+    return IndexedDecision{pick->job, Placement{{gpu}, /*lent=*/true}};
   }
 
  private:

@@ -26,6 +26,8 @@
 
 namespace deeppool::sched {
 
+class ClusterIndex;
+
 /// What a policy may know about one GPU.
 struct GpuView {
   int fg_job = -1;  ///< id of the foreground job owning this GPU, -1 if none
@@ -80,6 +82,13 @@ struct Decision {
   Placement placement;
 };
 
+/// A dispatch decision against a ClusterIndex: the job id (queue entries are
+/// keyed, not positional) and where it goes.
+struct IndexedDecision {
+  int job_id = -1;
+  Placement placement;
+};
+
 class PlacementPolicy {
  public:
   virtual ~PlacementPolicy() = default;
@@ -96,6 +105,17 @@ class PlacementPolicy {
   virtual std::optional<Decision> select(
       const std::vector<JobView>& queue, const std::vector<GpuView>& gpus,
       const PolicyContext& ctx = {}) const = 0;
+
+  /// Whether select_indexed() implements this policy against a ClusterIndex.
+  virtual bool supports_index() const { return false; }
+  /// O(log n) selection against the incremental index. Must decide exactly
+  /// what select() would decide on the equivalent snapshot (the fleet-core
+  /// byte-parity suite enforces this). Base returns nullopt.
+  virtual std::optional<IndexedDecision> select_indexed(
+      const ClusterIndex& index) const {
+    (void)index;
+    return std::nullopt;
+  }
 };
 
 /// Factory: "fifo_partition" | "best_fit" | "burst_lending". Throws

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <map>
+#include <optional>
+#include <set>
 #include <stdexcept>
 #include <utility>
 
@@ -13,6 +15,7 @@
 #include "models/zoo.h"
 #include "net/network_model.h"
 #include "runtime/scenario_config.h"
+#include "sched/cluster_index.h"
 #include "sched/policies.h"
 #include "sim/simulator.h"
 #include "util/logging.h"
@@ -87,6 +90,11 @@ struct Shape {
 
 constexpr double kRemainingEps = 1e-9;
 
+/// Memory bound on the raw utilization step curve: past this many steps,
+/// adjacent pairs merge (time-weighted, integral-preserving). Shipped traces
+/// stay far below it, so their output is untouched.
+constexpr std::size_t kUtilStepCap = std::size_t{1} << 16;
+
 /// Event-driven fluid execution of one trace against one policy.
 class Engine {
  public:
@@ -99,6 +107,7 @@ class Engine {
         network_(net::NetworkSpec::from_name(config.network)),
         interference_(config.mux, config.calibration),
         gpus_(static_cast<std::size_t>(config.num_gpus)) {
+    indexed_ = options_.core != "reference" && policy_->supports_index();
     specs_ = generate_workload(workload);
     seed_ = workload.seed;
     if (options_.plan_cache) {
@@ -132,6 +141,7 @@ class Engine {
     double remaining_iters = 0.0;
     double rate = 0.0;  ///< iterations per second
     double last_settle_s = 0.0;
+    std::int64_t queue_seq = 0;  ///< ClusterIndex key while kQueued (indexed)
     sim::EventId completion = 0;
     double start_s = -1.0;
     double finish_s = -1.0;
@@ -148,13 +158,20 @@ class Engine {
   void reclaim_tenant(int bg_id, int gpu, Job& incoming_fg, bool demote);
   std::vector<GpuView> gpu_views() const;
   calib::GpuShape shape_key(const Job& fg) const;
-  calib::PairFactors pair_factors(const Job& fg, const Job& bg) const;
-  double shared_interference(const Job& fg) const;
+  calib::PairFactors pair_factors(const Job& fg, const Job& bg,
+                                  bool count = true) const;
+  double shared_interference(const Job& fg, bool count = true) const;
   double lend_rate_for(const std::string& bg_model, int gpu) const;
+  void sync_gpu(int gpu);
+  void refresh_host_lend(const Job& fg);
+  void enqueue_front(int id);
+  void enqueue_back(int id);
   void settle(Job& job);
   void set_rate(Job& job);
   void update_util();
+  void compress_util_steps();
   double cluster_busy() const;
+  void check_gpu_invariant(std::size_t g);
   void check_invariants();
   ScheduleResult finalize();
 
@@ -176,8 +193,15 @@ class Engine {
   std::vector<JobSpec> specs_;
   std::uint64_t seed_ = 0;
   std::vector<Job> jobs_;
-  std::vector<int> queue_;  ///< pending job ids, dispatch order
+  std::vector<int> queue_;  ///< pending job ids, dispatch order (reference)
   std::vector<Gpu> gpus_;
+
+  /// The indexed core: incremental queue + cluster state instead of
+  /// per-event snapshot rebuilds. Reference mode leaves index_ empty.
+  bool indexed_ = false;
+  std::vector<std::string> bg_models_;  ///< distinct bg models, sorted
+  std::optional<ClusterIndex> index_;
+  std::vector<int> touched_;  ///< GPUs changed since the last invariant check
 
   int lends_ = 0;
   int reclaims_ = 0;
@@ -251,19 +275,29 @@ calib::GpuShape Engine::shape_key(const Job& fg) const {
   return calib::GpuShape{config_.num_gpus, fg.spec.amp_limit};
 }
 
-calib::PairFactors Engine::pair_factors(const Job& fg, const Job& bg) const {
-  return interference_.factors(fg.spec.model, bg.spec.model, shape_key(fg));
+/// `count` separates decision pricing from speculation: lookups that price
+/// a committed decision bump the calibration hit/miss counters; speculative
+/// probes (lend-rate shopping) go through peek() so the counters stay a
+/// property of the schedule, not of how the core scans (see
+/// InterferenceModel::peek).
+calib::PairFactors Engine::pair_factors(const Job& fg, const Job& bg,
+                                        bool count) const {
+  return count
+             ? interference_.factors(fg.spec.model, bg.spec.model,
+                                     shape_key(fg))
+             : interference_.peek(fg.spec.model, bg.spec.model, shape_key(fg));
 }
 
 /// Summed fractional slowdown the fg job's current tenants inflict; each
 /// tenant is priced per pair, so two different background models on two of
 /// the job's GPUs charge two different costs.
-double Engine::shared_interference(const Job& fg) const {
+double Engine::shared_interference(const Job& fg, bool count) const {
   double sum = 0.0;
   for (int g : fg.gpu_ids) {
     const int b = gpus_[static_cast<std::size_t>(g)].bg;
     if (b >= 0) {
-      sum += pair_factors(fg, jobs_[static_cast<std::size_t>(b)]).fg_slowdown;
+      sum += pair_factors(fg, jobs_[static_cast<std::size_t>(b)], count)
+                 .fg_slowdown;
     }
   }
   return sum;
@@ -273,17 +307,77 @@ double Engine::shared_interference(const Job& fg) const {
 /// job of `bg_model` would get if lent GPU `gpu` right now, 0 when lending
 /// is refused (no fg owner, tenant present, or the projected fg slowdown —
 /// existing tenants plus this candidate — would break the QoS bound).
+/// Speculative (the policy is still shopping), so uncounted throughout.
 double Engine::lend_rate_for(const std::string& bg_model, int gpu) const {
   const Gpu& slot = gpus_[static_cast<std::size_t>(gpu)];
   if (slot.fg < 0 || slot.bg >= 0) return 0.0;
   const Job& fg = jobs_[static_cast<std::size_t>(slot.fg)];
   const calib::PairFactors f =
-      interference_.factors(fg.spec.model, bg_model, shape_key(fg));
+      interference_.peek(fg.spec.model, bg_model, shape_key(fg));
   const double projected =
-      1.0 + (shared_interference(fg) + f.fg_slowdown) /
+      1.0 + (shared_interference(fg, /*count=*/false) + f.fg_slowdown) /
                 static_cast<double>(fg.shape.gpus);
   const double rate = fg.shape.idle_frac * f.bg_efficiency;
   return rate > 0.0 && projected <= config_.qos_fg_slowdown ? rate : 0.0;
+}
+
+/// Pushes one GPU's occupancy into the index and marks it for the next
+/// invariant check. Call after every gpus_[g] change (indexed core).
+void Engine::sync_gpu(int gpu) {
+  if (!indexed_) return;
+  const Gpu& slot = gpus_[static_cast<std::size_t>(gpu)];
+  index_->update_gpu(gpu, slot.fg >= 0, slot.bg >= 0);
+  touched_.push_back(gpu);
+}
+
+/// Recomputes the lend offers on a foreground job's GPUs — the exact values
+/// lend_rate_for would return there. Must run whenever the host's tenant
+/// set changes (shared interference moves every projection) or a GPU of its
+/// changes occupancy: fg dispatch (new host, possibly with demoted
+/// tenants), lent-bg dispatch, and lent-bg completion. Host completion
+/// instead clears offers through sync_gpu.
+void Engine::refresh_host_lend(const Job& fg) {
+  if (!indexed_) return;
+  const double shared = shared_interference(fg, /*count=*/false);
+  const calib::GpuShape key = shape_key(fg);
+  for (int g : fg.gpu_ids) {
+    index_->clear_lend_rates(g);
+    if (gpus_[static_cast<std::size_t>(g)].bg >= 0) continue;
+    for (std::size_t m = 0; m < bg_models_.size(); ++m) {
+      const calib::PairFactors f =
+          interference_.peek(fg.spec.model, bg_models_[m], key);
+      const double projected = 1.0 + (shared + f.fg_slowdown) /
+                                         static_cast<double>(fg.shape.gpus);
+      const double rate = fg.shape.idle_frac * f.bg_efficiency;
+      if (rate > 0.0 && projected <= config_.qos_fg_slowdown) {
+        index_->set_lend_rate(g, static_cast<int>(m), rate);
+      }
+    }
+  }
+}
+
+/// Queues a job at the back (arrival order) in whichever structure the
+/// active core reads.
+void Engine::enqueue_back(int id) {
+  if (indexed_) {
+    Job& job = jobs_[static_cast<std::size_t>(id)];
+    job.queue_seq = index_->push_back(id, job.foreground(), job.shape.gpus,
+                                      job.spec.model);
+  } else {
+    queue_.push_back(id);
+  }
+}
+
+/// Re-queues an evicted job ahead of everything pending (the reference
+/// core's vector::insert(begin()) semantics).
+void Engine::enqueue_front(int id) {
+  if (indexed_) {
+    Job& job = jobs_[static_cast<std::size_t>(id)];
+    job.queue_seq = index_->push_front(id, job.foreground(), job.shape.gpus,
+                                       job.spec.model);
+  } else {
+    queue_.insert(queue_.begin(), id);
+  }
 }
 
 std::vector<GpuView> Engine::gpu_views() const {
@@ -357,7 +451,7 @@ void Engine::reclaim_tenant(int bg_id, int gpu, Job& incoming_fg,
     bg.lent = false;
     bg.host_fg = -1;
     bg.rate = 0.0;
-    queue_.insert(queue_.begin(), bg_id);
+    enqueue_front(bg_id);
   }
   ++bg.reclaims;
   ++reclaims_;
@@ -410,9 +504,29 @@ void Engine::dispatch(int job_id, const Placement& placement) {
   } else if (job.lent) {
     set_rate(jobs_[static_cast<std::size_t>(job.host_fg)]);
   }
+  for (int g : job.gpu_ids) sync_gpu(g);
+  if (job.foreground()) {
+    refresh_host_lend(job);
+  } else if (job.lent) {
+    // A new tenant shifts the host's shared interference, repricing the
+    // projections on its other GPUs.
+    refresh_host_lend(jobs_[static_cast<std::size_t>(job.host_fg)]);
+  }
 }
 
 void Engine::try_dispatch() {
+  if (indexed_) {
+    while (!index_->queue_empty()) {
+      const auto decision = policy_->select_indexed(*index_);
+      if (!decision) break;
+      const Job& job = jobs_[static_cast<std::size_t>(decision->job_id)];
+      index_->remove(job.queue_seq);
+      dispatch(decision->job_id, decision->placement);
+    }
+    update_util();
+    check_invariants();
+    return;
+  }
   PolicyContext ctx;
   ctx.lend_rate = [this](const JobView& job, int gpu) {
     return lend_rate_for(job.model, gpu);
@@ -438,7 +552,7 @@ void Engine::try_dispatch() {
 
 void Engine::on_arrival(int id) {
   jobs_[static_cast<std::size_t>(id)].state = State::kQueued;
-  queue_.push_back(id);
+  enqueue_back(id);
   try_dispatch();
 }
 
@@ -461,12 +575,20 @@ void Engine::on_complete(int id) {
         bg.host_fg = -1;
         set_rate(bg);
       }
+      sync_gpu(g);
     }
   } else {
     const int g = job.gpu_ids.front();
     gpus_[static_cast<std::size_t>(g)].bg = -1;
     const int f = gpus_[static_cast<std::size_t>(g)].fg;
-    if (f >= 0) set_rate(jobs_[static_cast<std::size_t>(f)]);
+    sync_gpu(g);
+    if (f >= 0) {
+      Job& host = jobs_[static_cast<std::size_t>(f)];
+      set_rate(host);
+      // The departed tenant frees idle-phase slack and lowers the host's
+      // shared interference: its GPUs are lendable again at new rates.
+      refresh_host_lend(host);
+    }
   }
   job.gpu_ids.clear();
   try_dispatch();
@@ -501,45 +623,82 @@ void Engine::update_util() {
     util_steps_.back().second = frac;
   } else {
     util_steps_.emplace_back(now, frac);
+    if (util_steps_.size() >= kUtilStepCap) compress_util_steps();
   }
 }
 
-void Engine::check_invariants() {
-  for (std::size_t g = 0; g < gpus_.size(); ++g) {
-    const Gpu& gpu = gpus_[g];
-    int occupancy = 0;
-    if (gpu.fg >= 0) {
-      ++occupancy;
-      const Job& fg = jobs_[static_cast<std::size_t>(gpu.fg)];
-      if (fg.state != State::kRunning ||
-          std::find(fg.gpu_ids.begin(), fg.gpu_ids.end(),
-                    static_cast<int>(g)) == fg.gpu_ids.end()) {
-        throw std::logic_error("scheduler invariant: stale fg owner on GPU " +
-                               std::to_string(g));
-      }
-    }
-    if (gpu.bg >= 0) {
-      ++occupancy;
-      const Job& bg = jobs_[static_cast<std::size_t>(gpu.bg)];
-      if (bg.state != State::kRunning || bg.gpu_ids.size() != 1 ||
-          bg.gpu_ids.front() != static_cast<int>(g)) {
-        throw std::logic_error("scheduler invariant: stale bg tenant on GPU " +
-                               std::to_string(g));
-      }
-      if (gpu.fg >= 0 && (!bg.lent || bg.host_fg != gpu.fg)) {
-        throw std::logic_error(
-            "scheduler invariant: collocated bg is not lent to its host on "
-            "GPU " +
-            std::to_string(g));
-      }
-      if (gpu.fg < 0 && bg.lent) {
-        throw std::logic_error(
-            "scheduler invariant: lent bg without a foreground host on GPU " +
-            std::to_string(g));
-      }
-    }
-    max_jobs_per_gpu_ = std::max(max_jobs_per_gpu_, occupancy);
+/// Halves the step curve by merging adjacent pairs into one step carrying
+/// their time-weighted mean, so the curve's integral over each merged span
+/// is preserved. The trailing step (whose right edge is still open) stays
+/// exact. Deterministic, and identical in both cores.
+void Engine::compress_util_steps() {
+  std::vector<std::pair<double, double>> merged;
+  merged.reserve(util_steps_.size() / 2 + 2);
+  const std::size_t n = util_steps_.size();
+  std::size_t i = 0;
+  while (i + 2 < n) {
+    const double t0 = util_steps_[i].first;
+    const double t1 = util_steps_[i + 1].first;
+    const double t2 = util_steps_[i + 2].first;
+    const double span = t2 - t0;
+    const double value =
+        span > 0.0 ? (util_steps_[i].second * (t1 - t0) +
+                      util_steps_[i + 1].second * (t2 - t1)) /
+                         span
+                   : util_steps_[i + 1].second;
+    merged.emplace_back(t0, value);
+    i += 2;
   }
+  for (; i < n; ++i) merged.push_back(util_steps_[i]);
+  util_steps_.swap(merged);
+}
+
+void Engine::check_invariants() {
+  if (indexed_) {
+    // Occupancy only changes on GPUs the dispatch round touched, so
+    // checking those is as strong as the full sweep — and keeps the
+    // running max_jobs_per_gpu_ identical — at O(changes), not O(GPUs).
+    for (int g : touched_) check_gpu_invariant(static_cast<std::size_t>(g));
+    touched_.clear();
+    return;
+  }
+  for (std::size_t g = 0; g < gpus_.size(); ++g) check_gpu_invariant(g);
+}
+
+void Engine::check_gpu_invariant(std::size_t g) {
+  const Gpu& gpu = gpus_[g];
+  int occupancy = 0;
+  if (gpu.fg >= 0) {
+    ++occupancy;
+    const Job& fg = jobs_[static_cast<std::size_t>(gpu.fg)];
+    if (fg.state != State::kRunning ||
+        std::find(fg.gpu_ids.begin(), fg.gpu_ids.end(),
+                  static_cast<int>(g)) == fg.gpu_ids.end()) {
+      throw std::logic_error("scheduler invariant: stale fg owner on GPU " +
+                             std::to_string(g));
+    }
+  }
+  if (gpu.bg >= 0) {
+    ++occupancy;
+    const Job& bg = jobs_[static_cast<std::size_t>(gpu.bg)];
+    if (bg.state != State::kRunning || bg.gpu_ids.size() != 1 ||
+        bg.gpu_ids.front() != static_cast<int>(g)) {
+      throw std::logic_error("scheduler invariant: stale bg tenant on GPU " +
+                             std::to_string(g));
+    }
+    if (gpu.fg >= 0 && (!bg.lent || bg.host_fg != gpu.fg)) {
+      throw std::logic_error(
+          "scheduler invariant: collocated bg is not lent to its host on "
+          "GPU " +
+          std::to_string(g));
+    }
+    if (gpu.fg < 0 && bg.lent) {
+      throw std::logic_error(
+          "scheduler invariant: lent bg without a foreground host on GPU " +
+          std::to_string(g));
+    }
+  }
+  max_jobs_per_gpu_ = std::max(max_jobs_per_gpu_, occupancy);
 }
 
 ScheduleResult Engine::run() {
@@ -568,6 +727,18 @@ ScheduleResult Engine::run() {
     job.remaining_iters = static_cast<double>(specs_[i].iterations);
     jobs_.push_back(std::move(job));
   }
+  if (indexed_) {
+    // Lend offers bucket per background model, so the index needs the
+    // distinct set up front (sorted: deterministic bucket numbering).
+    std::set<std::string> models;
+    for (const Job& job : jobs_) {
+      if (!job.foreground()) models.insert(job.spec.model);
+    }
+    bg_models_.assign(models.begin(), models.end());
+    index_.emplace(config_.num_gpus, bg_models_);
+  } else {
+    queue_.reserve(jobs_.size());
+  }
   for (const Job& job : jobs_) {
     const int id = job.spec.id;
     sim_.schedule_at(job.spec.arrival_s, [this, id] { on_arrival(id); });
@@ -590,8 +761,13 @@ ScheduleResult Engine::finalize() {
   ScheduleResult result;
   result.policy = config_.policy;
   result.seed = seed_;
+  result.jobs.reserve(jobs_.size());
 
-  Summary fg_slow, bg_slow, delays;
+  // Exact below the cap (byte-identical to the old store-everything
+  // Summary path), O(1)-memory P-square estimators beyond it.
+  StreamingSummary fg_slow({95.0}, options_.metrics_exact_cap);
+  StreamingSummary bg_slow({95.0}, options_.metrics_exact_cap);
+  StreamingSummary delays({95.0}, options_.metrics_exact_cap);
   double makespan = 0.0;
   double total_samples = 0.0;
   for (const Job& job : jobs_) {
@@ -653,7 +829,9 @@ ScheduleResult Engine::finalize() {
   if (makespan > 0.0) {
     fleet.gpu_utilization =
         util_integral_ / (static_cast<double>(config_.num_gpus) * makespan);
-    const int nbins = config_.util_timeline_bins;
+    const int nbins = options_.util_timeline_bins > 0
+                          ? options_.util_timeline_bins
+                          : config_.util_timeline_bins;
     const double width = makespan / static_cast<double>(nbins);
     std::vector<double> bins(static_cast<std::size_t>(nbins), 0.0);
     for (std::size_t i = 0; i < util_steps_.size(); ++i) {
@@ -696,6 +874,14 @@ ScheduleResult run_schedule(const WorkloadSpec& workload,
   if (options.pool == nullptr && options.jobs < 1) {
     throw std::invalid_argument("schedule needs jobs >= 1 (got " +
                                 std::to_string(options.jobs) + ")");
+  }
+  if (options.core != "indexed" && options.core != "reference") {
+    throw std::invalid_argument("unknown scheduler core \"" + options.core +
+                                "\"; valid cores: indexed | reference");
+  }
+  if (options.util_timeline_bins < 0) {
+    throw std::invalid_argument(
+        "util_timeline_bins override must be >= 0 (0 = use the spec value)");
   }
   Engine engine(workload, config, options);
   return engine.run();

@@ -140,8 +140,11 @@ inline double bg_lend_efficiency(const runtime::MultiplexConfig& mux) {
 }
 
 /// Execution knobs for one run_schedule call. Deliberately *not* part of
-/// the ScheduleSpec JSON: they change how fast the answer is computed,
-/// never what the answer is, so specs stay byte-portable across hosts.
+/// the ScheduleSpec JSON: they change how fast the answer is computed, not
+/// what the answer is, so specs stay byte-portable across hosts. Two
+/// exceptions are called out below: util_timeline_bins (an explicit output
+/// override) and metrics_exact_cap (exact below the cap, approximate
+/// percentiles beyond it).
 struct ScheduleRunOptions {
   /// Worker count for resolving job shapes (the planner DP) before the
   /// event simulation starts; 1 = the serial path. The simulation itself
@@ -159,6 +162,24 @@ struct ScheduleRunOptions {
   /// when set, shape resolution fans out across it and `jobs` is ignored.
   /// The caller keeps ownership; the pool must be idle for the call.
   util::ThreadPool* pool = nullptr;
+  /// Scheduler core: "indexed" (default) answers every placement question
+  /// through an incremental ClusterIndex in O(log n) per event; "reference"
+  /// rebuilds and scans full snapshots, O(GPUs x queue) per event. Both
+  /// produce byte-identical results (the fleet-core parity suite enforces
+  /// it); "reference" exists as the executable specification and for
+  /// benchmarking the index win.
+  std::string core = "indexed";
+  /// > 0 overrides ScheduleConfig::util_timeline_bins, bounding the
+  /// util_timeline JSON for fleet-scale runs without editing the spec. 0 =
+  /// use the spec value. The one knob here that changes the output — it is
+  /// an explicit request for a coarser timeline.
+  int util_timeline_bins = 0;
+  /// Per-metric sample cap for fleet aggregates (fg/bg slowdown, queue
+  /// delay). Below the cap the summaries are exact and byte-identical to
+  /// the unbounded path; past it they collapse into O(1)-memory P-square
+  /// percentile estimators (mean/min/max stay exact). 0 = never collapse
+  /// (the old unbounded behavior).
+  std::size_t metrics_exact_cap = 4096;
 };
 
 /// Runs the whole trace to completion. Deterministic: the same workload and

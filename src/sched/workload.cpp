@@ -206,6 +206,7 @@ WorkloadSpec workload_spec_from_json(const Json& j) {
   spec.interval_s = num_or(j, "interval_s", spec.interval_s);
   if (j.contains("arrival_times")) {
     spec.arrival_times.clear();
+    spec.arrival_times.reserve(j.at("arrival_times").as_array().size());
     for (const Json& t : j.at("arrival_times").as_array()) {
       spec.arrival_times.push_back(t.as_number());
     }

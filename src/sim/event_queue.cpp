@@ -1,0 +1,82 @@
+#include "sim/event_queue.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace deeppool::sim {
+
+void EventQueue::put(std::size_t i, Entry&& e) {
+  pos_[e.id] = i;
+  heap_[i] = std::move(e);
+}
+
+void EventQueue::sift_up(std::size_t i) {
+  Entry e = std::move(heap_[i]);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!before(e, heap_[parent])) break;
+    put(i, std::move(heap_[parent]));
+    i = parent;
+  }
+  put(i, std::move(e));
+}
+
+void EventQueue::sift_down(std::size_t i) {
+  Entry e = std::move(heap_[i]);
+  const std::size_t n = heap_.size();
+  for (;;) {
+    std::size_t child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n && before(heap_[child + 1], heap_[child])) ++child;
+    if (!before(heap_[child], e)) break;
+    put(i, std::move(heap_[child]));
+    i = child;
+  }
+  put(i, std::move(e));
+}
+
+void EventQueue::push(Time when, std::uint64_t seq, EventId id,
+                      std::function<void()> fn) {
+  if (pos_.count(id) != 0) {
+    throw std::logic_error("EventQueue: duplicate event id " +
+                           std::to_string(id));
+  }
+  heap_.push_back(Entry{when, seq, id, std::move(fn)});
+  sift_up(heap_.size() - 1);
+}
+
+EventQueue::Entry EventQueue::pop_top() {
+  Entry top = std::move(heap_.front());
+  pos_.erase(top.id);
+  Entry last = std::move(heap_.back());
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    heap_.front() = std::move(last);
+    pos_[heap_.front().id] = 0;
+    sift_down(0);
+  }
+  return top;
+}
+
+bool EventQueue::erase(EventId id) {
+  const auto it = pos_.find(id);
+  if (it == pos_.end()) return false;
+  const std::size_t i = it->second;
+  pos_.erase(it);
+  const std::size_t tail = heap_.size() - 1;
+  if (i != tail) {
+    // The displaced tail entry may belong above or below slot i; sift both
+    // ways (each is a no-op when the heap property already holds).
+    const EventId moved = heap_[tail].id;
+    heap_[i] = std::move(heap_[tail]);
+    pos_[moved] = i;
+    heap_.pop_back();
+    sift_up(i);
+    sift_down(pos_.at(moved));
+  } else {
+    heap_.pop_back();
+  }
+  return true;
+}
+
+}  // namespace deeppool::sim

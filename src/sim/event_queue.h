@@ -1,0 +1,70 @@
+// Indexed binary min-heap of timed events.
+//
+// The Simulator's former std::priority_queue could only cancel lazily: a
+// cancelled id went into a side vector that every pop linearly scanned,
+// which is quadratic on fleet-scale traces where every rate change cancels
+// the job's previous completion event. This queue keeps a handle→slot map
+// alongside the heap so erase-by-id is a true O(log n) removal and the heap
+// never carries dead entries. Ordering is (when, seq): ties in time resolve
+// by insertion order, exactly the determinism contract the Simulator
+// documents.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+namespace deeppool::sim {
+
+using Time = double;  ///< Simulated seconds since simulation start.
+
+constexpr Time kTimeInfinity = std::numeric_limits<Time>::infinity();
+
+/// Handle for cancelling a scheduled event.
+using EventId = std::uint64_t;
+
+class EventQueue {
+ public:
+  struct Entry {
+    Time when = 0.0;
+    std::uint64_t seq = 0;  ///< insertion order, breaks ties in `when`
+    EventId id = 0;
+    std::function<void()> fn;
+  };
+
+  /// Inserts an entry. `id` must not already be queued. O(log n).
+  void push(Time when, std::uint64_t seq, EventId id, std::function<void()> fn);
+
+  /// Removes the entry with this id; returns false when no such entry is
+  /// queued (already popped, already erased, or never pushed). O(log n).
+  bool erase(EventId id);
+
+  bool contains(EventId id) const { return pos_.count(id) != 0; }
+  bool empty() const noexcept { return heap_.empty(); }
+  std::size_t size() const noexcept { return heap_.size(); }
+
+  /// The earliest (when, seq) entry. Undefined when empty.
+  const Entry& top() const { return heap_.front(); }
+
+  /// Removes and returns the earliest entry. Undefined when empty.
+  Entry pop_top();
+
+ private:
+  static bool before(const Entry& a, const Entry& b) {
+    if (a.when != b.when) return a.when < b.when;
+    return a.seq < b.seq;
+  }
+
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  /// Places `e` at slot `i` and records its position.
+  void put(std::size_t i, Entry&& e);
+
+  std::vector<Entry> heap_;
+  std::unordered_map<EventId, std::size_t> pos_;  ///< id -> heap slot
+};
+
+}  // namespace deeppool::sim

@@ -12,8 +12,7 @@ EventId Simulator::schedule_at(Time when, std::function<void()> fn) {
                                 " is before now " + std::to_string(now_));
   }
   const EventId id = next_id_++;
-  queue_.push(Event{when, next_seq_++, id, std::move(fn)});
-  ++live_events_;
+  queue_.push(when, next_seq_++, id, std::move(fn));
   return id;
 }
 
@@ -24,31 +23,15 @@ EventId Simulator::schedule_after(Time delay, std::function<void()> fn) {
   return schedule_at(now_ + delay, std::move(fn));
 }
 
-void Simulator::cancel(EventId id) {
-  cancelled_.push_back(id);
-  if (live_events_ > 0) --live_events_;
-}
-
-bool Simulator::is_cancelled(EventId id) const {
-  return std::find(cancelled_.begin(), cancelled_.end(), id) != cancelled_.end();
-}
+void Simulator::cancel(EventId id) { queue_.erase(id); }
 
 bool Simulator::step(Time until) {
-  while (!queue_.empty()) {
-    if (queue_.top().when > until) return false;
-    Event ev = queue_.top();
-    queue_.pop();
-    if (is_cancelled(ev.id)) {
-      cancelled_.erase(std::find(cancelled_.begin(), cancelled_.end(), ev.id));
-      continue;
-    }
-    --live_events_;
-    now_ = ev.when;
-    ++executed_;
-    ev.fn();
-    return true;
-  }
-  return false;
+  if (queue_.empty() || queue_.top().when > until) return false;
+  EventQueue::Entry ev = queue_.pop_top();
+  now_ = ev.when;
+  ++executed_;
+  ev.fn();
+  return true;
 }
 
 std::size_t Simulator::run(Time until) {

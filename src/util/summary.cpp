@@ -94,6 +94,167 @@ void Summary::clear() {
   sorted_valid_ = false;
 }
 
+StreamingSummary::StreamingSummary(std::vector<double> percentiles,
+                                   std::size_t exact_cap)
+    : percentiles_(std::move(percentiles)), exact_cap_(exact_cap) {
+  for (const double p : percentiles_) {
+    if (!(p >= 0.0 && p <= 100.0)) {
+      throw std::invalid_argument("tracked percentile out of [0, 100]");
+    }
+  }
+  // The P² estimator needs five seed samples per marker set.
+  if (exact_cap_ != 0 && exact_cap_ < 5) exact_cap_ = 5;
+  if (exact_cap_ != 0) samples_.reserve(exact_cap_);
+}
+
+void StreamingSummary::add(double value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  sum_ += value;
+  ++count_;
+  if (!streaming()) {
+    if (exact_cap_ != 0 && samples_.size() == exact_cap_) {
+      collapse();
+      add_streaming(value);
+    } else {
+      samples_.push_back(value);
+    }
+    return;
+  }
+  add_streaming(value);
+}
+
+void StreamingSummary::collapse() {
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  const double n = static_cast<double>(sorted.size());
+  for (const double p : percentiles_) {
+    // p = 0 / 100 stay exact through min_/max_; no markers needed.
+    if (p <= 0.0 || p >= 100.0) continue;
+    const double f = p / 100.0;
+    Markers m;
+    m.p = p;
+    const double fr[5] = {0.0, f / 2.0, f, (1.0 + f) / 2.0, 1.0};
+    for (int j = 0; j < 5; ++j) {
+      const double pos = fr[j] * (n - 1.0);
+      m.q[j] = sorted[static_cast<std::size_t>(std::lround(pos))];
+      m.n[j] = 1.0 + std::round(pos);
+      m.target[j] = 1.0 + pos;
+      m.rate[j] = fr[j];
+    }
+    // Guard tiny caps: marker positions must stay strictly increasing.
+    for (int j = 1; j < 5; ++j) m.n[j] = std::max(m.n[j], m.n[j - 1] + 1.0);
+    markers_.push_back(m);
+  }
+  if (markers_.empty()) {
+    // Nothing to track past the cap (only 0/100, or no percentiles): the
+    // buffer still must stop growing; mark the collapse with a sentinel.
+    Markers m;
+    m.p = -1.0;
+    markers_.push_back(m);
+  }
+  samples_.clear();
+  samples_.shrink_to_fit();
+}
+
+void StreamingSummary::add_streaming(double value) {
+  for (Markers& m : markers_) {
+    if (m.p < 0.0) continue;  // sentinel: nothing tracked
+    int k;
+    if (value < m.q[0]) {
+      m.q[0] = value;
+      k = 0;
+    } else if (value >= m.q[4]) {
+      m.q[4] = std::max(m.q[4], value);
+      k = 3;
+    } else {
+      k = 3;
+      for (int j = 1; j <= 3; ++j) {
+        if (value < m.q[j]) {
+          k = j - 1;
+          break;
+        }
+      }
+    }
+    for (int j = k + 1; j < 5; ++j) m.n[j] += 1.0;
+    for (int j = 0; j < 5; ++j) m.target[j] += m.rate[j];
+    for (int j = 1; j <= 3; ++j) {
+      const double d = m.target[j] - m.n[j];
+      const bool up = d >= 1.0 && m.n[j + 1] - m.n[j] > 1.0;
+      const bool down = d <= -1.0 && m.n[j - 1] - m.n[j] < -1.0;
+      if (!up && !down) continue;
+      const double s = up ? 1.0 : -1.0;
+      const int si = up ? 1 : -1;
+      // Piecewise-parabolic prediction; fall back to linear when it would
+      // leave the neighbouring markers' bracket.
+      const double parabolic =
+          m.q[j] +
+          s / (m.n[j + 1] - m.n[j - 1]) *
+              ((m.n[j] - m.n[j - 1] + s) * (m.q[j + 1] - m.q[j]) /
+                   (m.n[j + 1] - m.n[j]) +
+               (m.n[j + 1] - m.n[j] - s) * (m.q[j] - m.q[j - 1]) /
+                   (m.n[j] - m.n[j - 1]));
+      if (m.q[j - 1] < parabolic && parabolic < m.q[j + 1]) {
+        m.q[j] = parabolic;
+      } else {
+        m.q[j] += s * (m.q[j + si] - m.q[j]) / (m.n[j + si] - m.n[j]);
+      }
+      m.n[j] += s;
+    }
+  }
+}
+
+double StreamingSummary::mean() const {
+  if (count_ == 0) throw std::logic_error("mean of empty StreamingSummary");
+  return sum_ / static_cast<double>(count_);
+}
+
+double StreamingSummary::min() const {
+  if (count_ == 0) throw std::logic_error("min of empty StreamingSummary");
+  return min_;
+}
+
+double StreamingSummary::max() const {
+  if (count_ == 0) throw std::logic_error("max of empty StreamingSummary");
+  return max_;
+}
+
+double StreamingSummary::exact_percentile(double p) const {
+  // Mirrors Summary::percentile with unit weights, including its cumulative
+  // floating-point walk, so the exact mode is byte-identical to the old
+  // store-everything path.
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  const double target = (p / 100.0) * static_cast<double>(count_);
+  double cum = 0.0;
+  for (const double v : sorted) {
+    cum += 1.0;
+    if (cum >= target) return v;
+  }
+  return sorted.back();
+}
+
+double StreamingSummary::percentile(double p) const {
+  if (count_ == 0) {
+    throw std::logic_error("percentile of empty StreamingSummary");
+  }
+  if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile range");
+  if (!streaming()) return exact_percentile(p);
+  if (p == 0.0) return min_;
+  if (p == 100.0) return max_;
+  for (const Markers& m : markers_) {
+    if (std::abs(m.p - p) < 1e-9) return m.q[2];
+  }
+  throw std::invalid_argument(
+      "percentile " + std::to_string(p) +
+      " is not tracked by this StreamingSummary (streaming mode keeps only "
+      "the percentiles listed at construction)");
+}
+
 Histogram::Histogram(double lo, double hi, std::size_t bins)
     : lo_(lo), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0.0) {
   if (bins == 0) throw std::invalid_argument("histogram needs >= 1 bin");

@@ -1,7 +1,10 @@
 // Summary statistics, percentiles, CDFs and fixed-bin histograms.
 //
 // Used by the GPU simulator's performance monitor (per-operator latency
-// distributions, slowdown detection) and by the Fig. 4 utilization-CDF bench.
+// distributions, slowdown detection), by the Fig. 4 utilization-CDF bench,
+// and — through StreamingSummary — by the cluster scheduler's fleet
+// metrics, where per-job sample storage would grow without bound on
+// 100k+-job traces.
 #pragma once
 
 #include <cstddef>
@@ -50,6 +53,68 @@ class Summary {
   double total_weight_ = 0.0;
   mutable std::vector<std::size_t> order_;  // indices sorted by value
   mutable bool sorted_valid_ = false;
+};
+
+/// Bounded-memory scalar accumulator for fleet-scale metric streams.
+///
+/// Below `exact_cap` samples it buffers everything and answers exactly like
+/// Summary with unit weights — bit-for-bit, including the percentile's
+/// first-sample-at-or-past-the-target convention — so small runs keep
+/// byte-identical output. At the cap the buffer collapses into P² marker
+/// estimators (Jain & Chlamtac 1985), one five-marker set per tracked
+/// percentile, seeded from the exact sorted sample: memory becomes O(1) per
+/// tracked percentile no matter how many samples follow. mean/min/max stay
+/// exact in every mode. Deterministic: the same add() sequence always
+/// produces the same answers.
+class StreamingSummary {
+ public:
+  static constexpr std::size_t kDefaultExactCap = 4096;
+
+  /// `percentiles` lists the p values (in [0, 100]) that stay queryable
+  /// after the collapse; querying any other p past the cap throws.
+  /// `exact_cap` = 0 means never collapse (exact at any size).
+  explicit StreamingSummary(std::vector<double> percentiles = {95.0},
+                            std::size_t exact_cap = kDefaultExactCap);
+
+  void add(double value);
+
+  std::size_t count() const noexcept { return count_; }
+  bool empty() const noexcept { return count_ == 0; }
+  /// Whether the exact buffer has collapsed into P² markers.
+  bool streaming() const noexcept { return !markers_.empty(); }
+
+  double mean() const;  ///< Exact. Throws std::logic_error if empty.
+  double min() const;   ///< Exact. Throws std::logic_error if empty.
+  double max() const;   ///< Exact. Throws std::logic_error if empty.
+
+  /// Exact (Summary-identical) below the cap; the P² estimate past it.
+  /// Throws std::logic_error if empty, std::invalid_argument when p is out
+  /// of [0, 100] or, in streaming mode, not one of the tracked percentiles.
+  double percentile(double p) const;
+
+ private:
+  /// Five P² markers tracking one percentile: heights q, integer positions
+  /// n, desired positions target, and per-sample desired-position rates.
+  struct Markers {
+    double p = 50.0;
+    double q[5] = {0, 0, 0, 0, 0};
+    double n[5] = {0, 0, 0, 0, 0};
+    double target[5] = {0, 0, 0, 0, 0};
+    double rate[5] = {0, 0, 0, 0, 0};
+  };
+
+  void collapse();
+  void add_streaming(double value);
+  double exact_percentile(double p) const;
+
+  std::vector<double> percentiles_;
+  std::size_t exact_cap_;
+  std::vector<double> samples_;    ///< exact mode only; empty once collapsed
+  std::vector<Markers> markers_;   ///< streaming mode only
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
 };
 
 /// Fixed-width histogram over [lo, hi) with `bins` buckets; out-of-range

@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/summary.h"
+
+namespace deeppool {
+namespace {
+
+/// Exact quantile by the same convention Summary::percentile uses (sort,
+/// cumulative unit-weight walk), computed independently of both classes.
+double exact_quantile(std::vector<double> values, double p) {
+  std::sort(values.begin(), values.end());
+  const double target = (p / 100.0) * static_cast<double>(values.size());
+  double cum = 0.0;
+  for (const double v : values) {
+    cum += 1.0;
+    if (cum >= target) return v;
+  }
+  return values.back();
+}
+
+std::vector<double> random_values(std::size_t n, std::uint64_t seed) {
+  Pcg32 rng(seed);
+  std::vector<double> values;
+  values.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) values.push_back(rng.uniform());
+  return values;
+}
+
+TEST(StreamingSummary, ExactModeIsByteIdenticalToSummary) {
+  // Below the cap the streaming class must reproduce Summary bit for bit —
+  // this is what keeps shipped-trace schedule output unchanged.
+  const std::vector<double> values = random_values(1000, 7);
+  Summary reference;
+  StreamingSummary streaming({95.0});
+  for (const double v : values) {
+    reference.add(v);
+    streaming.add(v);
+  }
+  ASSERT_FALSE(streaming.streaming());
+  for (const double p : {0.0, 1.0, 37.5, 50.0, 95.0, 99.0, 100.0}) {
+    EXPECT_EQ(reference.percentile(p), streaming.percentile(p)) << "p=" << p;
+  }
+  EXPECT_EQ(reference.mean(), streaming.mean());
+  EXPECT_EQ(reference.min(), streaming.min());
+  EXPECT_EQ(reference.max(), streaming.max());
+}
+
+TEST(StreamingSummary, ZeroCapNeverCollapses) {
+  StreamingSummary s({95.0}, 0);
+  for (const double v : random_values(20000, 11)) s.add(v);
+  EXPECT_FALSE(s.streaming());
+  // Untracked percentiles stay queryable because the buffer is still exact.
+  EXPECT_NO_THROW(s.percentile(42.0));
+}
+
+TEST(StreamingSummary, MeanMinMaxStayExactPastTheCap) {
+  const std::vector<double> values = random_values(50000, 3);
+  Summary reference;
+  StreamingSummary streaming({95.0}, 256);
+  for (const double v : values) {
+    reference.add(v);
+    streaming.add(v);
+  }
+  ASSERT_TRUE(streaming.streaming());
+  EXPECT_EQ(streaming.count(), values.size());
+  EXPECT_DOUBLE_EQ(reference.mean(), streaming.mean());
+  EXPECT_EQ(reference.min(), streaming.min());
+  EXPECT_EQ(reference.max(), streaming.max());
+  EXPECT_EQ(streaming.percentile(0.0), streaming.min());
+  EXPECT_EQ(streaming.percentile(100.0), streaming.max());
+}
+
+TEST(StreamingSummary, P2TracksUniformRandomInput) {
+  const std::vector<double> values = random_values(100000, 12345);
+  StreamingSummary s({50.0, 95.0}, 512);
+  for (const double v : values) s.add(v);
+  ASSERT_TRUE(s.streaming());
+  EXPECT_NEAR(s.percentile(50.0), exact_quantile(values, 50.0), 0.02);
+  EXPECT_NEAR(s.percentile(95.0), exact_quantile(values, 95.0), 0.02);
+}
+
+TEST(StreamingSummary, P2TracksSortedAscendingInput) {
+  // Adversarial for P²: monotone input keeps pushing the upper markers.
+  StreamingSummary s({95.0}, 128);
+  const std::size_t n = 20000;
+  std::vector<double> values;
+  values.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    values.push_back(static_cast<double>(i));
+    s.add(static_cast<double>(i));
+  }
+  const double exact = exact_quantile(values, 95.0);
+  EXPECT_NEAR(s.percentile(95.0), exact, 0.03 * static_cast<double>(n));
+}
+
+TEST(StreamingSummary, P2TracksSortedDescendingInput) {
+  StreamingSummary s({95.0}, 128);
+  const std::size_t n = 20000;
+  std::vector<double> values;
+  values.reserve(n);
+  for (std::size_t i = n; i > 0; --i) {
+    values.push_back(static_cast<double>(i));
+    s.add(static_cast<double>(i));
+  }
+  const double exact = exact_quantile(values, 95.0);
+  EXPECT_NEAR(s.percentile(95.0), exact, 0.03 * static_cast<double>(n));
+}
+
+TEST(StreamingSummary, ConstantInputIsExactInStreamingMode) {
+  StreamingSummary s({95.0}, 64);
+  for (int i = 0; i < 10000; ++i) s.add(3.25);
+  ASSERT_TRUE(s.streaming());
+  EXPECT_EQ(s.percentile(95.0), 3.25);
+  EXPECT_EQ(s.mean(), 3.25);
+  EXPECT_EQ(s.min(), 3.25);
+  EXPECT_EQ(s.max(), 3.25);
+}
+
+TEST(StreamingSummary, P2TracksHeavyTailedInput) {
+  // Pareto tail with alpha = 2 (x = u^-1/2): finite mean, infinite
+  // variance — the shape long slowdown tails take in practice. The p95
+  // sits well past the body, hard for marker-based estimators. Relative
+  // tolerance.
+  Pcg32 rng(99);
+  std::vector<double> values;
+  StreamingSummary s({95.0}, 512);
+  const std::size_t n = 100000;
+  values.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double u = 1.0 - rng.uniform();  // (0, 1]
+    const double x = 1.0 / std::sqrt(u);
+    values.push_back(x);
+    s.add(x);
+  }
+  const double exact = exact_quantile(values, 95.0);
+  EXPECT_NEAR(s.percentile(95.0), exact, 0.15 * exact);
+}
+
+TEST(StreamingSummary, UntrackedPercentileThrowsInStreamingMode) {
+  StreamingSummary s({95.0}, 32);
+  for (const double v : random_values(100, 5)) s.add(v);
+  ASSERT_TRUE(s.streaming());
+  EXPECT_THROW(s.percentile(50.0), std::invalid_argument);
+  EXPECT_NO_THROW(s.percentile(95.0));
+}
+
+TEST(StreamingSummary, ValidatesArguments) {
+  EXPECT_THROW(StreamingSummary({101.0}), std::invalid_argument);
+  EXPECT_THROW(StreamingSummary({-0.5}), std::invalid_argument);
+  StreamingSummary empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_THROW(empty.mean(), std::logic_error);
+  EXPECT_THROW(empty.percentile(50.0), std::logic_error);
+  StreamingSummary s({95.0}, 16);
+  for (const double v : random_values(64, 1)) s.add(v);
+  EXPECT_THROW(s.percentile(-1.0), std::invalid_argument);
+  EXPECT_THROW(s.percentile(100.5), std::invalid_argument);
+}
+
+TEST(StreamingSummary, TinyCapIsClampedToFiveSeedSamples) {
+  // P² needs five markers; caps 1..4 must still work by clamping to 5.
+  StreamingSummary s({50.0}, 1);
+  for (int i = 1; i <= 1000; ++i) s.add(static_cast<double>(i));
+  ASSERT_TRUE(s.streaming());
+  EXPECT_NEAR(s.percentile(50.0), 500.0, 100.0);
+}
+
+TEST(StreamingSummary, NoTrackedPercentilesStillBoundsMemory) {
+  // Only 0/100 (answered by min/max) tracked: the collapse must still stop
+  // the buffer from growing rather than keep accumulating samples.
+  StreamingSummary s({0.0, 100.0}, 64);
+  for (const double v : random_values(10000, 21)) s.add(v);
+  EXPECT_TRUE(s.streaming());
+  EXPECT_EQ(s.percentile(0.0), s.min());
+  EXPECT_EQ(s.percentile(100.0), s.max());
+  EXPECT_THROW(s.percentile(95.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace deeppool

@@ -65,7 +65,8 @@ int usage(std::ostream& os, int exit_code) {
         "                    [--set KNOB=VALUE ...] [--jobs N] [--output FILE]\n"
         "                    [--compact]\n"
         "  deeppool schedule FILE [--policy NAME] [--seed N] [--jobs N]\n"
-        "                    [--calibration TABLE] [--output FILE] [--compact]\n"
+        "                    [--calibration TABLE] [--core indexed|reference]\n"
+        "                    [--util-bins N] [--output FILE] [--compact]\n"
         "  deeppool calibrate FILE [--out TABLE] [--jobs N] [--output FILE]\n"
         "                    [--compact]\n"
         "  deeppool serve    [--jobs N]\n"
@@ -97,6 +98,8 @@ struct Args {
   std::string network = "nvswitch";
   std::string policy;            // schedule: placement policy override
   std::string calibration_path;  // schedule: measured interference table
+  std::string core;              // schedule: scheduler core override
+  std::optional<int> util_bins;  // schedule: util_timeline_bins override
   std::string table_out_path;    // calibrate: where the table cache goes
   std::string sweep_param;
   std::vector<double> sweep_values;
@@ -194,6 +197,15 @@ Args parse_args(int argc, char** argv) {
     else if (flag == "--policy") args.policy = need_value(i, flag);
     else if (flag == "--calibration")
       args.calibration_path = need_value(i, flag);
+    else if (flag == "--core") args.core = need_value(i, flag);
+    else if (flag == "--util-bins") {
+      const std::int64_t bins = parse_int(need_value(i, flag), flag);
+      if (bins < 1 || bins > std::numeric_limits<int>::max()) {
+        throw std::invalid_argument("--util-bins: " + std::to_string(bins) +
+                                    " is out of range (needs >= 1)");
+      }
+      args.util_bins = static_cast<int>(bins);
+    }
     else if (flag == "--out") args.table_out_path = need_value(i, flag);
     else if (flag == "--seed")
       args.seed = static_cast<std::uint64_t>(
@@ -343,7 +355,9 @@ api::Request build_schedule(const Args& args) {
       api::load_json_file(args.config_path));
   if (!args.policy.empty()) req.spec.config.policy = args.policy;
   if (args.seed) req.spec.workload.seed = *args.seed;
+  if (args.util_bins) req.spec.config.util_timeline_bins = *args.util_bins;
   req.calibration_path = args.calibration_path;
+  req.core = args.core;
   return api::Request{std::move(req)};
 }
 
