@@ -5,35 +5,49 @@ namespace deeppool::api {
 const std::vector<CommandInfo>& command_registry() {
   // Flag sets are the contract the CLI enforces: a flag listed nowhere is
   // unknown, a flag listed elsewhere is rejected with the owning commands.
+  // --log-level and --metrics-out are process-wide observability knobs, so
+  // every command accepts them.
   static const std::vector<CommandInfo> kCommands = {
       {"plan",
        "run the burst-parallel planner, emit the TrainingPlan JSON",
        SpecArg::kScenario,
        {"--config", "--model", "--network", "--gpus", "--batch", "--amp",
-        "--dp", "--table", "--set", "--seed", "--output", "--compact"}},
+        "--dp", "--table", "--set", "--seed", "--output", "--compact",
+        "--log-level", "--metrics-out"}},
       {"simulate",
        "drive one cluster-sharing scenario end to end",
        SpecArg::kScenario,
-       {"--config", "--set", "--seed", "--output", "--compact"}},
+       {"--config", "--set", "--seed", "--output", "--compact",
+        "--log-level", "--metrics-out"}},
       {"sweep",
        "re-run a scenario across a list of values for one knob",
        SpecArg::kScenario,
        {"--config", "--param", "--values", "--set", "--jobs", "--seed",
-        "--output", "--compact"}},
+        "--output", "--compact", "--log-level", "--metrics-out"}},
       {"schedule",
        "replay a multi-tenant job trace through the cluster scheduler",
        SpecArg::kSchedule,
        {"--config", "--policy", "--calibration", "--core", "--util-bins",
-        "--jobs", "--seed", "--output", "--compact"}},
+        "--trace", "--jobs", "--seed", "--output", "--compact",
+        "--log-level", "--metrics-out"}},
       {"calibrate",
        "measure per-pair collocation interference, cache it as a table",
        SpecArg::kCalibration,
-       {"--config", "--out", "--jobs", "--seed", "--output", "--compact"}},
-      {"models", "list the model-zoo names", SpecArg::kNone, {}},
+       {"--config", "--out", "--jobs", "--seed", "--output", "--compact",
+        "--log-level", "--metrics-out"}},
+      {"models",
+       "list the model-zoo names",
+       SpecArg::kNone,
+       {"--log-level", "--metrics-out"}},
+      {"stats",
+       "snapshot the process observability registry (counters, gauges, "
+       "histograms)",
+       SpecArg::kNone,
+       {"--output", "--compact", "--log-level", "--metrics-out"}},
       {"serve",
        "NDJSON request-per-line daemon over a resident Service",
        SpecArg::kNone,
-       {"--jobs"},
+       {"--jobs", "--log-level", "--metrics-out"},
        /*is_op=*/false},
   };
   return kCommands;

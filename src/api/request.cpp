@@ -50,6 +50,7 @@ Request parse_schedule(const Json& j) {
       sched::schedule_spec_from_json(spec_field(j, ScheduleRequest::kOp));
   req.calibration_path = str_or(j, "calibration_path", "");
   req.core = str_or(j, "core", "");
+  req.trace_path = str_or(j, "trace_path", "");
   return Request{std::move(req)};
 }
 
@@ -63,6 +64,8 @@ Request parse_calibrate(const Json& j) {
 
 Request parse_models(const Json&) { return Request{ModelsRequest{}}; }
 
+Request parse_stats(const Json&) { return Request{StatsRequest{}}; }
+
 using Parser = Request (*)(const Json&);
 
 Parser parser_for(const std::string& op) {
@@ -72,6 +75,7 @@ Parser parser_for(const std::string& op) {
   if (op == ScheduleRequest::kOp) return parse_schedule;
   if (op == CalibrateRequest::kOp) return parse_calibrate;
   if (op == ModelsRequest::kOp) return parse_models;
+  if (op == StatsRequest::kOp) return parse_stats;
   return nullptr;
 }
 
@@ -136,11 +140,14 @@ Json to_json(const Request& request) {
             j["calibration_path"] = Json(body.calibration_path);
           }
           if (!body.core.empty()) j["core"] = Json(body.core);
+          if (!body.trace_path.empty()) {
+            j["trace_path"] = Json(body.trace_path);
+          }
         } else if constexpr (std::is_same_v<T, CalibrateRequest>) {
           j["spec"] = calib::to_json(body.spec);
           j["seed"] = Json(static_cast<std::int64_t>(body.seed));
         }
-        // ModelsRequest carries nothing beyond its op.
+        // ModelsRequest and StatsRequest carry nothing beyond their op.
       },
       request.body);
   return j;

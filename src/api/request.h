@@ -47,16 +47,28 @@ struct SweepRequest {
 };
 
 /// {"op": "schedule", "spec": {...schedule...}[, "calibration_path": P]
-/// [, "core": C]}. A non-empty calibration_path names a
+/// [, "core": C][, "trace_path": T]}. A non-empty calibration_path names a
 /// measured-interference table file; the Service loads it once and keeps it
 /// resident, so repeated requests against the same table never re-read or
 /// re-parse it. A non-empty core selects the scheduler core ("indexed" |
-/// "reference", see ScheduleRunOptions::core); empty takes the default.
+/// "reference", see ScheduleRunOptions::core); empty takes the default. A
+/// non-empty trace_path records scheduler decisions during the run and
+/// writes a Chrome trace-event file there (see ScheduleRunOptions::trace);
+/// the response then reports the path and event count.
 struct ScheduleRequest {
   static constexpr const char* kOp = "schedule";
   sched::ScheduleSpec spec;
   std::string calibration_path;
   std::string core;
+  std::string trace_path;
+};
+
+/// {"op": "stats"} — the full observability-registry snapshot (counters,
+/// gauges, histograms; see obs::Registry::snapshot) plus the service's own
+/// request tallies. Read-only: answering it changes no schedule state,
+/// though the serve transport's per-request accounting still ticks.
+struct StatsRequest {
+  static constexpr const char* kOp = "stats";
 };
 
 /// {"op": "calibrate", "seed": N, "spec": {...calibration...}}. seed is
@@ -76,7 +88,7 @@ struct ModelsRequest {
 /// One service request; exactly one alternative per registry op.
 struct Request {
   std::variant<PlanRequest, SimulateRequest, SweepRequest, ScheduleRequest,
-               CalibrateRequest, ModelsRequest>
+               CalibrateRequest, ModelsRequest, StatsRequest>
       body;
 
   /// The registry op name of the held alternative.

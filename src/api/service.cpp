@@ -1,5 +1,6 @@
 #include "api/service.h"
 
+#include <chrono>
 #include <fstream>
 #include <mutex>
 #include <sstream>
@@ -9,6 +10,8 @@
 #include "api/registry.h"
 #include "api/version.h"
 #include "models/zoo.h"
+#include "obs/metrics.h"
+#include "util/trace.h"
 
 namespace deeppool::api {
 
@@ -104,6 +107,11 @@ struct ServiceHandlers {
     // requests re-plan only shapes this Service has never seen.
     options.shared_plan_cache = &service.plan_cache_;
     if (!req.core.empty()) options.core = req.core;
+    // Decision tracing is per request: a fresh recorder, written out after
+    // the run. The schedule result itself is byte-identical with or
+    // without it.
+    TraceRecorder trace;
+    if (!req.trace_path.empty()) options.trace = &trace;
     const sched::ScheduleResult result = sched::run_schedule(spec, options);
     Json payload;
     payload["schedule"] = Json(spec.name);
@@ -111,6 +119,14 @@ struct ServiceHandlers {
     payload["jobs"] = Json(service.jobs());
     payload["spec"] = sched::to_json(spec);
     payload["result"] = sched::to_json(result);
+    if (!req.trace_path.empty()) {
+      trace.save(req.trace_path);
+      service.diag("wrote " + std::to_string(trace.size()) +
+                   " trace events to " + req.trace_path);
+      payload["trace_path"] = Json(req.trace_path);
+      payload["trace_events"] =
+          Json(static_cast<std::int64_t>(trace.size()));
+    }
     return payload;
   }
 
@@ -151,6 +167,12 @@ struct ServiceHandlers {
     payload["models"] = Json(std::move(names));
     return payload;
   }
+
+  static Json stats_snapshot(Service&, const Request&) {
+    Json payload;
+    payload["metrics"] = obs::registry().snapshot();
+    return payload;
+  }
 };
 
 namespace {
@@ -164,6 +186,7 @@ Handler handler_for(const std::string& op) {
   if (op == ScheduleRequest::kOp) return ServiceHandlers::schedule;
   if (op == CalibrateRequest::kOp) return ServiceHandlers::calibrate;
   if (op == ModelsRequest::kOp) return ServiceHandlers::models;
+  if (op == StatsRequest::kOp) return ServiceHandlers::stats_snapshot;
   return nullptr;
 }
 
@@ -197,17 +220,38 @@ Response Service::handle(const Request& request) {
     throw std::invalid_argument("unknown op \"" + op + "\"; valid ops: " +
                                 op_names());
   }
+  // Requests mirror into the registry: one total counter, one per op (the
+  // op name set is bounded by the registry, so so is the metric set), an
+  // in-flight gauge held across the handler even when it throws, and a
+  // wall-clock latency histogram per op on the success path.
+  static obs::Counter& request_metric =
+      obs::registry().counter("api/requests");
+  request_metric.inc();
+  obs::registry().counter("api/requests/" + op).inc();
+  obs::Gauge& in_flight = obs::registry().gauge("api/in_flight");
+  in_flight.add(1.0);
+  struct InFlightGuard {
+    obs::Gauge& gauge;
+    ~InFlightGuard() { gauge.add(-1.0); }
+  } guard{in_flight};
+  const auto start = std::chrono::steady_clock::now();
   Response response;
   response.ok = true;
   response.op = op;
   response.payload = handler(*this, request);
   response.payload["version"] = Json(version());
   response.service = stats();
+  obs::registry()
+      .histogram("api/request_s/" + op)
+      .observe(std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
+                   .count());
   return response;
 }
 
 Response Service::error_response(std::string message, std::string op) {
   ++errors_;
+  obs::registry().counter("api/errors").inc();
   Response response;
   response.ok = false;
   response.op = std::move(op);

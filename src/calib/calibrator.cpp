@@ -12,6 +12,8 @@
 #include "models/cost_model.h"
 #include "models/zoo.h"
 #include "net/network_model.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "runtime/cluster.h"
 #include "runtime/scenario_config.h"
 #include "util/logging.h"
@@ -272,14 +274,19 @@ CalibrationResult run_calibration(const CalibrationSpec& spec,
   // the maps are built serially from the completed phase).
 
   // Phase 1: dedicated-background rate, one task per distinct bg model.
-  const std::vector<double> bg_rates =
-      pool.parallel_map(bg_models.size(), [&](std::size_t i) {
-        runtime::ScenarioConfig c = scenario_base(1);
-        c.bg_on_idle_gpus = true;
-        c.collocate_bg = false;
-        const models::ModelGraph bg_model = models::zoo::by_name(bg_models[i]);
-        return run_scenario(bg_model, bg_model, cost, c).bg_throughput;
-      });
+  // Each phase is spanned from the coordinating thread — the span covers
+  // the whole parallel_map (fan-out to join), not individual worker tasks —
+  // so a calibrate trace shows the three dependency phases back to back.
+  const std::vector<double> bg_rates = [&] {
+    DP_SPAN("calib/bg_baseline");
+    return pool.parallel_map(bg_models.size(), [&](std::size_t i) {
+      runtime::ScenarioConfig c = scenario_base(1);
+      c.bg_on_idle_gpus = true;
+      c.collocate_bg = false;
+      const models::ModelGraph bg_model = models::zoo::by_name(bg_models[i]);
+      return run_scenario(bg_model, bg_model, cost, c).bg_throughput;
+    });
+  }();
 
   // Phase 2: isolated-foreground baseline, one task per distinct
   // (fg model, gpu count, amp limit) shape; shared across every bg pairing.
@@ -295,8 +302,9 @@ CalibrationResult run_calibration(const CalibrationSpec& spec,
       }
     }
   }
-  const std::vector<FgBaseline> baselines =
-      pool.parallel_map(shape_points.size(), [&](std::size_t i) {
+  const std::vector<FgBaseline> baselines = [&] {
+    DP_SPAN("calib/fg_baseline");
+    return pool.parallel_map(shape_points.size(), [&](std::size_t i) {
         const ShapePoint& sp = shape_points[i];
         const models::ModelGraph fg_model = models::zoo::by_name(sp.fg_name);
         FgBaseline base;
@@ -326,7 +334,8 @@ CalibrationResult run_calibration(const CalibrationSpec& spec,
               " GPUs, amp_limit " + std::to_string(sp.shape.amp_limit));
         }
         return base;
-      });
+    });
+  }();
   // Phase 3: the collocated grid points, one task per (shape x bg model),
   // reading the now-immutable baselines by index.
   struct PairTask {
@@ -343,7 +352,9 @@ CalibrationResult run_calibration(const CalibrationSpec& spec,
   std::mutex progress_mu;
   CalibrationResult result;
   result.spec = spec;
-  result.points = pool.parallel_map(tasks.size(), [&](std::size_t i) {
+  result.points = [&] {
+    DP_SPAN("calib/pairs");
+    return pool.parallel_map(tasks.size(), [&](std::size_t i) {
     const ShapePoint& sp = shape_points[tasks[i].shape_index];
     const std::string& bg_name = bg_models[tasks[i].bg_index];
     const FgBaseline& base = baselines[tasks[i].shape_index];
@@ -387,7 +398,10 @@ CalibrationResult run_calibration(const CalibrationSpec& spec,
                 << ", bg_efficiency " << point.factors.bg_efficiency << "\n";
     }
     return point;
-  });
+    });
+  }();
+  obs::registry().counter("calib/points").inc(
+      static_cast<std::int64_t>(result.points.size()));
   for (const CalibrationPoint& point : result.points) {
     result.table.set(point.key, point.factors);
   }

@@ -2,10 +2,18 @@
 
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/span.h"
+
 namespace deeppool::core {
 
 PlanCache::PlanPtr PlanCache::plan(
     const PlanCacheKey& key, const std::function<TrainingPlan()>& compute) {
+  // Handles resolved once per process; each hit/miss then costs one relaxed
+  // atomic add on top of the cache's own bookkeeping.
+  static obs::Counter& hit_metric = obs::registry().counter("plan_cache/hits");
+  static obs::Counter& miss_metric =
+      obs::registry().counter("plan_cache/misses");
   std::shared_future<PlanPtr> future;
   std::promise<PlanPtr> mine;
   bool owner = false;
@@ -14,9 +22,11 @@ PlanCache::PlanPtr PlanCache::plan(
     const auto it = entries_.find(key);
     if (it != entries_.end()) {
       hits_.fetch_add(1, std::memory_order_relaxed);
+      hit_metric.inc();
       future = it->second;
     } else {
       misses_.fetch_add(1, std::memory_order_relaxed);
+      miss_metric.inc();
       future = mine.get_future().share();
       entries_.emplace(key, future);
       owner = true;
@@ -24,6 +34,7 @@ PlanCache::PlanPtr PlanCache::plan(
   }
   if (owner) {
     try {
+      DP_SPAN("plan_cache/resolve");
       mine.set_value(std::make_shared<const TrainingPlan>(compute()));
     } catch (...) {
       mine.set_exception(std::current_exception());

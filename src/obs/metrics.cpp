@@ -1,0 +1,247 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace deeppool::obs {
+
+void Gauge::set(double v) noexcept {
+  value_.store(v, std::memory_order_relaxed);
+  raise_max(v);
+}
+
+void Gauge::add(double delta) noexcept {
+  double cur = value_.load(std::memory_order_relaxed);
+  while (!value_.compare_exchange_weak(cur, cur + delta,
+                                       std::memory_order_relaxed)) {
+  }
+  raise_max(cur + delta);
+}
+
+void Gauge::raise_max(double v) noexcept {
+  double cur = max_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) {
+    throw std::invalid_argument("histogram needs at least one bucket bound");
+  }
+  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+    throw std::invalid_argument("histogram bounds must be ascending");
+  }
+  counts_.assign(bounds_.size() + 1, 0);  // + overflow bucket
+}
+
+void Histogram::observe(double v) {
+  const std::size_t bucket =
+      static_cast<std::size_t>(std::lower_bound(bounds_.begin(), bounds_.end(),
+                                                v) -
+                               bounds_.begin());
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counts_[bucket];
+  ++count_;
+  sum_ += v;
+}
+
+std::int64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+
+std::vector<std::int64_t> Histogram::cumulative() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::int64_t> out(counts_.size());
+  std::int64_t running = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    running += counts_[i];
+    out[i] = running;
+  }
+  return out;
+}
+
+const std::vector<double>& latency_buckets() {
+  static const std::vector<double> kBounds = {1e-6, 1e-5, 1e-4, 1e-3, 1e-2,
+                                              1e-1, 1.0,  10.0, 100.0, 1000.0};
+  return kBounds;
+}
+
+Registry::Entry& Registry::lookup(const std::string& name, Kind kind,
+                                  const std::vector<double>* bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry entry;
+    entry.kind = kind;
+    switch (kind) {
+      case Kind::kCounter:
+        entry.counter = std::make_unique<Counter>();
+        break;
+      case Kind::kGauge:
+        entry.gauge = std::make_unique<Gauge>();
+        break;
+      case Kind::kHistogram:
+        entry.histogram.reset(new Histogram(*bounds));
+        break;
+    }
+    it = entries_.emplace(name, std::move(entry)).first;
+  } else if (it->second.kind != kind) {
+    throw std::logic_error("metric \"" + name +
+                           "\" already registered as a different kind");
+  }
+  return it->second;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  return *lookup(name, Kind::kCounter, nullptr).counter;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  return *lookup(name, Kind::kGauge, nullptr).gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               const std::vector<double>& bounds) {
+  return *lookup(name, Kind::kHistogram, &bounds).histogram;
+}
+
+Json Registry::snapshot() const {
+  Json::Object counters;
+  Json::Object gauges;
+  Json::Object histograms;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, entry] : entries_) {
+    switch (entry.kind) {
+      case Kind::kCounter:
+        counters[name] = Json(entry.counter->value());
+        break;
+      case Kind::kGauge: {
+        Json g;
+        g["max"] = Json(entry.gauge->max());
+        g["value"] = Json(entry.gauge->value());
+        gauges[name] = std::move(g);
+        break;
+      }
+      case Kind::kHistogram: {
+        const Histogram& h = *entry.histogram;
+        Json j;
+        Json::Array le, buckets;
+        std::lock_guard<std::mutex> hlock(h.mu_);
+        for (const double b : h.bounds_) le.push_back(Json(b));
+        for (const std::int64_t c : h.counts_) buckets.push_back(Json(c));
+        j["buckets"] = Json(std::move(buckets));
+        j["count"] = Json(h.count_);
+        j["le"] = Json(std::move(le));
+        j["sum"] = Json(h.sum_);
+        histograms[name] = std::move(j);
+        break;
+      }
+    }
+  }
+  Json out;
+  out["counters"] = Json(std::move(counters));
+  out["gauges"] = Json(std::move(gauges));
+  out["histograms"] = Json(std::move(histograms));
+  return out;
+}
+
+namespace {
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; everything else (the
+/// registry's '/' separators in particular) becomes '_'.
+std::string sanitized(const std::string& name) {
+  std::string out = "deeppool_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+void append_number(std::ostream& os, double v) {
+  // Reuse the JSON writer's shortest-stable formatting so the exposition
+  // text is deterministic too.
+  os << Json(v).dump();
+}
+
+}  // namespace
+
+std::string Registry::prometheus() const {
+  std::ostringstream os;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, entry] : entries_) {
+    const std::string pname = sanitized(name);
+    switch (entry.kind) {
+      case Kind::kCounter:
+        os << "# TYPE " << pname << " counter\n"
+           << pname << " " << entry.counter->value() << "\n";
+        break;
+      case Kind::kGauge:
+        os << "# TYPE " << pname << " gauge\n" << pname << " ";
+        append_number(os, entry.gauge->value());
+        os << "\n" << pname << "_max ";
+        append_number(os, entry.gauge->max());
+        os << "\n";
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *entry.histogram;
+        os << "# TYPE " << pname << " histogram\n";
+        const std::vector<std::int64_t> cum = h.cumulative();
+        const std::vector<double>& bounds = h.bounds();
+        for (std::size_t i = 0; i < bounds.size(); ++i) {
+          os << pname << "_bucket{le=\"";
+          append_number(os, bounds[i]);
+          os << "\"} " << cum[i] << "\n";
+        }
+        os << pname << "_bucket{le=\"+Inf\"} " << cum.back() << "\n";
+        os << pname << "_sum ";
+        append_number(os, h.sum());
+        os << "\n" << pname << "_count " << h.count() << "\n";
+        break;
+      }
+    }
+  }
+  return os.str();
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, entry] : entries_) {
+    (void)name;
+    switch (entry.kind) {
+      case Kind::kCounter:
+        entry.counter->value_.store(0, std::memory_order_relaxed);
+        break;
+      case Kind::kGauge:
+        entry.gauge->value_.store(0.0, std::memory_order_relaxed);
+        entry.gauge->max_.store(0.0, std::memory_order_relaxed);
+        break;
+      case Kind::kHistogram: {
+        Histogram& h = *entry.histogram;
+        std::lock_guard<std::mutex> hlock(h.mu_);
+        std::fill(h.counts_.begin(), h.counts_.end(), 0);
+        h.count_ = 0;
+        h.sum_ = 0.0;
+        break;
+      }
+    }
+  }
+}
+
+Registry& registry() {
+  // Leaked on purpose: handles cached in function-local statics across the
+  // codebase must stay valid through static destruction.
+  static Registry* const kRegistry = new Registry();
+  return *kRegistry;
+}
+
+}  // namespace deeppool::obs

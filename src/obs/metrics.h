@@ -1,0 +1,151 @@
+// Process-wide metrics registry: counters, gauges, histograms.
+//
+// The paper's QoS claim is only auditable if the system can explain where
+// time and capacity went; before this layer every subsystem grew its own
+// bespoke counter struct (ServiceStats, FleetMetrics, PlanCache's atomics)
+// and nothing was observable mid-run. The registry is the one substrate
+// they all mirror into: named metrics, registered on first use and stable
+// for the life of the process, snapshotted as byte-stable JSON (the serve
+// daemon's {"op": "stats"} answer) or dumped as Prometheus-style text
+// (`--metrics-out`).
+//
+// Contracts that make the snapshot usable in tests and CI:
+//   * Counters are exact under concurrency: increments are atomic, so N
+//     workers adding M each always read N*M (TSan-covered).
+//   * Histograms use fixed, deterministic bucket layouts chosen at
+//     registration; metrics fed from simulated time (e.g. the scheduler's
+//     placement-delay histogram) snapshot byte-identically at any --jobs
+//     value because observation order is simulation order.
+//   * snapshot() serializes through util::Json's sorted-key objects, so
+//     dump(parse(dump)) round-trips byte for byte.
+//
+// Handles returned by counter()/gauge()/histogram() stay valid forever
+// (the registry never deletes a metric; reset() zeroes values in place),
+// so hot paths cache a reference once and pay one relaxed atomic op per
+// event — the disabled-export path costs nanoseconds, not lookups.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace deeppool::obs {
+
+/// Monotonic event count. inc() is wait-free (relaxed atomic add).
+class Counter {
+ public:
+  void inc(std::int64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Registry;
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Last-set value plus a high-water mark (the max ever set/added). set()
+/// and add() are lock-free; max is maintained with a CAS loop.
+class Gauge {
+ public:
+  void set(double v) noexcept;
+  void add(double delta) noexcept;
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  double max() const noexcept { return max_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class Registry;
+  void raise_max(double v) noexcept;
+  std::atomic<double> value_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// Fixed-layout histogram: bucket upper bounds are chosen at registration
+/// and never change, so two runs that observe the same values in the same
+/// order snapshot byte-identically. Guarded by a mutex — observations are
+/// phase- or event-granularity, never a per-sample inner loop.
+class Histogram {
+ public:
+  void observe(double v);
+  std::int64_t count() const;
+  double sum() const;
+  /// Bucket upper bounds (ascending); the overflow bucket is implicit.
+  const std::vector<double>& bounds() const noexcept { return bounds_; }
+  /// Cumulative count in buckets [0..i] for bound i, plus the overflow
+  /// count at index bounds().size() — the Prometheus "le" convention.
+  std::vector<std::int64_t> cumulative() const;
+
+ private:
+  friend class Registry;
+  explicit Histogram(std::vector<double> bounds);
+  mutable std::mutex mu_;
+  std::vector<double> bounds_;        ///< ascending upper bounds
+  std::vector<std::int64_t> counts_;  ///< per-bucket, + overflow at the end
+  std::int64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+/// The default histogram layout: decade buckets from 1 microsecond to
+/// 1000 seconds. Wide enough for wall-clock request latencies and for
+/// simulated queueing delays alike, and deliberately fixed so snapshots
+/// never depend on observed data.
+const std::vector<double>& latency_buckets();
+
+/// Named-metric registry. Metric kinds share one namespace: asking for
+/// "x" as a counter after it was registered as a gauge throws
+/// std::logic_error (a name must mean one thing in a snapshot).
+class Registry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `bounds` applies on first registration only; later lookups return the
+  /// existing histogram (its layout is fixed for the process lifetime).
+  Histogram& histogram(const std::string& name,
+                       const std::vector<double>& bounds = latency_buckets());
+
+  /// Byte-stable snapshot: {"counters": {...}, "gauges": {...},
+  /// "histograms": {...}} with sorted keys throughout. Counter values are
+  /// integers; gauges {"max", "value"}; histograms {"buckets" (per-bucket
+  /// counts, overflow last), "count", "le" (bounds), "sum"}.
+  Json snapshot() const;
+
+  /// Prometheus-style text exposition (one "# TYPE" line per metric,
+  /// names sanitized to [a-zA-Z0-9_:] and prefixed "deeppool_").
+  std::string prometheus() const;
+
+  /// Zeroes every value in place. Registrations — and every handle ever
+  /// returned — stay valid; intended for tests that need a clean slate
+  /// inside one process.
+  void reset();
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  Entry& lookup(const std::string& name, Kind kind,
+                const std::vector<double>* bounds);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+};
+
+/// The process-wide registry every subsystem mirrors into. Never
+/// destroyed (leaky singleton), so metric handles cached in static
+/// storage stay safe through shutdown.
+Registry& registry();
+
+}  // namespace deeppool::obs

@@ -1,0 +1,51 @@
+// RAII wall-clock spans: DP_SPAN("calib/pairs") times the enclosing scope
+// and feeds the duration two places —
+//   * the registry histogram "span_s/<name>" (always; one mutex-guarded
+//     observe per scope exit, cheap at phase granularity), and
+//   * the process span trace, if one is installed via set_span_trace(),
+//     as a ph:"X" trace event on pid 0 with timestamps relative to the
+//     first span of the process.
+//
+// Spans are for phase- and request-granularity timing (a calibration
+// sweep, a serve request, a plan-cache miss resolve) — never per-simulated-
+// event inner loops; those mirror into plain counters at finalize time.
+#pragma once
+
+#include <chrono>
+#include <string>
+
+namespace deeppool {
+class TraceRecorder;
+}  // namespace deeppool
+
+namespace deeppool::obs {
+
+/// Installs (or clears, with nullptr) the recorder that finished spans are
+/// appended to. The recorder must outlive every span that completes while
+/// it is installed. Thread-safe; spans on other threads observe the change
+/// at their next scope exit.
+void set_span_trace(TraceRecorder* trace);
+
+class Span {
+ public:
+  explicit Span(const char* name)
+      : name_(name), start_(std::chrono::steady_clock::now()) {}
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace deeppool::obs
+
+#define DP_OBS_CONCAT2(a, b) a##b
+#define DP_OBS_CONCAT(a, b) DP_OBS_CONCAT2(a, b)
+
+/// Times the enclosing scope under `name` (see obs::Span). Usable twice on
+/// one line only via distinct lines — the variable name embeds __LINE__.
+#define DP_SPAN(name) \
+  ::deeppool::obs::Span DP_OBS_CONCAT(dp_span_at_, __LINE__)(name)

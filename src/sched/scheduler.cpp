@@ -14,6 +14,7 @@
 #include "models/cost_model.h"
 #include "models/zoo.h"
 #include "net/network_model.h"
+#include "obs/metrics.h"
 #include "runtime/scenario_config.h"
 #include "sched/cluster_index.h"
 #include "sched/policies.h"
@@ -21,6 +22,7 @@
 #include "util/logging.h"
 #include "util/parallel.h"
 #include "util/summary.h"
+#include "util/trace.h"
 
 namespace deeppool::sched {
 
@@ -106,7 +108,8 @@ class Engine {
         cost_(models::DeviceSpec::a100()),
         network_(net::NetworkSpec::from_name(config.network)),
         interference_(config.mux, config.calibration),
-        gpus_(static_cast<std::size_t>(config.num_gpus)) {
+        gpus_(static_cast<std::size_t>(config.num_gpus)),
+        trace_(options.trace) {
     indexed_ = options_.core != "reference" && policy_->supports_index();
     specs_ = generate_workload(workload);
     seed_ = workload.seed;
@@ -168,6 +171,8 @@ class Engine {
   void enqueue_back(int id);
   void settle(Job& job);
   void set_rate(Job& job);
+  void trace_instant(const char* cat, const Job& job);
+  void note_queue_depth();
   void update_util();
   void compress_util_steps();
   double cluster_busy() const;
@@ -206,6 +211,10 @@ class Engine {
   int lends_ = 0;
   int reclaims_ = 0;
   int max_jobs_per_gpu_ = 0;
+  std::int64_t dispatches_ = 0;  ///< committed placement decisions
+
+  /// Decision trace sink; nullptr = record nothing (one branch per hook).
+  TraceRecorder* trace_ = nullptr;
 
   double busy_ = 0.0;         ///< current busy-GPU total (0..num_gpus)
   double util_last_t_ = 0.0;
@@ -391,6 +400,34 @@ std::vector<GpuView> Engine::gpu_views() const {
   return views;
 }
 
+/// "j<id> <model>" — the label every per-job trace event carries.
+std::string job_label(const JobSpec& spec) {
+  std::string label = "j";
+  label += std::to_string(spec.id);
+  label += ' ';
+  label += spec.model;
+  return label;
+}
+
+/// One decision marker at the current simulated time. Only called behind a
+/// trace_ check, so the untraced path never builds the label string.
+void Engine::trace_instant(const char* cat, const Job& job) {
+  trace_->instant(0, job.foreground() ? 0 : 1, job_label(job.spec), cat,
+                  sim_.now());
+}
+
+/// Samples the simulator's event-queue depth into the registry gauge (and
+/// the trace's counter series when recording) once per dispatch round.
+void Engine::note_queue_depth() {
+  static obs::Gauge& depth_gauge =
+      obs::registry().gauge("sched/event_queue_depth");
+  const double depth = static_cast<double>(sim_.pending());
+  depth_gauge.set(depth);
+  if (trace_ != nullptr) {
+    trace_->counter(0, "event_queue_depth", sim_.now(), depth);
+  }
+}
+
 void Engine::settle(Job& job) {
   const double now = sim_.now();
   job.remaining_iters =
@@ -455,6 +492,7 @@ void Engine::reclaim_tenant(int bg_id, int gpu, Job& incoming_fg,
   }
   ++bg.reclaims;
   ++reclaims_;
+  if (trace_ != nullptr) trace_instant("sched/reclaim", bg);
 }
 
 void Engine::dispatch(int job_id, const Placement& placement) {
@@ -512,6 +550,8 @@ void Engine::dispatch(int job_id, const Placement& placement) {
     // projections on its other GPUs.
     refresh_host_lend(jobs_[static_cast<std::size_t>(job.host_fg)]);
   }
+  ++dispatches_;
+  if (trace_ != nullptr) trace_instant("sched/dispatch", job);
 }
 
 void Engine::try_dispatch() {
@@ -525,6 +565,7 @@ void Engine::try_dispatch() {
     }
     update_util();
     check_invariants();
+    note_queue_depth();
     return;
   }
   PolicyContext ctx;
@@ -548,10 +589,13 @@ void Engine::try_dispatch() {
   }
   update_util();
   check_invariants();
+  note_queue_depth();
 }
 
 void Engine::on_arrival(int id) {
-  jobs_[static_cast<std::size_t>(id)].state = State::kQueued;
+  Job& job = jobs_[static_cast<std::size_t>(id)];
+  job.state = State::kQueued;
+  if (trace_ != nullptr) trace_instant("sched/arrival", job);
   enqueue_back(id);
   try_dispatch();
 }
@@ -564,6 +608,15 @@ void Engine::on_complete(int id) {
   job.finish_s = sim_.now();
   job.completion = 0;
   job.rate = 0.0;
+  if (trace_ != nullptr) {
+    trace_instant("sched/complete", job);
+    // The job's whole residency as a span: row = its first GPU (pid 1+g so
+    // GPU 0 does not collide with the scheduler's own pid-0 rows), lane 0
+    // for foreground, 1 for background.
+    trace_->record(1 + job.gpu_ids.front(), job.foreground() ? 0 : 1,
+                   job_label(job.spec), "sched/job", job.start_s,
+                   job.finish_s - job.start_s);
+  }
   if (job.foreground()) {
     for (int g : job.gpu_ids) {
       gpus_[static_cast<std::size_t>(g)].fg = -1;
@@ -853,6 +906,23 @@ ScheduleResult Engine::finalize() {
     }
     for (double& b : bins) b /= width;
     fleet.util_timeline = std::move(bins);
+  }
+
+  // Mirror this run's tallies into the process registry in one pass, after
+  // the simulation: zero inner-loop cost, and the placement-delay histogram
+  // is fed in id order from simulated time, so its snapshot is byte-stable
+  // at any worker count.
+  obs::Registry& reg = obs::registry();
+  reg.counter("sched/arrivals").inc(static_cast<std::int64_t>(jobs_.size()));
+  reg.counter("sched/jobs_completed").inc(fleet.jobs_completed);
+  reg.counter("sched/lends").inc(lends_);
+  reg.counter("sched/reclaims").inc(reclaims_);
+  reg.counter("sched/decisions/" + config_.policy).inc(dispatches_);
+  reg.counter("sched/calib_hits").inc(fleet.calib_hits);
+  reg.counter("sched/calib_misses").inc(fleet.calib_misses);
+  obs::Histogram& delay_hist = reg.histogram("sched/placement_delay_s");
+  for (const JobOutcome& out : result.jobs) {
+    delay_hist.observe(out.queue_delay_s);
   }
 
   DP_INFO << "schedule done: policy=" << result.policy

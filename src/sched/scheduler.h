@@ -30,6 +30,10 @@
 #include "sched/workload.h"
 #include "util/json.h"
 
+namespace deeppool {
+class TraceRecorder;
+}  // namespace deeppool
+
 namespace deeppool::util {
 class ThreadPool;
 }  // namespace deeppool::util
@@ -180,6 +184,14 @@ struct ScheduleRunOptions {
   /// percentile estimators (mean/min/max stay exact). 0 = never collapse
   /// (the old unbounded behavior).
   std::size_t metrics_exact_cap = 4096;
+  /// When set, the run appends scheduler decisions to this recorder: one
+  /// ph:"X" span per completed job (pid = 1 + its first GPU, tid 0 fg /
+  /// 1 bg), ph:"i" instants for arrival/dispatch/reclaim/complete, and an
+  /// "event_queue_depth" ph:"C" counter series sampled per dispatch round.
+  /// All timestamps are simulated seconds. nullptr (the default) records
+  /// nothing and costs one branch per hook — the fleet-bench path. The
+  /// caller keeps ownership; recording changes no schedule output.
+  deeppool::TraceRecorder* trace = nullptr;
 };
 
 /// Runs the whole trace to completion. Deterministic: the same workload and

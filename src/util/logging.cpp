@@ -57,6 +57,22 @@ LogLevel parse_log_level(std::string_view name) {
   throw std::invalid_argument("unknown log level: " + std::string(name));
 }
 
+const char* log_level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kOff:
+      return "off";
+  }
+  return "unknown";
+}
+
 namespace detail {
 
 LogLine::LogLine(LogLevel level, const char* file, int line)

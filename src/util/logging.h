@@ -31,6 +31,10 @@ void set_log_level(LogLevel level) noexcept;
 /// Throws std::invalid_argument on unknown names.
 LogLevel parse_log_level(std::string_view name);
 
+/// The canonical lowercase name parse_log_level accepts for `level`
+/// ("warn", not "warning") — what the CLI echoes into output JSON.
+const char* log_level_name(LogLevel level) noexcept;
+
 namespace detail {
 
 /// One log statement. Accumulates the message and emits it (with a

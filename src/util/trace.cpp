@@ -1,5 +1,6 @@
 #include "util/trace.h"
 
+#include <cstdio>
 #include <fstream>
 #include <stdexcept>
 
@@ -7,30 +8,116 @@
 
 namespace deeppool {
 
+namespace {
+
+/// Escapes `s` into `out` as a JSON string literal (RFC 8259: quote,
+/// backslash, and control characters below 0x20 must be escaped — event
+/// names are caller-supplied and may contain any of them).
+void append_escaped(const std::string& s, std::string& out) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+/// Number formatting must match util::Json's writer byte for byte so the
+/// streamed document equals what a Json-tree serialization would produce.
+void append_number(double v, std::string& out) { out += Json(v).dump(); }
+
+void append_int(int v, std::string& out) { out += std::to_string(v); }
+
+}  // namespace
+
 void TraceRecorder::record(int pid, int tid, const std::string& name,
                            const std::string& category, double start_s,
                            double duration_s) {
-  events_.push_back(Event{pid, tid, name, category, start_s, duration_s});
+  events_.push_back(Event{Phase::kComplete, pid, tid, name, category, start_s,
+                          duration_s, 0.0});
+}
+
+void TraceRecorder::instant(int pid, int tid, const std::string& name,
+                            const std::string& category, double ts_s) {
+  events_.push_back(
+      Event{Phase::kInstant, pid, tid, name, category, ts_s, 0.0, 0.0});
+}
+
+void TraceRecorder::counter(int pid, const std::string& name, double ts_s,
+                            double value) {
+  events_.push_back(
+      Event{Phase::kCounter, pid, 0, name, std::string(), ts_s, 0.0, value});
 }
 
 std::string TraceRecorder::to_json() const {
-  Json::Array arr;
-  arr.reserve(events_.size());
+  // Keys within each event object stay sorted (cat < dur < name < ...) to
+  // match util::Json's map-backed serialization.
+  std::string out;
+  out.reserve(events_.size() * 96 + 64);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
   for (const Event& e : events_) {
-    Json ev;
-    ev["ph"] = Json("X");
-    ev["pid"] = Json(e.pid);
-    ev["tid"] = Json(e.tid);
-    ev["name"] = Json(e.name);
-    ev["cat"] = Json(e.category);
-    ev["ts"] = Json(e.start_s * 1e6);
-    ev["dur"] = Json(e.duration_s * 1e6);
-    arr.push_back(std::move(ev));
+    if (!first) out += ',';
+    first = false;
+    switch (e.phase) {
+      case Phase::kComplete:
+        out += "{\"cat\":";
+        append_escaped(e.category, out);
+        out += ",\"dur\":";
+        append_number(e.duration_s * 1e6, out);
+        out += ",\"name\":";
+        append_escaped(e.name, out);
+        out += ",\"ph\":\"X\",\"pid\":";
+        append_int(e.pid, out);
+        out += ",\"tid\":";
+        append_int(e.tid, out);
+        out += ",\"ts\":";
+        append_number(e.start_s * 1e6, out);
+        out += '}';
+        break;
+      case Phase::kInstant:
+        out += "{\"cat\":";
+        append_escaped(e.category, out);
+        out += ",\"name\":";
+        append_escaped(e.name, out);
+        out += ",\"ph\":\"i\",\"pid\":";
+        append_int(e.pid, out);
+        out += ",\"s\":\"g\",\"tid\":";
+        append_int(e.tid, out);
+        out += ",\"ts\":";
+        append_number(e.start_s * 1e6, out);
+        out += '}';
+        break;
+      case Phase::kCounter:
+        out += "{\"args\":{\"value\":";
+        append_number(e.value, out);
+        out += "},\"name\":";
+        append_escaped(e.name, out);
+        out += ",\"ph\":\"C\",\"pid\":";
+        append_int(e.pid, out);
+        out += ",\"ts\":";
+        append_number(e.start_s * 1e6, out);
+        out += '}';
+        break;
+    }
   }
-  Json doc;
-  doc["traceEvents"] = Json(std::move(arr));
-  doc["displayTimeUnit"] = Json("ms");
-  return doc.dump();
+  out += "]}";
+  return out;
 }
 
 void TraceRecorder::save(const std::string& path) const {

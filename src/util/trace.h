@@ -1,10 +1,13 @@
 // Chrome trace-event recorder.
 //
-// The simulator can export its execution as a chrome://tracing /
-// Perfetto-compatible JSON file: one "complete" (ph:"X") event per executed
-// device operation, with the device as pid and the stream as tid. Useful for
-// visually debugging collocation behaviour (who held the SMs when the
-// all-reduce stalled?).
+// The simulator and the scheduler export their execution as a
+// chrome://tracing / Perfetto-compatible JSON file: one "complete" (ph:"X")
+// event per executed device op or scheduled job (device/GPU as pid, stream
+// or priority class as tid), plus "instant" (ph:"i") markers for decision
+// points (arrival, dispatch, reclaim) and "counter" (ph:"C") samples for
+// time-varying quantities like event-queue depth. Useful for visually
+// debugging collocation behaviour (who held the SMs when the all-reduce
+// stalled?) and for auditing scheduler decisions against QoS bounds.
 #pragma once
 
 #include <cstdint>
@@ -20,22 +23,38 @@ class TraceRecorder {
   void record(int pid, int tid, const std::string& name,
               const std::string& category, double start_s, double duration_s);
 
+  /// Records a zero-duration marker (ph:"i", global scope) at `ts_s`.
+  void instant(int pid, int tid, const std::string& name,
+               const std::string& category, double ts_s);
+
+  /// Records a counter sample (ph:"C"): the named series takes `value` at
+  /// `ts_s`. Perfetto renders consecutive samples as a step chart.
+  void counter(int pid, const std::string& name, double ts_s, double value);
+
   std::size_t size() const noexcept { return events_.size(); }
 
+  void clear() { events_.clear(); }
+
   /// Serializes to trace-event JSON (object form with "traceEvents").
+  /// Streams events directly into the output string — no intermediate Json
+  /// tree — so 100k-job fleet traces serialize in one pass; string fields
+  /// are escaped per RFC 8259 (quotes, backslashes, control characters).
   std::string to_json() const;
 
   /// Writes to_json() to `path`. Throws std::runtime_error on I/O failure.
   void save(const std::string& path) const;
 
  private:
+  enum class Phase { kComplete, kInstant, kCounter };
   struct Event {
+    Phase phase;
     int pid;
     int tid;
     std::string name;
     std::string category;
     double start_s;
-    double duration_s;
+    double duration_s;  ///< kComplete only
+    double value;       ///< kCounter only
   };
   std::vector<Event> events_;
 };

@@ -43,7 +43,7 @@ TEST(Registry, EveryOpResolvesAndServeIsTransportOnly) {
   EXPECT_FALSE(command_accepts(*serve, "--policy"));
   EXPECT_EQ(find_command("frobnicate"), nullptr);
   EXPECT_EQ(op_names(),
-            "plan | simulate | sweep | schedule | calibrate | models");
+            "plan | simulate | sweep | schedule | calibrate | models | stats");
 }
 
 TEST(Registry, FlagOwnersRenderForErrorMessages) {

@@ -1,0 +1,165 @@
+// The observability registry's contracts: counters exact under
+// concurrency, histogram snapshots byte-stable at any worker count,
+// snapshot JSON round-trips, Prometheus text exposition, in-place reset,
+// and one-name-one-kind enforcement.
+//
+// Tests share the process-global registry, so every test uses its own
+// metric names and asserts deltas or freshly-registered values.
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/parallel.h"
+
+namespace deeppool::obs {
+namespace {
+
+TEST(Metrics, CounterIncrementsAreExactUnderThreadPool) {
+  Counter& c = registry().counter("test/concurrent_incs");
+  const std::int64_t before = c.value();
+  constexpr std::size_t kTasks = 64;
+  constexpr std::int64_t kPerTask = 1000;
+  util::ThreadPool pool(8);
+  pool.parallel_for(kTasks, [&](std::size_t) {
+    for (std::int64_t i = 0; i < kPerTask; ++i) c.inc();
+  });
+  EXPECT_EQ(c.value() - before,
+            static_cast<std::int64_t>(kTasks) * kPerTask);
+}
+
+TEST(Metrics, GaugeTracksValueAndHighWaterMark) {
+  Gauge& g = registry().gauge("test/gauge_watermark");
+  g.set(3.0);
+  g.set(7.0);
+  g.set(2.0);
+  EXPECT_DOUBLE_EQ(g.value(), 2.0);
+  EXPECT_DOUBLE_EQ(g.max(), 7.0);
+  g.add(10.0);
+  EXPECT_DOUBLE_EQ(g.value(), 12.0);
+  EXPECT_DOUBLE_EQ(g.max(), 12.0);
+}
+
+TEST(Metrics, GaugeMaxIsExactUnderConcurrentAdds) {
+  // N workers each add +1 then -1; the final value is the starting value
+  // and max never exceeds what was actually in flight at once.
+  Gauge& g = registry().gauge("test/gauge_in_flight");
+  const double before = g.value();
+  util::ThreadPool pool(8);
+  pool.parallel_for(256, [&](std::size_t) {
+    g.add(1.0);
+    g.add(-1.0);
+  });
+  EXPECT_DOUBLE_EQ(g.value(), before);
+  EXPECT_GE(g.max(), before + 1.0);
+}
+
+TEST(Metrics, HistogramSnapshotIsByteStableAcrossWorkerCounts) {
+  // Observation order is the caller's (here: index order after
+  // parallel_map collects results), so 1 worker and 8 workers produce
+  // byte-identical snapshots — the contract the scheduler's
+  // placement-delay histogram relies on for --jobs invariance.
+  const std::vector<double> bounds{0.001, 0.01, 0.1, 1.0};
+  const auto run = [&](int workers, const std::string& name) {
+    util::ThreadPool pool(workers);
+    const std::vector<double> samples =
+        pool.parallel_map(100, [](std::size_t i) {
+          return 0.0001 * static_cast<double>((i * 37) % 100 + 1);
+        });
+    Histogram& h = registry().histogram(name, bounds);
+    for (double s : samples) h.observe(s);
+    return registry().snapshot().at("histograms").at(name).dump();
+  };
+  EXPECT_EQ(run(1, "test/hist_jobs1"), run(8, "test/hist_jobs8"));
+}
+
+TEST(Metrics, HistogramBucketsAndOverflow) {
+  const std::vector<double> bounds{1.0, 10.0};
+  Histogram& h = registry().histogram("test/hist_overflow", bounds);
+  h.observe(0.5);   // bucket 0 (le 1)
+  h.observe(1.0);   // bucket 0 (le is inclusive)
+  h.observe(5.0);   // bucket 1 (le 10)
+  h.observe(50.0);  // overflow
+  EXPECT_EQ(h.count(), 4);
+  EXPECT_DOUBLE_EQ(h.sum(), 56.5);
+  const std::vector<std::int64_t> cum = h.cumulative();
+  ASSERT_EQ(cum.size(), 3u);
+  EXPECT_EQ(cum[0], 2);
+  EXPECT_EQ(cum[1], 3);
+  EXPECT_EQ(cum[2], 4);
+}
+
+TEST(Metrics, SnapshotJsonRoundTripsByteStably) {
+  registry().counter("test/snap_counter").inc(42);
+  registry().gauge("test/snap_gauge").set(1.5);
+  registry().histogram("test/snap_hist").observe(0.25);
+  const Json snap = registry().snapshot();
+  const std::string once = snap.dump();
+  EXPECT_EQ(Json::parse(once).dump(), once);
+  EXPECT_EQ(snap.at("counters").at("test/snap_counter").as_int(), 42);
+  EXPECT_DOUBLE_EQ(
+      snap.at("gauges").at("test/snap_gauge").at("value").as_number(), 1.5);
+  EXPECT_EQ(snap.at("histograms").at("test/snap_hist").at("count").as_int(),
+            1);
+}
+
+TEST(Metrics, PrometheusExpositionNamesAndValues) {
+  registry().counter("test/prom/counter").inc(7);
+  registry().gauge("test/prom gauge").set(2.0);
+  const std::string text = registry().prometheus();
+  // Names are prefixed and sanitized to the Prometheus charset.
+  EXPECT_NE(text.find("deeppool_test_prom_counter 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE deeppool_test_prom_counter counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("deeppool_test_prom_gauge 2"), std::string::npos);
+  EXPECT_EQ(text.find("test/prom"), std::string::npos);
+}
+
+TEST(Metrics, ResetZeroesInPlaceAndHandlesStayValid) {
+  Counter& c = registry().counter("test/reset_counter");
+  Gauge& g = registry().gauge("test/reset_gauge");
+  Histogram& h = registry().histogram("test/reset_hist");
+  c.inc(5);
+  g.set(9.0);
+  h.observe(0.1);
+  registry().reset();
+  EXPECT_EQ(c.value(), 0);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_DOUBLE_EQ(g.max(), 0.0);
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  // The same handles keep working after reset.
+  c.inc();
+  h.observe(0.2);
+  EXPECT_EQ(c.value(), 1);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(&c, &registry().counter("test/reset_counter"));
+}
+
+TEST(Metrics, KindCollisionThrows) {
+  registry().counter("test/kind_clash");
+  EXPECT_THROW(registry().gauge("test/kind_clash"), std::logic_error);
+  EXPECT_THROW(registry().histogram("test/kind_clash"), std::logic_error);
+}
+
+TEST(Metrics, HistogramBoundsMustBeSortedAndNonEmpty) {
+  EXPECT_THROW(registry().histogram("test/bad_bounds_empty", {}),
+               std::invalid_argument);
+  EXPECT_THROW(registry().histogram("test/bad_bounds_order", {2.0, 1.0}),
+               std::invalid_argument);
+}
+
+TEST(Metrics, HistogramBoundsFixedAtFirstRegistration) {
+  const std::vector<double> first{1.0, 2.0};
+  Histogram& h = registry().histogram("test/fixed_bounds", first);
+  Histogram& again =
+      registry().histogram("test/fixed_bounds", {5.0, 6.0, 7.0});
+  EXPECT_EQ(&h, &again);
+  EXPECT_EQ(again.bounds(), first);
+}
+
+}  // namespace
+}  // namespace deeppool::obs

@@ -125,6 +125,59 @@ TEST(Serve, PayloadIsByteIdenticalToAOneShotRun) {
   EXPECT_EQ(served.payload.dump(2), direct.payload.dump(2));
 }
 
+TEST(Serve, StatsSnapshotsGrowAcrossAWarmSession) {
+  // stats → schedule ×2 → stats: the second snapshot must show strictly
+  // larger request and plan-cache counters than the first. The registry is
+  // process-global and cumulative across tests, so assert deltas only.
+  std::stringstream in;
+  in << R"({"op": "stats"})" << '\n'
+     << schedule_line() << '\n'
+     << schedule_line() << '\n'
+     << R"({"op": "stats"})" << '\n';
+
+  std::ostringstream out;
+  Service service(ServiceOptions{1, nullptr});
+  ASSERT_EQ(run_serve(in, out, service), 0);
+
+  const std::vector<std::string> lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), 4u);
+  const Response first = response_from_json(Json::parse(lines[0]));
+  const Response last = response_from_json(Json::parse(lines[3]));
+  ASSERT_TRUE(first.ok);
+  ASSERT_TRUE(last.ok);
+  EXPECT_EQ(first.op, "stats");
+
+  // A counter absent from a snapshot simply has not fired yet in this
+  // process — read it as zero so deltas stay order-independent.
+  const auto counter = [](const Response& r, const std::string& name) {
+    const Json& counters = r.payload.at("metrics").at("counters");
+    return counters.contains(name) ? counters.at(name).as_int()
+                                   : std::int64_t{0};
+  };
+  EXPECT_EQ(counter(last, "api/requests") - counter(first, "api/requests"), 3);
+  EXPECT_EQ(counter(last, "api/requests/schedule") -
+                counter(first, "api/requests/schedule"),
+            2);
+  EXPECT_EQ(counter(last, "api/requests/stats") -
+                counter(first, "api/requests/stats"),
+            1);
+  // The second schedule resolves entirely from the warm plan cache.
+  EXPECT_GT(counter(last, "plan_cache/hits") - counter(first, "plan_cache/hits"),
+            0);
+
+  // Snapshots are plain Json trees: dump/parse round-trips byte-stably.
+  const Json& snap = last.payload.at("metrics");
+  EXPECT_EQ(Json::parse(snap.dump()).dump(), snap.dump());
+
+  // Gauges and histograms ride along in the same snapshot.
+  EXPECT_GE(snap.at("gauges").at("api/in_flight").at("max").as_number(), 1.0);
+  EXPECT_GE(snap.at("histograms")
+                .at("api/request_s/schedule")
+                .at("count")
+                .as_int(),
+            2);
+}
+
 TEST(Serve, EmptyStreamAnswersNothing) {
   std::stringstream in("");
   std::ostringstream out;

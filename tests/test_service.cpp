@@ -6,6 +6,8 @@
 
 #include <cstdio>
 #include <fstream>
+#include <iterator>
+#include <map>
 #include <stdexcept>
 #include <string>
 
@@ -154,6 +156,55 @@ TEST(Service, FreshServicesAnswerByteIdentically) {
   Service two(ServiceOptions{1, nullptr});
   EXPECT_EQ(one.handle(request).payload.dump(2),
             two.handle(request).payload.dump(2));
+}
+
+TEST(Service, ScheduleTracePathWritesSchedulerSpans) {
+  const std::string path = testing::TempDir() + "/service_sched_trace.json";
+  Service service(ServiceOptions{1, nullptr});
+  const Response traced =
+      service.handle(Request{ScheduleRequest{tiny_schedule(), "", "", path}});
+  ASSERT_TRUE(traced.ok);
+  EXPECT_EQ(traced.payload.at("trace_path").as_string(), path);
+  EXPECT_GT(traced.payload.at("trace_events").as_int(), 0);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  const std::string content((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+  std::remove(path.c_str());
+  const Json doc = Json::parse(content);
+  const auto& events = doc.at("traceEvents").as_array();
+  EXPECT_EQ(static_cast<std::int64_t>(events.size()),
+            traced.payload.at("trace_events").as_int());
+
+  // The trace must carry the scheduler's decision stream: instants for
+  // arrivals/dispatches/completions, X spans for job residencies, and the
+  // event-queue-depth counter series.
+  std::map<std::string, int> by_cat;
+  int counters = 0;
+  for (const Json& ev : events) {
+    if (ev.at("ph").as_string() == "C") {
+      ++counters;
+      EXPECT_EQ(ev.at("name").as_string(), "event_queue_depth");
+    } else {
+      ++by_cat[ev.at("cat").as_string()];
+    }
+  }
+  EXPECT_GT(by_cat["sched/arrival"], 0);
+  EXPECT_GT(by_cat["sched/dispatch"], 0);
+  EXPECT_GT(by_cat["sched/complete"], 0);
+  EXPECT_GT(by_cat["sched/job"], 0);
+  EXPECT_GT(counters, 0);
+
+  // Recording a trace must not change the schedule itself.
+  Service untraced_service(ServiceOptions{1, nullptr});
+  const Response untraced =
+      untraced_service.handle(Request{ScheduleRequest{tiny_schedule(), ""}});
+  Json traced_payload = traced.payload;
+  traced_payload.as_object().erase("trace_path");
+  traced_payload.as_object().erase("trace_events");
+  EXPECT_EQ(normalized_schedule_payload(traced_payload).dump(2),
+            normalized_schedule_payload(untraced.payload).dump(2));
 }
 
 TEST(Service, JobsResolveLikeTheCliFlag) {

@@ -17,6 +17,55 @@ TEST(TraceRecorder, EmptyTraceIsValidJson) {
   EXPECT_TRUE(doc.at("traceEvents").as_array().empty());
 }
 
+TEST(TraceRecorder, EscapesNamesAndCategories) {
+  TraceRecorder t;
+  t.record(0, 0, "say \"hi\"\\\n", "cat\tty", 0.0, 1e-6);
+  t.record(0, 0, std::string("ctl\x01") + "end", "kernel", 1e-6, 1e-6);
+  const Json doc = Json::parse(t.to_json());  // throws if escaping is broken
+  const auto& events = doc.at("traceEvents").as_array();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].at("name").as_string(), "say \"hi\"\\\n");
+  EXPECT_EQ(events[0].at("cat").as_string(), "cat\tty");
+  EXPECT_EQ(events[1].at("name").as_string(), std::string("ctl\x01") + "end");
+}
+
+TEST(TraceRecorder, InstantAndCounterEventsSerialize) {
+  TraceRecorder t;
+  t.instant(1, 2, "arrival j0", "sched/arrival", 0.5);
+  t.counter(0, "event_queue_depth", 1.0, 3.0);
+  const Json doc = Json::parse(t.to_json());
+  const auto& events = doc.at("traceEvents").as_array();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].at("ph").as_string(), "i");
+  EXPECT_EQ(events[0].at("s").as_string(), "g");
+  EXPECT_EQ(events[0].at("pid").as_int(), 1);
+  EXPECT_EQ(events[0].at("tid").as_int(), 2);
+  EXPECT_DOUBLE_EQ(events[0].at("ts").as_number(), 5e5);
+  EXPECT_EQ(events[1].at("ph").as_string(), "C");
+  EXPECT_DOUBLE_EQ(events[1].at("args").at("value").as_number(), 3.0);
+}
+
+TEST(TraceRecorder, ClearEmptiesTheBuffer) {
+  TraceRecorder t;
+  t.record(0, 0, "k", "kernel", 0.0, 1e-6);
+  ASSERT_EQ(t.size(), 1u);
+  t.clear();
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_TRUE(Json::parse(t.to_json()).at("traceEvents").as_array().empty());
+}
+
+TEST(TraceRecorder, ToJsonRoundTripsByteStably) {
+  TraceRecorder t;
+  t.record(0, 1, "j0 vgg16", "sched/job", 1e-3, 5e-4);
+  t.instant(1, 0, "dispatch j0", "sched/dispatch", 1e-3);
+  t.counter(0, "event_queue_depth", 1e-3, 2.0);
+  const std::string once = t.to_json();
+  // The streaming serializer emits exactly what a parse-and-redump produces,
+  // so traces are byte-stable however they travel.
+  EXPECT_EQ(Json::parse(once).dump(), once);
+  EXPECT_EQ(once, t.to_json());
+}
+
 TEST(TraceRecorder, RecordsCompleteEvents) {
   TraceRecorder t;
   t.record(0, 1, "conv1.fwd", "kernel", 1e-3, 5e-4);

@@ -8,13 +8,18 @@
 //   deeppool sweep    --config scenario.json [--param knob --values 1,2,4]
 //                     [--jobs N] [--output metrics.json] [--compact]
 //   deeppool schedule spec.json [--policy NAME] [--seed N] [--jobs N]
-//                     [--calibration table.json]
+//                     [--calibration table.json] [--trace trace.json]
 //                     [--output metrics.json] [--compact]
 //   deeppool calibrate spec.json [--out table.json] [--jobs N]
 //                     [--output report.json] [--compact]
 //   deeppool serve    [--jobs N]
 //   deeppool models
+//   deeppool stats
 //   deeppool --version
+//
+// Plus, on every subcommand: --log-level NAME (or the DEEPPOOL_LOG env
+// var; the flag wins, the effective level is echoed into output JSON) and
+// --metrics-out FILE (Prometheus-style registry dump at process exit).
 //
 // The CLI is a thin adapter over the typed service API in src/api/: argv
 // becomes an api::Request, one api::Service call produces the api::Response,
@@ -27,6 +32,7 @@
 // carries "version" (api::kVersion) plus the effective seed, and --jobs
 // runs echo their worker count; results are byte-identical at any worker
 // count. Results go to stdout (or --output); diagnostics go to stderr.
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <limits>
@@ -44,7 +50,9 @@
 #include "api/service.h"
 #include "api/version.h"
 #include "core/plan.h"
+#include "obs/metrics.h"
 #include "util/json.h"
+#include "util/logging.h"
 
 namespace {
 
@@ -66,13 +74,22 @@ int usage(std::ostream& os, int exit_code) {
         "                    [--compact]\n"
         "  deeppool schedule FILE [--policy NAME] [--seed N] [--jobs N]\n"
         "                    [--calibration TABLE] [--core indexed|reference]\n"
-        "                    [--util-bins N] [--output FILE] [--compact]\n"
+        "                    [--util-bins N] [--trace FILE] [--output FILE]\n"
+        "                    [--compact]\n"
         "  deeppool calibrate FILE [--out TABLE] [--jobs N] [--output FILE]\n"
         "                    [--compact]\n"
         "  deeppool serve    [--jobs N]\n"
         "  deeppool models\n"
+        "  deeppool stats    [--output FILE] [--compact]\n"
         "  deeppool --version\n"
         "\n"
+        "Every command also takes --log-level debug|info|warn|error|off\n"
+        "(default warn; the DEEPPOOL_LOG env var sets the same thing, the\n"
+        "flag wins) and --metrics-out FILE (dump the process metrics\n"
+        "registry as Prometheus text at exit). `schedule --trace FILE`\n"
+        "writes a Perfetto-loadable trace of scheduler decisions; `stats`\n"
+        "prints the registry snapshot ({\"op\": \"stats\"} over serve shows\n"
+        "the same registry live, mid-session).\n"
         "--seed N seeds the schedule workload; every output JSON echoes the\n"
         "effective seed and the deeppool \"version\" for provenance. --jobs N\n"
         "(>= 1) fans calibrate / sweep / schedule work across N pool workers\n"
@@ -99,6 +116,9 @@ struct Args {
   std::string policy;            // schedule: placement policy override
   std::string calibration_path;  // schedule: measured interference table
   std::string core;              // schedule: scheduler core override
+  std::string trace_path;        // schedule: decision trace output
+  std::string metrics_out_path;  // any command: Prometheus dump at exit
+  std::string log_level;         // --log-level NAME (wins over DEEPPOOL_LOG)
   std::optional<int> util_bins;  // schedule: util_timeline_bins override
   std::string table_out_path;    // calibrate: where the table cache goes
   std::string sweep_param;
@@ -198,6 +218,10 @@ Args parse_args(int argc, char** argv) {
     else if (flag == "--calibration")
       args.calibration_path = need_value(i, flag);
     else if (flag == "--core") args.core = need_value(i, flag);
+    else if (flag == "--trace") args.trace_path = need_value(i, flag);
+    else if (flag == "--metrics-out")
+      args.metrics_out_path = need_value(i, flag);
+    else if (flag == "--log-level") args.log_level = need_value(i, flag);
     else if (flag == "--util-bins") {
       const std::int64_t bins = parse_int(need_value(i, flag), flag);
       if (bins < 1 || bins > std::numeric_limits<int>::max()) {
@@ -358,6 +382,7 @@ api::Request build_schedule(const Args& args) {
   if (args.util_bins) req.spec.config.util_timeline_bins = *args.util_bins;
   req.calibration_path = args.calibration_path;
   req.core = args.core;
+  req.trace_path = args.trace_path;
   return api::Request{std::move(req)};
 }
 
@@ -378,6 +403,10 @@ api::Request build_models(const Args&) {
   return api::Request{api::ModelsRequest{}};
 }
 
+api::Request build_stats(const Args&) {
+  return api::Request{api::StatsRequest{}};
+}
+
 using Builder = api::Request (*)(const Args&);
 
 Builder builder_for(const std::string& command) {
@@ -385,6 +414,7 @@ Builder builder_for(const std::string& command) {
       {"plan", build_plan},          {"simulate", build_simulate},
       {"sweep", build_sweep},        {"schedule", build_schedule},
       {"calibrate", build_calibrate}, {"models", build_models},
+      {"stats", build_stats},
   };
   const auto it = kBuilders.find(command);
   return it != kBuilders.end() ? it->second : nullptr;
@@ -405,6 +435,33 @@ void emit(const Args& args, const Json& j) {
 /// Response -> stdout. Payloads print byte-identically to the `serve`
 /// transport; the two text views (plan --table, models) derive from the
 /// payload rather than bypassing the service.
+/// Applies DEEPPOOL_LOG, then --log-level (the flag wins). Returns the
+/// canonical name of the configured level, empty when neither source set
+/// one — so runs that never touch logging keep byte-identical output.
+std::string configure_log_level(const Args& args) {
+  std::string name;
+  if (const char* env = std::getenv("DEEPPOOL_LOG");
+      env != nullptr && *env != '\0') {
+    name = env;
+  }
+  if (!args.log_level.empty()) name = args.log_level;
+  if (name.empty()) return "";
+  const deeppool::LogLevel level = deeppool::parse_log_level(name);
+  deeppool::set_log_level(level);
+  return deeppool::log_level_name(level);
+}
+
+/// --metrics-out: the whole registry as Prometheus text, written once at
+/// process exit (after the command — including a full serve session — has
+/// finished counting).
+void write_metrics(const std::string& path) {
+  if (path.empty()) return;
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  out << deeppool::obs::registry().prometheus();
+  std::cerr << "wrote metrics to " << path << '\n';
+}
+
 int present(const Args& args, const api::Response& response) {
   if (args.command == "plan" && args.table) {
     std::cout << deeppool::core::TrainingPlan::from_json(response.payload)
@@ -453,13 +510,16 @@ int main(int argc, char** argv) {
     }
     const Args args = parse_args(argc, argv);
     check_flags(args, *info);
+    const std::string log_level = configure_log_level(args);
 
     api::ServiceOptions options;
     options.jobs = args.jobs;
     options.diagnostics = &std::cerr;
     api::Service service(options);
     if (command == "serve") {
-      return api::run_serve(std::cin, std::cout, service);
+      const int rc = api::run_serve(std::cin, std::cout, service);
+      write_metrics(args.metrics_out_path);
+      return rc;
     }
     const Builder builder = builder_for(command);
     if (builder == nullptr) {
@@ -468,7 +528,15 @@ int main(int argc, char** argv) {
       throw std::logic_error("command \"" + command +
                              "\" has no request builder");
     }
-    return present(args, service.handle(builder(args)));
+    api::Response response = service.handle(builder(args));
+    // Echoed only when explicitly configured, so default runs stay
+    // byte-identical to earlier releases.
+    if (!log_level.empty()) {
+      response.payload["log_level"] = Json(log_level);
+    }
+    const int rc = present(args, response);
+    write_metrics(args.metrics_out_path);
+    return rc;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;
