@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Perf-regression gate: compare a bench JSON against its committed baseline.
+
+Usage:
+    python3 bench/compare_baseline.py BASELINE CURRENT [--threshold 0.30]
+
+Reads the two machine-readable bench outputs (bench/serve or
+bench/fleet_scale), extracts the wall-clock metrics appropriate for that
+bench, and exits non-zero if any metric regressed by more than the
+threshold (default +30% over baseline).
+
+Only wall-clock metrics that average over many iterations are gated —
+single-shot numbers (the cold first request, p95 tails) are too noisy for
+a CI pass/fail line. Improvements and small wobbles print but pass.
+"""
+
+import argparse
+import json
+import sys
+
+
+def wall_metrics(doc):
+    """Map of metric name -> wall-clock value (lower is better)."""
+    bench = doc.get("bench")
+    if bench == "serve":
+        return {
+            "warm_mean_ms": doc["warm_mean_ms"],
+            "ndjson_seconds": doc["ndjson_seconds"],
+        }
+    if bench == "fleet_scale":
+        return {
+            f"wall_s[{r['num_jobs']}jobs/{r['num_gpus']}gpus]": r["wall_s"]
+            for r in doc["results"]
+        }
+    raise SystemExit(f"unknown bench kind: {bench!r}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=0.30,
+                    help="max allowed fractional regression (default 0.30)")
+    args = ap.parse_args()
+
+    with open(args.baseline) as f:
+        base_doc = json.load(f)
+    with open(args.current) as f:
+        cur_doc = json.load(f)
+
+    if base_doc.get("bench") != cur_doc.get("bench"):
+        raise SystemExit(
+            f"bench kind mismatch: baseline {base_doc.get('bench')!r} "
+            f"vs current {cur_doc.get('bench')!r}")
+
+    base = wall_metrics(base_doc)
+    cur = wall_metrics(cur_doc)
+    missing = sorted(set(base) - set(cur))
+    if missing:
+        raise SystemExit(f"current run is missing metrics: {missing}")
+
+    failures = []
+    for name in sorted(base):
+        b, c = base[name], cur[name]
+        if b <= 0:
+            print(f"  skip {name}: non-positive baseline {b}")
+            continue
+        ratio = c / b
+        verdict = "FAIL" if ratio > 1.0 + args.threshold else "ok"
+        print(f"  {verdict:4} {name}: baseline {b:.6g} -> current {c:.6g} "
+              f"({(ratio - 1.0) * 100.0:+.1f}%)")
+        if verdict == "FAIL":
+            failures.append(name)
+
+    if failures:
+        print(f"perf gate FAILED: {len(failures)} metric(s) regressed "
+              f">{args.threshold * 100:.0f}%: {', '.join(failures)}",
+              file=sys.stderr)
+        return 1
+    print(f"perf gate OK ({base_doc['bench']}): all wall-clock metrics "
+          f"within +{args.threshold * 100:.0f}% of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,86 @@
+#include "api/journal.h"
+
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+namespace deeppool::api {
+
+Journal::Journal(JournalOptions options) : options_(std::move(options)) {
+  if (options_.max_bytes < 1) {
+    throw std::invalid_argument("journal max_bytes must be >= 1, got " +
+                                std::to_string(options_.max_bytes));
+  }
+  // A pre-existing journal is continued, not clobbered: count its bytes
+  // toward the rotation cap so restarts keep the size bound honest.
+  {
+    std::ifstream existing(options_.path,
+                           std::ios::binary | std::ios::ate);
+    if (existing) size_ = static_cast<std::int64_t>(existing.tellg());
+  }
+  open_file(/*truncate=*/false);
+}
+
+void Journal::open_file(bool truncate) {
+  out_.open(options_.path,
+            truncate ? std::ios::out | std::ios::trunc
+                     : std::ios::out | std::ios::app);
+  if (!out_) {
+    throw std::runtime_error("cannot open " + options_.path);
+  }
+}
+
+void Journal::append(const Json& record) {
+  std::string line = record.dump();
+  line += '\n';
+  const auto bytes = static_cast<std::int64_t>(line.size());
+  if (size_ > 0 && size_ + bytes > options_.max_bytes) {
+    // Shift the full file aside and continue fresh; the previous shift
+    // is dropped, bounding the journal at ~2x max_bytes on disk.
+    out_.close();
+    std::rename(options_.path.c_str(), (options_.path + ".1").c_str());
+    open_file(/*truncate=*/true);
+    size_ = 0;
+    ++rotations_;
+  }
+  out_ << line;
+  out_.flush();
+  size_ += bytes;
+}
+
+Json to_json(const JournalRecord& record) {
+  Json j;
+  j["trace_id"] = Json(static_cast<std::int64_t>(record.trace_id));
+  j["op"] = Json(record.op);
+  j["ok"] = Json(record.ok);
+  j["wall_ms"] = Json(record.wall_ms);
+  Json plan_cache;
+  plan_cache["hits"] = Json(record.plan_cache_hits);
+  plan_cache["misses"] = Json(record.plan_cache_misses);
+  j["plan_cache"] = std::move(plan_cache);
+  Json calib;
+  calib["hits"] = Json(record.calib_hits);
+  calib["misses"] = Json(record.calib_misses);
+  j["calib"] = std::move(calib);
+  if (!record.error.empty()) j["error"] = Json(record.error);
+  if (!record.spans.empty()) j["spans"] = spans_to_json(record.spans);
+  return j;
+}
+
+Json spans_to_json(const std::vector<obs::SpanRecord>& spans) {
+  Json::Array out;
+  const double base_s = spans.empty() ? 0.0 : spans.front().start_s;
+  for (const obs::SpanRecord& span : spans) {
+    if (span.dur_s < 0.0) continue;  // never closed: unwound mid-request
+    Json node;
+    node["id"] = Json(static_cast<std::int64_t>(span.id));
+    node["parent"] = Json(static_cast<std::int64_t>(span.parent));
+    node["name"] = Json(span.name);
+    node["start_ms"] = Json((span.start_s - base_s) * 1e3);
+    node["dur_ms"] = Json(span.dur_s * 1e3);
+    out.push_back(std::move(node));
+  }
+  return Json(std::move(out));
+}
+
+}  // namespace deeppool::api

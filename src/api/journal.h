@@ -1,0 +1,104 @@
+// NDJSON audit journal for `deeppool serve` (--journal FILE).
+//
+// The response stream answers the client; the journal answers the
+// operator: one compact record per input line — handled requests and
+// parse failures alike — so a session's outcomes can be audited or
+// replayed without retaining the payload bytes. Each record carries the
+// request's trace id (unique within the session, parse failures
+// included), op, outcome, wall time, and what the warm caches did for it
+// (plan-cache and calibration hit/miss deltas across the request). A
+// request slower than the --slow-ms threshold additionally carries its
+// full span tree — the request-scoped trace obs::TraceContext collected —
+// so the slow tail explains itself without tracing every request.
+//
+// Rotation is size-based: when appending a record would push the file
+// past max_bytes, the current file is renamed to "<path>.1" (replacing
+// any previous rotation) and a fresh file continues — a long-lived daemon
+// holds at most ~2x max_bytes of journal on disk. A record is never
+// split across the rotation boundary.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "obs/context.h"
+#include "util/json.h"
+
+namespace deeppool::api {
+
+struct JournalOptions {
+  std::string path;  ///< empty = journalling disabled (serve skips it)
+  /// Rotation cap. The active file stays at or under this once it holds
+  /// at least one record; a single record larger than the cap still
+  /// lands whole (in a freshly rotated file).
+  std::int64_t max_bytes = 64 * 1024 * 1024;
+  /// Span-dump threshold in milliseconds: a handled request with
+  /// wall_ms >= slow_ms journals its span tree. Negative = never.
+  double slow_ms = -1.0;
+};
+
+/// The per-line rotating NDJSON writer. Not thread-safe — serve handles
+/// one request at a time and appends from that same loop.
+class Journal {
+ public:
+  /// Opens options.path for appending (a pre-existing file's size counts
+  /// toward the rotation cap). Throws std::runtime_error ("cannot open
+  /// ...") when the file cannot be opened, std::invalid_argument on a
+  /// non-positive max_bytes.
+  explicit Journal(JournalOptions options);
+
+  /// Appends one record as a compact JSON line, rotating first if the
+  /// line would push the file past max_bytes. Flushed per line, so a
+  /// crashed daemon's journal is complete up to its last answer.
+  void append(const Json& record);
+
+  /// True when a handled request at `wall_ms` should journal its spans.
+  bool slow(double wall_ms) const noexcept {
+    return options_.slow_ms >= 0.0 && wall_ms >= options_.slow_ms;
+  }
+
+  const JournalOptions& options() const noexcept { return options_; }
+  std::int64_t rotations() const noexcept { return rotations_; }
+
+ private:
+  void open_file(bool truncate);
+
+  JournalOptions options_;
+  std::ofstream out_;
+  std::int64_t size_ = 0;  ///< bytes in the active file
+  std::int64_t rotations_ = 0;
+};
+
+/// One request's journal record. `spans`, when non-empty, renders through
+/// spans_to_json. Cache deltas are per-request differences of the
+/// registry counters plan_cache/{hits,misses} and
+/// sched/calib_{hits,misses}, clamped at zero (a {"op": "stats", "reset":
+/// true} request zeroes those counters mid-measurement).
+struct JournalRecord {
+  std::uint64_t trace_id = 0;
+  std::string op;  ///< empty when the line never parsed to a request
+  bool ok = false;
+  std::string error;  ///< non-empty exactly when !ok
+  double wall_ms = 0.0;
+  std::int64_t plan_cache_hits = 0;
+  std::int64_t plan_cache_misses = 0;
+  std::int64_t calib_hits = 0;
+  std::int64_t calib_misses = 0;
+  std::vector<obs::SpanRecord> spans;  ///< attached for slow requests only
+};
+
+/// {"calib": {"hits", "misses"}, "ok", "op", "plan_cache": {"hits",
+/// "misses"}, "trace_id", "wall_ms"} plus "error" (failures) and "spans"
+/// (slow requests).
+Json to_json(const JournalRecord& record);
+
+/// A span tree as JSON: one {"dur_ms", "id", "name", "parent",
+/// "start_ms"} object per closed span, in open order. "id"/"parent" are
+/// the collector ids (parent -1 at the root); "start_ms" is relative to
+/// the first span's start. Never-closed spans (a handler that threw
+/// mid-request) are dropped, so a partial tree renders cleanly.
+Json spans_to_json(const std::vector<obs::SpanRecord>& spans);
+
+}  // namespace deeppool::api

@@ -41,13 +41,20 @@ const std::vector<CommandInfo>& command_registry() {
        {"--log-level", "--metrics-out"}},
       {"stats",
        "snapshot the process observability registry (counters, gauges, "
-       "histograms)",
+       "histograms); --reset zeroes it in place after the snapshot",
        SpecArg::kNone,
-       {"--output", "--compact", "--log-level", "--metrics-out"}},
+       {"--reset", "--output", "--compact", "--log-level", "--metrics-out"}},
+      {"profile",
+       "hierarchical span aggregates per request op (call count, total vs "
+       "self time per span path)",
+       SpecArg::kNone,
+       {"--no-times", "--reset", "--output", "--compact", "--log-level",
+        "--metrics-out"}},
       {"serve",
        "NDJSON request-per-line daemon over a resident Service",
        SpecArg::kNone,
-       {"--jobs", "--log-level", "--metrics-out"},
+       {"--jobs", "--journal", "--journal-max-bytes", "--slow-ms",
+        "--log-level", "--metrics-out"},
        /*is_op=*/false},
   };
   return kCommands;

@@ -64,7 +64,16 @@ Request parse_calibrate(const Json& j) {
 
 Request parse_models(const Json&) { return Request{ModelsRequest{}}; }
 
-Request parse_stats(const Json&) { return Request{StatsRequest{}}; }
+Request parse_stats(const Json& j) {
+  return Request{StatsRequest{bool_or(j, "reset", false)}};
+}
+
+Request parse_profile(const Json& j) {
+  ProfileRequest req;
+  req.include_times = bool_or(j, "times", true);
+  req.reset = bool_or(j, "reset", false);
+  return Request{req};
+}
 
 using Parser = Request (*)(const Json&);
 
@@ -76,6 +85,7 @@ Parser parser_for(const std::string& op) {
   if (op == CalibrateRequest::kOp) return parse_calibrate;
   if (op == ModelsRequest::kOp) return parse_models;
   if (op == StatsRequest::kOp) return parse_stats;
+  if (op == ProfileRequest::kOp) return parse_profile;
   return nullptr;
 }
 
@@ -146,8 +156,15 @@ Json to_json(const Request& request) {
         } else if constexpr (std::is_same_v<T, CalibrateRequest>) {
           j["spec"] = calib::to_json(body.spec);
           j["seed"] = Json(static_cast<std::int64_t>(body.seed));
+        } else if constexpr (std::is_same_v<T, StatsRequest>) {
+          // Defaults are omitted so canonical requests round-trip
+          // byte-for-byte.
+          if (body.reset) j["reset"] = Json(true);
+        } else if constexpr (std::is_same_v<T, ProfileRequest>) {
+          if (!body.include_times) j["times"] = Json(false);
+          if (body.reset) j["reset"] = Json(true);
         }
-        // ModelsRequest and StatsRequest carry nothing beyond their op.
+        // ModelsRequest carries nothing beyond its op.
       },
       request.body);
   return j;

@@ -63,12 +63,28 @@ struct ScheduleRequest {
   std::string trace_path;
 };
 
-/// {"op": "stats"} — the full observability-registry snapshot (counters,
-/// gauges, histograms; see obs::Registry::snapshot) plus the service's own
-/// request tallies. Read-only: answering it changes no schedule state,
-/// though the serve transport's per-request accounting still ticks.
+/// {"op": "stats"[, "reset": true]} — the full observability-registry
+/// snapshot (counters, gauges, histograms; see obs::Registry::snapshot)
+/// plus the service's own request tallies. With "reset": true the snapshot
+/// is taken first, then every registry value is zeroed in place (handles
+/// stay valid) — so CI smokes and tests can measure a single request
+/// without a process restart. Without reset it is read-only, though the
+/// serve transport's per-request accounting still ticks.
 struct StatsRequest {
   static constexpr const char* kOp = "stats";
+  bool reset = false;
+};
+
+/// {"op": "profile"[, "times": false][, "reset": true]} — hierarchical
+/// span aggregates per root op (obs::ProfileStore::snapshot): call count
+/// plus total vs self time per span path. "times": false omits the
+/// wall-clock fields, leaving output that is byte-identical at any --jobs
+/// count and across runs; "reset": true returns the snapshot then drops
+/// the aggregates.
+struct ProfileRequest {
+  static constexpr const char* kOp = "profile";
+  bool include_times = true;
+  bool reset = false;
 };
 
 /// {"op": "calibrate", "seed": N, "spec": {...calibration...}}. seed is
@@ -88,7 +104,7 @@ struct ModelsRequest {
 /// One service request; exactly one alternative per registry op.
 struct Request {
   std::variant<PlanRequest, SimulateRequest, SweepRequest, ScheduleRequest,
-               CalibrateRequest, ModelsRequest, StatsRequest>
+               CalibrateRequest, ModelsRequest, StatsRequest, ProfileRequest>
       body;
 
   /// The registry op name of the held alternative.

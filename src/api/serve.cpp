@@ -1,32 +1,106 @@
 #include "api/serve.h"
 
+#include <algorithm>
+#include <chrono>
 #include <exception>
+#include <optional>
 #include <string>
 
 #include "api/request.h"
 #include "api/response.h"
+#include "obs/metrics.h"
 
 namespace deeppool::api {
 
-int run_serve(std::istream& in, std::ostream& out, Service& service) {
+namespace {
+
+/// The registry counters whose per-request movement the journal records.
+struct CacheCounters {
+  std::int64_t plan_hits;
+  std::int64_t plan_misses;
+  std::int64_t calib_hits;
+  std::int64_t calib_misses;
+
+  static CacheCounters read() {
+    obs::Registry& reg = obs::registry();
+    return CacheCounters{reg.counter("plan_cache/hits").value(),
+                         reg.counter("plan_cache/misses").value(),
+                         reg.counter("sched/calib_hits").value(),
+                         reg.counter("sched/calib_misses").value()};
+  }
+};
+
+// Clamped at zero: a {"op": "stats", "reset": true} request zeroes the
+// counters between the two reads, and a negative "delta" would read as
+// cache behaviour rather than the reset it is.
+std::int64_t delta(std::int64_t after, std::int64_t before) {
+  return std::max<std::int64_t>(0, after - before);
+}
+
+}  // namespace
+
+int run_serve(std::istream& in, std::ostream& out, Service& service,
+              const ServeOptions& options) {
+  std::optional<Journal> journal;
+  if (!options.journal.path.empty()) journal.emplace(options.journal);
   std::string line;
   while (std::getline(in, line)) {
     if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    const auto start = std::chrono::steady_clock::now();
+    const CacheCounters before =
+        journal ? CacheCounters::read() : CacheCounters{};
+    // Whether handle() ran decides where the journal's trace id comes
+    // from; handle() bumps the request tally first thing, even when it
+    // throws, so the tally moving is the reliable signal.
+    const std::int64_t requests_before = service.stats().requests;
     Response response;
     std::string op;
+    JournalRecord record;
     try {
       const Request request = request_from_json(Json::parse(line));
       op = request.op();
       response = service.handle(request);
+      record.ok = true;
     } catch (const std::exception& e) {
       // Malformed input or a failing handler answers in-band; the next
       // line is served regardless.
       response = service.error_response(e.what(), op);
+      record.error = e.what();
     }
     out << to_json(response).dump() << '\n';
     out.flush();
+    if (journal) {
+      const bool handled = service.stats().requests != requests_before;
+      const RequestTrace& trace = service.last_request_trace();
+      record.op = op;
+      // Handled lines reuse the trace's wall clock (what --slow-ms is
+      // thresholded against); a line that never reached handle() gets a
+      // fresh id from the same sequence and the transport's own clock.
+      record.trace_id =
+          handled ? trace.trace_id : service.allocate_trace_id();
+      record.wall_ms =
+          handled ? trace.wall_s * 1e3
+                  : std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - start)
+                            .count() *
+                        1e3;
+      const CacheCounters after = CacheCounters::read();
+      record.plan_cache_hits = delta(after.plan_hits, before.plan_hits);
+      record.plan_cache_misses =
+          delta(after.plan_misses, before.plan_misses);
+      record.calib_hits = delta(after.calib_hits, before.calib_hits);
+      record.calib_misses = delta(after.calib_misses, before.calib_misses);
+      if (handled && journal->slow(record.wall_ms)) {
+        record.spans = obs::closed_spans(trace.spans);
+      }
+      journal->append(to_json(record));
+    }
   }
   return 0;
+}
+
+int run_serve(std::istream& in, std::ostream& out, Service& service) {
+  return run_serve(in, out, service, ServeOptions{});
 }
 
 }  // namespace deeppool::api

@@ -7,18 +7,34 @@
 // load once. A line that fails to parse or to handle produces a
 // structured {"ok": false, "error": ...} response on the same stream —
 // it never kills the process. EOF ends the loop.
+//
+// With ServeOptions::journal.path set (--journal FILE) the loop also
+// appends one audit record per input line to a rotating NDJSON journal
+// (api/journal.h): trace id, op, outcome, wall time, cache-hit deltas,
+// and — for requests slower than --slow-ms — the full span tree.
 #pragma once
 
 #include <istream>
 #include <ostream>
 
+#include "api/journal.h"
 #include "api/service.h"
 
 namespace deeppool::api {
 
+struct ServeOptions {
+  /// journal.path empty = no journal (the default); see JournalOptions
+  /// for the rotation cap and slow-request threshold.
+  JournalOptions journal;
+};
+
 /// Drains `in`; returns the process exit code (0 — a stream that saw only
 /// malformed requests still shut down cleanly). Blank lines are skipped.
 /// Output is flushed per line so a piped client can interleave.
+int run_serve(std::istream& in, std::ostream& out, Service& service,
+              const ServeOptions& options);
+
+/// Journal-less session (the common embedded/test entry point).
 int run_serve(std::istream& in, std::ostream& out, Service& service);
 
 }  // namespace deeppool::api

@@ -11,6 +11,8 @@
 #include "api/version.h"
 #include "models/zoo.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/span.h"
 #include "util/trace.h"
 
 namespace deeppool::api {
@@ -168,9 +170,30 @@ struct ServiceHandlers {
     return payload;
   }
 
-  static Json stats_snapshot(Service&, const Request&) {
+  static Json stats_snapshot(Service&, const Request& request) {
+    const StatsRequest& req = std::get<StatsRequest>(request.body);
     Json payload;
     payload["metrics"] = obs::registry().snapshot();
+    if (req.reset) {
+      // Snapshot first, then zero in place: handles held by DP_SPAN /
+      // handler statics stay valid, only the values restart from zero.
+      obs::registry().reset();
+      payload["reset"] = Json(true);
+    }
+    return payload;
+  }
+
+  static Json profile(Service&, const Request& request) {
+    const ProfileRequest& req = std::get<ProfileRequest>(request.body);
+    Json payload;
+    // The snapshot is taken while this request's own root span is still
+    // open, so a profile request never reports itself — two sessions that
+    // ran the same op sequence answer byte-identically.
+    payload["profile"] = obs::profile_store().snapshot(req.include_times);
+    if (req.reset) {
+      obs::profile_store().reset();
+      payload["reset"] = Json(true);
+    }
     return payload;
   }
 };
@@ -187,6 +210,7 @@ Handler handler_for(const std::string& op) {
   if (op == CalibrateRequest::kOp) return ServiceHandlers::calibrate;
   if (op == ModelsRequest::kOp) return ServiceHandlers::models;
   if (op == StatsRequest::kOp) return ServiceHandlers::stats_snapshot;
+  if (op == ProfileRequest::kOp) return ServiceHandlers::profile;
   return nullptr;
 }
 
@@ -235,10 +259,43 @@ Response Service::handle(const Request& request) {
     ~InFlightGuard() { gauge.add(-1.0); }
   } guard{in_flight};
   const auto start = std::chrono::steady_clock::now();
+  // Request-scoped tracing: a fresh collector per request, installed as
+  // the thread-local context so every DP_SPAN below — including spans on
+  // ThreadPool workers, which inherit the context captured at enqueue —
+  // lands in this request's tree under the root op span. The guard
+  // publishes the tree to last_trace_ and the profile store on every exit
+  // path; a thrown handler leaves a partial tree (whatever closed during
+  // unwinding), which is exactly what the journal should show for it.
+  obs::SpanCollector collector;
+  last_trace_.trace_id = ++trace_counter_;
+  last_trace_.op = op;
+  last_trace_.wall_s = 0.0;
+  last_trace_.spans.clear();
+  struct TraceGuard {
+    Service& service;
+    obs::SpanCollector& collector;
+    std::chrono::steady_clock::time_point start;
+    ~TraceGuard() {
+      service.last_trace_.wall_s =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      service.last_trace_.spans = collector.records();
+      obs::profile_store().record(service.last_trace_.op,
+                                  service.last_trace_.spans);
+    }
+  } trace_guard{*this, collector, start};
   Response response;
   response.ok = true;
   response.op = op;
-  response.payload = handler(*this, request);
+  {
+    const obs::ContextScope scope(
+        obs::TraceContext{last_trace_.trace_id, &collector, -1});
+    // The registry record is immortal, so its name pointer outlives the
+    // span (Span stores the pointer, not a copy).
+    const obs::Span root(info->name.c_str());
+    response.payload = handler(*this, request);
+  }
   response.payload["version"] = Json(version());
   response.service = stats();
   obs::registry()

@@ -27,14 +27,28 @@
 #include <optional>
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "api/request.h"
 #include "api/response.h"
 #include "calib/interference.h"
 #include "core/plan_cache.h"
+#include "obs/context.h"
 #include "util/parallel.h"
 
 namespace deeppool::api {
+
+/// What request-scoped tracing captured for the most recent handle() call:
+/// the context's trace id, the echoed op, handler wall time, and the full
+/// span tree (parented via obs::TraceContext, including spans that ran on
+/// ThreadPool workers). The serve transport journals this; a request that
+/// threw keeps whatever spans had closed by the time it unwound.
+struct RequestTrace {
+  std::uint64_t trace_id = 0;
+  std::string op;
+  double wall_s = 0.0;
+  std::vector<obs::SpanRecord> spans;
+};
 
 struct ServiceOptions {
   /// Worker count for the shared pool: resolved through
@@ -62,6 +76,16 @@ class Service {
   Response error_response(std::string message, std::string op = "");
 
   ServiceStats stats() const;
+  /// Tracing of the most recent handle() call (valid after the first one;
+  /// updated even when the handler throws). One request at a time, so the
+  /// reference stays stable until the next handle().
+  const RequestTrace& last_request_trace() const noexcept {
+    return last_trace_;
+  }
+  /// Burns one id from the same sequence handle() draws from — the serve
+  /// transport stamps journal records for lines that never became a
+  /// Request (parse failures) with these, keeping ids unique per session.
+  std::uint64_t allocate_trace_id() noexcept { return ++trace_counter_; }
   /// The effective worker count. An explicit ServiceOptions::jobs is
   /// validated at construction; the DEEPPOOL_JOBS / hardware-concurrency
   /// fallback is resolved on first use only, so commands that never touch
@@ -91,6 +115,8 @@ class Service {
   std::map<std::string, calib::InterferenceTable> calibrations_;
   std::int64_t requests_ = 0;
   std::int64_t errors_ = 0;
+  std::uint64_t trace_counter_ = 0;  ///< last assigned trace id
+  RequestTrace last_trace_;
 };
 
 /// Reads and parses one JSON file; throws std::runtime_error ("cannot

@@ -1,0 +1,67 @@
+#include "obs/context.h"
+
+namespace deeppool::obs {
+
+namespace {
+
+thread_local TraceContext t_context;
+
+}  // namespace
+
+SpanCollector::SpanCollector() : epoch_(std::chrono::steady_clock::now()) {}
+
+std::int32_t SpanCollector::open(const char* name,
+                                 std::int32_t parent,
+                                 std::chrono::steady_clock::time_point start) {
+  const double start_s = std::chrono::duration<double>(start - epoch_).count();
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::int32_t id = static_cast<std::int32_t>(records_.size());
+  SpanRecord record;
+  record.id = id;
+  record.parent = parent;
+  record.name = name;
+  record.start_s = start_s;
+  records_.push_back(std::move(record));
+  return id;
+}
+
+void SpanCollector::close(std::int32_t id,
+                          std::chrono::steady_clock::time_point end) {
+  const double end_s = std::chrono::duration<double>(end - epoch_).count();
+  std::lock_guard<std::mutex> lock(mu_);
+  // A stray close (span outliving the scope that installed its sink) must
+  // not write out of bounds; the record simply stays open.
+  if (id < 0 || static_cast<std::size_t>(id) >= records_.size()) return;
+  SpanRecord& record = records_[static_cast<std::size_t>(id)];
+  record.dur_s = end_s - record.start_s;
+}
+
+std::vector<SpanRecord> SpanCollector::records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+std::size_t SpanCollector::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
+TraceContext& current_context() noexcept { return t_context; }
+
+ContextScope::ContextScope(const TraceContext& ctx) noexcept
+    : saved_(t_context) {
+  t_context = ctx;
+}
+
+ContextScope::~ContextScope() { t_context = saved_; }
+
+std::vector<SpanRecord> closed_spans(const std::vector<SpanRecord>& spans) {
+  std::vector<SpanRecord> out;
+  out.reserve(spans.size());
+  for (const SpanRecord& span : spans) {
+    if (span.dur_s >= 0.0) out.push_back(span);
+  }
+  return out;
+}
+
+}  // namespace deeppool::obs

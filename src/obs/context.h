@@ -1,0 +1,106 @@
+// Request-scoped trace contexts: who a span belongs to, and where it goes.
+//
+// The process-wide registry (obs/metrics.h) answers "what is this process
+// doing"; it cannot answer "what did *this request* cost" once many
+// requests share one api::Service. A TraceContext is the missing
+// attribution: a request id plus a per-request span sink, carried in a
+// thread-local and re-installed around every util::ThreadPool batch index
+// (captured at enqueue, restored in the worker), so DP_SPAN scopes opened
+// on pool workers parent correctly into the enqueuing request's span tree
+// instead of a flat global stream.
+//
+// Contracts that keep request trees deterministic:
+//   * Parenting is by *enqueue point*, not by executing thread: every
+//     parallel_for index roots at the span that was open when the batch
+//     was submitted, so the tree's shape is identical at any --jobs count.
+//   * SpanRecord ids are open-order (and therefore scheduling-dependent
+//     under parallelism); consumers that need byte-stable output aggregate
+//     by path (obs::ProfileStore), never by id.
+//   * A thread with no installed context pays two thread-local reads per
+//     span and allocates nothing — the 100k-job fleet replay runs exactly
+//     as before.
+//
+// This header deliberately includes nothing from util/ so that
+// util/parallel.h can include it without a cycle.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace deeppool::obs {
+
+/// One finished (or still-open) span in a request's tree. `id` is the
+/// span's index in the collector's record vector; `parent` is another id
+/// or -1 for a root.
+struct SpanRecord {
+  std::int32_t id = 0;
+  std::int32_t parent = -1;
+  std::string name;
+  double start_s = 0.0;  ///< relative to the collector's epoch
+  double dur_s = -1.0;   ///< -1 while the span is still open
+};
+
+/// Accumulates one request's spans. Thread-safe: spans open and close on
+/// whatever pool worker runs the enclosing scope. Ids are assigned in open
+/// order under the lock, and id == index into records().
+class SpanCollector {
+ public:
+  SpanCollector();
+
+  /// Registers a span opening under `parent` (-1 = root); returns its id.
+  std::int32_t open(const char* name,
+                    std::int32_t parent,
+                    std::chrono::steady_clock::time_point start);
+  /// Fills the span's duration. Ids are never reused.
+  void close(std::int32_t id, std::chrono::steady_clock::time_point end);
+
+  /// Snapshot of every span recorded so far (open ones keep dur_s = -1).
+  std::vector<SpanRecord> records() const;
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<SpanRecord> records_;
+};
+
+/// The ambient attribution for spans on one thread: which request this
+/// work belongs to (trace_id), where its spans go (sink; nullptr = no
+/// per-request collection), and the innermost open span (parent). Plain
+/// trivially-copyable value — capturing a context is one struct copy.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  SpanCollector* sink = nullptr;
+  std::int32_t parent = -1;
+
+  bool active() const noexcept { return sink != nullptr; }
+};
+
+/// This thread's current context (mutable: Span scopes update `parent` in
+/// place). Default-constructed — inactive — until a ContextScope installs
+/// one.
+TraceContext& current_context() noexcept;
+
+/// RAII install/restore of the thread-local context. The ThreadPool wraps
+/// every batch it runs in one of these (built from the context captured at
+/// parallel_for), and api::Service wraps every request handler.
+class ContextScope {
+ public:
+  explicit ContextScope(const TraceContext& ctx) noexcept;
+  ~ContextScope();
+  ContextScope(const ContextScope&) = delete;
+  ContextScope& operator=(const ContextScope&) = delete;
+
+ private:
+  TraceContext saved_;
+};
+
+/// The subset of `spans` that finished (dur_s >= 0), id order preserved.
+/// A request that threw mid-phase leaves its enclosing spans open; journal
+/// dumps and profile aggregation both want only the completed ones.
+std::vector<SpanRecord> closed_spans(const std::vector<SpanRecord>& spans);
+
+}  // namespace deeppool::obs

@@ -180,21 +180,36 @@ std::string Registry::prometheus() const {
   std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [name, entry] : entries_) {
     const std::string pname = sanitized(name);
+    // HELP carries the registry's own name: sanitization is lossy
+    // ('/' -> '_'), so the original spelling only survives here.
     switch (entry.kind) {
       case Kind::kCounter:
-        os << "# TYPE " << pname << " counter\n"
+        os << "# HELP " << pname << " deeppool counter \"" << name
+           << "\"\n"
+           << "# TYPE " << pname << " counter\n"
            << pname << " " << entry.counter->value() << "\n";
         break;
       case Kind::kGauge:
-        os << "# TYPE " << pname << " gauge\n" << pname << " ";
+        // The high-water mark is its own metric family (different name),
+        // so it carries its own HELP/TYPE pair per the exposition format.
+        os << "# HELP " << pname << " deeppool gauge \"" << name
+           << "\" (last value)\n"
+           << "# TYPE " << pname << " gauge\n"
+           << pname << " ";
         append_number(os, entry.gauge->value());
-        os << "\n" << pname << "_max ";
+        os << "\n"
+           << "# HELP " << pname << "_max high-water mark of deeppool "
+           << "gauge \"" << name << "\"\n"
+           << "# TYPE " << pname << "_max gauge\n"
+           << pname << "_max ";
         append_number(os, entry.gauge->max());
         os << "\n";
         break;
       case Kind::kHistogram: {
         const Histogram& h = *entry.histogram;
-        os << "# TYPE " << pname << " histogram\n";
+        os << "# HELP " << pname << " deeppool histogram \"" << name
+           << "\"\n"
+           << "# TYPE " << pname << " histogram\n";
         const std::vector<std::int64_t> cum = h.cumulative();
         const std::vector<double>& bounds = h.bounds();
         for (std::size_t i = 0; i < bounds.size(); ++i) {

@@ -119,8 +119,12 @@ class Registry {
   /// counts, overflow last), "count", "le" (bounds), "sum"}.
   Json snapshot() const;
 
-  /// Prometheus-style text exposition (one "# TYPE" line per metric,
-  /// names sanitized to [a-zA-Z0-9_:] and prefixed "deeppool_").
+  /// Prometheus text exposition: one "# HELP"/"# TYPE" pair per metric
+  /// family (the gauge high-water "_max" series is its own family),
+  /// histogram buckets cumulative with an explicit +Inf bucket, names
+  /// sanitized to [a-zA-Z0-9_:] and prefixed "deeppool_". The HELP line
+  /// quotes the registry-side name, whose '/' separators the
+  /// sanitization flattens.
   std::string prometheus() const;
 
   /// Zeroes every value in place. Registrations — and every handle ever

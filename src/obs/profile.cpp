@@ -1,0 +1,71 @@
+#include "obs/profile.h"
+
+#include <utility>
+
+namespace deeppool::obs {
+
+void ProfileStore::record(const std::string& root_op,
+                          const std::vector<SpanRecord>& spans) {
+  // Paths and child-time sums are computed outside the lock; ids index the
+  // record vector directly (collector contract), so parent chains resolve
+  // in O(depth) without a map.
+  std::vector<std::string> paths(spans.size());
+  std::vector<double> child_s(spans.size(), 0.0);
+  for (const SpanRecord& span : spans) {
+    const std::size_t i = static_cast<std::size_t>(span.id);
+    paths[i] = span.parent < 0
+                   ? span.name
+                   : paths[static_cast<std::size_t>(span.parent)] + ";" +
+                         span.name;
+    if (span.parent >= 0 && span.dur_s >= 0.0) {
+      child_s[static_cast<std::size_t>(span.parent)] += span.dur_s;
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  OpAgg& op = ops_[root_op];
+  ++op.requests;
+  for (const SpanRecord& span : spans) {
+    if (span.dur_s < 0.0) continue;  // never closed: the request threw
+    const std::size_t i = static_cast<std::size_t>(span.id);
+    PathAgg& agg = op.paths[paths[i]];
+    ++agg.count;
+    agg.total_s += span.dur_s;
+    agg.self_s += span.dur_s - child_s[i];
+  }
+}
+
+Json ProfileStore::snapshot(bool include_times) const {
+  Json::Object ops;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, op] : ops_) {
+    Json::Object paths;
+    for (const auto& [path, agg] : op.paths) {
+      Json row;
+      row["count"] = Json(agg.count);
+      if (include_times) {
+        row["self_s"] = Json(agg.self_s);
+        row["total_s"] = Json(agg.total_s);
+      }
+      paths[path] = std::move(row);
+    }
+    Json entry;
+    entry["requests"] = Json(op.requests);
+    entry["spans"] = Json(std::move(paths));
+    ops[name] = std::move(entry);
+  }
+  return Json(std::move(ops));
+}
+
+void ProfileStore::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ops_.clear();
+}
+
+ProfileStore& profile_store() {
+  // Leaked on purpose, like obs::registry(): Services record into it up to
+  // static destruction.
+  static ProfileStore* const kStore = new ProfileStore();
+  return *kStore;
+}
+
+}  // namespace deeppool::obs

@@ -1,0 +1,65 @@
+// Hierarchical span-profile aggregates: where each request op spends time.
+//
+// Every request handled by api::Service collects its spans into a
+// SpanCollector (obs/context.h); the ProfileStore folds those per-request
+// trees into cumulative aggregates keyed by *span path* — the root-to-span
+// chain of names joined with ";" (flamegraph convention; span names
+// themselves contain '/'). Per path it keeps the call count, total time
+// (sum of the span's durations) and self time (total minus time spent in
+// child spans), per root op the number of requests folded in.
+//
+// Byte-stability contract: span ids are open-order and therefore
+// scheduling-dependent, but paths are not — a span's path is fixed by its
+// enqueue point (see obs/context.h), so the set of paths and their counts
+// are identical at any --jobs value, and snapshot() serializes through
+// util::Json's sorted-key objects. With include_times = false the whole
+// snapshot is byte-identical run over run, which is what the `profile`
+// op's determinism tests and CI smokes pin.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/context.h"
+#include "util/json.h"
+
+namespace deeppool::obs {
+
+class ProfileStore {
+ public:
+  /// Folds one request's span records into the aggregates under `root_op`.
+  /// Open spans (dur_s < 0 — the request threw mid-phase) are skipped,
+  /// along with their descendants' self-time attribution to them.
+  void record(const std::string& root_op, const std::vector<SpanRecord>& spans);
+
+  /// {"<op>": {"requests": N, "spans": {"<path>": {"count": C
+  /// [, "self_s": S, "total_s": T]}}}} with sorted keys throughout. Time
+  /// fields are omitted when include_times is false (the byte-identical
+  /// view; wall-clock is never deterministic across runs).
+  Json snapshot(bool include_times) const;
+
+  /// Drops every aggregate in place (the `profile` op's "reset": true).
+  void reset();
+
+ private:
+  struct PathAgg {
+    std::int64_t count = 0;
+    double total_s = 0.0;
+    double self_s = 0.0;
+  };
+  struct OpAgg {
+    std::int64_t requests = 0;
+    std::map<std::string, PathAgg> paths;
+  };
+  mutable std::mutex mu_;
+  std::map<std::string, OpAgg> ops_;
+};
+
+/// The process-wide store every Service records into — same leaky-singleton
+/// lifetime contract as obs::registry().
+ProfileStore& profile_store();
+
+}  // namespace deeppool::obs

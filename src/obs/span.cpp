@@ -1,42 +1,33 @@
 #include "obs/span.h"
 
-#include <mutex>
-
+#include "obs/context.h"
 #include "obs/metrics.h"
-#include "util/trace.h"
 
 namespace deeppool::obs {
 
-namespace {
-
-std::mutex g_trace_mu;
-TraceRecorder* g_trace = nullptr;
-
-/// Span trace timestamps are relative to the first call — trace viewers
-/// only care about relative placement, and small numbers keep the JSON
-/// compact.
-std::chrono::steady_clock::time_point process_epoch() {
-  static const std::chrono::steady_clock::time_point kEpoch =
-      std::chrono::steady_clock::now();
-  return kEpoch;
-}
-
-}  // namespace
-
-void set_span_trace(TraceRecorder* trace) {
-  std::lock_guard<std::mutex> lock(g_trace_mu);
-  g_trace = trace;
+Span::Span(const char* name)
+    : name_(name), start_(std::chrono::steady_clock::now()) {
+  TraceContext& ctx = current_context();
+  if (ctx.active()) {
+    id_ = ctx.sink->open(name, ctx.parent, start_);
+    parent_ = ctx.parent;
+    ctx.parent = id_;
+  }
 }
 
 Span::~Span() {
   const auto end = std::chrono::steady_clock::now();
   const double dur_s = std::chrono::duration<double>(end - start_).count();
   registry().histogram(std::string("span_s/") + name_).observe(dur_s);
-  std::lock_guard<std::mutex> lock(g_trace_mu);
-  if (g_trace != nullptr) {
-    const double ts_s =
-        std::chrono::duration<double>(start_ - process_epoch()).count();
-    g_trace->record(0, 0, name_, "span", ts_s, dur_s);
+  if (id_ >= 0) {
+    TraceContext& ctx = current_context();
+    // The context can only have changed if someone nested a ContextScope
+    // inside this span's scope; the guard keeps a stray close from
+    // corrupting an unrelated request's tree.
+    if (ctx.active()) {
+      ctx.sink->close(id_, end);
+      ctx.parent = parent_;
+    }
   }
 }
 

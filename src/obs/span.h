@@ -2,9 +2,16 @@
 // and feeds the duration two places —
 //   * the registry histogram "span_s/<name>" (always; one mutex-guarded
 //     observe per scope exit, cheap at phase granularity), and
-//   * the process span trace, if one is installed via set_span_trace(),
-//     as a ph:"X" trace event on pid 0 with timestamps relative to the
-//     first span of the process.
+//   * the current thread's TraceContext sink (obs/context.h), if one is
+//     installed, as a node in that request's span tree: the span opens
+//     under the context's innermost open span and becomes the parent of
+//     any span opened inside its scope — including scopes that run on
+//     util::ThreadPool workers, which re-install the enqueuer's context.
+//
+// PR 7's single process-global TraceRecorder sink (set_span_trace) is gone:
+// with many requests interleaving on one Service a flat global stream
+// cannot attribute anything, so spans now flow to per-request sinks and
+// the api layer aggregates them (obs/profile.h) or journals them.
 //
 // Spans are for phase- and request-granularity timing (a calibration
 // sweep, a serve request, a plan-cache miss resolve) — never per-simulated-
@@ -12,24 +19,14 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 #include <string>
-
-namespace deeppool {
-class TraceRecorder;
-}  // namespace deeppool
 
 namespace deeppool::obs {
 
-/// Installs (or clears, with nullptr) the recorder that finished spans are
-/// appended to. The recorder must outlive every span that completes while
-/// it is installed. Thread-safe; spans on other threads observe the change
-/// at their next scope exit.
-void set_span_trace(TraceRecorder* trace);
-
 class Span {
  public:
-  explicit Span(const char* name)
-      : name_(name), start_(std::chrono::steady_clock::now()) {}
+  explicit Span(const char* name);
   ~Span();
 
   Span(const Span&) = delete;
@@ -38,6 +35,8 @@ class Span {
  private:
   const char* name_;
   std::chrono::steady_clock::time_point start_;
+  std::int32_t id_ = -1;      ///< collector id; -1 = no active context
+  std::int32_t parent_ = -1;  ///< context parent restored at scope exit
 };
 
 }  // namespace deeppool::obs

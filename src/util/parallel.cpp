@@ -40,6 +40,11 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::run_batch(std::unique_lock<std::mutex>& lk) {
+  // Install the enqueuer's trace context for the whole batch (read under
+  // the lock, installed thread-locally): spans opened by task bodies on
+  // this thread parent into the submitting request's tree. For the caller
+  // thread this re-installs its own context — a no-op by value.
+  const obs::ContextScope context(batch_context_);
   while (body_ != nullptr && next_ < n_) {
     const std::size_t i = next_++;
     const auto* body = body_;
@@ -79,6 +84,7 @@ void ThreadPool::parallel_for(std::size_t n,
     return;
   }
   std::unique_lock<std::mutex> lk(mu_);
+  batch_context_ = obs::current_context();
   body_ = &body;
   n_ = n;
   next_ = 0;
@@ -90,6 +96,9 @@ void ThreadPool::parallel_for(std::size_t n,
   run_batch(lk);  // the calling thread is a worker too
   done_cv_.wait(lk, [&] { return done_ == n_; });
   body_ = nullptr;
+  // Don't let a dangling sink pointer outlive the batch: the collector it
+  // names is per-request and may be destroyed before the next batch.
+  batch_context_ = obs::TraceContext{};
   if (err_ != nullptr) {
     const std::exception_ptr err = err_;
     err_ = nullptr;

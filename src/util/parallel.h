@@ -17,6 +17,13 @@
 //   * Exceptions: every index still runs (no cancellation), and the
 //     exception thrown by the *lowest* failing index is rethrown — so
 //     error reporting is deterministic under parallelism too.
+//   * Trace-context propagation: the caller's obs::TraceContext is
+//     captured once per parallel_for and re-installed around every batch
+//     a worker runs, so DP_SPAN scopes inside task bodies parent into the
+//     *enqueuing request's* span tree (obs/context.h) — at any worker
+//     count, including the inline --jobs 1 path, the tree has the same
+//     shape. obs/context.h includes nothing from util/, so this is the
+//     one permitted upward include.
 //
 // One batch runs at a time; parallel_for must not be called concurrently
 // from multiple threads or recursively from inside a task.
@@ -30,6 +37,8 @@
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "obs/context.h"
 
 namespace deeppool::util {
 
@@ -74,6 +83,8 @@ class ThreadPool {
   std::uint64_t batch_ = 0;  ///< generation counter; bumped per parallel_for
 
   // Current batch (valid while body_ != nullptr).
+  obs::TraceContext batch_context_;  ///< enqueuer's context, re-installed
+                                     ///< around every worker's batch run
   const std::function<void(std::size_t)>* body_ = nullptr;
   std::size_t n_ = 0;
   std::size_t next_ = 0;  ///< next unclaimed index

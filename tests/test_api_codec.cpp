@@ -40,10 +40,18 @@ TEST(Registry, EveryOpResolvesAndServeIsTransportOnly) {
   ASSERT_NE(serve, nullptr);
   EXPECT_FALSE(serve->is_op);
   EXPECT_TRUE(command_accepts(*serve, "--jobs"));
+  EXPECT_TRUE(command_accepts(*serve, "--journal"));
+  EXPECT_TRUE(command_accepts(*serve, "--slow-ms"));
   EXPECT_FALSE(command_accepts(*serve, "--policy"));
+  const CommandInfo* profile = find_command("profile");
+  ASSERT_NE(profile, nullptr);
+  EXPECT_TRUE(profile->is_op);
+  EXPECT_TRUE(command_accepts(*profile, "--no-times"));
+  EXPECT_FALSE(command_accepts(*profile, "--journal"));
   EXPECT_EQ(find_command("frobnicate"), nullptr);
   EXPECT_EQ(op_names(),
-            "plan | simulate | sweep | schedule | calibrate | models | stats");
+            "plan | simulate | sweep | schedule | calibrate | models | "
+            "stats | profile");
 }
 
 TEST(Registry, FlagOwnersRenderForErrorMessages) {
@@ -79,6 +87,25 @@ TEST(RequestCodec, ScheduleCalibrateModelsRoundTripByteStable) {
   expect_byte_stable(Request{ModelsRequest{}});
 }
 
+TEST(RequestCodec, StatsAndProfileRoundTripByteStable) {
+  // Defaults serialize to the bare op (canonical spelling); non-default
+  // flags appear and survive the round trip.
+  expect_byte_stable(Request{StatsRequest{}});
+  expect_byte_stable(Request{StatsRequest{true}});
+  expect_byte_stable(Request{ProfileRequest{}});
+  expect_byte_stable(Request{ProfileRequest{false, true}});
+  EXPECT_EQ(to_json(Request{StatsRequest{}}).dump(), R"({"op":"stats"})");
+  EXPECT_EQ(to_json(Request{ProfileRequest{}}).dump(),
+            R"({"op":"profile"})");
+  const Request reset = request_from_json(
+      Json::parse(R"({"op": "stats", "reset": true})"));
+  EXPECT_TRUE(std::get<StatsRequest>(reset.body).reset);
+  const Request quiet = request_from_json(
+      Json::parse(R"({"op": "profile", "times": false})"));
+  EXPECT_FALSE(std::get<ProfileRequest>(quiet.body).include_times);
+  EXPECT_FALSE(std::get<ProfileRequest>(quiet.body).reset);
+}
+
 TEST(RequestCodec, OpNamesMatchTheRegistry) {
   EXPECT_EQ(Request{PlanRequest{}}.op(), "plan");
   EXPECT_EQ(Request{SimulateRequest{}}.op(), "simulate");
@@ -86,6 +113,8 @@ TEST(RequestCodec, OpNamesMatchTheRegistry) {
   EXPECT_EQ(Request{ScheduleRequest{}}.op(), "schedule");
   EXPECT_EQ(Request{CalibrateRequest{}}.op(), "calibrate");
   EXPECT_EQ(Request{ModelsRequest{}}.op(), "models");
+  EXPECT_EQ(Request{StatsRequest{}}.op(), "stats");
+  EXPECT_EQ(Request{ProfileRequest{}}.op(), "profile");
 }
 
 TEST(RequestCodec, BareSpecsDispatchOnTheirKind) {

@@ -1,0 +1,272 @@
+// The serve audit journal: record schema, size-based rotation, the
+// slow-request span-dump threshold, and the journal a full run_serve
+// session writes (one record per request, unique trace ids, parse
+// failures included).
+#include "api/journal.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/serve.h"
+#include "api/service.h"
+#include "util/json.h"
+
+namespace deeppool::api {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+void remove_journal(const std::string& path) {
+  std::remove(path.c_str());
+  std::remove((path + ".1").c_str());
+}
+
+std::vector<Json> read_records(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<Json> records;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) records.push_back(Json::parse(line));
+  }
+  return records;
+}
+
+bool file_exists(const std::string& path) {
+  return std::ifstream(path).good();
+}
+
+TEST(Journal, RecordSchemaCarriesOutcomeAndCacheDeltas) {
+  JournalRecord record;
+  record.trace_id = 12;
+  record.op = "schedule";
+  record.ok = true;
+  record.wall_ms = 3.5;
+  record.plan_cache_hits = 6;
+  record.plan_cache_misses = 2;
+  record.calib_hits = 1;
+  const Json j = to_json(record);
+  EXPECT_EQ(j.at("trace_id").as_int(), 12);
+  EXPECT_EQ(j.at("op").as_string(), "schedule");
+  EXPECT_TRUE(j.at("ok").as_bool());
+  EXPECT_DOUBLE_EQ(j.at("wall_ms").as_number(), 3.5);
+  EXPECT_EQ(j.at("plan_cache").at("hits").as_int(), 6);
+  EXPECT_EQ(j.at("plan_cache").at("misses").as_int(), 2);
+  EXPECT_EQ(j.at("calib").at("hits").as_int(), 1);
+  EXPECT_EQ(j.at("calib").at("misses").as_int(), 0);
+  // Success records carry no error and, un-slow, no spans.
+  EXPECT_FALSE(j.contains("error"));
+  EXPECT_FALSE(j.contains("spans"));
+
+  JournalRecord failed;
+  failed.trace_id = 13;
+  failed.error = "unknown op \"frobnicate\"";
+  const Json fj = to_json(failed);
+  EXPECT_FALSE(fj.at("ok").as_bool());
+  EXPECT_EQ(fj.at("op").as_string(), "");
+  EXPECT_EQ(fj.at("error").as_string(), "unknown op \"frobnicate\"");
+}
+
+TEST(Journal, SpansRenderRelativeToTheRootAndDropOpenOnes) {
+  std::vector<obs::SpanRecord> spans(3);
+  spans[0] = obs::SpanRecord{0, -1, "schedule", 1.0, 0.5};
+  spans[1] = obs::SpanRecord{1, 0, "plan_cache/resolve", 1.1, 0.2};
+  spans[2] = obs::SpanRecord{2, 0, "still_open", 1.2, -1.0};
+  const Json j = spans_to_json(spans);
+  ASSERT_EQ(j.as_array().size(), 2u);  // the open span is dropped
+  const Json& root = j.as_array()[0];
+  EXPECT_EQ(root.at("name").as_string(), "schedule");
+  EXPECT_EQ(root.at("parent").as_int(), -1);
+  EXPECT_DOUBLE_EQ(root.at("start_ms").as_number(), 0.0);
+  EXPECT_DOUBLE_EQ(root.at("dur_ms").as_number(), 500.0);
+  const Json& child = j.as_array()[1];
+  EXPECT_EQ(child.at("parent").as_int(), 0);
+  EXPECT_NEAR(child.at("start_ms").as_number(), 100.0, 1e-9);
+}
+
+TEST(Journal, RotatesAtTheSizeCapWithoutSplittingRecords) {
+  const std::string path = temp_path("journal_rotate.ndjson");
+  remove_journal(path);
+  Json record;
+  record["filler"] = Json(std::string(40, 'x'));
+  const std::string line = record.dump() + "\n";
+  // Cap fits exactly two records; the fifth append leaves one rotation
+  // behind and an active file holding the overflow.
+  JournalOptions options;
+  options.path = path;
+  options.max_bytes = static_cast<std::int64_t>(2 * line.size());
+  Journal journal(options);
+  for (int i = 0; i < 5; ++i) journal.append(record);
+  EXPECT_EQ(journal.rotations(), 2);
+  ASSERT_TRUE(file_exists(path + ".1"));
+  const std::vector<Json> active = read_records(path);
+  const std::vector<Json> rotated = read_records(path + ".1");
+  EXPECT_EQ(active.size(), 1u);
+  EXPECT_EQ(rotated.size(), 2u);
+  // Every surviving line is whole, parseable JSON (read_records throws
+  // otherwise) and at most the cap lives in the active file.
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  EXPECT_LE(static_cast<std::int64_t>(in.tellg()), options.max_bytes);
+  remove_journal(path);
+}
+
+TEST(Journal, OversizedSingleRecordStillLandsWhole) {
+  const std::string path = temp_path("journal_oversize.ndjson");
+  remove_journal(path);
+  JournalOptions options;
+  options.path = path;
+  options.max_bytes = 8;
+  Journal journal(options);
+  Json record;
+  record["big"] = Json(std::string(64, 'y'));
+  journal.append(record);
+  journal.append(record);
+  const std::vector<Json> active = read_records(path);
+  ASSERT_EQ(active.size(), 1u);  // second append rotated the first out
+  EXPECT_EQ(active[0].at("big").as_string(), std::string(64, 'y'));
+  EXPECT_EQ(read_records(path + ".1").size(), 1u);
+  remove_journal(path);
+}
+
+TEST(Journal, RejectsANonPositiveCapAndAnUnwritablePath) {
+  JournalOptions bad_cap;
+  bad_cap.path = temp_path("journal_unused.ndjson");
+  bad_cap.max_bytes = 0;
+  EXPECT_THROW(Journal{bad_cap}, std::invalid_argument);
+  JournalOptions bad_path;
+  bad_path.path = temp_path("no_such_dir/journal.ndjson");
+  EXPECT_THROW(Journal{bad_path}, std::runtime_error);
+}
+
+TEST(Journal, SlowThresholdGatesTheSpanDump) {
+  const std::string path = temp_path("journal_slow.ndjson");
+  remove_journal(path);
+  JournalOptions options;
+  options.path = path;
+  EXPECT_FALSE(Journal(options).slow(1e9));  // default: never
+  options.slow_ms = 5.0;
+  const Journal journal(options);
+  EXPECT_FALSE(journal.slow(4.9));
+  EXPECT_TRUE(journal.slow(5.0));
+  EXPECT_TRUE(journal.slow(50.0));
+  remove_journal(path);
+}
+
+const char* kTinySchedule = R"({
+  "kind": "schedule",
+  "name": "journal_tiny",
+  "workload": {
+    "arrival": "fixed", "interval_s": 0.5, "num_jobs": 4, "seed": 3,
+    "bg_fraction": 0.5, "min_iterations": 10, "max_iterations": 20,
+    "fg_mix": [{"model": "vgg16", "weight": 1.0, "global_batch": 32,
+                "amp_limit": 2.0}],
+    "bg_mix": [{"model": "resnet50", "weight": 1.0, "global_batch": 16}]
+  },
+  "cluster": {"num_gpus": 4, "policy": "burst_lending",
+              "util_timeline_bins": 8}
+})";
+
+std::string schedule_line() {
+  Json j;
+  j["op"] = Json("schedule");
+  j["spec"] = Json::parse(kTinySchedule);
+  return j.dump();
+}
+
+ServeOptions journal_options(const std::string& path, double slow_ms) {
+  ServeOptions options;
+  options.journal.path = path;
+  options.journal.slow_ms = slow_ms;
+  return options;
+}
+
+TEST(Journal, ServeSessionWritesOneRecordPerRequestWithUniqueIds) {
+  const std::string path = temp_path("journal_session.ndjson");
+  remove_journal(path);
+  std::stringstream in;
+  in << R"({"op": "models"})" << '\n'
+     << schedule_line() << '\n'
+     << schedule_line() << '\n'
+     << "{not json" << '\n'
+     << R"({"op": "frobnicate"})" << '\n'
+     << "   " << '\n'  // blank: skipped, no record
+     << R"({"op": "stats"})" << '\n';
+  std::ostringstream out;
+  Service service(ServiceOptions{1, nullptr});
+  ASSERT_EQ(run_serve(in, out, service,
+                      journal_options(path, /*slow_ms=*/-1.0)),
+            0);
+  const std::vector<Json> records = read_records(path);
+  ASSERT_EQ(records.size(), 6u);  // one per non-blank line
+
+  std::set<std::int64_t> ids;
+  for (const Json& r : records) ids.insert(r.at("trace_id").as_int());
+  EXPECT_EQ(ids.size(), records.size());  // unique, parse failures included
+
+  EXPECT_EQ(records[0].at("op").as_string(), "models");
+  EXPECT_TRUE(records[0].at("ok").as_bool());
+  // The first schedule misses the cold plan cache; the second resolves
+  // entirely from it — the per-request deltas show the warm-up.
+  EXPECT_GT(records[1].at("plan_cache").at("misses").as_int(), 0);
+  EXPECT_EQ(records[2].at("plan_cache").at("misses").as_int(), 0);
+  EXPECT_GT(records[2].at("plan_cache").at("hits").as_int(), 0);
+  // The unparseable line journals as a failure with no op.
+  EXPECT_FALSE(records[3].at("ok").as_bool());
+  EXPECT_EQ(records[3].at("op").as_string(), "");
+  EXPECT_FALSE(records[3].at("error").as_string().empty());
+  EXPECT_FALSE(records[4].at("ok").as_bool());
+  EXPECT_GE(records[5].at("wall_ms").as_number(), 0.0);
+  // No --slow-ms: no record dumps spans.
+  for (const Json& r : records) EXPECT_FALSE(r.contains("spans"));
+  remove_journal(path);
+}
+
+TEST(Journal, SlowRequestsDumpTheirSpanTreeFastOnesDoNot) {
+  const std::string path = temp_path("journal_slowdump.ndjson");
+  remove_journal(path);
+  std::stringstream in;
+  in << schedule_line() << '\n';
+  std::ostringstream out;
+  Service service(ServiceOptions{1, nullptr});
+  // Threshold 0: every handled request is "slow" and carries its tree.
+  ASSERT_EQ(
+      run_serve(in, out, service, journal_options(path, /*slow_ms=*/0.0)),
+      0);
+  std::vector<Json> records = read_records(path);
+  ASSERT_EQ(records.size(), 1u);
+  ASSERT_TRUE(records[0].contains("spans"));
+  const Json::Array& spans = records[0].at("spans").as_array();
+  ASSERT_FALSE(spans.empty());
+  // The root span is the op itself; every other span parents into the
+  // tree (parent ids all belong to the same request's records).
+  EXPECT_EQ(spans[0].at("name").as_string(), "schedule");
+  EXPECT_EQ(spans[0].at("parent").as_int(), -1);
+  std::set<std::int64_t> span_ids;
+  for (const Json& s : spans) span_ids.insert(s.at("id").as_int());
+  for (std::size_t i = 1; i < spans.size(); ++i) {
+    EXPECT_TRUE(span_ids.count(spans[i].at("parent").as_int()));
+  }
+
+  // An unreachable threshold journals the same request without spans.
+  remove_journal(path);
+  std::stringstream in2;
+  in2 << schedule_line() << '\n';
+  std::ostringstream out2;
+  ASSERT_EQ(run_serve(in2, out2, service,
+                      journal_options(path, /*slow_ms=*/1e9)),
+            0);
+  records = read_records(path);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_FALSE(records[0].contains("spans"));
+  remove_journal(path);
+}
+
+}  // namespace
+}  // namespace deeppool::api

@@ -10,6 +10,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -115,7 +117,62 @@ TEST(Metrics, PrometheusExpositionNamesAndValues) {
   EXPECT_NE(text.find("# TYPE deeppool_test_prom_counter counter"),
             std::string::npos);
   EXPECT_NE(text.find("deeppool_test_prom_gauge 2"), std::string::npos);
-  EXPECT_EQ(text.find("test/prom"), std::string::npos);
+  // The original registry spelling survives only in HELP lines.
+  EXPECT_NE(
+      text.find("# HELP deeppool_test_prom_counter deeppool counter "
+                "\"test/prom/counter\""),
+      std::string::npos);
+  EXPECT_EQ(text.find("test/prom\n"), std::string::npos);
+}
+
+TEST(Metrics, PrometheusExpositionConformance) {
+  // Every metric family carries a HELP/TYPE pair — the high-water "_max"
+  // series is its own gauge family — and histograms close with an
+  // explicit +Inf bucket whose value equals _count.
+  registry().counter("test/conf/counter").inc();
+  registry().gauge("test/conf/gauge").set(1.0);
+  Histogram& h =
+      registry().histogram("test/conf/hist", {0.5, 5.0});
+  h.observe(0.1);
+  h.observe(50.0);
+  const std::string text = registry().prometheus();
+  for (const char* needle :
+       {"# HELP deeppool_test_conf_counter ",
+        "# TYPE deeppool_test_conf_counter counter",
+        "# HELP deeppool_test_conf_gauge ",
+        "# TYPE deeppool_test_conf_gauge gauge",
+        "# HELP deeppool_test_conf_gauge_max ",
+        "# TYPE deeppool_test_conf_gauge_max gauge",
+        "# HELP deeppool_test_conf_hist ",
+        "# TYPE deeppool_test_conf_hist histogram",
+        "deeppool_test_conf_hist_bucket{le=\"0.5\"} 1",
+        "deeppool_test_conf_hist_bucket{le=\"+Inf\"} 2",
+        "deeppool_test_conf_hist_count 2"}) {
+    EXPECT_NE(text.find(needle), std::string::npos) << needle;
+  }
+  // TYPE precedes the family's first sample.
+  EXPECT_LT(text.find("# TYPE deeppool_test_conf_hist histogram"),
+            text.find("deeppool_test_conf_hist_bucket"));
+}
+
+TEST(Metrics, PrometheusExpositionMatchesGoldenFile) {
+  // A fresh local registry with fixed contents must expose byte-for-byte
+  // what the committed golden file pins — counters, both gauge families,
+  // cumulative buckets with +Inf, HELP/TYPE throughout.
+  Registry reg;
+  reg.counter("api/requests").inc(3);
+  Gauge& g = reg.gauge("api/in_flight");
+  g.add(2.0);
+  g.add(-1.0);
+  Histogram& h = reg.histogram("span_s/schedule", {0.001, 1.0});
+  h.observe(0.5);
+  h.observe(2.0);
+  std::ifstream golden(std::string(DEEPPOOL_GOLDEN_DIR) +
+                       "/prometheus_exposition.txt");
+  ASSERT_TRUE(golden.good()) << "missing golden file";
+  std::stringstream expected;
+  expected << golden.rdbuf();
+  EXPECT_EQ(reg.prometheus(), expected.str());
 }
 
 TEST(Metrics, ResetZeroesInPlaceAndHandlesStayValid) {

@@ -1,0 +1,201 @@
+// Request-scoped trace contexts: spans parent into the installed
+// context's collector, util::ThreadPool re-installs the enqueuer's
+// context around worker batches, and the resulting trees aggregate to
+// byte-identical profiles at any worker count — the contract the
+// `profile` op's determinism rests on.
+#include "obs/context.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/profile.h"
+#include "obs/span.h"
+#include "util/parallel.h"
+
+namespace deeppool::obs {
+namespace {
+
+std::vector<SpanRecord> find_all(const std::vector<SpanRecord>& spans,
+                                 const std::string& name) {
+  std::vector<SpanRecord> out;
+  for (const SpanRecord& s : spans) {
+    if (s.name == name) out.push_back(s);
+  }
+  return out;
+}
+
+TEST(SpanCollector, AssignsIdsInOpenOrderAndClosesById) {
+  SpanCollector collector;
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::int32_t a = collector.open("a", -1, t0);
+  const std::int32_t b = collector.open("b", a, t0);
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+  collector.close(b, t0 + std::chrono::milliseconds(2));
+  const std::vector<SpanRecord> spans = collector.records();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[a].name, "a");
+  EXPECT_EQ(spans[a].parent, -1);
+  EXPECT_LT(spans[a].dur_s, 0.0);  // still open
+  EXPECT_EQ(spans[b].parent, a);
+  EXPECT_GT(spans[b].dur_s, 0.0);
+  // A stray id is ignored, never an out-of-bounds write.
+  collector.close(99, t0);
+  collector.close(-5, t0);
+  EXPECT_EQ(collector.size(), 2u);
+}
+
+TEST(SpanCollector, ClosedSpansFiltersOpenOnes) {
+  SpanCollector collector;
+  const auto t0 = std::chrono::steady_clock::now();
+  collector.open("open_forever", -1, t0);
+  const std::int32_t done = collector.open("done", 0, t0);
+  collector.close(done, t0 + std::chrono::milliseconds(1));
+  const std::vector<SpanRecord> closed = closed_spans(collector.records());
+  ASSERT_EQ(closed.size(), 1u);
+  EXPECT_EQ(closed[0].name, "done");
+}
+
+TEST(TraceContext, ScopeInstallsAndRestores) {
+  EXPECT_FALSE(current_context().active());
+  SpanCollector collector;
+  {
+    const ContextScope scope(TraceContext{42, &collector, -1});
+    EXPECT_TRUE(current_context().active());
+    EXPECT_EQ(current_context().trace_id, 42u);
+    {
+      // Nested scopes stack: the inner one wins, then unwinds cleanly.
+      SpanCollector inner;
+      const ContextScope nested(TraceContext{43, &inner, -1});
+      EXPECT_EQ(current_context().trace_id, 43u);
+    }
+    EXPECT_EQ(current_context().trace_id, 42u);
+  }
+  EXPECT_FALSE(current_context().active());
+}
+
+TEST(TraceContext, SpansWithoutAContextRecordNothing) {
+  // The fleet-bench hot path: no installed context, spans cost only the
+  // registry histogram and leave no per-request residue.
+  ASSERT_FALSE(current_context().active());
+  { DP_SPAN("test_ctx/uncollected"); }
+  SpanCollector collector;
+  {
+    const ContextScope scope(TraceContext{1, &collector, -1});
+    DP_SPAN("test_ctx/collected");
+  }
+  const std::vector<SpanRecord> spans = collector.records();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "test_ctx/collected");
+}
+
+TEST(TraceContext, SpansNestIntoATreeUnderTheInstalledContext) {
+  SpanCollector collector;
+  {
+    const ContextScope scope(TraceContext{7, &collector, -1});
+    DP_SPAN("test_ctx/root");
+    {
+      DP_SPAN("test_ctx/child");
+      { DP_SPAN("test_ctx/grandchild"); }
+    }
+    { DP_SPAN("test_ctx/sibling"); }
+  }
+  const std::vector<SpanRecord> spans = collector.records();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans[0].name, "test_ctx/root");
+  EXPECT_EQ(spans[0].parent, -1);
+  EXPECT_EQ(spans[1].name, "test_ctx/child");
+  EXPECT_EQ(spans[1].parent, spans[0].id);
+  EXPECT_EQ(spans[2].name, "test_ctx/grandchild");
+  EXPECT_EQ(spans[2].parent, spans[1].id);
+  EXPECT_EQ(spans[3].name, "test_ctx/sibling");
+  EXPECT_EQ(spans[3].parent, spans[0].id);  // restored after child closed
+  for (const SpanRecord& s : spans) EXPECT_GE(s.dur_s, 0.0);
+}
+
+TEST(TraceContext, ThreadPoolWorkersInheritTheEnqueuersContext) {
+  // Spans opened inside parallel_for bodies must land in the enqueuing
+  // request's collector, parented at the span open at the enqueue point —
+  // on every worker, at any worker count.
+  for (const int workers : {1, 4}) {
+    SpanCollector collector;
+    {
+      const ContextScope scope(TraceContext{9, &collector, -1});
+      DP_SPAN("test_ctx/request");
+      util::ThreadPool pool(workers);
+      pool.parallel_for(16, [&](std::size_t) {
+        DP_SPAN("test_ctx/task");
+      });
+    }
+    const std::vector<SpanRecord> spans = collector.records();
+    ASSERT_EQ(spans.size(), 17u) << workers << " workers";
+    const std::vector<SpanRecord> tasks = find_all(spans, "test_ctx/task");
+    ASSERT_EQ(tasks.size(), 16u);
+    const std::int32_t root_id = find_all(spans, "test_ctx/request")[0].id;
+    for (const SpanRecord& t : tasks) {
+      EXPECT_EQ(t.parent, root_id) << workers << " workers";
+    }
+  }
+}
+
+TEST(TraceContext, PoolWorkersDropTheContextBetweenBatches) {
+  // After a batch completes, workers must not keep a stale context: a
+  // second batch run with no installed context collects nothing.
+  util::ThreadPool pool(2);
+  SpanCollector collector;
+  {
+    const ContextScope scope(TraceContext{5, &collector, -1});
+    pool.parallel_for(4, [](std::size_t) { DP_SPAN("test_ctx/traced"); });
+  }
+  const std::size_t traced = collector.size();
+  EXPECT_EQ(traced, 4u);
+  pool.parallel_for(4, [](std::size_t) { DP_SPAN("test_ctx/untraced"); });
+  EXPECT_EQ(collector.size(), traced);  // nothing new landed
+}
+
+TEST(ProfileStore, AggregatesByPathByteIdenticallyAcrossWorkerCounts) {
+  // Ids differ run to run under parallelism; paths and counts do not. The
+  // no-times snapshot is the byte-identity the `profile` op pins.
+  const auto run = [](int workers) {
+    ProfileStore store;
+    SpanCollector collector;
+    {
+      const ContextScope scope(TraceContext{1, &collector, -1});
+      DP_SPAN("op");
+      util::ThreadPool pool(workers);
+      pool.parallel_for(32, [&](std::size_t) { DP_SPAN("task"); });
+    }
+    store.record("op", collector.records());
+    return store.snapshot(/*include_times=*/false).dump(2);
+  };
+  const std::string serial = run(1);
+  EXPECT_EQ(serial, run(8));
+  const Json parsed = Json::parse(serial);
+  EXPECT_EQ(parsed.at("op").at("requests").as_int(), 1);
+  EXPECT_EQ(parsed.at("op").at("spans").at("op").at("count").as_int(), 1);
+  EXPECT_EQ(parsed.at("op").at("spans").at("op;task").at("count").as_int(),
+            32);
+}
+
+TEST(ProfileStore, SelfTimeExcludesChildDurationsAndResetDrops) {
+  ProfileStore store;
+  std::vector<SpanRecord> spans(2);
+  spans[0] = SpanRecord{0, -1, "outer", 0.0, 1.0};
+  spans[1] = SpanRecord{1, 0, "inner", 0.2, 0.4};
+  store.record("op", spans);
+  const Json snap = store.snapshot(/*include_times=*/true);
+  const Json& paths = snap.at("op").at("spans");
+  EXPECT_DOUBLE_EQ(paths.at("outer").at("total_s").as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(paths.at("outer").at("self_s").as_number(), 0.6);
+  EXPECT_DOUBLE_EQ(paths.at("outer;inner").at("self_s").as_number(), 0.4);
+  store.reset();
+  EXPECT_EQ(store.snapshot(false).dump(), "{}");
+}
+
+}  // namespace
+}  // namespace deeppool::obs

@@ -15,6 +15,8 @@
 #include "api/service.h"
 #include "api/version.h"
 #include "calib/interference.h"
+#include "obs/context.h"
+#include "obs/profile.h"
 #include "runtime/scenario_config.h"
 #include "util/json.h"
 
@@ -215,6 +217,125 @@ TEST(Service, JobsResolveLikeTheCliFlag) {
   } catch (const std::invalid_argument& e) {
     EXPECT_EQ(std::string(e.what()), "--jobs must be >= 1 (got 0)");
   }
+}
+
+TEST(Service, HandleCollectsARequestScopedSpanTree) {
+  Service service(ServiceOptions{1, nullptr});
+  const Response response =
+      service.handle(Request{ScheduleRequest{tiny_schedule(), ""}});
+  ASSERT_TRUE(response.ok);
+  const RequestTrace& trace = service.last_request_trace();
+  EXPECT_EQ(trace.trace_id, 1u);
+  EXPECT_EQ(trace.op, "schedule");
+  EXPECT_GT(trace.wall_s, 0.0);
+  ASSERT_FALSE(trace.spans.empty());
+  // The root span is the op itself; everything else parents into it and
+  // closed before the trace was published.
+  EXPECT_EQ(trace.spans[0].name, "schedule");
+  EXPECT_EQ(trace.spans[0].parent, -1);
+  for (const obs::SpanRecord& span : trace.spans) {
+    EXPECT_GE(span.dur_s, 0.0) << span.name;
+    if (span.id != 0) EXPECT_GE(span.parent, 0) << span.name;
+  }
+  // The thread-local context must not leak out of handle().
+  EXPECT_FALSE(obs::current_context().active());
+}
+
+TEST(Service, TraceIdsDrawFromOneMonotonicSequence) {
+  Service service(ServiceOptions{1, nullptr});
+  service.handle(Request{ModelsRequest{}});
+  EXPECT_EQ(service.last_request_trace().trace_id, 1u);
+  // The serve transport burns ids from the same sequence for lines that
+  // never became a request.
+  EXPECT_EQ(service.allocate_trace_id(), 2u);
+  service.handle(Request{ModelsRequest{}});
+  EXPECT_EQ(service.last_request_trace().trace_id, 3u);
+}
+
+TEST(Service, AThrowingHandlerStillPublishesItsTrace) {
+  Service service(ServiceOptions{1, nullptr});
+  EXPECT_THROW(service.handle(Request{ScheduleRequest{
+                   tiny_schedule(), "/nonexistent/table.json"}}),
+               std::runtime_error);
+  const RequestTrace& trace = service.last_request_trace();
+  EXPECT_EQ(trace.trace_id, 1u);
+  EXPECT_EQ(trace.op, "schedule");
+  EXPECT_GT(trace.wall_s, 0.0);
+  EXPECT_FALSE(obs::current_context().active());
+}
+
+TEST(Service, ProfileAggregatesAreByteIdenticalAcrossWorkerCounts) {
+  // Two schedules then a no-times profile snapshot, at 1 and at 8 pool
+  // workers: paths are fixed by enqueue point and counts by the
+  // deterministic schedule run, so the aggregate bytes must match.
+  const auto run = [](int jobs) {
+    obs::profile_store().reset();  // the store is process-global
+    Service service(ServiceOptions{jobs, nullptr});
+    const Request request{ScheduleRequest{tiny_schedule(), ""}};
+    service.handle(request);
+    service.handle(request);
+    const Response profile = service.handle(
+        request_from_json(Json::parse(R"({"op": "profile", "times": false})")));
+    EXPECT_TRUE(profile.ok);
+    return profile.payload.at("profile").dump(2);
+  };
+  const std::string serial = run(1);
+  EXPECT_EQ(serial, run(8));
+  const Json parsed = Json::parse(serial);
+  EXPECT_EQ(parsed.at("schedule").at("requests").as_int(), 2);
+  EXPECT_EQ(parsed.at("schedule").at("spans").at("schedule").at("count")
+                .as_int(),
+            2);
+}
+
+TEST(Service, ProfileTimesAppearByDefaultAndResetDrops) {
+  obs::profile_store().reset();
+  Service service(ServiceOptions{1, nullptr});
+  service.handle(Request{ModelsRequest{}});
+  const Response timed = service.handle(Request{ProfileRequest{}});
+  ASSERT_TRUE(timed.ok);
+  const Json& models_agg = timed.payload.at("profile").at("models");
+  EXPECT_EQ(models_agg.at("requests").as_int(), 1);
+  const Json& root = models_agg.at("spans").at("models");
+  EXPECT_EQ(root.at("count").as_int(), 1);
+  EXPECT_GE(root.at("total_s").as_number(), 0.0);
+  EXPECT_GE(root.at("self_s").as_number(), 0.0);
+  EXPECT_FALSE(timed.payload.contains("reset"));
+
+  const Response dropped =
+      service.handle(Request{ProfileRequest{false, true}});
+  ASSERT_TRUE(dropped.ok);
+  EXPECT_TRUE(dropped.payload.at("reset").as_bool());
+  // After the reset, only the resetting profile request itself remains.
+  const Response after = service.handle(Request{ProfileRequest{false}});
+  EXPECT_FALSE(after.payload.at("profile").contains("models"));
+  EXPECT_EQ(after.payload.at("profile").at("profile").at("requests")
+                .as_int(),
+            1);
+}
+
+TEST(Service, StatsResetZeroesTheRegistryInPlace) {
+  Service service(ServiceOptions{1, nullptr});
+  service.handle(Request{ModelsRequest{}});
+  const Response snap = service.handle(
+      request_from_json(Json::parse(R"({"op": "stats", "reset": true})")));
+  ASSERT_TRUE(snap.ok);
+  EXPECT_TRUE(snap.payload.at("reset").as_bool());
+  // The registry is process-global and cumulative, so assert only what
+  // reset guarantees: the pre-reset snapshot saw at least this service's
+  // requests, and the next snapshot starts over from exactly one.
+  EXPECT_GE(snap.payload.at("metrics").at("counters").at("api/requests")
+                .as_int(),
+            2);
+  const Response after = service.handle(Request{StatsRequest{}});
+  EXPECT_FALSE(after.payload.contains("reset"));
+  EXPECT_EQ(after.payload.at("metrics").at("counters").at("api/requests")
+                .as_int(),
+            1);
+  // The service's own envelope tallies are not registry values and
+  // survive the reset untouched.
+  ASSERT_TRUE(after.service.has_value());
+  EXPECT_EQ(after.service->requests, 3);
 }
 
 TEST(Service, ErrorResponseCountsAndStamps) {

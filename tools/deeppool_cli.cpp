@@ -12,9 +12,11 @@
 //                     [--output metrics.json] [--compact]
 //   deeppool calibrate spec.json [--out table.json] [--jobs N]
 //                     [--output report.json] [--compact]
-//   deeppool serve    [--jobs N]
+//   deeppool serve    [--jobs N] [--journal FILE [--journal-max-bytes B]
+//                     [--slow-ms T]]
 //   deeppool models
-//   deeppool stats
+//   deeppool stats    [--reset]
+//   deeppool profile  [--no-times] [--reset]
 //   deeppool --version
 //
 // Plus, on every subcommand: --log-level NAME (or the DEEPPOOL_LOG env
@@ -78,9 +80,12 @@ int usage(std::ostream& os, int exit_code) {
         "                    [--compact]\n"
         "  deeppool calibrate FILE [--out TABLE] [--jobs N] [--output FILE]\n"
         "                    [--compact]\n"
-        "  deeppool serve    [--jobs N]\n"
+        "  deeppool serve    [--jobs N] [--journal FILE]\n"
+        "                    [--journal-max-bytes B] [--slow-ms T]\n"
         "  deeppool models\n"
-        "  deeppool stats    [--output FILE] [--compact]\n"
+        "  deeppool stats    [--reset] [--output FILE] [--compact]\n"
+        "  deeppool profile  [--no-times] [--reset] [--output FILE]\n"
+        "                    [--compact]\n"
         "  deeppool --version\n"
         "\n"
         "Every command also takes --log-level debug|info|warn|error|off\n"
@@ -103,7 +108,15 @@ int usage(std::ostream& os, int exit_code) {
         "{\"op\": \"schedule\", \"spec\": {...}}, and answers one response\n"
         "line each over a resident service: the plan cache and loaded\n"
         "calibration tables stay warm across requests, and malformed lines\n"
-        "get {\"ok\": false, ...} responses instead of killing the daemon.\n";
+        "get {\"ok\": false, ...} responses instead of killing the daemon.\n"
+        "`serve --journal FILE` appends one NDJSON audit record per request\n"
+        "(trace id, op, outcome, wall time, cache-hit deltas), rotating the\n"
+        "file at --journal-max-bytes (default 64 MiB); with --slow-ms T,\n"
+        "requests slower than T ms journal their full span tree. `stats\n"
+        "--reset` snapshots the registry then zeroes it in place; `profile`\n"
+        "prints per-op hierarchical span aggregates (call count, total vs\n"
+        "self time per span path; --no-times leaves counts only, which are\n"
+        "byte-identical at any --jobs).\n";
   return exit_code;
 }
 
@@ -119,6 +132,9 @@ struct Args {
   std::string trace_path;        // schedule: decision trace output
   std::string metrics_out_path;  // any command: Prometheus dump at exit
   std::string log_level;         // --log-level NAME (wins over DEEPPOOL_LOG)
+  std::string journal_path;      // serve: NDJSON audit journal
+  std::optional<std::int64_t> journal_max_bytes;  // serve: rotation cap
+  std::optional<double> slow_ms;  // serve: span-dump threshold
   std::optional<int> util_bins;  // schedule: util_timeline_bins override
   std::string table_out_path;    // calibrate: where the table cache goes
   std::string sweep_param;
@@ -134,6 +150,8 @@ struct Args {
   bool dp = false;
   bool table = false;
   bool compact = false;
+  bool reset = false;     // stats/profile: zero the store after snapshot
+  bool no_times = false;  // profile: omit wall-clock fields
   /// Every flag seen, with its occurrence count: the registry check and
   /// the duplicate-flag check both read this instead of sniffing values.
   std::map<std::string, int> seen;
@@ -222,6 +240,19 @@ Args parse_args(int argc, char** argv) {
     else if (flag == "--metrics-out")
       args.metrics_out_path = need_value(i, flag);
     else if (flag == "--log-level") args.log_level = need_value(i, flag);
+    else if (flag == "--journal") args.journal_path = need_value(i, flag);
+    else if (flag == "--journal-max-bytes")
+      args.journal_max_bytes = parse_int(need_value(i, flag), flag);
+    else if (flag == "--slow-ms") {
+      const double ms = parse_double(need_value(i, flag), flag);
+      if (ms < 0) {
+        throw std::invalid_argument("--slow-ms: " + std::to_string(ms) +
+                                    " is negative (needs >= 0)");
+      }
+      args.slow_ms = ms;
+    }
+    else if (flag == "--reset") args.reset = true;
+    else if (flag == "--no-times") args.no_times = true;
     else if (flag == "--util-bins") {
       const std::int64_t bins = parse_int(need_value(i, flag), flag);
       if (bins < 1 || bins > std::numeric_limits<int>::max()) {
@@ -403,8 +434,15 @@ api::Request build_models(const Args&) {
   return api::Request{api::ModelsRequest{}};
 }
 
-api::Request build_stats(const Args&) {
-  return api::Request{api::StatsRequest{}};
+api::Request build_stats(const Args& args) {
+  return api::Request{api::StatsRequest{args.reset}};
+}
+
+api::Request build_profile(const Args& args) {
+  api::ProfileRequest req;
+  req.include_times = !args.no_times;
+  req.reset = args.reset;
+  return api::Request{req};
 }
 
 using Builder = api::Request (*)(const Args&);
@@ -414,7 +452,7 @@ Builder builder_for(const std::string& command) {
       {"plan", build_plan},          {"simulate", build_simulate},
       {"sweep", build_sweep},        {"schedule", build_schedule},
       {"calibrate", build_calibrate}, {"models", build_models},
-      {"stats", build_stats},
+      {"stats", build_stats},        {"profile", build_profile},
   };
   const auto it = kBuilders.find(command);
   return it != kBuilders.end() ? it->second : nullptr;
@@ -517,7 +555,24 @@ int main(int argc, char** argv) {
     options.diagnostics = &std::cerr;
     api::Service service(options);
     if (command == "serve") {
-      const int rc = api::run_serve(std::cin, std::cout, service);
+      // The journal sub-flags only mean anything with a journal to apply
+      // them to; silently accepting them would be a no-op surprise.
+      if (args.journal_path.empty()) {
+        for (const char* flag : {"--journal-max-bytes", "--slow-ms"}) {
+          if (args.seen.count(flag)) {
+            throw std::invalid_argument(std::string(flag) +
+                                        " requires --journal FILE");
+          }
+        }
+      }
+      api::ServeOptions serve_options;
+      serve_options.journal.path = args.journal_path;
+      if (args.journal_max_bytes) {
+        serve_options.journal.max_bytes = *args.journal_max_bytes;
+      }
+      if (args.slow_ms) serve_options.journal.slow_ms = *args.slow_ms;
+      const int rc =
+          api::run_serve(std::cin, std::cout, service, serve_options);
       write_metrics(args.metrics_out_path);
       return rc;
     }
