@@ -1,0 +1,74 @@
+#include "api/admission.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace deeppool::api {
+
+namespace {
+constexpr double kEwmaAlpha = 0.2;
+}  // namespace
+
+AdmissionController::AdmissionController(const AdmissionOptions& options)
+    : options_(options) {
+  if (options.max_in_flight < 0) {
+    throw std::invalid_argument(
+        "max_in_flight must be >= 0 (got " +
+        std::to_string(options.max_in_flight) + "); 0 = unlimited");
+  }
+  if (options.max_queue_depth < 0) {
+    throw std::invalid_argument(
+        "max_queue_depth must be >= 0 (got " +
+        std::to_string(options.max_queue_depth) + "); 0 = unlimited");
+  }
+}
+
+bool AdmissionController::try_admit() noexcept {
+  if (options_.max_in_flight > 0 && in_flight_ >= options_.max_in_flight) {
+    return false;
+  }
+  ++in_flight_;
+  return true;
+}
+
+void AdmissionController::release() noexcept {
+  if (in_flight_ > 0) --in_flight_;
+}
+
+bool AdmissionController::try_enqueue() noexcept {
+  if (options_.max_queue_depth > 0 && queued_ >= options_.max_queue_depth) {
+    return false;
+  }
+  ++queued_;
+  return true;
+}
+
+void AdmissionController::dequeue() noexcept {
+  if (queued_ > 0) --queued_;
+}
+
+double AdmissionController::shed() {
+  ++sheds_;
+  // Lazy registration: a session that never sheds never adds this counter,
+  // so existing stats snapshots stay byte-identical.
+  obs::registry().counter("api/shed").inc();
+  // "Time until the backlog ahead of you drains": the work already claimed
+  // (queued + in flight, at least one slot) priced at the handling EWMA.
+  const int ahead = std::max(1, queued_ + in_flight_);
+  return std::max(1.0, ewma_handle_ms_ * static_cast<double>(ahead));
+}
+
+void AdmissionController::observe_handle_ms(double ms) noexcept {
+  if (!(ms >= 0.0)) return;
+  if (!observed_any_) {
+    ewma_handle_ms_ = ms;
+    observed_any_ = true;
+    return;
+  }
+  ewma_handle_ms_ = kEwmaAlpha * ms + (1.0 - kEwmaAlpha) * ewma_handle_ms_;
+}
+
+}  // namespace deeppool::api

@@ -1,0 +1,80 @@
+// Admission control: shed load early instead of queueing without bound.
+//
+// A serve daemon that accepts every request eventually answers none of
+// them well: queues grow, deadlines pass while requests wait, and memory
+// goes with them. The AdmissionController is the serve transport's gate —
+// two caps, both off by default, both answering *before* any work is done:
+//
+//   max_in_flight   — requests being handled at once. The NDJSON loop is
+//                     single-threaded today, so in-flight never exceeds 1
+//                     there; the cap is validated and enforced uniformly so
+//                     a concurrent transport picks it up unchanged.
+//   max_queue_depth — requests read but not yet handled. The serve loop
+//                     drains buffered input eagerly; lines past the cap are
+//                     shed at enqueue time but still answered in input
+//                     order, in-band:
+//                     {"ok": false, "error": "shed: queue full (...)",
+//                      "retry_after_ms": N}.
+//
+// Shed decisions tick the "api/shed" registry counter (registered lazily —
+// a session that never sheds leaves the stats snapshot untouched) and
+// carry a retry-after hint derived from an EWMA of observed handling
+// times: roughly "how long until the backlog ahead of you drains".
+#pragma once
+
+#include <cstdint>
+
+namespace deeppool::api {
+
+/// Caps for one serve session. 0 = unlimited (the default); negatives are
+/// rejected by the controller constructor.
+struct AdmissionOptions {
+  int max_in_flight = 0;
+  int max_queue_depth = 0;
+};
+
+class AdmissionController {
+ public:
+  /// Throws std::invalid_argument naming the field on negative caps.
+  explicit AdmissionController(const AdmissionOptions& options);
+
+  /// Whether any cap is configured; false = every decision is "admit" and
+  /// the controller touches no registry metric.
+  bool enabled() const noexcept {
+    return options_.max_in_flight > 0 || options_.max_queue_depth > 0;
+  }
+
+  /// In-flight gate: claims a handling slot. False = at capacity, shed.
+  bool try_admit() noexcept;
+  /// Releases a slot claimed by try_admit.
+  void release() noexcept;
+
+  /// Queue gate: claims a backlog slot. False = queue full, shed.
+  bool try_enqueue() noexcept;
+  /// Releases a slot claimed by try_enqueue (the request left the queue).
+  void dequeue() noexcept;
+
+  /// Records one shed decision (ticks "api/shed") and returns the
+  /// retry-after hint in milliseconds for the response envelope.
+  double shed();
+
+  /// Feeds one observed request handling time into the retry-after EWMA.
+  void observe_handle_ms(double ms) noexcept;
+
+  std::int64_t sheds() const noexcept { return sheds_; }
+  int in_flight() const noexcept { return in_flight_; }
+  int queued() const noexcept { return queued_; }
+  const AdmissionOptions& options() const noexcept { return options_; }
+
+ private:
+  AdmissionOptions options_;
+  int in_flight_ = 0;
+  int queued_ = 0;
+  std::int64_t sheds_ = 0;
+  /// EWMA of observed handling times; seeds the retry hint before any
+  /// request has completed.
+  double ewma_handle_ms_ = 100.0;
+  bool observed_any_ = false;
+};
+
+}  // namespace deeppool::api

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/failpoint.h"
+
 namespace deeppool::api {
 
 Journal::Journal(JournalOptions options) : options_(std::move(options)) {
@@ -31,6 +33,9 @@ void Journal::open_file(bool truncate) {
 }
 
 void Journal::append(const Json& record) {
+  // The injection point for journal-write failures: serve degrades to a
+  // journal-less session on the first append that throws (see serve.cpp).
+  DP_FAILPOINT("journal/write");
   std::string line = record.dump();
   line += '\n';
   const auto bytes = static_cast<std::int64_t>(line.size());

@@ -12,29 +12,30 @@ const std::vector<CommandInfo>& command_registry() {
        "run the burst-parallel planner, emit the TrainingPlan JSON",
        SpecArg::kScenario,
        {"--config", "--model", "--network", "--gpus", "--batch", "--amp",
-        "--dp", "--table", "--set", "--seed", "--output", "--compact",
-        "--log-level", "--metrics-out"}},
+        "--dp", "--table", "--set", "--seed", "--timeout-ms", "--output",
+        "--compact", "--log-level", "--metrics-out"}},
       {"simulate",
        "drive one cluster-sharing scenario end to end",
        SpecArg::kScenario,
-       {"--config", "--set", "--seed", "--output", "--compact",
-        "--log-level", "--metrics-out"}},
+       {"--config", "--set", "--seed", "--timeout-ms", "--output",
+        "--compact", "--log-level", "--metrics-out"}},
       {"sweep",
        "re-run a scenario across a list of values for one knob",
        SpecArg::kScenario,
        {"--config", "--param", "--values", "--set", "--jobs", "--seed",
-        "--output", "--compact", "--log-level", "--metrics-out"}},
+        "--timeout-ms", "--output", "--compact", "--log-level",
+        "--metrics-out"}},
       {"schedule",
        "replay a multi-tenant job trace through the cluster scheduler",
        SpecArg::kSchedule,
        {"--config", "--policy", "--calibration", "--core", "--util-bins",
-        "--trace", "--jobs", "--seed", "--output", "--compact",
-        "--log-level", "--metrics-out"}},
+        "--trace", "--jobs", "--seed", "--timeout-ms", "--output",
+        "--compact", "--log-level", "--metrics-out"}},
       {"calibrate",
        "measure per-pair collocation interference, cache it as a table",
        SpecArg::kCalibration,
-       {"--config", "--out", "--jobs", "--seed", "--output", "--compact",
-        "--log-level", "--metrics-out"}},
+       {"--config", "--out", "--jobs", "--seed", "--timeout-ms", "--output",
+        "--compact", "--log-level", "--metrics-out"}},
       {"models",
        "list the model-zoo names",
        SpecArg::kNone,
@@ -54,7 +55,8 @@ const std::vector<CommandInfo>& command_registry() {
        "NDJSON request-per-line daemon over a resident Service",
        SpecArg::kNone,
        {"--jobs", "--journal", "--journal-max-bytes", "--slow-ms",
-        "--log-level", "--metrics-out"},
+        "--timeout-ms", "--max-in-flight", "--max-queue-depth",
+        "--max-line-bytes", "--log-level", "--metrics-out"},
        /*is_op=*/false},
   };
   return kCommands;

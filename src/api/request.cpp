@@ -126,7 +126,16 @@ Request request_from_json(const Json& j) {
     throw std::runtime_error("unknown op \"" + op + "\"; valid ops: " +
                              op_names());
   }
-  return parser(j);
+  Request request = parser(j);
+  if (j.contains("timeout_ms")) {
+    const double timeout_ms = j.at("timeout_ms").as_number();
+    if (!(timeout_ms > 0.0)) {
+      throw std::runtime_error("timeout_ms must be > 0 (got " +
+                               std::to_string(timeout_ms) + ")");
+    }
+    request.timeout_ms = timeout_ms;
+  }
+  return request;
 }
 
 Json to_json(const Request& request) {
@@ -167,6 +176,7 @@ Json to_json(const Request& request) {
         // ModelsRequest carries nothing beyond its op.
       },
       request.body);
+  if (request.timeout_ms > 0.0) j["timeout_ms"] = Json(request.timeout_ms);
   return j;
 }
 

@@ -107,6 +107,13 @@ struct Request {
                CalibrateRequest, ModelsRequest, StatsRequest, ProfileRequest>
       body;
 
+  /// Optional wall-clock deadline ({"timeout_ms": N}, N > 0). The Service
+  /// arms a util::CancelToken for the request; past the deadline the
+  /// operation unwinds cooperatively and the answer is an in-band
+  /// {"ok": false, "error": "deadline exceeded", "partial": {...}}
+  /// envelope. 0 (the default, omitted by the codec) = no deadline.
+  double timeout_ms = 0;
+
   /// The registry op name of the held alternative.
   std::string op() const;
 };

@@ -36,6 +36,10 @@ Json to_json(const Response& response) {
     j["payload"] = response.payload;
   } else {
     j["error"] = Json(response.error);
+    if (response.partial) j["partial"] = *response.partial;
+    if (response.retry_after_ms) {
+      j["retry_after_ms"] = Json(*response.retry_after_ms);
+    }
   }
   if (response.service) j["service"] = to_json(*response.service);
   j["version"] = Json(version());
@@ -53,6 +57,10 @@ Response response_from_json(const Json& j) {
     response.payload = j.at("payload");
   } else {
     response.error = j.at("error").as_string();
+    if (j.contains("partial")) response.partial = j.at("partial");
+    if (j.contains("retry_after_ms")) {
+      response.retry_after_ms = j.at("retry_after_ms").as_number();
+    }
   }
   if (j.contains("service")) {
     response.service = service_stats_from_json(j.at("service"));

@@ -43,6 +43,13 @@ struct Response {
   /// Stats snapshot taken after the request was handled; absent only on
   /// responses constructed outside a Service.
   std::optional<ServiceStats> service;
+  /// Failure-only extras. `partial` rides a deadline-exceeded error: the
+  /// fleet tallies that were final at the event boundary where cancellation
+  /// was observed (see util::CancelledError::partial). `retry_after_ms`
+  /// rides an admission-shed error: the service's backoff hint. Both absent
+  /// on success and on plain errors.
+  std::optional<Json> partial;
+  std::optional<double> retry_after_ms;
 };
 
 /// Envelope codec. Keys: "ok", "version" always; "op" when non-empty;

@@ -2,13 +2,20 @@
 
 #include <algorithm>
 #include <chrono>
+#include <deque>
 #include <exception>
+#include <iostream>
 #include <optional>
+#include <stdexcept>
 #include <string>
+#include <utility>
 
+#include "api/admission.h"
 #include "api/request.h"
 #include "api/response.h"
 #include "obs/metrics.h"
+#include "util/cancel.h"
+#include "util/failpoint.h"
 
 namespace deeppool::api {
 
@@ -37,15 +44,95 @@ std::int64_t delta(std::int64_t after, std::int64_t before) {
   return std::max<std::int64_t>(0, after - before);
 }
 
+enum class LineStatus { kEof, kLine, kOversized };
+
+/// getline with a byte cap: an over-cap line is consumed to its newline —
+/// the stream stays line-synced — but only the first `cap` bytes are
+/// kept, and the caller answers it in-band instead of parsing it.
+LineStatus read_line_capped(std::istream& in, std::string& line,
+                            std::size_t cap) {
+  line.clear();
+  bool oversized = false;
+  bool any = false;
+  char c;
+  while (in.get(c)) {
+    any = true;
+    if (c == '\n') return oversized ? LineStatus::kOversized : LineStatus::kLine;
+    if (line.size() < cap) {
+      line.push_back(c);
+    } else {
+      oversized = true;
+    }
+  }
+  if (!any) return LineStatus::kEof;
+  return oversized ? LineStatus::kOversized : LineStatus::kLine;
+}
+
+bool blank(const std::string& line) {
+  return line.find_first_not_of(" \t\r") == std::string::npos;
+}
+
+/// One backlog entry. Shed and oversized lines ride the same queue as
+/// real requests so every input line is answered in input order.
+struct PendingLine {
+  enum class Kind { kRequest, kShed, kOversized };
+  Kind kind = Kind::kRequest;
+  std::string line;           ///< kRequest only (shed lines keep no bytes)
+  double retry_after_ms = 0;  ///< kShed only
+};
+
 }  // namespace
 
 int run_serve(std::istream& in, std::ostream& out, Service& service,
               const ServeOptions& options) {
+  if (options.max_line_bytes < 1) {
+    throw std::invalid_argument("max_line_bytes must be >= 1 (got " +
+                                std::to_string(options.max_line_bytes) + ")");
+  }
+  AdmissionController admission(
+      AdmissionOptions{options.max_in_flight, options.max_queue_depth});
   std::optional<Journal> journal;
   if (!options.journal.path.empty()) journal.emplace(options.journal);
+
+  std::deque<PendingLine> pending;
+  const auto push_line = [&](LineStatus status, std::string&& line) {
+    if (status == LineStatus::kLine && blank(line)) return;
+    PendingLine entry;
+    if (status == LineStatus::kOversized) {
+      entry.kind = PendingLine::Kind::kOversized;
+    } else if (!admission.try_enqueue()) {
+      entry.kind = PendingLine::Kind::kShed;
+      entry.retry_after_ms = admission.shed();
+    } else {
+      entry.line = std::move(line);
+    }
+    pending.push_back(std::move(entry));
+  };
+
   std::string line;
-  while (std::getline(in, line)) {
-    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+  for (;;) {
+    if (pending.empty()) {
+      const LineStatus status =
+          read_line_capped(in, line, options.max_line_bytes);
+      if (status == LineStatus::kEof) break;
+      push_line(status, std::move(line));
+      if (pending.empty()) continue;  // blank line
+    }
+    if (options.max_queue_depth > 0) {
+      // Eager drain: pull every already-buffered line into the backlog so
+      // the depth cap sees the real burst, not one line at a time. Only
+      // buffered bytes are touched — an interactive client is never
+      // blocked on input it has not sent.
+      while (in.rdbuf()->in_avail() > 0) {
+        const LineStatus status =
+            read_line_capped(in, line, options.max_line_bytes);
+        if (status == LineStatus::kEof) break;
+        push_line(status, std::move(line));
+      }
+    }
+
+    PendingLine entry = std::move(pending.front());
+    pending.pop_front();
     const auto start = std::chrono::steady_clock::now();
     const CacheCounters before =
         journal ? CacheCounters::read() : CacheCounters{};
@@ -56,16 +143,55 @@ int run_serve(std::istream& in, std::ostream& out, Service& service,
     Response response;
     std::string op;
     JournalRecord record;
-    try {
-      const Request request = request_from_json(Json::parse(line));
-      op = request.op();
-      response = service.handle(request);
-      record.ok = true;
-    } catch (const std::exception& e) {
-      // Malformed input or a failing handler answers in-band; the next
-      // line is served regardless.
-      response = service.error_response(e.what(), op);
-      record.error = e.what();
+    if (entry.kind == PendingLine::Kind::kShed) {
+      response = service.error_response(
+          "shed: queue full (max_queue_depth=" +
+          std::to_string(options.max_queue_depth) + "); retry later");
+      response.retry_after_ms = entry.retry_after_ms;
+      record.error = response.error;
+    } else if (entry.kind == PendingLine::Kind::kOversized) {
+      response = service.error_response(
+          "input line exceeds max_line_bytes (" +
+          std::to_string(options.max_line_bytes) + "); line dropped");
+      record.error = response.error;
+    } else {
+      admission.dequeue();
+      const bool admitted = admission.try_admit();
+      if (!admitted) {
+        response = service.error_response(
+            "shed: at capacity (max_in_flight=" +
+            std::to_string(options.max_in_flight) + "); retry later");
+        response.retry_after_ms = admission.shed();
+        record.error = response.error;
+      } else {
+        try {
+          // The injection point for malformed-transport faults; inside
+          // the try so an injected error answers in-band like real
+          // parse failures.
+          DP_FAILPOINT("serve/parse");
+          const Request request = request_from_json(Json::parse(entry.line));
+          op = request.op();
+          response = service.handle(request);
+          record.ok = true;
+        } catch (const util::CancelledError& e) {
+          // A deadline that fired mid-operation: the answer carries the
+          // partial results final at the cancellation boundary.
+          response = service.error_response(e.what(), op);
+          response.partial = e.partial();
+          record.error = e.what();
+        } catch (const std::exception& e) {
+          // Malformed input or a failing handler answers in-band; the
+          // next line is served regardless.
+          response = service.error_response(e.what(), op);
+          record.error = e.what();
+        }
+        admission.release();
+        admission.observe_handle_ms(
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start)
+                .count() *
+            1e3);
+      }
     }
     out << to_json(response).dump() << '\n';
     out.flush();
@@ -93,7 +219,18 @@ int run_serve(std::istream& in, std::ostream& out, Service& service,
       if (handled && journal->slow(record.wall_ms)) {
         record.spans = obs::closed_spans(trace.spans);
       }
-      journal->append(to_json(record));
+      try {
+        journal->append(to_json(record));
+      } catch (const std::exception& e) {
+        // Graceful degradation: the journal is an audit aid, not the
+        // service. One record is lost (counted), journalling is disabled
+        // for the rest of the session, and serving continues.
+        journal.reset();
+        obs::registry().counter("degraded/journal").inc();
+        obs::registry().counter("degraded/journal_records_lost").inc();
+        std::cerr << "journal disabled after write failure: " << e.what()
+                  << '\n';
+      }
     }
   }
   return 0;

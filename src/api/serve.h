@@ -12,8 +12,18 @@
 // appends one audit record per input line to a rotating NDJSON journal
 // (api/journal.h): trace id, op, outcome, wall time, cache-hit deltas,
 // and — for requests slower than --slow-ms — the full span tree.
+//
+// Fault tolerance (see api/admission.h and util/cancel.h): a bounded
+// backlog (--max-queue-depth) sheds over-limit lines in-band with a
+// retry_after_ms hint, responses staying in input order; an oversized
+// line (--max-line-bytes) is consumed and answered in-band; a request
+// whose deadline fires answers {"ok": false, "error": "deadline
+// exceeded", "partial": {...}}; and a journal write failure disables
+// journalling for the rest of the session ("degraded/journal" counters)
+// instead of killing the daemon.
 #pragma once
 
+#include <cstddef>
 #include <istream>
 #include <ostream>
 
@@ -26,6 +36,18 @@ struct ServeOptions {
   /// journal.path empty = no journal (the default); see JournalOptions
   /// for the rotation cap and slow-request threshold.
   JournalOptions journal;
+  /// Admission caps, 0 = unlimited (see api/admission.h). max_in_flight
+  /// binds per handled request (trivially satisfied by this
+  /// single-threaded loop, enforced uniformly for a concurrent
+  /// transport); max_queue_depth bounds lines read but not yet handled —
+  /// the loop drains buffered input eagerly, and lines past the cap are
+  /// shed at enqueue but still answered in input order.
+  int max_in_flight = 0;
+  int max_queue_depth = 0;
+  /// Longest accepted input line. An oversized line is consumed (the
+  /// stream stays in sync) and answered in-band with a one-line error;
+  /// must be >= 1 (std::invalid_argument otherwise).
+  std::size_t max_line_bytes = 8ull * 1024 * 1024;
 };
 
 /// Drains `in`; returns the process exit code (0 — a stream that saw only

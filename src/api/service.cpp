@@ -13,6 +13,7 @@
 #include "obs/metrics.h"
 #include "obs/profile.h"
 #include "obs/span.h"
+#include "util/failpoint.h"
 #include "util/trace.h"
 
 namespace deeppool::api {
@@ -70,7 +71,7 @@ struct ServiceHandlers {
           point[req.param] = Json(req.values[i]);
           point["result"] = runtime::to_json(runtime::run_spec(spec));
           return point;
-        });
+        }, service.active_cancel_);
     Json::Array results;
     for (Json& point : points) results.push_back(std::move(point));
     Json payload;
@@ -109,6 +110,7 @@ struct ServiceHandlers {
     // requests re-plan only shapes this Service has never seen.
     options.shared_plan_cache = &service.plan_cache_;
     if (!req.core.empty()) options.core = req.core;
+    options.cancel = service.active_cancel_;
     // Decision tracing is per request: a fresh recorder, written out after
     // the run. The schedule result itself is byte-identical with or
     // without it.
@@ -150,6 +152,7 @@ struct ServiceHandlers {
     options.progress = service.diag_;
     options.jobs = service.jobs();
     options.pool = &service.pool(grid);
+    options.cancel = service.active_cancel_;
     const calib::CalibrationResult result =
         calib::run_calibration(req.spec, options);
     Json payload = to_json(result);
@@ -217,7 +220,13 @@ Handler handler_for(const std::string& op) {
 }  // namespace
 
 Service::Service(ServiceOptions options)
-    : requested_jobs_(options.jobs), diag_(options.diagnostics) {
+    : requested_jobs_(options.jobs),
+      diag_(options.diagnostics),
+      default_timeout_ms_(options.default_timeout_ms) {
+  if (default_timeout_ms_ < 0.0) {
+    throw std::invalid_argument("default_timeout_ms must be >= 0 (got " +
+                                std::to_string(default_timeout_ms_) + ")");
+  }
   // Fail fast on an explicit bad value (--jobs 0 must error at startup,
   // not on the first pooled request); the env/hardware fallback waits
   // until jobs() is actually needed.
@@ -285,6 +294,21 @@ Response Service::handle(const Request& request) {
                                   service.last_trace_.spans);
     }
   } trace_guard{*this, collector, start};
+  // Arm the request's deadline: the request's own timeout wins over the
+  // service-wide default. The token lives here on the stack; handlers see
+  // it through active_cancel_, which the guard clears on every exit path
+  // (a fired token must never leak into the next request).
+  std::optional<util::CancelToken> deadline;
+  const double timeout_ms =
+      request.timeout_ms > 0.0 ? request.timeout_ms : default_timeout_ms_;
+  if (timeout_ms > 0.0) {
+    deadline = util::CancelToken::after(timeout_ms / 1e3);
+  }
+  active_cancel_ = deadline ? &*deadline : nullptr;
+  struct CancelGuard {
+    Service& service;
+    ~CancelGuard() { service.active_cancel_ = nullptr; }
+  } cancel_guard{*this};
   Response response;
   response.ok = true;
   response.op = op;
@@ -332,15 +356,33 @@ ServiceStats Service::stats() const {
 const calib::InterferenceTable& Service::calibration_table(
     const std::string& path) {
   auto it = calibrations_.find(path);
-  if (it == calibrations_.end()) {
-    it = calibrations_
-             .emplace(path,
-                      calib::InterferenceTable::from_json(load_json_file(path)))
-             .first;
+  if (it != calibrations_.end()) return it->second;
+  // A path that cannot be opened is a configuration error and stays a hard
+  // error — the caller named a file that is not there. Everything past the
+  // open (read, parse, table validation) degrades instead: the request
+  // still runs, priced by the analytic interference fallback, and the
+  // degradation is visible in "degraded/calibration_table". The broken
+  // file is not memoized, so a repaired table is picked up on the next
+  // request naming it.
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  try {
+    DP_FAILPOINT("table/load");
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    calib::InterferenceTable table =
+        calib::InterferenceTable::from_json(Json::parse(buffer.str()));
+    it = calibrations_.emplace(path, std::move(table)).first;
     diag("loaded " + std::to_string(it->second.size()) +
          " measured interference pairs from " + path);
+    return it->second;
+  } catch (const std::exception& e) {
+    obs::registry().counter("degraded/calibration_table").inc();
+    diag("calibration table " + path + " unusable (" + std::string(e.what()) +
+         "); falling back to analytic interference");
+    static const calib::InterferenceTable kEmptyTable;
+    return kEmptyTable;
   }
-  return it->second;
 }
 
 util::ThreadPool& Service::pool(std::size_t tasks) {

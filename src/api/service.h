@@ -34,6 +34,7 @@
 #include "calib/interference.h"
 #include "core/plan_cache.h"
 #include "obs/context.h"
+#include "util/cancel.h"
 #include "util/parallel.h"
 
 namespace deeppool::api {
@@ -58,6 +59,9 @@ struct ServiceOptions {
   /// Progress / provenance lines ("scheduling ...", "loaded N measured
   /// pairs ..."); nullptr = silent. Never receives payload bytes.
   std::ostream* diagnostics = nullptr;
+  /// Deadline applied to every request that does not carry its own
+  /// Request::timeout_ms (`deeppool serve --timeout-ms`). 0 = none.
+  double default_timeout_ms = 0;
 };
 
 class Service {
@@ -110,6 +114,11 @@ class Service {
   std::optional<int> requested_jobs_;
   int jobs_ = 0;  ///< 0 = fallback not yet resolved
   std::ostream* diag_ = nullptr;
+  double default_timeout_ms_ = 0;
+  /// The in-progress request's deadline token; nullptr between requests
+  /// and for requests without a deadline. Handlers thread it into their
+  /// run options (one request at a time, so one slot suffices).
+  const util::CancelToken* active_cancel_ = nullptr;
   std::optional<util::ThreadPool> pool_;  ///< created on first parallel op
   core::PlanCache plan_cache_;
   std::map<std::string, calib::InterferenceTable> calibrations_;

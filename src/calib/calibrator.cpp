@@ -16,6 +16,7 @@
 #include "obs/span.h"
 #include "runtime/cluster.h"
 #include "runtime/scenario_config.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
 #include "util/parallel.h"
 
@@ -279,13 +280,15 @@ CalibrationResult run_calibration(const CalibrationSpec& spec,
   // so a calibrate trace shows the three dependency phases back to back.
   const std::vector<double> bg_rates = [&] {
     DP_SPAN("calib/bg_baseline");
+    DP_FAILPOINT("calib/phase");
+    if (options.cancel != nullptr) options.cancel->check();
     return pool.parallel_map(bg_models.size(), [&](std::size_t i) {
       runtime::ScenarioConfig c = scenario_base(1);
       c.bg_on_idle_gpus = true;
       c.collocate_bg = false;
       const models::ModelGraph bg_model = models::zoo::by_name(bg_models[i]);
       return run_scenario(bg_model, bg_model, cost, c).bg_throughput;
-    });
+    }, options.cancel);
   }();
 
   // Phase 2: isolated-foreground baseline, one task per distinct
@@ -304,6 +307,8 @@ CalibrationResult run_calibration(const CalibrationSpec& spec,
   }
   const std::vector<FgBaseline> baselines = [&] {
     DP_SPAN("calib/fg_baseline");
+    DP_FAILPOINT("calib/phase");
+    if (options.cancel != nullptr) options.cancel->check();
     return pool.parallel_map(shape_points.size(), [&](std::size_t i) {
         const ShapePoint& sp = shape_points[i];
         const models::ModelGraph fg_model = models::zoo::by_name(sp.fg_name);
@@ -334,7 +339,7 @@ CalibrationResult run_calibration(const CalibrationSpec& spec,
               " GPUs, amp_limit " + std::to_string(sp.shape.amp_limit));
         }
         return base;
-    });
+    }, options.cancel);
   }();
   // Phase 3: the collocated grid points, one task per (shape x bg model),
   // reading the now-immutable baselines by index.
@@ -354,6 +359,8 @@ CalibrationResult run_calibration(const CalibrationSpec& spec,
   result.spec = spec;
   result.points = [&] {
     DP_SPAN("calib/pairs");
+    DP_FAILPOINT("calib/phase");
+    if (options.cancel != nullptr) options.cancel->check();
     return pool.parallel_map(tasks.size(), [&](std::size_t i) {
     const ShapePoint& sp = shape_points[tasks[i].shape_index];
     const std::string& bg_name = bg_models[tasks[i].bg_index];
@@ -398,7 +405,7 @@ CalibrationResult run_calibration(const CalibrationSpec& spec,
                 << ", bg_efficiency " << point.factors.bg_efficiency << "\n";
     }
     return point;
-    });
+    }, options.cancel);
   }();
   obs::registry().counter("calib/points").inc(
       static_cast<std::int64_t>(result.points.size()));

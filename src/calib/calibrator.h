@@ -30,6 +30,7 @@
 
 #include "calib/interference.h"
 #include "runtime/multiplex.h"
+#include "util/cancel.h"
 #include "util/json.h"
 
 namespace deeppool::util {
@@ -122,6 +123,10 @@ struct CalibrationRunOptions {
   /// Optional shared worker pool (api::Service lends its resident pool).
   /// The caller keeps ownership; the pool must be idle for the call.
   util::ThreadPool* pool = nullptr;
+  /// Optional stop signal, polled between phases and before each grid
+  /// point: a fired token skips the remaining measurements and the run
+  /// throws util::CancelledError. nullptr = never cancelled.
+  const util::CancelToken* cancel = nullptr;
 };
 
 CalibrationResult run_calibration(const CalibrationSpec& spec,

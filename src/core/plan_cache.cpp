@@ -4,11 +4,14 @@
 
 #include "obs/metrics.h"
 #include "obs/span.h"
+#include "util/failpoint.h"
 
 namespace deeppool::core {
 
 PlanCache::PlanPtr PlanCache::plan(
-    const PlanCacheKey& key, const std::function<TrainingPlan()>& compute) {
+    const PlanCacheKey& key, const std::function<TrainingPlan()>& compute,
+    const util::CancelToken* cancel) {
+  if (cancel != nullptr) cancel->check();
   // Handles resolved once per process; each hit/miss then costs one relaxed
   // atomic add on top of the cache's own bookkeeping.
   static obs::Counter& hit_metric = obs::registry().counter("plan_cache/hits");
@@ -35,6 +38,10 @@ PlanCache::PlanPtr PlanCache::plan(
   if (owner) {
     try {
       DP_SPAN("plan_cache/resolve");
+      // An injected fault here exercises the single-flight error path:
+      // every waiter of this lookup sees it, the entry is dropped, and a
+      // later lookup retries.
+      DP_FAILPOINT("plan_cache/resolve");
       mine.set_value(std::make_shared<const TrainingPlan>(compute()));
     } catch (...) {
       mine.set_exception(std::current_exception());

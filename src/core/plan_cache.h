@@ -26,6 +26,7 @@
 #include <string>
 
 #include "core/plan.h"
+#include "util/cancel.h"
 
 namespace deeppool::core {
 
@@ -55,9 +56,13 @@ class PlanCache {
   /// The plan for `key`, computing it via `compute` on first lookup and
   /// serving the cached copy afterwards. If `compute` throws, the error
   /// propagates to every waiter of that lookup and the entry is dropped so
-  /// a later lookup may retry. Exactly one counter bumps per call.
+  /// a later lookup may retry. Exactly one counter bumps per call. A
+  /// non-null `cancel` is polled before the lookup: a fired token throws
+  /// util::CancelledError without touching the cache or its counters
+  /// (hits + misses stay == completed plan() calls).
   PlanPtr plan(const PlanCacheKey& key,
-               const std::function<TrainingPlan()>& compute);
+               const std::function<TrainingPlan()>& compute,
+               const util::CancelToken* cancel = nullptr);
 
   /// Lookups answered from the cache (including waits on an in-flight
   /// compute) / lookups that ran the planner. hits() + misses() equals the

@@ -178,6 +178,7 @@ class Engine {
   double cluster_busy() const;
   void check_gpu_invariant(std::size_t g);
   void check_invariants();
+  Json partial_metrics() const;
   ScheduleResult finalize();
 
   ScheduleConfig config_;
@@ -252,7 +253,7 @@ Shape Engine::resolve_shape(const JobSpec& spec) {
   };
   const core::PlanCache::PlanPtr plan =
       plan_cache_ != nullptr
-          ? plan_cache_->plan(key, compute)
+          ? plan_cache_->plan(key, compute, options_.cancel)
           : std::make_shared<const core::TrainingPlan>(compute());
 
   Shape shape;
@@ -763,14 +764,16 @@ ScheduleResult Engine::run() {
   // simulation itself stays single-threaded (it is event-ordered).
   std::vector<Shape> shapes(specs_.size());
   if (options_.pool != nullptr) {
-    options_.pool->parallel_for(specs_.size(), [&](std::size_t i) {
-      shapes[i] = resolve_shape(specs_[i]);
-    });
+    options_.pool->parallel_for(
+        specs_.size(),
+        [&](std::size_t i) { shapes[i] = resolve_shape(specs_[i]); },
+        options_.cancel);
   } else {
     util::ThreadPool pool(util::clamp_jobs(options_.jobs, specs_.size()));
-    pool.parallel_for(specs_.size(), [&](std::size_t i) {
-      shapes[i] = resolve_shape(specs_[i]);
-    });
+    pool.parallel_for(
+        specs_.size(),
+        [&](std::size_t i) { shapes[i] = resolve_shape(specs_[i]); },
+        options_.cancel);
   }
   jobs_.reserve(specs_.size());
   for (std::size_t i = 0; i < specs_.size(); ++i) {
@@ -796,7 +799,22 @@ ScheduleResult Engine::run() {
     const int id = job.spec.id;
     sim_.schedule_at(job.spec.arrival_s, [this, id] { on_arrival(id); });
   }
-  sim_.run(config_.max_sim_time_s);
+  if (options_.cancel == nullptr) {
+    // The no-deadline fast path: one call, zero polls, byte-identical to
+    // the pre-cancellation engine.
+    sim_.run(config_.max_sim_time_s);
+  } else {
+    // Poll between events only: an event handler never observes the token,
+    // so a cancelled run stops at an event boundary with every scheduler
+    // invariant intact and the tallies below internally consistent.
+    for (;;) {
+      if (options_.cancel->cancelled()) {
+        throw util::CancelledError(options_.cancel->reason(),
+                                   partial_metrics());
+      }
+      if (!sim_.step(config_.max_sim_time_s)) break;
+    }
+  }
   for (const Job& job : jobs_) {
     if (job.state != State::kDone) {
       throw std::runtime_error(
@@ -808,6 +826,27 @@ ScheduleResult Engine::run() {
     }
   }
   return finalize();
+}
+
+/// The fleet tallies that are final at an event boundary — what a
+/// deadline-exceeded response can still truthfully report. Only counts and
+/// clocks: per-job outcomes and derived aggregates (slowdowns, goodput)
+/// need the full trace and are deliberately absent.
+Json Engine::partial_metrics() const {
+  int completed = 0;
+  for (const Job& job : jobs_) {
+    if (job.state == State::kDone) ++completed;
+  }
+  Json::Object partial;
+  partial["sim_time_s"] = Json(sim_.now());
+  partial["events_executed"] =
+      Json(static_cast<double>(sim_.executed()));
+  partial["jobs_total"] = Json(static_cast<double>(jobs_.size()));
+  partial["jobs_completed"] = Json(static_cast<double>(completed));
+  partial["lends"] = Json(static_cast<double>(lends_));
+  partial["reclaims"] = Json(static_cast<double>(reclaims_));
+  partial["dispatches"] = Json(static_cast<double>(dispatches_));
+  return Json(std::move(partial));
 }
 
 ScheduleResult Engine::finalize() {

@@ -28,6 +28,7 @@
 #include "core/plan_cache.h"
 #include "runtime/multiplex.h"
 #include "sched/workload.h"
+#include "util/cancel.h"
 #include "util/json.h"
 
 namespace deeppool {
@@ -192,6 +193,15 @@ struct ScheduleRunOptions {
   /// nothing and costs one branch per hook — the fleet-bench path. The
   /// caller keeps ownership; recording changes no schedule output.
   deeppool::TraceRecorder* trace = nullptr;
+  /// Optional stop signal (deadline or manual; see util/cancel.h). Polled
+  /// during shape resolution and then between simulation events — never
+  /// mid-event, so a cancelled run stops at an event boundary with every
+  /// invariant intact. A fired token throws util::CancelledError whose
+  /// partial() carries the fleet tallies final at that boundary
+  /// (jobs_completed, sim_time_s, lends, reclaims, ...). nullptr (the
+  /// default) skips the polls entirely: the no-deadline path is
+  /// byte-identical to a run without this knob.
+  const util::CancelToken* cancel = nullptr;
 };
 
 /// Runs the whole trace to completion. Deterministic: the same workload and

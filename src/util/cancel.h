@@ -1,0 +1,131 @@
+// Cooperative cancellation with an optional deadline.
+//
+// A CancelToken is the request-scoped stop signal every long-running
+// subsystem polls: the sched::Engine event loop (between events, never
+// mid-event), run_calibration's three phases, core::PlanCache lookups and
+// util::ThreadPool batches. Polling is cheap — one relaxed atomic load,
+// plus a steady_clock read only while a deadline is armed and not yet
+// latched — so the no-deadline path costs a branch and the deadline path
+// is safe to check at event-loop granularity.
+//
+// Cancellation is cooperative and transactional: work already started
+// finishes (an event handler or pool task body is never interrupted
+// mid-flight), work not yet started is skipped, and the cancelled
+// operation unwinds by throwing CancelledError. The error can carry a
+// "partial" JSON object — whatever results were final at the poll that
+// observed cancellation — which the api layer forwards in-band as
+// {"ok": false, "error": "deadline exceeded", "partial": {...}}.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "util/json.h"
+
+namespace deeppool::util {
+
+/// Thrown when a polled CancelToken reports cancellation. what() is the
+/// token's reason ("deadline exceeded" | "cancelled"); partial() is
+/// whatever the cancelled operation could still report — an empty object
+/// when nothing was final yet, never more than was fully computed.
+class CancelledError : public std::runtime_error {
+ public:
+  explicit CancelledError(const std::string& what,
+                          Json partial = Json(Json::Object{}))
+      : std::runtime_error(what), partial_(std::move(partial)) {}
+  const Json& partial() const noexcept { return partial_; }
+
+ private:
+  Json partial_;
+};
+
+/// Deadline + manual cancel, shareable across threads by pointer. The
+/// state latches: once cancelled() has returned true (manually or because
+/// the deadline passed) it stays true and later polls skip the clock.
+class CancelToken {
+ public:
+  /// A token that never fires on its own; cancel() is the only trigger.
+  CancelToken() = default;
+
+  // Copies carry the latch state over (the atomic itself is not copyable);
+  // a copy taken after cancellation is born cancelled. Subsystems share
+  // one token by pointer — copies exist so factories and std::optional
+  // storage work.
+  CancelToken(const CancelToken& other) noexcept
+      : state_(other.state_.load(std::memory_order_relaxed)),
+        has_deadline_(other.has_deadline_),
+        deadline_(other.deadline_) {}
+  CancelToken& operator=(const CancelToken& other) noexcept {
+    state_.store(other.state_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+    has_deadline_ = other.has_deadline_;
+    deadline_ = other.deadline_;
+    return *this;
+  }
+
+  /// A token that expires `timeout_s` seconds from now. Throws
+  /// std::invalid_argument unless timeout_s > 0.
+  static CancelToken after(double timeout_s) {
+    if (!(timeout_s > 0.0)) {
+      throw std::invalid_argument("cancel deadline must be > 0 s (got " +
+                                  std::to_string(timeout_s) + ")");
+    }
+    CancelToken token;
+    token.has_deadline_ = true;
+    token.deadline_ = std::chrono::steady_clock::now() +
+                      std::chrono::duration_cast<
+                          std::chrono::steady_clock::duration>(
+                          std::chrono::duration<double>(timeout_s));
+    return token;
+  }
+
+  /// Manual trigger; idempotent, and a deadline that already latched wins
+  /// (the reason string stays "deadline exceeded").
+  void cancel() const noexcept {
+    int expected = kLive;
+    state_.compare_exchange_strong(expected, kManual,
+                                   std::memory_order_relaxed);
+  }
+
+  /// The poll. One relaxed load when live with no deadline or already
+  /// latched; a clock read only while a deadline is armed.
+  bool cancelled() const noexcept {
+    const int state = state_.load(std::memory_order_relaxed);
+    if (state != kLive) return true;
+    if (has_deadline_ &&
+        std::chrono::steady_clock::now() >= deadline_) {
+      int expected = kLive;
+      state_.compare_exchange_strong(expected, kDeadline,
+                                     std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  /// Why the token fired; meaningful once cancelled() returned true.
+  const char* reason() const noexcept {
+    return state_.load(std::memory_order_relaxed) == kDeadline
+               ? "deadline exceeded"
+               : "cancelled";
+  }
+
+  /// Throws CancelledError(reason()) when cancelled; the one-line poll
+  /// for sites with nothing partial to attach.
+  void check() const {
+    if (cancelled()) throw CancelledError(reason());
+  }
+
+ private:
+  enum : int { kLive = 0, kManual = 1, kDeadline = 2 };
+  // mutable + const members: polling a shared token must work through the
+  // const pointers subsystems hold (cancellation is observation, not
+  // mutation of the operation's inputs).
+  mutable std::atomic<int> state_{kLive};
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
+};
+
+}  // namespace deeppool::util

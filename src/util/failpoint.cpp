@@ -1,0 +1,241 @@
+#include "util/failpoint.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "util/rng.h"
+
+namespace deeppool::util::failpoints {
+
+namespace {
+
+struct Action {
+  enum class Kind { kError, kDelay };
+  Kind kind = Kind::kError;
+  double probability = 1.0;
+  double delay_ms = 0.0;
+};
+
+struct Site {
+  std::vector<Action> actions;
+  Pcg32 rng;
+  std::int64_t fired = 0;
+};
+
+struct State {
+  std::mutex mu;
+  std::map<std::string, Site> sites;
+};
+
+// Leaky singleton, like obs::registry(): DP_FAILPOINT may run during
+// static destruction of whatever the process tears down last.
+State& state() {
+  static State* s = new State();
+  return *s;
+}
+
+/// FNV-1a, so each site gets its own Pcg32 stream from one spec seed and
+/// the per-site draw sequences stay independent of hit interleaving.
+std::uint64_t site_stream(const std::string& site) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : site) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+[[noreturn]] void bad_spec(const std::string& entry, const std::string& why) {
+  throw std::invalid_argument("DEEPPOOL_FAILPOINTS: bad entry \"" + entry +
+                              "\": " + why);
+}
+
+double parse_number(const std::string& text, const std::string& entry,
+                    const std::string& what) {
+  std::size_t consumed = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(text, &consumed);
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  if (consumed != text.size() || text.empty()) {
+    bad_spec(entry, what + " \"" + text + "\" is not a number");
+  }
+  return value;
+}
+
+double parse_probability(const std::string& text, const std::string& entry) {
+  const double p = parse_number(text, entry, "probability");
+  if (p < 0.0 || p > 1.0) {
+    bad_spec(entry, "probability " + text + " is outside [0, 1]");
+  }
+  return p;
+}
+
+/// "error", "error(P)", "delay(MS)" or "delay(MS,P)".
+Action parse_action(const std::string& text, const std::string& entry) {
+  Action action;
+  std::string name = text;
+  std::string args;
+  const std::size_t open = text.find('(');
+  if (open != std::string::npos) {
+    if (text.back() != ')') bad_spec(entry, "missing ')' in \"" + text + "\"");
+    name = text.substr(0, open);
+    args = text.substr(open + 1, text.size() - open - 2);
+  }
+  if (name == "error") {
+    if (!args.empty()) action.probability = parse_probability(args, entry);
+  } else if (name == "delay") {
+    if (args.empty()) bad_spec(entry, "delay needs (MS) or (MS,P)");
+    const std::size_t comma = args.find(',');
+    const std::string ms = args.substr(0, comma);
+    action.kind = Action::Kind::kDelay;
+    action.delay_ms = parse_number(ms, entry, "delay");
+    if (action.delay_ms < 0.0) {
+      bad_spec(entry, "delay " + ms + " ms is negative");
+    }
+    if (comma != std::string::npos) {
+      action.probability =
+          parse_probability(args.substr(comma + 1), entry);
+    }
+  } else {
+    bad_spec(entry, "unknown action \"" + name +
+                        "\" (valid: error(P) | delay(MS,P))");
+  }
+  return action;
+}
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t end = text.find(sep, start);
+    parts.push_back(text.substr(start, end - start));
+    if (end == std::string::npos) break;
+    start = end + 1;
+  }
+  return parts;
+}
+
+}  // namespace
+
+const std::vector<std::string>& known_sites() {
+  static const std::vector<std::string> kSites = {
+      "calib/phase",        ///< before each run_calibration phase
+      "journal/write",      ///< api::Journal::append, before the write
+      "plan_cache/resolve", ///< core::PlanCache owner compute path
+      "serve/parse",        ///< serve line -> Json::parse
+      "table/load",         ///< Service calibration-table read/parse
+  };
+  return kSites;
+}
+
+void configure(const std::string& spec) {
+  std::map<std::string, Site> sites;
+  std::uint64_t seed = 0;
+  std::vector<std::pair<std::string, std::vector<Action>>> parsed;
+  for (const std::string& entry : split(spec, ';')) {
+    if (entry.empty()) continue;
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      bad_spec(entry, "expected SITE=ACTION or seed=N");
+    }
+    const std::string key = entry.substr(0, eq);
+    const std::string value = entry.substr(eq + 1);
+    if (key == "seed") {
+      seed = static_cast<std::uint64_t>(
+          parse_number(value, entry, "seed"));
+      continue;
+    }
+    const auto& known = known_sites();
+    if (std::find(known.begin(), known.end(), key) == known.end()) {
+      std::string valid;
+      for (const std::string& site : known) {
+        if (!valid.empty()) valid += " | ";
+        valid += site;
+      }
+      bad_spec(entry, "unknown site \"" + key + "\"; valid sites: " + valid);
+    }
+    std::vector<Action> actions;
+    for (const std::string& action : split(value, '|')) {
+      actions.push_back(parse_action(action, entry));
+    }
+    parsed.emplace_back(key, std::move(actions));
+  }
+  for (auto& [site_name, actions] : parsed) {
+    Site site;
+    site.actions = std::move(actions);
+    site.rng = Pcg32(seed, site_stream(site_name));
+    sites[site_name] = std::move(site);
+  }
+  State& s = state();
+  {
+    std::lock_guard<std::mutex> lk(s.mu);
+    s.sites = std::move(sites);
+    detail::g_enabled.store(!s.sites.empty(), std::memory_order_relaxed);
+  }
+}
+
+void clear() { configure(""); }
+
+void init_from_env() {
+  const char* env = std::getenv("DEEPPOOL_FAILPOINTS");
+  configure(env != nullptr ? env : "");
+}
+
+std::int64_t fired(const std::string& site) {
+  State& s = state();
+  std::lock_guard<std::mutex> lk(s.mu);
+  const auto it = s.sites.find(site);
+  return it != s.sites.end() ? it->second.fired : 0;
+}
+
+namespace detail {
+
+void hit_slow(const char* site) {
+  State& s = state();
+  double sleep_ms = 0.0;
+  bool throw_fault = false;
+  {
+    std::lock_guard<std::mutex> lk(s.mu);
+    const auto it = s.sites.find(site);
+    if (it == s.sites.end()) return;
+    Site& armed = it->second;
+    bool fired = false;
+    for (const Action& action : armed.actions) {
+      // Always draw, even at p=1: the per-site sequence position then
+      // depends only on the hit count, never on the action mix.
+      const double u = armed.rng.uniform();
+      if (u >= action.probability) continue;
+      fired = true;
+      if (action.kind == Action::Kind::kDelay) {
+        sleep_ms += action.delay_ms;
+      } else {
+        throw_fault = true;
+        break;  // the throw preempts any later action in the chain
+      }
+    }
+    if (fired) {
+      ++armed.fired;
+      obs::registry().counter(std::string("failpoints/") + site).inc();
+    }
+  }
+  // Sleep and throw outside the lock: a delay must not serialize every
+  // other site behind it.
+  if (sleep_ms > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(sleep_ms));
+  }
+  if (throw_fault) {
+    throw InjectedFault(std::string("injected fault at \"") + site + "\"");
+  }
+}
+
+}  // namespace detail
+
+}  // namespace deeppool::util::failpoints

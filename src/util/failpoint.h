@@ -1,0 +1,92 @@
+// Deterministic fault injection: named failpoint sites, seeded decisions.
+//
+// Production behavior is defined by what happens when components fail, so
+// the failure paths need to be drivable on purpose: DP_FAILPOINT("site")
+// marks each interesting boundary (journal writes, calibration phases,
+// plan-cache resolution, serve-line parsing, table-load IO), and the
+// DEEPPOOL_FAILPOINTS environment variable arms a subset of them:
+//
+//   DEEPPOOL_FAILPOINTS="seed=7;journal/write=error(1);calib/phase=delay(5,0.5)"
+//
+// Grammar (entries ';'-separated):
+//   entry  := "seed=" INT | SITE "=" action ("|" action)*
+//   action := "error" [ "(" P ")" ]          -- throw InjectedFault
+//           | "delay" "(" MS [ "," P ] ")"   -- sleep MS milliseconds
+// with P a probability in [0, 1] (default 1). Chained actions evaluate in
+// spec order on every hit, each with its own draw, so one site can both
+// slow down and fail. SITE must be one of known_sites(); anything else —
+// like any other syntax error — throws a one-line std::invalid_argument.
+//
+// Decisions are drawn from a per-site Pcg32 seeded by (seed, site name),
+// advanced once per action evaluation: for a fixed spec the k-th hit of a
+// site fires identically in every run, independent of what other sites
+// did — so an injected-fault session replays byte-for-byte (serially;
+// under a thread pool the per-site *sequence* is still fixed but which
+// caller draws which index depends on scheduling).
+//
+// Off by default: with nothing configured DP_FAILPOINT is one relaxed
+// atomic load and a not-taken branch.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace deeppool::util {
+
+/// What an "error" action throws. A distinct type so tests and chaos
+/// tooling can tell injected faults from organic ones; handled like any
+/// std::runtime_error everywhere else.
+class InjectedFault : public std::runtime_error {
+ public:
+  explicit InjectedFault(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+namespace failpoints {
+
+namespace detail {
+inline std::atomic<bool> g_enabled{false};
+void hit_slow(const char* site);
+}  // namespace detail
+
+/// Parses and installs `spec` (the DEEPPOOL_FAILPOINTS grammar above),
+/// replacing any previous configuration and reseeding every site. An
+/// empty spec is clear(). Throws std::invalid_argument (one line, quoting
+/// the offending entry) on malformed specs or unknown sites.
+void configure(const std::string& spec);
+
+/// Disarms everything; DP_FAILPOINT goes back to its one-branch cost.
+void clear();
+
+/// Reads DEEPPOOL_FAILPOINTS and configure()s it; unset/empty clears.
+/// Called once at CLI startup so a malformed env var fails the process
+/// with the usual one-line error instead of arming nothing silently.
+void init_from_env();
+
+/// Every site the codebase registers, sorted — the vocabulary configure()
+/// validates against (kept here, next to the checker, so a renamed
+/// DP_FAILPOINT call that forgets this list fails the site's tests).
+const std::vector<std::string>& known_sites();
+
+/// Times `site` fired an action (error thrown or delay slept) since the
+/// last configure()/clear(). 0 for unarmed or unknown sites.
+std::int64_t fired(const std::string& site);
+
+inline bool enabled() noexcept {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// The hook behind DP_FAILPOINT. May throw InjectedFault or sleep.
+inline void hit(const char* site) {
+  if (enabled()) detail::hit_slow(site);
+}
+
+}  // namespace failpoints
+}  // namespace deeppool::util
+
+/// Marks one failure-injection site. `site` must be a string literal
+/// listed in failpoints::known_sites().
+#define DP_FAILPOINT(site) ::deeppool::util::failpoints::hit(site)

@@ -97,6 +97,20 @@ class Parser {
   }
 
   Json parse_value() {
+    // Containers recurse through parse_value, one frame per nesting level;
+    // unbounded depth would let a hostile line of "[[[[..." overflow the
+    // stack long before any size limit trips. 256 levels is far beyond any
+    // legitimate spec or request.
+    static constexpr int kMaxDepth = 256;
+    if (depth_ >= kMaxDepth) {
+      fail("nesting too deep (max " + std::to_string(kMaxDepth) +
+           " levels)");
+    }
+    ++depth_;
+    struct DepthGuard {
+      int& depth;
+      ~DepthGuard() { --depth; }
+    } guard{depth_};
     skip_ws();
     switch (peek()) {
       case '{': return parse_object();
@@ -213,6 +227,7 @@ class Parser {
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;  ///< open containers; capped in parse_value
 };
 
 void dump_value(const Json& v, int indent, int depth, std::string& out);

@@ -46,6 +46,16 @@ void ThreadPool::run_batch(std::unique_lock<std::mutex>& lk) {
   // thread this re-installs its own context — a no-op by value.
   const obs::ContextScope context(batch_context_);
   while (body_ != nullptr && next_ < n_) {
+    // Poll before claiming: a fired token stops new work, never work in
+    // flight. The first observer charges all unclaimed indices to done_
+    // so the join predicate still closes.
+    if (cancel_ != nullptr && cancel_->cancelled()) {
+      batch_cancelled_ = true;
+      done_ += n_ - next_;
+      next_ = n_;
+      if (done_ == n_) done_cv_.notify_all();
+      break;
+    }
     const std::size_t i = next_++;
     const auto* body = body_;
     lk.unlock();
@@ -65,15 +75,21 @@ void ThreadPool::run_batch(std::unique_lock<std::mutex>& lk) {
 }
 
 void ThreadPool::parallel_for(std::size_t n,
-                              const std::function<void(std::size_t)>& body) {
+                              const std::function<void(std::size_t)>& body,
+                              const CancelToken* cancel) {
   if (n == 0) return;
   if (workers_ == 1 || n == 1) {
     // Inline serial path. Same error contract as the pool: every index
     // still runs, the first (== lowest) failing index's exception is
     // rethrown afterwards — so side effects on the error path cannot
-    // differ between --jobs 1 and --jobs N.
+    // differ between --jobs 1 and --jobs N. A fired token skips the
+    // remaining indices and wins over any body error, exactly like the
+    // pooled path.
     std::exception_ptr first;
     for (std::size_t i = 0; i < n; ++i) {
+      if (cancel != nullptr && cancel->cancelled()) {
+        throw CancelledError(cancel->reason());
+      }
       try {
         body(i);
       } catch (...) {
@@ -85,6 +101,8 @@ void ThreadPool::parallel_for(std::size_t n,
   }
   std::unique_lock<std::mutex> lk(mu_);
   batch_context_ = obs::current_context();
+  cancel_ = cancel;
+  batch_cancelled_ = false;
   body_ = &body;
   n_ = n;
   next_ = 0;
@@ -99,6 +117,17 @@ void ThreadPool::parallel_for(std::size_t n,
   // Don't let a dangling sink pointer outlive the batch: the collector it
   // names is per-request and may be destroyed before the next batch.
   batch_context_ = obs::TraceContext{};
+  cancel_ = nullptr;
+  if (batch_cancelled_) {
+    // Cancellation preempts body errors: the batch's outputs are being
+    // abandoned wholesale, so the caller needs the cancellation, not
+    // whichever body happened to fail first.
+    batch_cancelled_ = false;
+    err_ = nullptr;
+    const char* reason = cancel != nullptr ? cancel->reason() : "cancelled";
+    lk.unlock();
+    throw CancelledError(reason);
+  }
   if (err_ != nullptr) {
     const std::exception_ptr err = err_;
     err_ = nullptr;

@@ -17,6 +17,12 @@
 //   * Exceptions: every index still runs (no cancellation), and the
 //     exception thrown by the *lowest* failing index is rethrown — so
 //     error reporting is deterministic under parallelism too.
+//   * Cooperative cancellation: with a CancelToken passed, workers poll it
+//     before claiming each index — a body already running always finishes,
+//     unclaimed indices are skipped once the token fires, and the join
+//     rethrows CancelledError (taking precedence over body errors; the
+//     batch's results are abandoned wholesale, so which bodies ran does
+//     not matter). Without a token behavior is exactly the old contract.
 //   * Trace-context propagation: the caller's obs::TraceContext is
 //     captured once per parallel_for and re-installed around every batch
 //     a worker runs, so DP_SPAN scopes inside task bodies parent into the
@@ -39,6 +45,7 @@
 #include <vector>
 
 #include "obs/context.h"
+#include "util/cancel.h"
 
 namespace deeppool::util {
 
@@ -54,17 +61,22 @@ class ThreadPool {
   int workers() const noexcept { return workers_; }
 
   /// Runs body(0) .. body(n - 1) across the pool; returns when all have
-  /// completed. Rethrows the exception of the lowest failing index.
+  /// completed. Rethrows the exception of the lowest failing index. A
+  /// non-null `cancel` is polled before each index is claimed; once it
+  /// fires the remaining indices are skipped and CancelledError is thrown
+  /// after the in-flight bodies finish.
   void parallel_for(std::size_t n,
-                    const std::function<void(std::size_t)>& body);
+                    const std::function<void(std::size_t)>& body,
+                    const CancelToken* cancel = nullptr);
 
   /// Index-ordered map: slot i of the result holds fn(i). The result type
   /// must be default-constructible and movable.
   template <typename Fn>
-  auto parallel_map(std::size_t n, Fn&& fn)
+  auto parallel_map(std::size_t n, Fn&& fn,
+                    const CancelToken* cancel = nullptr)
       -> std::vector<std::decay_t<std::invoke_result_t<Fn&, std::size_t>>> {
     std::vector<std::decay_t<std::invoke_result_t<Fn&, std::size_t>>> out(n);
-    parallel_for(n, [&](std::size_t i) { out[i] = fn(i); });
+    parallel_for(n, [&](std::size_t i) { out[i] = fn(i); }, cancel);
     return out;
   }
 
@@ -85,6 +97,8 @@ class ThreadPool {
   // Current batch (valid while body_ != nullptr).
   obs::TraceContext batch_context_;  ///< enqueuer's context, re-installed
                                      ///< around every worker's batch run
+  const CancelToken* cancel_ = nullptr;  ///< polled before each claim
+  bool batch_cancelled_ = false;  ///< any index skipped on cancellation
   const std::function<void(std::size_t)>* body_ = nullptr;
   std::size_t n_ = 0;
   std::size_t next_ = 0;  ///< next unclaimed index

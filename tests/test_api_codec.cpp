@@ -174,6 +174,38 @@ TEST(RequestCodec, RejectsMalformedRequests) {
       std::runtime_error);
 }
 
+TEST(RequestCodec, TimeoutMsRoundTripsAndDefaultsOmit) {
+  // The default (no deadline) is omitted so canonical requests stay
+  // byte-identical to pre-deadline logs.
+  EXPECT_EQ(to_json(Request{ModelsRequest{}}).dump(), R"({"op":"models"})");
+  Request request{ModelsRequest{}};
+  request.timeout_ms = 250;
+  expect_byte_stable(request);
+  const Request back = request_from_json(
+      Json::parse(R"({"op": "models", "timeout_ms": 250})"));
+  EXPECT_DOUBLE_EQ(back.timeout_ms, 250.0);
+  // A deadline rides any op, including spec-carrying ones.
+  sched::ScheduleSpec schedule;
+  schedule.workload.num_jobs = 2;
+  Request with_spec{ScheduleRequest{schedule, ""}};
+  with_spec.timeout_ms = 10.5;
+  expect_byte_stable(with_spec);
+}
+
+TEST(RequestCodec, NonPositiveTimeoutMsIsOneLineError) {
+  for (const char* line : {R"({"op": "models", "timeout_ms": 0})",
+                           R"({"op": "models", "timeout_ms": -5})"}) {
+    try {
+      request_from_json(Json::parse(line));
+      FAIL() << line;
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("timeout_ms must be > 0"),
+                std::string::npos)
+          << e.what();
+    }
+  }
+}
+
 TEST(ResponseCodec, OkEnvelopeRoundTripsByteStable) {
   Response response;
   response.ok = true;
@@ -217,6 +249,57 @@ TEST(ResponseCodec, ErrorEnvelopeRoundTripsByteStable) {
   EXPECT_FALSE(back.ok);
   EXPECT_EQ(back.error, "cannot open nope.json");
   EXPECT_EQ(to_json(back).dump(2), once);
+}
+
+TEST(ResponseCodec, DeadlinePartialRoundTripsByteStable) {
+  Response response;
+  response.ok = false;
+  response.op = "schedule";
+  response.error = "deadline exceeded";
+  Json::Object partial;
+  partial["jobs_completed"] = Json(41);
+  partial["sim_time_s"] = Json(12.5);
+  response.partial = Json(std::move(partial));
+
+  const Json j = to_json(response);
+  EXPECT_EQ(j.at("partial").at("jobs_completed").as_int(), 41);
+  EXPECT_FALSE(j.contains("retry_after_ms"));
+
+  const std::string once = j.dump(2);
+  const Response back = response_from_json(Json::parse(once));
+  ASSERT_TRUE(back.partial.has_value());
+  EXPECT_DOUBLE_EQ(back.partial->at("sim_time_s").as_number(), 12.5);
+  EXPECT_EQ(to_json(back).dump(2), once);
+}
+
+TEST(ResponseCodec, ShedRetryAfterRoundTripsByteStable) {
+  Response response;
+  response.ok = false;
+  response.error = "shed: queue full (max_queue_depth=2); retry later";
+  response.retry_after_ms = 120.0;
+
+  const Json j = to_json(response);
+  EXPECT_DOUBLE_EQ(j.at("retry_after_ms").as_number(), 120.0);
+
+  const std::string once = j.dump(2);
+  const Response back = response_from_json(Json::parse(once));
+  ASSERT_TRUE(back.retry_after_ms.has_value());
+  EXPECT_DOUBLE_EQ(*back.retry_after_ms, 120.0);
+  EXPECT_EQ(to_json(back).dump(2), once);
+}
+
+TEST(ResponseCodec, FailureExtrasNeverLeakIntoOkEnvelopes) {
+  // partial / retry_after_ms are failure-channel fields: an ok envelope
+  // never emits them, keeping success bytes identical to earlier releases.
+  Response response;
+  response.ok = true;
+  response.op = "models";
+  response.payload["models"] = Json(Json::Array{});
+  response.partial = Json(Json::Object{});
+  response.retry_after_ms = 5.0;
+  const Json j = to_json(response);
+  EXPECT_FALSE(j.contains("partial"));
+  EXPECT_FALSE(j.contains("retry_after_ms"));
 }
 
 }  // namespace

@@ -1,0 +1,169 @@
+// util::CancelToken semantics and its cooperative-cancellation contract
+// through util::ThreadPool and core::PlanCache.
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "core/plan_cache.h"
+#include "util/cancel.h"
+#include "util/parallel.h"
+
+namespace deeppool::util {
+namespace {
+
+TEST(CancelToken, DefaultTokenNeverFires) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_NO_THROW(token.check());
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(CancelToken, ManualCancelLatches) {
+  CancelToken token;
+  token.cancel();
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_STREQ(token.reason(), "cancelled");
+  // Latched: stays cancelled on every later poll.
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_THROW(token.check(), CancelledError);
+}
+
+TEST(CancelToken, DeadlineFiresAndReportsItsReason) {
+  const CancelToken token = CancelToken::after(1e-3);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_STREQ(token.reason(), "deadline exceeded");
+  try {
+    token.check();
+    FAIL() << "expected CancelledError";
+  } catch (const CancelledError& e) {
+    EXPECT_STREQ(e.what(), "deadline exceeded");
+    EXPECT_TRUE(e.partial().is_object());
+    EXPECT_TRUE(e.partial().as_object().empty());
+  }
+}
+
+TEST(CancelToken, UnexpiredDeadlineStaysLive) {
+  const CancelToken token = CancelToken::after(3600.0);
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_NO_THROW(token.check());
+}
+
+TEST(CancelToken, NonPositiveDeadlineIsOneLineError) {
+  EXPECT_THROW(CancelToken::after(0.0), std::invalid_argument);
+  EXPECT_THROW(CancelToken::after(-1.5), std::invalid_argument);
+}
+
+TEST(CancelToken, ManualCancelDoesNotMasquerandeAsDeadline) {
+  const CancelToken token = CancelToken::after(3600.0);
+  token.cancel();
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_STREQ(token.reason(), "cancelled");
+}
+
+TEST(CancelToken, CopiesCarryTheLatchState) {
+  CancelToken token;
+  token.cancel();
+  const CancelToken copy = token;
+  EXPECT_TRUE(copy.cancelled());
+}
+
+TEST(CancelledError, CarriesItsPartialPayload) {
+  Json::Object partial;
+  partial["jobs_completed"] = Json(7);
+  const CancelledError error("deadline exceeded", Json(std::move(partial)));
+  EXPECT_EQ(error.partial().at("jobs_completed").as_int(), 7);
+}
+
+TEST(ThreadPoolCancel, PreCancelledTokenRunsNoBodies) {
+  ThreadPool pool(4);
+  CancelToken token;
+  token.cancel();
+  std::atomic<int> ran{0};
+  EXPECT_THROW(
+      pool.parallel_for(100, [&](std::size_t) { ++ran; }, &token),
+      CancelledError);
+  EXPECT_EQ(ran.load(), 0);
+  // The pool survives a cancelled batch: the next batch runs normally.
+  std::atomic<int> after{0};
+  pool.parallel_for(10, [&](std::size_t) { ++after; });
+  EXPECT_EQ(after.load(), 10);
+}
+
+TEST(ThreadPoolCancel, MidBatchCancelSkipsUnstartedWork) {
+  ThreadPool pool(2);
+  CancelToken token;
+  std::atomic<int> ran{0};
+  // Every body fires the (latching) token: whichever body completes first
+  // publishes the cancel through the pool's mutex hand-off, so the very
+  // next claim poll — on either worker, under any scheduling — observes
+  // it. Cancelling only from index 0 would race: the other worker can
+  // drain the whole range before body 0 ever runs.
+  try {
+    pool.parallel_for(
+        1000,
+        [&](std::size_t) {
+          token.cancel();
+          ++ran;
+        },
+        &token);
+    FAIL() << "expected CancelledError";
+  } catch (const CancelledError& e) {
+    EXPECT_STREQ(e.what(), "cancelled");
+  }
+  // Started bodies finished (cooperative: never interrupted mid-flight),
+  // but the batch stopped well short of the full range: at most one body
+  // in flight per worker after the first completion.
+  EXPECT_LT(ran.load(), 1000);
+}
+
+TEST(ThreadPoolCancel, SingleWorkerInlinePathPollsToo) {
+  ThreadPool pool(1);
+  CancelToken token;
+  int ran = 0;
+  EXPECT_THROW(pool.parallel_for(
+                   10,
+                   [&](std::size_t i) {
+                     ++ran;
+                     if (i == 2) token.cancel();
+                   },
+                   &token),
+               CancelledError);
+  EXPECT_EQ(ran, 3);  // bodies 0..2 ran; the poll before 3 fired
+}
+
+TEST(ThreadPoolCancel, NullTokenIsTheOldBehavior) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  pool.parallel_for(50, [&](std::size_t) { ++ran; }, nullptr);
+  EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(PlanCacheCancel, FiredTokenThrowsWithoutTouchingCounters) {
+  core::PlanCache cache;
+  CancelToken token;
+  token.cancel();
+  int computes = 0;
+  const auto compute = [&]() -> core::TrainingPlan {
+    ++computes;
+    return core::TrainingPlan{};
+  };
+  EXPECT_THROW(cache.plan(core::PlanCacheKey{}, compute, &token),
+               CancelledError);
+  EXPECT_EQ(computes, 0);
+  EXPECT_EQ(cache.hits(), 0);
+  EXPECT_EQ(cache.misses(), 0);
+  EXPECT_EQ(cache.size(), 0u);
+  // A live token leaves the lookup untouched.
+  CancelToken live;
+  EXPECT_NE(cache.plan(core::PlanCacheKey{}, compute, &live), nullptr);
+  EXPECT_EQ(computes, 1);
+  EXPECT_EQ(cache.misses(), 1);
+}
+
+}  // namespace
+}  // namespace deeppool::util

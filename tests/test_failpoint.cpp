@@ -1,0 +1,161 @@
+// util::failpoints — grammar, one-line rejection of malformed specs,
+// deterministic replay, and the off-by-default contract.
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/failpoint.h"
+
+namespace deeppool::util {
+namespace {
+
+/// Every test leaves the process-wide failpoint state disarmed.
+class FailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { failpoints::clear(); }
+};
+
+TEST_F(FailpointTest, OffByDefaultAndAfterClear) {
+  EXPECT_FALSE(failpoints::enabled());
+  EXPECT_NO_THROW(DP_FAILPOINT("journal/write"));
+  failpoints::configure("journal/write=error(1)");
+  EXPECT_TRUE(failpoints::enabled());
+  failpoints::clear();
+  EXPECT_FALSE(failpoints::enabled());
+  EXPECT_NO_THROW(DP_FAILPOINT("journal/write"));
+}
+
+TEST_F(FailpointTest, ErrorActionThrowsInjectedFaultNamingTheSite) {
+  failpoints::configure("journal/write=error(1)");
+  try {
+    DP_FAILPOINT("journal/write");
+    FAIL() << "expected InjectedFault";
+  } catch (const InjectedFault& e) {
+    EXPECT_NE(std::string(e.what()).find("journal/write"),
+              std::string::npos);
+  }
+  EXPECT_EQ(failpoints::fired("journal/write"), 1);
+  // Unarmed sites stay inert while another site is armed.
+  EXPECT_NO_THROW(DP_FAILPOINT("serve/parse"));
+  EXPECT_EQ(failpoints::fired("serve/parse"), 0);
+}
+
+TEST_F(FailpointTest, ZeroProbabilityNeverFires) {
+  failpoints::configure("serve/parse=error(0)");
+  for (int i = 0; i < 100; ++i) EXPECT_NO_THROW(DP_FAILPOINT("serve/parse"));
+  EXPECT_EQ(failpoints::fired("serve/parse"), 0);
+}
+
+TEST_F(FailpointTest, ProbabilisticFiringReplaysByteIdentically) {
+  const std::string spec = "seed=7;serve/parse=error(0.5)";
+  const auto run = [&] {
+    failpoints::configure(spec);
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) {
+      bool threw = false;
+      try {
+        DP_FAILPOINT("serve/parse");
+      } catch (const InjectedFault&) {
+        threw = true;
+      }
+      fired.push_back(threw);
+    }
+    return fired;
+  };
+  const std::vector<bool> first = run();
+  const std::vector<bool> second = run();
+  EXPECT_EQ(first, second);
+  // A 0.5 probability over 64 hits fires some and skips some.
+  EXPECT_NE(std::count(first.begin(), first.end(), true), 0);
+  EXPECT_NE(std::count(first.begin(), first.end(), false), 0);
+}
+
+TEST_F(FailpointTest, DifferentSeedsDrawDifferentSequences) {
+  const auto run = [](const std::string& spec) {
+    failpoints::configure(spec);
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) {
+      bool threw = false;
+      try {
+        DP_FAILPOINT("serve/parse");
+      } catch (const InjectedFault&) {
+        threw = true;
+      }
+      fired.push_back(threw);
+    }
+    return fired;
+  };
+  EXPECT_NE(run("seed=1;serve/parse=error(0.5)"),
+            run("seed=2;serve/parse=error(0.5)"));
+}
+
+TEST_F(FailpointTest, DelayActionFiresWithoutThrowing) {
+  failpoints::configure("calib/phase=delay(1)");
+  EXPECT_NO_THROW(DP_FAILPOINT("calib/phase"));
+  EXPECT_EQ(failpoints::fired("calib/phase"), 1);
+}
+
+TEST_F(FailpointTest, ChainedActionsEvaluateInSpecOrder) {
+  // delay at p=1 then error at p=1: the hit both sleeps and throws, and
+  // counts once.
+  failpoints::configure("plan_cache/resolve=delay(1)|error(1)");
+  EXPECT_THROW(DP_FAILPOINT("plan_cache/resolve"), InjectedFault);
+  EXPECT_EQ(failpoints::fired("plan_cache/resolve"), 1);
+}
+
+TEST_F(FailpointTest, KnownSitesAreSortedAndCoverTheRegisteredSet) {
+  const std::vector<std::string>& sites = failpoints::known_sites();
+  EXPECT_TRUE(std::is_sorted(sites.begin(), sites.end()));
+  for (const char* site : {"calib/phase", "journal/write",
+                           "plan_cache/resolve", "serve/parse",
+                           "table/load"}) {
+    EXPECT_NE(std::find(sites.begin(), sites.end(), site), sites.end())
+        << site;
+  }
+}
+
+TEST_F(FailpointTest, MalformedSpecsAreOneLineErrors) {
+  for (const char* spec : {
+           "journal/write",                 // no action
+           "journal/write=",                // empty action
+           "journal/write=explode",         // unknown action
+           "journal/write=error(2)",        // probability out of range
+           "journal/write=error(-0.5)",     // negative probability
+           "journal/write=error(0.5",       // missing ')'
+           "journal/write=delay",           // delay needs ms
+           "journal/write=delay(-3)",       // negative delay
+           "journal/write=delay(1,1.5)",    // probability out of range
+           "seed=banana",                   // non-numeric seed
+           "no/such/site=error(1)",         // unknown site
+       }) {
+    EXPECT_THROW(failpoints::configure(spec), std::invalid_argument)
+        << spec;
+    // A rejected spec arms nothing.
+    EXPECT_FALSE(failpoints::enabled()) << spec;
+  }
+}
+
+TEST_F(FailpointTest, UnknownSiteErrorListsTheValidSites) {
+  try {
+    failpoints::configure("no/such/site=error(1)");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("no/such/site"), std::string::npos);
+    EXPECT_NE(what.find("journal/write"), std::string::npos);
+  }
+}
+
+TEST_F(FailpointTest, ReconfigureReplacesThePreviousSpec) {
+  failpoints::configure("journal/write=error(1)");
+  failpoints::configure("serve/parse=error(1)");
+  EXPECT_NO_THROW(DP_FAILPOINT("journal/write"));
+  EXPECT_THROW(DP_FAILPOINT("serve/parse"), InjectedFault);
+}
+
+}  // namespace
+}  // namespace deeppool::util

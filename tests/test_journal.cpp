@@ -13,8 +13,11 @@
 #include <string>
 #include <vector>
 
+#include "api/response.h"
 #include "api/serve.h"
 #include "api/service.h"
+#include "obs/metrics.h"
+#include "util/failpoint.h"
 #include "util/json.h"
 
 namespace deeppool::api {
@@ -265,6 +268,52 @@ TEST(Journal, SlowRequestsDumpTheirSpanTreeFastOnesDoNot) {
   records = read_records(path);
   ASSERT_EQ(records.size(), 1u);
   EXPECT_FALSE(records[0].contains("spans"));
+  remove_journal(path);
+}
+
+TEST(Journal, WriteFailureDisablesJournalingButServingContinues) {
+  // The audit journal is best-effort: when an append starts failing the
+  // session drops the journal, counts what it lost, and keeps answering
+  // every request in-band.
+  const std::string path = temp_path("journal_failing.ndjson");
+  remove_journal(path);
+  const std::int64_t degraded_before =
+      obs::registry().counter("degraded/journal").value();
+  const std::int64_t lost_before =
+      obs::registry().counter("degraded/journal_records_lost").value();
+
+  std::stringstream in;
+  in << R"({"op": "models"})" << '\n'
+     << R"({"op": "models"})" << '\n'
+     << R"({"op": "models"})" << '\n';
+  std::ostringstream out;
+  Service service(ServiceOptions{1, nullptr});
+  util::failpoints::configure("journal/write=error(1)");
+  const int exit_code =
+      run_serve(in, out, service, journal_options(path, /*slow_ms=*/-1.0));
+  // The first failed append tripped the breaker; later requests never
+  // touched the dead journal, so the failpoint fired exactly once.
+  EXPECT_EQ(util::failpoints::fired("journal/write"), 1);
+  util::failpoints::clear();
+  ASSERT_EQ(exit_code, 0);
+
+  // Every request was still answered ok, in-band.
+  std::vector<std::string> lines;
+  {
+    std::istringstream split(out.str());
+    std::string line;
+    while (std::getline(split, line)) lines.push_back(line);
+  }
+  ASSERT_EQ(lines.size(), 3u);
+  for (const std::string& line : lines) {
+    EXPECT_TRUE(response_from_json(Json::parse(line)).ok) << line;
+  }
+
+  EXPECT_EQ(obs::registry().counter("degraded/journal").value(),
+            degraded_before + 1);
+  EXPECT_EQ(obs::registry().counter("degraded/journal_records_lost").value(),
+            lost_before + 1);
+  EXPECT_TRUE(read_records(path).empty());
   remove_journal(path);
 }
 

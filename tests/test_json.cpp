@@ -95,5 +95,39 @@ TEST(Json, ScientificNotationNumbers) {
   EXPECT_DOUBLE_EQ(Json::parse("2E3").as_number(), 2000.0);
 }
 
+TEST(Json, NestingAtTheDepthCapParses) {
+  // 256 levels is the documented cap; a document exactly at it parses.
+  std::string deep;
+  for (int i = 0; i < 256; ++i) deep += '[';
+  for (int i = 0; i < 256; ++i) deep += ']';
+  EXPECT_NO_THROW(Json::parse(deep));
+}
+
+TEST(Json, NestingPastTheDepthCapIsOneLineError) {
+  // A hostile or corrupt input must not recurse until the stack dies: one
+  // level past the cap fails with a one-line error naming the limit.
+  const auto nested = [](int levels, char open, char close) {
+    std::string text;
+    for (int i = 0; i < levels; ++i) text += open;
+    for (int i = 0; i < levels; ++i) text += close;
+    return text;
+  };
+  try {
+    Json::parse(nested(257, '[', ']'));
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("nesting too deep"), std::string::npos) << what;
+    EXPECT_NE(what.find("256"), std::string::npos) << what;
+    EXPECT_EQ(what.find('\n'), std::string::npos) << what;
+  }
+  // Objects burn the same depth budget as arrays.
+  std::string objects;
+  for (int i = 0; i < 257; ++i) objects += "{\"k\":";
+  objects += "null";
+  for (int i = 0; i < 257; ++i) objects += '}';
+  EXPECT_THROW(Json::parse(objects), std::runtime_error);
+}
+
 }  // namespace
 }  // namespace deeppool

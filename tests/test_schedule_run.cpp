@@ -2,11 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 #include "sched/policies.h"
+#include "util/cancel.h"
 
 namespace deeppool::sched {
 namespace {
@@ -169,6 +172,97 @@ TEST(ScheduleRun, FifoHeadOfLineVsBackfill) {
       run_schedule(mix_workload(), cluster16("best_fit"));
   EXPECT_LE(best.fleet.makespan_s, fifo.fleet.makespan_s);
 }
+
+TEST(ScheduleRun, UnexpiredCancelTokenChangesNothing) {
+  // The cancel-aware event loop steps the simulator one event at a time
+  // instead of draining it in one call; with a token that never fires the
+  // two paths must be byte-identical.
+  const util::CancelToken token = util::CancelToken::after(3600.0);
+  ScheduleRunOptions with_token;
+  with_token.cancel = &token;
+  const ScheduleResult a =
+      run_schedule(mix_workload(), cluster16("burst_lending"), with_token);
+  const ScheduleResult b =
+      run_schedule(mix_workload(), cluster16("burst_lending"));
+  EXPECT_EQ(to_json(a).dump(), to_json(b).dump());
+}
+
+TEST(ScheduleRun, PreCancelledTokenStopsBeforeTheSimulation) {
+  util::CancelToken token;
+  token.cancel();
+  ScheduleRunOptions options;
+  options.cancel = &token;
+  try {
+    run_schedule(mix_workload(), cluster16("burst_lending"), options);
+    FAIL() << "expected CancelledError";
+  } catch (const util::CancelledError& e) {
+    EXPECT_STREQ(e.what(), "cancelled");
+    EXPECT_TRUE(e.partial().is_object());
+  }
+}
+
+#ifdef DEEPPOOL_SCENARIO_DIR
+TEST(ScheduleRun, DeadlineOnTheFleetTraceReturnsPartialMetricsInBoundedTime) {
+  // The 100k-job fleet trace's event loop dominates its wall time; a
+  // short deadline must cut that loop mid-flight, surface "deadline
+  // exceeded", and carry the fleet tallies that were final at
+  // cancellation. Machine speed varies wildly (sanitizers slow setup
+  // ~10x, so a fixed 300 ms can expire during trace generation, before
+  // the loop even starts and anything partial exists) — sweep doubling
+  // deadlines until one lands inside the loop. The loop phase is far
+  // longer than the setup phase, so some doubling step always straddles
+  // it unless the machine outruns the largest deadline entirely.
+  const std::string path =
+      std::string(DEEPPOOL_SCENARIO_DIR) + "/sched_fleet_100k.json";
+  std::ifstream in(path);
+  ASSERT_TRUE(in) << "cannot open " << path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const ScheduleSpec spec =
+      schedule_spec_from_json(Json::parse(buffer.str()));
+
+  Json partial;
+  bool cancelled_mid_loop = false;
+  bool completed = false;
+  for (double timeout_s = 0.3; timeout_s <= 19.2 && !cancelled_mid_loop;
+       timeout_s *= 2.0) {
+    const util::CancelToken token = util::CancelToken::after(timeout_s);
+    ScheduleRunOptions options;
+    options.cancel = &token;
+    const auto start = std::chrono::steady_clock::now();
+    try {
+      run_schedule(spec, options);
+      completed = true;
+      break;
+    } catch (const util::CancelledError& e) {
+      const double elapsed_s =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      EXPECT_STREQ(e.what(), "deadline exceeded");
+      // Bounded: cancellation is polled between events, so the run ends
+      // a poll after the deadline, not after the remaining ~seconds of
+      // trace.
+      EXPECT_LT(elapsed_s - timeout_s, 30.0);
+      ASSERT_TRUE(e.partial().is_object());
+      if (!e.partial().as_object().empty()) {
+        partial = e.partial();
+        cancelled_mid_loop = true;
+      }
+    }
+  }
+  if (completed && !cancelled_mid_loop) {
+    GTEST_SKIP() << "machine replays the 100k trace inside every deadline "
+                    "tried; nothing to cancel";
+  }
+  ASSERT_TRUE(cancelled_mid_loop)
+      << "every deadline expired before the event loop started";
+  EXPECT_EQ(partial.at("jobs_total").as_int(), 100000);
+  EXPECT_LT(partial.at("jobs_completed").as_int(), 100000);
+  EXPECT_GT(partial.at("events_executed").as_int(), 0);
+  EXPECT_GE(partial.at("sim_time_s").as_number(), 0.0);
+}
+#endif
 
 TEST(ScheduleSpecJson, RoundTripAndKindHandling) {
   ScheduleSpec spec;

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -14,6 +15,7 @@
 #include "api/serve.h"
 #include "api/service.h"
 #include "api/version.h"
+#include "obs/metrics.h"
 #include "util/json.h"
 
 namespace deeppool::api {
@@ -185,6 +187,127 @@ TEST(Serve, EmptyStreamAnswersNothing) {
   EXPECT_EQ(run_serve(in, out, service), 0);
   EXPECT_TRUE(out.str().empty());
   EXPECT_EQ(service.stats().requests, 0);
+}
+
+TEST(Serve, ExpiredDeadlineAnswersInBandAndTheSessionContinues) {
+  // A 1-microsecond deadline has fired before the first cooperative poll,
+  // so the answer is deterministic: in-band "deadline exceeded" with a
+  // partial object, then the next (deadline-less) request runs normally.
+  Json with_deadline = Json::parse(schedule_line());
+  with_deadline["timeout_ms"] = Json(0.001);
+  std::stringstream in;
+  in << with_deadline.dump() << '\n' << schedule_line() << '\n';
+
+  std::ostringstream out;
+  Service service(ServiceOptions{1, nullptr});
+  ASSERT_EQ(run_serve(in, out, service), 0);
+
+  const std::vector<std::string> lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), 2u);
+  const Response timed_out = response_from_json(Json::parse(lines[0]));
+  EXPECT_FALSE(timed_out.ok);
+  EXPECT_EQ(timed_out.error, "deadline exceeded");
+  ASSERT_TRUE(timed_out.partial.has_value());
+  EXPECT_TRUE(timed_out.partial->is_object());
+  const Response next = response_from_json(Json::parse(lines[1]));
+  EXPECT_TRUE(next.ok);
+  EXPECT_EQ(next.op, "schedule");
+}
+
+TEST(Serve, ServiceDefaultTimeoutAppliesWhenTheRequestCarriesNone) {
+  ServiceOptions options{1, nullptr};
+  options.default_timeout_ms = 0.001;  // expired before the first poll
+  Service service(options);
+  std::stringstream in(schedule_line() + "\n");
+  std::ostringstream out;
+  ASSERT_EQ(run_serve(in, out, service), 0);
+  const Response response =
+      response_from_json(Json::parse(lines_of(out.str())[0]));
+  EXPECT_FALSE(response.ok);
+  EXPECT_EQ(response.error, "deadline exceeded");
+}
+
+TEST(Serve, OversizedLineIsConsumedAndAnsweredInBand) {
+  ServeOptions options;
+  options.max_line_bytes = 64;
+  std::string huge(1000, 'x');
+  std::stringstream in;
+  in << R"({"op": "models"})" << '\n'
+     << huge << '\n'
+     << R"({"op": "models"})" << '\n';
+  std::ostringstream out;
+  Service service(ServiceOptions{1, nullptr});
+  ASSERT_EQ(run_serve(in, out, service, options), 0);
+
+  const std::vector<std::string> lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_TRUE(response_from_json(Json::parse(lines[0])).ok);
+  const Response oversized = response_from_json(Json::parse(lines[1]));
+  EXPECT_FALSE(oversized.ok);
+  EXPECT_NE(oversized.error.find("exceeds max_line_bytes"),
+            std::string::npos);
+  EXPECT_NE(oversized.error.find("64"), std::string::npos);
+  // The stream re-synced at the newline: the line after answers normally.
+  EXPECT_TRUE(response_from_json(Json::parse(lines[2])).ok);
+}
+
+TEST(Serve, BadMaxLineBytesIsOneLineError) {
+  ServeOptions options;
+  options.max_line_bytes = 0;
+  std::stringstream in;
+  std::ostringstream out;
+  Service service(ServiceOptions{1, nullptr});
+  EXPECT_THROW(run_serve(in, out, service, options),
+               std::invalid_argument);
+}
+
+TEST(Serve, BoundedQueueShedsInInputOrderWithRetryAfter) {
+  // Five buffered requests against max_queue_depth 2: the loop's eager
+  // drain claims two backlog slots, the overflow is shed at enqueue — but
+  // every line is still answered, in input order.
+  ServeOptions options;
+  options.max_queue_depth = 2;
+  std::stringstream in;
+  for (int i = 0; i < 5; ++i) in << R"({"op": "models"})" << '\n';
+  std::ostringstream out;
+  Service service(ServiceOptions{1, nullptr});
+  ASSERT_EQ(run_serve(in, out, service, options), 0);
+
+  const std::vector<std::string> lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), 5u);
+  int ok = 0;
+  int shed = 0;
+  for (const std::string& line : lines) {
+    const Response response = response_from_json(Json::parse(line));
+    if (response.ok) {
+      ++ok;
+    } else {
+      ++shed;
+      EXPECT_NE(response.error.find("shed: queue full (max_queue_depth=2)"),
+                std::string::npos)
+          << response.error;
+      ASSERT_TRUE(response.retry_after_ms.has_value());
+      EXPECT_GE(*response.retry_after_ms, 1.0);
+    }
+  }
+  // The whole burst is buffered, so the eager drain sees it at once:
+  // two lines fit the queue, the other three are shed at enqueue.
+  EXPECT_EQ(ok, 2);
+  EXPECT_EQ(shed, 3);
+  // Shed decisions are visible in the registry.
+  EXPECT_GE(obs::registry().counter("api/shed").value(), 3);
+}
+
+TEST(Serve, UnlimitedQueueNeverSheds) {
+  ServeOptions options;  // all caps at their defaults
+  std::stringstream in;
+  for (int i = 0; i < 5; ++i) in << R"({"op": "models"})" << '\n';
+  std::ostringstream out;
+  Service service(ServiceOptions{1, nullptr});
+  ASSERT_EQ(run_serve(in, out, service, options), 0);
+  for (const std::string& line : lines_of(out.str())) {
+    EXPECT_TRUE(response_from_json(Json::parse(line)).ok);
+  }
 }
 
 }  // namespace

@@ -16,8 +16,10 @@
 #include "api/version.h"
 #include "calib/interference.h"
 #include "obs/context.h"
+#include "obs/metrics.h"
 #include "obs/profile.h"
 #include "runtime/scenario_config.h"
+#include "util/failpoint.h"
 #include "util/json.h"
 
 namespace deeppool::api {
@@ -336,6 +338,92 @@ TEST(Service, StatsResetZeroesTheRegistryInPlace) {
   // survive the reset untouched.
   ASSERT_TRUE(after.service.has_value());
   EXPECT_EQ(after.service->requests, 3);
+}
+
+TEST(Service, CorruptCalibrationTableDegradesToAnalyticFallback) {
+  // A table that opens but does not parse is a degradation, not a request
+  // failure: the schedule still runs, uncalibrated, and the incident is
+  // visible in the registry.
+  const std::string path = testing::TempDir() + "/service_corrupt_table.json";
+  {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good());
+    out << "{ this is not json\n";
+  }
+  const std::int64_t before =
+      obs::registry().counter("degraded/calibration_table").value();
+
+  Service service(ServiceOptions{1, nullptr});
+  const Request request{ScheduleRequest{tiny_schedule(), path}};
+  const Response degraded = service.handle(request);
+  ASSERT_TRUE(degraded.ok);
+  EXPECT_FALSE(
+      degraded.payload.at("result").at("fleet").at("calibrated").as_bool());
+  EXPECT_EQ(obs::registry().counter("degraded/calibration_table").value(),
+            before + 1);
+  // A failed load is never memoized, so nothing counts as loaded...
+  ASSERT_TRUE(degraded.service.has_value());
+  EXPECT_EQ(degraded.service->calibrations_loaded, 0);
+
+  // ...and repairing the file lets the same resident service recover.
+  calib::InterferenceTable table;
+  table.set(calib::PairKey{"vgg16", "resnet50", calib::GpuShape{4, 2.0}},
+            calib::PairFactors{0.07, 0.9});
+  {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good());
+    out << table.to_json().dump(2) << '\n';
+  }
+  const Response recovered = service.handle(request);
+  std::remove(path.c_str());
+  ASSERT_TRUE(recovered.ok);
+  EXPECT_TRUE(
+      recovered.payload.at("result").at("fleet").at("calibrated").as_bool());
+  EXPECT_EQ(recovered.service->calibrations_loaded, 1);
+}
+
+TEST(Service, TableLoadFailpointTripsTheSameFallback) {
+  calib::InterferenceTable table;
+  table.set(calib::PairKey{"vgg16", "resnet50", calib::GpuShape{4, 2.0}},
+            calib::PairFactors{0.07, 0.9});
+  const std::string path = testing::TempDir() + "/service_failpoint_table.json";
+  {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good());
+    out << table.to_json().dump(2) << '\n';
+  }
+
+  Service service(ServiceOptions{1, nullptr});
+  const Request request{ScheduleRequest{tiny_schedule(), path}};
+  util::failpoints::configure("table/load=error(1)");
+  const Response degraded = service.handle(request);
+  EXPECT_EQ(util::failpoints::fired("table/load"), 1);
+  util::failpoints::clear();
+  ASSERT_TRUE(degraded.ok);
+  EXPECT_FALSE(
+      degraded.payload.at("result").at("fleet").at("calibrated").as_bool());
+
+  // With the failpoint disarmed the untouched file loads normally.
+  const Response recovered = service.handle(request);
+  std::remove(path.c_str());
+  ASSERT_TRUE(recovered.ok);
+  EXPECT_TRUE(
+      recovered.payload.at("result").at("fleet").at("calibrated").as_bool());
+}
+
+TEST(Service, RequestTimeoutValidationAndDefaults) {
+  ServiceOptions options{1, nullptr};
+  options.default_timeout_ms = -1.0;
+  EXPECT_THROW(Service{options}, std::invalid_argument);
+
+  // A generous deadline changes nothing about the answer.
+  ServiceOptions relaxed{1, nullptr};
+  relaxed.default_timeout_ms = 3600e3;
+  Service with_deadline(relaxed);
+  Service without(ServiceOptions{1, nullptr});
+  const Request request{ScheduleRequest{tiny_schedule(), ""}};
+  EXPECT_EQ(with_deadline.handle(request).payload.dump(2),
+            without.handle(request).payload.dump(2));
 }
 
 TEST(Service, ErrorResponseCountsAndStamps) {

@@ -13,7 +13,8 @@
 //   deeppool calibrate spec.json [--out table.json] [--jobs N]
 //                     [--output report.json] [--compact]
 //   deeppool serve    [--jobs N] [--journal FILE [--journal-max-bytes B]
-//                     [--slow-ms T]]
+//                     [--slow-ms T]] [--timeout-ms T] [--max-in-flight N]
+//                     [--max-queue-depth N] [--max-line-bytes B]
 //   deeppool models
 //   deeppool stats    [--reset]
 //   deeppool profile  [--no-times] [--reset]
@@ -53,6 +54,7 @@
 #include "api/version.h"
 #include "core/plan.h"
 #include "obs/metrics.h"
+#include "util/failpoint.h"
 #include "util/json.h"
 #include "util/logging.h"
 
@@ -82,6 +84,8 @@ int usage(std::ostream& os, int exit_code) {
         "                    [--compact]\n"
         "  deeppool serve    [--jobs N] [--journal FILE]\n"
         "                    [--journal-max-bytes B] [--slow-ms T]\n"
+        "                    [--timeout-ms T] [--max-in-flight N]\n"
+        "                    [--max-queue-depth N] [--max-line-bytes B]\n"
         "  deeppool models\n"
         "  deeppool stats    [--reset] [--output FILE] [--compact]\n"
         "  deeppool profile  [--no-times] [--reset] [--output FILE]\n"
@@ -112,7 +116,18 @@ int usage(std::ostream& os, int exit_code) {
         "`serve --journal FILE` appends one NDJSON audit record per request\n"
         "(trace id, op, outcome, wall time, cache-hit deltas), rotating the\n"
         "file at --journal-max-bytes (default 64 MiB); with --slow-ms T,\n"
-        "requests slower than T ms journal their full span tree. `stats\n"
+        "requests slower than T ms journal their full span tree.\n"
+        "--timeout-ms T (> 0) puts a wall-clock deadline on a request:\n"
+        "past it the operation stops cooperatively and answers {\"ok\":\n"
+        "false, \"error\": \"deadline exceeded\", \"partial\": {...}} (on\n"
+        "serve it is the default for requests without their own\n"
+        "\"timeout_ms\"). `serve --max-queue-depth N` sheds backlogged\n"
+        "lines in-band with a retry_after_ms hint, --max-in-flight N caps\n"
+        "concurrent handling, and --max-line-bytes B (default 8 MiB)\n"
+        "bounds an input line. The DEEPPOOL_FAILPOINTS env var injects\n"
+        "deterministic faults at named sites (e.g.\n"
+        "\"seed=7;journal/write=error(1)\"; see src/util/failpoint.h).\n"
+        "`stats\n"
         "--reset` snapshots the registry then zeroes it in place; `profile`\n"
         "prints per-op hierarchical span aggregates (call count, total vs\n"
         "self time per span path; --no-times leaves counts only, which are\n"
@@ -135,6 +150,10 @@ struct Args {
   std::string journal_path;      // serve: NDJSON audit journal
   std::optional<std::int64_t> journal_max_bytes;  // serve: rotation cap
   std::optional<double> slow_ms;  // serve: span-dump threshold
+  std::optional<double> timeout_ms;  // request deadline (> 0)
+  std::optional<int> max_in_flight;    // serve: admission cap (0 = unlimited)
+  std::optional<int> max_queue_depth;  // serve: backlog cap (0 = unlimited)
+  std::optional<std::int64_t> max_line_bytes;  // serve: input line cap
   std::optional<int> util_bins;  // schedule: util_timeline_bins override
   std::string table_out_path;    // calibrate: where the table cache goes
   std::string sweep_param;
@@ -250,6 +269,35 @@ Args parse_args(int argc, char** argv) {
                                     " is negative (needs >= 0)");
       }
       args.slow_ms = ms;
+    }
+    else if (flag == "--timeout-ms") {
+      const std::string text = need_value(i, flag);
+      const double ms = parse_double(text, flag);
+      if (!(ms > 0)) {
+        throw std::invalid_argument(
+            "--timeout-ms: " + text + " is not a valid deadline (needs > 0)");
+      }
+      args.timeout_ms = ms;
+    }
+    else if (flag == "--max-in-flight" || flag == "--max-queue-depth") {
+      const std::int64_t cap = parse_int(need_value(i, flag), flag);
+      if (cap < 0 || cap > std::numeric_limits<int>::max()) {
+        throw std::invalid_argument(flag + ": " + std::to_string(cap) +
+                                    " is out of range (needs >= 0; 0 = "
+                                    "unlimited)");
+      }
+      (flag == "--max-in-flight" ? args.max_in_flight
+                                 : args.max_queue_depth) =
+          static_cast<int>(cap);
+    }
+    else if (flag == "--max-line-bytes") {
+      const std::int64_t bytes = parse_int(need_value(i, flag), flag);
+      if (bytes < 1) {
+        throw std::invalid_argument("--max-line-bytes: " +
+                                    std::to_string(bytes) +
+                                    " is out of range (needs >= 1)");
+      }
+      args.max_line_bytes = bytes;
     }
     else if (flag == "--reset") args.reset = true;
     else if (flag == "--no-times") args.no_times = true;
@@ -549,10 +597,19 @@ int main(int argc, char** argv) {
     const Args args = parse_args(argc, argv);
     check_flags(args, *info);
     const std::string log_level = configure_log_level(args);
+    // Deterministic fault injection (DEEPPOOL_FAILPOINTS env var; see
+    // util/failpoint.h for the grammar). A malformed spec fails here with
+    // one line rather than mid-session.
+    deeppool::util::failpoints::init_from_env();
 
     api::ServiceOptions options;
     options.jobs = args.jobs;
     options.diagnostics = &std::cerr;
+    if (command == "serve" && args.timeout_ms) {
+      // On serve the deadline is a service-wide default (per-request
+      // timeout_ms wins); one-shot commands stamp it on their one request.
+      options.default_timeout_ms = *args.timeout_ms;
+    }
     api::Service service(options);
     if (command == "serve") {
       // The journal sub-flags only mean anything with a journal to apply
@@ -571,6 +628,20 @@ int main(int argc, char** argv) {
         serve_options.journal.max_bytes = *args.journal_max_bytes;
       }
       if (args.slow_ms) serve_options.journal.slow_ms = *args.slow_ms;
+      if (args.max_in_flight) {
+        serve_options.max_in_flight = *args.max_in_flight;
+      }
+      if (args.max_queue_depth) {
+        serve_options.max_queue_depth = *args.max_queue_depth;
+      }
+      if (args.max_line_bytes) {
+        serve_options.max_line_bytes =
+            static_cast<std::size_t>(*args.max_line_bytes);
+      }
+      // Unsynced stdin lets the transport see the kernel-buffered backlog
+      // (rdbuf()->in_avail()), which is what --max-queue-depth sheds
+      // against; the synced default reports an always-empty buffer.
+      std::ios::sync_with_stdio(false);
       const int rc =
           api::run_serve(std::cin, std::cout, service, serve_options);
       write_metrics(args.metrics_out_path);
@@ -583,7 +654,9 @@ int main(int argc, char** argv) {
       throw std::logic_error("command \"" + command +
                              "\" has no request builder");
     }
-    api::Response response = service.handle(builder(args));
+    api::Request request = builder(args);
+    if (args.timeout_ms) request.timeout_ms = *args.timeout_ms;
+    api::Response response = service.handle(request);
     // Echoed only when explicitly configured, so default runs stay
     // byte-identical to earlier releases.
     if (!log_level.empty()) {
