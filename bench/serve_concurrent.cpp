@@ -1,0 +1,186 @@
+// Concurrent socket serving: what the io::Server transport scales to.
+//
+// Runs one in-process io::Server on a unix-domain socket over one warm
+// api::Service, then measures warm-schedule request throughput two ways:
+//
+//   1. One client, round-tripping requests back to back — the
+//      single-connection req/s floor.
+//   2. Four clients concurrently, the same total request count — the
+//      multi-connection aggregate req/s. Every request takes a
+//      per-request pool lease and passes the shared admission gate, so
+//      this is the end-to-end concurrency path, not a microbenchmark.
+//
+// "scaling" = multi / single aggregate req/s; "inv_scaling" = its inverse
+// (lower is better), which is what bench/compare_baseline.py gates — a
+// machine-independent ratio, so the committed baseline encodes "4 clients
+// must sustain >= 2.5x one client" without caring how fast the runner is.
+//
+// Writes BENCH_serve_concurrent.json (or the first non-flag arg); --quick
+// shrinks the request count for CI smoke runs.
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/request.h"
+#include "api/response.h"
+#include "api/service.h"
+#include "bench_common.h"
+#include "io/address.h"
+#include "io/server.h"
+#include "io/socket.h"
+#include "sched/workload.h"
+#include "util/json.h"
+#include "util/parallel.h"
+
+#include <unistd.h>
+
+using namespace deeppool;
+
+namespace {
+
+constexpr int kClients = 4;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+std::string schedule_line() {
+  sched::ScheduleSpec spec;
+  spec.name = "bench_serve_concurrent";
+  spec.workload.arrival = "fixed";
+  spec.workload.interval_s = 0.5;
+  spec.workload.num_jobs = 16;
+  spec.workload.seed = 5;
+  spec.workload.min_iterations = 10;
+  spec.workload.max_iterations = 20;
+  spec.config.num_gpus = 8;
+  spec.config.policy = "burst_lending";
+  spec.config.util_timeline_bins = 8;
+  return api::to_json(api::Request{api::ScheduleRequest{std::move(spec), ""}})
+      .dump();
+}
+
+/// Round-trips `count` requests on one connection; returns how many
+/// answered ok.
+int drive(const std::string& sock, const std::string& line, int count) {
+  io::Connection conn = io::Connection::connect_unix(sock);
+  int ok = 0;
+  std::string reply;
+  for (int i = 0; i < count; ++i) {
+    if (!conn.write_line(line)) break;
+    if (conn.read_line(reply, 8ull * 1024 * 1024) !=
+        io::Connection::ReadStatus::kLine) {
+      break;
+    }
+    if (api::response_from_json(Json::parse(reply)).ok) ++ok;
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string path = "BENCH_serve_concurrent.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else {
+      path = arg;
+    }
+  }
+  const int total_requests = quick ? 400 : 2000;
+
+  bench::print_header(
+      "Concurrent socket serving: multi-connection scaling over one Service",
+      "io::Server — per-request pool leases, shared admission");
+
+  const std::string sock =
+      "/tmp/dp_bench_serve_" + std::to_string(::getpid()) + ".sock";
+  api::Service service(api::ServiceOptions{});
+  io::ServerOptions options;
+  io::Server server(service, io::unix_address(sock), options);
+  std::thread runner([&] { server.run(); });
+
+  const std::string line = schedule_line();
+  // Warm the plan cache so both phases measure the steady state the
+  // daemon actually serves from.
+  if (drive(sock, line, 2) != 2) {
+    std::cerr << "FATAL: warm-up requests failed\n";
+    server.stop();
+    runner.join();
+    return 1;
+  }
+
+  // --- Phase 1: one connection, back-to-back. ---------------------------
+  const auto t_single = std::chrono::steady_clock::now();
+  const int single_ok = drive(sock, line, total_requests);
+  const double single_s = seconds_since(t_single);
+  const double single_req_per_s =
+      single_s > 0.0 ? static_cast<double>(single_ok) / single_s : 0.0;
+
+  // --- Phase 2: kClients connections, same total volume. ----------------
+  const int per_client = total_requests / kClients;
+  std::vector<int> oks(kClients, 0);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  const auto t_multi = std::chrono::steady_clock::now();
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back(
+        [&, c] { oks[static_cast<std::size_t>(c)] = drive(sock, line, per_client); });
+  }
+  for (std::thread& t : clients) t.join();
+  const double multi_s = seconds_since(t_multi);
+  int multi_ok = 0;
+  for (const int ok : oks) multi_ok += ok;
+  const double multi_req_per_s =
+      multi_s > 0.0 ? static_cast<double>(multi_ok) / multi_s : 0.0;
+
+  server.stop();
+  runner.join();
+
+  if (single_ok != total_requests || multi_ok != per_client * kClients) {
+    std::cerr << "FATAL: not every request answered ok (single " << single_ok
+              << "/" << total_requests << ", multi " << multi_ok << "/"
+              << per_client * kClients << ")\n";
+    return 1;
+  }
+
+  const double scaling =
+      single_req_per_s > 0.0 ? multi_req_per_s / single_req_per_s : 0.0;
+  const double inv_scaling = scaling > 0.0 ? 1.0 / scaling : 0.0;
+
+  TablePrinter table({"metric", "value"});
+  table.add_row({"requests per phase", TablePrinter::num(total_requests, 0)});
+  table.add_row({"1 client (req/s)", TablePrinter::num(single_req_per_s, 1)});
+  table.add_row({"4 clients (req/s)", TablePrinter::num(multi_req_per_s, 1)});
+  table.add_row({"scaling (multi/single)", TablePrinter::num(scaling, 2)});
+  table.add_row({"hardware threads",
+                 TablePrinter::num(util::hardware_jobs(), 0)});
+  table.print(std::cout);
+
+  Json out_json;
+  out_json["bench"] = Json("serve_concurrent");
+  out_json["clients"] = Json(kClients);
+  out_json["requests_per_phase"] = Json(total_requests);
+  out_json["quick"] = Json(quick);
+  out_json["single_req_per_s"] = Json(single_req_per_s);
+  out_json["multi_req_per_s"] = Json(multi_req_per_s);
+  out_json["scaling"] = Json(scaling);
+  out_json["inv_scaling"] = Json(inv_scaling);
+  out_json["hardware_jobs"] = Json(util::hardware_jobs());
+
+  std::ofstream file(path);
+  if (!file) {
+    std::cerr << "cannot write " << path << "\n";
+    return 1;
+  }
+  file << out_json.dump(2) << '\n';
+  std::cout << "wrote " << path << '\n';
+  return 0;
+}

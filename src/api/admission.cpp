@@ -1,10 +1,12 @@
 #include "api/admission.h"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 #include <string>
 
 #include "obs/metrics.h"
+#include "util/cancel.h"
 
 namespace deeppool::api {
 
@@ -27,6 +29,7 @@ AdmissionController::AdmissionController(const AdmissionOptions& options)
 }
 
 bool AdmissionController::try_admit() noexcept {
+  std::lock_guard<std::mutex> lk(mu_);
   if (options_.max_in_flight > 0 && in_flight_ >= options_.max_in_flight) {
     return false;
   }
@@ -34,11 +37,28 @@ bool AdmissionController::try_admit() noexcept {
   return true;
 }
 
+bool AdmissionController::admit_blocking(
+    const util::CancelToken* cancel) noexcept {
+  std::unique_lock<std::mutex> lk(mu_);
+  while (options_.max_in_flight > 0 &&
+         in_flight_ >= options_.max_in_flight) {
+    if (cancel != nullptr && cancel->cancelled()) return false;
+    cv_.wait_for(lk, std::chrono::milliseconds(10));
+  }
+  ++in_flight_;
+  return true;
+}
+
 void AdmissionController::release() noexcept {
-  if (in_flight_ > 0) --in_flight_;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (in_flight_ > 0) --in_flight_;
+  }
+  cv_.notify_one();
 }
 
 bool AdmissionController::try_enqueue() noexcept {
+  std::lock_guard<std::mutex> lk(mu_);
   if (options_.max_queue_depth > 0 && queued_ >= options_.max_queue_depth) {
     return false;
   }
@@ -47,10 +67,12 @@ bool AdmissionController::try_enqueue() noexcept {
 }
 
 void AdmissionController::dequeue() noexcept {
+  std::lock_guard<std::mutex> lk(mu_);
   if (queued_ > 0) --queued_;
 }
 
 double AdmissionController::shed() {
+  std::lock_guard<std::mutex> lk(mu_);
   ++sheds_;
   // Lazy registration: a session that never sheds never adds this counter,
   // so existing stats snapshots stay byte-identical.
@@ -63,12 +85,28 @@ double AdmissionController::shed() {
 
 void AdmissionController::observe_handle_ms(double ms) noexcept {
   if (!(ms >= 0.0)) return;
+  std::lock_guard<std::mutex> lk(mu_);
   if (!observed_any_) {
     ewma_handle_ms_ = ms;
     observed_any_ = true;
     return;
   }
   ewma_handle_ms_ = kEwmaAlpha * ms + (1.0 - kEwmaAlpha) * ewma_handle_ms_;
+}
+
+std::int64_t AdmissionController::sheds() const noexcept {
+  std::lock_guard<std::mutex> lk(mu_);
+  return sheds_;
+}
+
+int AdmissionController::in_flight() const noexcept {
+  std::lock_guard<std::mutex> lk(mu_);
+  return in_flight_;
+}
+
+int AdmissionController::queued() const noexcept {
+  std::lock_guard<std::mutex> lk(mu_);
+  return queued_;
 }
 
 }  // namespace deeppool::api

@@ -5,24 +5,37 @@
 // goes with them. The AdmissionController is the serve transport's gate —
 // two caps, both off by default, both answering *before* any work is done:
 //
-//   max_in_flight   — requests being handled at once. The NDJSON loop is
-//                     single-threaded today, so in-flight never exceeds 1
-//                     there; the cap is validated and enforced uniformly so
-//                     a concurrent transport picks it up unchanged.
-//   max_queue_depth — requests read but not yet handled. The serve loop
+//   max_in_flight   — requests being handled at once. The stdio NDJSON
+//                     loop is single-threaded, so in-flight never exceeds
+//                     1 there; the io::Server socket transport runs many
+//                     connections against one controller, so the cap binds
+//                     across all of them.
+//   max_queue_depth — requests read but not yet handled. The stdio loop
 //                     drains buffered input eagerly; lines past the cap are
 //                     shed at enqueue time but still answered in input
 //                     order, in-band:
 //                     {"ok": false, "error": "shed: queue full (...)",
-//                      "retry_after_ms": N}.
+//                      "retry_after_ms": N}. Over sockets the queue spans
+//                     connections: a request that finds all in-flight slots
+//                     taken waits in the queue (admit_blocking) and is shed
+//                     only once the queue itself is full.
 //
 // Shed decisions tick the "api/shed" registry counter (registered lazily —
 // a session that never sheds leaves the stats snapshot untouched) and
 // carry a retry-after hint derived from an EWMA of observed handling
 // times: roughly "how long until the backlog ahead of you drains".
+//
+// Thread-safe: all methods may be called concurrently (one mutex inside);
+// the stdio loop pays one uncontended lock per gate call.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
+#include <mutex>
+
+namespace deeppool::util {
+class CancelToken;
+}  // namespace deeppool::util
 
 namespace deeppool::api {
 
@@ -46,7 +59,13 @@ class AdmissionController {
 
   /// In-flight gate: claims a handling slot. False = at capacity, shed.
   bool try_admit() noexcept;
-  /// Releases a slot claimed by try_admit.
+  /// Blocking in-flight gate for concurrent transports: waits until a
+  /// handling slot frees up. The caller holds a queue slot (try_enqueue)
+  /// while waiting, so max_queue_depth bounds the waiters. A non-null
+  /// `cancel` is polled ~10 ms; a fired token aborts the wait and returns
+  /// false (no slot claimed).
+  bool admit_blocking(const util::CancelToken* cancel) noexcept;
+  /// Releases a slot claimed by try_admit / admit_blocking.
   void release() noexcept;
 
   /// Queue gate: claims a backlog slot. False = queue full, shed.
@@ -61,13 +80,15 @@ class AdmissionController {
   /// Feeds one observed request handling time into the retry-after EWMA.
   void observe_handle_ms(double ms) noexcept;
 
-  std::int64_t sheds() const noexcept { return sheds_; }
-  int in_flight() const noexcept { return in_flight_; }
-  int queued() const noexcept { return queued_; }
+  std::int64_t sheds() const noexcept;
+  int in_flight() const noexcept;
+  int queued() const noexcept;
   const AdmissionOptions& options() const noexcept { return options_; }
 
  private:
   AdmissionOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;  ///< signalled by release()
   int in_flight_ = 0;
   int queued_ = 0;
   std::int64_t sheds_ = 0;

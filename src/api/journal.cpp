@@ -69,6 +69,11 @@ Json to_json(const JournalRecord& record) {
   j["calib"] = std::move(calib);
   if (!record.error.empty()) j["error"] = Json(record.error);
   if (!record.spans.empty()) j["spans"] = spans_to_json(record.spans);
+  if (!record.shed.empty()) {
+    j["shed"] = Json(record.shed);
+    j["retry_after_ms"] = Json(record.retry_after_ms);
+  }
+  if (record.connection > 0) j["conn"] = Json(record.connection);
   return j;
 }
 

@@ -87,11 +87,21 @@ struct JournalRecord {
   std::int64_t calib_hits = 0;
   std::int64_t calib_misses = 0;
   std::vector<obs::SpanRecord> spans;  ///< attached for slow requests only
+  /// Shed records carry the backpressure the client saw: the reason
+  /// ("queue" = backlog full, "in_flight" = at capacity) and the in-band
+  /// retry_after_ms hint, so audit replay can reconstruct shed decisions
+  /// without the response stream. Empty/zero on every other record.
+  std::string shed;
+  double retry_after_ms = 0.0;
+  /// Socket-transport connection id (1-based, per server lifetime); 0 for
+  /// the stdio transport, whose records stay byte-identical.
+  std::int64_t connection = 0;
 };
 
 /// {"calib": {"hits", "misses"}, "ok", "op", "plan_cache": {"hits",
-/// "misses"}, "trace_id", "wall_ms"} plus "error" (failures) and "spans"
-/// (slow requests).
+/// "misses"}, "trace_id", "wall_ms"} plus "error" (failures), "spans"
+/// (slow requests), "shed" + "retry_after_ms" (shed records), and "conn"
+/// (socket-transport records).
 Json to_json(const JournalRecord& record);
 
 /// A span tree as JSON: one {"dur_ms", "id", "name", "parent",

@@ -56,7 +56,8 @@ const std::vector<CommandInfo>& command_registry() {
        SpecArg::kNone,
        {"--jobs", "--journal", "--journal-max-bytes", "--slow-ms",
         "--timeout-ms", "--max-in-flight", "--max-queue-depth",
-        "--max-line-bytes", "--log-level", "--metrics-out"},
+        "--max-line-bytes", "--listen", "--unix", "--max-connections",
+        "--drain-ms", "--log-level", "--metrics-out"},
        /*is_op=*/false},
   };
   return kCommands;

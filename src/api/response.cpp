@@ -14,6 +14,13 @@ Json to_json(const ServiceStats& stats) {
   j["plan_cache_misses"] = Json(stats.plan_cache_misses);
   j["plan_cache_size"] = Json(stats.plan_cache_size);
   j["calibrations_loaded"] = Json(stats.calibrations_loaded);
+  // Only-when-nonzero: single-threaded sessions never move these, and
+  // their envelopes must stay byte-identical across versions.
+  if (stats.sheds != 0) j["sheds"] = Json(stats.sheds);
+  if (stats.leases_granted != 0) {
+    j["leases_granted"] = Json(stats.leases_granted);
+    j["lease_workers_granted"] = Json(stats.lease_workers_granted);
+  }
   return j;
 }
 
@@ -25,6 +32,9 @@ ServiceStats service_stats_from_json(const Json& j) {
   stats.plan_cache_misses = int_or(j, "plan_cache_misses", 0);
   stats.plan_cache_size = int_or(j, "plan_cache_size", 0);
   stats.calibrations_loaded = int_or(j, "calibrations_loaded", 0);
+  stats.sheds = int_or(j, "sheds", 0);
+  stats.leases_granted = int_or(j, "leases_granted", 0);
+  stats.lease_workers_granted = int_or(j, "lease_workers_granted", 0);
   return stats;
 }
 

@@ -30,6 +30,12 @@ struct ServiceStats {
   std::int64_t plan_cache_misses = 0;  ///< resident core::PlanCache, total
   std::int64_t plan_cache_size = 0;    ///< distinct plans resident
   std::int64_t calibrations_loaded = 0;  ///< distinct table files resident
+  // Concurrent-transport traffic. Serialized only when nonzero, so
+  // sessions that never shed or lease (every stdio session today) emit
+  // byte-identical envelopes to before these fields existed.
+  std::int64_t sheds = 0;           ///< transport admission sheds
+  std::int64_t leases_granted = 0;  ///< per-request pool leases handed out
+  std::int64_t lease_workers_granted = 0;  ///< workers across all leases
 };
 
 Json to_json(const ServiceStats& stats);

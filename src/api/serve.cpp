@@ -72,16 +72,123 @@ bool blank(const std::string& line) {
   return line.find_first_not_of(" \t\r") == std::string::npos;
 }
 
-/// One backlog entry. Shed and oversized lines ride the same queue as
-/// real requests so every input line is answered in input order.
-struct PendingLine {
-  enum class Kind { kRequest, kShed, kOversized };
-  Kind kind = Kind::kRequest;
-  std::string line;           ///< kRequest only (shed lines keep no bytes)
-  double retry_after_ms = 0;  ///< kShed only
-};
-
 }  // namespace
+
+ServeLineResult process_serve_line(Service& service,
+                                   const ServeOptions& options,
+                                   ServeLineInput input,
+                                   const Journal* journal) {
+  const auto start = std::chrono::steady_clock::now();
+  const CacheCounters before =
+      journal ? CacheCounters::read() : CacheCounters{};
+  // Whether handle() ran decides where the journal's trace id comes from;
+  // handle() stamps this thread's trace slot with a fresh id first thing,
+  // so the slot's id moving is the reliable (and thread-local, hence
+  // concurrency-proof) signal.
+  const std::uint64_t trace_before = service.last_request_trace().trace_id;
+  ServeLineResult out;
+  Response& response = out.response;
+  JournalRecord& record = out.record;
+  std::string op;
+  switch (input.kind) {
+    case ServeLineInput::Kind::kShedQueue:
+      service.note_shed();
+      response = service.error_response(
+          "shed: queue full (max_queue_depth=" +
+          std::to_string(options.max_queue_depth) + "); retry later");
+      response.retry_after_ms = input.retry_after_ms;
+      record.error = response.error;
+      record.shed = "queue";
+      record.retry_after_ms = input.retry_after_ms;
+      break;
+    case ServeLineInput::Kind::kShedInFlight:
+      service.note_shed();
+      response = service.error_response(
+          "shed: at capacity (max_in_flight=" +
+          std::to_string(options.max_in_flight) + "); retry later");
+      response.retry_after_ms = input.retry_after_ms;
+      record.error = response.error;
+      record.shed = "in_flight";
+      record.retry_after_ms = input.retry_after_ms;
+      break;
+    case ServeLineInput::Kind::kOversized:
+      response = service.error_response(
+          "input line exceeds max_line_bytes (" +
+          std::to_string(options.max_line_bytes) + "); line dropped");
+      record.error = response.error;
+      break;
+    case ServeLineInput::Kind::kRequest:
+      try {
+        // The injection point for malformed-transport faults; inside the
+        // try so an injected error answers in-band like real parse
+        // failures.
+        DP_FAILPOINT("serve/parse");
+        const Request request = request_from_json(Json::parse(input.line));
+        op = request.op();
+        response = service.handle(request);
+        record.ok = true;
+      } catch (const util::CancelledError& e) {
+        // A deadline that fired mid-operation: the answer carries the
+        // partial results final at the cancellation boundary.
+        response = service.error_response(e.what(), op);
+        response.partial = e.partial();
+        record.error = e.what();
+      } catch (const std::exception& e) {
+        // Malformed input or a failing handler answers in-band; the next
+        // line is served regardless.
+        response = service.error_response(e.what(), op);
+        record.error = e.what();
+      }
+      break;
+  }
+  if (journal != nullptr) {
+    const bool handled =
+        service.last_request_trace().trace_id != trace_before;
+    const RequestTrace& trace = service.last_request_trace();
+    record.op = op;
+    // Handled lines reuse the trace's wall clock (what --slow-ms is
+    // thresholded against); a line that never reached handle() gets a
+    // fresh id from the same sequence and the transport's own clock.
+    record.trace_id = handled ? trace.trace_id : service.allocate_trace_id();
+    record.wall_ms =
+        handled ? trace.wall_s * 1e3
+                : std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                          .count() *
+                      1e3;
+    const CacheCounters after = CacheCounters::read();
+    record.plan_cache_hits = delta(after.plan_hits, before.plan_hits);
+    record.plan_cache_misses = delta(after.plan_misses, before.plan_misses);
+    record.calib_hits = delta(after.calib_hits, before.calib_hits);
+    record.calib_misses = delta(after.calib_misses, before.calib_misses);
+    if (handled && journal->slow(record.wall_ms)) {
+      record.spans = obs::closed_spans(trace.spans);
+    }
+  }
+  return out;
+}
+
+bool journal_append_degrading(Journal& journal, const JournalRecord& record) {
+  try {
+    journal.append(to_json(record));
+    return true;
+  } catch (const std::exception& e) {
+    // Graceful degradation: the journal is an audit aid, not the service.
+    // One record is lost (counted), journalling is disabled for the rest
+    // of the session, and serving continues.
+    obs::registry().counter("degraded/journal").inc();
+    obs::registry().counter("degraded/journal_records_lost").inc();
+    std::cerr << "journal disabled after write failure: " << e.what()
+              << '\n';
+    return false;
+  }
+}
+
+void journal_append_degrading(std::optional<Journal>& journal,
+                              const JournalRecord& record) {
+  if (!journal) return;
+  if (!journal_append_degrading(*journal, record)) journal.reset();
+}
 
 int run_serve(std::istream& in, std::ostream& out, Service& service,
               const ServeOptions& options) {
@@ -94,14 +201,14 @@ int run_serve(std::istream& in, std::ostream& out, Service& service,
   std::optional<Journal> journal;
   if (!options.journal.path.empty()) journal.emplace(options.journal);
 
-  std::deque<PendingLine> pending;
+  std::deque<ServeLineInput> pending;
   const auto push_line = [&](LineStatus status, std::string&& line) {
     if (status == LineStatus::kLine && blank(line)) return;
-    PendingLine entry;
+    ServeLineInput entry;
     if (status == LineStatus::kOversized) {
-      entry.kind = PendingLine::Kind::kOversized;
+      entry.kind = ServeLineInput::Kind::kOversized;
     } else if (!admission.try_enqueue()) {
-      entry.kind = PendingLine::Kind::kShed;
+      entry.kind = ServeLineInput::Kind::kShedQueue;
       entry.retry_after_ms = admission.shed();
     } else {
       entry.line = std::move(line);
@@ -131,107 +238,32 @@ int run_serve(std::istream& in, std::ostream& out, Service& service,
       }
     }
 
-    PendingLine entry = std::move(pending.front());
+    ServeLineInput entry = std::move(pending.front());
     pending.pop_front();
     const auto start = std::chrono::steady_clock::now();
-    const CacheCounters before =
-        journal ? CacheCounters::read() : CacheCounters{};
-    // Whether handle() ran decides where the journal's trace id comes
-    // from; handle() bumps the request tally first thing, even when it
-    // throws, so the tally moving is the reliable signal.
-    const std::int64_t requests_before = service.stats().requests;
-    Response response;
-    std::string op;
-    JournalRecord record;
-    if (entry.kind == PendingLine::Kind::kShed) {
-      response = service.error_response(
-          "shed: queue full (max_queue_depth=" +
-          std::to_string(options.max_queue_depth) + "); retry later");
-      response.retry_after_ms = entry.retry_after_ms;
-      record.error = response.error;
-    } else if (entry.kind == PendingLine::Kind::kOversized) {
-      response = service.error_response(
-          "input line exceeds max_line_bytes (" +
-          std::to_string(options.max_line_bytes) + "); line dropped");
-      record.error = response.error;
-    } else {
+    bool admitted = false;
+    if (entry.kind == ServeLineInput::Kind::kRequest) {
       admission.dequeue();
-      const bool admitted = admission.try_admit();
+      admitted = admission.try_admit();
       if (!admitted) {
-        response = service.error_response(
-            "shed: at capacity (max_in_flight=" +
-            std::to_string(options.max_in_flight) + "); retry later");
-        response.retry_after_ms = admission.shed();
-        record.error = response.error;
-      } else {
-        try {
-          // The injection point for malformed-transport faults; inside
-          // the try so an injected error answers in-band like real
-          // parse failures.
-          DP_FAILPOINT("serve/parse");
-          const Request request = request_from_json(Json::parse(entry.line));
-          op = request.op();
-          response = service.handle(request);
-          record.ok = true;
-        } catch (const util::CancelledError& e) {
-          // A deadline that fired mid-operation: the answer carries the
-          // partial results final at the cancellation boundary.
-          response = service.error_response(e.what(), op);
-          response.partial = e.partial();
-          record.error = e.what();
-        } catch (const std::exception& e) {
-          // Malformed input or a failing handler answers in-band; the
-          // next line is served regardless.
-          response = service.error_response(e.what(), op);
-          record.error = e.what();
-        }
-        admission.release();
-        admission.observe_handle_ms(
-            std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                          start)
-                .count() *
-            1e3);
+        entry.kind = ServeLineInput::Kind::kShedInFlight;
+        entry.retry_after_ms = admission.shed();
+        entry.line.clear();
       }
     }
-    out << to_json(response).dump() << '\n';
+    ServeLineResult served = process_serve_line(
+        service, options, std::move(entry), journal ? &*journal : nullptr);
+    if (admitted) {
+      admission.release();
+      admission.observe_handle_ms(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count() *
+          1e3);
+    }
+    out << to_json(served.response).dump() << '\n';
     out.flush();
-    if (journal) {
-      const bool handled = service.stats().requests != requests_before;
-      const RequestTrace& trace = service.last_request_trace();
-      record.op = op;
-      // Handled lines reuse the trace's wall clock (what --slow-ms is
-      // thresholded against); a line that never reached handle() gets a
-      // fresh id from the same sequence and the transport's own clock.
-      record.trace_id =
-          handled ? trace.trace_id : service.allocate_trace_id();
-      record.wall_ms =
-          handled ? trace.wall_s * 1e3
-                  : std::chrono::duration<double>(
-                        std::chrono::steady_clock::now() - start)
-                            .count() *
-                        1e3;
-      const CacheCounters after = CacheCounters::read();
-      record.plan_cache_hits = delta(after.plan_hits, before.plan_hits);
-      record.plan_cache_misses =
-          delta(after.plan_misses, before.plan_misses);
-      record.calib_hits = delta(after.calib_hits, before.calib_hits);
-      record.calib_misses = delta(after.calib_misses, before.calib_misses);
-      if (handled && journal->slow(record.wall_ms)) {
-        record.spans = obs::closed_spans(trace.spans);
-      }
-      try {
-        journal->append(to_json(record));
-      } catch (const std::exception& e) {
-        // Graceful degradation: the journal is an audit aid, not the
-        // service. One record is lost (counted), journalling is disabled
-        // for the rest of the session, and serving continues.
-        journal.reset();
-        obs::registry().counter("degraded/journal").inc();
-        obs::registry().counter("degraded/journal_records_lost").inc();
-        std::cerr << "journal disabled after write failure: " << e.what()
-                  << '\n';
-      }
-    }
+    journal_append_degrading(journal, served.record);
   }
   return 0;
 }

@@ -25,7 +25,9 @@
 
 #include <cstddef>
 #include <istream>
+#include <optional>
 #include <ostream>
+#include <string>
 
 #include "api/journal.h"
 #include "api/service.h"
@@ -58,5 +60,60 @@ int run_serve(std::istream& in, std::ostream& out, Service& service,
 
 /// Journal-less session (the common embedded/test entry point).
 int run_serve(std::istream& in, std::ostream& out, Service& service);
+
+// ---------------------------------------------------------------------------
+// The per-line pipeline shared by the stdio loop above and the io::Server
+// socket transport (src/io/server.h). Transports classify each input line
+// (admission and framing are theirs — the stdio loop sheds at enqueue
+// against its eager-drained backlog, the socket server sheds per
+// connection against the shared AdmissionController) and hand the
+// classified line here for the part that must answer identically over
+// every transport: parse -> handle -> envelope, plus the journal record.
+
+/// One classified input line. kRequest lines have already passed
+/// admission — the transport holds the in-flight slot around the
+/// process_serve_line call. Shed kinds carry the retry hint the transport
+/// computed (AdmissionController::shed()).
+struct ServeLineInput {
+  enum class Kind { kRequest, kShedQueue, kShedInFlight, kOversized };
+  Kind kind = Kind::kRequest;
+  std::string line;           ///< kRequest only
+  double retry_after_ms = 0;  ///< shed kinds only
+};
+
+/// What one line produced: the response envelope to write back, and —
+/// when a journal was passed — the fully-populated record to append
+/// (trace id, wall time, cache-hit deltas, slow-request spans). The
+/// transport stamps JournalRecord::connection before appending.
+struct ServeLineResult {
+  Response response;
+  JournalRecord record;
+};
+
+/// Processes one classified line against the service. Never throws for
+/// line-level failures (malformed JSON, handler errors, fired deadlines
+/// all answer in-band); shed/oversized kinds produce the canonical error
+/// envelopes. `journal` only gates record bookkeeping and the slow-spans
+/// threshold — appending (and degradation on append failure) stays with
+/// the transport. Cache-hit deltas are exact for single-threaded
+/// transports; under concurrent serving they are windows over the shared
+/// registry counters and may attribute a neighbour request's traffic.
+ServeLineResult process_serve_line(Service& service,
+                                   const ServeOptions& options,
+                                   ServeLineInput input,
+                                   const Journal* journal);
+
+/// Appends `record` to `*journal`, degrading gracefully on failure: the
+/// journal is disabled (the optional is reset), "degraded/journal"
+/// counters tick, and one line goes to stderr — the session continues
+/// journal-less. The io::Server serializes calls with its own lock.
+void journal_append_degrading(std::optional<Journal>& journal,
+                              const JournalRecord& record);
+
+/// The non-destroying form: false = the append failed (counters ticked,
+/// stderr line emitted) and the caller must stop journalling. io::Server
+/// uses this one — connection threads hold const pointers into the
+/// Journal concurrently, so degrading must disable it, never destroy it.
+bool journal_append_degrading(Journal& journal, const JournalRecord& record);
 
 }  // namespace deeppool::api

@@ -71,7 +71,7 @@ struct ServiceHandlers {
           point[req.param] = Json(req.values[i]);
           point["result"] = runtime::to_json(runtime::run_spec(spec));
           return point;
-        }, service.active_cancel_);
+        }, service.active_cancel());
     Json::Array results;
     for (Json& point : points) results.push_back(std::move(point));
     Json payload;
@@ -110,7 +110,7 @@ struct ServiceHandlers {
     // requests re-plan only shapes this Service has never seen.
     options.shared_plan_cache = &service.plan_cache_;
     if (!req.core.empty()) options.core = req.core;
-    options.cancel = service.active_cancel_;
+    options.cancel = service.active_cancel();
     // Decision tracing is per request: a fresh recorder, written out after
     // the run. The schedule result itself is byte-identical with or
     // without it.
@@ -152,7 +152,7 @@ struct ServiceHandlers {
     options.progress = service.diag_;
     options.jobs = service.jobs();
     options.pool = &service.pool(grid);
-    options.cancel = service.active_cancel_;
+    options.cancel = service.active_cancel();
     const calib::CalibrationResult result =
         calib::run_calibration(req.spec, options);
     Json payload = to_json(result);
@@ -203,6 +203,24 @@ struct ServiceHandlers {
 
 namespace {
 
+/// Per-thread request-scoped state: the active deadline token, an
+/// optional transport-level cancel (disconnect/drain), the installed
+/// PoolLease, and the thread's most recent trace. Thread-local rather
+/// than Service members so concurrent handle() calls never share slots;
+/// requests are handled start-to-finish on one thread, so the slot is
+/// coherent for the transport code journaling around handle().
+struct RequestSlot {
+  const util::CancelToken* cancel = nullptr;  ///< armed deadline, if any
+  const util::CancelToken* transport_cancel = nullptr;
+  util::PoolLease* lease = nullptr;
+  RequestTrace trace;
+};
+
+RequestSlot& tls_slot() noexcept {
+  static thread_local RequestSlot slot;
+  return slot;
+}
+
 using Handler = Json (*)(Service&, const Request&);
 
 Handler handler_for(const std::string& op) {
@@ -231,17 +249,56 @@ Service::Service(ServiceOptions options)
   // not on the first pooled request); the env/hardware fallback waits
   // until jobs() is actually needed.
   if (requested_jobs_.has_value()) {
-    jobs_ = util::resolve_jobs(requested_jobs_);
+    jobs_.store(util::resolve_jobs(requested_jobs_),
+                std::memory_order_relaxed);
   }
 }
 
 int Service::jobs() {
-  if (jobs_ == 0) jobs_ = util::resolve_jobs(requested_jobs_);
-  return jobs_;
+  const int resolved = jobs_.load(std::memory_order_relaxed);
+  if (resolved != 0) return resolved;
+  // One-time fallback resolution, serialized so concurrent first calls
+  // agree on (and publish) a single value.
+  std::lock_guard<std::mutex> lk(jobs_mu_);
+  if (jobs_.load(std::memory_order_relaxed) == 0) {
+    jobs_.store(util::resolve_jobs(requested_jobs_),
+                std::memory_order_relaxed);
+  }
+  return jobs_.load(std::memory_order_relaxed);
+}
+
+util::LeaseManager& Service::leases() {
+  std::lock_guard<std::mutex> lk(lease_mu_);
+  if (!leases_) leases_.emplace(jobs());
+  return *leases_;
+}
+
+const RequestTrace& Service::last_request_trace() const noexcept {
+  return tls_slot().trace;
+}
+
+const util::CancelToken* Service::active_cancel() const noexcept {
+  return tls_slot().cancel;
+}
+
+RequestScope::RequestScope(util::PoolLease* lease,
+                           const util::CancelToken* transport_cancel) {
+  RequestSlot& slot = tls_slot();
+  previous_lease_ = slot.lease;
+  previous_cancel_ = slot.transport_cancel;
+  slot.lease = lease;
+  slot.transport_cancel = transport_cancel;
+}
+
+RequestScope::~RequestScope() {
+  RequestSlot& slot = tls_slot();
+  slot.lease = previous_lease_;
+  slot.transport_cancel = previous_cancel_;
 }
 
 Response Service::handle(const Request& request) {
-  ++requests_;
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  RequestSlot& slot = tls_slot();
   const std::string op = request.op();
   // Route through the registry: only registered ops dispatch, and the
   // registry's op list is the error message's source of truth.
@@ -276,45 +333,46 @@ Response Service::handle(const Request& request) {
   // path; a thrown handler leaves a partial tree (whatever closed during
   // unwinding), which is exactly what the journal should show for it.
   obs::SpanCollector collector;
-  last_trace_.trace_id = ++trace_counter_;
-  last_trace_.op = op;
-  last_trace_.wall_s = 0.0;
-  last_trace_.spans.clear();
+  slot.trace.trace_id = allocate_trace_id();
+  slot.trace.op = op;
+  slot.trace.wall_s = 0.0;
+  slot.trace.spans.clear();
   struct TraceGuard {
-    Service& service;
+    RequestSlot& slot;
     obs::SpanCollector& collector;
     std::chrono::steady_clock::time_point start;
     ~TraceGuard() {
-      service.last_trace_.wall_s =
+      slot.trace.wall_s =
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                         start)
               .count();
-      service.last_trace_.spans = collector.records();
-      obs::profile_store().record(service.last_trace_.op,
-                                  service.last_trace_.spans);
+      slot.trace.spans = collector.records();
+      obs::profile_store().record(slot.trace.op, slot.trace.spans);
     }
-  } trace_guard{*this, collector, start};
+  } trace_guard{slot, collector, start};
   // Arm the request's deadline: the request's own timeout wins over the
-  // service-wide default. The token lives here on the stack; handlers see
-  // it through active_cancel_, which the guard clears on every exit path
-  // (a fired token must never leak into the next request).
+  // service-wide default, and a transport-level token (connection
+  // disconnect / server drain) applies when neither is set. The deadline
+  // token lives here on the stack; handlers see it through
+  // active_cancel(), which the guard clears on every exit path (a fired
+  // token must never leak into the next request on this thread).
   std::optional<util::CancelToken> deadline;
   const double timeout_ms =
       request.timeout_ms > 0.0 ? request.timeout_ms : default_timeout_ms_;
   if (timeout_ms > 0.0) {
     deadline = util::CancelToken::after(timeout_ms / 1e3);
   }
-  active_cancel_ = deadline ? &*deadline : nullptr;
+  slot.cancel = deadline ? &*deadline : slot.transport_cancel;
   struct CancelGuard {
-    Service& service;
-    ~CancelGuard() { service.active_cancel_ = nullptr; }
-  } cancel_guard{*this};
+    RequestSlot& slot;
+    ~CancelGuard() { slot.cancel = nullptr; }
+  } cancel_guard{slot};
   Response response;
   response.ok = true;
   response.op = op;
   {
     const obs::ContextScope scope(
-        obs::TraceContext{last_trace_.trace_id, &collector, -1});
+        obs::TraceContext{slot.trace.trace_id, &collector, -1});
     // The registry record is immortal, so its name pointer outlives the
     // span (Span stores the pointer, not a copy).
     const obs::Span root(info->name.c_str());
@@ -331,7 +389,7 @@ Response Service::handle(const Request& request) {
 }
 
 Response Service::error_response(std::string message, std::string op) {
-  ++errors_;
+  errors_.fetch_add(1, std::memory_order_relaxed);
   obs::registry().counter("api/errors").inc();
   Response response;
   response.ok = false;
@@ -343,18 +401,38 @@ Response Service::error_response(std::string message, std::string op) {
 
 ServiceStats Service::stats() const {
   ServiceStats stats;
-  stats.requests = requests_;
-  stats.errors = errors_;
+  stats.requests = requests_.load(std::memory_order_relaxed);
+  stats.errors = errors_.load(std::memory_order_relaxed);
+  stats.sheds = sheds_.load(std::memory_order_relaxed);
   stats.plan_cache_hits = plan_cache_.hits();
   stats.plan_cache_misses = plan_cache_.misses();
   stats.plan_cache_size = static_cast<std::int64_t>(plan_cache_.size());
-  stats.calibrations_loaded =
-      static_cast<std::int64_t>(calibrations_.size());
+  {
+    std::lock_guard<std::mutex> lk(calib_mu_);
+    stats.calibrations_loaded =
+        static_cast<std::int64_t>(calibrations_.size());
+  }
+  {
+    // Lease traffic exists only once a concurrent transport asked for
+    // the manager; a Service that never leased reports zeros (and the
+    // envelope omits the keys entirely — see response.cpp).
+    std::lock_guard<std::mutex> lk(lease_mu_);
+    if (leases_) {
+      stats.leases_granted = leases_->granted();
+      stats.lease_workers_granted = leases_->workers_granted();
+    }
+  }
   return stats;
 }
 
 const calib::InterferenceTable& Service::calibration_table(
     const std::string& path) {
+  // One lock across lookup *and* load: concurrent requests naming the
+  // same path are single-flight (the second finds the table resident),
+  // and requests naming different paths briefly serialize — table loads
+  // are rare, resident hits are the steady state. References handed out
+  // stay valid forever: std::map nodes are stable and never erased.
+  std::lock_guard<std::mutex> lk(calib_mu_);
   auto it = calibrations_.find(path);
   if (it != calibrations_.end()) return it->second;
   // A path that cannot be opened is a configuration error and stays a hard
@@ -386,15 +464,26 @@ const calib::InterferenceTable& Service::calibration_table(
 }
 
 util::ThreadPool& Service::pool(std::size_t tasks) {
+  // A thread running under a RequestScope executes on its own lease —
+  // concurrent requests never share a ThreadPool, which is what makes
+  // concurrent handle() calls legal (parallel_for is one-batch-at-a-time
+  // per pool).
+  RequestSlot& slot = tls_slot();
+  if (slot.lease != nullptr && slot.lease->active()) {
+    return slot.lease->pool(tasks);
+  }
   const int want = util::clamp_jobs(jobs(), tasks);
-  // Rebuilding is safe: one request runs at a time, so the pool is idle
-  // between uses.
+  // Rebuilding is safe: without leases one request runs at a time, so the
+  // pool is idle between uses; the lock covers the construction itself.
+  std::lock_guard<std::mutex> lk(pool_mu_);
   if (!pool_ || pool_->workers() < want) pool_.emplace(want);
   return *pool_;
 }
 
 void Service::diag(const std::string& line) {
-  if (diag_ != nullptr) *diag_ << line << '\n';
+  if (diag_ == nullptr) return;
+  std::lock_guard<std::mutex> lk(diag_mu_);
+  *diag_ << line << '\n';
 }
 
 Json load_json_file(const std::string& path) {

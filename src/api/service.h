@@ -9,7 +9,8 @@
 //     kept resident (a daemon re-pricing a trace against the same table
 //     never re-reads it);
 //   * one util::ThreadPool sized by --jobs, lent to calibrate / sweep /
-//     schedule instead of each run constructing its own.
+//     schedule instead of each run constructing its own — plus a
+//     util::LeaseManager over the same budget for concurrent transports.
 //
 // handle() routes a typed Request through the command registry to its
 // handler and returns a Response whose payload is exactly the JSON the
@@ -19,11 +20,23 @@
 // their per-run plan-cache counters; see response.h).
 // Handlers throw on errors (std::invalid_argument / std::runtime_error);
 // transports decide whether that aborts (CLI) or becomes a structured
-// error response (serve). Not thread-safe: one request at a time.
+// error response (serve).
+//
+// Thread-safety: handle() may be called concurrently from many threads
+// provided each calling thread installs a RequestScope carrying a
+// util::PoolLease (the io::Server transport does); the shared PlanCache is
+// single-flight, calibration tables load once under a lock, and counters
+// are atomic. Without a lease, callers share the one legacy pool and must
+// serialize — the stdio transport and the one-shot CLI are single-threaded
+// by construction. Request-scoped state (deadline token, lease, last
+// trace) is thread-local: last_request_trace() reports the most recent
+// handle() completed on the *calling* thread.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <ostream>
 #include <string>
@@ -39,11 +52,12 @@
 
 namespace deeppool::api {
 
-/// What request-scoped tracing captured for the most recent handle() call:
-/// the context's trace id, the echoed op, handler wall time, and the full
-/// span tree (parented via obs::TraceContext, including spans that ran on
-/// ThreadPool workers). The serve transport journals this; a request that
-/// threw keeps whatever spans had closed by the time it unwound.
+/// What request-scoped tracing captured for the most recent handle() call
+/// on this thread: the context's trace id, the echoed op, handler wall
+/// time, and the full span tree (parented via obs::TraceContext, including
+/// spans that ran on ThreadPool workers). The serve transport journals
+/// this; a request that threw keeps whatever spans had closed by the time
+/// it unwound.
 struct RequestTrace {
   std::uint64_t trace_id = 0;
   std::string op;
@@ -80,16 +94,16 @@ class Service {
   Response error_response(std::string message, std::string op = "");
 
   ServiceStats stats() const;
-  /// Tracing of the most recent handle() call (valid after the first one;
-  /// updated even when the handler throws). One request at a time, so the
-  /// reference stays stable until the next handle().
-  const RequestTrace& last_request_trace() const noexcept {
-    return last_trace_;
-  }
+  /// Tracing of the most recent handle() call *on the calling thread*
+  /// (valid after the first one; updated even when the handler throws).
+  /// The reference stays stable until this thread's next handle().
+  const RequestTrace& last_request_trace() const noexcept;
   /// Burns one id from the same sequence handle() draws from — the serve
   /// transport stamps journal records for lines that never became a
   /// Request (parse failures) with these, keeping ids unique per session.
-  std::uint64_t allocate_trace_id() noexcept { return ++trace_counter_; }
+  std::uint64_t allocate_trace_id() noexcept {
+    return trace_counter_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
   /// The effective worker count. An explicit ServiceOptions::jobs is
   /// validated at construction; the DEEPPOOL_JOBS / hardware-concurrency
   /// fallback is resolved on first use only, so commands that never touch
@@ -97,35 +111,72 @@ class Service {
   int jobs();
   const core::PlanCache& plan_cache() const noexcept { return plan_cache_; }
 
+  /// The lease budget over this Service's worker count, for concurrent
+  /// transports: one grant per in-flight request, installed around
+  /// handle() via RequestScope. Created on first use (resolving jobs()).
+  util::LeaseManager& leases();
+
+  /// Counts one transport-level shed decision into ServiceStats::sheds
+  /// (the transports' AdmissionController makes the decision; the Service
+  /// carries the session-cumulative tally clients see in envelopes).
+  void note_shed() noexcept {
+    sheds_.fetch_add(1, std::memory_order_relaxed);
+  }
+
  private:
   friend struct ServiceHandlers;
 
   /// The resident table for `path`, loading and validating it on first
-  /// use only.
+  /// use only. Serialized by a lock: concurrent requests naming the same
+  /// path load it once (single-flight), later ones reuse the resident
+  /// table by reference (never invalidated — tables are never evicted).
   const calib::InterferenceTable& calibration_table(const std::string& path);
-  /// The shared pool, sized for a batch of `tasks`: created at
-  /// clamp_jobs(jobs(), tasks) on first use and rebuilt larger when a
-  /// wider batch arrives (never shrunk) — a one-shot run spawns no more
-  /// workers than its batch can feed, a resident daemon warms up to its
-  /// widest request and stays there.
+  /// The executor for a batch of `tasks`: the calling thread's installed
+  /// lease when a RequestScope is active (concurrent transports), else the
+  /// legacy shared pool — created at clamp_jobs(jobs(), tasks) on first
+  /// use and rebuilt larger when a wider batch arrives (never shrunk).
   util::ThreadPool& pool(std::size_t tasks);
+  /// The calling thread's active cancel token (deadline or transport
+  /// disconnect), nullptr when none is armed.
+  const util::CancelToken* active_cancel() const noexcept;
   void diag(const std::string& line);
 
   std::optional<int> requested_jobs_;
-  int jobs_ = 0;  ///< 0 = fallback not yet resolved
+  std::atomic<int> jobs_{0};  ///< 0 = fallback not yet resolved
+  std::mutex jobs_mu_;        ///< serializes the one-time resolution
   std::ostream* diag_ = nullptr;
   double default_timeout_ms_ = 0;
-  /// The in-progress request's deadline token; nullptr between requests
-  /// and for requests without a deadline. Handlers thread it into their
-  /// run options (one request at a time, so one slot suffices).
-  const util::CancelToken* active_cancel_ = nullptr;
+  std::mutex pool_mu_;  ///< guards pool_ (re)construction
   std::optional<util::ThreadPool> pool_;  ///< created on first parallel op
+  mutable std::mutex lease_mu_;  ///< guards leases_ construction
+  std::optional<util::LeaseManager> leases_;
   core::PlanCache plan_cache_;
+  mutable std::mutex calib_mu_;  ///< guards calibrations_
   std::map<std::string, calib::InterferenceTable> calibrations_;
-  std::int64_t requests_ = 0;
-  std::int64_t errors_ = 0;
-  std::uint64_t trace_counter_ = 0;  ///< last assigned trace id
-  RequestTrace last_trace_;
+  std::mutex diag_mu_;  ///< interleaves whole diagnostic lines
+  std::atomic<std::int64_t> requests_{0};
+  std::atomic<std::int64_t> errors_{0};
+  std::atomic<std::int64_t> sheds_{0};
+  std::atomic<std::uint64_t> trace_counter_{0};  ///< last assigned trace id
+};
+
+/// Installs a request's execution context on the calling thread for the
+/// duration of one handle() call: the util::PoolLease that Service::pool()
+/// resolves to, and an optional transport-level cancel token (connection
+/// disconnect / server drain) that applies when the request carries no
+/// deadline of its own. The io::Server wraps each request in one of
+/// these; single-threaded transports never need it.
+class RequestScope {
+ public:
+  explicit RequestScope(util::PoolLease* lease,
+                        const util::CancelToken* transport_cancel = nullptr);
+  RequestScope(const RequestScope&) = delete;
+  RequestScope& operator=(const RequestScope&) = delete;
+  ~RequestScope();
+
+ private:
+  util::PoolLease* previous_lease_;
+  const util::CancelToken* previous_cancel_;
 };
 
 /// Reads and parses one JSON file; throws std::runtime_error ("cannot

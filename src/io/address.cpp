@@ -1,0 +1,66 @@
+#include "io/address.h"
+
+#include <sys/un.h>
+
+#include <stdexcept>
+#include <utility>
+
+namespace deeppool::io {
+
+namespace {
+
+// Leave room for the terminating NUL in sockaddr_un::sun_path.
+constexpr std::size_t kMaxUnixPath = sizeof(sockaddr_un{}.sun_path) - 1;
+
+}  // namespace
+
+ListenAddress tcp_address(const std::string& spec) {
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string::npos) {
+    throw std::invalid_argument("listen address \"" + spec +
+                                "\" must be HOST:PORT (e.g. 127.0.0.1:7077)");
+  }
+  ListenAddress address;
+  address.kind = ListenAddress::Kind::kTcp;
+  address.host = spec.substr(0, colon);
+  if (address.host.empty()) address.host = "0.0.0.0";
+  const std::string port_text = spec.substr(colon + 1);
+  std::size_t consumed = 0;
+  long port = -1;
+  try {
+    port = std::stol(port_text, &consumed);
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  if (port_text.empty() || consumed != port_text.size() || port < 0 ||
+      port > 65535) {
+    throw std::invalid_argument("listen port \"" + port_text +
+                                "\" must be an integer in [0, 65535]");
+  }
+  address.port = static_cast<int>(port);
+  return address;
+}
+
+ListenAddress unix_address(std::string path) {
+  if (path.empty()) {
+    throw std::invalid_argument("unix socket path must not be empty");
+  }
+  if (path.size() > kMaxUnixPath) {
+    throw std::invalid_argument(
+        "unix socket path exceeds " + std::to_string(kMaxUnixPath) +
+        " bytes (got " + std::to_string(path.size()) + ")");
+  }
+  ListenAddress address;
+  address.kind = ListenAddress::Kind::kUnix;
+  address.path = std::move(path);
+  return address;
+}
+
+std::string to_string(const ListenAddress& address) {
+  if (address.kind == ListenAddress::Kind::kUnix) {
+    return "unix://" + address.path;
+  }
+  return "tcp://" + address.host + ":" + std::to_string(address.port);
+}
+
+}  // namespace deeppool::io

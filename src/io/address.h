@@ -1,0 +1,33 @@
+// Listen addresses for the io::Server socket transport.
+//
+// Two families, chosen by the serve flags: `--listen HOST:PORT` (TCP,
+// numeric IPv4 or "localhost"; port 0 = kernel-assigned, resolved by the
+// Listener after bind) and `--unix PATH` (AF_UNIX stream socket, the
+// zero-config local option — `nc -U PATH` talks to it directly).
+#pragma once
+
+#include <string>
+
+namespace deeppool::io {
+
+struct ListenAddress {
+  enum class Kind { kTcp, kUnix };
+  Kind kind = Kind::kTcp;
+  std::string host;  ///< TCP: dotted IPv4 or "localhost"
+  int port = 0;      ///< TCP: 0 = pick a free port (see Listener::address)
+  std::string path;  ///< AF_UNIX socket path
+};
+
+/// Parses "HOST:PORT" (an empty HOST reads as 0.0.0.0). Throws
+/// std::invalid_argument, one line naming the offender, on a missing ':',
+/// a non-numeric or out-of-range port, or an over-long host.
+ListenAddress tcp_address(const std::string& spec);
+
+/// An AF_UNIX address. Throws std::invalid_argument when `path` is empty
+/// or too long for sockaddr_un (~107 bytes).
+ListenAddress unix_address(std::string path);
+
+/// "tcp://HOST:PORT" | "unix://PATH" — for diagnostics and errors.
+std::string to_string(const ListenAddress& address);
+
+}  // namespace deeppool::io

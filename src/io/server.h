@@ -1,0 +1,128 @@
+// io::Server — the concurrent socket front door over one api::Service.
+//
+// Thread-per-connection NDJSON serving with the same framing as the stdio
+// loop: one request object per input line, one compact Response envelope
+// per output line, responses in request order per connection. What the
+// socket transport adds over stdio:
+//
+//   * many simultaneous connections (accept loop + one thread each,
+//     bounded by ServerOptions::max_connections; over-limit connects are
+//     answered with one in-band error line and closed);
+//   * per-request util::PoolLease grants carved from the Service's worker
+//     budget (Service::leases()), so concurrent requests share the
+//     machine fairly — one fat calibrate cannot starve small schedule
+//     requests — and the "io/lease_wait_s" histogram shows queueing for
+//     workers;
+//   * the admission caps spanning all connections: max_in_flight bounds
+//     concurrent handling; with max_queue_depth > 0 a request that finds
+//     handling at capacity *waits* in the shared queue (shed only when
+//     the queue is full), with max_queue_depth == 0 it sheds immediately,
+//     mirroring the stdio loop's at-capacity answer;
+//   * graceful shutdown: stop() — or SIGINT/SIGTERM after
+//     install_signal_handlers() — stops accepting, lets in-flight
+//     requests finish inside the drain_ms budget (completions tick
+//     "serve/drained"), then cancels + force-closes what remains;
+//   * one shared audit journal (ServeOptions::journal) with per-record
+//     connection ids, appended under a lock with the same
+//     write-failure degradation as stdio serve.
+//
+// Registry traffic: "io/accepts", "io/conn_rejected", "io/accept_errors"
+// counters, the "io/connections" gauge, and the DP_FAILPOINT("io/accept")
+// injection site in the accept loop (an injected fault skips one accept
+// attempt; the kernel backlog keeps the client queued, so serving
+// continues).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <ostream>
+#include <thread>
+
+#include "api/admission.h"
+#include "api/serve.h"
+#include "api/service.h"
+#include "io/address.h"
+#include "io/socket.h"
+#include "util/cancel.h"
+
+namespace deeppool::io {
+
+struct ServerOptions {
+  /// The per-line pipeline options shared with stdio serve: journal,
+  /// admission caps, max_line_bytes, all meaning the same thing here.
+  api::ServeOptions serve;
+  /// Simultaneous connections served; further connects get one in-band
+  /// error line and a close. Must be >= 1.
+  int max_connections = 64;
+  /// Shutdown drain budget in milliseconds (>= 0): how long stop() waits
+  /// for in-flight requests before cancelling and force-closing.
+  double drain_ms = 2000;
+  /// "listening on ..." / accept-error lines; nullptr = silent.
+  std::ostream* diagnostics = nullptr;
+};
+
+class Server {
+ public:
+  /// Binds and listens immediately (so a caller may connect before run()
+  /// is entered; the kernel backlog holds early connects). Throws
+  /// std::invalid_argument on bad options, std::runtime_error on bind
+  /// failure. A TCP port 0 is resolved — see address().
+  Server(api::Service& service, const ListenAddress& address,
+         ServerOptions options = {});
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+  ~Server();
+
+  /// The accept/serve loop; blocks until stop() (or an installed signal
+  /// handler's SIGINT/SIGTERM) and the subsequent drain complete. Returns
+  /// the process exit code (0 on a clean drain-down).
+  int run();
+
+  /// Initiates shutdown from any thread: the accept loop exits its next
+  /// ~100 ms poll tick and run() drains. Idempotent.
+  void stop() noexcept { stop_.store(true, std::memory_order_relaxed); }
+
+  /// The bound address (TCP port resolved after bind).
+  const ListenAddress& address() const noexcept {
+    return listener_.address();
+  }
+
+  /// Routes SIGINT/SIGTERM to the running Server's stop() (process-wide,
+  /// one serving Server at a time — the CLI's arrangement).
+  static void install_signal_handlers();
+
+ private:
+  /// One accepted connection: identity, transport, its cancel token (the
+  /// drain's force-close signal), and the serving thread.
+  struct Conn {
+    std::int64_t id = 0;
+    Connection connection;
+    util::CancelToken cancel;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void serve_connection(Conn& conn);
+  void diag(const std::string& line);
+
+  api::Service& service_;
+  ServerOptions options_;
+  Listener listener_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<int> open_connections_{0};  ///< fair-share hint for leases
+  std::atomic<int> active_requests_{0};   ///< drain's wait condition
+  std::optional<api::AdmissionController> admission_;  ///< built in run()
+  /// Built in run(), then never destroyed while connection threads live —
+  /// degradation flips journal_enabled_ instead of resetting the optional
+  /// (concurrent readers hold const pointers into it). Appends are
+  /// serialized by journal_mu_.
+  std::optional<api::Journal> journal_;
+  std::atomic<bool> journal_enabled_{false};
+  std::mutex journal_mu_;
+  std::mutex diag_mu_;
+};
+
+}  // namespace deeppool::io

@@ -1,0 +1,250 @@
+#include "io/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace deeppool::io {
+
+namespace {
+
+std::string errno_text() { return std::strerror(errno); }
+
+/// Numeric IPv4 only, plus the one name everyone types. Resolution
+/// happens here rather than via getaddrinfo so the transport has no DNS
+/// dependency (and no blocking lookups) — serve is a LAN/localhost door.
+in_addr parse_host(const std::string& host) {
+  const std::string numeric = host == "localhost" ? "127.0.0.1" : host;
+  in_addr parsed{};
+  if (::inet_pton(AF_INET, numeric.c_str(), &parsed) != 1) {
+    throw std::runtime_error("cannot parse host \"" + host +
+                             "\" (numeric IPv4 or \"localhost\")");
+  }
+  return parsed;
+}
+
+sockaddr_un unix_sockaddr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  // unix_address() validated the length; copy with the bound anyway.
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  return addr;
+}
+
+int checked_socket(int family, const std::string& what) {
+  const int fd = ::socket(family, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw std::runtime_error("socket(" + what + "): " + errno_text());
+  }
+  return fd;
+}
+
+}  // namespace
+
+Connection::Connection(Connection&& other) noexcept
+    : fd_(other.fd_),
+      buffer_(std::move(other.buffer_)),
+      pos_(other.pos_),
+      peer_closed_(other.peer_closed_) {
+  other.fd_ = -1;
+}
+
+Connection& Connection::operator=(Connection&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    buffer_ = std::move(other.buffer_);
+    pos_ = other.pos_;
+    peer_closed_ = other.peer_closed_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Connection::ReadStatus Connection::read_line(std::string& line,
+                                             std::size_t cap) {
+  line.clear();
+  bool oversized = false;
+  bool any = false;
+  for (;;) {
+    while (pos_ < buffer_.size()) {
+      const char c = buffer_[pos_++];
+      any = true;
+      if (c == '\n') {
+        return oversized ? ReadStatus::kOversized : ReadStatus::kLine;
+      }
+      if (line.size() < cap) {
+        line.push_back(c);
+      } else {
+        oversized = true;
+      }
+    }
+    buffer_.clear();
+    pos_ = 0;
+    if (peer_closed_ || fd_ < 0) {
+      if (!any) return ReadStatus::kEof;
+      return oversized ? ReadStatus::kOversized : ReadStatus::kLine;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      // Treat any other error as the peer going away; the serve loop
+      // closes the connection either way.
+      peer_closed_ = true;
+      continue;
+    }
+    if (n == 0) {
+      peer_closed_ = true;
+      continue;
+    }
+    buffer_.assign(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+bool Connection::write_line(const std::string& line) noexcept {
+  if (fd_ < 0) return false;
+  std::string framed = line;
+  framed += '\n';
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    // MSG_NOSIGNAL: a hung-up peer fails the write instead of raising
+    // SIGPIPE against the whole daemon.
+    const ssize_t n = ::send(fd_, framed.data() + sent, framed.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void Connection::shutdown() noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Connection::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Connection Connection::connect_tcp(const std::string& host, int port) {
+  const int fd = checked_socket(AF_INET, "tcp");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr = parse_host(host);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const std::string error = errno_text();
+    ::close(fd);
+    throw std::runtime_error("connect tcp://" + host + ":" +
+                             std::to_string(port) + ": " + error);
+  }
+  return Connection(fd);
+}
+
+Connection Connection::connect_unix(const std::string& path) {
+  const int fd = checked_socket(AF_UNIX, "unix");
+  const sockaddr_un addr = unix_sockaddr(path);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const std::string error = errno_text();
+    ::close(fd);
+    throw std::runtime_error("connect unix://" + path + ": " + error);
+  }
+  return Connection(fd);
+}
+
+Listener::Listener(const ListenAddress& address) : address_(address) {
+  if (address_.kind == ListenAddress::Kind::kUnix) {
+    fd_ = checked_socket(AF_UNIX, "unix");
+    // A previous daemon's socket file would fail the bind; replacing it
+    // is the expected restart behaviour (connect()s to the stale file
+    // were failing anyway — nothing is listening behind it).
+    ::unlink(address_.path.c_str());
+    const sockaddr_un addr = unix_sockaddr(address_.path);
+    if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      const std::string error = errno_text();
+      close();
+      throw std::runtime_error("bind " + to_string(address_) + ": " + error);
+    }
+  } else {
+    fd_ = checked_socket(AF_INET, "tcp");
+    const int one = 1;
+    ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr = parse_host(address_.host);
+    addr.sin_port = htons(static_cast<std::uint16_t>(address_.port));
+    if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      const std::string error = errno_text();
+      close();
+      throw std::runtime_error("bind " + to_string(address_) + ": " + error);
+    }
+    if (address_.port == 0) {
+      // Resolve the kernel-assigned port so tests and benches can listen
+      // on :0 and learn where to connect.
+      sockaddr_in bound{};
+      socklen_t len = sizeof(bound);
+      if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+          0) {
+        address_.port = ntohs(bound.sin_port);
+      }
+    }
+  }
+  if (::listen(fd_, 128) != 0) {
+    const std::string error = errno_text();
+    close();
+    throw std::runtime_error("listen " + to_string(address_) + ": " + error);
+  }
+}
+
+Listener::~Listener() { close(); }
+
+std::optional<Connection> Listener::accept(int timeout_ms) {
+  if (fd_ < 0) throw std::runtime_error("accept on a closed listener");
+  pollfd pfd{};
+  pfd.fd = fd_;
+  pfd.events = POLLIN;
+  const int ready = ::poll(&pfd, 1, timeout_ms);
+  if (ready < 0) {
+    if (errno == EINTR) return std::nullopt;  // signal: let the loop poll
+    throw std::runtime_error("poll " + to_string(address_) + ": " +
+                             errno_text());
+  }
+  if (ready == 0) return std::nullopt;
+  const int fd = ::accept(fd_, nullptr, nullptr);
+  if (fd < 0) {
+    if (errno == EINTR || errno == ECONNABORTED) return std::nullopt;
+    throw std::runtime_error("accept " + to_string(address_) + ": " +
+                             errno_text());
+  }
+  return Connection(fd);
+}
+
+void Listener::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  if (address_.kind == ListenAddress::Kind::kUnix && !address_.path.empty()) {
+    ::unlink(address_.path.c_str());
+  }
+}
+
+}  // namespace deeppool::io

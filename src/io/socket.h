@@ -1,0 +1,94 @@
+// Thin RAII POSIX stream sockets for the NDJSON transport.
+//
+// io::Connection wraps one connected stream socket with exactly the
+// framing the serve loop needs: capped line reads mirroring the stdio
+// loop's read_line_capped (an over-cap line is consumed to its newline
+// and reported kOversized, the stream stays line-synced) and whole-line
+// writes. io::Listener binds + listens on a ListenAddress and hands out
+// Connections from a poll()-bounded accept, so the accept loop can watch
+// a stop flag at ~100 ms granularity without signals or nonblocking fds.
+//
+// Both classes are move-only fd owners; neither is thread-safe by itself,
+// but shutdown() may be called from another thread to kick a blocked
+// read_line (it returns kEof) — that is how the server force-closes
+// connections after the drain window.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "io/address.h"
+
+namespace deeppool::io {
+
+class Connection {
+ public:
+  Connection() = default;
+  /// Adopts a connected socket fd.
+  explicit Connection(int fd) noexcept : fd_(fd) {}
+  Connection(Connection&& other) noexcept;
+  Connection& operator=(Connection&& other) noexcept;
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+  ~Connection() { close(); }
+
+  bool valid() const noexcept { return fd_ >= 0; }
+  int fd() const noexcept { return fd_; }
+
+  enum class ReadStatus { kEof, kLine, kOversized };
+  /// Reads one '\n'-terminated line (the newline is consumed, not
+  /// returned), keeping at most `cap` bytes — same contract as the stdio
+  /// loop. A final unterminated line before EOF is still delivered as
+  /// kLine. A socket error reads as kEof: either way the peer is gone.
+  ReadStatus read_line(std::string& line, std::size_t cap);
+
+  /// Writes `line` plus a trailing '\n'; false when the peer hung up
+  /// (SIGPIPE is suppressed; a failed write is the disconnect signal).
+  bool write_line(const std::string& line) noexcept;
+
+  /// Half-closes both directions: a blocked read_line (here or at the
+  /// peer) returns promptly. Safe to call from another thread and safe to
+  /// call repeatedly; the fd itself stays owned until close/destruction.
+  void shutdown() noexcept;
+  void close() noexcept;
+
+  /// Client-side connectors, used by tests and bench_serve_concurrent.
+  /// Throw std::runtime_error on connect failure.
+  static Connection connect_tcp(const std::string& host, int port);
+  static Connection connect_unix(const std::string& path);
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;     ///< bytes received, not yet consumed
+  std::size_t pos_ = 0;    ///< next unconsumed byte in buffer_
+  bool peer_closed_ = false;
+};
+
+class Listener {
+ public:
+  /// Binds and listens. TCP port 0 is resolved to the kernel-assigned
+  /// port (visible via address()); a pre-existing unix socket file at the
+  /// path is unlinked first (a daemon restart must not need a manual rm).
+  /// Throws std::runtime_error naming the address on any failure.
+  explicit Listener(const ListenAddress& address);
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+  ~Listener();
+
+  /// Waits up to `timeout_ms` for one connection; nullopt on timeout.
+  /// Throws std::runtime_error on accept errors (callers treat those as
+  /// retryable — the listener itself stays usable).
+  std::optional<Connection> accept(int timeout_ms);
+
+  /// The bound address, with the TCP port resolved after bind.
+  const ListenAddress& address() const noexcept { return address_; }
+
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+  ListenAddress address_;
+};
+
+}  // namespace deeppool::io

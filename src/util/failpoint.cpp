@@ -128,6 +128,7 @@ std::vector<std::string> split(const std::string& text, char sep) {
 const std::vector<std::string>& known_sites() {
   static const std::vector<std::string> kSites = {
       "calib/phase",        ///< before each run_calibration phase
+      "io/accept",          ///< io::Server accept loop, before accept()
       "journal/write",      ///< api::Journal::append, before the write
       "plan_cache/resolve", ///< core::PlanCache owner compute path
       "serve/parse",        ///< serve line -> Json::parse

@@ -1,10 +1,12 @@
 #include "util/parallel.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <limits>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 namespace deeppool::util {
 
@@ -134,6 +136,119 @@ void ThreadPool::parallel_for(std::size_t n,
     lk.unlock();
     std::rethrow_exception(err);
   }
+}
+
+PoolLease::PoolLease(PoolLease&& other) noexcept
+    : manager_(other.manager_),
+      workers_(other.workers_),
+      wait_s_(other.wait_s_),
+      pool_(std::move(other.pool_)) {
+  other.manager_ = nullptr;
+  other.workers_ = 0;
+}
+
+PoolLease& PoolLease::operator=(PoolLease&& other) noexcept {
+  if (this != &other) {
+    release();
+    manager_ = other.manager_;
+    workers_ = other.workers_;
+    wait_s_ = other.wait_s_;
+    pool_ = std::move(other.pool_);
+    other.manager_ = nullptr;
+    other.workers_ = 0;
+  }
+  return *this;
+}
+
+PoolLease::~PoolLease() { release(); }
+
+ThreadPool& PoolLease::pool(std::size_t tasks) {
+  if (manager_ == nullptr) {
+    throw std::logic_error("pool() on an empty PoolLease");
+  }
+  const int want = clamp_jobs(workers_, tasks);
+  if (!pool_ || pool_->workers() < want) {
+    pool_ = std::make_unique<ThreadPool>(want);
+  }
+  return *pool_;
+}
+
+void PoolLease::release() noexcept {
+  if (manager_ == nullptr) return;
+  pool_.reset();  // join the lease's workers before returning the grant
+  manager_->put_back(workers_);
+  manager_ = nullptr;
+  workers_ = 0;
+}
+
+LeaseManager::LeaseManager(int budget) : budget_(budget), available_(budget) {
+  if (budget < 1) {
+    throw std::invalid_argument("lease budget must be >= 1 (got " +
+                                std::to_string(budget) + ")");
+  }
+}
+
+PoolLease LeaseManager::acquire(int shares, const CancelToken* cancel,
+                                int want) {
+  if (want <= 0 || want > budget_) want = budget_;
+  const int fair = std::max(1, budget_ / std::max(1, shares));
+  const int target = std::min(want, fair);
+  const auto started = std::chrono::steady_clock::now();
+  std::unique_lock<std::mutex> lk(mu_);
+  // Block only while the budget is fully checked out: a single free
+  // worker is enough to run (the fair share is an upper bound, not a
+  // reservation), so small requests never wait for a full share.
+  while (available_ == 0) {
+    if (cancel != nullptr && cancel->cancelled()) {
+      throw CancelledError(cancel->reason());
+    }
+    cv_.wait_for(lk, std::chrono::milliseconds(10));
+  }
+  const double waited =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started)
+          .count();
+  const int grant = std::min(target, available_);
+  available_ -= grant;
+  ++active_;
+  ++granted_;
+  workers_granted_ += grant;
+  wait_s_total_ += waited;
+  return PoolLease(this, grant, waited);
+}
+
+void LeaseManager::put_back(int workers) noexcept {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    available_ += workers;
+    --active_;
+  }
+  cv_.notify_all();
+}
+
+int LeaseManager::available() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return available_;
+}
+
+int LeaseManager::active() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return active_;
+}
+
+std::int64_t LeaseManager::granted() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return granted_;
+}
+
+std::int64_t LeaseManager::workers_granted() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return workers_granted_;
+}
+
+double LeaseManager::wait_s_total() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return wait_s_total_;
 }
 
 int hardware_jobs() noexcept {

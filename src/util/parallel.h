@@ -38,6 +38,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <thread>
@@ -105,6 +106,102 @@ class ThreadPool {
   std::size_t done_ = 0;  ///< completed indices
   std::size_t err_index_ = 0;
   std::exception_ptr err_;
+};
+
+class LeaseManager;
+
+/// A bounded sub-executor carved out of a LeaseManager's worker budget for
+/// the duration of one request. The lease owns its grant (released back on
+/// destruction or release()) and lazily constructs its own ThreadPool the
+/// first time pool() is asked for — a one-worker grant therefore spawns no
+/// threads at all and runs inline on the requesting thread, which is what
+/// keeps many small concurrent requests cheap. Distinct leases own
+/// distinct pools, so concurrent requests never violate ThreadPool's
+/// one-batch-at-a-time contract. Move-only; a moved-from lease is empty.
+class PoolLease {
+ public:
+  PoolLease() = default;
+  PoolLease(PoolLease&& other) noexcept;
+  PoolLease& operator=(PoolLease&& other) noexcept;
+  PoolLease(const PoolLease&) = delete;
+  PoolLease& operator=(const PoolLease&) = delete;
+  ~PoolLease();
+
+  /// Workers this lease owns; 0 for an empty (default / moved-from) lease.
+  int workers() const noexcept { return workers_; }
+  bool active() const noexcept { return manager_ != nullptr; }
+  /// Seconds acquire() blocked before this lease was granted.
+  double wait_s() const noexcept { return wait_s_; }
+
+  /// The lease's executor sized for a batch of `tasks`: constructed at
+  /// clamp_jobs(workers(), tasks) on first use and rebuilt larger when a
+  /// wider batch arrives, never past workers(). Throws std::logic_error on
+  /// an empty lease. One request drives one lease, so the pool is idle
+  /// between its batches.
+  ThreadPool& pool(std::size_t tasks);
+
+  /// Returns the grant to the manager early; idempotent. The lease's own
+  /// ThreadPool (if any) is torn down first.
+  void release() noexcept;
+
+ private:
+  friend class LeaseManager;
+  PoolLease(LeaseManager* manager, int workers, double wait_s) noexcept
+      : manager_(manager), workers_(workers), wait_s_(wait_s) {}
+
+  LeaseManager* manager_ = nullptr;
+  int workers_ = 0;
+  double wait_s_ = 0.0;
+  /// Created on first pool() call; unique_ptr because ThreadPool itself
+  /// is neither movable nor copyable.
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+/// Carves per-request PoolLease grants out of one fixed worker budget so a
+/// concurrent transport can run many requests at once without
+/// oversubscribing the machine or letting one fat request starve the small
+/// ones. acquire() grants min(want, fair share) workers where the fair
+/// share is budget / shares (floored at one worker — a request always
+/// runs), blocking only while the budget is fully checked out. Thread-safe.
+class LeaseManager {
+ public:
+  /// Throws std::invalid_argument when budget < 1.
+  explicit LeaseManager(int budget);
+  LeaseManager(const LeaseManager&) = delete;
+  LeaseManager& operator=(const LeaseManager&) = delete;
+
+  /// Blocks until at least one worker is free, then grants
+  /// clamp(min(want, max(1, budget / shares)), 1, free) workers. `shares`
+  /// is the caller's contention hint (e.g. open connections); values < 1
+  /// read as 1. `want` <= 0 asks for the whole budget. A non-null `cancel`
+  /// is polled while blocked and aborts the wait with CancelledError.
+  PoolLease acquire(int shares, const CancelToken* cancel = nullptr,
+                    int want = 0);
+
+  int budget() const noexcept { return budget_; }
+  /// Workers not currently leased out.
+  int available() const;
+  /// Leases currently outstanding.
+  int active() const;
+  /// Total leases granted since construction.
+  std::int64_t granted() const;
+  /// Total workers handed out across all grants since construction.
+  std::int64_t workers_granted() const;
+  /// Total seconds acquire() calls spent blocked since construction.
+  double wait_s_total() const;
+
+ private:
+  friend class PoolLease;
+  void put_back(int workers) noexcept;
+
+  const int budget_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  int available_;
+  int active_ = 0;
+  std::int64_t granted_ = 0;
+  std::int64_t workers_granted_ = 0;
+  double wait_s_total_ = 0.0;
 };
 
 /// max(1, std::thread::hardware_concurrency()) — the `--jobs` default.

@@ -231,6 +231,41 @@ TEST(Journal, ServeSessionWritesOneRecordPerRequestWithUniqueIds) {
   remove_journal(path);
 }
 
+TEST(Journal, ShedRecordsCarryReasonAndRetryHint) {
+  const std::string path = temp_path("journal_shed.ndjson");
+  remove_journal(path);
+  std::stringstream in;
+  // One buffered burst: the eager drain sees the whole backlog, so lines
+  // past the depth-1 queue shed at enqueue.
+  for (int i = 0; i < 6; ++i) in << R"({"op": "models"})" << '\n';
+  std::ostringstream out;
+  Service service(ServiceOptions{1, nullptr});
+  ServeOptions options = journal_options(path, /*slow_ms=*/-1.0);
+  options.max_queue_depth = 1;
+  ASSERT_EQ(run_serve(in, out, service, options), 0);
+
+  const std::vector<Json> records = read_records(path);
+  ASSERT_EQ(records.size(), 6u);
+  int sheds = 0;
+  for (const Json& r : records) {
+    if (!r.contains("shed")) {
+      // Non-shed records stay byte-identical: no shed keys at all.
+      EXPECT_FALSE(r.contains("retry_after_ms"));
+      continue;
+    }
+    ++sheds;
+    EXPECT_EQ(r.at("shed").as_string(), "queue");
+    EXPECT_GT(r.at("retry_after_ms").as_number(), 0.0);
+    EXPECT_FALSE(r.at("ok").as_bool());
+    EXPECT_NE(r.at("error").as_string().find("shed: queue full"),
+              std::string::npos);
+  }
+  EXPECT_GE(sheds, 1);
+  // The stdio transport never stamps connection ids.
+  for (const Json& r : records) EXPECT_FALSE(r.contains("conn"));
+  remove_journal(path);
+}
+
 TEST(Journal, SlowRequestsDumpTheirSpanTreeFastOnesDoNot) {
   const std::string path = temp_path("journal_slowdump.ndjson");
   remove_journal(path);

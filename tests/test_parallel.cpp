@@ -194,5 +194,121 @@ TEST(ResolveJobs, ClampJobsNeverExceedsTasksOrDropsBelowOne) {
   EXPECT_EQ(clamp_jobs(1, 100), 1);
 }
 
+TEST(Lease, FairShareCarvesTheBudgetAcrossShares) {
+  LeaseManager manager(4);
+  EXPECT_EQ(manager.budget(), 4);
+  PoolLease whole = manager.acquire(/*shares=*/1);
+  EXPECT_EQ(whole.workers(), 4);  // sole tenant gets everything
+  whole.release();
+  EXPECT_EQ(manager.available(), 4);
+
+  PoolLease half_a = manager.acquire(/*shares=*/2);
+  PoolLease half_b = manager.acquire(/*shares=*/2);
+  EXPECT_EQ(half_a.workers(), 2);
+  EXPECT_EQ(half_b.workers(), 2);
+  EXPECT_EQ(manager.available(), 0);
+  EXPECT_EQ(manager.active(), 2);
+}
+
+TEST(Lease, FairShareFloorsAtOneWorker) {
+  LeaseManager manager(2);
+  PoolLease crowded = manager.acquire(/*shares=*/16);
+  EXPECT_EQ(crowded.workers(), 1);  // a request always runs
+}
+
+TEST(Lease, GrantShrinksToWhatIsActuallyFree) {
+  LeaseManager manager(4);
+  PoolLease big = manager.acquire(/*shares=*/1, nullptr, /*want=*/3);
+  EXPECT_EQ(big.workers(), 3);
+  // Fair share says 4, but only 1 worker is free: the grant shrinks
+  // instead of blocking.
+  PoolLease rest = manager.acquire(/*shares=*/1);
+  EXPECT_EQ(rest.workers(), 1);
+}
+
+TEST(Lease, AcquireBlocksWhileFullyCheckedOutThenProceeds) {
+  LeaseManager manager(1);
+  PoolLease held = manager.acquire(1);
+  std::atomic<bool> acquired{false};
+  std::thread waiter([&] {
+    PoolLease lease = manager.acquire(1);
+    acquired.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  EXPECT_FALSE(acquired.load());  // budget fully checked out: must wait
+  held.release();
+  waiter.join();
+  EXPECT_TRUE(acquired.load());
+  EXPECT_EQ(manager.available(), 1);
+}
+
+TEST(Lease, CancelledWaitThrowsInsteadOfHanging) {
+  LeaseManager manager(1);
+  PoolLease held = manager.acquire(1);
+  CancelToken cancel;
+  cancel.cancel();
+  EXPECT_THROW(manager.acquire(1, &cancel), CancelledError);
+  EXPECT_EQ(manager.active(), 1);  // the failed acquire claimed nothing
+}
+
+TEST(Lease, PoolRunsWithinTheGrantAndGrowsToWiderBatches) {
+  LeaseManager manager(4);
+  PoolLease lease = manager.acquire(/*shares=*/2);  // 2 workers
+  EXPECT_EQ(lease.pool(1).workers(), 1);  // sized to the batch
+  EXPECT_EQ(lease.pool(8).workers(), 2);  // rebuilt, capped at the grant
+  const std::vector<int> out =
+      lease.pool(8).parallel_map(8, [](std::size_t i) {
+        return static_cast<int>(i) * 3;
+      });
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(out[static_cast<std::size_t>(i)], i * 3);
+}
+
+TEST(Lease, EmptyLeaseThrowsOnPoolAndReleaseIsIdempotent) {
+  PoolLease empty;
+  EXPECT_FALSE(empty.active());
+  EXPECT_THROW(empty.pool(4), std::logic_error);
+
+  LeaseManager manager(2);
+  PoolLease lease = manager.acquire(1);
+  lease.release();
+  lease.release();  // second release must be a no-op
+  EXPECT_EQ(manager.available(), 2);
+  EXPECT_FALSE(lease.active());
+}
+
+TEST(Lease, StatsTrackGrantsAndWorkers) {
+  LeaseManager manager(4);
+  { PoolLease a = manager.acquire(1); }       // 4 workers
+  { PoolLease b = manager.acquire(4); }       // 1 worker
+  EXPECT_EQ(manager.granted(), 2);
+  EXPECT_EQ(manager.workers_granted(), 5);
+  EXPECT_GE(manager.wait_s_total(), 0.0);
+  EXPECT_THROW(LeaseManager{0}, std::invalid_argument);
+}
+
+TEST(Lease, DistinctLeasesRunBatchesConcurrently) {
+  // Two leases own two independent pools: concurrent parallel_for calls
+  // are legal (ThreadPool itself allows only one batch at a time).
+  LeaseManager manager(4);
+  std::atomic<int> total{0};
+  std::thread a([&] {
+    PoolLease lease = manager.acquire(2);
+    lease.pool(64).parallel_for(64, [&](std::size_t) {
+      total.fetch_add(1);
+    });
+  });
+  std::thread b([&] {
+    PoolLease lease = manager.acquire(2);
+    lease.pool(64).parallel_for(64, [&](std::size_t) {
+      total.fetch_add(1);
+    });
+  });
+  a.join();
+  b.join();
+  EXPECT_EQ(total.load(), 128);
+  EXPECT_EQ(manager.available(), 4);
+  EXPECT_EQ(manager.active(), 0);
+}
+
 }  // namespace
 }  // namespace deeppool::util

@@ -15,6 +15,8 @@
 //   deeppool serve    [--jobs N] [--journal FILE [--journal-max-bytes B]
 //                     [--slow-ms T]] [--timeout-ms T] [--max-in-flight N]
 //                     [--max-queue-depth N] [--max-line-bytes B]
+//                     [--listen HOST:PORT | --unix PATH
+//                      [--max-connections N] [--drain-ms T]]
 //   deeppool models
 //   deeppool stats    [--reset]
 //   deeppool profile  [--no-times] [--reset]
@@ -53,6 +55,8 @@
 #include "api/service.h"
 #include "api/version.h"
 #include "core/plan.h"
+#include "io/address.h"
+#include "io/server.h"
 #include "obs/metrics.h"
 #include "util/failpoint.h"
 #include "util/json.h"
@@ -86,6 +90,8 @@ int usage(std::ostream& os, int exit_code) {
         "                    [--journal-max-bytes B] [--slow-ms T]\n"
         "                    [--timeout-ms T] [--max-in-flight N]\n"
         "                    [--max-queue-depth N] [--max-line-bytes B]\n"
+        "                    [--listen HOST:PORT | --unix PATH]\n"
+        "                    [--max-connections N] [--drain-ms T]\n"
         "  deeppool models\n"
         "  deeppool stats    [--reset] [--output FILE] [--compact]\n"
         "  deeppool profile  [--no-times] [--reset] [--output FILE]\n"
@@ -124,7 +130,14 @@ int usage(std::ostream& os, int exit_code) {
         "\"timeout_ms\"). `serve --max-queue-depth N` sheds backlogged\n"
         "lines in-band with a retry_after_ms hint, --max-in-flight N caps\n"
         "concurrent handling, and --max-line-bytes B (default 8 MiB)\n"
-        "bounds an input line. The DEEPPOOL_FAILPOINTS env var injects\n"
+        "bounds an input line. `serve --listen HOST:PORT` (numeric IPv4 or\n"
+        "\"localhost\"; port 0 picks a free port, printed to stderr) or\n"
+        "--unix PATH serves the same NDJSON protocol over a socket instead\n"
+        "of stdio, many connections at once against the one warm service:\n"
+        "--max-connections N (default 64) bounds simultaneous clients,\n"
+        "admission caps span all connections, and SIGINT/SIGTERM drain\n"
+        "in-flight requests for --drain-ms T (default 2000) before closing\n"
+        "sockets. The DEEPPOOL_FAILPOINTS env var injects\n"
         "deterministic faults at named sites (e.g.\n"
         "\"seed=7;journal/write=error(1)\"; see src/util/failpoint.h).\n"
         "`stats\n"
@@ -154,6 +167,10 @@ struct Args {
   std::optional<int> max_in_flight;    // serve: admission cap (0 = unlimited)
   std::optional<int> max_queue_depth;  // serve: backlog cap (0 = unlimited)
   std::optional<std::int64_t> max_line_bytes;  // serve: input line cap
+  std::string listen_addr;  // serve: TCP HOST:PORT socket transport
+  std::string unix_path;    // serve: unix-domain socket transport
+  std::optional<int> max_connections;  // serve socket: client cap
+  std::optional<double> drain_ms;      // serve socket: shutdown drain
   std::optional<int> util_bins;  // schedule: util_timeline_bins override
   std::string table_out_path;    // calibrate: where the table cache goes
   std::string sweep_param;
@@ -298,6 +315,26 @@ Args parse_args(int argc, char** argv) {
                                     " is out of range (needs >= 1)");
       }
       args.max_line_bytes = bytes;
+    }
+    else if (flag == "--listen") args.listen_addr = need_value(i, flag);
+    else if (flag == "--unix") args.unix_path = need_value(i, flag);
+    else if (flag == "--max-connections") {
+      const std::int64_t cap = parse_int(need_value(i, flag), flag);
+      if (cap < 1 || cap > std::numeric_limits<int>::max()) {
+        throw std::invalid_argument("--max-connections: " +
+                                    std::to_string(cap) +
+                                    " is out of range (needs >= 1)");
+      }
+      args.max_connections = static_cast<int>(cap);
+    }
+    else if (flag == "--drain-ms") {
+      const std::string text = need_value(i, flag);
+      const double ms = parse_double(text, flag);
+      if (ms < 0) {
+        throw std::invalid_argument("--drain-ms: " + text +
+                                    " is negative (needs >= 0)");
+      }
+      args.drain_ms = ms;
     }
     else if (flag == "--reset") args.reset = true;
     else if (flag == "--no-times") args.no_times = true;
@@ -637,6 +674,40 @@ int main(int argc, char** argv) {
       if (args.max_line_bytes) {
         serve_options.max_line_bytes =
             static_cast<std::size_t>(*args.max_line_bytes);
+      }
+      if (!args.listen_addr.empty() && !args.unix_path.empty()) {
+        throw std::invalid_argument(
+            "--listen and --unix are mutually exclusive: pick one "
+            "transport");
+      }
+      const bool socket_serve =
+          !args.listen_addr.empty() || !args.unix_path.empty();
+      if (!socket_serve) {
+        // The socket sub-flags only mean anything with a socket to apply
+        // them to.
+        for (const char* flag : {"--max-connections", "--drain-ms"}) {
+          if (args.seen.count(flag)) {
+            throw std::invalid_argument(
+                std::string(flag) + " requires --listen or --unix");
+          }
+        }
+      } else {
+        const deeppool::io::ListenAddress address =
+            args.unix_path.empty()
+                ? deeppool::io::tcp_address(args.listen_addr)
+                : deeppool::io::unix_address(args.unix_path);
+        deeppool::io::ServerOptions server_options;
+        server_options.serve = serve_options;
+        if (args.max_connections) {
+          server_options.max_connections = *args.max_connections;
+        }
+        if (args.drain_ms) server_options.drain_ms = *args.drain_ms;
+        server_options.diagnostics = &std::cerr;
+        deeppool::io::Server server(service, address, server_options);
+        deeppool::io::Server::install_signal_handlers();
+        const int rc = server.run();
+        write_metrics(args.metrics_out_path);
+        return rc;
       }
       // Unsynced stdin lets the transport see the kernel-buffered backlog
       // (rdbuf()->in_avail()), which is what --max-queue-depth sheds
